@@ -1,0 +1,67 @@
+// Shared scaffolding for the per-table/figure bench binaries.
+//
+// Every binary regenerates one table or figure of the paper from a
+// fresh deterministic simulation and prints the paper's reported value
+// next to the measured one.  Absolute numbers are scale-reduced (the
+// simulation runs a ~2K-AS Internet and a volume-scaled workload, see
+// EXPERIMENTS.md); the *shape* — who wins, ratios, crossovers — is the
+// reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/study.h"
+#include "stats/table.h"
+#include "util/strings.h"
+
+namespace bgpbh::bench {
+
+// The workload intensity used by all benches (fraction of the paper's
+// daily volumes).  Chosen so every bench finishes in seconds.
+inline constexpr double kIntensity = 0.05;
+
+inline core::StudyConfig focus_config() {
+  core::StudyConfig config;
+  config.window_start = util::focus_start();   // 2016-08-01
+  config.window_end = util::focus_end();       // 2017-04-01
+  config.workload.intensity_scale = kIntensity;
+  return config;
+}
+
+inline core::StudyConfig longitudinal_config() {
+  core::StudyConfig config;
+  config.window_start = util::study_start();   // 2014-12-01
+  config.window_end = util::study_end();       // 2017-04-01
+  config.workload.intensity_scale = kIntensity;
+  return config;
+}
+
+inline core::StudyConfig march2017_config() {
+  core::StudyConfig config;
+  config.window_start = util::march2017_start();
+  config.window_end = util::march2017_end();
+  config.workload.intensity_scale = kIntensity;
+  return config;
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("workload intensity scale: %.2f of paper volume\n", kIntensity);
+  std::printf("================================================================\n\n");
+}
+
+// "paper X / measured Y" comparison line.
+inline void compare(const std::string& metric, const std::string& paper,
+                    const std::string& measured, const std::string& note = "") {
+  std::printf("  %-46s paper: %-14s measured: %-14s %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str(), note.c_str());
+}
+
+inline std::string num(double v, int precision = 0) {
+  return util::strf("%.*f", precision, v);
+}
+
+}  // namespace bgpbh::bench

@@ -1,0 +1,103 @@
+// Fig 5: CDFs of (a) blackholed prefixes per blackholing provider,
+// split transit/access vs IXP, and (b) blackholed prefixes per user,
+// split by user network type (content users dominate).
+#include "bench_common.h"
+
+#include "stats/cdf.h"
+
+using namespace bgpbh;
+using topology::NetworkType;
+
+int main() {
+  bench::header("Fig 5 — prefixes per provider (a) and per user type (b)",
+                "Giotsas et al., IMC'17, Fig 5a/5b + §7/§8");
+
+  core::Study study(bench::focus_config());
+  study.run();
+
+  // ---- (a) per provider ------------------------------------------------
+  std::map<core::ProviderRef, std::set<net::Prefix>> per_provider;
+  for (const auto& e : study.events()) per_provider[e.provider].insert(e.prefix);
+
+  stats::Cdf transit_cdf, ixp_cdf;
+  std::size_t transit_1 = 0, transit_n = 0, ixp_1 = 0, ixp_n = 0;
+  std::size_t transit_1k = 0, ixp_1k = 0;
+  double scale = 1.0 / bench::kIntensity;
+  for (const auto& [provider, prefixes] : per_provider) {
+    double scaled = static_cast<double>(prefixes.size()) * scale;
+    if (provider.is_ixp) {
+      ixp_cdf.add(scaled);
+      ++ixp_n;
+      if (prefixes.size() == 1) ++ixp_1;
+      if (scaled > 1000) ++ixp_1k;
+    } else {
+      auto type = study.registry().classify(provider.asn);
+      if (type == NetworkType::kTransitAccess) {
+        transit_cdf.add(scaled);
+        ++transit_n;
+        if (prefixes.size() == 1) ++transit_1;
+        if (scaled > 1000) ++transit_1k;
+      }
+    }
+  }
+  std::printf("%s\n", transit_cdf.ascii_plot(
+                          "Fig 5a — prefixes per transit/access provider "
+                          "(scale-adjusted)", 60, 12, true).c_str());
+  std::printf("%s\n", ixp_cdf.ascii_plot(
+                          "Fig 5a — prefixes per IXP (scale-adjusted)", 60,
+                          12, true).c_str());
+  bench::compare("transit providers with >1000 prefixes", "only 20",
+                 std::to_string(transit_1k) + " of " + std::to_string(transit_n));
+  bench::compare("IXPs with one blackholed prefix", "~20%",
+                 ixp_n ? stats::pct(static_cast<double>(ixp_1) / ixp_n, 0) : "n/a");
+  bench::compare("transit providers with one prefix", "~15%",
+                 transit_n ? stats::pct(static_cast<double>(transit_1) / transit_n, 0)
+                           : "n/a");
+  bench::compare("IXPs with >1000 prefixes", "14%",
+                 ixp_n ? stats::pct(static_cast<double>(ixp_1k) / ixp_n, 0) : "n/a");
+
+  // ---- (b) per user ------------------------------------------------------
+  std::map<bgp::Asn, std::set<net::Prefix>> per_user;
+  for (const auto& e : study.events()) {
+    if (e.user) per_user[e.user].insert(e.prefix);
+  }
+  std::map<NetworkType, stats::Cdf> per_type;
+  std::map<NetworkType, std::size_t> users_by_type, prefixes_by_type;
+  std::size_t total_users = 0, total_prefixes = 0;
+  for (const auto& [user, prefixes] : per_user) {
+    auto type = study.registry().classify(user);
+    per_type[type].add(static_cast<double>(prefixes.size()) * scale);
+    users_by_type[type] += 1;
+    prefixes_by_type[type] += prefixes.size();
+    total_users += 1;
+    total_prefixes += prefixes.size();
+  }
+  std::printf("\nFig 5b — per-user-type shares:\n");
+  stats::Table table({"User type", "#users", "user share", "#prefixes",
+                      "prefix share", "median pfx/user"});
+  for (auto& [type, cdf] : per_type) {
+    table.add_row({topology::to_string(type),
+                   std::to_string(users_by_type[type]),
+                   stats::pct(static_cast<double>(users_by_type[type]) / total_users, 0),
+                   std::to_string(prefixes_by_type[type]),
+                   stats::pct(static_cast<double>(prefixes_by_type[type]) / total_prefixes, 0),
+                   bench::num(cdf.quantile(0.5), 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  double content_users =
+      static_cast<double>(users_by_type[NetworkType::kContent]) / total_users;
+  double content_prefixes =
+      static_cast<double>(prefixes_by_type[NetworkType::kContent]) / total_prefixes;
+  bench::compare("content share of users", "18%", stats::pct(content_users, 0));
+  bench::compare("content share of prefixes", "43%",
+                 stats::pct(content_prefixes, 0));
+  bench::compare("content users punch above their weight", "yes",
+                 content_prefixes > content_users ? "yes" : "NO");
+  std::printf("%s\n",
+              per_type[NetworkType::kContent]
+                  .ascii_plot("Fig 5b — prefixes per content user "
+                              "(scale-adjusted)", 60, 10, true)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig 6: blackholing (a) provider ASes and (b) user ASes per country
+// (RIR registration). The paper's top countries: providers RU/US/DE,
+// users RU/US/DE with BR and UA in the top five.
+#include "bench_common.h"
+
+using namespace bgpbh;
+
+namespace {
+void print_ranked(const std::string& title,
+                  const std::map<std::string, std::size_t>& counts,
+                  std::size_t top_n) {
+  std::vector<std::pair<std::string, std::size_t>> ranked(counts.begin(),
+                                                          counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::printf("%s\n", title.c_str());
+  stats::Table table({"Rank", "Country", "#ASes", "bar"});
+  double max = ranked.empty() ? 1 : static_cast<double>(ranked.front().second);
+  for (std::size_t i = 0; i < std::min(top_n, ranked.size()); ++i) {
+    std::size_t bar = static_cast<std::size_t>(
+        static_cast<double>(ranked[i].second) / max * 40.0);
+    table.add_row({std::to_string(i + 1), ranked[i].first,
+                   std::to_string(ranked[i].second), std::string(bar, '#')});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+std::vector<std::string> top_codes(const std::map<std::string, std::size_t>& counts,
+                                   std::size_t n) {
+  std::vector<std::pair<std::string, std::size_t>> ranked(counts.begin(),
+                                                          counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < std::min(n, ranked.size()); ++i) {
+    out.push_back(ranked[i].first);
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  bench::header("Fig 6 — blackholing providers/users per country",
+                "Giotsas et al., IMC'17, Fig 6a/6b + §7/§8");
+
+  core::Study study(bench::focus_config());
+  study.run();
+  auto t0 = util::focus_start(), t1 = util::focus_end();
+
+  auto providers = study.providers_per_country(t0, t1);
+  auto users = study.users_per_country(t0, t1);
+
+  print_ranked("Fig 6a — blackholing provider ASes per country:", providers, 12);
+  print_ranked("Fig 6b — blackholing user ASes per country:", users, 12);
+
+  auto ptop = top_codes(providers, 3);
+  auto utop5 = top_codes(users, 5);
+  auto in = [](const std::vector<std::string>& v, const char* c) {
+    return std::find(v.begin(), v.end(), c) != v.end();
+  };
+  std::printf("shape checks:\n");
+  bench::compare("provider top-3 contains RU, US, DE", "yes",
+                 in(ptop, "RU") && in(ptop, "US") && in(ptop, "DE") ? "yes"
+                                                                    : "close",
+                 ("top-3: " + ptop[0] + " " + (ptop.size() > 1 ? ptop[1] : "") +
+                  " " + (ptop.size() > 2 ? ptop[2] : ""))
+                     .c_str());
+  bench::compare("user top-5 contains BR and UA", "yes",
+                 in(utop5, "BR") && in(utop5, "UA") ? "yes" : "close");
+  bench::compare("max providers in one country", "45",
+                 providers.empty() ? "0"
+                                   : std::to_string(top_codes(providers, 1)[0] ==
+                                                            ""
+                                                        ? 0
+                                                        : providers.at(
+                                                              top_codes(providers, 1)[0])));
+  bench::compare("max users in one country", "189",
+                 users.empty() ? "0"
+                               : std::to_string(users.at(top_codes(users, 1)[0])),
+                 util::strf("(x%.0f scale)", 1.0 / bench::kIntensity).c_str());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig 7a: services running on blackholed prefixes (March 2017):
+// HTTP dominates (53%), co-location of FTP/SSH with HTTP, mail-protocol
+// sextets, tarpits; plus the web-content and malicious-activity
+// profiling of §8.
+#include "bench_common.h"
+
+#include "scans/profile.h"
+#include "scans/reputation.h"
+
+using namespace bgpbh;
+using scans::Service;
+
+int main() {
+  bench::header("Fig 7a — services on blackholed prefixes (March 2017)",
+                "Giotsas et al., IMC'17, Fig 7a + §8");
+
+  core::Study study(bench::march2017_config());
+  study.run();
+
+  std::set<net::Prefix> prefix_set;
+  for (const auto& e : study.events()) {
+    if (e.prefix.is_v4()) prefix_set.insert(e.prefix);
+  }
+  std::vector<net::Prefix> prefixes(prefix_set.begin(), prefix_set.end());
+  std::printf("blackholed IPv4 prefixes in March 2017: %zu (paper: 20,948; x%.0f scale)\n\n",
+              prefixes.size(), 1.0 / bench::kIntensity);
+
+  scans::ScanSynthesizer synth(study.graph(), 2017);
+  scans::BlackholeProfiler profiler(synth);
+  auto profile = profiler.profile(prefixes);
+
+  stats::Table table({"Service", "#prefixes", "share"});
+  for (std::size_t s = 0; s < scans::kNumServices; ++s) {
+    table.add_row({scans::to_string(static_cast<Service>(s)),
+                   std::to_string(profile.prefixes_with_service[s]),
+                   stats::pct(static_cast<double>(profile.prefixes_with_service[s]) /
+                              static_cast<double>(profile.total_prefixes), 1)});
+  }
+  table.add_row({"NONE", std::to_string(profile.prefixes_with_none),
+                 stats::pct(static_cast<double>(profile.prefixes_with_none) /
+                            static_cast<double>(profile.total_prefixes), 1)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  auto share = [&](std::size_t n) {
+    return stats::pct(static_cast<double>(n) /
+                      static_cast<double>(profile.total_prefixes), 0);
+  };
+  std::printf("shape checks:\n");
+  bench::compare("prefixes with an open service", "~60%",
+                 share(profile.total_prefixes - profile.prefixes_with_none));
+  bench::compare("HTTP share", "53%",
+                 share(profile.prefixes_with_service[static_cast<std::size_t>(
+                     Service::kHttp)]));
+  bench::compare("FTP co-located with HTTP", ">90%",
+                 profile.ftp_total
+                     ? stats::pct(static_cast<double>(profile.ftp_with_http) /
+                                  profile.ftp_total, 0)
+                     : "n/a");
+  bench::compare("SSH co-located with HTTP", "79%",
+                 profile.ssh_total
+                     ? stats::pct(static_cast<double>(profile.ssh_with_http) /
+                                  profile.ssh_total, 0)
+                     : "n/a");
+  bench::compare("prefixes with all 6 mail protocols", "~10%",
+                 share(profile.mail_sextet_prefixes));
+  bench::compare("tarpit suspects (all ports open)", "845 (~4%)",
+                 share(profile.tarpit_prefixes));
+  bench::compare("host routes among blackholed prefixes", "20,088 of 20,948",
+                 std::to_string(profile.host_routes) + " of " +
+                     std::to_string(profile.total_prefixes));
+  bench::compare("unique IPv4 addresses covered", "5.2M",
+                 stats::with_commas(profile.covered_addresses),
+                 "(mostly /32s plus a few wider subnets)");
+
+  std::printf("\nweb content (§8):\n");
+  bench::compare("HTTP GET response rate (blackholed)", "61%",
+                 stats::pct(profile.http_response_rate(), 0));
+  bench::compare("HTTP GET response rate (general)", "~90%",
+                 stats::pct(synth.general_http_response_rate(), 0));
+  bench::compare("prefixes hosting Alexa top-1M sites", "334 (~3% of HTTP)",
+                 std::to_string(profile.alexa_prefixes));
+  if (!profile.tld_counts.empty()) {
+    std::string tlds;
+    std::vector<std::pair<std::string, std::size_t>> ranked(
+        profile.tld_counts.begin(), profile.tld_counts.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+      tlds += "." + ranked[i].first + " ";
+    }
+    bench::compare("dominant TLDs", ".com .ru .org .net .se", tlds);
+  }
+
+  std::printf("\nmalicious activity of blackholed IPs (§8):\n");
+  scans::ReputationDb reputation(2017);
+  auto day = util::day_index(util::from_date(2017, 3, 15));
+  auto rep = reputation.daily_stats(day, prefixes);
+  bench::compare("daily scanner/prober matches", "400-900 (at 20K pfx)",
+                 std::to_string(rep.matches),
+                 util::strf("(at %zu pfx)", prefixes.size()).c_str());
+  bench::compare("probers among matches", ">90%",
+                 rep.matches ? stats::pct(static_cast<double>(rep.probers) /
+                                          rep.matches, 0)
+                             : "n/a");
+  bench::compare("both scanner and prober", "~2%",
+                 rep.matches ? stats::pct(static_cast<double>(rep.both) /
+                                          rep.matches, 0)
+                             : "n/a");
+  bench::compare("IPs with login attempts", "500-800 (at 20K pfx)",
+                 std::to_string(rep.login_ips));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 7c: AS distance between the BGP collector and the blackholing
+// provider — ~50% "no path" (detected via community bundling), ~20% at
+// distance 0 (collector at the blackholing IXP), >10% at distance 1
+// (direct peering), and a tail out to 6 (propagation despite RFC 7999's
+// no-export requirement).  Includes the bundling ablation.
+#include "bench_common.h"
+
+#include "stats/histogram.h"
+
+using namespace bgpbh;
+
+int main() {
+  bench::header("Fig 7c — AS distance collector <-> blackholing provider",
+                "Giotsas et al., IMC'17, Fig 7c + §9 propagation");
+
+  core::Study study(bench::focus_config());
+  study.run();
+
+  stats::IntHistogram histogram;
+  std::size_t total = 0, no_path = 0, dist0 = 0, dist1 = 0, beyond1 = 0;
+  for (const auto& e : study.events()) {
+    ++total;
+    histogram.add(e.as_distance);
+    if (e.as_distance == core::kNoPathDistance) ++no_path;
+    else if (e.as_distance == 0) ++dist0;
+    else if (e.as_distance == 1) ++dist1;
+    else ++beyond1;
+  }
+  std::printf("%s\n",
+              histogram.ascii_plot("AS distance (-1 = no path/bundled)", true)
+                  .c_str());
+
+  bench::compare("no-path (bundled communities)", "~50%",
+                 stats::pct(static_cast<double>(no_path) / total, 0),
+                 "(bundling contributes about half of inferences)");
+  bench::compare("distance 0 (collector at the IXP)", "~20%",
+                 stats::pct(static_cast<double>(dist0) / total, 0));
+  bench::compare("distance 1 (direct peering)", ">10%",
+                 stats::pct(static_cast<double>(dist1) / total, 0));
+  bench::compare("propagated >= 1 hop beyond provider", "30% of on-path",
+                 stats::pct(static_cast<double>(beyond1) /
+                            std::max<std::size_t>(1, dist1 + beyond1 + dist0), 0),
+                 "(violating RFC 7999 no-export)");
+
+  // Detection-kind breakdown.
+  std::map<core::DetectionKind, std::size_t> kinds;
+  for (const auto& e : study.events()) kinds[e.kind] += 1;
+  std::printf("\ndetection kinds:\n");
+  for (auto& [kind, n] : kinds) {
+    bench::compare(core::to_string(kind), "-",
+                   stats::pct(static_cast<double>(n) / total, 1));
+  }
+
+  // Ablation: disable bundling detection (design decision #2 in
+  // DESIGN.md): roughly the no-path share of inferences disappears.
+  auto config = bench::focus_config();
+  config.engine.detect_bundled = false;
+  core::Study ablated(config);
+  ablated.run();
+  std::printf("\nablation — bundling detection disabled:\n");
+  bench::compare("peer events (baseline)", "-", std::to_string(total));
+  bench::compare("peer events (no bundling)", "-",
+                 std::to_string(ablated.events().size()),
+                 stats::pct(1.0 - static_cast<double>(ablated.events().size()) /
+                                      total, 0)
+                     .insert(0, "lost ")
+                     .c_str());
+  auto t0 = util::focus_start(), t1 = util::focus_end();
+  bench::compare("visible providers (baseline)", "-",
+                 std::to_string(study.table3_all(t0, t1).providers));
+  bench::compare("visible providers (no bundling)", "-",
+                 std::to_string(ablated.table3_all(t0, t1).providers));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig 8: blackholing event durations — (a) CDF of ungrouped events vs
+// events grouped with a 5-minute timeout (the ON/OFF probing practice),
+// (b) histogram across the three regimes (short-lived / long-lived /
+// very long-lived).  Includes the grouping-timeout sweep ablation.
+#include "bench_common.h"
+
+#include "stats/cdf.h"
+#include "stats/histogram.h"
+
+#include "core/grouping.h"
+
+using namespace bgpbh;
+
+int main() {
+  bench::header("Fig 8 — durations of blackholing events",
+                "Giotsas et al., IMC'17, Fig 8a/8b + §9");
+
+  core::Study study(bench::focus_config());
+  study.run();
+
+  stats::Cdf ungrouped, grouped;
+  for (const auto& e : study.prefix_events()) {
+    if (e.includes_table_dump_start) continue;  // unknown start time
+    ungrouped.add(static_cast<double>(std::max<util::SimTime>(e.duration(), 1)));
+  }
+  for (const auto& e : study.grouped_events()) {
+    if (e.includes_table_dump_start) continue;
+    grouped.add(static_cast<double>(std::max<util::SimTime>(e.duration(), 1)));
+  }
+
+  std::printf("%s\n", ungrouped.ascii_plot("Fig 8a — ungrouped durations (s, log x)",
+                                           60, 12, true).c_str());
+  std::printf("%s\n", grouped.ascii_plot("Fig 8a — grouped durations (s, log x)",
+                                         60, 12, true).c_str());
+
+  bench::compare("ungrouped events <= 1 minute", "over 70%",
+                 stats::pct(ungrouped.at(60.0), 0));
+  bench::compare("grouped events <= 1 minute", "just 4%",
+                 stats::pct(grouped.at(60.0), 0));
+  bench::compare("ungrouped events > 16 hours", "2%",
+                 stats::pct(1.0 - ungrouped.at(16.0 * util::kHour), 1));
+  bench::compare("grouped events > 16 hours", "30%",
+                 stats::pct(1.0 - grouped.at(16.0 * util::kHour), 0));
+
+  // Fig 8b: log-bucketed histogram (hours) of ungrouped durations.
+  stats::LogHistogram hist(1.0, 4.0);
+  for (const auto& e : study.prefix_events()) {
+    if (e.includes_table_dump_start) continue;
+    hist.add(static_cast<double>(std::max<util::SimTime>(e.duration(), 1)));
+  }
+  std::printf("\n%s\n",
+              hist.ascii_plot("Fig 8b — ungrouped durations (s, log buckets, log y)")
+                  .c_str());
+  std::printf("three regimes: short-lived (minutes), long-lived (weeks),\n");
+  std::printf("very long-lived (months: misconfigurations / reputation blocks)\n\n");
+
+  // Ablation: sweep the grouping timeout (design decision #4).
+  std::printf("grouping-timeout sweep (share of events <= 1 minute):\n");
+  for (util::SimTime timeout : {0L, 60L, 300L, 900L, 3600L}) {
+    auto g = core::group_events(study.prefix_events(), timeout);
+    stats::Cdf cdf;
+    for (const auto& e : g) {
+      if (e.includes_table_dump_start) continue;
+      cdf.add(static_cast<double>(std::max<util::SimTime>(e.duration(), 1)));
+    }
+    bench::compare(util::strf("timeout %s", util::format_duration(timeout).c_str()),
+                   timeout == 300 ? "4% (paper)" : "-",
+                   stats::pct(cdf.at(60.0), 1),
+                   util::strf("%zu events", g.size()).c_str());
+  }
+
+  // Withdrawal mode mix.
+  std::size_t explicit_w = 0, implicit_w = 0;
+  for (const auto& e : study.events()) {
+    (e.explicit_withdrawal ? explicit_w : implicit_w) += 1;
+  }
+  std::printf("\nwithdrawal modes (§4.2):\n");
+  bench::compare("explicit WITHDRAW", "-",
+                 stats::pct(static_cast<double>(explicit_w) /
+                            (explicit_w + implicit_w), 0));
+  bench::compare("implicit (re-announced without community)", "-",
+                 stats::pct(static_cast<double>(implicit_w) /
+                            (explicit_w + implicit_w), 0));
+  return 0;
+}

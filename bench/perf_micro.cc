@@ -1,0 +1,197 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// components: Patricia-trie lookups, the BGP UPDATE and MRT codecs,
+// blackhole propagation, and end-to-end inference throughput — the
+// "timely parsing" property BGPStream demonstrated (§1) and that a
+// near-real-time deployment of this methodology depends on (§10).
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "core/study.h"
+#include "net/patricia.h"
+
+using namespace bgpbh;
+
+namespace {
+
+// ---- Patricia trie -----------------------------------------------------
+
+void BM_PatriciaLookup(benchmark::State& state) {
+  net::PatriciaTrie<int> trie;
+  util::Rng rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next_u64());
+    std::uint8_t len = static_cast<std::uint8_t>(8 + rng.uniform(25));
+    trie.insert(net::Prefix(net::IpAddr(net::Ipv4Addr(addr)), len), i);
+  }
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1;
+    net::IpAddr ip{net::Ipv4Addr(static_cast<std::uint32_t>(x >> 32))};
+    benchmark::DoNotOptimize(trie.lookup(ip));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatriciaLookup)->Arg(1000)->Arg(100000);
+
+// ---- BGP UPDATE codec ---------------------------------------------------
+
+bgp::UpdateBody sample_body() {
+  bgp::UpdateBody body;
+  body.announced.push_back(*net::Prefix::parse("130.149.1.1/32"));
+  body.as_path = bgp::AsPath::of({3356, 1299, 64500});
+  body.next_hop = *net::IpAddr::parse("198.51.100.1");
+  body.communities.add(bgp::Community(65535, 666));
+  body.communities.add(bgp::Community(3356, 9999));
+  return body;
+}
+
+void BM_UpdateEncode(benchmark::State& state) {
+  auto body = sample_body();
+  for (auto _ : state) {
+    net::BufWriter w;
+    bgp::encode_update_body(body, w);
+    benchmark::DoNotOptimize(w.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateEncode);
+
+void BM_UpdateDecode(benchmark::State& state) {
+  auto body = sample_body();
+  net::BufWriter w;
+  bgp::encode_update_body(body, w);
+  for (auto _ : state) {
+    net::BufReader r(w.data());
+    benchmark::DoNotOptimize(bgp::decode_update_body(r));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateDecode);
+
+void BM_MrtStreamDecode(benchmark::State& state) {
+  net::BufWriter w;
+  for (int i = 0; i < 100; ++i) {
+    bgp::ObservedUpdate u;
+    u.time = 1000 + i;
+    u.peer_ip = *net::IpAddr::parse("198.51.100.7");
+    u.peer_asn = 3356;
+    u.body = sample_body();
+    bgp::mrt::encode_update(u, w);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::mrt::decode_updates(w.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MrtStreamDecode);
+
+// ---- inference engine ---------------------------------------------------
+
+struct EngineFixture {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::Registry registry = topology::Registry::build(graph, 0.72, 0.95, 42);
+  dictionary::Corpus corpus = dictionary::generate_corpus(graph, 42);
+  dictionary::BlackholeDictionary dict =
+      dictionary::build_documented_dictionary(corpus, registry);
+};
+
+EngineFixture& fixture() {
+  static EngineFixture f;
+  return f;
+}
+
+void BM_EngineProcessBlackhole(benchmark::State& state) {
+  auto& f = fixture();
+  // Find a documented provider for a realistic tagged update.
+  bgp::Community community;
+  bgp::Asn provider = 0;
+  for (const auto& [c, entry] : f.dict.entries()) {
+    if (entry.provider_asns.size() == 1) {
+      community = c;
+      provider = entry.provider_asns[0];
+      break;
+    }
+  }
+  core::InferenceEngine engine(f.dict, f.registry);
+  bgp::ObservedUpdate update;
+  update.peer_ip = *net::IpAddr::parse("198.51.100.9");
+  update.peer_asn = provider;
+  update.body.as_path = bgp::AsPath::of({provider, 64500});
+  update.body.communities.add(community);
+  std::uint32_t host = 0x14000000;
+  for (auto _ : state) {
+    update.time += 1;
+    update.body.announced.assign(
+        1, net::Prefix(net::IpAddr(net::Ipv4Addr(host++)), 32));
+    engine.process(routing::Platform::kRis, update);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineProcessBlackhole);
+
+void BM_EngineProcessRegular(benchmark::State& state) {
+  auto& f = fixture();
+  core::InferenceEngine engine(f.dict, f.registry);
+  bgp::ObservedUpdate update;
+  update.peer_ip = *net::IpAddr::parse("198.51.100.9");
+  update.peer_asn = 3356;
+  update.body.as_path = bgp::AsPath::of({3356, 1299, 64500});
+  update.body.communities.add(bgp::Community(3356, 120));
+  update.body.announced.push_back(*net::Prefix::parse("20.7.0.0/16"));
+  for (auto _ : state) {
+    update.time += 1;
+    engine.process(routing::Platform::kRis, update);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineProcessRegular);
+
+// ---- propagation ----------------------------------------------------------
+
+void BM_BaselinePathColdCache(benchmark::State& state) {
+  auto& f = fixture();
+  topology::CustomerCones cones(f.graph);
+  std::size_t i = 0;
+  const auto& nodes = f.graph.nodes();
+  for (auto _ : state) {
+    // Fresh engine each time: measures the per-origin tree computation.
+    routing::PropagationEngine engine(f.graph, cones, 5);
+    benchmark::DoNotOptimize(
+        engine.baseline_path(nodes[i % nodes.size()].asn,
+                             nodes[(i * 7 + 13) % nodes.size()].asn));
+    ++i;
+  }
+}
+BENCHMARK(BM_BaselinePathColdCache);
+
+void BM_PropagateBlackhole(benchmark::State& state) {
+  auto& f = fixture();
+  static topology::CustomerCones cones(f.graph);
+  static routing::PropagationEngine engine(f.graph, cones, 5);
+  // A stub with a blackholing provider.
+  routing::BlackholeAnnouncement ann;
+  for (const auto& node : f.graph.nodes()) {
+    if (node.tier != topology::Tier::kStub) continue;
+    for (bgp::Asn p : node.providers) {
+      const topology::AsNode* pn = f.graph.find(p);
+      if (pn && pn->blackhole.offers_blackholing) {
+        ann.user = node.asn;
+        ann.prefix = net::Prefix(
+            net::Ipv4Addr(node.v4_block.addr().v4().value() + 1), 32);
+        ann.target_providers = {p};
+        ann.bundle = true;
+        break;
+      }
+    }
+    if (ann.user) break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.propagate_blackhole(ann));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PropagateBlackhole);
+
+}  // namespace
+
+BENCHMARK_MAIN();

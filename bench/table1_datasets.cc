@@ -1,0 +1,82 @@
+// Table 1: Overview of the BGP datasets (March 2017) — IP peers, AS
+// peers, unique AS peers, prefixes, unique prefixes per platform.
+#include "bench_common.h"
+
+using namespace bgpbh;
+using routing::Platform;
+
+namespace {
+struct PaperRow {
+  const char* source;
+  double ip_peers, as_peers, unique_as, prefixes, unique_prefixes;
+};
+// The paper's Table 1 values.
+constexpr PaperRow kPaper[] = {
+    {"RIS", 425, 313, 77, 712176, 11876},
+    {"RV", 269, 197, 42, 784700, 87536},
+    {"PCH", 8897, 1721, 1175, 765005, 38847},
+    {"CDN", 3349, 1282, 911, 1840321, 1055196},
+    {"Total", 12940, 2798, 2205, 2012404, 1193455},
+};
+}  // namespace
+
+int main() {
+  bench::header("Table 1 — BGP dataset overview (March 2017)",
+                "Giotsas et al., IMC'17, Table 1");
+
+  core::Study study(bench::march2017_config());
+  auto stats = study.fleet().table1_stats(study.graph());
+  auto total = study.fleet().table1_total(study.graph());
+
+  stats::Table table({"Source", "#IP peers", "#AS peers", "#Unique AS",
+                      "#Prefixes", "#Unique pfx"});
+  auto add = [&table](const std::string& name, const routing::DatasetStats& s) {
+    table.add_row({name, stats::with_commas(s.ip_peers),
+                   stats::with_commas(s.as_peers),
+                   stats::with_commas(s.unique_as_peers),
+                   stats::with_commas(s.prefixes),
+                   stats::with_commas(s.unique_prefixes)});
+  };
+  for (Platform p : routing::kAllPlatforms) add(routing::to_string(p), stats[p]);
+  add("Total", total);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("shape checks vs paper (ratios, not absolutes):\n");
+  auto ratio = [](double a, double b) { return b == 0 ? 0.0 : a / b; };
+  bench::compare(
+      "CDN prefixes / RIS prefixes",
+      bench::num(ratio(kPaper[3].prefixes, kPaper[0].prefixes), 2),
+      bench::num(ratio(static_cast<double>(stats[Platform::kCdn].prefixes),
+                       static_cast<double>(stats[Platform::kRis].prefixes)),
+                 2),
+      "(CDN sees multiples more via internal feeds)");
+  bench::compare(
+      "CDN unique pfx / total unique pfx",
+      bench::num(ratio(kPaper[3].unique_prefixes, kPaper[4].unique_prefixes), 2),
+      bench::num(ratio(static_cast<double>(stats[Platform::kCdn].unique_prefixes),
+                       static_cast<double>(total.unique_prefixes)),
+                 2));
+  bench::compare(
+      "PCH IP peers / RIS IP peers",
+      bench::num(ratio(kPaper[2].ip_peers, kPaper[0].ip_peers), 1),
+      bench::num(ratio(static_cast<double>(stats[Platform::kPch].ip_peers),
+                       static_cast<double>(stats[Platform::kRis].ip_peers)),
+                 1),
+      "(PCH has many LAN sessions at IXPs)");
+  bench::compare(
+      "IP peers / AS peers (Total)",
+      bench::num(ratio(kPaper[4].ip_peers, kPaper[4].as_peers), 2),
+      bench::num(ratio(static_cast<double>(total.ip_peers),
+                       static_cast<double>(total.as_peers)),
+                 2));
+
+  // IPv4 share of prefixes (paper: 96.64%).
+  std::uint64_t v4 = 0, all = 0;
+  for (const auto& node : study.graph().nodes()) {
+    v4 += node.originated_v4.size();
+    all += node.originated_v4.size() + node.originated_v6.size();
+  }
+  bench::compare("IPv4 share of prefixes", "96.64%",
+                 stats::pct(static_cast<double>(v4) / static_cast<double>(all), 2));
+  return 0;
+}

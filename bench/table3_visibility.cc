@@ -1,0 +1,102 @@
+// Table 3: blackhole visibility per dataset (Aug 2016 - Mar 2017) —
+// blackholing providers / users / prefixes, platform-unique counts and
+// the share of providers with a direct BGP feed.
+#include "bench_common.h"
+
+using namespace bgpbh;
+using routing::Platform;
+
+namespace {
+struct PaperRow {
+  const char* source;
+  double providers, unique_providers, users, unique_users, prefixes,
+      unique_prefixes, direct_pct;
+};
+constexpr PaperRow kPaper[] = {
+    {"CDN", 231, 111, 894, 94, 73400, 5908, 20.8},
+    {"RIS", 113, 0, 739, 57, 24637, 6217, 4.42},
+    {"RV", 116, 2, 729, 27, 24420, 417, 17.2},
+    {"PCH", 119, 5, 831, 63, 74709, 7224, 43.6},
+    {"ALL", 242, 118, 1112, 241, 88209, 19766, 33.05},
+};
+}  // namespace
+
+int main() {
+  bench::header("Table 3 — blackhole visibility per dataset (Aug'16-Mar'17)",
+                "Giotsas et al., IMC'17, Table 3");
+
+  core::Study study(bench::focus_config());
+  study.run();
+
+  auto t0 = util::focus_start();
+  auto t1 = util::focus_end();
+  auto per = study.table3(t0, t1);
+  auto all = study.table3_all(t0, t1);
+
+  stats::Table table({"Source", "#Bh providers", "#Unique prov", "#Bh users",
+                      "#Unique users", "#Bh prefixes", "#Unique pfx",
+                      "Direct feed"});
+  auto add = [&table](const std::string& name, const core::Study::VisibilityRow& r) {
+    table.add_row({name, std::to_string(r.providers),
+                   std::to_string(r.unique_providers), std::to_string(r.users),
+                   std::to_string(r.unique_users),
+                   stats::with_commas(r.prefixes),
+                   stats::with_commas(r.unique_prefixes),
+                   stats::pct(r.direct_feed_fraction, 1)});
+  };
+  const Platform order[] = {Platform::kCdn, Platform::kRis,
+                            Platform::kRouteViews, Platform::kPch};
+  for (Platform p : order) add(routing::to_string(p), per[p]);
+  add("ALL", all);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("paper's Table 3 for reference:\n");
+  stats::Table ptable({"Source", "#Bh providers", "#Unique prov", "#Bh users",
+                       "#Unique users", "#Bh prefixes", "#Unique pfx",
+                       "Direct feed"});
+  for (const auto& r : kPaper) {
+    ptable.add_row({r.source, bench::num(r.providers),
+                    bench::num(r.unique_providers), bench::num(r.users),
+                    bench::num(r.unique_users),
+                    stats::with_commas(static_cast<std::uint64_t>(r.prefixes)),
+                    stats::with_commas(static_cast<std::uint64_t>(r.unique_prefixes)),
+                    bench::num(r.direct_pct, 1) + "%"});
+  }
+  std::printf("%s\n", ptable.to_string().c_str());
+
+  std::printf("shape checks:\n");
+  bench::compare("CDN sees most providers", "yes",
+                 per[Platform::kCdn].providers >= per[Platform::kRis].providers &&
+                         per[Platform::kCdn].providers >=
+                             per[Platform::kRouteViews].providers
+                     ? "yes"
+                     : "NO");
+  bench::compare("CDN contributes most unique providers", "111 of 118",
+                 std::to_string(per[Platform::kCdn].unique_providers) + " of " +
+                     std::to_string(all.unique_providers));
+  bench::compare("PCH direct-feed share is the highest", "43.6%",
+                 stats::pct(per[Platform::kPch].direct_feed_fraction, 1));
+  bench::compare("active providers of dictionary (79% of 307)", "242",
+                 std::to_string(all.providers) + " of " +
+                     std::to_string(study.dictionary().num_providers() +
+                                    study.dictionary().num_ixps()));
+  // 98% of blackholed IPv4 prefixes are host routes.
+  std::set<net::Prefix> prefixes;
+  for (const auto& e : study.events()) {
+    if (e.prefix.is_v4()) prefixes.insert(e.prefix);
+  }
+  std::size_t hosts = 0;
+  for (const auto& p : prefixes) hosts += p.is_host_route();
+  bench::compare("/32 share of blackholed IPv4 prefixes", "98%",
+                 stats::pct(static_cast<double>(hosts) /
+                            static_cast<double>(prefixes.size()), 1));
+  // IPv6 share (paper: 172 of 88,381 ~ 0.2%).
+  std::set<net::Prefix> all_pfx;
+  for (const auto& e : study.events()) all_pfx.insert(e.prefix);
+  bench::compare("IPv6 share of blackholed prefixes", "~0.2%",
+                 stats::pct(1.0 - static_cast<double>(prefixes.size()) /
+                                      static_cast<double>(all_pfx.size()), 2));
+  std::printf("\nscale note: measured prefix counts are ~%.0f%% of paper volume\n",
+              bench::kIntensity * 100);
+  return 0;
+}

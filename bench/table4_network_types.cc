@@ -1,0 +1,64 @@
+// Table 4: blackhole visibility by provider network type
+// (Aug 2016 - Mar 2017): providers, users, prefixes, direct-feed share.
+#include "bench_common.h"
+
+using namespace bgpbh;
+using topology::NetworkType;
+
+int main() {
+  bench::header("Table 4 — blackhole visibility by provider network type",
+                "Giotsas et al., IMC'17, Table 4");
+
+  core::Study study(bench::focus_config());
+  study.run();
+  auto t0 = util::focus_start(), t1 = util::focus_end();
+  auto table4 = study.table4(t0, t1);
+
+  struct PaperRow {
+    NetworkType type;
+    double providers, users, prefixes, direct_pct;
+  };
+  const PaperRow paper[] = {
+      {NetworkType::kTransitAccess, 184, 986, 80262, 28},
+      {NetworkType::kIxp, 25, 673, 20824, 100},
+      {NetworkType::kContent, 19, 90, 2428, 21},
+      {NetworkType::kEnterprise, 5, 127, 4144, 20},
+      {NetworkType::kEduResearchNfP, 5, 40, 1244, 20},
+      {NetworkType::kUnknown, 4, 19, 882, 0},
+  };
+
+  stats::Table table({"Network type", "#Bh prov (paper)", "#Bh prov",
+                      "#Bh users (paper)", "#Bh users", "#Bh pref (paper)",
+                      "#Bh pref", "Direct (paper)", "Direct"});
+  for (const auto& row : paper) {
+    core::Study::TypeRow measured;
+    auto it = table4.find(row.type);
+    if (it != table4.end()) measured = it->second;
+    table.add_row({topology::to_string(row.type), bench::num(row.providers),
+                   std::to_string(measured.providers), bench::num(row.users),
+                   std::to_string(measured.users),
+                   stats::with_commas(static_cast<std::uint64_t>(row.prefixes)),
+                   stats::with_commas(measured.prefixes),
+                   bench::num(row.direct_pct, 0) + "%",
+                   stats::pct(measured.direct_feed_fraction, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("shape checks:\n");
+  const auto& ta = table4[NetworkType::kTransitAccess];
+  const auto& ixp = table4[NetworkType::kIxp];
+  std::size_t total_prefixes = 0;
+  for (auto& [type, row] : table4) total_prefixes += row.prefixes;
+  bench::compare("transit/access share of prefixes", "~90%",
+                 stats::pct(static_cast<double>(ta.prefixes) /
+                            static_cast<double>(total_prefixes), 0));
+  bench::compare("IXPs are the 2nd largest provider group", "25 providers",
+                 std::to_string(ixp.providers) + " providers");
+  bench::compare("IXP user share (many members)",
+                 "60% of users", stats::pct(static_cast<double>(ixp.users) /
+                                            static_cast<double>(
+                                                study.table3_all(t0, t1).users), 0));
+  bench::compare("IXP direct feed", "100%",
+                 stats::pct(ixp.direct_feed_fraction, 0));
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "bgp/aspath.h"
+
+#include <algorithm>
+
+namespace bgpbh::bgp {
+
+bool AsPath::contains(Asn asn) const {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+AsPath AsPath::without_prepending() const {
+  std::vector<Asn> out;
+  out.reserve(hops_.size());
+  for (Asn a : hops_) {
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return AsPath(std::move(out));
+}
+
+std::optional<std::size_t> AsPath::index_of(Asn asn) const {
+  AsPath clean = without_prepending();
+  for (std::size_t i = 0; i < clean.hops_.size(); ++i) {
+    if (clean.hops_[i] == asn) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<Asn> AsPath::hop_before(Asn asn) const {
+  AsPath clean = without_prepending();
+  for (std::size_t i = 0; i < clean.hops_.size(); ++i) {
+    if (clean.hops_[i] == asn) {
+      if (i + 1 < clean.hops_.size()) return clean.hops_[i + 1];
+      return std::nullopt;  // provider is the origin; no user behind it
+    }
+  }
+  return std::nullopt;
+}
+
+void AsPath::prepend(Asn asn, std::size_t times) {
+  hops_.insert(hops_.begin(), times, asn);
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (Asn a : hops_) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(a);
+  }
+  return out;
+}
+
+}  // namespace bgpbh::bgp

@@ -1,0 +1,79 @@
+#include "bgp/community.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace bgpbh::bgp {
+
+std::optional<Community> Community::parse(std::string_view s) {
+  auto parts = util::split(s, ':');
+  if (parts.size() != 2) return std::nullopt;
+  std::uint32_t a = 0, v = 0;
+  if (!util::parse_u32(parts[0], a) || !util::parse_u32(parts[1], v))
+    return std::nullopt;
+  if (a > 0xFFFF || v > 0xFFFF) return std::nullopt;
+  return Community(static_cast<std::uint16_t>(a), static_cast<std::uint16_t>(v));
+}
+
+std::string Community::to_string() const {
+  return std::to_string(asn()) + ":" + std::to_string(value());
+}
+
+std::optional<LargeCommunity> LargeCommunity::parse(std::string_view s) {
+  auto parts = util::split(s, ':');
+  if (parts.size() != 3) return std::nullopt;
+  std::uint32_t g = 0, l1 = 0, l2 = 0;
+  if (!util::parse_u32(parts[0], g) || !util::parse_u32(parts[1], l1) ||
+      !util::parse_u32(parts[2], l2))
+    return std::nullopt;
+  return LargeCommunity(g, l1, l2);
+}
+
+std::string LargeCommunity::to_string() const {
+  return std::to_string(global_) + ":" + std::to_string(l1_) + ":" +
+         std::to_string(l2_);
+}
+
+void CommunitySet::add(Community c) {
+  auto it = std::lower_bound(classic_.begin(), classic_.end(), c);
+  if (it == classic_.end() || *it != c) classic_.insert(it, c);
+}
+
+void CommunitySet::add(LargeCommunity c) {
+  auto it = std::lower_bound(large_.begin(), large_.end(), c);
+  if (it == large_.end() || *it != c) large_.insert(it, c);
+}
+
+bool CommunitySet::contains(Community c) const {
+  return std::binary_search(classic_.begin(), classic_.end(), c);
+}
+
+bool CommunitySet::contains(LargeCommunity c) const {
+  return std::binary_search(large_.begin(), large_.end(), c);
+}
+
+void CommunitySet::remove(Community c) {
+  auto it = std::lower_bound(classic_.begin(), classic_.end(), c);
+  if (it != classic_.end() && *it == c) classic_.erase(it);
+}
+
+void CommunitySet::clear() {
+  classic_.clear();
+  large_.clear();
+}
+
+std::string CommunitySet::to_string() const {
+  std::string out;
+  for (auto& c : classic_) {
+    if (!out.empty()) out += ' ';
+    out += c.to_string();
+  }
+  for (auto& c : large_) {
+    if (!out.empty()) out += ' ';
+    out += c.to_string();
+  }
+  return out;
+}
+
+}  // namespace bgpbh::bgp

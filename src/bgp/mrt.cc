@@ -1,0 +1,279 @@
+#include "bgp/mrt.h"
+
+#include <cstdio>
+#include <map>
+
+namespace bgpbh::bgp::mrt {
+
+namespace {
+
+// Common MRT header: timestamp(4) type(2) subtype(2) length(4).
+void mrt_header(net::BufWriter& w, util::SimTime ts, std::uint16_t type,
+                std::uint16_t subtype, std::size_t body_len) {
+  w.u32(static_cast<std::uint32_t>(ts));
+  w.u16(type);
+  w.u16(subtype);
+  w.u32(static_cast<std::uint32_t>(body_len));
+}
+
+void encode_peer_ip(const net::IpAddr& ip, bool v6_slot, net::BufWriter& w) {
+  if (v6_slot) {
+    if (ip.is_v6()) {
+      w.bytes(ip.v6().bytes());
+    } else {
+      // v4-mapped into the 16-byte slot.
+      for (int i = 0; i < 12; ++i) w.u8(0);
+      w.u32(ip.v4().value());
+    }
+  } else {
+    w.u32(ip.is_v4() ? ip.v4().value() : 0);
+  }
+}
+
+}  // namespace
+
+void encode_update(const ObservedUpdate& update, net::BufWriter& w) {
+  // BGP4MP_MESSAGE_AS4 body:
+  //   peer AS (4), local AS (4), ifindex (2), AFI (2),
+  //   peer IP, local IP (AFI-sized), BGP message.
+  net::BufWriter body;
+  body.u32(update.peer_asn);
+  body.u32(update.collector_id);  // we store the collector id as local AS
+  body.u16(0);                    // ifindex
+  bool v6 = update.peer_ip.is_v6();
+  body.u16(v6 ? 2 : 1);
+  encode_peer_ip(update.peer_ip, v6, body);
+  encode_peer_ip(net::IpAddr(net::Ipv4Addr(0)), v6, body);  // local IP
+  encode_update_message(update.body, body);
+
+  mrt_header(w, update.time, kTypeBgp4mp, kSubtypeBgp4mpMessageAs4, body.size());
+  w.bytes(body.data());
+}
+
+std::optional<std::vector<ObservedUpdate>> decode_updates(
+    std::span<const std::uint8_t> data) {
+  std::vector<ObservedUpdate> out;
+  net::BufReader r(data);
+  while (r.ok() && r.remaining() > 0) {
+    std::uint32_t ts = r.u32();
+    std::uint16_t type = r.u16();
+    std::uint16_t subtype = r.u16();
+    std::uint32_t len = r.u32();
+    net::BufReader body = r.sub(len);
+    if (!r.ok()) return std::nullopt;
+    if (type != kTypeBgp4mp || subtype != kSubtypeBgp4mpMessageAs4) {
+      continue;  // skip unknown records
+    }
+    ObservedUpdate u;
+    u.time = static_cast<util::SimTime>(ts);
+    u.peer_asn = body.u32();
+    u.collector_id = body.u32();
+    body.u16();  // ifindex
+    std::uint16_t afi = body.u16();
+    if (afi == 1) {
+      u.peer_ip = net::IpAddr(net::Ipv4Addr(body.u32()));
+      body.u32();  // local IP
+    } else if (afi == 2) {
+      auto b = body.bytes(16);
+      if (!body.ok()) return std::nullopt;
+      net::Ipv6Addr::Bytes bytes{};
+      for (unsigned i = 0; i < 16; ++i) bytes[i] = b[i];
+      u.peer_ip = net::IpAddr(net::Ipv6Addr(bytes));
+      body.skip(16);
+    } else {
+      return std::nullopt;
+    }
+    auto msg = decode_update_message(body);
+    if (!msg) return std::nullopt;
+    u.body = std::move(*msg);
+    out.push_back(std::move(u));
+  }
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+void encode_table_dump(const TableDump& dump, net::BufWriter& w) {
+  // 1. PEER_INDEX_TABLE: collector BGP ID, view name, peer entries.
+  std::vector<PeerKey> peers;
+  std::map<PeerKey, std::uint16_t> peer_index;
+  for (const auto& e : dump.entries) {
+    if (peer_index.emplace(e.peer, 0).second) peers.push_back(e.peer);
+  }
+  // Stable order: map iteration order (sorted by PeerKey).
+  peers.assign(peer_index.size(), PeerKey{});
+  {
+    std::uint16_t i = 0;
+    for (auto& [k, idx] : peer_index) {
+      idx = i;
+      peers[i] = k;
+      ++i;
+    }
+  }
+
+  net::BufWriter pit;
+  pit.u32(0);  // collector BGP id
+  pit.u16(static_cast<std::uint16_t>(dump.collector_name.size()));
+  pit.str(dump.collector_name);
+  pit.u16(static_cast<std::uint16_t>(peers.size()));
+  for (const auto& p : peers) {
+    bool v6 = p.peer_ip.is_v6();
+    // peer type: bit0 = ipv6, bit1 = 4-byte ASN (always set here).
+    pit.u8(static_cast<std::uint8_t>((v6 ? 1 : 0) | 2));
+    pit.u32(0);  // peer BGP id
+    encode_peer_ip(p.peer_ip, v6, pit);
+    pit.u32(p.peer_asn);
+  }
+  mrt_header(w, dump.time, kTypeTableDumpV2, kSubtypePeerIndexTable, pit.size());
+  w.bytes(pit.data());
+
+  // 2. RIB entries, one MRT record per prefix with all peers' attributes.
+  // Group entries by prefix preserving insertion order of first sight.
+  std::map<net::Prefix, std::vector<const TableDump::Entry*>> by_prefix;
+  for (const auto& e : dump.entries) by_prefix[e.prefix].push_back(&e);
+
+  std::uint32_t seq = 0;
+  for (const auto& [prefix, entries] : by_prefix) {
+    net::BufWriter rib;
+    rib.u32(seq++);
+    // NLRI.
+    rib.u8(prefix.len());
+    unsigned nbytes = (prefix.len() + 7u) / 8u;
+    if (prefix.is_v4()) {
+      std::uint32_t v = prefix.addr().v4().value();
+      for (unsigned i = 0; i < nbytes; ++i)
+        rib.u8(static_cast<std::uint8_t>(v >> (24 - 8 * i)));
+    } else {
+      for (unsigned i = 0; i < nbytes; ++i) rib.u8(prefix.addr().v6().bytes()[i]);
+    }
+    rib.u16(static_cast<std::uint16_t>(entries.size()));
+    for (const auto* e : entries) {
+      rib.u16(peer_index.at(e->peer));
+      rib.u32(static_cast<std::uint32_t>(e->originated));
+      // BGP attributes blob, reusing the UPDATE attribute encoder by
+      // wrapping the route as a single announcement.
+      UpdateBody ub;
+      ub.announced.push_back(e->prefix);
+      ub.as_path = e->as_path;
+      ub.communities = e->communities;
+      ub.next_hop = e->next_hop;
+      net::BufWriter msg;
+      encode_update_body(ub, msg);
+      rib.u16(static_cast<std::uint16_t>(msg.size()));
+      rib.bytes(msg.data());
+    }
+    mrt_header(w, dump.time, kTypeTableDumpV2,
+               prefix.is_v4() ? kSubtypeRibIpv4Unicast : kSubtypeRibIpv6Unicast,
+               rib.size());
+    w.bytes(rib.data());
+  }
+}
+
+std::optional<TableDump> decode_table_dump(std::span<const std::uint8_t> data) {
+  TableDump dump;
+  std::vector<PeerKey> peers;
+  bool have_pit = false;
+
+  net::BufReader r(data);
+  while (r.ok() && r.remaining() > 0) {
+    std::uint32_t ts = r.u32();
+    std::uint16_t type = r.u16();
+    std::uint16_t subtype = r.u16();
+    std::uint32_t len = r.u32();
+    net::BufReader body = r.sub(len);
+    if (!r.ok()) return std::nullopt;
+    if (type != kTypeTableDumpV2) continue;
+    dump.time = static_cast<util::SimTime>(ts);
+
+    if (subtype == kSubtypePeerIndexTable) {
+      body.u32();  // collector id
+      std::uint16_t name_len = body.u16();
+      auto name = body.bytes(name_len);
+      if (!body.ok()) return std::nullopt;
+      dump.collector_name.assign(name.begin(), name.end());
+      std::uint16_t n = body.u16();
+      peers.clear();
+      for (unsigned i = 0; i < n; ++i) {
+        std::uint8_t ptype = body.u8();
+        body.u32();  // peer BGP id
+        PeerKey key;
+        if (ptype & 1) {
+          auto b = body.bytes(16);
+          if (!body.ok()) return std::nullopt;
+          net::Ipv6Addr::Bytes bytes{};
+          for (unsigned j = 0; j < 16; ++j) bytes[j] = b[j];
+          key.peer_ip = net::IpAddr(net::Ipv6Addr(bytes));
+        } else {
+          key.peer_ip = net::IpAddr(net::Ipv4Addr(body.u32()));
+        }
+        key.peer_asn = (ptype & 2) ? body.u32() : body.u16();
+        peers.push_back(key);
+      }
+      if (!body.ok()) return std::nullopt;
+      have_pit = true;
+    } else if (subtype == kSubtypeRibIpv4Unicast ||
+               subtype == kSubtypeRibIpv6Unicast) {
+      if (!have_pit) return std::nullopt;
+      body.u32();  // sequence
+      std::uint8_t plen = body.u8();
+      unsigned nbytes = (plen + 7u) / 8u;
+      auto pb = body.bytes(nbytes);
+      if (!body.ok()) return std::nullopt;
+      net::Prefix prefix;
+      if (subtype == kSubtypeRibIpv4Unicast) {
+        if (plen > 32) return std::nullopt;
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i) v = (v << 8) | (i < nbytes ? pb[i] : 0);
+        prefix = net::Prefix(net::Ipv4Addr(v), plen);
+      } else {
+        if (plen > 128) return std::nullopt;
+        net::Ipv6Addr::Bytes bytes{};
+        for (unsigned i = 0; i < nbytes; ++i) bytes[i] = pb[i];
+        prefix = net::Prefix(net::Ipv6Addr(bytes), plen);
+      }
+      std::uint16_t count = body.u16();
+      for (unsigned i = 0; i < count; ++i) {
+        std::uint16_t pi = body.u16();
+        std::uint32_t orig = body.u32();
+        std::uint16_t alen = body.u16();
+        net::BufReader ar = body.sub(alen);
+        if (!body.ok() || pi >= peers.size()) return std::nullopt;
+        auto ub = decode_update_body(ar);
+        if (!ub) return std::nullopt;
+        TableDump::Entry e;
+        e.peer = peers[pi];
+        e.prefix = prefix;
+        e.as_path = ub->as_path;
+        e.communities = ub->communities;
+        e.next_hop = ub->next_hop;
+        e.originated = static_cast<util::SimTime>(orig);
+        dump.entries.push_back(std::move(e));
+      }
+      if (!body.ok()) return std::nullopt;
+    }
+  }
+  if (!r.ok()) return std::nullopt;
+  return dump;
+}
+
+bool write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  std::size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return n == data.size();
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(size > 0 ? size : 0));
+  std::size_t n = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (n != out.size()) return std::nullopt;
+  return out;
+}
+
+}  // namespace bgpbh::bgp::mrt

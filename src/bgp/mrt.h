@@ -1,0 +1,74 @@
+// MRT-subset codec (RFC 6396).
+//
+// The paper consumes RIS/RouteViews archives via BGPStream/libbgpdump;
+// our substitute implements the two MRT record families those archives
+// actually contain:
+//
+//   * BGP4MP / BGP4MP_MESSAGE_AS4 (type 16, subtype 4): one timestamped
+//     BGP message with peer AS / local AS / interface / address family
+//     and the raw BGP UPDATE inside.
+//   * TABLE_DUMP_V2 (type 13): PEER_INDEX_TABLE (subtype 1) followed by
+//     RIB_IPV4_UNICAST (2) / RIB_IPV6_UNICAST (4) entries.
+//
+// This gives us a real on-the-wire interchange format for collector
+// dumps: the simulator writes MRT files, the inference pipeline reads
+// them back (and tests round-trip equality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "bgp/update.h"
+#include "net/bytes.h"
+
+namespace bgpbh::bgp::mrt {
+
+inline constexpr std::uint16_t kTypeTableDumpV2 = 13;
+inline constexpr std::uint16_t kTypeBgp4mp = 16;
+inline constexpr std::uint16_t kSubtypePeerIndexTable = 1;
+inline constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
+inline constexpr std::uint16_t kSubtypeRibIpv6Unicast = 4;
+inline constexpr std::uint16_t kSubtypeBgp4mpMessageAs4 = 4;
+
+// ---- update streams ---------------------------------------------------
+
+// Append one BGP4MP_MESSAGE_AS4 record carrying the update.
+void encode_update(const ObservedUpdate& update, net::BufWriter& w);
+
+// Parse an entire buffer of concatenated MRT records into updates.
+// Unknown record types are skipped (collector archives interleave
+// state-change records); malformed framing aborts with nullopt.
+std::optional<std::vector<ObservedUpdate>> decode_updates(
+    std::span<const std::uint8_t> data);
+
+// ---- table dumps -------------------------------------------------------
+
+struct TableDump {
+  util::SimTime time = 0;
+  std::string collector_name;
+  // One RIB snapshot: entries grouped per peer.
+  struct Entry {
+    PeerKey peer;
+    net::Prefix prefix;
+    AsPath as_path;
+    CommunitySet communities;
+    std::optional<net::IpAddr> next_hop;
+    util::SimTime originated = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+// Encode a full TABLE_DUMP_V2 snapshot (peer index + RIB entries).
+void encode_table_dump(const TableDump& dump, net::BufWriter& w);
+
+std::optional<TableDump> decode_table_dump(std::span<const std::uint8_t> data);
+
+// ---- files -------------------------------------------------------------
+
+bool write_file(const std::string& path, std::span<const std::uint8_t> data);
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+}  // namespace bgpbh::bgp::mrt

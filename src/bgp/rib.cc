@@ -1,0 +1,53 @@
+#include "bgp/rib.h"
+
+namespace bgpbh::bgp {
+
+void Rib::apply(const ObservedUpdate& update) {
+  PeerKey key{update.peer_ip, update.peer_asn};
+  auto& table = tables_[key];
+  for (const auto& p : update.body.withdrawn) {
+    table.erase(p);
+  }
+  for (const auto& p : update.body.announced) {
+    RibEntry& e = table[p];
+    e.prefix = p;
+    e.as_path = update.body.as_path;
+    e.communities = update.body.communities;
+    e.next_hop = update.body.next_hop;
+    e.last_update = update.time;
+  }
+}
+
+const RibEntry* Rib::find(const PeerKey& peer, const net::Prefix& p) const {
+  auto t = tables_.find(peer);
+  if (t == tables_.end()) return nullptr;
+  auto e = t->second.find(p);
+  return e == t->second.end() ? nullptr : &e->second;
+}
+
+std::vector<const RibEntry*> Rib::entries_for_peer(const PeerKey& peer) const {
+  std::vector<const RibEntry*> out;
+  auto t = tables_.find(peer);
+  if (t == tables_.end()) return out;
+  out.reserve(t->second.size());
+  for (const auto& [prefix, entry] : t->second) out.push_back(&entry);
+  return out;
+}
+
+std::vector<std::pair<PeerKey, const RibEntry*>> Rib::find_all(
+    const net::Prefix& p) const {
+  std::vector<std::pair<PeerKey, const RibEntry*>> out;
+  for (const auto& [peer, table] : tables_) {
+    auto e = table.find(p);
+    if (e != table.end()) out.emplace_back(peer, &e->second);
+  }
+  return out;
+}
+
+std::size_t Rib::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& [peer, table] : tables_) n += table.size();
+  return n;
+}
+
+}  // namespace bgpbh::bgp

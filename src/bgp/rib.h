@@ -1,0 +1,64 @@
+// Per-peer Routing Information Base (Adj-RIB-In as seen at a collector).
+//
+// The inference engine initializes from a RIB table dump (§4.2
+// "Initialization Based on BGP Table Dump") and then tracks updates;
+// collectors and looking glasses also expose RIB queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/update.h"
+#include "net/prefix.h"
+
+namespace bgpbh::bgp {
+
+struct RibEntry {
+  net::Prefix prefix;
+  AsPath as_path;
+  CommunitySet communities;
+  std::optional<net::IpAddr> next_hop;
+  util::SimTime last_update = 0;
+};
+
+// Identifies a BGP session at a collector: which peer sent us routes.
+struct PeerKey {
+  net::IpAddr peer_ip;
+  Asn peer_asn = 0;
+
+  friend auto operator<=>(const PeerKey&, const PeerKey&) = default;
+};
+
+class Rib {
+ public:
+  // Applies an update for a given peer; returns the prefixes whose
+  // entries changed (announced or withdrawn).
+  void apply(const ObservedUpdate& update);
+
+  const RibEntry* find(const PeerKey& peer, const net::Prefix& p) const;
+
+  // All entries of one peer.
+  std::vector<const RibEntry*> entries_for_peer(const PeerKey& peer) const;
+
+  // All (peer, entry) pairs for a prefix.
+  std::vector<std::pair<PeerKey, const RibEntry*>> find_all(const net::Prefix& p) const;
+
+  // Visit every entry: f(peer, entry).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [peer, table] : tables_) {
+      for (const auto& [prefix, entry] : table) f(peer, entry);
+    }
+  }
+
+  std::size_t num_peers() const { return tables_.size(); }
+  std::size_t total_entries() const;
+
+ private:
+  std::map<PeerKey, std::map<net::Prefix, RibEntry>> tables_;
+};
+
+}  // namespace bgpbh::bgp

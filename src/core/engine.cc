@@ -1,0 +1,285 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+namespace bgpbh::core {
+
+std::string ProviderRef::to_string() const {
+  if (is_ixp) return "IXP#" + std::to_string(ixp_id);
+  return "AS" + std::to_string(asn);
+}
+
+std::string to_string(DetectionKind k) {
+  switch (k) {
+    case DetectionKind::kProviderOnPath: return "provider-on-path";
+    case DetectionKind::kBundled: return "bundled";
+    case DetectionKind::kIxpRouteServer: return "ixp-route-server";
+    case DetectionKind::kIxpPeerIp: return "ixp-peer-ip";
+  }
+  return "?";
+}
+
+BgpCleaner::BgpCleaner() {
+  // Team Cymru full-bogon style list (IPv4 highlights + IPv6 ULA/doc).
+  static const char* kBogons[] = {
+      "0.0.0.0/8",      "10.0.0.0/8",     "100.64.0.0/10", "127.0.0.0/8",
+      "169.254.0.0/16", "172.16.0.0/12",  "192.0.0.0/24",  "192.0.2.0/24",
+      "192.168.0.0/16", "198.18.0.0/15",  "198.51.100.0/24",
+      "203.0.113.0/24", "224.0.0.0/4",    "240.0.0.0/4",
+  };
+  static const char* kBogons6[] = {
+      "::/8", "fc00::/7", "fe80::/10", "2001:db8::/32", "ff00::/8",
+  };
+  for (const char* s : kBogons) {
+    bogons_.insert(*net::Prefix::parse(s), true);
+  }
+  for (const char* s : kBogons6) {
+    bogons_.insert(*net::Prefix::parse(s), true);
+  }
+}
+
+bool BgpCleaner::is_bogus(const net::Prefix& prefix) const {
+  // Less specific than /8 is an obvious misconfiguration (§3).
+  if (prefix.is_v4() && prefix.len() < 8) return true;
+  if (!prefix.is_v4() && prefix.len() < 8) return true;
+  return bogons_.covered(prefix.addr());
+}
+
+InferenceEngine::InferenceEngine(const dictionary::BlackholeDictionary& dictionary,
+                                 const topology::Registry& registry,
+                                 EngineConfig config)
+    : dictionary_(dictionary), registry_(registry), config_(config) {}
+
+std::vector<InferenceEngine::Detection> InferenceEngine::detect(
+    const bgp::PeerKey& peer, const bgp::AsPath& path,
+    const bgp::CommunitySet& communities) {
+  std::vector<Detection> out;
+  bgp::AsPath clean = path.without_prepending();
+
+  auto add_provider = [&](ProviderRef provider, Asn user, DetectionKind kind,
+                          int distance) {
+    for (const auto& d : out) {
+      if (d.provider == provider) return;  // already detected
+    }
+    Detection d;
+    d.provider = provider;
+    d.user = user;
+    d.kind = kind;
+    d.as_distance = distance;
+    out.push_back(d);
+  };
+
+  for (auto community : communities.classic()) {
+    const dictionary::DictEntry* entry = dictionary_.lookup(community);
+    if (!entry) continue;
+
+    // ---- IXP communities (65535:666 et al.) --------------------------
+    bool any_ixp_evidence = entry->ixp_ids.empty();
+    for (std::uint32_t ixp_id : entry->ixp_ids) {
+      auto rec = registry_.peeringdb_ixp(ixp_id);
+      if (!rec) continue;
+      ProviderRef provider{.is_ixp = true,
+                           .asn = rec->route_server_asn,
+                           .ixp_id = ixp_id};
+      // (a) the IXP's route-server ASN appears in the AS path.  Distance
+      // 0 = the collector sits at the blackholing IXP itself (Fig 7c).
+      if (auto idx = clean.index_of(rec->route_server_asn)) {
+        Asn user = 0;
+        if (auto u = clean.hop_before(rec->route_server_asn)) user = *u;
+        add_provider(provider, user, DetectionKind::kIxpRouteServer,
+                     static_cast<int>(*idx));
+        any_ixp_evidence = true;
+        continue;
+      }
+      // (b) the peer-ip belongs to the IXP's peering LAN: the peer-as
+      // is the announcing member, i.e. the blackholing user — unless
+      // the session peer is the route server itself (transparent RS,
+      // no ASN in path), in which case the user is the path origin.
+      if (rec->peering_lan.contains(peer.peer_ip)) {
+        Asn user = peer.peer_asn;
+        if (user == rec->route_server_asn) {
+          user = clean.empty() ? 0 : clean.origin();
+        }
+        add_provider(provider, user, DetectionKind::kIxpPeerIp, 0);
+        any_ixp_evidence = true;
+        continue;
+      }
+    }
+    if (!any_ixp_evidence) ++stats_.ixp_rejected;
+
+    // ---- ISP communities ---------------------------------------------
+    if (entry->provider_asns.empty()) continue;
+    bool ambiguous = entry->provider_asns.size() > 1;
+    if (ambiguous && config_.require_path_evidence_for_ambiguous) {
+      // e.g. 0:666 shared by multiple providers: require a candidate on
+      // the path; otherwise ignore the update (§4.2).
+      bool found = false;
+      for (Asn candidate : entry->provider_asns) {
+        if (auto idx = clean.index_of(candidate)) {
+          Asn user = 0;
+          if (auto u = clean.hop_before(candidate)) user = *u;
+          add_provider(ProviderRef{.is_ixp = false, .asn = candidate, .ixp_id = 0},
+                       user, DetectionKind::kProviderOnPath,
+                       static_cast<int>(*idx + 1));
+          found = true;
+        }
+      }
+      if (!found) ++stats_.ambiguous_rejected;
+      continue;
+    }
+    for (Asn candidate : entry->provider_asns) {
+      ProviderRef provider{.is_ixp = false, .asn = candidate, .ixp_id = 0};
+      if (auto idx = clean.index_of(candidate)) {
+        Asn user = 0;
+        if (auto u = clean.hop_before(candidate)) user = *u;
+        add_provider(provider, user, DetectionKind::kProviderOnPath,
+                     static_cast<int>(*idx + 1));
+      } else if (config_.detect_bundled) {
+        // Bundled community: provider not on the path; the user is the
+        // origin of the announcement (Fig 3).
+        Asn user = clean.empty() ? peer.peer_asn : clean.origin();
+        add_provider(provider, user, DetectionKind::kBundled, kNoPathDistance);
+      }
+    }
+  }
+
+  // ---- RFC 8092 large communities ------------------------------------
+  for (auto large : communities.large()) {
+    if (auto provider_asn = dictionary_.lookup_large(large)) {
+      ProviderRef provider{.is_ixp = false, .asn = *provider_asn, .ixp_id = 0};
+      if (auto idx = clean.index_of(*provider_asn)) {
+        Asn user = 0;
+        if (auto u = clean.hop_before(*provider_asn)) user = *u;
+        add_provider(provider, user, DetectionKind::kProviderOnPath,
+                     static_cast<int>(*idx + 1));
+      } else if (config_.detect_bundled) {
+        Asn user = clean.empty() ? peer.peer_asn : clean.origin();
+        add_provider(provider, user, DetectionKind::kBundled, kNoPathDistance);
+      }
+    }
+  }
+  return out;
+}
+
+void InferenceEngine::open_event(Platform platform, const bgp::PeerKey& peer,
+                                 const net::Prefix& prefix, util::SimTime time,
+                                 bool from_dump,
+                                 std::vector<Detection> detections,
+                                 const bgp::CommunitySet& communities) {
+  StateKey key{peer, prefix};
+  auto it = active_.find(key);
+  if (it != active_.end()) {
+    // Already active: merge any newly detected providers.
+    for (const auto& d : detections) {
+      bool known = std::any_of(it->second.detections.begin(),
+                               it->second.detections.end(),
+                               [&](const Detection& e) {
+                                 return e.provider == d.provider;
+                               });
+      if (!known) it->second.detections.push_back(d);
+    }
+    it->second.communities = communities;
+    return;
+  }
+  ActiveState state;
+  state.start = from_dump ? 0 : time;
+  state.from_table_dump = from_dump;
+  state.detections = std::move(detections);
+  state.communities = communities;
+  active_.emplace(key, std::move(state));
+  active_platform_[key] = platform;
+  ++stats_.events_opened;
+}
+
+void InferenceEngine::close_event(Platform platform, const bgp::PeerKey& peer,
+                                  const net::Prefix& prefix, util::SimTime time,
+                                  bool explicit_withdrawal) {
+  StateKey key{peer, prefix};
+  auto it = active_.find(key);
+  if (it == active_.end()) return;
+  const ActiveState& state = it->second;
+  for (const auto& d : state.detections) {
+    PeerEvent e;
+    e.platform = platform;
+    e.peer = peer;
+    e.prefix = prefix;
+    e.provider = d.provider;
+    e.user = d.user;
+    e.kind = d.kind;
+    e.as_distance = d.as_distance;
+    e.start = state.start;
+    e.end = time;
+    e.open = false;
+    e.explicit_withdrawal = explicit_withdrawal;
+    e.started_in_table_dump = state.from_table_dump;
+    e.communities = state.communities;
+    closed_.push_back(std::move(e));
+  }
+  active_.erase(it);
+  active_platform_.erase(key);
+  if (explicit_withdrawal) {
+    ++stats_.events_closed_explicit;
+  } else {
+    ++stats_.events_closed_implicit;
+  }
+}
+
+void InferenceEngine::init_from_table_dump(Platform platform,
+                                           const bgp::mrt::TableDump& dump) {
+  for (const auto& entry : dump.entries) {
+    if (config_.clean_input && cleaner_.is_bogus(entry.prefix)) {
+      ++stats_.bogons_filtered;
+      continue;
+    }
+    auto detections = detect(entry.peer, entry.as_path, entry.communities);
+    if (detections.empty()) continue;
+    open_event(platform, entry.peer, entry.prefix, dump.time,
+               /*from_dump=*/true, std::move(detections), entry.communities);
+  }
+}
+
+void InferenceEngine::process(Platform platform,
+                              const bgp::ObservedUpdate& update) {
+  ++stats_.updates_processed;
+  bgp::PeerKey peer{update.peer_ip, update.peer_asn};
+
+  for (const auto& prefix : update.body.withdrawn) {
+    ++stats_.withdrawals_seen;
+    close_event(platform, peer, prefix, update.time,
+                /*explicit_withdrawal=*/true);
+  }
+  for (const auto& prefix : update.body.announced) {
+    ++stats_.announcements_seen;
+    if (config_.clean_input && cleaner_.is_bogus(prefix)) {
+      ++stats_.bogons_filtered;
+      continue;
+    }
+    auto detections = detect(peer, update.body.as_path, update.body.communities);
+    if (!detections.empty()) {
+      open_event(platform, peer, prefix, update.time, /*from_dump=*/false,
+                 std::move(detections), update.body.communities);
+    } else {
+      // Announcement without blackhole communities for a previously
+      // blackholed prefix: implicit withdrawal (§4.2).
+      close_event(platform, peer, prefix, update.time,
+                  /*explicit_withdrawal=*/false);
+    }
+  }
+}
+
+void InferenceEngine::finish(util::SimTime end_time) {
+  // Close remaining events; copy keys first since close_event mutates.
+  std::vector<std::pair<StateKey, Platform>> remaining;
+  remaining.reserve(active_.size());
+  for (const auto& [key, state] : active_) {
+    remaining.emplace_back(key, active_platform_[key]);
+  }
+  for (const auto& [key, platform] : remaining) {
+    close_event(platform, key.first, key.second, end_time,
+                /*explicit_withdrawal=*/false);
+  }
+}
+
+std::size_t InferenceEngine::open_event_count() const { return active_.size(); }
+
+}  // namespace bgpbh::core

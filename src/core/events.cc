@@ -1,0 +1,6 @@
+#include "core/events.h"
+
+// to_string implementations live in engine.cc next to the inference
+// logic; this translation unit anchors the events component in the
+// static library.
+namespace bgpbh::core {}

@@ -1,0 +1,79 @@
+// Event types produced by the blackholing inference engine (§4.2).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/community.h"
+#include "bgp/rib.h"
+#include "net/prefix.h"
+#include "routing/collectors.h"
+#include "util/time.h"
+
+namespace bgpbh::core {
+
+using bgp::Asn;
+using routing::Platform;
+
+// A blackholing provider is either an ISP (identified by ASN) or an IXP.
+struct ProviderRef {
+  bool is_ixp = false;
+  Asn asn = 0;           // ISP ASN, or the IXP's route-server ASN
+  std::uint32_t ixp_id = 0;
+
+  friend auto operator<=>(const ProviderRef&, const ProviderRef&) = default;
+  std::string to_string() const;
+};
+
+// How the provider was identified from the update (§4.2; the ablation
+// benches break inferences down by kind).
+enum class DetectionKind : std::uint8_t {
+  kProviderOnPath,   // provider ASN on the AS path
+  kBundled,          // community of a provider NOT on the path (Fig 3)
+  kIxpRouteServer,   // IXP route-server ASN on the AS path
+  kIxpPeerIp,        // peer-ip inside an IXP peering LAN
+};
+
+std::string to_string(DetectionKind k);
+
+// AS distance between collector peer and provider (Fig 7c).
+inline constexpr int kNoPathDistance = -1;  // provider not on path
+
+// One blackholing event as tracked at the granularity of an individual
+// BGP peer (the paper's unit of tracking).
+struct PeerEvent {
+  Platform platform = Platform::kRis;
+  bgp::PeerKey peer;
+  net::Prefix prefix;
+  ProviderRef provider;
+  Asn user = 0;
+  DetectionKind kind = DetectionKind::kProviderOnPath;
+  int as_distance = kNoPathDistance;  // 0 = at the collector's IXP
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  bool open = true;                 // not yet ended
+  bool explicit_withdrawal = false; // end came from a WITHDRAW message
+  bool started_in_table_dump = false;  // start time unknown (== 0, §4.2)
+  bgp::CommunitySet communities;
+
+  util::SimTime duration() const { return end - start; }
+};
+
+// A blackholing event correlated across peers: the blackholing of one
+// prefix at one or more providers concurrently (§9).
+struct PrefixEvent {
+  net::Prefix prefix;
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  std::set<ProviderRef> providers;
+  std::set<Asn> users;
+  std::size_t num_peer_events = 0;
+  bool includes_table_dump_start = false;
+
+  util::SimTime duration() const { return end - start; }
+};
+
+}  // namespace bgpbh::core

@@ -1,0 +1,111 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bgpbh::core {
+
+namespace {
+
+PrefixEvent seed_from(const PeerEvent& e) {
+  PrefixEvent pe;
+  pe.prefix = e.prefix;
+  pe.start = e.start;
+  pe.end = e.end;
+  pe.providers.insert(e.provider);
+  if (e.user != 0) pe.users.insert(e.user);
+  pe.num_peer_events = 1;
+  pe.includes_table_dump_start = e.started_in_table_dump;
+  return pe;
+}
+
+void absorb(PrefixEvent& pe, const PeerEvent& e) {
+  pe.start = std::min(pe.start, e.start);
+  pe.end = std::max(pe.end, e.end);
+  pe.providers.insert(e.provider);
+  if (e.user != 0) pe.users.insert(e.user);
+  pe.num_peer_events += 1;
+  pe.includes_table_dump_start |= e.started_in_table_dump;
+}
+
+}  // namespace
+
+std::vector<PrefixEvent> correlate(std::span<const PeerEvent> events,
+                                   util::SimTime tolerance) {
+  // Bucket by prefix, then sweep each bucket in start order merging
+  // intervals that overlap (within tolerance).
+  std::map<net::Prefix, std::vector<const PeerEvent*>> by_prefix;
+  for (const auto& e : events) by_prefix[e.prefix].push_back(&e);
+
+  std::vector<PrefixEvent> out;
+  for (auto& [prefix, list] : by_prefix) {
+    std::sort(list.begin(), list.end(), [](const PeerEvent* a, const PeerEvent* b) {
+      if (a->start != b->start) return a->start < b->start;
+      return a->end < b->end;
+    });
+    PrefixEvent current;
+    bool have = false;
+    for (const PeerEvent* e : list) {
+      if (!have) {
+        current = seed_from(*e);
+        have = true;
+        continue;
+      }
+      if (e->start <= current.end + tolerance) {
+        absorb(current, *e);
+      } else {
+        out.push_back(current);
+        current = seed_from(*e);
+      }
+    }
+    if (have) out.push_back(current);
+  }
+  std::sort(out.begin(), out.end(), [](const PrefixEvent& a, const PrefixEvent& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.prefix < b.prefix;
+  });
+  return out;
+}
+
+std::vector<PrefixEvent> group_events(std::span<const PrefixEvent> events,
+                                      util::SimTime timeout) {
+  std::map<net::Prefix, std::vector<const PrefixEvent*>> by_prefix;
+  for (const auto& e : events) by_prefix[e.prefix].push_back(&e);
+
+  std::vector<PrefixEvent> out;
+  for (auto& [prefix, list] : by_prefix) {
+    std::sort(list.begin(), list.end(),
+              [](const PrefixEvent* a, const PrefixEvent* b) {
+                if (a->start != b->start) return a->start < b->start;
+                return a->end < b->end;
+              });
+    PrefixEvent current;
+    bool have = false;
+    for (const PrefixEvent* e : list) {
+      if (!have) {
+        current = *e;
+        have = true;
+        continue;
+      }
+      if (e->start <= current.end + timeout) {
+        current.end = std::max(current.end, e->end);
+        current.start = std::min(current.start, e->start);
+        current.providers.insert(e->providers.begin(), e->providers.end());
+        current.users.insert(e->users.begin(), e->users.end());
+        current.num_peer_events += e->num_peer_events;
+        current.includes_table_dump_start |= e->includes_table_dump_start;
+      } else {
+        out.push_back(current);
+        current = *e;
+      }
+    }
+    if (have) out.push_back(current);
+  }
+  std::sort(out.begin(), out.end(), [](const PrefixEvent& a, const PrefixEvent& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.prefix < b.prefix;
+  });
+  return out;
+}
+
+}  // namespace bgpbh::core

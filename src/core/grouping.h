@@ -1,0 +1,27 @@
+// Cross-peer correlation and temporal grouping of blackholing events.
+//
+// The engine tracks events per BGP peer (§4.2); a de-activation may be
+// observed at only a subset of peers, so the per-prefix truth is the
+// union of per-peer activity.  §9 then groups consecutive events of the
+// same prefix with a 5-minute timeout: the ungrouped/grouped duration
+// contrast (Fig 8a) exposes the operators' ON/OFF probing practice.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/events.h"
+
+namespace bgpbh::core {
+
+// Merge per-peer events into per-prefix events: overlapping (or within
+// `tolerance`) intervals of the same prefix are one blackholing event.
+std::vector<PrefixEvent> correlate(std::span<const PeerEvent> events,
+                                   util::SimTime tolerance = 60);
+
+// Group consecutive events of the same prefix when the OFF gap is at
+// most `timeout` (paper: 5 minutes).
+std::vector<PrefixEvent> group_events(std::span<const PrefixEvent> events,
+                                      util::SimTime timeout = 5 * util::kMinute);
+
+}  // namespace bgpbh::core

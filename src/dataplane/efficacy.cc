@@ -1,0 +1,145 @@
+#include "dataplane/efficacy.h"
+
+#include <algorithm>
+
+namespace bgpbh::dataplane {
+
+stats::Cdf EfficacyCampaign::ip_delta_after_vs_during() const {
+  stats::Cdf cdf;
+  for (const auto& m : measurements) {
+    if (!m.destination_reachable_after) continue;
+    cdf.add(static_cast<double>(m.after_ip) - static_cast<double>(m.during_ip));
+  }
+  return cdf;
+}
+
+stats::Cdf EfficacyCampaign::ip_delta_neighbor_vs_blackholed() const {
+  stats::Cdf cdf;
+  for (const auto& m : measurements) {
+    if (!m.destination_reachable_after) continue;
+    cdf.add(static_cast<double>(m.neighbor_ip) - static_cast<double>(m.during_ip));
+  }
+  return cdf;
+}
+
+stats::Cdf EfficacyCampaign::as_delta_after_vs_during() const {
+  stats::Cdf cdf;
+  for (const auto& m : measurements) {
+    if (!m.destination_reachable_after) continue;
+    cdf.add(static_cast<double>(m.after_as) - static_cast<double>(m.during_as));
+  }
+  return cdf;
+}
+
+stats::Cdf EfficacyCampaign::as_delta_neighbor_vs_blackholed() const {
+  stats::Cdf cdf;
+  for (const auto& m : measurements) {
+    if (!m.destination_reachable_after) continue;
+    cdf.add(static_cast<double>(m.neighbor_as) - static_cast<double>(m.during_as));
+  }
+  return cdf;
+}
+
+double EfficacyCampaign::mean_ip_hop_reduction() const {
+  return ip_delta_after_vs_during().mean();
+}
+
+double EfficacyCampaign::mean_as_hop_reduction() const {
+  return as_delta_after_vs_during().mean();
+}
+
+double EfficacyCampaign::fraction_paths_shorter_during() const {
+  auto cdf = ip_delta_after_vs_during();
+  if (cdf.empty()) return 0.0;
+  // after - during > 0 means the trace terminated earlier during.
+  return 1.0 - cdf.at(0.0);
+}
+
+double EfficacyCampaign::fraction_dropped_at_destination_or_upstream() const {
+  std::size_t n = 0, total = 0;
+  for (const auto& m : measurements) {
+    if (!m.destination_reachable_after) continue;
+    ++total;
+    if (m.dropped_at_destination_or_upstream) ++n;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(total);
+}
+
+EfficacyMeasurer::EfficacyMeasurer(const topology::AsGraph& graph,
+                                   const topology::CustomerCones& cones,
+                                   routing::PropagationEngine& engine,
+                                   std::uint64_t seed)
+    : graph_(graph),
+      engine_(engine),
+      forwarding_(graph, engine, seed),
+      traceroute_(forwarding_),
+      probes_(graph, cones),
+      rng_(seed ^ 0xEF1CACULL) {}
+
+net::IpAddr EfficacyMeasurer::neighbor_target(const net::Prefix& blackholed) const {
+  if (!blackholed.is_v4()) return blackholed.addr();
+  std::uint32_t v = blackholed.addr().v4().value();
+  if (blackholed.len() == 32) {
+    return net::IpAddr(net::Ipv4Addr(v ^ 1u));  // the /31 neighbour
+  }
+  // Host just outside the blackholed prefix, inside the parent.
+  std::uint32_t size = 1u << (32 - blackholed.len());
+  return net::IpAddr(net::Ipv4Addr(v + size));
+}
+
+EfficacyCampaign EfficacyMeasurer::measure(
+    const std::vector<workload::Episode>& episodes,
+    std::size_t probes_per_group) {
+  EfficacyCampaign campaign;
+  ActiveBlackholes active;
+
+  for (const auto& episode : episodes) {
+    auto prop = engine_.propagate_blackhole(episode.announcement(episode.start));
+    ++campaign.events_measured;
+
+    net::IpAddr target = episode.prefix.addr();
+    net::IpAddr neighbor = neighbor_target(episode.prefix);
+
+    active.clear();
+    active.install_from(prop, episode.prefix, engine_);
+
+    auto selected = probes_.select(episode.user, rng_, probes_per_group);
+    bool any_reachable_after = false;
+    for (const auto& probe : selected) {
+      ProbeMeasurement m;
+      m.probe = probe;
+
+      auto during = traceroute_.trace(probe.asn, target, active);
+      auto neighbor_trace = traceroute_.trace(probe.asn, neighbor, active);
+      m.during_ip = during.ip_path_length();
+      m.during_as = during.as_path_length();
+      m.neighbor_ip = neighbor_trace.ip_path_length();
+      m.neighbor_as = neighbor_trace.as_path_length();
+
+      // The follow-up measurement one hour after withdrawal.
+      ActiveBlackholes none;
+      auto after = traceroute_.trace(probe.asn, target, none);
+      m.after_ip = after.ip_path_length();
+      m.after_as = after.as_path_length();
+      m.destination_reachable_after = after.reached_destination;
+      any_reachable_after |= after.reached_destination;
+
+      if (during.dropped_at) {
+        auto origin = graph_.origin_of(target);
+        const topology::AsNode* origin_node =
+            origin ? graph_.find(*origin) : nullptr;
+        bool at_destination = origin && *during.dropped_at == *origin;
+        bool at_upstream =
+            origin_node &&
+            std::find(origin_node->providers.begin(), origin_node->providers.end(),
+                      *during.dropped_at) != origin_node->providers.end();
+        m.dropped_at_destination_or_upstream = at_destination || at_upstream;
+      }
+      campaign.measurements.push_back(m);
+    }
+    if (any_reachable_after) ++campaign.events_with_reachable_after;
+  }
+  return campaign;
+}
+
+}  // namespace bgpbh::dataplane

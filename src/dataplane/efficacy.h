@@ -1,0 +1,72 @@
+// Blackholing efficacy measurement campaign (§10, Fig 9a/9b).
+//
+// For each blackholing event: select probes (4 groups), pick the
+// blackholed host plus a neighbouring non-blackholed host in the
+// closest covering prefix, traceroute both *during* the event and one
+// hour *after* withdrawal, and compare path lengths.  Only events whose
+// destination is reachable again afterwards enter the comparison (the
+// paper's artifact filter).
+#pragma once
+
+#include <vector>
+
+#include "dataplane/probes.h"
+#include "dataplane/traceroute.h"
+#include "stats/cdf.h"
+#include "workload/scenario.h"
+
+namespace bgpbh::dataplane {
+
+struct ProbeMeasurement {
+  Probe probe;
+  // IP-level path lengths (to last responding interface).
+  std::size_t during_ip = 0, after_ip = 0;
+  std::size_t during_as = 0, after_as = 0;
+  // Same-time comparison against the neighbouring non-blackholed host.
+  std::size_t neighbor_ip = 0, neighbor_as = 0;
+  bool destination_reachable_after = false;
+  bool dropped_at_destination_or_upstream = false;  // §10: 16% of cases
+};
+
+struct EfficacyCampaign {
+  std::vector<ProbeMeasurement> measurements;
+  std::size_t events_measured = 0;
+  std::size_t events_with_reachable_after = 0;
+
+  // Fig 9a/9b inputs.
+  stats::Cdf ip_delta_after_vs_during() const;       // after - during
+  stats::Cdf ip_delta_neighbor_vs_blackholed() const;
+  stats::Cdf as_delta_after_vs_during() const;
+  stats::Cdf as_delta_neighbor_vs_blackholed() const;
+
+  double mean_ip_hop_reduction() const;
+  double mean_as_hop_reduction() const;
+  double fraction_paths_shorter_during() const;
+  double fraction_dropped_at_destination_or_upstream() const;
+};
+
+class EfficacyMeasurer {
+ public:
+  EfficacyMeasurer(const topology::AsGraph& graph,
+                   const topology::CustomerCones& cones,
+                   routing::PropagationEngine& engine, std::uint64_t seed);
+
+  // Measure a set of ground-truth episodes.
+  EfficacyCampaign measure(const std::vector<workload::Episode>& episodes,
+                           std::size_t probes_per_group = 4);
+
+ private:
+  // Neighbouring target: another host in the most specific prefix
+  // containing the blackholed host (paper footnote: the /31 neighbour
+  // of a /32, else the next less-specific prefix).
+  net::IpAddr neighbor_target(const net::Prefix& blackholed) const;
+
+  const topology::AsGraph& graph_;
+  routing::PropagationEngine& engine_;
+  ForwardingSim forwarding_;
+  TracerouteEngine traceroute_;
+  ProbeSelector probes_;
+  util::Rng rng_;
+};
+
+}  // namespace bgpbh::dataplane

@@ -1,0 +1,47 @@
+#include "dataplane/finegrained.h"
+
+namespace bgpbh::dataplane {
+
+bool FineGrainedRule::matches(const flows::FlowRecord& flow) const {
+  if (!prefix.contains(net::IpAddr(flow.dst_ip))) return false;
+  if (protocol != 0 && flow.protocol != protocol) return false;
+  return flow.dst_port >= port_lo && flow.dst_port <= port_hi;
+}
+
+void FineGrainedBlackholes::install(Asn asn, const FineGrainedRule& rule) {
+  auto& table = per_as_[asn];
+  if (auto* rules = table.find(rule.prefix)) {
+    rules->push_back(rule);
+  } else {
+    table.insert(rule.prefix, {rule});
+  }
+}
+
+void FineGrainedBlackholes::remove_all(Asn asn, const net::Prefix& prefix) {
+  auto it = per_as_.find(asn);
+  if (it != per_as_.end()) it->second.erase(prefix);
+}
+
+bool FineGrainedBlackholes::drops(Asn asn,
+                                  const flows::FlowRecord& flow) const {
+  auto it = per_as_.find(asn);
+  if (it == per_as_.end()) return false;
+  const auto* rules = it->second.lookup(net::IpAddr(flow.dst_ip));
+  if (!rules) return false;
+  for (const auto& rule : *rules) {
+    if (rule.matches(flow)) return true;
+  }
+  return false;
+}
+
+std::size_t FineGrainedBlackholes::total_rules() const {
+  std::size_t n = 0;
+  for (const auto& [asn, table] : per_as_) {
+    table.for_each([&n](const net::Prefix&, const std::vector<FineGrainedRule>& r) {
+      n += r.size();
+    });
+  }
+  return n;
+}
+
+}  // namespace bgpbh::dataplane

@@ -1,0 +1,108 @@
+// Fine-grained blackholing (§11 "Implications").
+//
+// The paper closes by noting that classic RTBH discards *all* traffic
+// to the victim and points to ongoing work on fine-grained blackholing
+// where additional match dimensions — notably transport port — restrict
+// the drop (Dietzel et al., SOSR'17; SDN-enabled IXPs).  This module
+// implements that extension over our data-plane substrate: rules match
+// (prefix, protocol, destination-port range) and the evaluator reports
+// how much legitimate traffic a port-scoped rule preserves compared to
+// classic all-traffic blackholing — the motivating trade-off of §1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "flows/ipfix.h"
+#include "net/patricia.h"
+
+namespace bgpbh::dataplane {
+
+using bgp::Asn;
+
+// One fine-grained drop rule as a member/provider would install it.
+struct FineGrainedRule {
+  net::Prefix prefix;
+  // 0 = any protocol; else IPPROTO (6 TCP, 17 UDP).
+  std::uint8_t protocol = 0;
+  // Destination-port range [lo, hi]; 0..65535 = any.
+  std::uint16_t port_lo = 0;
+  std::uint16_t port_hi = 65535;
+
+  bool matches(const flows::FlowRecord& flow) const;
+  bool is_classic() const {
+    return protocol == 0 && port_lo == 0 && port_hi == 65535;
+  }
+};
+
+// Per-AS rule table with longest-prefix-match on the destination and
+// linear scan over the (few) rules per prefix.
+class FineGrainedBlackholes {
+ public:
+  void install(Asn asn, const FineGrainedRule& rule);
+  void remove_all(Asn asn, const net::Prefix& prefix);
+  // Does `asn` drop this flow at its ingress?
+  bool drops(Asn asn, const flows::FlowRecord& flow) const;
+  std::size_t total_rules() const;
+
+ private:
+  std::map<Asn, net::PrefixTable<std::vector<FineGrainedRule>>> per_as_;
+};
+
+// Outcome of replaying a flow mix through classic vs fine-grained rules.
+struct MitigationComparison {
+  std::uint64_t attack_dropped_classic = 0;
+  std::uint64_t attack_dropped_finegrained = 0;
+  std::uint64_t legit_dropped_classic = 0;     // collateral damage
+  std::uint64_t legit_dropped_finegrained = 0;
+  std::uint64_t attack_total = 0;
+  std::uint64_t legit_total = 0;
+
+  double collateral_classic() const {
+    return legit_total ? static_cast<double>(legit_dropped_classic) / legit_total
+                       : 0.0;
+  }
+  double collateral_finegrained() const {
+    return legit_total
+               ? static_cast<double>(legit_dropped_finegrained) / legit_total
+               : 0.0;
+  }
+  double attack_coverage_finegrained() const {
+    return attack_total
+               ? static_cast<double>(attack_dropped_finegrained) / attack_total
+               : 0.0;
+  }
+};
+
+// Replay flows against a classic rule (prefix-only) and a fine-grained
+// rule set at one dropping AS.  `is_attack(flow)` labels ground truth.
+template <typename AttackPredicate>
+MitigationComparison compare_mitigations(
+    Asn dropping_as, const net::Prefix& victim,
+    const std::vector<FineGrainedRule>& finegrained_rules,
+    const std::vector<flows::FlowRecord>& traffic,
+    AttackPredicate&& is_attack) {
+  FineGrainedBlackholes classic;
+  classic.install(dropping_as, FineGrainedRule{victim});
+  FineGrainedBlackholes fine;
+  for (const auto& rule : finegrained_rules) fine.install(dropping_as, rule);
+
+  MitigationComparison cmp;
+  for (const auto& flow : traffic) {
+    bool attack = is_attack(flow);
+    (attack ? cmp.attack_total : cmp.legit_total) += flow.bytes;
+    if (classic.drops(dropping_as, flow)) {
+      (attack ? cmp.attack_dropped_classic : cmp.legit_dropped_classic) +=
+          flow.bytes;
+    }
+    if (fine.drops(dropping_as, flow)) {
+      (attack ? cmp.attack_dropped_finegrained : cmp.legit_dropped_finegrained) +=
+          flow.bytes;
+    }
+  }
+  return cmp;
+}
+
+}  // namespace bgpbh::dataplane

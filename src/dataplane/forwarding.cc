@@ -1,0 +1,141 @@
+#include "dataplane/forwarding.h"
+
+#include <set>
+
+namespace bgpbh::dataplane {
+
+namespace {
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0) {
+  util::SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                      (c * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+double unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+}  // namespace
+
+void ActiveBlackholes::install(Asn asn, const net::Prefix& prefix) {
+  per_as_[asn].insert(prefix, true);
+}
+
+void ActiveBlackholes::remove(Asn asn, const net::Prefix& prefix) {
+  auto it = per_as_.find(asn);
+  if (it == per_as_.end()) return;
+  it->second.erase(prefix);
+}
+
+bool ActiveBlackholes::drops(Asn asn, const net::IpAddr& ip) const {
+  auto it = per_as_.find(asn);
+  if (it == per_as_.end()) return false;
+  return it->second.covered(ip);
+}
+
+std::size_t ActiveBlackholes::total_routes() const {
+  std::size_t n = 0;
+  for (const auto& [asn, table] : per_as_) n += table.size();
+  return n;
+}
+
+void ActiveBlackholes::clear() { per_as_.clear(); }
+
+namespace {
+
+// ASes whose accepted copy of the blackhole route chains through an
+// activated provider: their next hop for the prefix resolves into the
+// provider's null interface, so their own traffic dies too.
+std::vector<Asn> chained_holders(const routing::BlackholePropagation& prop) {
+  std::vector<Asn> out;
+  std::set<Asn> providers(prop.activated_providers.begin(),
+                          prop.activated_providers.end());
+  for (const auto& holder : prop.holders) {
+    if (holder.hops_from_user == 0 || holder.via_route_server) continue;
+    if (providers.contains(holder.holder)) continue;
+    const auto& hops = holder.path.hops();
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (providers.contains(hops[i])) {
+        out.push_back(holder.holder);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ActiveBlackholes::install_from(const routing::BlackholePropagation& prop,
+                                    const net::Prefix& prefix,
+                                    const routing::PropagationEngine& engine) {
+  if (prop.control_plane_only) return;  // misconfigured: no drops anywhere
+  for (Asn provider : prop.activated_providers) install(provider, prefix);
+  for (Asn holder : chained_holders(prop)) install(holder, prefix);
+  for (const auto& [ixp_id, member] : prop.rs_receivers) {
+    if (engine.honours_rs_blackhole(ixp_id, member)) install(member, prefix);
+  }
+}
+
+void ActiveBlackholes::remove_from(const routing::BlackholePropagation& prop,
+                                   const net::Prefix& prefix,
+                                   const routing::PropagationEngine& engine) {
+  for (Asn provider : prop.activated_providers) remove(provider, prefix);
+  for (Asn holder : chained_holders(prop)) remove(holder, prefix);
+  for (const auto& [ixp_id, member] : prop.rs_receivers) {
+    if (engine.honours_rs_blackhole(ixp_id, member)) remove(member, prefix);
+  }
+}
+
+ForwardingSim::ForwardingSim(const topology::AsGraph& graph,
+                             routing::PropagationEngine& engine,
+                             std::uint64_t seed)
+    : graph_(graph), engine_(engine), seed_(seed) {}
+
+std::size_t ForwardingSim::routers_in_as(Asn asn) const {
+  // Transit networks are physically larger: 3-5 router hops; stubs 2-3
+  // (access + aggregation + host-facing edge).
+  const topology::AsNode* node = graph_.find(asn);
+  std::uint64_t h = mix(seed_, 0x4001, asn);
+  if (node && node->tier != topology::Tier::kStub) {
+    return 3 + h % 3;
+  }
+  return 2 + h % 2;
+}
+
+std::vector<RouterHop> ForwardingSim::expand_as(Asn asn,
+                                                const net::IpAddr& dst) const {
+  std::vector<RouterHop> hops;
+  const topology::AsNode* node = graph_.find(asn);
+  std::size_t n = routers_in_as(asn);
+  for (std::size_t i = 0; i < n; ++i) {
+    RouterHop hop;
+    hop.asn = asn;
+    // Router addresses live in the AS's own block, high /24.
+    std::uint32_t base = node ? node->v4_block.addr().v4().value()
+                              : (192u << 24) | (0u << 16);
+    std::uint64_t hh = mix(seed_, 0x4002 + i, asn);
+    hop.ip = net::IpAddr(net::Ipv4Addr(base | 0xFE00u | (static_cast<std::uint32_t>(hh) & 0xFF)));
+    hop.responds = unit(mix(seed_, 0x4003 + i, asn)) > 0.07;  // ICMP filtering
+    hops.push_back(hop);
+  }
+  (void)dst;
+  return hops;
+}
+
+std::optional<bgp::AsPath> ForwardingSim::as_path_to(Asn src,
+                                                     const net::IpAddr& dst) {
+  auto origin = graph_.origin_of(dst);
+  if (!origin) return std::nullopt;
+  if (*origin == src) return bgp::AsPath({src});
+  return engine_.baseline_path(src, *origin);
+}
+
+std::optional<Asn> ForwardingSim::drop_point(Asn src, const net::IpAddr& dst,
+                                             const ActiveBlackholes& blackholes) {
+  auto path = as_path_to(src, dst);
+  if (!path) return std::nullopt;
+  for (Asn asn : path->hops()) {
+    if (asn == src) continue;  // the source does not blackhole itself
+    if (blackholes.drops(asn, dst)) return asn;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bgpbh::dataplane

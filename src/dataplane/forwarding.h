@@ -1,0 +1,81 @@
+// Data-plane forwarding state and router-level path expansion.
+//
+// The control-plane simulation decides *where* blackhole null routes
+// are installed (providers' ingresses, IXP members honouring the route
+// server); this module answers where a packet to a given destination is
+// dropped, and expands AS-level paths into router-level (IP) hops so
+// the traceroute engine can reproduce the paper's Fig 9a/9b hop-count
+// analysis.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/patricia.h"
+#include "routing/propagation.h"
+#include "topology/as_graph.h"
+
+namespace bgpbh::dataplane {
+
+using bgp::Asn;
+
+// The set of (AS, prefix) null routes currently installed.
+class ActiveBlackholes {
+ public:
+  void install(Asn asn, const net::Prefix& prefix);
+  void remove(Asn asn, const net::Prefix& prefix);
+  // Does `asn` drop traffic destined to `ip` at its ingress?
+  bool drops(Asn asn, const net::IpAddr& ip) const;
+  std::size_t total_routes() const;
+  void clear();
+
+  // Install everything a propagation result implies: provider null
+  // routes plus IXP members that honour the route-server route.
+  void install_from(const routing::BlackholePropagation& prop,
+                    const net::Prefix& prefix,
+                    const routing::PropagationEngine& engine);
+  void remove_from(const routing::BlackholePropagation& prop,
+                   const net::Prefix& prefix,
+                   const routing::PropagationEngine& engine);
+
+ private:
+  std::map<Asn, net::PrefixTable<bool>> per_as_;
+};
+
+// Router-level expansion of one AS on a path.
+struct RouterHop {
+  net::IpAddr ip;
+  Asn asn = 0;
+  bool responds = true;  // ICMP TTL-exceeded replies (some are filtered)
+};
+
+class ForwardingSim {
+ public:
+  ForwardingSim(const topology::AsGraph& graph,
+                routing::PropagationEngine& engine, std::uint64_t seed);
+
+  // Number of routers a packet crosses inside one AS (1..4, stable).
+  std::size_t routers_in_as(Asn asn) const;
+
+  // Router hops for one AS on the way to `dst` (deterministic).
+  std::vector<RouterHop> expand_as(Asn asn, const net::IpAddr& dst) const;
+
+  // AS-level forwarding path from src AS toward the destination IP,
+  // ending at the origin AS of the destination's covering prefix.
+  std::optional<bgp::AsPath> as_path_to(Asn src, const net::IpAddr& dst);
+
+  // Where traffic from `src` to `dst` is dropped: the first AS on the
+  // path holding a null route, or nullopt if it reaches the origin.
+  std::optional<Asn> drop_point(Asn src, const net::IpAddr& dst,
+                                const ActiveBlackholes& blackholes);
+
+  const topology::AsGraph& graph() const { return graph_; }
+
+ private:
+  const topology::AsGraph& graph_;
+  routing::PropagationEngine& engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace bgpbh::dataplane

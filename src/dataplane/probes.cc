@@ -1,0 +1,68 @@
+#include "dataplane/probes.h"
+
+#include <algorithm>
+
+namespace bgpbh::dataplane {
+
+std::vector<Asn> ProbeSelector::candidates(Asn user, ProbeGroup group) const {
+  std::vector<Asn> out;
+  switch (group) {
+    case ProbeGroup::kDownstreamCone: {
+      for (Asn asn : cones_.cone(user)) {
+        if (asn != user) out.push_back(asn);
+      }
+      break;
+    }
+    case ProbeGroup::kUpstreamCone: {
+      for (Asn asn : cones_.upstream_cone(user)) {
+        if (asn != user) out.push_back(asn);
+      }
+      break;
+    }
+    case ProbeGroup::kPeering: {
+      const topology::AsNode* node = graph_.find(user);
+      if (!node) break;
+      out = node->peers;
+      for (std::uint32_t ixp_id : node->ixps) {
+        const topology::Ixp* ixp = graph_.find_ixp(ixp_id);
+        if (!ixp) continue;
+        for (Asn member : ixp->members) {
+          if (member != user) out.push_back(member);
+        }
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      break;
+    }
+    case ProbeGroup::kInsideUser: {
+      out.push_back(user);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Probe> ProbeSelector::select(Asn user, util::Rng& rng,
+                                         std::size_t per_group) const {
+  std::vector<Probe> probes;
+  const ProbeGroup groups[] = {ProbeGroup::kDownstreamCone,
+                               ProbeGroup::kUpstreamCone, ProbeGroup::kPeering,
+                               ProbeGroup::kInsideUser};
+  for (ProbeGroup group : groups) {
+    auto pool = candidates(user, group);
+    auto idx = rng.sample_indices(pool.size(), per_group);
+    for (auto i : idx) probes.push_back(Probe{pool[i], group});
+    // If the group is too small, top up with random ASes (paper: "If a
+    // group doesn't have enough probes we select the remaining probes
+    // randomly").
+    std::size_t missing = per_group - std::min(per_group, idx.size());
+    const auto& nodes = graph_.nodes();
+    for (std::size_t k = 0; k < missing; ++k) {
+      probes.push_back(
+          Probe{nodes[rng.uniform(nodes.size())].asn, group});
+    }
+  }
+  return probes;
+}
+
+}  // namespace bgpbh::dataplane

@@ -1,0 +1,54 @@
+// RIPE-Atlas-style probe selection (§10).
+//
+// For each blackholing event the paper requests probes in four groups
+// relative to the blackholing user:
+//   1. downstream customer cone of the user,
+//   2. upstream cone (transitive providers),
+//   3. reachable over peering links (bilateral or shared IXP),
+//   4. inside the user AS itself,
+// and then picks 4 probes uniformly at random from each group.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "topology/cone.h"
+#include "util/rng.h"
+
+namespace bgpbh::dataplane {
+
+using bgp::Asn;
+
+enum class ProbeGroup : std::uint8_t {
+  kDownstreamCone,
+  kUpstreamCone,
+  kPeering,
+  kInsideUser,
+};
+
+struct Probe {
+  Asn asn = 0;
+  ProbeGroup group = ProbeGroup::kDownstreamCone;
+};
+
+class ProbeSelector {
+ public:
+  ProbeSelector(const topology::AsGraph& graph,
+                const topology::CustomerCones& cones)
+      : graph_(graph), cones_(cones) {}
+
+  // Candidate ASes per group for a given blackholing user.
+  std::vector<Asn> candidates(Asn user, ProbeGroup group) const;
+
+  // The paper's selection: up to `per_group` probes per group, topped
+  // up from random ASes when a group is too small.
+  std::vector<Probe> select(Asn user, util::Rng& rng,
+                            std::size_t per_group = 4) const;
+
+ private:
+  const topology::AsGraph& graph_;
+  const topology::CustomerCones& cones_;
+};
+
+}  // namespace bgpbh::dataplane

@@ -1,0 +1,58 @@
+#include "dataplane/traceroute.h"
+
+namespace bgpbh::dataplane {
+
+std::size_t TracerouteResult::ip_path_length() const {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (hops[i].responds) last = i + 1;
+  }
+  return last;
+}
+
+std::size_t TracerouteResult::as_path_length() const {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (hops[i].responds) last = i + 1;
+  }
+  // Count distinct consecutive ASNs among the first `last` hops.
+  std::size_t ases = 0;
+  Asn prev = 0;
+  for (std::size_t i = 0; i < last; ++i) {
+    if (hops[i].asn != prev) {
+      ++ases;
+      prev = hops[i].asn;
+    }
+  }
+  return ases;
+}
+
+TracerouteResult TracerouteEngine::trace(Asn src_asn, const net::IpAddr& dst,
+                                         const ActiveBlackholes& blackholes) {
+  TracerouteResult result;
+  auto path = forwarding_.as_path_to(src_asn, dst);
+  if (!path) return result;
+
+  for (Asn asn : path->hops()) {
+    bool drops_here = asn != src_asn && blackholes.drops(asn, dst);
+    auto routers = forwarding_.expand_as(asn, dst);
+    if (drops_here) {
+      // Traffic dies at the ingress router (null interface): the trace
+      // shows the ingress and nothing further.
+      if (!routers.empty()) result.hops.push_back(routers.front());
+      result.dropped_at = asn;
+      return result;
+    }
+    for (const auto& hop : routers) result.hops.push_back(hop);
+  }
+  // Destination host: responds unless its covering AS was unreachable.
+  RouterHop dst_hop;
+  dst_hop.ip = dst;
+  dst_hop.asn = path->hops().back();
+  dst_hop.responds = true;
+  result.hops.push_back(dst_hop);
+  result.reached_destination = true;
+  return result;
+}
+
+}  // namespace bgpbh::dataplane

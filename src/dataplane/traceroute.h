@@ -1,0 +1,39 @@
+// Traceroute engine over the simulated data plane (§10 active
+// measurements).  Reproduces the observable the paper relies on: the
+// number of IP-level and AS-level hops to the *last responding
+// interface*, during vs after a blackholing event.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dataplane/forwarding.h"
+
+namespace bgpbh::dataplane {
+
+struct TracerouteResult {
+  std::vector<RouterHop> hops;      // responding and silent hops in order
+  bool reached_destination = false; // destination host replied
+  std::optional<Asn> dropped_at;    // null-routed inside this AS
+
+  // Hop count to the last responding interface ("path length", §10).
+  std::size_t ip_path_length() const;
+  // Number of distinct ASes up to the last responding interface.
+  std::size_t as_path_length() const;
+};
+
+class TracerouteEngine {
+ public:
+  explicit TracerouteEngine(ForwardingSim& forwarding)
+      : forwarding_(forwarding) {}
+
+  // Trace from a probe in `src_asn` to `dst`, honouring active null
+  // routes: the trace ends at the ingress of the dropping AS.
+  TracerouteResult trace(Asn src_asn, const net::IpAddr& dst,
+                         const ActiveBlackholes& blackholes);
+
+ private:
+  ForwardingSim& forwarding_;
+};
+
+}  // namespace bgpbh::dataplane

@@ -1,0 +1,177 @@
+#include "dictionary/corpus.h"
+
+#include "util/strings.h"
+
+namespace bgpbh::dictionary {
+
+namespace {
+
+using util::Rng;
+
+// Operator phrasings for the blackholing action. The extractor matches
+// on lemmas, so the corpus deliberately varies them (§4.1: "searching
+// for lemmas of certain text patterns").
+const char* kBlackholePhrases[] = {
+    "blackhole the announced prefix",
+    "black-hole this route",
+    "null route the destination",
+    "null-route traffic to the tagged prefix",
+    "RTBH - remotely triggered blackholing",
+    "discard all traffic towards this prefix (DDoS mitigation)",
+    "drop traffic to the prefix at our edge (blackholing)",
+    "blackholing: traffic to the prefix is sent to the null interface",
+};
+
+const char* kRegionalSuffixes[] = {
+    "in Europe only", "in the US only", "in Asia only",
+};
+
+// Phrasings for non-blackhole communities.
+const char* kServicePhrases[] = {
+    "prepend 1x towards all peers",
+    "prepend 2x towards transit providers",
+    "do not announce to peers",
+    "set local-preference to 80",
+    "tag routes received at public peering",
+    "tag routes received from customers",
+    "announce to route servers only",
+    "set MED to 100 towards this neighbor",
+    "peering routes",  // the Level3-style 666-but-not-blackhole trap
+};
+
+std::string irr_header(Asn asn) {
+  std::string out;
+  out += "aut-num:        AS" + std::to_string(asn) + "\n";
+  out += "as-name:        NET-" + std::to_string(asn) + "\n";
+  out += "descr:          Autonomous System " + std::to_string(asn) + "\n";
+  out += "remarks:        ---------------------------------------\n";
+  out += "remarks:        BGP community support\n";
+  out += "remarks:        ---------------------------------------\n";
+  return out;
+}
+
+std::string irr_footer(Asn asn) {
+  std::string out;
+  out += "mnt-by:         MAINT-AS" + std::to_string(asn) + "\n";
+  out += "source:         RADB\n";
+  return out;
+}
+
+void append_community_remark(std::string& text, const std::string& comm,
+                             const std::string& meaning, Document::Kind kind) {
+  if (kind == Document::Kind::kIrr) {
+    text += "remarks:        " + comm + "  - " + meaning + "\n";
+  } else {
+    text += "<li><b>" + comm + "</b>: " + meaning + "</li>\n";
+  }
+}
+
+}  // namespace
+
+Corpus generate_corpus(const AsGraph& graph, std::uint64_t seed) {
+  Rng rng(seed ^ 0xD1C7ULL);
+  Corpus corpus;
+  std::size_t private_budget = 5;  // paper: 5 networks via private comm.
+
+  for (const auto& node : graph.nodes()) {
+    const auto& bp = node.blackhole;
+    bool documents_blackhole =
+        bp.offers_blackholing &&
+        (bp.documented_in_irr || bp.documented_on_web);
+    bool documents_services = !node.service_communities.empty() &&
+                              rng.bernoulli(0.8);
+    bool via_private = bp.offers_blackholing && !bp.documented_in_irr &&
+                       !bp.documented_on_web && private_budget > 0 &&
+                       rng.bernoulli(0.06);
+    if (via_private) {
+      corpus.private_communications.push_back(
+          PrivateCommunication{node.asn, bp.communities.front()});
+      --private_budget;
+    }
+    if (!documents_blackhole && !documents_services) continue;
+
+    Document doc;
+    doc.subject_asn = node.asn;
+    doc.kind = (documents_blackhole && bp.documented_on_web)
+                   ? Document::Kind::kWebPage
+                   : Document::Kind::kIrr;
+    std::string& text = doc.text;
+    if (doc.kind == Document::Kind::kIrr) {
+      text += irr_header(node.asn);
+    } else {
+      text += "<html><h1>AS" + std::to_string(node.asn) +
+              " routing policy</h1>\n<ul>\n";
+    }
+
+    if (documents_services) {
+      for (std::size_t i = 0; i < node.service_communities.size(); ++i) {
+        const auto& c = node.service_communities[i];
+        append_community_remark(
+            text, c.to_string(),
+            kServicePhrases[rng.uniform(sizeof(kServicePhrases) /
+                                        sizeof(kServicePhrases[0]))],
+            doc.kind);
+      }
+    }
+    if (documents_blackhole) {
+      for (std::size_t i = 0; i < bp.communities.size(); ++i) {
+        std::string meaning =
+            kBlackholePhrases[rng.uniform(sizeof(kBlackholePhrases) /
+                                          sizeof(kBlackholePhrases[0]))];
+        if (i > 0) {
+          meaning += " ";
+          meaning += kRegionalSuffixes[(i - 1) % 3];
+        }
+        append_community_remark(text, bp.communities[i].to_string(), meaning,
+                                doc.kind);
+      }
+      if (bp.large_community) {
+        append_community_remark(
+            text, bp.large_community->to_string(),
+            "blackhole (large community format, RFC 8092)", doc.kind);
+      }
+      // Meta-information (§4.1): max accepted prefix length.
+      std::string meta = util::strf(
+          "prefixes up to /%u are accepted when tagged for blackholing",
+          bp.max_accepted_prefix_len);
+      if (doc.kind == Document::Kind::kIrr) {
+        text += "remarks:        " + meta + "\n";
+      } else {
+        text += "<p>" + meta + "</p>\n";
+      }
+    }
+    if (doc.kind == Document::Kind::kIrr) {
+      text += irr_footer(node.asn);
+    } else {
+      text += "</ul></html>\n";
+    }
+    corpus.documents.push_back(std::move(doc));
+  }
+
+  // IXP documentation: web pages (members must find it easily, §4.1).
+  for (const auto& ixp : graph.ixps()) {
+    if (!ixp.offers_blackholing || !ixp.documented) continue;
+    Document doc;
+    doc.kind = Document::Kind::kWebPage;
+    doc.subject_asn = ixp.route_server_asn;
+    doc.subject_is_ixp = true;
+    doc.ixp_id = ixp.id;
+    std::string& text = doc.text;
+    text += "<html><h1>" + ixp.name + " blackholing service</h1>\n<ul>\n";
+    append_community_remark(
+        text, ixp.blackhole_community.to_string(),
+        "blackhole: traffic to the tagged prefix is discarded at the "
+        "exchange (RFC 7999)",
+        doc.kind);
+    text += "<p>next-hop for blackholed IPv4 prefixes: " +
+            ixp.blackhole_ip_v4.to_string() + "</p>\n";
+    text += "<p>next-hop for blackholed IPv6 prefixes: " +
+            ixp.blackhole_ip_v6.to_string() + "</p>\n";
+    text += "<p>host routes (/32) are accepted when tagged for blackholing</p>\n";
+    text += "</ul></html>\n";
+    corpus.documents.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace bgpbh::dictionary

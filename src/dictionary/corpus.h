@@ -1,0 +1,50 @@
+// Text corpus substrate for §4.1.
+//
+// The paper scrapes operator web pages and Merit RADb IRR records and
+// extracts blackhole communities with NLTK-based keyword matching.  We
+// generate an equivalent corpus from ground truth: RPSL `aut-num`
+// objects with `remarks:` community documentation in varied operator
+// phrasings, and web-page-like prose — including documentation of
+// *non*-blackhole communities (the extractor's negative class, and the
+// paper's "second dictionary" used for Fig 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace bgpbh::dictionary {
+
+using topology::AsGraph;
+using bgp::Asn;
+
+struct Document {
+  enum class Kind : std::uint8_t { kIrr, kWebPage };
+  Kind kind = Kind::kIrr;
+  Asn subject_asn = 0;        // the AS (or route-server AS for IXPs)
+  bool subject_is_ixp = false;
+  std::uint32_t ixp_id = 0;
+  std::string text;
+};
+
+// Out-of-band knowledge (the paper's "private communication" channel,
+// 5 networks).
+struct PrivateCommunication {
+  Asn asn = 0;
+  bgp::Community community;
+};
+
+struct Corpus {
+  std::vector<Document> documents;
+  std::vector<PrivateCommunication> private_communications;
+};
+
+// Generates the corpus for all *documented* providers plus
+// non-blackhole community documentation; undocumented providers are
+// intentionally absent (they are only discoverable via the Fig-2
+// prefix-length inference).
+Corpus generate_corpus(const AsGraph& graph, std::uint64_t seed);
+
+}  // namespace bgpbh::dictionary

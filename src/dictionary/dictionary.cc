@@ -1,0 +1,212 @@
+#include "dictionary/dictionary.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace bgpbh::dictionary {
+
+void BlackholeDictionary::add_provider(bgp::Community c, Asn provider,
+                                       DictSource source,
+                                       const std::string& scope,
+                                       std::uint8_t max_len) {
+  DictEntry& e = entries_[c];
+  e.community = c;
+  if (std::find(e.provider_asns.begin(), e.provider_asns.end(), provider) ==
+      e.provider_asns.end()) {
+    e.provider_asns.push_back(provider);
+    std::sort(e.provider_asns.begin(), e.provider_asns.end());
+  }
+  e.source = source;
+  if (!scope.empty()) e.scope = scope;
+  e.max_prefix_len = max_len;
+}
+
+void BlackholeDictionary::add_ixp(bgp::Community c, std::uint32_t ixp_id,
+                                  DictSource source) {
+  DictEntry& e = entries_[c];
+  e.community = c;
+  if (std::find(e.ixp_ids.begin(), e.ixp_ids.end(), ixp_id) == e.ixp_ids.end()) {
+    e.ixp_ids.push_back(ixp_id);
+    std::sort(e.ixp_ids.begin(), e.ixp_ids.end());
+  }
+  e.source = source;
+}
+
+void BlackholeDictionary::add_large(bgp::LargeCommunity c, Asn provider,
+                                    DictSource /*source*/) {
+  large_[c] = provider;
+}
+
+const DictEntry* BlackholeDictionary::lookup(bgp::Community c) const {
+  auto it = entries_.find(c);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<Asn> BlackholeDictionary::lookup_large(bgp::LargeCommunity c) const {
+  auto it = large_.find(c);
+  if (it == large_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool BlackholeDictionary::any_blackhole(const bgp::CommunitySet& comms) const {
+  for (auto c : comms.classic()) {
+    if (entries_.contains(c)) return true;
+  }
+  for (auto c : comms.large()) {
+    if (large_.contains(c)) return true;
+  }
+  return false;
+}
+
+std::size_t BlackholeDictionary::num_providers() const {
+  std::unordered_set<Asn> providers;
+  for (const auto& [c, e] : entries_) {
+    providers.insert(e.provider_asns.begin(), e.provider_asns.end());
+  }
+  for (const auto& [c, asn] : large_) providers.insert(asn);
+  return providers.size();
+}
+
+std::size_t BlackholeDictionary::num_ixps() const {
+  std::unordered_set<std::uint32_t> ixps;
+  for (const auto& [c, e] : entries_) {
+    ixps.insert(e.ixp_ids.begin(), e.ixp_ids.end());
+  }
+  return ixps.size();
+}
+
+std::vector<Asn> BlackholeDictionary::all_providers() const {
+  std::unordered_set<Asn> providers;
+  for (const auto& [c, e] : entries_) {
+    providers.insert(e.provider_asns.begin(), e.provider_asns.end());
+  }
+  for (const auto& [c, asn] : large_) providers.insert(asn);
+  std::vector<Asn> out(providers.begin(), providers.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> BlackholeDictionary::all_ixps() const {
+  std::unordered_set<std::uint32_t> ixps;
+  for (const auto& [c, e] : entries_) {
+    ixps.insert(e.ixp_ids.begin(), e.ixp_ids.end());
+  }
+  std::vector<std::uint32_t> out(ixps.begin(), ixps.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::map<topology::NetworkType, BlackholeDictionary::TypeBreakdown>
+BlackholeDictionary::breakdown(const topology::Registry& registry) const {
+  std::map<topology::NetworkType, TypeBreakdown> out;
+  // Networks per type.
+  std::map<topology::NetworkType, std::unordered_set<Asn>> nets;
+  std::map<topology::NetworkType, std::unordered_set<std::uint32_t>> comms;
+  std::unordered_set<std::uint32_t> ixps;
+  std::unordered_set<std::uint32_t> ixp_comms;
+  for (const auto& [c, e] : entries_) {
+    for (Asn a : e.provider_asns) {
+      auto type = registry.classify(a);
+      nets[type].insert(a);
+      comms[type].insert(c.raw());
+    }
+    for (std::uint32_t ix : e.ixp_ids) {
+      ixps.insert(ix);
+      ixp_comms.insert(c.raw());
+    }
+  }
+  for (const auto& [c, asn] : large_) {
+    auto type = registry.classify(asn);
+    nets[type].insert(asn);
+    comms[type].insert(0x80000000u ^ c.global_admin());
+  }
+  for (auto& [type, asns] : nets) {
+    out[type].networks = asns.size();
+    out[type].communities = comms[type].size();
+  }
+  out[topology::NetworkType::kIxp].networks = ixps.size();
+  out[topology::NetworkType::kIxp].communities = ixp_comms.size();
+  return out;
+}
+
+BlackholeDictionary build_documented_dictionary(
+    const Corpus& corpus, const topology::Registry& registry) {
+  BlackholeDictionary dict;
+  for (const auto& e : extract_all(corpus)) {
+    if (!e.is_blackhole) continue;
+    DictSource src = e.source == Document::Kind::kIrr ? DictSource::kIrr
+                                                      : DictSource::kWebPage;
+    if (e.subject_is_ixp) {
+      if (e.community) dict.add_ixp(*e.community, e.ixp_id, src);
+      continue;
+    }
+    if (e.community) {
+      dict.add_provider(*e.community, e.subject_asn, src, e.scope,
+                        e.max_prefix_len);
+    } else if (e.large_community) {
+      dict.add_large(*e.large_community, e.subject_asn, src);
+    }
+  }
+  for (const auto& pc : corpus.private_communications) {
+    dict.add_provider(pc.community, pc.asn, DictSource::kPrivate);
+  }
+  (void)registry;
+  return dict;
+}
+
+LegacyDictionary make_legacy_dictionary(const topology::AsGraph& graph,
+                                        double active_rate, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x2008ULL);
+  LegacyDictionary legacy;
+  // Collect current blackhole communities; the "still active" portion of
+  // the 2008 dictionary is drawn from them.
+  std::vector<std::pair<Asn, bgp::Community>> current;
+  for (const auto& node : graph.nodes()) {
+    // Entries of the 2008 study were documented back then; the portion
+    // still active today is rediscoverable in today's documentation.
+    if (node.blackhole.offers_blackholing &&
+        (node.blackhole.documented_in_irr || node.blackhole.documented_on_web)) {
+      current.emplace_back(node.asn, node.blackhole.communities.front());
+    }
+  }
+  constexpr std::size_t kLegacySize = 60;  // the 2008 study's 60 entries
+  std::size_t active = static_cast<std::size_t>(kLegacySize * active_rate + 0.5);
+  auto idx = rng.sample_indices(current.size(), std::min(active, current.size()));
+  for (auto i : idx) legacy.entries.push_back(current[i]);
+  // Retired communities: values no AS currently uses for anything.
+  while (legacy.entries.size() < kLegacySize) {
+    Asn asn = current[rng.uniform(current.size())].first;
+    bgp::Community retired(static_cast<std::uint16_t>(asn & 0xFFFF),
+                           static_cast<std::uint16_t>(60000 + rng.uniform(5000)));
+    legacy.entries.emplace_back(asn, retired);
+  }
+  return legacy;
+}
+
+LegacyComparison compare_with_legacy(const BlackholeDictionary& dict,
+                                     const LegacyDictionary& legacy,
+                                     const topology::AsGraph& graph) {
+  LegacyComparison cmp;
+  cmp.total = legacy.entries.size();
+  for (const auto& [asn, community] : legacy.entries) {
+    const DictEntry* entry = dict.lookup(community);
+    if (entry && std::find(entry->provider_asns.begin(), entry->provider_asns.end(),
+                           asn) != entry->provider_asns.end()) {
+      ++cmp.still_active;
+      continue;
+    }
+    // Re-purposed? Check whether the AS now uses this value as a
+    // non-blackhole service community.
+    const topology::AsNode* node = graph.find(asn);
+    if (node && std::find(node->service_communities.begin(),
+                          node->service_communities.end(),
+                          community) != node->service_communities.end()) {
+      ++cmp.repurposed;
+    }
+  }
+  return cmp;
+}
+
+}  // namespace bgpbh::dictionary

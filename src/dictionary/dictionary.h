@@ -1,0 +1,107 @@
+// The blackhole communities dictionary (§4.1) — the data structure the
+// inference engine matches every BGP update against.
+//
+// Keyed by classic community (plus a small side table for RFC 8092
+// large communities).  One community may map to multiple providers:
+// shared values such as 0:666 or the RFC 7999 65535:666 used by 47
+// IXPs are *ambiguous* and require path/peer evidence at inference
+// time (§4.2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/community.h"
+#include "dictionary/corpus.h"
+#include "dictionary/extract.h"
+#include "topology/registry.h"
+
+namespace bgpbh::dictionary {
+
+enum class DictSource : std::uint8_t { kIrr, kWebPage, kPrivate };
+
+struct DictEntry {
+  bgp::Community community;
+  // ISP providers that use this community for blackholing.
+  std::vector<Asn> provider_asns;
+  // IXPs that use this community (via their route servers).
+  std::vector<std::uint32_t> ixp_ids;
+  DictSource source = DictSource::kIrr;
+  std::string scope;
+  std::uint8_t max_prefix_len = 32;
+
+  bool ambiguous() const { return provider_asns.size() + ixp_ids.size() > 1; }
+  bool ixp_only() const { return provider_asns.empty() && !ixp_ids.empty(); }
+};
+
+class BlackholeDictionary {
+ public:
+  void add_provider(bgp::Community c, Asn provider, DictSource source,
+                    const std::string& scope = "", std::uint8_t max_len = 32);
+  void add_ixp(bgp::Community c, std::uint32_t ixp_id, DictSource source);
+  void add_large(bgp::LargeCommunity c, Asn provider, DictSource source);
+
+  bool is_blackhole(bgp::Community c) const { return entries_.contains(c); }
+  bool is_blackhole(bgp::LargeCommunity c) const { return large_.contains(c); }
+  const DictEntry* lookup(bgp::Community c) const;
+  std::optional<Asn> lookup_large(bgp::LargeCommunity c) const;
+
+  // Any blackhole community present in the set?
+  bool any_blackhole(const bgp::CommunitySet& comms) const;
+
+  std::size_t num_communities() const { return entries_.size() + large_.size(); }
+  std::size_t num_providers() const;
+  std::size_t num_ixps() const;
+
+  // All provider ASNs (ISPs) with at least one dictionary community.
+  std::vector<Asn> all_providers() const;
+  std::vector<std::uint32_t> all_ixps() const;
+
+  const std::map<bgp::Community, DictEntry>& entries() const { return entries_; }
+
+  // Table 2: (#networks, #communities) per network type; IXPs counted
+  // in their own class.
+  struct TypeBreakdown {
+    std::size_t networks = 0;
+    std::size_t communities = 0;
+  };
+  std::map<topology::NetworkType, TypeBreakdown> breakdown(
+      const topology::Registry& registry) const;
+
+ private:
+  std::map<bgp::Community, DictEntry> entries_;
+  std::map<bgp::LargeCommunity, Asn> large_;
+};
+
+// Build the documented dictionary from a corpus (extraction + the
+// paper's validation rule: only documented/privately-confirmed
+// communities are included).
+BlackholeDictionary build_documented_dictionary(const Corpus& corpus,
+                                                const topology::Registry& registry);
+
+// ---- Longitudinal stability (§4.1) -------------------------------------
+// The paper compares against the 2008 Donnet-Bonaventure dictionary:
+// 72% of its communities are still active, none re-purposed.
+struct LegacyDictionary {
+  std::vector<std::pair<Asn, bgp::Community>> entries;
+};
+
+// Derive a synthetic "2008" dictionary from ground truth: `active_rate`
+// of entries match current blackhole communities; the rest belong to
+// providers that stopped using them (and are not re-used for anything).
+LegacyDictionary make_legacy_dictionary(const topology::AsGraph& graph,
+                                        double active_rate, std::uint64_t seed);
+
+struct LegacyComparison {
+  std::size_t total = 0;
+  std::size_t still_active = 0;
+  std::size_t repurposed = 0;  // now used as a *service* community
+};
+LegacyComparison compare_with_legacy(const BlackholeDictionary& dict,
+                                     const LegacyDictionary& legacy,
+                                     const topology::AsGraph& graph);
+
+}  // namespace bgpbh::dictionary

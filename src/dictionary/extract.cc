@@ -1,0 +1,143 @@
+#include "dictionary/extract.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace bgpbh::dictionary {
+
+namespace {
+
+// Lemmas matched case-insensitively; hyphen/space variants normalized
+// before matching.
+const char* kLemmas[] = {
+    "blackhole", "blackholing", "black hole", "null route", "null routing",
+    "rtbh", "remotely triggered blackhol",
+};
+
+// "discard"/"drop" count only together with "traffic" (avoids matching
+// e.g. "drop the MED" style phrasings).
+bool has_drop_traffic(const std::string& lower) {
+  bool verb = lower.find("discard") != std::string::npos ||
+              lower.find("drop") != std::string::npos;
+  return verb && lower.find("traffic") != std::string::npos;
+}
+
+std::string normalize(std::string_view fragment) {
+  std::string lower = util::to_lower(fragment);
+  // Fold hyphens into spaces so "black-hole" matches "black hole".
+  for (char& c : lower) {
+    if (c == '-') c = ' ';
+  }
+  return lower;
+}
+
+bool is_community_token(std::string_view token) {
+  int colons = 0;
+  bool digits = false;
+  for (char c : token) {
+    if (c == ':') {
+      ++colons;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    digits = true;
+  }
+  return digits && (colons == 1 || colons == 2);
+}
+
+std::string_view strip_markup(std::string_view token) {
+  while (!token.empty() && !std::isdigit(static_cast<unsigned char>(token.front())))
+    token.remove_prefix(1);
+  while (!token.empty() && !std::isdigit(static_cast<unsigned char>(token.back())))
+    token.remove_suffix(1);
+  return token;
+}
+
+}  // namespace
+
+bool contains_blackhole_lemma(std::string_view fragment) {
+  std::string lower = normalize(fragment);
+  for (const char* lemma : kLemmas) {
+    if (lower.find(lemma) != std::string::npos) return true;
+  }
+  return has_drop_traffic(lower);
+}
+
+std::string extract_scope(std::string_view fragment) {
+  std::string lower = normalize(fragment);
+  if (lower.find("europe") != std::string::npos) return "EU";
+  if (lower.find("the us") != std::string::npos ||
+      lower.find("u.s.") != std::string::npos)
+    return "US";
+  if (lower.find("asia") != std::string::npos) return "AS";
+  return "";
+}
+
+std::optional<std::uint8_t> extract_max_prefix_len(std::string_view fragment) {
+  std::string lower = normalize(fragment);
+  if (lower.find("prefix") == std::string::npos) return std::nullopt;
+  std::size_t slash = lower.find('/');
+  while (slash != std::string::npos) {
+    std::size_t end = slash + 1;
+    while (end < lower.size() && std::isdigit(static_cast<unsigned char>(lower[end])))
+      ++end;
+    if (end > slash + 1) {
+      std::uint32_t v = 0;
+      if (util::parse_u32(std::string_view(lower).substr(slash + 1, end - slash - 1), v) &&
+          v <= 128) {
+        return static_cast<std::uint8_t>(v);
+      }
+    }
+    slash = lower.find('/', slash + 1);
+  }
+  return std::nullopt;
+}
+
+std::vector<ExtractedCommunity> extract_from_document(const Document& doc) {
+  std::vector<ExtractedCommunity> out;
+  std::optional<std::uint8_t> doc_max_len;
+
+  // First pass: meta lines.
+  for (auto line : util::split(doc.text, '\n')) {
+    if (auto len = extract_max_prefix_len(line)) doc_max_len = len;
+  }
+
+  for (auto line : util::split(doc.text, '\n')) {
+    bool bh = contains_blackhole_lemma(line);
+    std::string scope = extract_scope(line);
+    for (auto token : util::split_ws(line)) {
+      std::string_view t = strip_markup(token);
+      if (!is_community_token(t)) continue;
+      ExtractedCommunity e;
+      e.subject_asn = doc.subject_asn;
+      e.subject_is_ixp = doc.subject_is_ixp;
+      e.ixp_id = doc.ixp_id;
+      e.is_blackhole = bh;
+      e.source = doc.kind;
+      e.scope = scope;
+      if (doc_max_len) e.max_prefix_len = *doc_max_len;
+      auto parts = util::split(t, ':');
+      if (parts.size() == 2) {
+        e.community = bgp::Community::parse(t);
+        if (!e.community) continue;
+      } else {
+        e.large_community = bgp::LargeCommunity::parse(t);
+        if (!e.large_community) continue;
+      }
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::vector<ExtractedCommunity> extract_all(const Corpus& corpus) {
+  std::vector<ExtractedCommunity> out;
+  for (const auto& doc : corpus.documents) {
+    auto found = extract_from_document(doc);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+}  // namespace bgpbh::dictionary

@@ -1,0 +1,48 @@
+// NLP-lite community extraction (the paper's NLTK step, §4.1).
+//
+// Tokenizes operator documentation, finds community-shaped tokens
+// ("ASN:value", "G:L1:L2"), and classifies each by keyword-lemma
+// proximity within the same line/sentence: blackhole lemmas
+// ("blackhole", "null route", "rtbh", "discard ... traffic") mark
+// blackhole communities; everything else is recorded in the
+// non-blackhole dictionary (used for Fig 2 and false-positive control).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/community.h"
+#include "dictionary/corpus.h"
+
+namespace bgpbh::dictionary {
+
+struct ExtractedCommunity {
+  Asn subject_asn = 0;
+  bool subject_is_ixp = false;
+  std::uint32_t ixp_id = 0;
+  std::optional<bgp::Community> community;
+  std::optional<bgp::LargeCommunity> large_community;
+  bool is_blackhole = false;
+  Document::Kind source = Document::Kind::kIrr;
+  std::string scope;            // "", "EU", "US", "AS"
+  std::uint8_t max_prefix_len = 32;  // meta-info when documented
+};
+
+// True if the text fragment contains a blackholing lemma.
+bool contains_blackhole_lemma(std::string_view fragment);
+
+// Extract the region scope from a fragment ("in Europe only" -> "EU").
+std::string extract_scope(std::string_view fragment);
+
+// Parse a "prefixes up to /NN ..." meta line.
+std::optional<std::uint8_t> extract_max_prefix_len(std::string_view fragment);
+
+// All community mentions in one document.
+std::vector<ExtractedCommunity> extract_from_document(const Document& doc);
+
+// Convenience over a whole corpus.
+std::vector<ExtractedCommunity> extract_all(const Corpus& corpus);
+
+}  // namespace bgpbh::dictionary

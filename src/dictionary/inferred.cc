@@ -1,0 +1,71 @@
+#include "dictionary/inferred.h"
+
+#include <algorithm>
+
+namespace bgpbh::dictionary {
+
+void CommunityUsage::observe(const bgp::ObservedUpdate& update,
+                             const BlackholeDictionary& documented) {
+  if (update.body.announced.empty()) return;
+  bool has_documented_bh = documented.any_blackhole(update.body.communities);
+  for (auto community : update.body.communities.classic()) {
+    Stats& s = stats_[community];
+    for (const auto& prefix : update.body.announced) {
+      s.prefix_len_counts[prefix.len()] += 1;
+      s.total += 1;
+    }
+    if (has_documented_bh && !documented.is_blackhole(community)) {
+      s.cooccur_with_documented += 1;
+    }
+  }
+}
+
+double CommunityUsage::Stats::fraction_more_specific_than(std::uint8_t len) const {
+  if (total == 0) return 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [plen, count] : prefix_len_counts) {
+    if (plen > len) n += count;
+  }
+  return static_cast<double>(n) / static_cast<double>(total);
+}
+
+std::vector<std::pair<std::uint8_t, double>> CommunityUsage::Stats::length_profile()
+    const {
+  std::vector<std::pair<std::uint8_t, double>> out;
+  if (total == 0) return out;
+  for (const auto& [plen, count] : prefix_len_counts) {
+    out.emplace_back(plen,
+                     static_cast<double>(count) / static_cast<double>(total));
+  }
+  return out;
+}
+
+std::vector<InferredCommunity> infer_undocumented(
+    const CommunityUsage& usage, const BlackholeDictionary& documented,
+    const topology::AsGraph& graph, const InferenceParams& params) {
+  std::vector<InferredCommunity> out;
+  for (const auto& [community, stats] : usage.stats()) {
+    if (documented.is_blackhole(community)) continue;
+    if (stats.total < params.min_occurrences) continue;
+    double frac = stats.fraction_more_specific_than(24);
+    if (frac < params.min_more_specific_fraction) continue;
+    if (stats.cooccur_with_documented < params.min_cooccurrences) continue;
+    // Upper 16 bits must encode a public ASN we can map to a provider.
+    Asn candidate = community.asn();
+    if (candidate == 0 || graph.find(candidate) == nullptr) continue;
+    InferredCommunity ic;
+    ic.community = community;
+    ic.provider_asn = candidate;
+    ic.occurrences = stats.total;
+    ic.more_specific_fraction = frac;
+    ic.cooccurrences = stats.cooccur_with_documented;
+    out.push_back(ic);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InferredCommunity& a, const InferredCommunity& b) {
+              return a.community < b.community;
+            });
+  return out;
+}
+
+}  // namespace bgpbh::dictionary

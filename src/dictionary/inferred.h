@@ -1,0 +1,70 @@
+// Extended-dictionary inference via prefix-length signatures (§4.1
+// "Possibilities for Extended Dictionary", Fig 2).
+//
+// Observation: blackhole communities appear almost exclusively on
+// prefixes more specific than /24 (98% of blackholed prefixes are /32
+// host routes), while regular communities sit on /24-or-shorter
+// prefixes.  A community is *inferred* as a blackhole community when:
+//   1. it predominantly tags prefixes more specific than /24,
+//   2. it co-occurs at least once with a known (documented) blackhole
+//      community on the same announcement,
+//   3. its upper 16 bits encode a public ASN (else it cannot be mapped
+//      to a provider), and
+//   4. it is not already in the documented dictionary.
+// Per the paper, inferred communities are reported but NOT merged into
+// the documented dictionary used for inference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/community.h"
+#include "bgp/update.h"
+#include "dictionary/dictionary.h"
+#include "topology/as_graph.h"
+
+namespace bgpbh::dictionary {
+
+// Per-community usage statistics accumulated over an update stream.
+class CommunityUsage {
+ public:
+  void observe(const bgp::ObservedUpdate& update,
+               const BlackholeDictionary& documented);
+
+  struct Stats {
+    std::map<std::uint8_t, std::uint64_t> prefix_len_counts;
+    std::uint64_t total = 0;
+    std::uint64_t cooccur_with_documented = 0;
+
+    double fraction_more_specific_than(std::uint8_t len) const;
+    // (prefix_len, fraction) pairs — one Fig 2 row.
+    std::vector<std::pair<std::uint8_t, double>> length_profile() const;
+  };
+
+  const std::map<bgp::Community, Stats>& stats() const { return stats_; }
+
+ private:
+  std::map<bgp::Community, Stats> stats_;
+};
+
+struct InferredCommunity {
+  bgp::Community community;
+  Asn provider_asn = 0;  // upper 16 bits
+  std::uint64_t occurrences = 0;
+  double more_specific_fraction = 0.0;
+  std::uint64_t cooccurrences = 0;
+};
+
+struct InferenceParams {
+  std::uint64_t min_occurrences = 3;
+  double min_more_specific_fraction = 0.98;
+  std::uint64_t min_cooccurrences = 1;
+};
+
+// Run the Fig 2 inference. `graph` supplies the public-ASN check.
+std::vector<InferredCommunity> infer_undocumented(
+    const CommunityUsage& usage, const BlackholeDictionary& documented,
+    const topology::AsGraph& graph, const InferenceParams& params = {});
+
+}  // namespace bgpbh::dictionary

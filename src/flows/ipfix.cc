@@ -1,0 +1,145 @@
+#include "flows/ipfix.h"
+
+#include <algorithm>
+
+namespace bgpbh::flows {
+
+namespace {
+
+// Information elements we export (id, length).
+struct Field {
+  std::uint16_t id;
+  std::uint16_t len;
+};
+// flowStartSeconds, sourceIPv4Address, destinationIPv4Address,
+// sourceTransportPort, destinationTransportPort, protocolIdentifier,
+// octetDeltaCount, packetDeltaCount, bgpSourceAsNumber, bgpDestinationAsNumber
+constexpr Field kFields[] = {
+    {150, 4}, {8, 4},  {12, 4}, {7, 2},  {11, 2},
+    {4, 1},   {1, 8},  {2, 8},  {16, 4}, {17, 4},
+};
+constexpr std::uint16_t kTemplateId = 256;
+
+constexpr std::size_t record_length() {
+  std::size_t n = 0;
+  for (const auto& f : kFields) n += f.len;
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> IpfixExporter::export_batches(
+    std::span<const FlowRecord> records, util::SimTime export_time) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t offset = 0; offset < records.size();
+       offset += kMaxRecordsPerMessage) {
+    std::size_t n = std::min(kMaxRecordsPerMessage, records.size() - offset);
+    out.push_back(export_message(records.subspan(offset, n), export_time));
+  }
+  if (records.empty()) out.push_back(export_message(records, export_time));
+  return out;
+}
+
+std::vector<std::uint8_t> IpfixExporter::export_message(
+    std::span<const FlowRecord> records, util::SimTime export_time) {
+  net::BufWriter w;
+  // Message header.
+  w.u16(10);             // version
+  std::size_t len_pos = w.size();
+  w.u16(0);              // length (patched)
+  w.u32(static_cast<std::uint32_t>(export_time));
+  w.u32(sequence_);
+  w.u32(domain_);
+  sequence_ += static_cast<std::uint32_t>(records.size());
+
+  // Template set.
+  w.u16(2);  // set id 2 = template
+  w.u16(static_cast<std::uint16_t>(4 + 4 + sizeof(kFields) / sizeof(kFields[0]) * 4));
+  w.u16(kTemplateId);
+  w.u16(static_cast<std::uint16_t>(sizeof(kFields) / sizeof(kFields[0])));
+  for (const auto& f : kFields) {
+    w.u16(f.id);
+    w.u16(f.len);
+  }
+
+  // Data set.
+  w.u16(kTemplateId);
+  w.u16(static_cast<std::uint16_t>(4 + records.size() * record_length()));
+  for (const auto& r : records) {
+    w.u32(static_cast<std::uint32_t>(r.start));
+    w.u32(r.src_ip.value());
+    w.u32(r.dst_ip.value());
+    w.u16(r.src_port);
+    w.u16(r.dst_port);
+    w.u8(r.protocol);
+    w.u64(r.bytes);
+    w.u64(r.packets);
+    w.u32(r.in_member);
+    w.u32(r.out_member);
+  }
+  auto out = w.take();
+  // Patch total length.
+  out[len_pos] = static_cast<std::uint8_t>(out.size() >> 8);
+  out[len_pos + 1] = static_cast<std::uint8_t>(out.size());
+  return out;
+}
+
+std::optional<std::vector<FlowRecord>> decode_message(
+    std::span<const std::uint8_t> data) {
+  net::BufReader r(data);
+  std::uint16_t version = r.u16();
+  std::uint16_t total_len = r.u16();
+  r.u32();  // export time
+  r.u32();  // sequence
+  r.u32();  // domain
+  if (!r.ok() || version != 10 || total_len != data.size()) return std::nullopt;
+
+  std::vector<FlowRecord> out;
+  bool have_template = false;
+  while (r.ok() && r.remaining() >= 4) {
+    std::uint16_t set_id = r.u16();
+    std::uint16_t set_len = r.u16();
+    if (set_len < 4) return std::nullopt;
+    net::BufReader set = r.sub(set_len - 4);
+    if (!r.ok()) return std::nullopt;
+    if (set_id == 2) {
+      // Template set: verify it matches our fixed template.
+      std::uint16_t tid = set.u16();
+      std::uint16_t count = set.u16();
+      if (tid != kTemplateId ||
+          count != sizeof(kFields) / sizeof(kFields[0]))
+        return std::nullopt;
+      for (const auto& f : kFields) {
+        if (set.u16() != f.id || set.u16() != f.len) return std::nullopt;
+      }
+      have_template = true;
+    } else if (set_id == kTemplateId) {
+      if (!have_template) return std::nullopt;
+      while (set.ok() && set.remaining() >= record_length()) {
+        FlowRecord rec;
+        rec.start = static_cast<util::SimTime>(set.u32());
+        rec.src_ip = net::Ipv4Addr(set.u32());
+        rec.dst_ip = net::Ipv4Addr(set.u32());
+        rec.src_port = set.u16();
+        rec.dst_port = set.u16();
+        rec.protocol = set.u8();
+        rec.bytes = set.u64();
+        rec.packets = set.u64();
+        rec.in_member = set.u32();
+        rec.out_member = set.u32();
+        out.push_back(rec);
+      }
+    }
+  }
+  if (!r.ok()) return std::nullopt;
+  return out;
+}
+
+std::uint64_t Sampler::sample(std::uint64_t packets) {
+  std::uint64_t total = phase_ + packets;
+  std::uint64_t samples = total / rate_;
+  phase_ = total % rate_;
+  return samples;
+}
+
+}  // namespace bgpbh::flows

@@ -1,0 +1,81 @@
+// IPFIX (RFC 7011) subset: template + data sets for the 5-tuple/volume
+// flow records an IXP's switching fabric exports, and the 1-out-of-N
+// packet sampler the paper's traces use (1:10K).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/aspath.h"
+#include "net/bytes.h"
+#include "net/ip.h"
+#include "util/time.h"
+
+namespace bgpbh::flows {
+
+struct FlowRecord {
+  util::SimTime start = 0;
+  net::Ipv4Addr src_ip;
+  net::Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // TCP
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+  bgp::Asn in_member = 0;   // IXP member that handed the traffic in
+  bgp::Asn out_member = 0;  // member the traffic is destined to
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+// ---- IPFIX codec -------------------------------------------------------
+// Message layout: header (version 10, length, export time, seq, domain),
+// one template set (id 256) on first export, then data sets.
+
+class IpfixExporter {
+ public:
+  explicit IpfixExporter(std::uint32_t observation_domain)
+      : domain_(observation_domain) {}
+
+  // Encode a batch of records into one IPFIX message (with template).
+  // IPFIX messages carry a 16-bit length: at most kMaxRecordsPerMessage
+  // records fit; larger batches must go through export_batches().
+  static constexpr std::size_t kMaxRecordsPerMessage = 1400;
+  std::vector<std::uint8_t> export_message(std::span<const FlowRecord> records,
+                                           util::SimTime export_time);
+
+  // Splits an arbitrarily large batch into valid messages.
+  std::vector<std::vector<std::uint8_t>> export_batches(
+      std::span<const FlowRecord> records, util::SimTime export_time);
+
+ private:
+  std::uint32_t domain_;
+  std::uint32_t sequence_ = 0;
+};
+
+// Decodes messages produced by IpfixExporter (template id 256).
+std::optional<std::vector<FlowRecord>> decode_message(
+    std::span<const std::uint8_t> data);
+
+// ---- packet sampling -----------------------------------------------------
+
+// Deterministic 1:N sampler (systematic count-based, as used on IXP
+// fabrics).  Feed packets; every Nth is sampled.
+class Sampler {
+ public:
+  explicit Sampler(std::uint64_t rate) : rate_(rate ? rate : 1) {}
+
+  // Returns how many samples a flow of `packets` packets contributes,
+  // advancing the phase deterministically.
+  std::uint64_t sample(std::uint64_t packets);
+
+  std::uint64_t rate() const { return rate_; }
+
+ private:
+  std::uint64_t rate_;
+  std::uint64_t phase_ = 0;
+};
+
+}  // namespace bgpbh::flows

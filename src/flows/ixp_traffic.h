@@ -1,0 +1,90 @@
+// IXP switching-fabric traffic analysis (§10 passive measurements,
+// Fig 9c).
+//
+// Simulates one week of member-to-member traffic at a blackholing IXP:
+// baseline flows plus attack traffic toward blackholed prefixes.  A
+// member that honours the route-server blackhole route drops matching
+// traffic at its egress toward the victim ("blackholed" volume, below
+// the zero line in Fig 9c); members that rejected the /32 or do not
+// peer with the route server keep forwarding it ("non-blackholed"
+// volume above the line).  Misconfigured announcements (invalid next
+// hop / missing IRR entry) show control-plane blackholing with no
+// data-plane reduction — the paper's red region.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "flows/ipfix.h"
+#include "routing/propagation.h"
+#include "stats/series.h"
+#include "workload/scenario.h"
+
+namespace bgpbh::flows {
+
+using bgp::Asn;
+
+struct TrafficSplit {
+  stats::DailySeries blackholed;      // dropped at the IXP
+  stats::DailySeries forwarded;       // still traversing toward the victim
+};
+
+struct IxpWeekReport {
+  // Per tracked prefix: daily blackholed vs forwarded volume (Fig 9c).
+  std::map<net::Prefix, TrafficSplit> per_prefix;
+  // Residual-source concentration: share of forwarded volume caused by
+  // the top `k` non-honouring members (paper: 80% from < 10 members).
+  double residual_share_of_top(std::size_t k) const;
+  std::size_t residual_member_count() const;
+
+  std::uint64_t total_blackholed_bytes = 0;
+  std::uint64_t total_forwarded_bytes = 0;
+  std::map<Asn, std::uint64_t> residual_by_member;
+
+  double drop_fraction() const;
+};
+
+struct IxpTrafficConfig {
+  std::uint64_t seed = 4242;
+  std::uint64_t sampling_rate = 10000;  // 1:10K, as in the paper
+  double attack_gbps = 18.0;            // attack volume toward each victim
+  double baseline_gbps = 1.2;           // legitimate volume per victim
+};
+
+class IxpTrafficSim {
+ public:
+  IxpTrafficSim(const topology::AsGraph& graph,
+                routing::PropagationEngine& engine, IxpTrafficConfig config);
+
+  // Simulate `days` days of traffic toward the victims of the given
+  // episodes at IXP `ixp_id` (episodes must target that IXP).
+  IxpWeekReport simulate(std::uint32_t ixp_id,
+                         const std::vector<workload::Episode>& episodes,
+                         util::SimTime from, int days);
+
+  // One-day analysis across all blackholed /32s of an IXP: how many of
+  // the ASes sending traffic to blackholed IPs drop for at least one of
+  // them (paper: about one third).
+  struct OneDayAnalysis {
+    std::size_t senders = 0;
+    std::size_t senders_dropping = 0;
+    double fraction_dropping() const {
+      return senders == 0 ? 0.0
+                          : static_cast<double>(senders_dropping) /
+                                static_cast<double>(senders);
+    }
+  };
+  OneDayAnalysis analyze_one_day(std::uint32_t ixp_id,
+                                 const std::vector<workload::Episode>& episodes);
+
+  // Raw sampled flow records of the last simulate() call (IPFIX-ready).
+  const std::vector<FlowRecord>& sampled_flows() const { return sampled_; }
+
+ private:
+  const topology::AsGraph& graph_;
+  routing::PropagationEngine& engine_;
+  IxpTrafficConfig config_;
+  std::vector<FlowRecord> sampled_;
+};
+
+}  // namespace bgpbh::flows

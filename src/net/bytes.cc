@@ -1,0 +1,6 @@
+#include "net/bytes.h"
+
+// Header-only by design; this translation unit exists so the component
+// has a home in the static library (and a place for future non-inline
+// helpers such as checksum routines).
+namespace bgpbh::net {}

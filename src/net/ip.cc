@@ -1,0 +1,132 @@
+#include "net/ip.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace bgpbh::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (auto part : parts) {
+    std::uint32_t octet = 0;
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    if (!util::parse_u32(part, octet) || octet > 255) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal forms).
+    if (part.size() > 1 && part[0] == '0') return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+namespace {
+bool parse_hex_group(std::string_view s, std::uint16_t& out) {
+  if (s.empty() || s.size() > 4) return false;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+    else return false;
+  }
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+}  // namespace
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view s) {
+  // Split on "::" (at most one).
+  std::size_t dc = s.find("::");
+  std::vector<std::string_view> head, tail;
+  if (dc != std::string_view::npos) {
+    if (s.find("::", dc + 1) != std::string_view::npos) return std::nullopt;
+    std::string_view left = s.substr(0, dc);
+    std::string_view right = s.substr(dc + 2);
+    if (!left.empty()) head = util::split(left, ':');
+    if (!right.empty()) tail = util::split(right, ':');
+  } else {
+    head = util::split(s, ':');
+    if (head.size() != 8) return std::nullopt;
+  }
+  if (head.size() + tail.size() > 8) return std::nullopt;
+  if (dc == std::string_view::npos && head.size() != 8) return std::nullopt;
+  if (dc != std::string_view::npos && head.size() + tail.size() == 8)
+    return std::nullopt;  // "::" must compress at least one group
+
+  Bytes b{};
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    std::uint16_t g = 0;
+    if (!parse_hex_group(head[i], g)) return std::nullopt;
+    b[2 * i] = static_cast<std::uint8_t>(g >> 8);
+    b[2 * i + 1] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    std::uint16_t g = 0;
+    if (!parse_hex_group(tail[i], g)) return std::nullopt;
+    std::size_t pos = 8 - tail.size() + i;
+    b[2 * pos] = static_cast<std::uint8_t>(g >> 8);
+    b[2 * pos + 1] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  return Ipv6Addr(b);
+}
+
+std::string Ipv6Addr::to_string() const {
+  // RFC 5952: compress the longest run of zero groups (>= 2), lowercase hex.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(static_cast<unsigned>(i)) == 0) {
+      int j = i;
+      while (j < 8 && group(static_cast<unsigned>(j)) == 0) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", group(static_cast<unsigned>(i)));
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+std::optional<IpAddr> IpAddr::parse(std::string_view s) {
+  if (s.find(':') != std::string_view::npos) {
+    auto v6 = Ipv6Addr::parse(s);
+    if (v6) return IpAddr(*v6);
+    return std::nullopt;
+  }
+  auto v4 = Ipv4Addr::parse(s);
+  if (v4) return IpAddr(*v4);
+  return std::nullopt;
+}
+
+std::string IpAddr::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+}  // namespace bgpbh::net

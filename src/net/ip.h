@@ -1,0 +1,94 @@
+// IPv4 / IPv6 address value types.
+//
+// Addresses are held in host-order integral form (IPv4: uint32, IPv6:
+// 16 bytes) and are trivially copyable.  Parsing is strict (no leading
+// zeros beyond standard dotted-quad, no whitespace).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace bgpbh::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  // The i-th most significant bit (0 = MSB). i < 32.
+  constexpr bool bit(unsigned i) const { return (value_ >> (31 - i)) & 1u; }
+
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv6Addr {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Addr() : bytes_{} {}
+  constexpr explicit Ipv6Addr(const Bytes& b) : bytes_(b) {}
+
+  // Accepts full and "::"-compressed textual form (no embedded IPv4).
+  static std::optional<Ipv6Addr> parse(std::string_view s);
+
+  const Bytes& bytes() const { return bytes_; }
+  std::string to_string() const;  // RFC 5952 canonical form
+
+  // The i-th most significant bit (0 = MSB). i < 128.
+  constexpr bool bit(unsigned i) const {
+    return (bytes_[i / 8] >> (7 - i % 8)) & 1u;
+  }
+
+  // 16-bit group g (0..7), host order.
+  constexpr std::uint16_t group(unsigned g) const {
+    return static_cast<std::uint16_t>((bytes_[2 * g] << 8) | bytes_[2 * g + 1]);
+  }
+
+  friend auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+// Either family. Variant order fixes IPv4 < IPv6 for ordering purposes.
+class IpAddr {
+ public:
+  IpAddr() : v_(Ipv4Addr{}) {}
+  IpAddr(Ipv4Addr a) : v_(a) {}  // NOLINT: implicit by design
+  IpAddr(Ipv6Addr a) : v_(a) {}  // NOLINT: implicit by design
+
+  static std::optional<IpAddr> parse(std::string_view s);
+
+  bool is_v4() const { return std::holds_alternative<Ipv4Addr>(v_); }
+  bool is_v6() const { return !is_v4(); }
+  const Ipv4Addr& v4() const { return std::get<Ipv4Addr>(v_); }
+  const Ipv6Addr& v6() const { return std::get<Ipv6Addr>(v_); }
+
+  unsigned max_len() const { return is_v4() ? 32 : 128; }
+  bool bit(unsigned i) const { return is_v4() ? v4().bit(i) : v6().bit(i); }
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const IpAddr&, const IpAddr&) = default;
+
+ private:
+  std::variant<Ipv4Addr, Ipv6Addr> v_;
+};
+
+}  // namespace bgpbh::net

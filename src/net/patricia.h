@@ -1,0 +1,290 @@
+// Path-compressed binary trie (Patricia trie) keyed by CIDR prefixes.
+//
+// Used for: bogon filtering, origin lookup, customer-cone membership
+// tests, and longest-prefix-match forwarding in the data-plane
+// simulator.  One trie holds a single address family; PrefixTable
+// below wraps a v4 + v6 pair.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace bgpbh::net {
+
+template <typename V>
+class PatriciaTrie {
+ public:
+  PatriciaTrie() = default;
+
+  // Inserts or overwrites. Returns true if a new entry was created.
+  bool insert(const Prefix& p, V value) {
+    Node* n = find_node(p, /*create=*/true);
+    bool fresh = !n->has_value;
+    n->has_value = true;
+    n->value = std::move(value);
+    size_ += fresh ? 1 : 0;
+    return fresh;
+  }
+
+  // Exact-match lookup.
+  const V* find(const Prefix& p) const {
+    const Node* n = find_node_const(p);
+    return (n && n->has_value) ? &n->value : nullptr;
+  }
+  V* find(const Prefix& p) {
+    Node* n = const_cast<Node*>(find_node_const(p));
+    return (n && n->has_value) ? &n->value : nullptr;
+  }
+
+  // Longest-prefix match for an address. Returns nullptr if none.
+  const V* lookup(const IpAddr& ip, Prefix* matched = nullptr) const {
+    const Node* best = nullptr;
+    const Node* n = root_.get();
+    unsigned depth = 0;
+    unsigned max_len = ip.max_len();
+    while (n) {
+      // Verify the compressed skip bits match the key.
+      if (depth + n->skip_len > max_len) break;
+      bool mismatch = false;
+      for (unsigned i = 0; i < n->skip_len; ++i) {
+        if (ip.bit(depth + i) != n->skip_bit(i)) {
+          mismatch = true;
+          break;
+        }
+      }
+      if (mismatch) break;
+      depth += n->skip_len;
+      if (n->has_value) best = n;
+      if (depth >= max_len) break;
+      n = n->child[ip.bit(depth) ? 1 : 0].get();
+      depth += 1;
+    }
+    if (best && matched) *matched = best->prefix;
+    return best ? &best->value : nullptr;
+  }
+
+  // True if `ip` is covered by any stored prefix.
+  bool covered(const IpAddr& ip) const { return lookup(ip) != nullptr; }
+
+  // Removes an exact prefix. Returns true if it existed.
+  bool erase(const Prefix& p) {
+    Node* n = const_cast<Node*>(find_node_const(p));
+    if (!n || !n->has_value) return false;
+    n->has_value = false;
+    n->value = V{};
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // In-order visit of all stored (prefix, value) pairs.
+  template <typename F>
+  void for_each(F&& f) const {
+    visit(root_.get(), f);
+  }
+
+  // All stored prefixes covering `ip`, shortest first.
+  std::vector<Prefix> all_matches(const IpAddr& ip) const {
+    std::vector<Prefix> out;
+    const Node* n = root_.get();
+    unsigned depth = 0;
+    unsigned max_len = ip.max_len();
+    while (n) {
+      if (depth + n->skip_len > max_len) break;
+      bool mismatch = false;
+      for (unsigned i = 0; i < n->skip_len; ++i) {
+        if (ip.bit(depth + i) != n->skip_bit(i)) {
+          mismatch = true;
+          break;
+        }
+      }
+      if (mismatch) break;
+      depth += n->skip_len;
+      if (n->has_value) out.push_back(n->prefix);
+      if (depth >= max_len) break;
+      n = n->child[ip.bit(depth) ? 1 : 0].get();
+      depth += 1;
+    }
+    return out;
+  }
+
+  void clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    // Path compression: after the branch bit that led here, `skip_len`
+    // further bits of `prefix` must match (bits [depth, depth+skip_len)).
+    Prefix prefix;  // the full prefix ending at this node
+    unsigned skip_len = 0;
+    unsigned depth_end = 0;  // prefix length at this node
+    bool has_value = false;
+    V value{};
+    std::unique_ptr<Node> child[2];
+
+    bool skip_bit(unsigned i) const {
+      return prefix.addr().bit(depth_end - skip_len + i);
+    }
+  };
+
+  // Walk/extend the trie toward prefix p. For simplicity and
+  // correctness we implement path compression lazily: nodes are created
+  // per divergence point; a chain of single-child value-less nodes is
+  // represented by skip bits.
+  Node* find_node(const Prefix& p, bool create) {
+    if (!root_) {
+      if (!create) return nullptr;
+      root_ = std::make_unique<Node>();
+      root_->prefix = Prefix(p.addr(), 0);
+      root_->skip_len = 0;
+      root_->depth_end = 0;
+    }
+    Node* n = root_.get();
+    unsigned depth = 0;
+    for (;;) {
+      // Match the node's skip bits against p.
+      unsigned common = 0;
+      while (common < n->skip_len && depth + common < p.len() &&
+             p.addr().bit(depth + common) == n->skip_bit(common)) {
+        ++common;
+      }
+      if (common < n->skip_len) {
+        // Divergence inside the compressed path: split the node.
+        if (!create) return nullptr;
+        n = split(n, depth, common);
+        // After split, n covers exactly depth+common bits.
+        depth += common;
+        if (depth == p.len()) return n;
+        // Continue by creating the branch below.
+        bool b = p.addr().bit(depth);
+        if (!n->child[b]) {
+          n->child[b] = make_leaf(p, depth + 1);
+          return n->child[b].get();
+        }
+        n = n->child[b].get();
+        depth += 1;
+        continue;
+      }
+      depth += n->skip_len;
+      if (depth == p.len()) return n;
+      assert(depth < p.len());
+      bool b = p.addr().bit(depth);
+      if (!n->child[b]) {
+        if (!create) return nullptr;
+        n->child[b] = make_leaf(p, depth + 1);
+        return n->child[b].get();
+      }
+      n = n->child[b].get();
+      depth += 1;
+    }
+  }
+
+  const Node* find_node_const(const Prefix& p) const {
+    return const_cast<PatriciaTrie*>(this)->find_node(p, /*create=*/false);
+  }
+
+  // Create a leaf holding prefix p; the branch bit consumed one bit at
+  // `branch_depth-1`, the leaf's skip covers [branch_depth, p.len()).
+  std::unique_ptr<Node> make_leaf(const Prefix& p, unsigned branch_depth) {
+    auto leaf = std::make_unique<Node>();
+    leaf->prefix = p;
+    leaf->depth_end = p.len();
+    leaf->skip_len = p.len() - branch_depth;
+    return leaf;
+  }
+
+  // Split node n (entered at `depth`) after `common` matched skip bits.
+  // Returns the new upper node covering depth+common bits.
+  Node* split(Node* n, unsigned depth, unsigned common) {
+    auto upper = std::make_unique<Node>();
+    upper->prefix = n->prefix.parent(static_cast<std::uint8_t>(depth + common));
+    upper->depth_end = depth + common;
+    upper->skip_len = common;
+
+    // Lower node keeps the original contents; the branch bit at
+    // depth+common is consumed by the child link.
+    bool lower_bit = n->prefix.addr().bit(depth + common);
+    unsigned old_skip = n->skip_len;
+    n->skip_len = old_skip - common - 1;
+
+    // Find n within its parent and swap in `upper`.
+    // We can only do this via the return-path of find_node; instead we
+    // splice by moving n's contents into a fresh node under upper.
+    auto lower = std::make_unique<Node>();
+    lower->prefix = n->prefix;
+    lower->depth_end = n->depth_end;
+    lower->skip_len = n->skip_len;
+    lower->has_value = n->has_value;
+    lower->value = std::move(n->value);
+    lower->child[0] = std::move(n->child[0]);
+    lower->child[1] = std::move(n->child[1]);
+    upper->child[lower_bit] = std::move(lower);
+
+    // Replace n's contents with upper's.
+    n->prefix = upper->prefix;
+    n->depth_end = upper->depth_end;
+    n->skip_len = upper->skip_len;
+    n->has_value = false;
+    n->value = V{};
+    n->child[0] = std::move(upper->child[0]);
+    n->child[1] = std::move(upper->child[1]);
+    return n;
+  }
+
+  template <typename F>
+  static void visit(const Node* n, F& f) {
+    if (!n) return;
+    if (n->has_value) f(n->prefix, n->value);
+    visit(n->child[0].get(), f);
+    visit(n->child[1].get(), f);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+// Dual-family prefix table.
+template <typename V>
+class PrefixTable {
+ public:
+  bool insert(const Prefix& p, V value) {
+    return tree(p.is_v4()).insert(p, std::move(value));
+  }
+  const V* find(const Prefix& p) const { return tree(p.is_v4()).find(p); }
+  V* find(const Prefix& p) { return tree(p.is_v4()).find(p); }
+  const V* lookup(const IpAddr& ip, Prefix* matched = nullptr) const {
+    return tree(ip.is_v4()).lookup(ip, matched);
+  }
+  bool covered(const IpAddr& ip) const { return tree(ip.is_v4()).covered(ip); }
+  bool erase(const Prefix& p) { return tree(p.is_v4()).erase(p); }
+  std::size_t size() const { return v4_.size() + v6_.size(); }
+  template <typename F>
+  void for_each(F&& f) const {
+    v4_.for_each(f);
+    v6_.for_each(f);
+  }
+  std::vector<Prefix> all_matches(const IpAddr& ip) const {
+    return tree(ip.is_v4()).all_matches(ip);
+  }
+  void clear() {
+    v4_.clear();
+    v6_.clear();
+  }
+
+ private:
+  PatriciaTrie<V>& tree(bool v4) { return v4 ? v4_ : v6_; }
+  const PatriciaTrie<V>& tree(bool v4) const { return v4 ? v4_ : v6_; }
+
+  PatriciaTrie<V> v4_;
+  PatriciaTrie<V> v6_;
+};
+
+}  // namespace bgpbh::net

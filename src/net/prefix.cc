@@ -1,0 +1,109 @@
+#include "net/prefix.h"
+
+#include "util/strings.h"
+
+namespace bgpbh::net {
+
+namespace {
+Ipv4Addr mask_v4(Ipv4Addr a, std::uint8_t len) {
+  if (len == 0) return Ipv4Addr(0);
+  std::uint32_t mask = len >= 32 ? 0xffffffffu : ~((1u << (32 - len)) - 1u);
+  return Ipv4Addr(a.value() & mask);
+}
+
+Ipv6Addr mask_v6(const Ipv6Addr& a, std::uint8_t len) {
+  Ipv6Addr::Bytes b = a.bytes();
+  for (unsigned i = 0; i < 16; ++i) {
+    unsigned bit_start = i * 8;
+    if (bit_start + 8 <= len) continue;
+    if (bit_start >= len) {
+      b[i] = 0;
+    } else {
+      unsigned keep = len - bit_start;
+      b[i] &= static_cast<std::uint8_t>(0xff << (8 - keep));
+    }
+  }
+  return Ipv6Addr(b);
+}
+}  // namespace
+
+Prefix::Prefix(IpAddr addr, std::uint8_t len) : len_(len) {
+  if (addr.is_v4()) {
+    if (len_ > 32) len_ = 32;
+    addr_ = IpAddr(mask_v4(addr.v4(), len_));
+  } else {
+    if (len_ > 128) len_ = 128;
+    addr_ = IpAddr(mask_v6(addr.v6(), len_));
+  }
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view s) {
+  std::size_t slash = s.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IpAddr::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::uint32_t len = 0;
+  if (!util::parse_u32(s.substr(slash + 1), len)) return std::nullopt;
+  if (len > addr->max_len()) return std::nullopt;
+  return Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+Prefix Prefix::host_route(IpAddr addr) {
+  return Prefix(addr, static_cast<std::uint8_t>(addr.max_len()));
+}
+
+bool Prefix::contains(const IpAddr& ip) const {
+  if (ip.is_v4() != addr_.is_v4()) return false;
+  for (unsigned i = 0; i < len_; ++i) {
+    if (ip.bit(i) != addr_.bit(i)) return false;
+  }
+  return true;
+}
+
+bool Prefix::covers(const Prefix& other) const {
+  if (other.len_ < len_) return false;
+  if (other.is_v4() != is_v4()) return false;
+  return contains(other.addr_);
+}
+
+Prefix Prefix::parent(std::uint8_t new_len) const {
+  if (new_len >= len_) return *this;
+  return Prefix(addr_, new_len);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+std::size_t IpAddrHash::operator()(const IpAddr& a) const noexcept {
+  // FNV-1a over the address bytes plus a family tag.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  if (a.is_v4()) {
+    mix(4);
+    std::uint32_t v = a.v4().value();
+    mix(static_cast<std::uint8_t>(v >> 24));
+    mix(static_cast<std::uint8_t>(v >> 16));
+    mix(static_cast<std::uint8_t>(v >> 8));
+    mix(static_cast<std::uint8_t>(v));
+  } else {
+    mix(6);
+    for (std::uint8_t byte : a.v6().bytes()) mix(byte);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t PrefixHash::operator()(const Prefix& p) const noexcept {
+  std::size_t h = IpAddrHash{}(p.addr());
+  return h ^ (static_cast<std::size_t>(p.len()) * 0x9e3779b97f4a7c15ULL);
+}
+
+std::uint64_t ipv4_prefix_size(const Prefix& p) {
+  if (!p.is_v4()) return 0;
+  return 1ULL << (32 - p.len());
+}
+
+}  // namespace bgpbh::net

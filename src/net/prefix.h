@@ -1,0 +1,66 @@
+// CIDR prefixes over IPv4/IPv6 with containment tests and canonical
+// (host-bits-zeroed) representation.  /32 IPv4 prefixes — host routes —
+// are the dominant unit of blackholing in the paper (98% of blackholed
+// prefixes), so Prefix is optimized for cheap copying and hashing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.h"
+
+namespace bgpbh::net {
+
+class Prefix {
+ public:
+  Prefix() = default;
+  // Canonicalizes: bits past `len` are cleared.
+  Prefix(IpAddr addr, std::uint8_t len);
+
+  // "10.0.0.0/8" or "2001:db8::/32".
+  static std::optional<Prefix> parse(std::string_view s);
+  // Host route for a single address (/32 or /128).
+  static Prefix host_route(IpAddr addr);
+
+  const IpAddr& addr() const { return addr_; }
+  std::uint8_t len() const { return len_; }
+  bool is_v4() const { return addr_.is_v4(); }
+  unsigned family_max_len() const { return addr_.max_len(); }
+  bool is_host_route() const { return len_ == family_max_len(); }
+
+  // True if `ip` is inside this prefix (same family required).
+  bool contains(const IpAddr& ip) const;
+  // True if `other` is equal to or more specific than this prefix.
+  bool covers(const Prefix& other) const;
+  // Strictly more specific than /24 (the blackholing signature; only
+  // meaningful for IPv4 in the paper, IPv6 analogue uses /48).
+  bool more_specific_than(std::uint8_t len) const { return len_ > len; }
+
+  // The enclosing prefix of given shorter length.
+  Prefix parent(std::uint8_t new_len) const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddr addr_;
+  std::uint8_t len_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept;
+};
+
+struct IpAddrHash {
+  std::size_t operator()(const IpAddr& a) const noexcept;
+};
+
+// Number of addresses covered by an IPv4 prefix.
+std::uint64_t ipv4_prefix_size(const Prefix& p);
+
+}  // namespace bgpbh::net

@@ -1,0 +1,332 @@
+#include "routing/collectors.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpbh::routing {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0) {
+  util::SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                      (c * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+
+double unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+// Peer IPs for non-PCH sessions: per-(platform, collector) /24 out of
+// 198.51.0.0/16-ish space, clear of the IXP LANs at 185.0.0.0/8.
+net::IpAddr session_ip(Platform p, std::uint32_t collector, std::uint32_t n) {
+  std::uint32_t base = (198u << 24) |
+                       ((10u + static_cast<std::uint32_t>(p) * 40u + collector) << 16) |
+                       ((n >> 8) << 8) | (n & 0xFF);
+  return net::IpAddr(net::Ipv4Addr(base));
+}
+
+}  // namespace
+
+std::string to_string(Platform p) {
+  switch (p) {
+    case Platform::kRis: return "RIS";
+    case Platform::kRouteViews: return "RV";
+    case Platform::kPch: return "PCH";
+    case Platform::kCdn: return "CDN";
+  }
+  return "?";
+}
+
+CollectorFleet CollectorFleet::build(const topology::AsGraph& graph,
+                                     const FleetConfig& cfg) {
+  CollectorFleet fleet;
+  fleet.seed_ = cfg.seed;
+  util::Rng rng(cfg.seed);
+
+  auto add_session = [&fleet](CollectorSession s) {
+    fleet.by_peer_[s.peer_asn].push_back(fleet.sessions_.size());
+    if (s.platform == Platform::kPch && s.ixp_id) {
+      fleet.pch_by_ixp_[*s.ixp_id].push_back(fleet.sessions_.size());
+    }
+    fleet.sessions_.push_back(std::move(s));
+  };
+
+  // ---- RIS / RouteViews: core-biased AS sampling --------------------
+  auto build_core_platform = [&](Platform platform, std::size_t collectors,
+                                 double t1p, double trp, double stp) {
+    std::uint32_t counter = 0;
+    for (const auto& node : graph.nodes()) {
+      double p = node.tier == topology::Tier::kTier1
+                     ? t1p
+                     : (node.tier == topology::Tier::kTransit ? trp : stp);
+      if (!rng.bernoulli(p)) continue;
+      // 1-2 sessions on different collectors (multi-collector peers).
+      std::size_t nsessions = rng.bernoulli(0.35) ? 2 : 1;
+      for (std::size_t k = 0; k < nsessions; ++k) {
+        CollectorSession s;
+        s.platform = platform;
+        s.collector_id = static_cast<std::uint32_t>(rng.uniform(collectors));
+        s.peer_asn = node.asn;
+        s.peer_ip = session_ip(platform, s.collector_id, counter++);
+        double f = rng.uniform01();
+        s.feed = f < 0.55 ? FeedType::kFull
+                          : (f < 0.85 ? FeedType::kPartial : FeedType::kCustomerOnly);
+        add_session(std::move(s));
+      }
+    }
+  };
+  build_core_platform(Platform::kRis, cfg.ris_collectors, cfg.ris_tier1_prob,
+                      cfg.ris_transit_prob, cfg.ris_stub_prob);
+  build_core_platform(Platform::kRouteViews, cfg.rv_collectors, cfg.rv_tier1_prob,
+                      cfg.rv_transit_prob, cfg.rv_stub_prob);
+
+  // ---- PCH: one collector per PCH IXP --------------------------------
+  for (const auto& ixp : graph.ixps()) {
+    if (!ixp.has_pch_collector) continue;
+    std::uint32_t lan_base = ixp.peering_lan.addr().v4().value();
+    // Session with the route server itself (LAN .1).
+    {
+      CollectorSession s;
+      s.platform = Platform::kPch;
+      s.collector_id = ixp.id;
+      s.peer_asn = ixp.route_server_asn;
+      s.peer_ip = net::IpAddr(net::Ipv4Addr(lan_base + 1));
+      s.feed = FeedType::kFull;
+      s.ixp_id = ixp.id;
+      s.route_server_session = true;
+      add_session(std::move(s));
+    }
+    // Sessions with a sample of members over the LAN.
+    std::uint32_t host = 10;
+    for (bgp::Asn member : ixp.members) {
+      if (!rng.bernoulli(cfg.pch_member_prob)) continue;
+      CollectorSession s;
+      s.platform = Platform::kPch;
+      s.collector_id = ixp.id;
+      s.peer_asn = member;
+      s.peer_ip = net::IpAddr(net::Ipv4Addr(lan_base + host++));
+      s.feed = FeedType::kPartial;
+      s.ixp_id = ixp.id;
+      add_session(std::move(s));
+      if (host >= 150) break;  // cap sessions per IXP (collector capacity)
+    }
+  }
+
+  // ---- CDN: wide, partially internal ---------------------------------
+  {
+    std::uint32_t counter = 0;
+    for (const auto& node : graph.nodes()) {
+      if (!rng.bernoulli(cfg.cdn_as_prob)) continue;
+      std::size_t nsessions = 1 + rng.uniform(3);
+      bool internal = rng.bernoulli(cfg.cdn_internal_prob);
+      for (std::size_t k = 0; k < nsessions; ++k) {
+        CollectorSession s;
+        s.platform = Platform::kCdn;
+        s.collector_id = static_cast<std::uint32_t>(rng.uniform(24));  // regions
+        s.peer_asn = node.asn;
+        s.peer_ip = session_ip(Platform::kCdn, s.collector_id, counter++);
+        s.feed = FeedType::kFull;
+        s.internal_feed = internal;
+        add_session(std::move(s));
+      }
+    }
+  }
+  return fleet;
+}
+
+std::span<const std::size_t> CollectorFleet::sessions_of(bgp::Asn asn) const {
+  auto it = by_peer_.find(asn);
+  if (it == by_peer_.end()) return {};
+  return it->second;
+}
+
+std::span<const std::size_t> CollectorFleet::pch_sessions_at(
+    std::uint32_t ixp_id) const {
+  auto it = pch_by_ixp_.find(ixp_id);
+  if (it == pch_by_ixp_.end()) return {};
+  return it->second;
+}
+
+// mode: 0 = announce, 1 = explicit withdrawal, 2 = implicit withdrawal
+// (re-announcement without the blackhole communities).
+std::vector<FeedUpdate> CollectorFleet::observe_internal(
+    const BlackholePropagation& prop, const BlackholeAnnouncement& ann,
+    const PropagationEngine& engine, util::SimTime time, int mode) const {
+  std::vector<FeedUpdate> out;
+  const auto& graph = engine.graph();
+
+  for (const auto& holder : prop.holders) {
+    auto session_indices = sessions_of(holder.holder);
+    if (session_indices.empty()) continue;
+
+    for (std::size_t si : session_indices) {
+      const CollectorSession& s = sessions_[si];
+
+      // Route-server routes carry no-export: members never re-export
+      // them to any collector.  The only observable RS copy is the
+      // route server's own session with the PCH collector at that IXP.
+      if (holder.via_route_server && holder.holder != ann.user) {
+        bool rs_own_session = s.route_server_session && s.ixp_id &&
+                              *s.ixp_id == holder.ixp_id &&
+                              s.peer_asn == holder.holder;
+        if (!rs_own_session) continue;
+      }
+      // Conversely, blackhole /32s learned over transit do not cross
+      // IXP LAN sessions of third parties (IXP peers filter
+      // more-specifics unless tagged for *their* blackholing service);
+      // only the user's own LAN session carries its announcement.
+      if (!holder.via_route_server && holder.holder != ann.user &&
+          s.platform == Platform::kPch) {
+        continue;
+      }
+      // Customer-only feeds export only customer-learned routes.
+      if (s.feed == FeedType::kCustomerOnly) {
+        bool customer_learned =
+            holder.path.length() >= 2 &&
+            graph.relationship(holder.holder, holder.path.hops()[1]) ==
+                topology::AsGraph::Rel::kCustomer;
+        if (!customer_learned && holder.holder != ann.user) continue;
+      }
+
+      FeedUpdate fu;
+      fu.platform = s.platform;
+      bgp::ObservedUpdate& u = fu.update;
+      u.peer_ip = s.peer_ip;
+      u.peer_asn = s.peer_asn;
+      u.collector_id = s.collector_id;
+      std::uint64_t jitter_h =
+          mix(seed_, 0x77, (static_cast<std::uint64_t>(holder.holder) << 16) ^ si);
+      u.time = time + 2 * holder.hops_from_user +
+               static_cast<util::SimTime>(jitter_h % 4);
+
+      if (mode == 1) {
+        u.body.withdrawn.push_back(ann.prefix);
+      } else {
+        u.body.announced.push_back(ann.prefix);
+        // AS path as exported to the collector, with deterministic
+        // prepending by the exporting AS.
+        std::vector<bgp::Asn> hops;
+        std::size_t pf = engine.prepend_factor(holder.holder);
+        if (!holder.path.empty() && holder.path.hops().front() == holder.holder) {
+          for (std::size_t k = 0; k < pf; ++k) hops.push_back(holder.holder);
+          hops.insert(hops.end(), holder.path.hops().begin() + 1,
+                      holder.path.hops().end());
+        } else {
+          hops = holder.path.hops();  // transparent-RS style path
+        }
+        u.body.as_path = bgp::AsPath(std::move(hops));
+        if (mode == 0) {
+          u.body.communities = holder.communities;
+        } else {
+          // Implicit withdrawal: same prefix, no blackhole communities.
+          u.body.communities = bgp::CommunitySet{};
+        }
+        // Exporters sometimes attach their own service communities.
+        const topology::AsNode* hn = graph.find(holder.holder);
+        if (hn && !hn->service_communities.empty() &&
+            unit(mix(seed_, 0x88, holder.holder)) < 0.08) {
+          u.body.communities.add(hn->service_communities.front());
+        }
+        // Next hop: IXP blackhole IP for RS routes, else a peer address.
+        if (holder.via_route_server) {
+          const topology::Ixp* ixp = graph.find_ixp(holder.ixp_id);
+          if (ixp) {
+            u.body.next_hop =
+                ann.misconfig == BlackholeAnnouncement::Misconfig::kInvalidNextHop
+                    ? net::IpAddr(net::Ipv4Addr(0x7F000001))  // bogus next hop
+                    : ixp->blackhole_ip_v4;
+          }
+        } else {
+          u.body.next_hop = s.peer_ip;
+        }
+      }
+      out.push_back(std::move(fu));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const FeedUpdate& a, const FeedUpdate& b) {
+    return a.update.time < b.update.time;
+  });
+  return out;
+}
+
+std::vector<FeedUpdate> CollectorFleet::observe_announcement(
+    const BlackholePropagation& prop, const BlackholeAnnouncement& ann,
+    const PropagationEngine& engine) const {
+  return observe_internal(prop, ann, engine, ann.time, 0);
+}
+
+std::vector<FeedUpdate> CollectorFleet::observe_withdrawal(
+    const BlackholePropagation& prop, const BlackholeAnnouncement& ann,
+    const PropagationEngine& engine, util::SimTime time,
+    bool explicit_withdrawal) const {
+  return observe_internal(prop, ann, engine, time, explicit_withdrawal ? 1 : 2);
+}
+
+std::map<Platform, DatasetStats> CollectorFleet::table1_stats(
+    const topology::AsGraph& graph) const {
+  // Global routed prefix count.
+  std::uint64_t global_prefixes = 0;
+  for (const auto& node : graph.nodes()) {
+    global_prefixes += node.originated_v4.size() + node.originated_v6.size();
+  }
+
+  std::map<Platform, DatasetStats> stats;
+  std::map<Platform, std::map<bgp::Asn, bool>> platform_peers;
+  std::map<Platform, std::uint64_t> extras;
+
+  for (const auto& s : sessions_) {
+    auto& st = stats[s.platform];
+    st.ip_peers += 1;
+    platform_peers[s.platform][s.peer_asn] = true;
+    const topology::AsNode* node = graph.find(s.peer_asn);
+    if (!node) continue;  // route-server pseudo-AS
+    double rate = 0.0;
+    switch (s.platform) {
+      case Platform::kRis: rate = 0.02; break;
+      case Platform::kRouteViews: rate = 0.06; break;
+      case Platform::kPch: rate = 0.25; break;
+      case Platform::kCdn: rate = s.internal_feed ? 1.0 : 0.05; break;
+    }
+    extras[s.platform] +=
+        static_cast<std::uint64_t>(node->internal_prefix_count * rate);
+  }
+  // AS-peer counts and cross-platform uniqueness.
+  std::map<bgp::Asn, int> platform_count;
+  for (auto& [platform, peers] : platform_peers) {
+    for (auto& [asn, _] : peers) platform_count[asn] += 1;
+  }
+  for (auto& [platform, peers] : platform_peers) {
+    auto& st = stats[platform];
+    st.as_peers = peers.size();
+    for (auto& [asn, _] : peers) {
+      if (platform_count[asn] == 1) st.unique_as_peers += 1;
+    }
+    st.prefixes = global_prefixes + extras[platform];
+    st.unique_prefixes = extras[platform];
+  }
+  return stats;
+}
+
+DatasetStats CollectorFleet::table1_total(const topology::AsGraph& graph) const {
+  auto per = table1_stats(graph);
+  DatasetStats total;
+  std::map<bgp::Asn, bool> all_peers;
+  for (const auto& s : sessions_) {
+    total.ip_peers += 1;
+    all_peers[s.peer_asn] = true;
+  }
+  total.as_peers = all_peers.size();
+  std::uint64_t global_prefixes = 0;
+  for (const auto& node : graph.nodes()) {
+    global_prefixes += node.originated_v4.size() + node.originated_v6.size();
+  }
+  std::uint64_t extras = 0;
+  for (auto& [p, st] : per) {
+    extras += st.unique_prefixes;
+    total.unique_as_peers += st.unique_as_peers;
+  }
+  total.prefixes = global_prefixes + extras;
+  total.unique_prefixes = extras;
+  return total;
+}
+
+}  // namespace bgpbh::routing

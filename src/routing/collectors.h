@@ -1,0 +1,121 @@
+// Collector infrastructure: the four BGP datasets of the paper (§3).
+//
+// * RIPE RIS & RouteViews: multi-collector platforms biased toward
+//   large transit providers in the core.
+// * PCH: route collectors at IXPs, peering with the IXP route server
+//   and a subset of members over the peering LAN (so the peer-ip of
+//   observed updates falls inside the LAN — the §4.2 IXP signal).
+// * CDN: thousands of feeds, many *inside* ISPs, which also carry
+//   internal/customer-specific announcements — the reason the CDN
+//   dataset sees multiple times more unique prefixes (Table 1).
+//
+// The fleet converts BlackholePropagation ground truth into the update
+// streams each platform records; the inference engine never sees
+// anything but these streams.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/update.h"
+#include "routing/propagation.h"
+#include "topology/as_graph.h"
+
+namespace bgpbh::routing {
+
+enum class Platform : std::uint8_t { kRis, kRouteViews, kPch, kCdn };
+inline constexpr std::size_t kNumPlatforms = 4;
+inline constexpr std::array<Platform, kNumPlatforms> kAllPlatforms = {
+    Platform::kRis, Platform::kRouteViews, Platform::kPch, Platform::kCdn};
+
+std::string to_string(Platform p);
+
+enum class FeedType : std::uint8_t { kFull, kPartial, kCustomerOnly };
+
+struct CollectorSession {
+  Platform platform = Platform::kRis;
+  std::uint32_t collector_id = 0;
+  bgp::Asn peer_asn = 0;
+  net::IpAddr peer_ip;
+  FeedType feed = FeedType::kFull;
+  bool internal_feed = false;             // CDN in-ISP deployment
+  std::optional<std::uint32_t> ixp_id;    // PCH sessions live on an IXP LAN
+  bool route_server_session = false;      // peer is the IXP route server
+};
+
+// One update stamped with the platform that recorded it.
+struct FeedUpdate {
+  Platform platform = Platform::kRis;
+  bgp::ObservedUpdate update;
+};
+
+struct FleetConfig {
+  std::uint64_t seed = 7;
+  std::size_t ris_collectors = 14;
+  std::size_t rv_collectors = 15;
+  // Platform peer-AS sampling probabilities by tier.
+  double ris_tier1_prob = 1.0, ris_transit_prob = 0.33, ris_stub_prob = 0.015;
+  double rv_tier1_prob = 1.0, rv_transit_prob = 0.22, rv_stub_prob = 0.010;
+  double pch_member_prob = 0.35;   // members with a PCH session per IXP
+  double cdn_as_prob = 0.45;       // ASes feeding the CDN
+  double cdn_internal_prob = 0.55; // CDN sessions deployed inside the ISP
+  // Per-platform rate of "extra" prefixes a peer announces only to this
+  // platform (drives Table 1 unique-prefix counts).
+  double ris_extra_rate = 0.02, rv_extra_rate = 0.06, pch_extra_rate = 0.25;
+};
+
+// Table 1 row.
+struct DatasetStats {
+  std::size_t ip_peers = 0;
+  std::size_t as_peers = 0;
+  std::size_t unique_as_peers = 0;
+  std::uint64_t prefixes = 0;
+  std::uint64_t unique_prefixes = 0;
+};
+
+class CollectorFleet {
+ public:
+  static CollectorFleet build(const topology::AsGraph& graph,
+                              const FleetConfig& config);
+
+  const std::vector<CollectorSession>& sessions() const { return sessions_; }
+  // Indices into sessions() for a given peer AS.
+  std::span<const std::size_t> sessions_of(bgp::Asn asn) const;
+  // PCH sessions present at a given IXP.
+  std::span<const std::size_t> pch_sessions_at(std::uint32_t ixp_id) const;
+
+  // Materialize the updates recorded across all platforms for one
+  // blackhole announcement.  `rng_label` keys the deterministic jitter.
+  std::vector<FeedUpdate> observe_announcement(
+      const BlackholePropagation& prop, const BlackholeAnnouncement& ann,
+      const PropagationEngine& engine) const;
+
+  // End-of-event updates for the same holder set: explicit withdrawals
+  // or an implicit re-announcement without the blackhole communities.
+  std::vector<FeedUpdate> observe_withdrawal(
+      const BlackholePropagation& prop, const BlackholeAnnouncement& ann,
+      const PropagationEngine& engine, util::SimTime time,
+      bool explicit_withdrawal) const;
+
+  // Table 1 dataset overview.
+  std::map<Platform, DatasetStats> table1_stats(const topology::AsGraph& graph) const;
+  DatasetStats table1_total(const topology::AsGraph& graph) const;
+
+ private:
+  std::vector<FeedUpdate> observe_internal(const BlackholePropagation& prop,
+                                           const BlackholeAnnouncement& ann,
+                                           const PropagationEngine& engine,
+                                           util::SimTime time, int mode) const;
+
+  std::vector<CollectorSession> sessions_;
+  std::unordered_map<bgp::Asn, std::vector<std::size_t>> by_peer_;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> pch_by_ixp_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace bgpbh::routing

@@ -1,0 +1,64 @@
+#include "routing/looking_glass.h"
+
+namespace bgpbh::routing {
+
+void LookingGlass::install(LgRoute route) {
+  routes_[route.prefix] = std::move(route);
+}
+
+void LookingGlass::remove(const net::Prefix& prefix) { routes_.erase(prefix); }
+
+std::optional<LgRoute> LookingGlass::query_prefix(const net::Prefix& prefix) const {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<LgRoute> LookingGlass::query_community(bgp::Community c) const {
+  std::vector<LgRoute> out;
+  if (!supports_community_queries_) return out;
+  for (const auto& [prefix, route] : routes_) {
+    if (route.communities.contains(c)) out.push_back(route);
+  }
+  return out;
+}
+
+std::vector<LgRoute> LookingGlass::full_table() const {
+  std::vector<LgRoute> out;
+  out.reserve(routes_.size());
+  for (const auto& [prefix, route] : routes_) out.push_back(route);
+  return out;
+}
+
+LookingGlass& LookingGlassDirectory::add(bgp::Asn asn,
+                                         bool supports_community_queries) {
+  auto [it, inserted] =
+      glasses_.emplace(asn, LookingGlass(asn, supports_community_queries));
+  return it->second;
+}
+
+LookingGlass* LookingGlassDirectory::find(bgp::Asn asn) {
+  auto it = glasses_.find(asn);
+  return it == glasses_.end() ? nullptr : &it->second;
+}
+
+const LookingGlass* LookingGlassDirectory::find(bgp::Asn asn) const {
+  auto it = glasses_.find(asn);
+  return it == glasses_.end() ? nullptr : &it->second;
+}
+
+std::size_t LookingGlassDirectory::num_community_capable() const {
+  std::size_t n = 0;
+  for (const auto& [asn, lg] : glasses_) {
+    if (lg.supports_community_queries()) ++n;
+  }
+  return n;
+}
+
+std::vector<bgp::Asn> LookingGlassDirectory::all_asns() const {
+  std::vector<bgp::Asn> out;
+  for (const auto& [asn, lg] : glasses_) out.push_back(asn);
+  return out;
+}
+
+}  // namespace bgpbh::routing

@@ -1,0 +1,68 @@
+// Periscope-style looking-glass substrate (§3, §5.2).
+//
+// The paper uses ~150 looking glasses, 30 of which support full-table
+// or community-filtered queries, mainly to validate blackholing that is
+// invisible in the BGP feeds (e.g. the Cogent/Pirate-Bay case).  Our
+// substitute exposes the same two query shapes against per-AS route
+// state that the study records out-of-band from propagation results.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/community.h"
+#include "bgp/aspath.h"
+#include "net/prefix.h"
+#include "util/time.h"
+
+namespace bgpbh::routing {
+
+struct LgRoute {
+  net::Prefix prefix;
+  bgp::AsPath as_path;
+  bgp::CommunitySet communities;
+  util::SimTime installed = 0;
+};
+
+class LookingGlass {
+ public:
+  explicit LookingGlass(bgp::Asn asn, bool supports_community_queries)
+      : asn_(asn), supports_community_queries_(supports_community_queries) {}
+
+  bgp::Asn asn() const { return asn_; }
+  bool supports_community_queries() const { return supports_community_queries_; }
+
+  void install(LgRoute route);
+  void remove(const net::Prefix& prefix);
+
+  // "show ip bgp <prefix>"
+  std::optional<LgRoute> query_prefix(const net::Prefix& prefix) const;
+  // "show ip bgp community <c>" — only on capable LGs.
+  std::vector<LgRoute> query_community(bgp::Community c) const;
+  // Full table dump.
+  std::vector<LgRoute> full_table() const;
+
+ private:
+  bgp::Asn asn_;
+  bool supports_community_queries_;
+  std::map<net::Prefix, LgRoute> routes_;
+};
+
+// The Periscope-like registry of available looking glasses.
+class LookingGlassDirectory {
+ public:
+  LookingGlass& add(bgp::Asn asn, bool supports_community_queries);
+  LookingGlass* find(bgp::Asn asn);
+  const LookingGlass* find(bgp::Asn asn) const;
+  std::size_t size() const { return glasses_.size(); }
+  std::size_t num_community_capable() const;
+
+  std::vector<bgp::Asn> all_asns() const;
+
+ private:
+  std::map<bgp::Asn, LookingGlass> glasses_;
+};
+
+}  // namespace bgpbh::routing

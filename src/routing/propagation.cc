@@ -1,0 +1,421 @@
+#include "routing/propagation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace bgpbh::routing {
+
+namespace {
+
+// Stable per-entity hash for behavioural coin flips that must not
+// depend on call order (e.g. whether an IXP member honours RS routes).
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0) {
+  util::SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL) ^ (c * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+PropagationEngine::PropagationEngine(const AsGraph& graph,
+                                     const topology::CustomerCones& cones,
+                                     std::uint64_t seed)
+    : graph_(graph), cones_(cones), rng_(seed), seed_(seed) {}
+
+const RouteTree& PropagationEngine::tree_for_origin(Asn origin) {
+  auto it = tree_cache_.find(origin);
+  if (it != tree_cache_.end()) return it->second;
+  RouteTree& tree = tree_cache_[origin];
+  compute_tree(origin, tree);
+  return tree;
+}
+
+void PropagationEngine::compute_tree(Asn origin, RouteTree& tree) {
+  const auto& nodes = graph_.nodes();
+  std::size_t n = nodes.size();
+  tree.parent.assign(n, -1);
+  tree.cls.assign(n, RouteClass::kNone);
+  tree.dist.assign(n, 0xFF);
+
+  auto origin_idx = graph_.index_of(origin);
+  if (!origin_idx) return;
+
+  // Phase 1: customer routes travel upward (via provider edges).
+  std::deque<std::size_t> queue;
+  tree.cls[*origin_idx] = RouteClass::kCustomer;
+  tree.dist[*origin_idx] = 0;
+  queue.push_back(*origin_idx);
+  std::vector<std::size_t> phase1_order;
+  while (!queue.empty()) {
+    std::size_t x = queue.front();
+    queue.pop_front();
+    phase1_order.push_back(x);
+    for (Asn prov : nodes[x].providers) {
+      auto pi = graph_.index_of(prov);
+      if (!pi || tree.cls[*pi] != RouteClass::kNone) continue;
+      tree.cls[*pi] = RouteClass::kCustomer;
+      tree.parent[*pi] = static_cast<std::int32_t>(x);
+      tree.dist[*pi] = tree.dist[x] + 1;
+      queue.push_back(*pi);
+    }
+  }
+
+  // Phase 2: customer routes exported to peers (single hop; peer routes
+  // are not re-exported to peers or providers).
+  std::vector<std::size_t> peer_seeds;
+  for (std::size_t x : phase1_order) {
+    for (Asn peer : nodes[x].peers) {
+      auto pi = graph_.index_of(peer);
+      if (!pi || tree.cls[*pi] != RouteClass::kNone) continue;
+      tree.cls[*pi] = RouteClass::kPeer;
+      tree.parent[*pi] = static_cast<std::int32_t>(x);
+      tree.dist[*pi] = tree.dist[x] + 1;
+      peer_seeds.push_back(*pi);
+    }
+  }
+
+  // Phase 3: any route is exported to customers (provider routes travel
+  // down).  Seed with all routed ASes in increasing distance order so
+  // the BFS yields shortest valley-free paths.
+  std::vector<std::size_t> seeds;
+  seeds.insert(seeds.end(), phase1_order.begin(), phase1_order.end());
+  seeds.insert(seeds.end(), peer_seeds.begin(), peer_seeds.end());
+  std::stable_sort(seeds.begin(), seeds.end(), [&tree](std::size_t a, std::size_t b) {
+    return tree.dist[a] < tree.dist[b];
+  });
+  queue.assign(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    std::size_t x = queue.front();
+    queue.pop_front();
+    for (Asn cust : nodes[x].customers) {
+      auto ci = graph_.index_of(cust);
+      if (!ci || tree.cls[*ci] != RouteClass::kNone) continue;
+      tree.cls[*ci] = RouteClass::kProvider;
+      tree.parent[*ci] = static_cast<std::int32_t>(x);
+      tree.dist[*ci] = tree.dist[x] + 1;
+      queue.push_back(*ci);
+    }
+  }
+}
+
+std::optional<bgp::AsPath> PropagationEngine::baseline_path(Asn from, Asn origin) {
+  const RouteTree& tree = tree_for_origin(origin);
+  auto fi = graph_.index_of(from);
+  if (!fi || !tree.reachable(*fi)) return std::nullopt;
+  std::vector<Asn> hops;
+  std::int32_t cur = static_cast<std::int32_t>(*fi);
+  const auto& nodes = graph_.nodes();
+  while (cur >= 0) {
+    hops.push_back(nodes[static_cast<std::size_t>(cur)].asn);
+    if (nodes[static_cast<std::size_t>(cur)].asn == origin) break;
+    cur = tree.parent[static_cast<std::size_t>(cur)];
+  }
+  if (hops.empty() || hops.back() != origin) return std::nullopt;
+  return bgp::AsPath(std::move(hops));
+}
+
+bool PropagationEngine::member_uses_route_server(std::uint32_t ixp_id,
+                                                 Asn member) const {
+  return unit(mix(seed_, 0x1001, (static_cast<std::uint64_t>(ixp_id) << 32) | member)) < 0.70;
+}
+
+bool PropagationEngine::honours_rs_blackhole(std::uint32_t ixp_id, Asn member) const {
+  if (!member_uses_route_server(ixp_id, member)) return false;
+  // Many members have not updated router configs to accept /32s (§10:
+  // only about one third of the traffic-sending ASes drop).
+  return unit(mix(seed_, 0x1002, (static_cast<std::uint64_t>(ixp_id) << 32) | member)) < 0.55;
+}
+
+std::size_t PropagationEngine::prepend_factor(Asn asn) const {
+  double u = unit(mix(seed_, 0x1003, asn));
+  if (u < 0.85) return 1;
+  if (u < 0.95) return 2;
+  return 3;
+}
+
+BlackholePropagation PropagationEngine::propagate_blackhole(
+    const BlackholeAnnouncement& ann) {
+  BlackholePropagation result;
+  const topology::AsNode* user = graph_.find(ann.user);
+  if (!user) return result;
+
+  // Assemble the community payloads.
+  auto provider_community = [this](Asn provider) -> std::optional<bgp::Community> {
+    const topology::AsNode* p = graph_.find(provider);
+    if (!p || !p->blackhole.offers_blackholing || p->blackhole.communities.empty())
+      return std::nullopt;
+    return p->blackhole.communities.front();
+  };
+
+  bgp::CommunitySet bundle;
+  for (Asn p : ann.target_providers) {
+    if (auto c = provider_community(p)) bundle.add(*c);
+  }
+  for (std::uint32_t ix : ann.target_ixps) {
+    const topology::Ixp* ixp = graph_.find_ixp(ix);
+    if (ixp && ixp->offers_blackholing) bundle.add(ixp->blackhole_community);
+  }
+  for (auto c : ann.extra_communities) bundle.add(c);
+
+  if (ann.misconfig == BlackholeAnnouncement::Misconfig::kWrongCommunity) {
+    // Typo'd community values: shift every blackhole value by +5.
+    bgp::CommunitySet corrupted;
+    for (auto c : bundle.classic()) {
+      corrupted.add(bgp::Community(c.asn(), static_cast<std::uint16_t>(c.value() + 5)));
+    }
+    bundle = corrupted;
+  }
+
+  // The user itself holds the union view (what an internal/CDN feed sees).
+  {
+    BlackholeRouteHolder self;
+    self.holder = ann.user;
+    self.path = bgp::AsPath({ann.user});
+    self.communities = bundle;
+    self.hops_from_user = 0;
+    result.holders.push_back(std::move(self));
+  }
+
+  // Best practice (§2): blackholing is accepted only for prefixes more
+  // specific than /24 (IPv6: /48), up to the provider's maximum length.
+  auto length_ok = [&](std::uint8_t max_len) {
+    if (ann.prefix.is_v4()) {
+      return ann.prefix.len() > 24 && ann.prefix.len() <= max_len;
+    }
+    return ann.prefix.len() > 48;
+  };
+
+  // Authentication outcome for (provider policy, user, prefix).
+  auto auth_ok = [&](const topology::AsNode& provider) {
+    if (ann.misconfig == BlackholeAnnouncement::Misconfig::kWrongCommunity)
+      return false;  // community didn't match; nothing to authenticate
+    if (!length_ok(provider.blackhole.max_accepted_prefix_len)) return false;
+    auto origin = graph_.origin_of(ann.prefix.addr());
+    switch (provider.blackhole.auth) {
+      case topology::BlackholeAuth::kCustomerCone:
+        return origin.has_value() &&
+               (*origin == ann.user || cones_.in_cone(ann.user, *origin));
+      case topology::BlackholeAuth::kRpki:
+        // Assume users maintain ROAs for their own space only.
+        return origin.has_value() && *origin == ann.user;
+      case topology::BlackholeAuth::kIrr:
+        return ann.misconfig != BlackholeAnnouncement::Misconfig::kMissingIrrEntry;
+    }
+    return false;
+  };
+
+  // BFS frontier of (holder_idx, path, comms, hops) for onward leaking.
+  struct Pending {
+    Asn holder;
+    std::vector<Asn> path;  // holder-first
+    bgp::CommunitySet comms;
+    std::uint8_t hops;
+  };
+  std::deque<Pending> frontier;
+  std::unordered_map<Asn, bool> visited;
+  visited[ann.user] = true;
+
+  auto deliver = [&](Asn to, const bgp::CommunitySet& comms,
+                     const std::vector<Asn>& path_tail, std::uint8_t hops,
+                     bool is_target_provider) {
+    if (visited.contains(to)) return;
+    const topology::AsNode* node = graph_.find(to);
+    if (!node) return;
+
+    bool accepted = false;
+    if (is_target_provider) {
+      accepted = auth_ok(*node);
+      if (accepted) result.activated_providers.push_back(to);
+    } else if (node->blackhole.offers_blackholing && !node->blackhole.communities.empty() &&
+               comms.contains(node->blackhole.communities.front())) {
+      // Bundled announcement reaching a blackholing provider that the
+      // user targeted via the bundle (Fig 3: AS P1/P2 for user C2).
+      accepted = auth_ok(*node);
+      if (accepted) result.activated_providers.push_back(to);
+    } else {
+      // A plain neighbour only keeps the more-specific if its ingress
+      // filters allow it (best practice says reject > /24).
+      accepted = !ann.prefix.more_specific_than(24) || node->accepts_more_specifics;
+    }
+    if (!accepted) return;
+    visited[to] = true;
+
+    std::vector<Asn> path{to};
+    path.insert(path.end(), path_tail.begin(), path_tail.end());
+
+    BlackholeRouteHolder h;
+    h.holder = to;
+    h.path = bgp::AsPath(path);
+    h.communities = comms;
+    h.hops_from_user = static_cast<std::uint8_t>(hops);
+    result.holders.push_back(h);
+
+    frontier.push_back(Pending{to, std::move(path), comms, hops});
+  };
+
+  // Direct deliveries from the user.
+  if (ann.bundle) {
+    // Same (bundled) announcement to every external neighbour.
+    std::vector<Asn> neighbours;
+    neighbours.insert(neighbours.end(), user->providers.begin(), user->providers.end());
+    neighbours.insert(neighbours.end(), user->peers.begin(), user->peers.end());
+    for (Asn n : neighbours) {
+      bool is_target = std::find(ann.target_providers.begin(),
+                                 ann.target_providers.end(),
+                                 n) != ann.target_providers.end();
+      deliver(n, bundle, {ann.user}, 1, is_target);
+    }
+  } else {
+    // Tailored announcement per target provider.
+    for (Asn p : ann.target_providers) {
+      bgp::CommunitySet tailored;
+      if (auto c = provider_community(p)) tailored.add(*c);
+      for (auto c : ann.extra_communities) tailored.add(c);
+      if (ann.misconfig == BlackholeAnnouncement::Misconfig::kWrongCommunity) {
+        bgp::CommunitySet corrupted;
+        for (auto c : tailored.classic()) {
+          corrupted.add(bgp::Community(c.asn(),
+                                       static_cast<std::uint16_t>(c.value() + 5)));
+        }
+        tailored = corrupted;
+      }
+      deliver(p, tailored, {ann.user}, 1, /*is_target_provider=*/true);
+    }
+  }
+
+  // IXP route-server deliveries.  With bundling, the announcement goes
+  // to every route server the user peers with — and since 47 of 49
+  // blackholing IXPs share the RFC 7999 65535:666 value, any of them
+  // whose community appears in the bundle treats it as a blackholing
+  // request, targeted or not.
+  std::vector<std::uint32_t> effective_ixps = ann.target_ixps;
+  if (ann.bundle) {
+    for (std::uint32_t ix : user->ixps) {
+      const topology::Ixp* ixp = graph_.find_ixp(ix);
+      if (!ixp || !ixp->offers_blackholing) continue;
+      if (!bundle.contains(ixp->blackhole_community)) continue;
+      if (std::find(effective_ixps.begin(), effective_ixps.end(), ix) ==
+          effective_ixps.end()) {
+        effective_ixps.push_back(ix);
+      }
+    }
+  }
+  for (std::uint32_t ix : effective_ixps) {
+    const topology::Ixp* ixp = graph_.find_ixp(ix);
+    if (!ixp || !ixp->offers_blackholing) continue;
+    bool is_member = std::binary_search(ixp->members.begin(), ixp->members.end(), ann.user);
+    if (!is_member) continue;
+    if (ann.misconfig == BlackholeAnnouncement::Misconfig::kMissingIrrEntry) {
+      // The route server's IRR filter rejects the announcement; it never
+      // reaches the members (control-plane visibility only via the
+      // user's own collector sessions).
+      result.control_plane_only = true;
+      continue;
+    }
+    bgp::CommunitySet ixp_comms = ann.bundle ? bundle : bgp::CommunitySet{};
+    if (!ann.bundle) {
+      ixp_comms.add(ixp->blackhole_community);
+      for (auto c : ann.extra_communities) ixp_comms.add(c);
+    }
+    if (ann.misconfig == BlackholeAnnouncement::Misconfig::kWrongCommunity) {
+      continue;  // RS does not recognize the community; treated as a
+                 // regular (rejected, /32) announcement.
+    }
+    if (!length_ok(32)) continue;  // RS rejects /24-or-shorter blackholing
+    result.activated_ixps.push_back(ix);
+    if (ann.misconfig == BlackholeAnnouncement::Misconfig::kInvalidNextHop) {
+      result.control_plane_only = true;
+    }
+
+    // The route server itself is observable (PCH peers with it).
+    {
+      BlackholeRouteHolder rs;
+      rs.holder = ixp->route_server_asn;
+      rs.path = ixp->transparent_route_server
+                    ? bgp::AsPath({ann.user})
+                    : bgp::AsPath({ixp->route_server_asn, ann.user});
+      rs.communities = ixp_comms;
+      rs.via_route_server = true;
+      rs.ixp_id = ix;
+      rs.hops_from_user = 1;
+      result.holders.push_back(std::move(rs));
+    }
+    // Members that maintain an RS session receive the redistributed route.
+    for (Asn member : ixp->members) {
+      if (member == ann.user) continue;
+      if (!member_uses_route_server(ix, member)) continue;
+      result.rs_receivers.emplace_back(ix, member);
+      if (visited.contains(member)) continue;
+      const topology::AsNode* mnode = graph_.find(member);
+      if (!mnode) continue;
+      // A member installs/keeps the /32 only if its filters accept it.
+      if (ann.prefix.more_specific_than(24) && !mnode->accepts_more_specifics &&
+          !honours_rs_blackhole(ix, member)) {
+        continue;
+      }
+      visited[member] = true;
+      BlackholeRouteHolder h;
+      h.holder = member;
+      std::vector<Asn> path{member};
+      if (!ixp->transparent_route_server) path.push_back(ixp->route_server_asn);
+      path.push_back(ann.user);
+      h.path = bgp::AsPath(path);
+      h.communities = ixp_comms;
+      h.via_route_server = true;
+      h.ixp_id = ix;
+      h.hops_from_user = 2;
+      result.holders.push_back(h);
+      // Members do not re-export RS-learned blackhole routes (they are
+      // tagged no-export by the RS in practice).
+    }
+  }
+
+  // Onward leaking beyond the first hop (RFC 7999 says suppress; ~30%
+  // of blackholed prefixes are nonetheless seen >= 1 hop away, Fig 7c).
+  while (!frontier.empty()) {
+    Pending cur = frontier.front();
+    frontier.pop_front();
+    if (cur.hops >= 5) continue;
+    const topology::AsNode* node = graph_.find(cur.holder);
+    if (!node) continue;
+
+    double leak_p = node->blackhole.offers_blackholing
+                        ? node->blackhole.leak_probability
+                        : 0.05;
+    std::vector<Asn> neighbours;
+    neighbours.insert(neighbours.end(), node->providers.begin(), node->providers.end());
+    neighbours.insert(neighbours.end(), node->peers.begin(), node->peers.end());
+    neighbours.insert(neighbours.end(), node->customers.begin(), node->customers.end());
+    for (Asn n : neighbours) {
+      if (visited.contains(n)) continue;
+      double u = unit(mix(seed_, 0x2000 + cur.hops,
+                          (static_cast<std::uint64_t>(cur.holder) << 32) | n));
+      if (u >= leak_p) continue;
+      bgp::CommunitySet comms = cur.comms;
+      double strip_u = unit(mix(seed_, 0x3000,
+                                (static_cast<std::uint64_t>(cur.holder) << 32) | n));
+      if (strip_u < node->blackhole.strip_communities_probability) {
+        comms.clear();  // communities stripped on export
+      }
+      deliver(n, comms, cur.path, static_cast<std::uint8_t>(cur.hops + 1),
+              /*is_target_provider=*/false);
+    }
+  }
+
+  // Deduplicate activation lists (bundle + tailored could double-add).
+  std::sort(result.activated_providers.begin(), result.activated_providers.end());
+  result.activated_providers.erase(
+      std::unique(result.activated_providers.begin(), result.activated_providers.end()),
+      result.activated_providers.end());
+  std::sort(result.activated_ixps.begin(), result.activated_ixps.end());
+  result.activated_ixps.erase(
+      std::unique(result.activated_ixps.begin(), result.activated_ixps.end()),
+      result.activated_ixps.end());
+  return result;
+}
+
+}  // namespace bgpbh::routing

@@ -1,0 +1,137 @@
+// BGP route propagation over the AS graph.
+//
+// Two propagation modes:
+//
+// 1. Baseline policy routing (Gao-Rexford valley-free): computes, per
+//    origin AS, the route tree every other AS would select.  Used for
+//    regular-table AS paths at collectors and for the data-plane
+//    forwarding simulation.
+//
+// 2. Blackhole announcement propagation: localized, policy-violating
+//    propagation of more-specific (usually /32) prefixes tagged with
+//    blackhole communities — the paper's Fig 3 scenario, including
+//    community bundling, IXP route-server redistribution, community
+//    stripping, and limited onward leaking (Fig 7c: 30% of blackholed
+//    prefixes propagate >= 1 AS hop beyond the provider).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/aspath.h"
+#include "bgp/community.h"
+#include "net/prefix.h"
+#include "topology/as_graph.h"
+#include "topology/cone.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace bgpbh::routing {
+
+using bgp::Asn;
+using topology::AsGraph;
+
+// Route class in decreasing preference order (Gao-Rexford).
+enum class RouteClass : std::uint8_t { kCustomer, kPeer, kProvider, kNone };
+
+// Per-origin shortest valley-free route tree.
+class RouteTree {
+ public:
+  // parent_[i]: dense node index of the next hop toward the origin, or
+  // -1 when i is the origin / unreachable.
+  std::vector<std::int32_t> parent;
+  std::vector<RouteClass> cls;
+  std::vector<std::uint8_t> dist;
+
+  bool reachable(std::size_t idx) const {
+    return idx < cls.size() && cls[idx] != RouteClass::kNone;
+  }
+};
+
+// How a user schedules a blackholing announcement (workload output).
+struct BlackholeAnnouncement {
+  Asn user = 0;
+  net::Prefix prefix;
+  // Providers whose blackholing service the user invokes.
+  std::vector<Asn> target_providers;
+  // IXPs whose route-server blackholing the user invokes.
+  std::vector<std::uint32_t> target_ixps;
+  // If true, all blackhole communities are bundled into a single
+  // announcement sent to every external neighbour (Fig 3, AS C2);
+  // otherwise one tailored announcement per target (AS C1).
+  bool bundle = false;
+  // Extra non-blackhole communities the user attaches (noise).
+  std::vector<bgp::Community> extra_communities;
+  util::SimTime time = 0;
+
+  // Misconfiguration injection (exercises §10's findings).
+  enum class Misconfig : std::uint8_t {
+    kNone,
+    kInvalidNextHop,   // RS accepts on control plane, no data-plane drop
+    kWrongCommunity,   // typo'd community: no provider activates
+    kMissingIrrEntry,  // RS filters the announcement entirely
+  };
+  Misconfig misconfig = Misconfig::kNone;
+};
+
+// One AS that ended up holding (knowing) the blackhole route.
+struct BlackholeRouteHolder {
+  Asn holder = 0;
+  bgp::AsPath path;          // holder-first, user last (prepending-free)
+  bgp::CommunitySet communities;
+  bool via_route_server = false;
+  std::uint32_t ixp_id = 0;  // valid when via_route_server
+  std::uint8_t hops_from_user = 0;
+};
+
+// Ground truth + observable state produced by one announcement.
+struct BlackholePropagation {
+  std::vector<Asn> activated_providers;       // installed a null route
+  std::vector<std::uint32_t> activated_ixps;  // RS accepted + redistributed
+  std::vector<BlackholeRouteHolder> holders;  // includes the user itself
+  // (ixp, member) pairs that received the route via the route server;
+  // whether each member *honours* it is decided by honours_rs_blackhole().
+  std::vector<std::pair<std::uint32_t, Asn>> rs_receivers;
+  bool control_plane_only = false;  // misconfig: visible but no drop
+};
+
+class PropagationEngine {
+ public:
+  PropagationEngine(const AsGraph& graph, const topology::CustomerCones& cones,
+                    std::uint64_t seed);
+
+  // Baseline valley-free path from `from` to `origin` (inclusive both
+  // ends), or nullopt if unreachable.  Trees are cached per origin.
+  std::optional<bgp::AsPath> baseline_path(Asn from, Asn origin);
+
+  const RouteTree& tree_for_origin(Asn origin);
+
+  // Propagate one blackhole announcement.
+  BlackholePropagation propagate_blackhole(const BlackholeAnnouncement& ann);
+
+  // Deterministic per-(ixp, member): does this member install routes it
+  // learns from the IXP route server, including /32 blackhole routes?
+  // (§10 passive analysis: some members reject /32s or don't use the RS.)
+  bool honours_rs_blackhole(std::uint32_t ixp_id, Asn member) const;
+  bool member_uses_route_server(std::uint32_t ixp_id, Asn member) const;
+
+  // Deterministic AS-path prepending factor the holder applies when
+  // exporting (1 = none); makes prepending-removal in the inference
+  // engine load-bearing.
+  std::size_t prepend_factor(Asn asn) const;
+
+  const AsGraph& graph() const { return graph_; }
+
+ private:
+  void compute_tree(Asn origin, RouteTree& tree);
+
+  const AsGraph& graph_;
+  const topology::CustomerCones& cones_;
+  util::Rng rng_;
+  std::uint64_t seed_;
+  std::unordered_map<Asn, RouteTree> tree_cache_;
+};
+
+}  // namespace bgpbh::routing

@@ -1,0 +1,85 @@
+#include "scans/profile.h"
+
+#include <algorithm>
+
+namespace bgpbh::scans {
+
+namespace {
+constexpr ServiceMask mail_mask() {
+  return static_cast<ServiceMask>(
+      (1u << static_cast<unsigned>(Service::kSmtp)) |
+      (1u << static_cast<unsigned>(Service::kSmtps)) |
+      (1u << static_cast<unsigned>(Service::kPop3)) |
+      (1u << static_cast<unsigned>(Service::kPop3s)) |
+      (1u << static_cast<unsigned>(Service::kImap)) |
+      (1u << static_cast<unsigned>(Service::kImaps)));
+}
+}  // namespace
+
+PrefixServiceProfile BlackholeProfiler::profile(
+    const std::vector<net::Prefix>& prefixes,
+    std::size_t max_hosts_per_prefix) const {
+  PrefixServiceProfile out;
+  for (const auto& prefix : prefixes) {
+    ++out.total_prefixes;
+    if (prefix.is_host_route()) ++out.host_routes;
+    if (prefix.is_v4()) out.covered_addresses += net::ipv4_prefix_size(prefix);
+
+    // Probe the (sampled) hosts in the prefix; union their services.
+    ServiceMask services = 0;
+    bool any_tarpit = false;
+    std::size_t http_hosts = 0, http_ok = 0;
+    bool alexa = false;
+    std::map<std::string, std::size_t> tlds;
+
+    std::size_t hosts = 1;
+    if (prefix.is_v4() && !prefix.is_host_route()) {
+      hosts = std::min<std::size_t>(max_hosts_per_prefix,
+                                    net::ipv4_prefix_size(prefix));
+    }
+    for (std::size_t h = 0; h < hosts; ++h) {
+      net::IpAddr addr = prefix.addr();
+      if (prefix.is_v4() && h > 0) {
+        addr = net::IpAddr(net::Ipv4Addr(prefix.addr().v4().value() +
+                                         static_cast<std::uint32_t>(h)));
+      }
+      HostProfile host = scans_.probe(addr);
+      services |= host.services;
+      any_tarpit |= host.is_tarpit;
+      if (has_service(host.services, Service::kHttp)) {
+        ++http_hosts;
+        if (host.http_responds) ++http_ok;
+        if (host.alexa_rank) {
+          alexa = true;
+          tlds[host.domain_tld] += 1;
+        }
+      }
+    }
+
+    if (services == 0) {
+      ++out.prefixes_with_none;
+    } else {
+      for (std::size_t i = 0; i < kNumServices; ++i) {
+        if ((services >> i) & 1u) ++out.prefixes_with_service[i];
+      }
+    }
+    if ((services & mail_mask()) == mail_mask()) ++out.mail_sextet_prefixes;
+    if (any_tarpit) ++out.tarpit_prefixes;
+    bool has_http = has_service(services, Service::kHttp);
+    if (has_service(services, Service::kFtp)) {
+      ++out.ftp_total;
+      if (has_http) ++out.ftp_with_http;
+    }
+    if (has_service(services, Service::kSsh)) {
+      ++out.ssh_total;
+      if (has_http) ++out.ssh_with_http;
+    }
+    out.http_hosts += http_hosts;
+    out.http_responding += http_ok;
+    if (alexa) ++out.alexa_prefixes;
+    for (const auto& [tld, count] : tlds) out.tld_counts[tld] += count;
+  }
+  return out;
+}
+
+}  // namespace bgpbh::scans

@@ -1,0 +1,55 @@
+// Profiling of blackholed destinations (§8, Fig 7a): join the inferred
+// blackholed prefixes with the scan substrate and aggregate services,
+// HTTP responsiveness, Alexa presence and TLD mix per prefix.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/events.h"
+#include "scans/scan_data.h"
+#include "stats/histogram.h"
+
+namespace bgpbh::scans {
+
+struct PrefixServiceProfile {
+  // Count of blackholed prefixes with at least one host offering the
+  // service (classes are not mutually exclusive, §8).
+  std::array<std::size_t, kNumServices> prefixes_with_service{};
+  std::size_t prefixes_with_none = 0;
+  std::size_t total_prefixes = 0;
+  std::size_t host_routes = 0;
+  std::uint64_t covered_addresses = 0;
+
+  std::size_t mail_sextet_prefixes = 0;  // all 6 mail protocols
+  std::size_t tarpit_prefixes = 0;       // all probed protocols open
+  std::size_t ftp_with_http = 0, ftp_total = 0;
+  std::size_t ssh_with_http = 0, ssh_total = 0;
+
+  std::size_t http_hosts = 0;
+  std::size_t http_responding = 0;
+  std::size_t alexa_prefixes = 0;
+  std::map<std::string, std::size_t> tld_counts;
+
+  double http_response_rate() const {
+    return http_hosts == 0 ? 0.0
+                           : static_cast<double>(http_responding) /
+                                 static_cast<double>(http_hosts);
+  }
+};
+
+class BlackholeProfiler {
+ public:
+  explicit BlackholeProfiler(const ScanSynthesizer& scans) : scans_(scans) {}
+
+  // Profile a set of blackholed prefixes (typically one month's worth).
+  // For non-host-routes only a bounded sample of covered addresses is
+  // probed (`max_hosts_per_prefix`).
+  PrefixServiceProfile profile(const std::vector<net::Prefix>& prefixes,
+                               std::size_t max_hosts_per_prefix = 8) const;
+
+ private:
+  const ScanSynthesizer& scans_;
+};
+
+}  // namespace bgpbh::scans

@@ -1,0 +1,66 @@
+#include "scans/reputation.h"
+
+#include <algorithm>
+
+#include <set>
+
+namespace bgpbh::scans {
+
+namespace {
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0) {
+  util::SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                      (c * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+double unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+}  // namespace
+
+std::vector<ReputationEntry> ReputationDb::daily_matches(
+    std::int64_t day, const std::vector<net::Prefix>& blackholed) const {
+  std::vector<ReputationEntry> out;
+  for (const auto& prefix : blackholed) {
+    if (!prefix.is_v4()) continue;
+    std::uint32_t base = prefix.addr().v4().value();
+    // ~2% of blackholed prefixes also source suspicious traffic (§8);
+    // membership is stable per prefix, the day decides intensity.
+    if (unit(mix(seed_, 0x6001, base)) >= 0.02) continue;
+    std::size_t hosts = prefix.is_host_route()
+                            ? 1
+                            : static_cast<std::size_t>(
+                                  std::min<std::uint64_t>(
+                                      4, net::ipv4_prefix_size(prefix)));
+    for (std::size_t h = 0; h < hosts; ++h) {
+      std::uint32_t ip = base + static_cast<std::uint32_t>(h);
+      if (unit(mix(seed_, 0x6002 ^ static_cast<std::uint64_t>(day), ip)) > 0.8)
+        continue;  // active only on some days
+      ReputationEntry entry;
+      entry.ip = net::Ipv4Addr(ip);
+      double kind = unit(mix(seed_, 0x6003, ip));
+      // >90% probers; ~2% both scanner and prober.
+      entry.prober = kind < 0.92;
+      entry.scanner = kind >= 0.90;  // small overlap band => both
+      entry.login_attempts = unit(mix(seed_, 0x6004, ip)) < 0.75;
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+ReputationDb::DailyStats ReputationDb::daily_stats(
+    std::int64_t day, const std::vector<net::Prefix>& blackholed) const {
+  DailyStats stats;
+  std::set<std::uint32_t> prefixes;
+  auto matches = daily_matches(day, blackholed);
+  for (const auto& m : matches) {
+    if (m.scanner || m.prober) ++stats.matches;
+    if (m.prober) ++stats.probers;
+    if (m.scanner) ++stats.scanners;
+    if (m.scanner && m.prober) ++stats.both;
+    if (m.login_attempts) ++stats.login_ips;
+    prefixes.insert(m.ip.value() & 0xFFFFFF00u);
+  }
+  stats.prefixes_involved = prefixes.size();
+  return stats;
+}
+
+}  // namespace bgpbh::scans

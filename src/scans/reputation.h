@@ -1,0 +1,56 @@
+// Source-reputation substrate (§8 "Malicious Activity of Blackholed
+// IPs"): a daily feed of IPs seen (i) port-scanning a major CDN,
+// (ii) probing multiple CDN servers for one port (vulnerability
+// probes), and (iii) attempting repeated logins against CDN customers.
+// The paper uses proprietary Kona Site Defender-adjacent data; we
+// synthesize an equivalent feed in which a small share of blackholed
+// address space also *originates* suspicious traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace bgpbh::scans {
+
+enum class SuspiciousActivity : std::uint8_t {
+  kPortScanner,
+  kVulnProber,
+  kLoginAttempts,
+};
+
+struct ReputationEntry {
+  net::Ipv4Addr ip;
+  bool scanner = false;
+  bool prober = false;
+  bool login_attempts = false;
+};
+
+class ReputationDb {
+ public:
+  explicit ReputationDb(std::uint64_t seed) : seed_(seed) {}
+
+  // The daily feed restricted to the given blackholed prefixes: which
+  // of their addresses showed suspicious source behaviour that day.
+  std::vector<ReputationEntry> daily_matches(
+      std::int64_t day, const std::vector<net::Prefix>& blackholed) const;
+
+  struct DailyStats {
+    std::size_t matches = 0;        // scanner/prober IPs
+    std::size_t probers = 0;
+    std::size_t scanners = 0;
+    std::size_t both = 0;
+    std::size_t login_ips = 0;
+    std::size_t prefixes_involved = 0;
+  };
+  DailyStats daily_stats(std::int64_t day,
+                         const std::vector<net::Prefix>& blackholed) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace bgpbh::scans

@@ -1,0 +1,124 @@
+#include "scans/scan_data.h"
+
+#include "util/rng.h"
+
+namespace bgpbh::scans {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0) {
+  util::SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                      (c * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+double unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+ServiceMask bit(Service s) { return static_cast<ServiceMask>(1u << static_cast<unsigned>(s)); }
+
+constexpr ServiceMask kMailMask = 0;  // assembled below
+
+}  // namespace
+
+std::string to_string(Service s) {
+  switch (s) {
+    case Service::kHttp: return "HTTP";
+    case Service::kHttps: return "HTTPS";
+    case Service::kSsh: return "SSH";
+    case Service::kFtp: return "FTP";
+    case Service::kTelnet: return "Telnet";
+    case Service::kDns: return "DNS";
+    case Service::kNtp: return "NTP";
+    case Service::kSmtp: return "SMTP";
+    case Service::kSmtps: return "SMTPS";
+    case Service::kPop3: return "POP3";
+    case Service::kPop3s: return "POP3S";
+    case Service::kImap: return "IMAP";
+    case Service::kImaps: return "IMAPS";
+  }
+  return "?";
+}
+
+ScanSynthesizer::ScanSynthesizer(const topology::AsGraph& graph,
+                                 std::uint64_t seed)
+    : graph_(graph), seed_(seed) {}
+
+HostProfile ScanSynthesizer::probe(const net::IpAddr& ip) const {
+  (void)kMailMask;
+  HostProfile profile;
+  std::uint64_t key =
+      ip.is_v4() ? ip.v4().value()
+                 : (static_cast<std::uint64_t>(ip.v6().group(0)) << 48) ^
+                       ip.v6().group(7);
+  double archetype = unit(mix(seed_, 0x5001, key));
+  auto coin = [&](std::uint64_t label, double p) {
+    return unit(mix(seed_, label, key)) < p;
+  };
+
+  // Content ASes host proportionally more web servers.
+  bool content_as = false;
+  if (auto origin = graph_.origin_of(ip)) {
+    const topology::AsNode* node = graph_.find(*origin);
+    content_as = node && node->type == topology::NetworkType::kContent;
+  }
+  double web_boost = content_as ? 0.12 : 0.0;
+
+  if (archetype < 0.04) {
+    // Tarpit: accepts everything (§8: ~4% accept all 10 TCP protocols).
+    profile.is_tarpit = true;
+    for (std::size_t i = 0; i < kNumServices; ++i) {
+      profile.services |= static_cast<ServiceMask>(1u << i);
+    }
+  } else if (archetype < 0.50 + web_boost) {
+    // Pre-configured virtualized web host: HTTP, frequently with HTTPS,
+    // FTP and SSH on the same box.
+    profile.services |= bit(Service::kHttp);
+    if (coin(0x5002, 0.62)) profile.services |= bit(Service::kHttps);
+    if (coin(0x5003, 0.34)) profile.services |= bit(Service::kFtp);
+    if (coin(0x5004, 0.45)) profile.services |= bit(Service::kSsh);
+    if (coin(0x5005, 0.05)) profile.services |= bit(Service::kTelnet);
+    if (coin(0x5006, 0.10)) profile.services |= bit(Service::kDns);
+  } else if (archetype < 0.60 + web_boost) {
+    // Mail host: all six mail protocols, often with a webmail frontend.
+    profile.services |= bit(Service::kSmtp) | bit(Service::kSmtps) |
+                        bit(Service::kPop3) | bit(Service::kPop3s) |
+                        bit(Service::kImap) | bit(Service::kImaps);
+    if (coin(0x5007, 0.55)) profile.services |= bit(Service::kHttp);
+  } else if (archetype < 0.66 + web_boost) {
+    // Infrastructure: DNS/NTP, sometimes SSH.
+    if (coin(0x5008, 0.7)) profile.services |= bit(Service::kDns);
+    if (coin(0x5009, 0.45)) profile.services |= bit(Service::kNtp);
+    if (coin(0x500A, 0.3)) profile.services |= bit(Service::kSsh);
+  } else if (archetype < 0.72) {
+    // Remote-access boxes (the Mirai population): Telnet/SSH.
+    if (coin(0x500B, 0.8)) profile.services |= bit(Service::kTelnet);
+    if (coin(0x500C, 0.5)) profile.services |= bit(Service::kSsh);
+  }
+  // else: no service responds (~28-34%; §8 finds open ports for ~60%).
+
+  // Standalone FTP/SSH servers are rare: >90% of FTP and 79% of SSH
+  // co-locate with HTTP by construction above.
+
+  if (has_service(profile.services, Service::kHttp)) {
+    // Blackholed hosts answer HTTP GETs at ~61% (many run a non-web
+    // service on port 80); the general population at ~90%. We encode
+    // the blackhole-population rate here since the profiler only ever
+    // queries blackholed prefixes.
+    profile.http_responds = coin(0x500D, 0.61);
+    if (coin(0x500E, 0.03)) {
+      // ~3% of HTTP hosts serve an Alexa top-1M site.
+      profile.alexa_rank =
+          2000 + static_cast<std::uint32_t>(mix(seed_, 0x500F, key) % 998000);
+      double t = unit(mix(seed_, 0x5010, key));
+      profile.domain_tld = t < 0.38   ? "com"
+                           : t < 0.54 ? "ru"
+                           : t < 0.66 ? "org"
+                           : t < 0.72 ? "net"
+                           : t < 0.75 ? "se"
+                           : t < 0.82 ? "de"
+                                      : "info";
+    }
+  }
+  return profile;
+}
+
+}  // namespace bgpbh::scans

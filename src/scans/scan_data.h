@@ -1,0 +1,62 @@
+// scans.io-style Internet-wide scan substrate (§8).
+//
+// For any IP address the synthesizer answers, deterministically, which
+// of the paper's 13 scanned protocols accept connections, whether an
+// HTTP GET returns a response, and which (if any) Alexa-ranked domain
+// resolves to it.  The joint distribution encodes the co-location
+// structure §8 reports: HTTP dominates; >90% of FTP and 79% of SSH
+// servers co-locate with HTTP (pre-configured virtualized web hosts);
+// ~10% of blackholed prefixes run all six mail protocols; ~4% accept
+// connections on everything (tarpits).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+#include "topology/as_graph.h"
+
+namespace bgpbh::scans {
+
+enum class Service : std::uint8_t {
+  kHttp, kHttps, kSsh, kFtp, kTelnet, kDns, kNtp,
+  kSmtp, kSmtps, kPop3, kPop3s, kImap, kImaps,
+};
+inline constexpr std::size_t kNumServices = 13;
+std::string to_string(Service s);
+
+using ServiceMask = std::uint16_t;  // bit i = Service(i) open
+
+inline bool has_service(ServiceMask mask, Service s) {
+  return (mask >> static_cast<unsigned>(s)) & 1u;
+}
+
+struct HostProfile {
+  ServiceMask services = 0;
+  bool http_responds = false;   // HTTP GET returns a response
+  bool is_tarpit = false;       // accepts every probed protocol
+  std::optional<std::uint32_t> alexa_rank;  // host serves a top-1M site
+  std::string domain_tld;       // "com", "ru", ... when alexa_rank set
+};
+
+class ScanSynthesizer {
+ public:
+  // `graph` informs per-type host mixes (content ASes host more web).
+  ScanSynthesizer(const topology::AsGraph& graph, std::uint64_t seed);
+
+  // Deterministic profile of one host address.
+  HostProfile probe(const net::IpAddr& ip) const;
+
+  // General-population HTTP response rate (the paper's ~90% baseline,
+  // against which blackholed hosts show only ~61%).
+  double general_http_response_rate() const { return 0.90; }
+
+ private:
+  const topology::AsGraph& graph_;
+  std::uint64_t seed_;
+};
+
+}  // namespace bgpbh::scans

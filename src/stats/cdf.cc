@@ -1,0 +1,111 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace bgpbh::stats {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  double idx = p * static_cast<double>(samples_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Cdf::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::log_points(std::size_t n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n == 0) return out;
+  double lo = std::max(min(), 1e-9);
+  double hi = std::max(max(), lo * (1.0 + 1e-9));
+  double llo = std::log(lo), lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = (n == 1) ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    // Pin the last point to the exact maximum so F reaches 1.0 despite
+    // exp/log rounding.
+    double x = (i + 1 == n) ? max() : std::exp(llo + t * (lhi - llo));
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> Cdf::linear_points(std::size_t n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n == 0) return out;
+  double lo = min(), hi = max();
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = (n == 1) ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    double x = (i + 1 == n) ? hi : lo + t * (hi - lo);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::string Cdf::ascii_plot(const std::string& name, std::size_t width,
+                            std::size_t height, bool log_x) const {
+  std::string out = "CDF: " + name + " (n=" + std::to_string(count()) + ")\n";
+  if (samples_.empty()) return out + "  <empty>\n";
+  auto pts = log_x ? log_points(width) : linear_points(width);
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t c = 0; c < pts.size() && c < width; ++c) {
+    double f = pts[c].second;
+    std::size_t row =
+        height - 1 -
+        std::min<std::size_t>(static_cast<std::size_t>(f * static_cast<double>(height - 1) + 0.5),
+                              height - 1);
+    grid[row][c] = '*';
+  }
+  for (std::size_t r = 0; r < height; ++r) {
+    double frac = 1.0 - static_cast<double>(r) / static_cast<double>(height - 1);
+    out += util::strf("%5.2f |", frac);
+    out += grid[r];
+    out += '\n';
+  }
+  out += "      +" + std::string(width, '-') + "\n";
+  out += util::strf("       x: %.3g .. %.3g%s\n", pts.front().first,
+                    pts.back().first, log_x ? " (log)" : "");
+  return out;
+}
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,45 @@
+// Empirical CDFs for the paper's figures (5a/b, 8a).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bgpbh::stats {
+
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Fraction of samples <= x.
+  double at(double x) const;
+  // p-quantile, p in [0,1]. Empty CDF returns 0.
+  double quantile(double p) const;
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // Evaluate at n log-spaced points between min and max (for log-x
+  // plots like Fig 5); returns (x, F(x)) pairs.
+  std::vector<std::pair<double, double>> log_points(std::size_t n) const;
+  // Evaluate at n linearly spaced points.
+  std::vector<std::pair<double, double>> linear_points(std::size_t n) const;
+
+  // Render an ASCII CDF curve (width x height), annotated with name.
+  std::string ascii_plot(const std::string& name, std::size_t width = 60,
+                         std::size_t height = 12, bool log_x = false) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,100 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace bgpbh::stats {
+
+std::uint64_t IntHistogram::total() const {
+  std::uint64_t t = 0;
+  for (auto& [k, v] : bins_) t += v;
+  return t;
+}
+
+std::uint64_t IntHistogram::at(std::int64_t key) const {
+  auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double IntHistogram::fraction(std::int64_t key) const {
+  std::uint64_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(at(key)) / static_cast<double>(t);
+}
+
+double IntHistogram::fraction_at_least(std::int64_t k) const {
+  std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  std::uint64_t n = 0;
+  for (auto it = bins_.lower_bound(k); it != bins_.end(); ++it) n += it->second;
+  return static_cast<double>(n) / static_cast<double>(t);
+}
+
+std::int64_t IntHistogram::max_key() const {
+  return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+std::string IntHistogram::ascii_plot(const std::string& name, bool log_y,
+                                     std::size_t width) const {
+  std::string out = "Histogram: " + name + " (total=" + std::to_string(total()) + ")\n";
+  if (bins_.empty()) return out + "  <empty>\n";
+  double maxv = 0;
+  for (auto& [k, v] : bins_) {
+    double y = log_y ? std::log10(static_cast<double>(v) + 1.0)
+                     : static_cast<double>(v);
+    maxv = std::max(maxv, y);
+  }
+  for (auto& [k, v] : bins_) {
+    double y = log_y ? std::log10(static_cast<double>(v) + 1.0)
+                     : static_cast<double>(v);
+    std::size_t bar = maxv > 0 ? static_cast<std::size_t>(
+                                     y / maxv * static_cast<double>(width))
+                               : 0;
+    out += util::strf("%8lld | %-*s %llu\n", static_cast<long long>(k),
+                      static_cast<int>(width),
+                      std::string(bar, '#').c_str(),
+                      static_cast<unsigned long long>(v));
+  }
+  return out;
+}
+
+void LogHistogram::add(double x) {
+  if (x < lo_) x = lo_;
+  int k = static_cast<int>(std::floor(std::log(x / lo_) / std::log(growth_)));
+  bins_[k] += 1;
+  ++total_;
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::buckets() const {
+  std::vector<Bucket> out;
+  for (auto& [k, v] : bins_) {
+    Bucket b;
+    b.lo = lo_ * std::pow(growth_, k);
+    b.hi = b.lo * growth_;
+    b.count = v;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::string LogHistogram::ascii_plot(const std::string& name,
+                                     std::size_t width) const {
+  std::string out =
+      "LogHistogram: " + name + " (total=" + std::to_string(total_) + ")\n";
+  auto bs = buckets();
+  if (bs.empty()) return out + "  <empty>\n";
+  double maxv = 0;
+  for (auto& b : bs) maxv = std::max(maxv, std::log10(static_cast<double>(b.count) + 1.0));
+  for (auto& b : bs) {
+    double y = std::log10(static_cast<double>(b.count) + 1.0);
+    std::size_t bar =
+        maxv > 0 ? static_cast<std::size_t>(y / maxv * static_cast<double>(width)) : 0;
+    out += util::strf("[%10.3g, %10.3g) | %-*s %llu\n", b.lo, b.hi,
+                      static_cast<int>(width), std::string(bar, '#').c_str(),
+                      static_cast<unsigned long long>(b.count));
+  }
+  return out;
+}
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,58 @@
+// Histograms: fixed integer-bin counters (Fig 7b/7c) and log-bucketed
+// duration histograms (Fig 8b).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bgpbh::stats {
+
+// Counts occurrences of integer keys (e.g. #providers per event).
+class IntHistogram {
+ public:
+  void add(std::int64_t key, std::uint64_t count = 1) { bins_[key] += count; }
+
+  std::uint64_t total() const;
+  std::uint64_t at(std::int64_t key) const;
+  double fraction(std::int64_t key) const;
+  // Fraction of mass at keys >= k.
+  double fraction_at_least(std::int64_t k) const;
+  std::int64_t max_key() const;
+  bool empty() const { return bins_.empty(); }
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+  // ASCII bar chart, optionally with a log-scaled y axis.
+  std::string ascii_plot(const std::string& name, bool log_y = false,
+                         std::size_t width = 50) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+};
+
+// Buckets double samples into geometric bins: [lo*g^k, lo*g^(k+1)).
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double growth) : lo_(lo), growth_(growth) {}
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+
+  struct Bucket {
+    double lo = 0, hi = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets() const;
+
+  std::string ascii_plot(const std::string& name, std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double growth_;
+  std::map<int, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,101 @@
+#include "stats/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace bgpbh::stats {
+
+double DailySeries::at_day(std::int64_t day) const {
+  auto it = days_.find(day);
+  return it == days_.end() ? 0.0 : it->second;
+}
+
+double DailySeries::max() const {
+  double m = 0.0;
+  for (auto& [d, v] : days_) m = std::max(m, v);
+  return m;
+}
+
+double DailySeries::mean() const {
+  if (days_.empty()) return 0.0;
+  double s = 0.0;
+  for (auto& [d, v] : days_) s += v;
+  return s / static_cast<double>(days_.size());
+}
+
+std::int64_t DailySeries::first_day() const {
+  return days_.empty() ? 0 : days_.begin()->first;
+}
+
+std::int64_t DailySeries::last_day() const {
+  return days_.empty() ? 0 : days_.rbegin()->first;
+}
+
+double DailySeries::mean_in(util::SimTime t0, util::SimTime t1) const {
+  std::int64_t d0 = util::day_index(t0), d1 = util::day_index(t1);
+  double s = 0.0;
+  std::size_t n = 0;
+  for (auto it = days_.lower_bound(d0); it != days_.end() && it->first < d1; ++it) {
+    s += it->second;
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+double DailySeries::max_in(util::SimTime t0, util::SimTime t1) const {
+  std::int64_t d0 = util::day_index(t0), d1 = util::day_index(t1);
+  double m = 0.0;
+  for (auto it = days_.lower_bound(d0); it != days_.end() && it->first < d1; ++it) {
+    m = std::max(m, it->second);
+  }
+  return m;
+}
+
+std::string DailySeries::ascii_plot(const std::string& name,
+                                    const std::vector<Annotation>& notes,
+                                    std::size_t width, std::size_t height) const {
+  std::string out = "Series: " + name + "\n";
+  if (days_.empty()) return out + "  <empty>\n";
+  std::int64_t d0 = first_day(), d1 = last_day();
+  std::int64_t span = std::max<std::int64_t>(1, d1 - d0 + 1);
+  // Downsample to `width` columns using the max within each column (so
+  // one-day spikes stay visible, as in the paper's figures).
+  std::vector<double> cols(width, 0.0);
+  for (auto& [d, v] : days_) {
+    std::size_t c = static_cast<std::size_t>((d - d0) * static_cast<std::int64_t>(width) / span);
+    c = std::min(c, width - 1);
+    cols[c] = std::max(cols[c], v);
+  }
+  double maxv = *std::max_element(cols.begin(), cols.end());
+  if (maxv <= 0) maxv = 1;
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t c = 0; c < width; ++c) {
+    std::size_t h = static_cast<std::size_t>(
+        std::round(cols[c] / maxv * static_cast<double>(height - 1)));
+    for (std::size_t r = 0; r <= h; ++r) grid[height - 1 - r][c] = cols[c] > 0 ? '|' : ' ';
+  }
+  // Annotation row.
+  std::string ann(width, ' ');
+  for (auto& note : notes) {
+    if (note.day < d0 || note.day > d1 || note.label.empty()) continue;
+    std::size_t c = static_cast<std::size_t>((note.day - d0) * static_cast<std::int64_t>(width) / span);
+    c = std::min(c, width - 1);
+    ann[c] = note.label[0];
+  }
+  out += "       " + ann + "\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    double frac = 1.0 - static_cast<double>(r) / static_cast<double>(height - 1);
+    out += util::strf("%6.0f |", frac * maxv);
+    out += grid[r];
+    out += '\n';
+  }
+  out += "       +" + std::string(width, '-') + "\n";
+  out += util::strf("        %s .. %s   max=%.0f mean=%.1f\n",
+                    util::format_date(d0 * util::kDay).c_str(),
+                    util::format_date(d1 * util::kDay).c_str(), max(), mean());
+  return out;
+}
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,50 @@
+// Per-day time series (Fig 4a/b/c, Fig 9c): counters keyed by day index
+// with annotation support for the paper's labelled DDoS spikes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace bgpbh::stats {
+
+class DailySeries {
+ public:
+  void add(util::SimTime t, double v = 1.0) { days_[util::day_index(t)] += v; }
+  void set(std::int64_t day, double v) { days_[day] = v; }
+  void accumulate(std::int64_t day, double v) { days_[day] += v; }
+
+  double at_day(std::int64_t day) const;
+  double max() const;
+  double mean() const;
+  bool empty() const { return days_.empty(); }
+  std::size_t num_days() const { return days_.size(); }
+
+  // First/last populated day index.
+  std::int64_t first_day() const;
+  std::int64_t last_day() const;
+
+  // Mean over the days that fall in [t0, t1).
+  double mean_in(util::SimTime t0, util::SimTime t1) const;
+  double max_in(util::SimTime t0, util::SimTime t1) const;
+
+  const std::map<std::int64_t, double>& data() const { return days_; }
+
+  struct Annotation {
+    std::int64_t day;
+    std::string label;
+  };
+
+  // ASCII time-series plot with optional spike annotations.
+  std::string ascii_plot(const std::string& name,
+                         const std::vector<Annotation>& notes = {},
+                         std::size_t width = 78, std::size_t height = 12) const;
+
+ private:
+  std::map<std::int64_t, double> days_;
+};
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,83 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace bgpbh::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) cells.push_back(util::strf("%.*f", precision, v));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> w(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+  for (auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) w[i] = std::max(w[i], row[i].size());
+  }
+  auto fmt_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      line += (i == 0 ? "| " : " | ");
+      // Left align first column, right align the rest (numeric).
+      if (i == 0) {
+        line += cell + std::string(w[i] - cell.size(), ' ');
+      } else {
+        line += std::string(w[i] - cell.size(), ' ') + cell;
+      }
+    }
+    line += " |";
+    return line;
+  };
+  std::string sep = "+";
+  for (std::size_t i = 0; i < headers_.size(); ++i) sep += std::string(w[i] + 2, '-') + "+";
+  std::string out = sep + "\n" + fmt_row(headers_) + "\n" + sep + "\n";
+  for (auto& row : rows_) out += fmt_row(row) + "\n";
+  out += sep + "\n";
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (auto& c : cells) line += " " + c + " |";
+    return line;
+  };
+  std::string out = join(headers_) + "\n|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) out += "---|";
+  out += "\n";
+  for (auto& row : rows_) out += join(row) + "\n";
+  return out;
+}
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string pct(double ratio, int precision) {
+  return util::strf("%.*f%%", precision, ratio * 100.0);
+}
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,37 @@
+// Console table printer used by every bench binary to emit the paper's
+// tables with aligned columns, plus a "paper vs measured" comparison row
+// helper used by EXPERIMENTS.md generation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bgpbh::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience for numeric-heavy rows.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 0);
+
+  std::string to_string() const;
+  // GitHub-flavoured markdown rendering (for EXPERIMENTS.md).
+  std::string to_markdown() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a count with thousands separators ("88,209").
+std::string with_commas(std::uint64_t v);
+// "12.3%" given a ratio.
+std::string pct(double ratio, int precision = 1);
+
+}  // namespace bgpbh::stats

@@ -1,0 +1,125 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpbh::topology {
+
+std::string to_string(NetworkType t) {
+  switch (t) {
+    case NetworkType::kTransitAccess: return "Transit/Access";
+    case NetworkType::kIxp: return "IXP";
+    case NetworkType::kContent: return "Content";
+    case NetworkType::kEnterprise: return "Enterprise";
+    case NetworkType::kEduResearchNfP: return "Educ./Res./NfP";
+    case NetworkType::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+AsNode& AsGraph::add_as(Asn asn) {
+  assert(!finalized_);
+  by_asn_.emplace(asn, nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().asn = asn;
+  return nodes_.back();
+}
+
+Ixp& AsGraph::add_ixp(std::uint32_t id) {
+  assert(!finalized_);
+  ixp_by_id_.emplace(id, ixps_.size());
+  ixps_.emplace_back();
+  ixps_.back().id = id;
+  return ixps_.back();
+}
+
+std::optional<std::size_t> AsGraph::index_of(Asn asn) const {
+  auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+const AsNode* AsGraph::find(Asn asn) const {
+  auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? nullptr : &nodes_[it->second];
+}
+
+AsNode* AsGraph::find_mutable(Asn asn) {
+  auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? nullptr : &nodes_[it->second];
+}
+
+const Ixp* AsGraph::find_ixp(std::uint32_t id) const {
+  auto it = ixp_by_id_.find(id);
+  return it == ixp_by_id_.end() ? nullptr : &ixps_[it->second];
+}
+
+Ixp* AsGraph::find_ixp_mutable(std::uint32_t id) {
+  auto it = ixp_by_id_.find(id);
+  return it == ixp_by_id_.end() ? nullptr : &ixps_[it->second];
+}
+
+const Ixp* AsGraph::ixp_by_route_server(Asn rs_asn) const {
+  auto it = ixp_by_rs_.find(rs_asn);
+  return it == ixp_by_rs_.end() ? nullptr : &ixps_[it->second];
+}
+
+const Ixp* AsGraph::ixp_by_lan_ip(const net::IpAddr& ip) const {
+  for (const auto& ixp : ixps_) {
+    if (ixp.peering_lan.contains(ip)) return &ixp;
+  }
+  return nullptr;
+}
+
+AsGraph::Rel AsGraph::relationship(Asn a, Asn b) const {
+  const AsNode* n = find(a);
+  if (!n) return Rel::kNone;
+  if (std::find(n->providers.begin(), n->providers.end(), b) != n->providers.end())
+    return Rel::kProvider;
+  if (std::find(n->customers.begin(), n->customers.end(), b) != n->customers.end())
+    return Rel::kCustomer;
+  if (std::find(n->peers.begin(), n->peers.end(), b) != n->peers.end())
+    return Rel::kPeer;
+  return Rel::kNone;
+}
+
+bool AsGraph::share_ixp(Asn a, Asn b) const {
+  const AsNode* na = find(a);
+  const AsNode* nb = find(b);
+  if (!na || !nb) return false;
+  for (auto ia : na->ixps) {
+    if (std::find(nb->ixps.begin(), nb->ixps.end(), ia) != nb->ixps.end())
+      return true;
+  }
+  return false;
+}
+
+std::optional<Asn> AsGraph::origin_of(const net::IpAddr& ip) const {
+  assert(finalized_);
+  const Asn* origin = origin_table_.lookup(ip);
+  if (!origin) return std::nullopt;
+  return *origin;
+}
+
+std::optional<net::Prefix> AsGraph::covering_prefix(const net::IpAddr& ip) const {
+  assert(finalized_);
+  net::Prefix matched;
+  const Asn* origin = origin_table_.lookup(ip, &matched);
+  if (!origin) return std::nullopt;
+  return matched;
+}
+
+void AsGraph::finalize() {
+  for (std::size_t i = 0; i < ixps_.size(); ++i) {
+    if (ixps_[i].route_server_asn != 0) {
+      ixp_by_rs_.emplace(ixps_[i].route_server_asn, i);
+    }
+  }
+  for (const auto& node : nodes_) {
+    for (const auto& p : node.originated_v4) origin_table_.insert(p, node.asn);
+    for (const auto& p : node.originated_v6) origin_table_.insert(p, node.asn);
+  }
+  finalized_ = true;
+}
+
+}  // namespace bgpbh::topology

@@ -1,0 +1,170 @@
+// AS-level Internet model: autonomous systems, business relationships,
+// IXPs with route servers, and per-AS blackholing policy.
+//
+// The graph is the ground-truth substrate every other subsystem works
+// against: the routing simulator propagates announcements over it, the
+// registry exposes (partially incomplete) metadata about it, and the
+// workload generator schedules blackholing events on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/aspath.h"
+#include "bgp/community.h"
+#include "net/patricia.h"
+#include "net/prefix.h"
+
+namespace bgpbh::topology {
+
+using bgp::Asn;
+
+// Network types, following the PeeringDB/CAIDA merged convention the
+// paper uses for Tables 2 and 4 (§4.1).
+enum class NetworkType : std::uint8_t {
+  kTransitAccess,   // PeeringDB NSP + Cable/DSL/ISP (CAIDA merged class)
+  kIxp,
+  kContent,
+  kEnterprise,
+  kEduResearchNfP,  // PeeringDB-only classes
+  kUnknown,
+};
+
+std::string to_string(NetworkType t);
+
+enum class Tier : std::uint8_t { kTier1, kTransit, kStub };
+
+// How a blackholing provider authenticates blackholing requests (§2).
+enum class BlackholeAuth : std::uint8_t {
+  kCustomerCone,  // accept if prefix originates in the customer cone
+  kRpki,          // accept only RPKI-valid announcements
+  kIrr,           // accept only if the prefix is registered in an IRR
+};
+
+// Blackholing-provider behaviour knobs (drawn per AS by the generator).
+struct BlackholePolicy {
+  bool offers_blackholing = false;
+  // Provider-chosen communities that trigger blackholing; the first is
+  // the global one, the rest are regional/scoped variants.
+  std::vector<bgp::Community> communities;
+  std::optional<bgp::LargeCommunity> large_community;
+  BlackholeAuth auth = BlackholeAuth::kCustomerCone;
+  // Documented in IRR records / web pages (drives dictionary coverage;
+  // undocumented providers are only discoverable via inference, Fig 2).
+  bool documented_in_irr = false;
+  bool documented_on_web = false;
+  bool documented_privately = false;
+  std::uint8_t max_accepted_prefix_len = 32;  // meta-info (§4.1)
+  // Fraction of neighbours to which this AS leaks blackholed
+  // more-specifics onward (the paper finds 30% propagate >= 1 hop).
+  double leak_probability = 0.0;
+  // Probability that this AS strips communities when exporting.
+  double strip_communities_probability = 0.0;
+};
+
+struct AsNode {
+  Asn asn = 0;
+  NetworkType type = NetworkType::kUnknown;
+  Tier tier = Tier::kStub;
+  std::string country;  // RIR-registered ISO code, e.g. "RU"
+
+  std::vector<Asn> providers;
+  std::vector<Asn> customers;
+  std::vector<Asn> peers;      // settlement-free bilateral peers
+  std::vector<std::uint32_t> ixps;  // IXP ids this AS is a member of
+
+  // Address space: one /16 super-block, public prefixes carved from it,
+  // plus "internal" more-specifics visible only on direct (CDN) feeds.
+  net::Prefix v4_block;
+  std::vector<net::Prefix> originated_v4;
+  std::vector<net::Prefix> originated_v6;
+  std::uint32_t internal_prefix_count = 0;
+
+  BlackholePolicy blackhole;
+
+  // Whether this AS accepts routes more specific than /24 from
+  // neighbours at all (some do despite best practice — how bundled
+  // blackhole routes reach collectors, Fig 3).
+  bool accepts_more_specifics = false;
+
+  // Non-blackhole communities this AS attaches to routes it propagates
+  // (traffic engineering, relationship tagging) — noise the dictionary
+  // builder must not confuse with blackhole communities.
+  std::vector<bgp::Community> service_communities;
+
+  bool is_transit() const { return !customers.empty(); }
+};
+
+struct Ixp {
+  std::uint32_t id = 0;
+  std::string name;
+  std::string country;
+  std::string city;
+  Asn route_server_asn = 0;
+  // Transparent route servers do not insert their ASN into AS_PATH;
+  // detection must then rely on the peer-ip ∈ peering-LAN check (§4.2).
+  bool transparent_route_server = true;
+  net::Prefix peering_lan;          // IPv4 LAN
+  net::IpAddr blackhole_ip_v4;      // conventionally .66 (§4.1)
+  net::Ipv6Addr blackhole_ip_v6;    // conventionally dead:beef
+  std::vector<Asn> members;
+  bool offers_blackholing = false;
+  bgp::Community blackhole_community;  // 65535:666 for 47 of 49 (§4.1)
+  bool documented = true;
+  bool has_pch_collector = false;  // PCH operates a collector here
+};
+
+class AsGraph {
+ public:
+  AsNode& add_as(Asn asn);
+  Ixp& add_ixp(std::uint32_t id);
+
+  const AsNode* find(Asn asn) const;
+  AsNode* find_mutable(Asn asn);
+  const Ixp* find_ixp(std::uint32_t id) const;
+  Ixp* find_ixp_mutable(std::uint32_t id);
+  // IXP whose route server has the given ASN, if any.
+  const Ixp* ixp_by_route_server(Asn rs_asn) const;
+  // IXP whose peering LAN contains the given address, if any.
+  const Ixp* ixp_by_lan_ip(const net::IpAddr& ip) const;
+
+  // Dense index of an AS in nodes() (stable once built).
+  std::optional<std::size_t> index_of(Asn asn) const;
+
+  const std::vector<AsNode>& nodes() const { return nodes_; }
+  std::vector<AsNode>& nodes_mutable() { return nodes_; }
+  const std::vector<Ixp>& ixps() const { return ixps_; }
+  std::vector<Ixp>& ixps_mutable() { return ixps_; }
+
+  std::size_t num_ases() const { return nodes_.size(); }
+  std::size_t num_ixps() const { return ixps_.size(); }
+
+  // Relationship of edge a->b from a's point of view.
+  enum class Rel { kProvider, kCustomer, kPeer, kNone };
+  Rel relationship(Asn a, Asn b) const;
+
+  // True if a and b share at least one IXP.
+  bool share_ixp(Asn a, Asn b) const;
+
+  // AS originating the longest matching public prefix for ip.
+  std::optional<Asn> origin_of(const net::IpAddr& ip) const;
+  // Longest matching public prefix.
+  std::optional<net::Prefix> covering_prefix(const net::IpAddr& ip) const;
+
+  // Must be called once after construction to build lookup indexes.
+  void finalize();
+
+ private:
+  std::vector<AsNode> nodes_;
+  std::vector<Ixp> ixps_;
+  std::unordered_map<Asn, std::size_t> by_asn_;
+  std::unordered_map<std::uint32_t, std::size_t> ixp_by_id_;
+  std::unordered_map<Asn, std::size_t> ixp_by_rs_;
+  net::PrefixTable<Asn> origin_table_;
+  bool finalized_ = false;
+};
+
+}  // namespace bgpbh::topology

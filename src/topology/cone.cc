@@ -1,0 +1,63 @@
+#include "topology/cone.h"
+
+#include <algorithm>
+
+namespace bgpbh::topology {
+
+const std::vector<Asn> CustomerCones::kEmpty;
+
+CustomerCones::CustomerCones(const AsGraph& graph) {
+  for (const auto& node : graph.nodes()) {
+    providers_[node.asn] = node.providers;
+    compute(graph, node.asn);
+  }
+}
+
+void CustomerCones::compute(const AsGraph& graph, Asn owner) {
+  std::unordered_set<Asn> seen;
+  std::vector<Asn> stack{owner};
+  seen.insert(owner);
+  while (!stack.empty()) {
+    Asn cur = stack.back();
+    stack.pop_back();
+    const AsNode* node = graph.find(cur);
+    if (!node) continue;
+    for (Asn cust : node->customers) {
+      if (seen.insert(cust).second) stack.push_back(cust);
+    }
+  }
+  std::vector<Asn> sorted(seen.begin(), seen.end());
+  std::sort(sorted.begin(), sorted.end());
+  cone_sets_[owner] = std::move(seen);
+  cones_[owner] = std::move(sorted);
+}
+
+bool CustomerCones::in_cone(Asn owner, Asn member) const {
+  auto it = cone_sets_.find(owner);
+  if (it == cone_sets_.end()) return false;
+  return it->second.contains(member);
+}
+
+const std::vector<Asn>& CustomerCones::cone(Asn owner) const {
+  auto it = cones_.find(owner);
+  return it == cones_.end() ? kEmpty : it->second;
+}
+
+std::vector<Asn> CustomerCones::upstream_cone(Asn asn) const {
+  std::unordered_set<Asn> seen{asn};
+  std::vector<Asn> stack{asn};
+  while (!stack.empty()) {
+    Asn cur = stack.back();
+    stack.pop_back();
+    auto it = providers_.find(cur);
+    if (it == providers_.end()) continue;
+    for (Asn p : it->second) {
+      if (seen.insert(p).second) stack.push_back(p);
+    }
+  }
+  std::vector<Asn> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bgpbh::topology

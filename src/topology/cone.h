@@ -1,0 +1,42 @@
+// Customer cones (Luckie et al., used by the paper for blackhole
+// authentication and for RIPE Atlas probe-group selection in §10).
+//
+// The customer cone of AS X is X plus every AS reachable from X by
+// following provider->customer edges only.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace bgpbh::topology {
+
+class CustomerCones {
+ public:
+  explicit CustomerCones(const AsGraph& graph);
+
+  // True if `member` is in the customer cone of `owner` (owner itself
+  // included).
+  bool in_cone(Asn owner, Asn member) const;
+
+  // The full cone of an AS (sorted). Owner included.
+  const std::vector<Asn>& cone(Asn owner) const;
+
+  std::size_t cone_size(Asn owner) const { return cone(owner).size(); }
+
+  // Upstream cone: every AS that has `asn` in its customer cone
+  // (i.e. `asn`'s transitive providers plus itself).
+  std::vector<Asn> upstream_cone(Asn asn) const;
+
+ private:
+  void compute(const AsGraph& graph, Asn owner);
+
+  std::unordered_map<Asn, std::vector<Asn>> cones_;
+  std::unordered_map<Asn, std::unordered_set<Asn>> cone_sets_;
+  std::unordered_map<Asn, std::vector<Asn>> providers_;  // reverse index
+  static const std::vector<Asn> kEmpty;
+};
+
+}  // namespace bgpbh::topology

@@ -1,0 +1,533 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <span>
+
+#include "util/strings.h"
+
+namespace bgpbh::topology {
+
+namespace {
+
+using util::Rng;
+
+// ASN ranges: core/transit get low numbers (like real Tier-1s), stubs
+// higher, IXP route servers a dedicated high block.
+constexpr Asn kFirstAsn = 100;
+constexpr Asn kRouteServerBase = 59000;
+
+// IPv4 super-blocks: one /16 per AS starting at 20.0.0.0 (clear of the
+// Cymru bogon ranges modelled in core/engine).
+net::Prefix v4_block_for_index(std::size_t i) {
+  std::uint32_t base = (20u << 24) + (static_cast<std::uint32_t>(i) << 16);
+  return net::Prefix(net::Ipv4Addr(base), 16);
+}
+
+// IXP peering LANs: 185.1.<id>.0/24 style (like real IXP LANs); for ids
+// beyond 255 we move to 185.2.x.
+net::Prefix ixp_lan_for_id(std::uint32_t id) {
+  std::uint32_t base =
+      (185u << 24) + ((1u + id / 256u) << 16) + ((id % 256u) << 8);
+  return net::Prefix(net::Ipv4Addr(base), 24);
+}
+
+net::Ipv6Addr ixp_blackhole_v6(std::uint32_t id) {
+  // 2001:7f8:<id>::dead:beef
+  net::Ipv6Addr::Bytes b{};
+  b[0] = 0x20;
+  b[1] = 0x01;
+  b[2] = 0x07;
+  b[3] = 0xf8;
+  b[4] = static_cast<std::uint8_t>(id >> 8);
+  b[5] = static_cast<std::uint8_t>(id);
+  b[12] = 0xde;
+  b[13] = 0xad;
+  b[14] = 0xbe;
+  b[15] = 0xef;
+  return net::Ipv6Addr(b);
+}
+
+net::Prefix v6_block_for_index(std::size_t i) {
+  // 2a<xx>:<yyyy>::/32-ish blocks; only a handful of v6 prefixes are
+  // ever blackholed (paper: <1%) so precision doesn't matter much here.
+  net::Ipv6Addr::Bytes b{};
+  b[0] = 0x2a;
+  b[1] = static_cast<std::uint8_t>(i >> 8);
+  b[2] = static_cast<std::uint8_t>(i);
+  b[3] = 0;
+  return net::Prefix(net::Ipv6Addr(b), 32);
+}
+
+struct TypePlan {
+  NetworkType type;
+  Tier tier;
+  std::size_t count;
+};
+
+// Draw the per-provider blackhole community convention (§4.1): 51%
+// ASN:666, then ASN:66, ASN:999, and a tail of idiosyncratic values.
+bgp::Community draw_bh_community(Rng& rng, Asn asn) {
+  std::uint16_t low = static_cast<std::uint16_t>(asn & 0xFFFF);
+  double u = rng.uniform01();
+  if (u < 0.51) return bgp::Community(low, 666);
+  if (u < 0.66) return bgp::Community(low, 66);
+  if (u < 0.80) return bgp::Community(low, 999);
+  // Idiosyncratic: 9999 (Level3-style), 0, or a random 3-digit value.
+  double v = rng.uniform01();
+  if (v < 0.3) return bgp::Community(low, 9999);
+  if (v < 0.5) return bgp::Community(low, 0);
+  return bgp::Community(low, static_cast<std::uint16_t>(100 + rng.uniform(900)));
+}
+
+}  // namespace
+
+CountryModel CountryModel::paper_model() {
+  CountryModel m;
+  //            code   providers  users   (Fig 6: RU/US/DE dominate; BR/UA
+  //                                       enter the user top-5)
+  struct Row { const char* code; double prov; double user; };
+  static constexpr Row rows[] = {
+      {"RU", 45, 189}, {"US", 40, 120}, {"DE", 30, 95},  {"BR", 10, 80},
+      {"UA", 8, 70},   {"GB", 14, 35},  {"NL", 13, 30},  {"FR", 12, 28},
+      {"PL", 7, 26},   {"IT", 8, 18},   {"SE", 6, 14},   {"CH", 6, 12},
+      {"CZ", 5, 12},   {"ES", 5, 10},   {"RO", 4, 12},   {"CA", 6, 10},
+      {"JP", 6, 8},    {"SG", 5, 8},    {"HK", 5, 8},    {"AU", 4, 6},
+      {"ZA", 3, 5},    {"AR", 2, 6},    {"IN", 3, 6},    {"ID", 2, 5},
+      {"BG", 3, 8},    {"AT", 4, 7},    {"DK", 3, 4},    {"NO", 3, 4},
+      {"FI", 3, 4},    {"TR", 2, 6},
+  };
+  for (const auto& r : rows) {
+    m.codes.emplace_back(r.code);
+    m.provider_weights.push_back(r.prov);
+    m.user_weights.push_back(r.user);
+  }
+  return m;
+}
+
+AsGraph generate(const GeneratorConfig& cfg) {
+  Rng rng(cfg.seed);
+  AsGraph g;
+  CountryModel countries = CountryModel::paper_model();
+
+  // ---- 1. Create AS nodes --------------------------------------------
+  const TypePlan plans[] = {
+      {NetworkType::kTransitAccess, Tier::kTier1, cfg.num_tier1},
+      {NetworkType::kTransitAccess, Tier::kTransit, cfg.num_transit},
+      {NetworkType::kContent, Tier::kStub, cfg.num_content},
+      {NetworkType::kEnterprise, Tier::kStub, cfg.num_enterprise},
+      {NetworkType::kEduResearchNfP, Tier::kStub, cfg.num_edu},
+      {NetworkType::kTransitAccess, Tier::kStub, cfg.num_access_stub},
+  };
+
+  std::vector<Asn> tier1, transit, stubs;
+  std::vector<Asn> content_ases, enterprise_ases, edu_ases, access_stubs;
+  Asn next_asn = kFirstAsn;
+  std::size_t block_index = 0;
+
+  for (const auto& plan : plans) {
+    for (std::size_t i = 0; i < plan.count; ++i) {
+      AsNode& node = g.add_as(next_asn++);
+      node.type = plan.type;
+      node.tier = plan.tier;
+      node.v4_block = v4_block_for_index(block_index++);
+      // Geography: providers (transit) biased to provider weights,
+      // stubs biased to user weights.
+      bool provider_bias = plan.tier != Tier::kStub;
+      std::size_t ci = rng.weighted(provider_bias
+                                        ? std::span<const double>(countries.provider_weights)
+                                        : std::span<const double>(countries.user_weights));
+      node.country = countries.codes[ci];
+      switch (plan.tier) {
+        case Tier::kTier1: tier1.push_back(node.asn); break;
+        case Tier::kTransit: transit.push_back(node.asn); break;
+        case Tier::kStub: stubs.push_back(node.asn); break;
+      }
+      if (plan.tier == Tier::kStub) {
+        switch (plan.type) {
+          case NetworkType::kContent: content_ases.push_back(node.asn); break;
+          case NetworkType::kEnterprise: enterprise_ases.push_back(node.asn); break;
+          case NetworkType::kEduResearchNfP: edu_ases.push_back(node.asn); break;
+          default: access_stubs.push_back(node.asn); break;
+        }
+      }
+    }
+  }
+
+  // ---- 2. Relationships ----------------------------------------------
+  // Tier-1 clique.
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      g.find_mutable(tier1[i])->peers.push_back(tier1[j]);
+      g.find_mutable(tier1[j])->peers.push_back(tier1[i]);
+    }
+  }
+  auto connect_c2p = [&g](Asn customer, Asn provider) {
+    AsNode* c = g.find_mutable(customer);
+    AsNode* p = g.find_mutable(provider);
+    if (std::find(c->providers.begin(), c->providers.end(), provider) !=
+        c->providers.end())
+      return;
+    c->providers.push_back(provider);
+    p->customers.push_back(customer);
+  };
+
+  // Transit tier: 1-2 providers among tier1 (preferential to the first
+  // few, emulating the real Tier-1 size skew) plus occasional transit-
+  // to-transit customer edges forming a hierarchy.
+  for (std::size_t i = 0; i < transit.size(); ++i) {
+    std::size_t nprov = 1 + rng.uniform(2);
+    for (std::size_t k = 0; k < nprov; ++k) {
+      Asn prov = tier1[rng.zipf(tier1.size(), 0.8)];
+      connect_c2p(transit[i], prov);
+    }
+    if (i > 4 && rng.bernoulli(0.35)) {
+      // Also buy transit from a (usually earlier = bigger) transit AS.
+      Asn prov = transit[rng.zipf(i, 0.9)];
+      if (prov != transit[i]) connect_c2p(transit[i], prov);
+    }
+  }
+  // Transit peering mesh.
+  for (std::size_t i = 0; i < transit.size(); ++i) {
+    for (std::size_t j = i + 1; j < transit.size(); ++j) {
+      if (rng.bernoulli(cfg.transit_peering_prob)) {
+        g.find_mutable(transit[i])->peers.push_back(transit[j]);
+        g.find_mutable(transit[j])->peers.push_back(transit[i]);
+      }
+    }
+  }
+  // Stubs: multi-home to transit providers (zipf-skewed: big transits
+  // serve many customers — their blackholing user pools, §7).
+  for (Asn stub : stubs) {
+    double mh = cfg.stub_multihoming_mean;
+    std::size_t nprov = 1;
+    if (rng.bernoulli(mh - 1.0)) nprov = 2;
+    if (rng.bernoulli(0.12)) nprov = 3;
+    for (std::size_t k = 0; k < nprov; ++k) {
+      Asn prov = transit[rng.zipf(transit.size(), 1.0)];
+      connect_c2p(stub, prov);
+    }
+  }
+
+  // ---- 3. IXPs ---------------------------------------------------------
+  // Membership counts are heavily skewed: a few very large IXPs
+  // (DE-CIX / Equinix / HK-IX scale) and a long tail (§7).
+  static const char* kIxpCities[] = {
+      "Frankfurt", "Amsterdam", "London",   "Moscow",  "New York", "Ashburn",
+      "Hong Kong", "Sao Paulo", "Tokyo",    "Paris",   "Warsaw",   "Kyiv",
+      "Singapore", "Stockholm", "Prague",   "Vienna",  "Milan",    "Seattle",
+      "Chicago",   "Palo Alto", "Budapest", "Zurich",  "Dublin",   "Oslo"};
+  static const char* kIxpCountries[] = {
+      "DE", "NL", "GB", "RU", "US", "US", "HK", "BR", "JP", "FR", "PL", "UA",
+      "SG", "SE", "CZ", "AT", "IT", "US", "US", "US", "HU", "CH", "IE", "NO"};
+
+  std::vector<Asn> ixp_eligible;  // content + transit + access stubs peer at IXPs
+  ixp_eligible.insert(ixp_eligible.end(), transit.begin(), transit.end());
+  ixp_eligible.insert(ixp_eligible.end(), content_ases.begin(), content_ases.end());
+  ixp_eligible.insert(ixp_eligible.end(), access_stubs.begin(), access_stubs.end());
+
+  for (std::uint32_t id = 0; id < cfg.num_ixps; ++id) {
+    Ixp& ixp = g.add_ixp(id);
+    std::size_t city = id % (sizeof(kIxpCities) / sizeof(kIxpCities[0]));
+    ixp.city = kIxpCities[city];
+    ixp.country = kIxpCountries[city];
+    ixp.name = util::strf("%s-IX%u", kIxpCities[city], id);
+    ixp.route_server_asn = kRouteServerBase + id;
+    ixp.transparent_route_server = rng.bernoulli(0.6);
+    ixp.peering_lan = ixp_lan_for_id(id);
+    std::uint32_t lan_base = ixp.peering_lan.addr().v4().value();
+    ixp.blackhole_ip_v4 = net::IpAddr(net::Ipv4Addr(lan_base + 66));
+    ixp.blackhole_ip_v6 = ixp_blackhole_v6(id);
+    ixp.has_pch_collector = id < cfg.num_pch_ixps;
+
+    // Membership: size skewed by IXP rank.
+    std::size_t target =
+        std::max<std::size_t>(4, static_cast<std::size_t>(
+            static_cast<double>(cfg.large_ixp_members) /
+            std::pow(static_cast<double>(id + 1), cfg.ixp_membership_zipf)));
+    target = std::min(target, ixp_eligible.size());
+    auto idx = rng.sample_indices(ixp_eligible.size(), target);
+    for (auto i : idx) {
+      Asn member = ixp_eligible[i];
+      ixp.members.push_back(member);
+      g.find_mutable(member)->ixps.push_back(id);
+    }
+    std::sort(ixp.members.begin(), ixp.members.end());
+  }
+
+  // ---- 4. Prefix origination -----------------------------------------
+  // The 2017 global table is ~640K IPv4 prefixes over ~57K ASes; we
+  // scale counts by prefix_scale while keeping the skew (transit and
+  // content originate far more prefixes than enterprises).
+  std::size_t bi = 0;
+  for (auto& node : g.nodes_mutable()) {
+    double base;
+    switch (node.tier) {
+      case Tier::kTier1: base = 220; break;
+      case Tier::kTransit: base = 120; break;
+      default:
+        base = node.type == NetworkType::kContent ? 40 : 12;
+        break;
+    }
+    std::size_t count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(base * cfg.prefix_scale *
+                                    (0.5 + rng.uniform01())));
+    std::uint32_t block = node.v4_block.addr().v4().value();
+    node.originated_v4.push_back(node.v4_block);  // the /16 itself
+    for (std::size_t k = 1; k < count; ++k) {
+      // Random sub-prefix /18../24 of the /16.
+      std::uint8_t len = static_cast<std::uint8_t>(18 + rng.uniform(7));
+      std::uint32_t offset = static_cast<std::uint32_t>(
+          rng.uniform(1u << 16) & ~((1u << (32 - len)) - 1u));
+      node.originated_v4.emplace_back(net::Ipv4Addr(block | offset), len);
+    }
+    std::sort(node.originated_v4.begin(), node.originated_v4.end());
+    node.originated_v4.erase(
+        std::unique(node.originated_v4.begin(), node.originated_v4.end()),
+        node.originated_v4.end());
+    // IPv6: one /32 block for ~55% of networks.
+    if (rng.bernoulli(0.55)) {
+      node.originated_v6.push_back(v6_block_for_index(bi));
+    }
+    ++bi;
+    // Internal more-specifics (visible only on direct CDN feeds).
+    node.internal_prefix_count = static_cast<std::uint32_t>(
+        static_cast<double>(count) * (2.0 + 3.0 * rng.uniform01()));
+    node.accepts_more_specifics = rng.bernoulli(
+        node.tier == Tier::kStub ? cfg.accepts_more_specifics_stub
+                                 : cfg.accepts_more_specifics_transit);
+    // Non-blackhole service communities (TE / relationship tags).
+    std::uint16_t low = static_cast<std::uint16_t>(node.asn & 0xFFFF);
+    if (node.tier != Tier::kStub || rng.bernoulli(0.3)) {
+      std::size_t n = 2 + rng.uniform(4);
+      for (std::size_t k = 0; k < n; ++k) {
+        node.service_communities.emplace_back(
+            low, static_cast<std::uint16_t>(80 + rng.uniform(400)));
+      }
+    }
+  }
+
+  // ---- 5. Blackholing providers ----------------------------------------
+  // Documented populations per Table 2. Tier-1s first (13 of the
+  // transit/access providers), then large transits, then a slice of
+  // access stubs; content/edu/enterprise providers get a customer each
+  // so they are reachable as providers.
+  auto make_provider = [&](Asn asn, bool documented, Rng& r) {
+    AsNode* node = g.find_mutable(asn);
+    BlackholePolicy& bp = node->blackhole;
+    bp.offers_blackholing = true;
+    bgp::Community primary = draw_bh_community(r, asn);
+    bp.communities.push_back(primary);
+    // Regional variants for ~12% of providers (multiple communities for
+    // one provider, §4.1).
+    if (r.bernoulli(0.12)) {
+      bp.communities.emplace_back(primary.asn(),
+                                  static_cast<std::uint16_t>(primary.value() + 1));
+      if (r.bernoulli(0.3)) {
+        bp.communities.emplace_back(
+            primary.asn(), static_cast<std::uint16_t>(primary.value() + 2));
+      }
+    }
+    double ur = r.uniform01();
+    bp.auth = ur < 0.80 ? BlackholeAuth::kCustomerCone
+                        : (ur < 0.90 ? BlackholeAuth::kRpki : BlackholeAuth::kIrr);
+    if (documented) {
+      // IRR records contribute the largest share (§4.1: 209 of 307 via
+      // IRR, 93 via web pages, 5 via private communication).
+      double d = r.uniform01();
+      if (d < 209.0 / 302.0) bp.documented_in_irr = true;
+      else bp.documented_on_web = true;
+    }
+    bp.max_accepted_prefix_len = 32;
+    bp.leak_probability = cfg.leak_probability_mean * (0.5 + r.uniform01());
+    bp.strip_communities_probability = cfg.strip_communities_prob;
+    // A community value cannot mean two things at once: drop any service
+    // community that collides with the blackhole set.
+    std::erase_if(node->service_communities, [&bp](bgp::Community c) {
+      return std::find(bp.communities.begin(), bp.communities.end(), c) !=
+             bp.communities.end();
+    });
+  };
+
+  std::vector<Asn> ta_pool;  // transit/access provider candidates
+  ta_pool.insert(ta_pool.end(), tier1.begin(), tier1.end());
+  ta_pool.insert(ta_pool.end(), transit.begin(), transit.end());
+  ta_pool.insert(ta_pool.end(), access_stubs.begin(), access_stubs.end());
+
+  std::size_t ta_needed = cfg.bh_transit_access;
+  std::vector<Asn> documented_providers;
+  for (std::size_t i = 0; i < ta_pool.size() && documented_providers.size() < ta_needed; ++i) {
+    // Take all tier1/transit first; access stubs fill the remainder.
+    documented_providers.push_back(ta_pool[i]);
+  }
+  for (Asn a : documented_providers) make_provider(a, /*documented=*/true, rng);
+
+  auto pick_stub_providers = [&](std::vector<Asn>& pool, std::size_t n,
+                                 std::vector<Asn>& out) {
+    auto idx = rng.sample_indices(pool.size(), n);
+    for (auto i : idx) {
+      Asn a = pool[i];
+      out.push_back(a);
+      make_provider(a, /*documented=*/true, rng);
+      // Ensure the provider has at least one customer.
+      AsNode* node = g.find_mutable(a);
+      if (node->customers.empty()) {
+        // Adopt a random access stub as customer.
+        Asn cust = access_stubs[rng.uniform(access_stubs.size())];
+        if (cust != a) {
+          node->customers.push_back(cust);
+          g.find_mutable(cust)->providers.push_back(a);
+        }
+      }
+    }
+  };
+  std::vector<Asn> content_prov, edu_prov, ent_prov, unknown_prov;
+  pick_stub_providers(content_ases, cfg.bh_content, content_prov);
+  pick_stub_providers(edu_ases, cfg.bh_edu, edu_prov);
+  pick_stub_providers(enterprise_ases, cfg.bh_enterprise, ent_prov);
+
+  // "Unknown" providers: access stubs we will hide from both registries.
+  {
+    std::vector<Asn> pool;
+    for (Asn a : access_stubs) {
+      if (!g.find(a)->blackhole.offers_blackholing) pool.push_back(a);
+    }
+    auto idx = rng.sample_indices(pool.size(), cfg.bh_unknown);
+    for (auto i : idx) {
+      unknown_prov.push_back(pool[i]);
+      make_provider(pool[i], /*documented=*/true, rng);
+      AsNode* node = g.find_mutable(pool[i]);
+      node->type = NetworkType::kUnknown;
+      if (node->customers.empty()) {
+        Asn cust = access_stubs[rng.uniform(access_stubs.size())];
+        if (cust != pool[i]) {
+          node->customers.push_back(cust);
+          g.find_mutable(cust)->providers.push_back(pool[i]);
+        }
+      }
+    }
+    // Most "unknown" providers share the 0:666 community (paper §4.1:
+    // shared communities whose first 16 bits are not a public ASN).
+    std::size_t shared = 0;
+    for (Asn a : unknown_prov) {
+      AsNode* node = g.find_mutable(a);
+      if (shared + 3 < unknown_prov.size()) {
+        node->blackhole.communities.assign(1, bgp::Community(0, 666));
+        ++shared;
+      }
+    }
+  }
+
+  // Undocumented providers: transit/access heavy (81), content 14,
+  // edu 1, enterprise 3, unknown 3 (Table 2 parentheses).
+  {
+    struct UPlan { std::vector<Asn>* pool; std::size_t n; };
+    std::vector<Asn> ta_rest;
+    for (Asn a : ta_pool) {
+      if (!g.find(a)->blackhole.offers_blackholing) ta_rest.push_back(a);
+    }
+    std::vector<Asn> content_rest, edu_rest, ent_rest;
+    for (Asn a : content_ases)
+      if (!g.find(a)->blackhole.offers_blackholing) content_rest.push_back(a);
+    for (Asn a : edu_ases)
+      if (!g.find(a)->blackhole.offers_blackholing) edu_rest.push_back(a);
+    for (Asn a : enterprise_ases)
+      if (!g.find(a)->blackhole.offers_blackholing) ent_rest.push_back(a);
+
+    std::size_t n_ta = cfg.bh_undocumented * 81 / 102;
+    std::size_t n_co = cfg.bh_undocumented * 14 / 102;
+    std::size_t n_ed = std::max<std::size_t>(1, cfg.bh_undocumented / 102);
+    std::size_t n_en = cfg.bh_undocumented * 3 / 102;
+    std::size_t n_un = cfg.bh_undocumented - n_ta - n_co - n_ed - n_en;
+
+    auto take = [&](std::vector<Asn>& pool, std::size_t n, bool make_unknown) {
+      auto idx = rng.sample_indices(pool.size(), n);
+      for (auto i : idx) {
+        make_provider(pool[i], /*documented=*/false, rng);
+        AsNode* node = g.find_mutable(pool[i]);
+        if (make_unknown) node->type = NetworkType::kUnknown;
+        if (node->customers.empty() && node->tier == Tier::kStub) {
+          Asn cust = access_stubs[rng.uniform(access_stubs.size())];
+          if (cust != pool[i]) {
+            node->customers.push_back(cust);
+            g.find_mutable(cust)->providers.push_back(pool[i]);
+          }
+        }
+        // ~9% of undocumented providers use an extra regional variant,
+        // yielding 111 communities over 102 ASes.
+        if (node->blackhole.communities.size() == 1 && rng.bernoulli(0.09)) {
+          auto c = node->blackhole.communities[0];
+          node->blackhole.communities.emplace_back(
+              c.asn(), static_cast<std::uint16_t>(c.value() + 1));
+        }
+      }
+    };
+    take(ta_rest, n_ta, false);
+    take(content_rest, n_co, false);
+    take(edu_rest, n_ed, false);
+    take(ent_rest, n_en, false);
+    std::vector<Asn> un_pool;
+    for (Asn a : access_stubs)
+      if (!g.find(a)->blackhole.offers_blackholing) un_pool.push_back(a);
+    take(un_pool, n_un, true);
+  }
+
+  // One documented provider adopts a large community for blackholing
+  // (paper: 6 of 307 use the new formats; only 1 for blackholing).
+  if (!documented_providers.empty()) {
+    AsNode* node = g.find_mutable(documented_providers[documented_providers.size() / 2]);
+    node->blackhole.large_community =
+        bgp::LargeCommunity(node->asn, 666, 0);
+  }
+
+  // IXP blackholing: 47 of 49 use RFC 7999 65535:666; 2 use a custom
+  // community (§4.1).
+  {
+    std::vector<std::size_t> with_pch, without_pch;
+    for (std::size_t i = 0; i < g.ixps().size(); ++i) {
+      (g.ixps()[i].has_pch_collector ? with_pch : without_pch).push_back(i);
+    }
+    std::vector<std::size_t> chosen;
+    // The largest IXPs (DE-CIX / Equinix / HK-IX scale) are the ones
+    // offering blackholing; sample from the top of the size ranking
+    // (ids are size-ordered by construction).
+    std::size_t pool = std::min(with_pch.size(), cfg.num_bh_ixps_with_pch + 14);
+    auto idx1 = rng.sample_indices(pool,
+                                   std::min(cfg.num_bh_ixps_with_pch, pool));
+    for (auto i : idx1) chosen.push_back(with_pch[i]);
+    std::size_t rest = cfg.num_blackholing_ixps - chosen.size();
+    auto idx2 = rng.sample_indices(without_pch.size(),
+                                   std::min(rest, without_pch.size()));
+    for (auto i : idx2) chosen.push_back(without_pch[i]);
+    std::size_t custom_budget = 2;
+    for (std::size_t k = 0; k < chosen.size(); ++k) {
+      Ixp& ixp = g.ixps_mutable()[chosen[k]];
+      ixp.offers_blackholing = true;
+      if (custom_budget > 0 && k + custom_budget >= chosen.size()) {
+        ixp.blackhole_community = bgp::Community(
+            static_cast<std::uint16_t>(ixp.route_server_asn & 0xFFFF), 666);
+        --custom_budget;
+      } else {
+        ixp.blackhole_community = bgp::Community::rfc7999_blackhole();
+      }
+    }
+  }
+
+  // Every blackholing provider must have at least one customer (the
+  // population that can invoke its service); adopt a stub otherwise.
+  for (auto& node : g.nodes_mutable()) {
+    if (!node.blackhole.offers_blackholing || !node.customers.empty()) continue;
+    Asn cust = access_stubs[rng.uniform(access_stubs.size())];
+    if (cust == node.asn) cust = access_stubs[(rng.uniform(access_stubs.size()))];
+    if (cust != node.asn) {
+      node.customers.push_back(cust);
+      g.find_mutable(cust)->providers.push_back(node.asn);
+    }
+  }
+
+  g.finalize();
+  return g;
+}
+
+}  // namespace bgpbh::topology

@@ -1,0 +1,82 @@
+// Synthetic Internet topology generator.
+//
+// Produces an AS-level graph whose *structure* matches what the paper's
+// datasets exhibit: a small Tier-1 clique, a transit hierarchy, stub
+// networks of the PeeringDB/CAIDA types, IXPs with route servers, and a
+// blackholing-provider population matching Table 2 exactly by default
+// (307 documented providers: 198 transit/access, 49 IXPs, 23 content,
+// 15 edu/research/NfP, 8 enterprise, 14 unknown; plus 102 providers
+// with undocumented communities).
+//
+// All draws are deterministic given `seed`.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace bgpbh::topology {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // AS population by role.
+  std::size_t num_tier1 = 12;         // 13 Tier-1s in the dictionary; 12 core
+  std::size_t num_transit = 288;      // mid-tier transit providers
+  std::size_t num_content = 500;      // content/hosting/cloud (attack magnets)
+  std::size_t num_enterprise = 300;
+  std::size_t num_edu = 150;
+  std::size_t num_access_stub = 750;  // eyeball/access stubs (Transit/Access type)
+
+  // IXPs. The paper: PCH collectors at 111 IXPs; 49 IXPs offer
+  // blackholing (26 with a PCH collector + 23 discovered by scraping).
+  std::size_t num_ixps = 140;
+  std::size_t num_pch_ixps = 111;
+  std::size_t num_blackholing_ixps = 49;
+  std::size_t num_bh_ixps_with_pch = 26;
+
+  // Documented blackholing providers per type (Table 2).
+  std::size_t bh_transit_access = 198;
+  std::size_t bh_content = 23;
+  std::size_t bh_edu = 15;
+  std::size_t bh_enterprise = 8;
+  std::size_t bh_unknown = 14;
+  // Undocumented providers (inferred-dictionary population, Table 2
+  // parentheses): type split handled internally (81/14/1/3/3).
+  std::size_t bh_undocumented = 102;
+
+  // Tier-1s among the documented transit/access providers.
+  std::size_t bh_tier1 = 13;
+
+  // Prefix-origination scale relative to the real Internet (~640K IPv4
+  // prefixes in 2017).  0.1 keeps memory modest while preserving the
+  // per-dataset ratios of Table 1.
+  double prefix_scale = 0.10;
+
+  // Average connectivity.
+  double stub_multihoming_mean = 1.8;    // providers per stub
+  double transit_peering_prob = 0.06;    // p2p among transit tier
+  double ixp_membership_zipf = 0.9;      // membership skew across IXPs
+  std::size_t large_ixp_members = 420;   // DE-CIX-like membership count
+
+  // Behaviour knobs.
+  double accepts_more_specifics_transit = 0.40;
+  double accepts_more_specifics_stub = 0.20;
+  double leak_probability_mean = 0.10;    // onward /32 propagation
+  double strip_communities_prob = 0.15;
+  double peeringdb_coverage = 0.72;       // fraction of ASes with a record
+  double caida_coverage = 0.95;           // fallback classification coverage
+};
+
+// Country weights used for provider/user geography (Fig 6).
+struct CountryModel {
+  std::vector<std::string> codes;
+  std::vector<double> provider_weights;
+  std::vector<double> user_weights;
+  static CountryModel paper_model();
+};
+
+AsGraph generate(const GeneratorConfig& config);
+
+}  // namespace bgpbh::topology

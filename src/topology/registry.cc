@@ -1,0 +1,149 @@
+#include "topology/registry.h"
+
+namespace bgpbh::topology {
+
+std::string to_string(PdbType t) {
+  switch (t) {
+    case PdbType::kNsp: return "NSP";
+    case PdbType::kCableDslIsp: return "Cable/DSL/ISP";
+    case PdbType::kContent: return "Content";
+    case PdbType::kEnterprise: return "Enterprise";
+    case PdbType::kEducational: return "Educational/Research";
+    case PdbType::kNonProfit: return "Not-for-Profit";
+    case PdbType::kRouteServer: return "Route Server";
+    case PdbType::kNotDisclosed: return "Not Disclosed";
+  }
+  return "?";
+}
+
+Registry Registry::build(const AsGraph& graph, double peeringdb_coverage,
+                         double caida_coverage, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x9d2cb1a7ULL);
+  Registry reg;
+
+  for (const auto& node : graph.nodes()) {
+    // RIR registration is complete (every AS has a registered country).
+    reg.rir_[node.asn] = node.country;
+
+    // "Unknown"-typed ASes are unknown precisely because they appear in
+    // neither registry.
+    if (node.type == NetworkType::kUnknown) continue;
+
+    if (rng.bernoulli(peeringdb_coverage)) {
+      PdbNetRecord rec;
+      rec.asn = node.asn;
+      rec.name = "AS" + std::to_string(node.asn);
+      // A PeeringDB record may exist but not disclose the type.
+      if (rng.bernoulli(0.08)) {
+        rec.type = PdbType::kNotDisclosed;
+      } else {
+        switch (node.type) {
+          case NetworkType::kTransitAccess:
+            rec.type = node.tier == Tier::kStub ? PdbType::kCableDslIsp
+                                                : PdbType::kNsp;
+            break;
+          case NetworkType::kContent: rec.type = PdbType::kContent; break;
+          case NetworkType::kEnterprise: rec.type = PdbType::kEnterprise; break;
+          case NetworkType::kEduResearchNfP:
+            rec.type = rng.bernoulli(0.8) ? PdbType::kEducational
+                                          : PdbType::kNonProfit;
+            break;
+          default: rec.type = PdbType::kNotDisclosed; break;
+        }
+      }
+      reg.pdb_.emplace(node.asn, std::move(rec));
+    }
+    if (rng.bernoulli(caida_coverage)) {
+      CaidaClass c;
+      switch (node.type) {
+        case NetworkType::kContent: c = CaidaClass::kContent; break;
+        case NetworkType::kEnterprise: c = CaidaClass::kEnterprise; break;
+        case NetworkType::kEduResearchNfP:
+          // CAIDA has no edu class; most land in Enterprise.
+          c = CaidaClass::kEnterprise;
+          break;
+        default: c = CaidaClass::kTransitAccess; break;
+      }
+      reg.caida_.emplace(node.asn, c);
+    }
+  }
+
+  // IXP records are effectively complete in PeeringDB.
+  for (const auto& ixp : graph.ixps()) {
+    PdbIxpRecord rec;
+    rec.ixp_id = ixp.id;
+    rec.name = ixp.name;
+    rec.peering_lan = ixp.peering_lan;
+    rec.route_server_asn = ixp.route_server_asn;
+    rec.country = ixp.country;
+    reg.pdb_ixp_.emplace(ixp.id, rec);
+    reg.ixp_lans_.insert(ixp.peering_lan, ixp.id);
+    // Route-server ASNs get a PeeringDB record typed Route Server.
+    PdbNetRecord rs;
+    rs.asn = ixp.route_server_asn;
+    rs.type = PdbType::kRouteServer;
+    rs.name = ixp.name + " RS";
+    reg.pdb_.emplace(rs.asn, std::move(rs));
+    reg.rir_[ixp.route_server_asn] = ixp.country;
+  }
+
+  return reg;
+}
+
+std::optional<PdbNetRecord> Registry::peeringdb(Asn asn) const {
+  auto it = pdb_.find(asn);
+  if (it == pdb_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PdbIxpRecord> Registry::peeringdb_ixp(std::uint32_t ixp_id) const {
+  auto it = pdb_ixp_.find(ixp_id);
+  if (it == pdb_ixp_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint32_t> Registry::ixp_lan_containing(
+    const net::IpAddr& ip) const {
+  const std::uint32_t* id = ixp_lans_.lookup(ip);
+  if (!id) return std::nullopt;
+  return *id;
+}
+
+std::optional<CaidaClass> Registry::caida(Asn asn) const {
+  auto it = caida_.find(asn);
+  if (it == caida_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Registry::rir_country(Asn asn) const {
+  auto it = rir_.find(asn);
+  if (it == rir_.end()) return std::nullopt;
+  return it->second;
+}
+
+NetworkType Registry::classify(Asn asn) const {
+  if (auto rec = peeringdb(asn)) {
+    switch (rec->type) {
+      case PdbType::kNsp:
+      case PdbType::kCableDslIsp:
+        return NetworkType::kTransitAccess;
+      case PdbType::kContent: return NetworkType::kContent;
+      case PdbType::kEnterprise: return NetworkType::kEnterprise;
+      case PdbType::kEducational:
+      case PdbType::kNonProfit:
+        return NetworkType::kEduResearchNfP;
+      case PdbType::kRouteServer: return NetworkType::kIxp;
+      case PdbType::kNotDisclosed: break;  // fall through to CAIDA
+    }
+  }
+  if (auto c = caida(asn)) {
+    switch (*c) {
+      case CaidaClass::kTransitAccess: return NetworkType::kTransitAccess;
+      case CaidaClass::kContent: return NetworkType::kContent;
+      case CaidaClass::kEnterprise: return NetworkType::kEnterprise;
+    }
+  }
+  return NetworkType::kUnknown;
+}
+
+}  // namespace bgpbh::topology

@@ -1,0 +1,85 @@
+// External metadata registries, modelled after the paper's sources:
+//
+// * PeeringDB: voluntary, incomplete per-AS records (network type,
+//   declared info) and authoritative IXP records (peering LAN, route
+//   server ASN) — §4.1/§4.2 rely on both.
+// * CAIDA AS classification: broader coverage, coarser classes
+//   (Transit/Access, Content, Enterprise).
+// * RIR delegation: country of registration (Fig 6).
+//
+// The registry view is deliberately *incomplete and lossy* relative to
+// the ground-truth AsGraph, as in reality: the classification pipeline
+// (classify(), §4.1) must fall back across sources and may return
+// Unknown.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace bgpbh::topology {
+
+// PeeringDB network-type strings (subset that matters for Table 2/4).
+enum class PdbType : std::uint8_t {
+  kNsp,            // "NSP" -> Transit/Access
+  kCableDslIsp,    // "Cable/DSL/ISP" -> Transit/Access
+  kContent,
+  kEnterprise,
+  kEducational,    // "Educational/Research"
+  kNonProfit,      // "Not-for-Profit"
+  kRouteServer,
+  kNotDisclosed,
+};
+
+std::string to_string(PdbType t);
+
+struct PdbNetRecord {
+  Asn asn = 0;
+  PdbType type = PdbType::kNotDisclosed;
+  std::string name;
+};
+
+struct PdbIxpRecord {
+  std::uint32_t ixp_id = 0;
+  std::string name;
+  net::Prefix peering_lan;
+  Asn route_server_asn = 0;
+  std::string country;
+};
+
+enum class CaidaClass : std::uint8_t { kTransitAccess, kContent, kEnterprise };
+
+class Registry {
+ public:
+  // Builds registry contents from ground truth with the configured
+  // coverage rates (some ASes end up in neither source -> Unknown).
+  static Registry build(const AsGraph& graph, double peeringdb_coverage,
+                        double caida_coverage, std::uint64_t seed);
+
+  std::optional<PdbNetRecord> peeringdb(Asn asn) const;
+  std::optional<PdbIxpRecord> peeringdb_ixp(std::uint32_t ixp_id) const;
+  // True if `ip` is inside any PeeringDB-listed IXP LAN; returns the id.
+  std::optional<std::uint32_t> ixp_lan_containing(const net::IpAddr& ip) const;
+
+  std::optional<CaidaClass> caida(Asn asn) const;
+  std::optional<std::string> rir_country(Asn asn) const;
+
+  // The paper's classification procedure (§4.1): PeeringDB network type
+  // first; if absent or undisclosed, CAIDA's class; else Unknown.
+  NetworkType classify(Asn asn) const;
+
+  std::size_t peeringdb_size() const { return pdb_.size(); }
+  std::size_t caida_size() const { return caida_.size(); }
+
+ private:
+  std::unordered_map<Asn, PdbNetRecord> pdb_;
+  std::unordered_map<std::uint32_t, PdbIxpRecord> pdb_ixp_;
+  std::unordered_map<Asn, CaidaClass> caida_;
+  std::unordered_map<Asn, std::string> rir_;
+  net::PrefixTable<std::uint32_t> ixp_lans_;
+};
+
+}  // namespace bgpbh::topology

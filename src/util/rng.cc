@@ -1,0 +1,130 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgpbh::util {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method, with rejection for exactness.
+  std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(r) * bound;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform01();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection sampling against the envelope 1/(k+1)^s using the inverse
+  // CDF of the continuous analogue; exact for all n and s > 0.
+  const double nd = static_cast<double>(n);
+  if (s == 1.0) {
+    const double logn1 = std::log(nd + 1.0);
+    for (;;) {
+      double u = uniform01();
+      double x = std::exp(u * logn1) - 1.0;  // continuous in [0, n)
+      std::size_t k = static_cast<std::size_t>(x);
+      if (k >= n) continue;
+      double accept = (std::log(static_cast<double>(k) + 2.0) -
+                       std::log(static_cast<double>(k) + 1.0)) *
+                      (static_cast<double>(k) + 1.0);
+      if (bernoulli(accept)) return k;
+    }
+  }
+  const double one_ms = 1.0 - s;
+  const double norm = (std::pow(nd + 1.0, one_ms) - 1.0) / one_ms;
+  for (;;) {
+    double u = uniform01();
+    double x = std::pow(u * norm * one_ms + 1.0, 1.0 / one_ms) - 1.0;
+    std::size_t k = static_cast<std::size_t>(x);
+    if (k >= n) continue;
+    double hi = std::pow(static_cast<double>(k) + 2.0, one_ms);
+    double lo = std::pow(static_cast<double>(k) + 1.0, one_ms);
+    double mass = (hi - lo) / one_ms;
+    double envelope = std::pow(static_cast<double>(k) + 1.0, -s);
+    if (bernoulli(mass / envelope)) return k;
+  }
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double x = uniform01() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  k = std::min(k, n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: only the first k positions need to be drawn.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(uniform(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::fork(std::uint64_t label) const {
+  SplitMix64 sm(s_[0] ^ rotl(s_[3], 13) ^ (label * 0x9e3779b97f4a7c15ULL));
+  return Rng(sm.next());
+}
+
+}  // namespace bgpbh::util

@@ -1,0 +1,98 @@
+// Deterministic random number generation for the bgpbh simulator.
+//
+// Every stochastic component in the library draws from an Rng that is
+// explicitly seeded, so that all experiments are bit-reproducible across
+// runs and platforms.  We avoid <random> distributions (implementation-
+// defined sequences) and implement the few we need ourselves.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace bgpbh::util {
+
+// SplitMix64: used to expand a single 64-bit seed into a full state.
+// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  // Pareto with scale xm > 0 and shape alpha > 0 (heavy tails; used for
+  // attack volumes and event durations).
+  double pareto(double xm, double alpha);
+
+  // Zipf-like rank sampler over [0, n): P(k) ~ 1/(k+1)^s.  Sampling is
+  // done by inversion over a precomputed table-free approximation and is
+  // exact for our use (small skew, bounded n) via rejection.
+  std::size_t zipf(std::size_t n, double s);
+
+  // Pick an index according to non-negative weights. Sum must be > 0.
+  std::size_t weighted(std::span<const double> weights);
+
+  // Pick a uniformly random element index of a non-empty container size.
+  template <typename Vec>
+  const typename Vec::value_type& pick(const Vec& v) {
+    return v[static_cast<std::size_t>(uniform(v.size()))];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  // Derive an independent child generator; stable given the same label.
+  Rng fork(std::uint64_t label) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bgpbh::util

@@ -1,0 +1,30 @@
+// Small string utilities used across the library (parsing IRR objects,
+// formatting report tables, tokenizing operator documentation).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpbh::util {
+
+// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Split on any whitespace run; drops empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+std::string_view trim(std::string_view s);
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool contains_icase(std::string_view haystack, std::string_view needle);
+
+// Parse a non-negative integer; returns false on any non-digit or overflow.
+bool parse_u32(std::string_view s, std::uint32_t& out);
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+// printf-style convenience returning std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace bgpbh::util

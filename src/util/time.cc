@@ -1,0 +1,83 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace bgpbh::util {
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+Date civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);            // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);            // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                 // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                         // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                              // [1, 12]
+  return Date{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+              static_cast<int>(d)};
+}
+
+SimTime from_date(int y, int m, int d) { return days_from_civil(y, m, d) * kDay; }
+
+SimTime from_datetime(int y, int m, int d, int hh, int mm, int ss) {
+  return from_date(y, m, d) + hh * kHour + mm * kMinute + ss;
+}
+
+Date to_date(SimTime t) { return civil_from_days(day_index(t)); }
+
+std::int64_t day_index(SimTime t) {
+  // Floor division also for negative times.
+  return (t >= 0) ? t / kDay : (t - (kDay - 1)) / kDay;
+}
+
+std::string format_date(SimTime t) {
+  Date d = to_date(t);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string format_datetime(SimTime t) {
+  Date d = to_date(t);
+  SimTime rem = t - day_index(t) * kDay;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ", d.year,
+                d.month, d.day, static_cast<int>(rem / kHour),
+                static_cast<int>((rem % kHour) / kMinute),
+                static_cast<int>(rem % kMinute));
+  return buf;
+}
+
+std::string format_duration(SimTime d) {
+  if (d < 0) return "-" + format_duration(-d);
+  char buf[48];
+  if (d < kMinute) {
+    std::snprintf(buf, sizeof buf, "%lds", d);
+  } else if (d < kHour) {
+    std::snprintf(buf, sizeof buf, "%ldm%lds", d / kMinute, d % kMinute);
+  } else if (d < kDay) {
+    std::snprintf(buf, sizeof buf, "%ldh%ldm", d / kHour, (d % kHour) / kMinute);
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldd%ldh", d / kDay, (d % kDay) / kHour);
+  }
+  return buf;
+}
+
+SimTime study_start() { return from_date(2014, 12, 1); }
+SimTime study_end() { return from_date(2017, 4, 1); }
+SimTime focus_start() { return from_date(2016, 8, 1); }
+SimTime focus_end() { return from_date(2017, 4, 1); }
+SimTime march2017_start() { return from_date(2017, 3, 1); }
+SimTime march2017_end() { return from_date(2017, 4, 1); }
+
+}  // namespace bgpbh::util

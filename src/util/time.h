@@ -1,0 +1,66 @@
+// Simulation time: seconds since the Unix epoch (UTC), int64.
+//
+// The study window matches the paper: the longitudinal analysis runs
+// December 2014 .. March 2017; the focus window is August 2016 .. March
+// 2017; the "March 2017" snapshot is used for the dataset overview.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bgpbh::util {
+
+using SimTime = std::int64_t;  // seconds since 1970-01-01T00:00:00Z
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+inline constexpr SimTime kDay = 86400;
+inline constexpr SimTime kWeek = 7 * kDay;
+
+// Civil date (proleptic Gregorian, UTC).
+struct Date {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  friend bool operator==(const Date&, const Date&) = default;
+};
+
+// Days since the epoch for a civil date (Howard Hinnant's algorithm).
+std::int64_t days_from_civil(int y, int m, int d);
+
+// Inverse of days_from_civil.
+Date civil_from_days(std::int64_t z);
+
+// Midnight UTC of the given civil date.
+SimTime from_date(int y, int m, int d);
+
+// Convenience: from date plus time-of-day.
+SimTime from_datetime(int y, int m, int d, int hh, int mm, int ss);
+
+// Calendar date containing the given time.
+Date to_date(SimTime t);
+
+// Day index (days since epoch) of the given time.
+std::int64_t day_index(SimTime t);
+
+// "YYYY-MM-DD" / "YYYY-MM-DDTHH:MM:SSZ".
+std::string format_date(SimTime t);
+std::string format_datetime(SimTime t);
+
+// Human duration, e.g. "1m", "2h30m", "3d".
+std::string format_duration(SimTime d);
+
+// Paper-defined anchors.
+inline constexpr int kStudyStartYear = 2014, kStudyStartMonth = 12;
+inline constexpr int kStudyEndYear = 2017, kStudyEndMonth = 3;
+
+SimTime study_start();        // 2014-12-01
+SimTime study_end();          // 2017-04-01 (exclusive)
+SimTime focus_start();        // 2016-08-01
+SimTime focus_end();          // 2017-04-01 (exclusive)
+SimTime march2017_start();    // 2017-03-01
+SimTime march2017_end();      // 2017-04-01 (exclusive)
+
+}  // namespace bgpbh::util

@@ -1,0 +1,330 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgpbh::workload {
+
+BlackholeAnnouncement Episode::announcement(util::SimTime at) const {
+  BlackholeAnnouncement ann;
+  ann.user = user;
+  ann.prefix = prefix;
+  ann.target_providers = providers;
+  ann.target_ixps = ixps;
+  ann.bundle = bundle;
+  ann.misconfig = misconfig;
+  ann.time = at;
+  return ann;
+}
+
+WorkloadGenerator::WorkloadGenerator(const topology::AsGraph& graph,
+                                     const topology::CustomerCones& cones,
+                                     const WorkloadConfig& config)
+    : graph_(graph),
+      cones_(cones),
+      config_(config),
+      timeline_(config.intensity_scale),
+      rng_(config.seed) {
+  // Build the eligible-user pool: every AS with at least one blackholing
+  // provider upstream or a blackholing IXP membership.
+  for (const auto& node : graph.nodes()) {
+    UserProfile profile;
+    profile.asn = node.asn;
+    profile.type = node.type;
+    for (Asn provider : node.providers) {
+      const topology::AsNode* p = graph.find(provider);
+      if (p && p->blackhole.offers_blackholing) {
+        profile.available_providers.push_back(provider);
+      }
+    }
+    for (std::uint32_t ixp_id : node.ixps) {
+      const topology::Ixp* ixp = graph.find_ixp(ixp_id);
+      if (ixp && ixp->offers_blackholing) {
+        profile.available_ixps.push_back(ixp_id);
+      }
+    }
+    if (profile.available_providers.empty() && profile.available_ixps.empty())
+      continue;
+    // Content providers (small hosters/clouds) are the most active user
+    // group: 18% of users but 43% of blackholed prefixes (§8).
+    switch (node.type) {
+      case topology::NetworkType::kContent: profile.activity_weight = 6.0; break;
+      case topology::NetworkType::kTransitAccess:
+        profile.activity_weight = node.tier == topology::Tier::kStub ? 1.6 : 0.8;
+        break;
+      case topology::NetworkType::kEnterprise: profile.activity_weight = 0.9; break;
+      case topology::NetworkType::kEduResearchNfP: profile.activity_weight = 0.5; break;
+      default: profile.activity_weight = 0.7; break;
+    }
+    users_.push_back(std::move(profile));
+  }
+  user_weights_.reserve(users_.size());
+  for (const auto& u : users_) user_weights_.push_back(u.activity_weight);
+}
+
+net::Prefix WorkloadGenerator::pick_victim_prefix(const UserProfile& user,
+                                                  util::Rng& rng) {
+  const topology::AsNode* node = graph_.find(user.asn);
+  // IPv6 victims are rare (<1% of blackholed prefixes).
+  if (!node->originated_v6.empty() && rng.bernoulli(config_.ipv6_probability)) {
+    const net::Prefix& block = node->originated_v6.front();
+    net::Ipv6Addr::Bytes b = block.addr().v6().bytes();
+    b[14] = static_cast<std::uint8_t>(rng.uniform(255) + 1);
+    b[15] = static_cast<std::uint8_t>(rng.uniform(255) + 1);
+    return net::Prefix(net::Ipv6Addr(b), 128);
+  }
+  const net::Prefix& block =
+      node->originated_v4[rng.uniform(node->originated_v4.size())];
+  std::uint32_t base = block.addr().v4().value();
+  std::uint32_t span = 1u << (32 - block.len());
+  std::uint32_t host = base + static_cast<std::uint32_t>(rng.uniform(span));
+  if (rng.bernoulli(config_.host_route_probability)) {
+    return net::Prefix(net::Ipv4Addr(host), 32);  // host route
+  }
+  // Sometimes operators blackhole a wider subnet (/24..../29).
+  std::uint8_t len = static_cast<std::uint8_t>(24 + rng.uniform(6));
+  return net::Prefix(net::Ipv4Addr(host), len);
+}
+
+util::SimTime WorkloadGenerator::sample_episode_duration(util::Rng& rng) {
+  // Three regimes (Fig 8b): short-lived (minutes..hours), long-lived
+  // (days..weeks), very long-lived (months; misconfigurations and
+  // reputation-based permanent blocks).
+  double u = rng.uniform01();
+  if (u < 0.48) {  // minutes
+    return 2 * util::kMinute +
+           static_cast<util::SimTime>(rng.exponential(12 * util::kMinute));
+  }
+  if (u < 0.74) {  // hours
+    return 30 * util::kMinute +
+           static_cast<util::SimTime>(rng.exponential(9.0 * util::kHour));
+  }
+  if (u < 0.94) {  // days
+    return util::kDay +
+           static_cast<util::SimTime>(rng.exponential(4.0 * util::kDay));
+  }
+  if (u < 0.987) {  // weeks
+    return util::kWeek +
+           static_cast<util::SimTime>(rng.exponential(2.0 * util::kWeek));
+  }
+  // months
+  return 30 * util::kDay +
+         static_cast<util::SimTime>(rng.exponential(60.0 * util::kDay));
+}
+
+void WorkloadGenerator::materialize_on_periods(Episode& episode, util::Rng& rng) {
+  // ON/OFF probing at the episode start: short blackhole intervals with
+  // sub-5-minute withdrawals in between, then a final ON period that
+  // holds until the attack subsides.
+  util::SimTime cursor = episode.start;
+  auto off_gap = [&rng]() {
+    // Longer than the cross-peer correlation tolerance, shorter than
+    // the 5-minute grouping timeout.
+    return std::min<util::SimTime>(
+        75 + static_cast<util::SimTime>(rng.exponential(60.0)),
+        4 * util::kMinute);
+  };
+  std::size_t toggles =
+      2 + static_cast<std::size_t>(rng.uniform(config_.max_toggles_per_episode));
+  for (std::size_t i = 0; i + 1 < toggles && cursor < episode.end; ++i) {
+    // Short probe intervals: most ungrouped events last <= 1 minute
+    // (Fig 8a).
+    util::SimTime on = 5 + static_cast<util::SimTime>(rng.exponential(20.0));
+    OnPeriod p;
+    p.start = cursor;
+    p.end = std::min(cursor + on, episode.end);
+    p.explicit_withdrawal = rng.bernoulli(0.7);
+    episode.on_periods.push_back(p);
+    cursor = p.end + off_gap();
+  }
+  // The remainder of the episode stays mostly ON, with periodic
+  // re-probes (operators cannot know when the attack ends, §9).  We
+  // materialize a bounded number of segments.
+  std::size_t segments = 0;
+  while (cursor < episode.end && segments < 12) {
+    OnPeriod p;
+    p.start = cursor;
+    util::SimTime seg = 10 * util::kMinute +
+                        static_cast<util::SimTime>(rng.exponential(
+                            static_cast<double>(90 * util::kMinute)));
+    bool last = segments == 11 || cursor + seg >= episode.end;
+    p.end = last ? episode.end : cursor + seg;
+    p.explicit_withdrawal = rng.bernoulli(0.75);
+    episode.on_periods.push_back(p);
+    cursor = p.end + off_gap();
+    ++segments;
+  }
+  if (episode.on_periods.empty()) {
+    OnPeriod p{episode.start, episode.end, true};
+    episode.on_periods.push_back(p);
+  }
+}
+
+Episode WorkloadGenerator::make_episode(const UserProfile& user,
+                                        util::SimTime start, util::Rng& rng) {
+  Episode episode;
+  episode.user = user.asn;
+  episode.prefix = pick_victim_prefix(user, rng);
+  episode.start = start;
+  episode.end = start + sample_episode_duration(rng);
+
+  // Provider selection.  During a serious attack the victim network
+  // blackholes at every upstream it can (otherwise uncovered ingress
+  // paths keep delivering the flood, §10); smaller incidents — or
+  // operators probing the attack's entry point — use a single provider.
+  // Single-homed users are "full coverage" with one provider, which
+  // keeps the multi-provider share of events near the paper's 28%
+  // (Fig 7b).
+  if (rng.bernoulli(config_.full_coverage_probability)) {
+    episode.providers = user.available_providers;
+    for (std::uint32_t ixp : user.available_ixps) {
+      if (rng.bernoulli(0.55)) episode.ixps.push_back(ixp);
+    }
+    if (episode.providers.empty() && episode.ixps.empty() &&
+        !user.available_ixps.empty()) {
+      episode.ixps.push_back(user.available_ixps.front());
+    }
+    // Cap at the paper's observed maximum of 20 providers per event.
+    while (episode.providers.size() + episode.ixps.size() > 20) {
+      if (!episode.ixps.empty()) episode.ixps.pop_back();
+      else episode.providers.pop_back();
+    }
+  } else {
+    std::size_t options =
+        user.available_providers.size() + user.available_ixps.size();
+    std::size_t pick = static_cast<std::size_t>(rng.uniform(options));
+    if (pick < user.available_providers.size()) {
+      episode.providers.push_back(user.available_providers[pick]);
+    } else {
+      episode.ixps.push_back(
+          user.available_ixps[pick - user.available_providers.size()]);
+    }
+  }
+  episode.bundle = rng.bernoulli(config_.bundle_probability);
+
+  if (rng.bernoulli(config_.misconfig_probability)) {
+    double u = rng.uniform01();
+    episode.misconfig =
+        u < 0.34 ? BlackholeAnnouncement::Misconfig::kInvalidNextHop
+                 : (u < 0.67 ? BlackholeAnnouncement::Misconfig::kWrongCommunity
+                             : BlackholeAnnouncement::Misconfig::kMissingIrrEntry);
+  }
+  materialize_on_periods(episode, rng);
+  return episode;
+}
+
+std::vector<Episode> WorkloadGenerator::episodes_for_day(std::int64_t day) {
+  std::vector<Episode> out;
+  util::Rng rng = rng_.fork(static_cast<std::uint64_t>(day));
+
+  // Attacks hit a victim *network*, which then blackholes one or more
+  // of its addresses — so daily blackholed-prefix counts run well above
+  // daily user counts (paper: up to 5K prefixes vs 400 users per day).
+  double expected_prefixes = timeline_.new_episodes(day);
+  constexpr double kMeanPrefixesPerAttack = 2.6;
+  double expected_attacks = expected_prefixes / kMeanPrefixesPerAttack;
+  std::size_t attacks = static_cast<std::size_t>(expected_attacks);
+  if (rng.bernoulli(expected_attacks - std::floor(expected_attacks))) ++attacks;
+
+  // Garbage-collect the busy map.
+  util::SimTime day_start = day * util::kDay;
+  std::erase_if(busy_until_, [day_start](const auto& kv) {
+    return kv.second < day_start;
+  });
+
+  for (std::size_t a = 0; a < attacks; ++a) {
+    const UserProfile& user = users_[rng.weighted(user_weights_)];
+    util::SimTime start = day_start + static_cast<util::SimTime>(
+                                          rng.uniform(util::kDay));
+    // Number of victim addresses in this attack (mean ~2.6, heavy tail).
+    double u = rng.uniform01();
+    std::size_t victims = u < 0.45   ? 1
+                          : u < 0.70 ? 2
+                          : u < 0.85 ? 3
+                          : u < 0.95 ? 4 + rng.uniform(3)
+                                     : 7 + rng.uniform(6);
+    for (std::size_t v = 0; v < victims; ++v) {
+      util::SimTime jitter = static_cast<util::SimTime>(rng.uniform(120));
+      Episode episode = make_episode(user, start + jitter, rng);
+      auto busy = busy_until_.find(episode.prefix);
+      if (busy != busy_until_.end() && busy->second >= episode.start) {
+        continue;  // prefix already under mitigation; keep ground-truth
+                   // intervals disjoint per prefix
+      }
+      busy_until_[episode.prefix] = episode.end + 10 * util::kMinute;
+      out.push_back(std::move(episode));
+    }
+  }
+
+  // The accidental mass-blackholing spike (A): an academic network
+  // blackholes its entire table for under two minutes (§6).
+  if (const Spike* spike = timeline_.misconfig_spike_on(day)) {
+    const UserProfile* academic = nullptr;
+    for (const auto& u : users_) {
+      if (u.type == topology::NetworkType::kEduResearchNfP &&
+          !u.available_providers.empty()) {
+        academic = &u;
+        break;
+      }
+    }
+    if (academic) {
+      const topology::AsNode* node = graph_.find(academic->asn);
+      util::SimTime start = day_start + 11 * util::kHour;
+      for (const auto& block : node->originated_v4) {
+        // Every /24 slice of the block gets blackholed for < 2 minutes.
+        std::uint32_t base = block.addr().v4().value();
+        std::size_t slices = block.len() >= 24
+                                 ? 1
+                                 : std::min<std::size_t>(
+                                       1u << (24 - block.len()), 24);
+        for (std::size_t s = 0; s < slices; ++s) {
+          Episode e;
+          e.user = academic->asn;
+          e.prefix = net::Prefix(
+              net::Ipv4Addr(base + (static_cast<std::uint32_t>(s) << 8)), 24);
+          e.providers = academic->available_providers;
+          e.bundle = true;
+          e.start = start;
+          e.end = start + 110;  // < 2 minutes
+          e.on_periods.push_back(OnPeriod{e.start, e.end, true});
+          out.push_back(std::move(e));
+        }
+      }
+      (void)spike;
+    }
+  }
+  return out;
+}
+
+std::vector<BlackholeAnnouncement> WorkloadGenerator::background_for_day(
+    std::int64_t day) {
+  // Regular (non-blackhole) announcements; volume scaled like episodes.
+  std::vector<BlackholeAnnouncement> out;
+  util::Rng rng = rng_.fork(0xBAC0000ULL + static_cast<std::uint64_t>(day));
+  std::size_t n = static_cast<std::size_t>(120.0 * config_.intensity_scale * 10.0);
+  util::SimTime day_start = day * util::kDay;
+  const auto& nodes = graph_.nodes();
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& node = nodes[rng.uniform(nodes.size())];
+    if (node.originated_v4.empty()) continue;
+    BlackholeAnnouncement ann;  // reused as a generic announcement carrier
+    ann.user = node.asn;
+    ann.prefix = node.originated_v4[rng.uniform(node.originated_v4.size())];
+    ann.time = day_start + static_cast<util::SimTime>(rng.uniform(util::kDay));
+    // Service communities: the announcing AS's own and/or its provider's.
+    if (!node.service_communities.empty()) {
+      ann.extra_communities.push_back(
+          node.service_communities[rng.uniform(node.service_communities.size())]);
+    }
+    if (!node.providers.empty()) {
+      const topology::AsNode* p = graph_.find(node.providers[0]);
+      if (p && !p->service_communities.empty() && rng.bernoulli(0.5)) {
+        ann.extra_communities.push_back(p->service_communities.front());
+      }
+    }
+    out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+}  // namespace bgpbh::workload

@@ -1,0 +1,113 @@
+// Blackholing episode generator: who blackholes what, where, for how
+// long, and with which operator quirks (§6-§9 ground truth).
+//
+// An *episode* models one mitigation: a user network reacting to an
+// attack on one of its addresses.  Within an episode the operator
+// follows the paper-documented best practice of ON/OFF probing
+// (blackhole, watch traffic drop, withdraw to test whether the attack
+// ended, repeat) — which produces the very short ungrouped events of
+// Fig 8a — before leaving the blackhole up for the episode remainder.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "routing/propagation.h"
+#include "topology/as_graph.h"
+#include "topology/cone.h"
+#include "workload/timeline.h"
+
+namespace bgpbh::workload {
+
+using bgp::Asn;
+using routing::BlackholeAnnouncement;
+
+struct OnPeriod {
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  // True when the operator ends this period with an explicit WITHDRAW;
+  // otherwise the prefix is re-announced without blackhole communities
+  // (implicit withdrawal, §4.2).
+  bool explicit_withdrawal = true;
+};
+
+struct Episode {
+  Asn user = 0;
+  net::Prefix prefix;
+  std::vector<Asn> providers;        // blackholing-provider targets
+  std::vector<std::uint32_t> ixps;   // IXP targets
+  bool bundle = false;
+  BlackholeAnnouncement::Misconfig misconfig =
+      BlackholeAnnouncement::Misconfig::kNone;
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  std::vector<OnPeriod> on_periods;  // materialized blackhole intervals
+
+  BlackholeAnnouncement announcement(util::SimTime at) const;
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 99;
+  // Scales the paper's daily volumes; 1.0 reproduces absolute numbers
+  // (hundreds of millions of updates), the default keeps the study
+  // laptop-sized while preserving every ratio.
+  double intensity_scale = 0.05;
+  std::size_t max_toggles_per_episode = 8;
+  double bundle_probability = 0.50;
+  // Probability that a user blackholes at ALL of its blackholing-capable
+  // upstreams (vs probing a single one).  With the topology's
+  // multihoming mix this lands the multi-provider event share near the
+  // paper's 28% (Fig 7b).
+  double full_coverage_probability = 0.45;
+  double misconfig_probability = 0.015;
+  double ipv6_probability = 0.004;     // <1% of blackholings are IPv6
+  double host_route_probability = 0.975;  // 98% of prefixes are /32
+};
+
+// Per-user blackholing capability derived from the topology.
+struct UserProfile {
+  Asn asn = 0;
+  topology::NetworkType type = topology::NetworkType::kUnknown;
+  std::vector<Asn> available_providers;      // upstream blackholing providers
+  std::vector<std::uint32_t> available_ixps; // blackholing IXPs joined
+  double activity_weight = 1.0;  // content providers are the most active
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const topology::AsGraph& graph,
+                    const topology::CustomerCones& cones,
+                    const WorkloadConfig& config);
+
+  // All episodes *starting* on the given day, ready to be propagated.
+  std::vector<Episode> episodes_for_day(std::int64_t day);
+
+  // Background (non-blackhole) announcements for the day: regular
+  // routing updates carrying service communities.  These exercise the
+  // Fig 2 usage statistics and the engine's false-positive controls.
+  std::vector<BlackholeAnnouncement> background_for_day(std::int64_t day);
+
+  const std::vector<UserProfile>& eligible_users() const { return users_; }
+  const TimelineModel& timeline() const { return timeline_; }
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  Episode make_episode(const UserProfile& user, util::SimTime start,
+                       util::Rng& rng);
+  net::Prefix pick_victim_prefix(const UserProfile& user, util::Rng& rng);
+  util::SimTime sample_episode_duration(util::Rng& rng);
+  void materialize_on_periods(Episode& episode, util::Rng& rng);
+
+  const topology::AsGraph& graph_;
+  const topology::CustomerCones& cones_;
+  WorkloadConfig config_;
+  TimelineModel timeline_;
+  std::vector<UserProfile> users_;
+  std::vector<double> user_weights_;
+  // Prefixes busy in an ongoing episode: avoids overlapping ground truth.
+  std::map<net::Prefix, util::SimTime> busy_until_;
+  util::Rng rng_;
+};
+
+}  // namespace bgpbh::workload

@@ -1,0 +1,73 @@
+#include "workload/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgpbh::workload {
+
+using util::from_date;
+
+TimelineModel::TimelineModel(double intensity_scale) : scale_(intensity_scale) {
+  spikes_ = {
+      {'A', from_date(2016, 4, 18), 8.0, 0, true,
+       "accidental blackholing of an academic network's routing table"},
+      {'B', from_date(2016, 5, 16), 3.0, 1, false, "NS1 DNS amplification DDoS"},
+      {'C', from_date(2016, 7, 15), 2.6, 1, false, "Turkish coup news-site DDoS"},
+      {'D', from_date(2016, 8, 22), 3.2, 2, false, "Rio Olympics 540 Gbps DDoS"},
+      {'E', from_date(2016, 9, 20), 3.8, 4, false, "KrebsOnSecurity Mirai DDoS"},
+      {'F', from_date(2016, 10, 31), 3.4, 2, false, "Liberia Mirai DDoS"},
+  };
+}
+
+double TimelineModel::new_episodes(std::int64_t day) const {
+  // Linear adoption growth from ~80 new episodes/day (Dec 2014) to ~400
+  // (Mar 2017), matching the 6x growth in daily blackholed prefixes
+  // when combined with episode-duration carry-over.
+  std::int64_t d0 = util::day_index(util::study_start());
+  std::int64_t d1 = util::day_index(util::study_end());
+  double t = std::clamp(static_cast<double>(day - d0) / static_cast<double>(d1 - d0),
+                        0.0, 1.2);
+  double base = 80.0 + (400.0 - 80.0) * t;
+  return base * scale_ * spike_multiplier(day);
+}
+
+double TimelineModel::spike_multiplier(std::int64_t day) const {
+  double mult = 1.0;
+  for (const auto& spike : spikes_) {
+    if (spike.misconfiguration) continue;  // handled separately
+    std::int64_t sd = util::day_index(spike.date);
+    if (day == sd) {
+      mult = std::max(mult, spike.multiplier);
+    } else if (day > sd && day <= sd + spike.extra_days) {
+      double decay = spike.multiplier *
+                     std::pow(0.5, static_cast<double>(day - sd));
+      mult = std::max(mult, 1.0 + decay);
+    }
+  }
+  // Mirai-era elevation: September 2016 onward, tapering after January.
+  std::int64_t mirai_start = util::day_index(from_date(2016, 9, 1));
+  std::int64_t mirai_peak_end = util::day_index(from_date(2017, 1, 15));
+  if (day >= mirai_start && day <= mirai_peak_end) {
+    mult *= 1.30;
+  } else if (day > mirai_peak_end) {
+    mult *= 1.15;
+  }
+  return mult;
+}
+
+const Spike* TimelineModel::misconfig_spike_on(std::int64_t day) const {
+  for (const auto& spike : spikes_) {
+    if (spike.misconfiguration && util::day_index(spike.date) == day) return &spike;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::int64_t, char>> TimelineModel::annotations() const {
+  std::vector<std::pair<std::int64_t, char>> out;
+  for (const auto& spike : spikes_) {
+    out.emplace_back(util::day_index(spike.date), spike.label);
+  }
+  return out;
+}
+
+}  // namespace bgpbh::workload

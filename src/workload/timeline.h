@@ -1,0 +1,59 @@
+// Longitudinal activity model: December 2014 .. March 2017 (§6).
+//
+// Encodes the adoption growth the paper measures (blackholed prefixes
+// per day grow ~6x, users ~4x, providers ~2.5x) and the documented
+// DDoS-correlated spikes:
+//   A 2016-04-18  accidental: academic network blackholes its own table
+//   B 2016-05-16  NS1 DNS-provider amplification attack
+//   C 2016-07-15  Turkish coup attempt, news-site DDoS
+//   D 2016-08-22  Rio Olympics, 540 Gbps
+//   E 2016-09-20  "Krebs on Security" (Mirai), days long
+//   F 2016-10-31  Liberia infrastructure (Mirai)
+// plus a months-long Mirai-era elevation from September 2016.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace bgpbh::workload {
+
+struct Spike {
+  char label = 'A';
+  util::SimTime date = 0;
+  double multiplier = 1.0;   // extra episode volume that day
+  int extra_days = 0;        // spike decay tail
+  bool misconfiguration = false;  // spike A
+  std::string description;
+};
+
+class TimelineModel {
+ public:
+  // intensity_scale scales the paper's absolute daily volumes down to
+  // simulation size (1.0 = paper scale).
+  explicit TimelineModel(double intensity_scale);
+
+  // Expected number of *new* blackholing episodes starting on the given
+  // day (before integer sampling).
+  double new_episodes(std::int64_t day) const;
+
+  // Daily multiplier from spikes / the Mirai-era elevation.
+  double spike_multiplier(std::int64_t day) const;
+
+  // The misconfiguration spike (A) fires on this day?
+  const Spike* misconfig_spike_on(std::int64_t day) const;
+
+  const std::vector<Spike>& spikes() const { return spikes_; }
+  double intensity_scale() const { return scale_; }
+
+  // Annotations for Fig 4 plots.
+  std::vector<std::pair<std::int64_t, char>> annotations() const;
+
+ private:
+  double scale_;
+  std::vector<Spike> spikes_;
+};
+
+}  // namespace bgpbh::workload

@@ -1,0 +1,82 @@
+#include "bgp/aspath.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::bgp {
+namespace {
+
+TEST(AsPath, Basics) {
+  AsPath p = AsPath::of({3356, 1299, 64500});
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.first(), 3356u);
+  EXPECT_EQ(p.origin(), 64500u);
+  EXPECT_TRUE(p.contains(1299));
+  EXPECT_FALSE(p.contains(174));
+  EXPECT_EQ(p.to_string(), "3356 1299 64500");
+}
+
+TEST(AsPath, Empty) {
+  AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.to_string(), "");
+  EXPECT_FALSE(p.index_of(1).has_value());
+}
+
+TEST(AsPath, RemovePrepending) {
+  AsPath p = AsPath::of({100, 200, 200, 200, 300, 300, 400});
+  AsPath clean = p.without_prepending();
+  EXPECT_EQ(clean, AsPath::of({100, 200, 300, 400}));
+  EXPECT_EQ(p.unique_length(), 4u);
+}
+
+TEST(AsPath, RemovePrependingKeepsNonConsecutiveDuplicates) {
+  // Poisoned paths repeat an ASN non-consecutively; only consecutive
+  // repeats are prepending.
+  AsPath p = AsPath::of({100, 200, 100});
+  EXPECT_EQ(p.without_prepending(), p);
+}
+
+TEST(AsPath, IndexOfUsesCleanPath) {
+  AsPath p = AsPath::of({100, 100, 200, 300});
+  auto idx = p.index_of(200);
+  ASSERT_TRUE(idx);
+  EXPECT_EQ(*idx, 1u);  // after prepending removal
+}
+
+TEST(AsPath, HopBefore) {
+  // Path: collector peer 100 -> provider 200 -> user 300.
+  AsPath p = AsPath::of({100, 200, 300});
+  auto user = p.hop_before(200);
+  ASSERT_TRUE(user);
+  EXPECT_EQ(*user, 300u);  // the AS "behind" the provider = the user
+}
+
+TEST(AsPath, HopBeforeOriginIsNull) {
+  AsPath p = AsPath::of({100, 200, 300});
+  EXPECT_FALSE(p.hop_before(300).has_value());  // origin has nothing behind
+  EXPECT_FALSE(p.hop_before(999).has_value());  // not on path
+}
+
+TEST(AsPath, HopBeforeWithPrepending) {
+  AsPath p = AsPath::of({100, 200, 200, 300, 300, 300});
+  auto user = p.hop_before(200);
+  ASSERT_TRUE(user);
+  EXPECT_EQ(*user, 300u);
+}
+
+TEST(AsPath, Prepend) {
+  AsPath p = AsPath::of({200});
+  p.prepend(100, 3);
+  EXPECT_EQ(p, AsPath::of({100, 100, 100, 200}));
+}
+
+TEST(AsPath, PushOrigin) {
+  AsPath p;
+  p.push_origin(1);
+  p.push_origin(2);
+  EXPECT_EQ(p.origin(), 2u);
+  EXPECT_EQ(p.first(), 1u);
+}
+
+}  // namespace
+}  // namespace bgpbh::bgp

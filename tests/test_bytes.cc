@@ -1,0 +1,106 @@
+#include "net/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::net {
+namespace {
+
+TEST(BufWriter, BigEndianLayout) {
+  BufWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  const auto& d = w.data();
+  ASSERT_EQ(d.size(), 7u);
+  EXPECT_EQ(d[0], 0xAB);
+  EXPECT_EQ(d[1], 0x12);
+  EXPECT_EQ(d[2], 0x34);
+  EXPECT_EQ(d[3], 0xDE);
+  EXPECT_EQ(d[6], 0xEF);
+}
+
+TEST(BufWriter, U64) {
+  BufWriter w;
+  w.u64(0x0102030405060708ULL);
+  ASSERT_EQ(w.size(), 8u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[7], 0x08);
+}
+
+TEST(BufWriter, Patch) {
+  BufWriter w;
+  w.u16(0);
+  w.u32(0);
+  w.patch_u16(0, 0xBEEF);
+  w.patch_u32(2, 0x01020304);
+  EXPECT_EQ(w.data()[0], 0xBE);
+  EXPECT_EQ(w.data()[2], 0x01);
+  EXPECT_EQ(w.data()[5], 0x04);
+}
+
+TEST(BufWriter, StrAndBytes) {
+  BufWriter w;
+  w.str("ab");
+  std::uint8_t raw[] = {1, 2, 3};
+  w.bytes(raw);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.data()[0], 'a');
+  EXPECT_EQ(w.data()[4], 3);
+}
+
+TEST(BufReader, ReadsBack) {
+  BufWriter w;
+  w.u8(7);
+  w.u16(300);
+  w.u32(1u << 30);
+  w.u64(1ULL << 60);
+  BufReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 300);
+  EXPECT_EQ(r.u32(), 1u << 30);
+  EXPECT_EQ(r.u64(), 1ULL << 60);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BufReader, TruncationLatchesError) {
+  std::uint8_t raw[] = {1, 2};
+  BufReader r(raw);
+  EXPECT_EQ(r.u32(), 0u);  // truncated
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay zero without UB.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufReader, BytesTruncation) {
+  std::uint8_t raw[] = {1, 2, 3};
+  BufReader r(raw);
+  auto got = r.bytes(5);
+  EXPECT_TRUE(got.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufReader, SubReaderIsolatesRange) {
+  BufWriter w;
+  w.u16(0xAAAA);
+  w.u16(0xBBBB);
+  w.u16(0xCCCC);
+  BufReader r(w.data());
+  r.skip(2);
+  BufReader sub = r.sub(2);
+  EXPECT_EQ(sub.u16(), 0xBBBB);
+  EXPECT_TRUE(sub.at_end());
+  EXPECT_EQ(r.u16(), 0xCCCC);  // outer reader continues after the sub
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BufReader, EmptyBuffer) {
+  BufReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace bgpbh::net

@@ -1,0 +1,205 @@
+#include "routing/collectors.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/generator.h"
+
+namespace bgpbh::routing {
+namespace {
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::CustomerCones cones{graph};
+  PropagationEngine engine{graph, cones, 99};
+  CollectorFleet fleet = CollectorFleet::build(graph, FleetConfig{});
+
+  BlackholeAnnouncement sample_announcement(BlackholePropagation* prop) {
+    for (const auto& node : graph.nodes()) {
+      if (node.tier != topology::Tier::kStub) continue;
+      for (bgp::Asn p : node.providers) {
+        const topology::AsNode* pn = graph.find(p);
+        if (pn && pn->blackhole.offers_blackholing &&
+            pn->blackhole.auth == topology::BlackholeAuth::kCustomerCone &&
+            !fleet.sessions_of(p).empty()) {
+          BlackholeAnnouncement ann;
+          ann.user = node.asn;
+          ann.prefix = net::Prefix(
+              net::Ipv4Addr(node.v4_block.addr().v4().value() + 0x0201), 32);
+          ann.target_providers = {p};
+          ann.time = 1000;
+          *prop = engine.propagate_blackhole(ann);
+          return ann;
+        }
+      }
+    }
+    ADD_FAILURE() << "no provider with a collector session found";
+    return {};
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(Fleet, AllPlatformsPopulated) {
+  std::map<Platform, std::size_t> counts;
+  for (const auto& s : env().fleet.sessions()) counts[s.platform] += 1;
+  for (Platform p : kAllPlatforms) {
+    EXPECT_GT(counts[p], 10u) << to_string(p);
+  }
+  // CDN has the most IP peers; PCH more than RIS (Table 1 structure).
+  EXPECT_GT(counts[Platform::kCdn], counts[Platform::kRis]);
+  EXPECT_GT(counts[Platform::kPch], counts[Platform::kRis]);
+}
+
+TEST(Fleet, PchSessionsLiveOnIxpLans) {
+  for (const auto& s : env().fleet.sessions()) {
+    if (s.platform != Platform::kPch) {
+      // Non-PCH session IPs must NOT fall into any IXP LAN, or the
+      // engine's peer-ip heuristic would misfire.
+      EXPECT_EQ(env().graph.ixp_by_lan_ip(s.peer_ip), nullptr);
+      continue;
+    }
+    ASSERT_TRUE(s.ixp_id.has_value());
+    const topology::Ixp* ixp = env().graph.find_ixp(*s.ixp_id);
+    ASSERT_NE(ixp, nullptr);
+    EXPECT_TRUE(ixp->peering_lan.contains(s.peer_ip))
+        << s.peer_ip.to_string() << " not in " << ixp->peering_lan.to_string();
+  }
+}
+
+TEST(Fleet, RouteServerSessionsPresent) {
+  std::size_t rs_sessions = 0;
+  for (const auto& s : env().fleet.sessions()) {
+    if (s.route_server_session) {
+      ++rs_sessions;
+      EXPECT_EQ(s.platform, Platform::kPch);
+      const topology::Ixp* ixp = env().graph.find_ixp(*s.ixp_id);
+      EXPECT_EQ(s.peer_asn, ixp->route_server_asn);
+    }
+  }
+  // One RS session per PCH IXP.
+  EXPECT_EQ(rs_sessions, topology::GeneratorConfig{}.num_pch_ixps);
+}
+
+TEST(Fleet, SessionsOfIndex) {
+  for (const auto& s : env().fleet.sessions()) {
+    auto indices = env().fleet.sessions_of(s.peer_asn);
+    bool found = false;
+    for (auto i : indices) {
+      if (&env().fleet.sessions()[i] == &s) found = true;
+    }
+    EXPECT_TRUE(found);
+    break;
+  }
+  EXPECT_TRUE(env().fleet.sessions_of(987654321).empty());
+}
+
+TEST(Observe, AnnouncementProducesUpdates) {
+  BlackholePropagation prop;
+  auto ann = env().sample_announcement(&prop);
+  auto updates = env().fleet.observe_announcement(prop, ann, env().engine);
+  ASSERT_FALSE(updates.empty());
+  for (const auto& fu : updates) {
+    ASSERT_EQ(fu.update.body.announced.size(), 1u);
+    EXPECT_EQ(fu.update.body.announced[0], ann.prefix);
+    EXPECT_GE(fu.update.time, ann.time);
+    EXPECT_LE(fu.update.time, ann.time + 20);
+    EXPECT_FALSE(fu.update.body.as_path.empty());
+  }
+  // Sorted by time.
+  for (std::size_t i = 1; i < updates.size(); ++i) {
+    EXPECT_LE(updates[i - 1].update.time, updates[i].update.time);
+  }
+}
+
+TEST(Observe, ProviderSessionCarriesCommunity) {
+  BlackholePropagation prop;
+  auto ann = env().sample_announcement(&prop);
+  auto updates = env().fleet.observe_announcement(prop, ann, env().engine);
+  bgp::Asn provider = ann.target_providers[0];
+  const topology::AsNode* pn = env().graph.find(provider);
+  bool provider_update = false;
+  for (const auto& fu : updates) {
+    if (fu.update.peer_asn == provider) {
+      provider_update = true;
+      EXPECT_TRUE(fu.update.body.communities.contains(
+          pn->blackhole.communities.front()));
+      // Prepending-free path must be [provider, user].
+      EXPECT_EQ(fu.update.body.as_path.without_prepending(),
+                bgp::AsPath::of({provider, ann.user}));
+    }
+  }
+  EXPECT_TRUE(provider_update);
+}
+
+TEST(Observe, ExplicitWithdrawal) {
+  BlackholePropagation prop;
+  auto ann = env().sample_announcement(&prop);
+  auto updates =
+      env().fleet.observe_withdrawal(prop, ann, env().engine, 2000, true);
+  ASSERT_FALSE(updates.empty());
+  for (const auto& fu : updates) {
+    EXPECT_TRUE(fu.update.body.is_withdrawal_only());
+    EXPECT_EQ(fu.update.body.withdrawn[0], ann.prefix);
+  }
+}
+
+TEST(Observe, ImplicitWithdrawalDropsBlackholeCommunities) {
+  BlackholePropagation prop;
+  auto ann = env().sample_announcement(&prop);
+  auto updates =
+      env().fleet.observe_withdrawal(prop, ann, env().engine, 2000, false);
+  ASSERT_FALSE(updates.empty());
+  const topology::AsNode* pn = env().graph.find(ann.target_providers[0]);
+  for (const auto& fu : updates) {
+    EXPECT_FALSE(fu.update.body.announced.empty());
+    EXPECT_FALSE(fu.update.body.communities.contains(
+        pn->blackhole.communities.front()));
+  }
+}
+
+TEST(Observe, WithdrawalMirrorsAnnouncementObservers) {
+  BlackholePropagation prop;
+  auto ann = env().sample_announcement(&prop);
+  auto a = env().fleet.observe_announcement(prop, ann, env().engine);
+  auto w = env().fleet.observe_withdrawal(prop, ann, env().engine, 2000, true);
+  EXPECT_EQ(a.size(), w.size());
+}
+
+TEST(Table1, StatsShape) {
+  auto stats = env().fleet.table1_stats(env().graph);
+  ASSERT_EQ(stats.size(), kNumPlatforms);
+  for (auto& [platform, st] : stats) {
+    EXPECT_GT(st.ip_peers, 0u) << to_string(platform);
+    EXPECT_GE(st.ip_peers, st.as_peers);
+    EXPECT_GE(st.as_peers, st.unique_as_peers);
+    EXPECT_GE(st.prefixes, st.unique_prefixes);
+  }
+  // The CDN's internal feeds dominate unique prefixes (Table 1).
+  EXPECT_GT(stats[Platform::kCdn].unique_prefixes,
+            stats[Platform::kRis].unique_prefixes * 5);
+}
+
+TEST(Table1, TotalsConsistent) {
+  auto per = env().fleet.table1_stats(env().graph);
+  auto total = env().fleet.table1_total(env().graph);
+  std::size_t ip_sum = 0;
+  for (auto& [p, st] : per) ip_sum += st.ip_peers;
+  EXPECT_EQ(total.ip_peers, ip_sum);
+  EXPECT_LE(total.as_peers, ip_sum);
+  EXPECT_GE(total.prefixes, per[Platform::kCdn].prefixes);
+}
+
+TEST(Platform, Names) {
+  EXPECT_EQ(to_string(Platform::kRis), "RIS");
+  EXPECT_EQ(to_string(Platform::kRouteViews), "RV");
+  EXPECT_EQ(to_string(Platform::kPch), "PCH");
+  EXPECT_EQ(to_string(Platform::kCdn), "CDN");
+}
+
+}  // namespace
+}  // namespace bgpbh::routing

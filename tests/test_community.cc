@@ -1,0 +1,114 @@
+#include "bgp/community.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::bgp {
+namespace {
+
+TEST(Community, ParseAndAccessors) {
+  auto c = Community::parse("65535:666");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->asn(), 65535);
+  EXPECT_EQ(c->value(), 666);
+  EXPECT_EQ(c->raw(), 0xFFFF029Au);
+}
+
+TEST(Community, RoundTrip) {
+  for (const char* s : {"0:666", "3356:9999", "65535:666", "174:0"}) {
+    auto c = Community::parse(s);
+    ASSERT_TRUE(c) << s;
+    EXPECT_EQ(c->to_string(), s);
+  }
+}
+
+class CommunityInvalidTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CommunityInvalidTest, Rejected) {
+  EXPECT_FALSE(Community::parse(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Invalids, CommunityInvalidTest,
+                         ::testing::Values("", "666", "65536:1", "1:65536",
+                                           "a:b", "1:2:3", ":", "-1:666"));
+
+TEST(Community, Rfc7999Blackhole) {
+  EXPECT_EQ(Community::rfc7999_blackhole(), *Community::parse("65535:666"));
+}
+
+TEST(Community, NoExport) {
+  Community ne(Community::kNoExportRaw);
+  EXPECT_TRUE(ne.is_no_export());
+  EXPECT_FALSE(Community(65535, 666).is_no_export());
+}
+
+TEST(LargeCommunity, ParseRoundTrip) {
+  auto c = LargeCommunity::parse("4200000001:666:0");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->global_admin(), 4200000001u);
+  EXPECT_EQ(c->local1(), 666u);
+  EXPECT_EQ(c->to_string(), "4200000001:666:0");
+}
+
+TEST(LargeCommunity, Invalid) {
+  EXPECT_FALSE(LargeCommunity::parse("1:2"));
+  EXPECT_FALSE(LargeCommunity::parse("1:2:3:4"));
+  EXPECT_FALSE(LargeCommunity::parse("x:2:3"));
+}
+
+TEST(CommunitySet, AddContainsRemove) {
+  CommunitySet set;
+  EXPECT_TRUE(set.empty());
+  set.add(Community(100, 666));
+  set.add(Community(100, 666));  // duplicate ignored
+  set.add(Community(200, 1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Community(100, 666)));
+  EXPECT_FALSE(set.contains(Community(100, 667)));
+  set.remove(Community(100, 666));
+  EXPECT_FALSE(set.contains(Community(100, 666)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CommunitySet, KeepsSortedOrder) {
+  CommunitySet set;
+  set.add(Community(300, 1));
+  set.add(Community(100, 1));
+  set.add(Community(200, 1));
+  ASSERT_EQ(set.classic().size(), 3u);
+  EXPECT_LT(set.classic()[0], set.classic()[1]);
+  EXPECT_LT(set.classic()[1], set.classic()[2]);
+}
+
+TEST(CommunitySet, LargeCommunities) {
+  CommunitySet set;
+  set.add(LargeCommunity(1, 2, 3));
+  set.add(LargeCommunity(1, 2, 3));
+  EXPECT_EQ(set.large().size(), 1u);
+  EXPECT_TRUE(set.contains(LargeCommunity(1, 2, 3)));
+  EXPECT_FALSE(set.contains(LargeCommunity(1, 2, 4)));
+}
+
+TEST(CommunitySet, HasNoExport) {
+  CommunitySet set;
+  EXPECT_FALSE(set.has_no_export());
+  set.add(Community(Community::kNoExportRaw));
+  EXPECT_TRUE(set.has_no_export());
+}
+
+TEST(CommunitySet, ToString) {
+  CommunitySet set;
+  set.add(Community(100, 666));
+  set.add(LargeCommunity(9, 8, 7));
+  EXPECT_EQ(set.to_string(), "100:666 9:8:7");
+}
+
+TEST(CommunitySet, ClearAndEquality) {
+  CommunitySet a, b;
+  a.add(Community(1, 2));
+  EXPECT_NE(a, b);
+  a.clear();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bgpbh::bgp

@@ -1,0 +1,105 @@
+#include "topology/cone.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace bgpbh::topology {
+namespace {
+
+struct Env {
+  AsGraph graph = generate(GeneratorConfig{});
+  CustomerCones cones{graph};
+};
+
+const Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(Cone, ContainsSelf) {
+  for (const auto& node : env().graph.nodes()) {
+    EXPECT_TRUE(env().cones.in_cone(node.asn, node.asn));
+    EXPECT_GE(env().cones.cone_size(node.asn), 1u);
+  }
+}
+
+TEST(Cone, ContainsDirectCustomers) {
+  for (const auto& node : env().graph.nodes()) {
+    for (Asn cust : node.customers) {
+      EXPECT_TRUE(env().cones.in_cone(node.asn, cust))
+          << node.asn << " cone should contain customer " << cust;
+    }
+  }
+}
+
+TEST(Cone, TransitiveClosure) {
+  // Customer-of-customer is in the cone.
+  util::Rng rng(5);
+  std::size_t checked = 0;
+  for (const auto& node : env().graph.nodes()) {
+    for (Asn cust : node.customers) {
+      const AsNode* c = env().graph.find(cust);
+      for (Asn cc : c->customers) {
+        EXPECT_TRUE(env().cones.in_cone(node.asn, cc));
+        if (++checked > 500) return;
+      }
+    }
+  }
+}
+
+TEST(Cone, StubsHaveTrivialCones) {
+  for (const auto& node : env().graph.nodes()) {
+    if (node.customers.empty()) {
+      EXPECT_EQ(env().cones.cone_size(node.asn), 1u) << "AS" << node.asn;
+    }
+  }
+}
+
+TEST(Cone, Tier1ConesAreLarge) {
+  for (const auto& node : env().graph.nodes()) {
+    if (node.tier == Tier::kTier1) {
+      EXPECT_GT(env().cones.cone_size(node.asn), 50u) << "AS" << node.asn;
+    }
+  }
+}
+
+TEST(Cone, SortedOutput) {
+  const auto& cone = env().cones.cone(env().graph.nodes().front().asn);
+  EXPECT_TRUE(std::is_sorted(cone.begin(), cone.end()));
+}
+
+TEST(Cone, UpstreamInverseProperty) {
+  // a in cone(b)  <=>  b in upstream_cone(a), on a random sample.
+  util::Rng rng(17);
+  const auto& nodes = env().graph.nodes();
+  for (int i = 0; i < 200; ++i) {
+    const auto& a = nodes[rng.uniform(nodes.size())];
+    const auto& b = nodes[rng.uniform(nodes.size())];
+    bool in_cone = env().cones.in_cone(b.asn, a.asn);
+    auto upstream = env().cones.upstream_cone(a.asn);
+    bool in_upstream =
+        std::binary_search(upstream.begin(), upstream.end(), b.asn);
+    EXPECT_EQ(in_cone, in_upstream) << a.asn << " / " << b.asn;
+  }
+}
+
+TEST(Cone, UpstreamContainsProviders) {
+  for (const auto& node : env().graph.nodes()) {
+    if (node.providers.empty()) continue;
+    auto upstream = env().cones.upstream_cone(node.asn);
+    for (Asn p : node.providers) {
+      EXPECT_TRUE(std::binary_search(upstream.begin(), upstream.end(), p));
+    }
+    break;  // one detailed case is enough; the inverse property covers rest
+  }
+}
+
+TEST(Cone, UnknownAsn) {
+  EXPECT_FALSE(env().cones.in_cone(999999999, 1));
+  EXPECT_TRUE(env().cones.cone(999999999).empty());
+}
+
+}  // namespace
+}  // namespace bgpbh::topology

@@ -1,0 +1,251 @@
+#include "dataplane/efficacy.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpbh::dataplane {
+namespace {
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::CustomerCones cones{graph};
+  routing::PropagationEngine engine{graph, cones, 99};
+  ForwardingSim forwarding{graph, engine, 123};
+  TracerouteEngine traceroute{forwarding};
+  ProbeSelector probes{graph, cones};
+
+  workload::Episode sample_episode() {
+    for (const auto& node : graph.nodes()) {
+      if (node.tier != topology::Tier::kStub) continue;
+      for (bgp::Asn p : node.providers) {
+        const topology::AsNode* pn = graph.find(p);
+        if (pn && pn->blackhole.offers_blackholing &&
+            pn->blackhole.auth == topology::BlackholeAuth::kCustomerCone) {
+          workload::Episode e;
+          e.user = node.asn;
+          e.prefix = net::Prefix(
+              net::Ipv4Addr(node.v4_block.addr().v4().value() + 0x0301), 32);
+          e.providers = {p};
+          e.start = 100;
+          e.end = 100 + util::kHour;
+          e.on_periods.push_back(workload::OnPeriod{e.start, e.end, true});
+          return e;
+        }
+      }
+    }
+    ADD_FAILURE() << "no eligible episode";
+    return {};
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(ActiveBlackholesTest, InstallRemoveDrop) {
+  ActiveBlackholes active;
+  auto prefix = *net::Prefix::parse("20.0.1.1/32");
+  active.install(200, prefix);
+  EXPECT_TRUE(active.drops(200, *net::IpAddr::parse("20.0.1.1")));
+  EXPECT_FALSE(active.drops(200, *net::IpAddr::parse("20.0.1.2")));
+  EXPECT_FALSE(active.drops(300, *net::IpAddr::parse("20.0.1.1")));
+  EXPECT_EQ(active.total_routes(), 1u);
+  active.remove(200, prefix);
+  EXPECT_FALSE(active.drops(200, *net::IpAddr::parse("20.0.1.1")));
+}
+
+TEST(ActiveBlackholesTest, CoveringPrefixDrops) {
+  ActiveBlackholes active;
+  active.install(200, *net::Prefix::parse("20.0.0.0/24"));
+  EXPECT_TRUE(active.drops(200, *net::IpAddr::parse("20.0.0.77")));
+  EXPECT_FALSE(active.drops(200, *net::IpAddr::parse("20.0.1.77")));
+}
+
+TEST(ActiveBlackholesTest, InstallFromPropagation) {
+  auto episode = env().sample_episode();
+  auto prop = env().engine.propagate_blackhole(episode.announcement(episode.start));
+  ASSERT_FALSE(prop.activated_providers.empty());
+  ActiveBlackholes active;
+  active.install_from(prop, episode.prefix, env().engine);
+  EXPECT_TRUE(active.drops(prop.activated_providers[0], episode.prefix.addr()));
+  active.remove_from(prop, episode.prefix, env().engine);
+  EXPECT_EQ(active.total_routes(), 0u);
+}
+
+TEST(Forwarding, RoutersPerAsStable) {
+  for (const auto& node : env().graph.nodes()) {
+    std::size_t n = env().forwarding.routers_in_as(node.asn);
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 5u);
+    EXPECT_EQ(n, env().forwarding.routers_in_as(node.asn));
+  }
+}
+
+TEST(Forwarding, AsPathEndsAtOrigin) {
+  const auto& nodes = env().graph.nodes();
+  auto dst = nodes[1200].originated_v4.front().addr();
+  auto path = env().forwarding.as_path_to(nodes[50].asn, dst);
+  ASSERT_TRUE(path);
+  EXPECT_EQ(path->first(), nodes[50].asn);
+  EXPECT_EQ(path->origin(), nodes[1200].asn);
+}
+
+TEST(Forwarding, DropPointOnPath) {
+  auto episode = env().sample_episode();
+  auto prop = env().engine.propagate_blackhole(episode.announcement(episode.start));
+  ActiveBlackholes active;
+  active.install_from(prop, episode.prefix, env().engine);
+  // Probe from some other stub AS.
+  const topology::AsNode* src = nullptr;
+  for (const auto& node : env().graph.nodes()) {
+    if (node.tier == topology::Tier::kStub && node.asn != episode.user) {
+      src = &node;
+      break;
+    }
+  }
+  ASSERT_NE(src, nullptr);
+  auto drop = env().forwarding.drop_point(src->asn, episode.prefix.addr(), active);
+  if (drop) {
+    auto path = env().forwarding.as_path_to(src->asn, episode.prefix.addr());
+    ASSERT_TRUE(path);
+    EXPECT_TRUE(path->contains(*drop));
+  }
+}
+
+TEST(Traceroute, ReachesDestinationWithoutBlackholes) {
+  ActiveBlackholes none;
+  const auto& nodes = env().graph.nodes();
+  auto dst = nodes[800].originated_v4.front().addr();
+  auto result = env().traceroute.trace(nodes[10].asn, dst, none);
+  EXPECT_TRUE(result.reached_destination);
+  EXPECT_FALSE(result.dropped_at.has_value());
+  EXPECT_GT(result.ip_path_length(), 0u);
+  EXPECT_GE(result.ip_path_length(), result.as_path_length());
+}
+
+TEST(Traceroute, BlackholeShortensTrace) {
+  auto episode = env().sample_episode();
+  auto prop = env().engine.propagate_blackhole(episode.announcement(episode.start));
+  ActiveBlackholes active;
+  active.install_from(prop, episode.prefix, env().engine);
+
+  // Probe from the provider's OTHER customers: traffic must die at the
+  // provider's ingress.
+  bgp::Asn provider = episode.providers[0];
+  const topology::AsNode* pn = env().graph.find(provider);
+  for (bgp::Asn cust : pn->customers) {
+    if (cust == episode.user) continue;
+    ActiveBlackholes none;
+    auto during = env().traceroute.trace(cust, episode.prefix.addr(), active);
+    auto after = env().traceroute.trace(cust, episode.prefix.addr(), none);
+    if (!after.reached_destination) continue;
+    if (during.dropped_at) {
+      EXPECT_LT(during.ip_path_length(), after.ip_path_length());
+      EXPECT_FALSE(during.reached_destination);
+    }
+    return;
+  }
+  GTEST_SKIP() << "provider has no second customer";
+}
+
+TEST(Traceroute, LastRespondingInterfaceSemantics) {
+  TracerouteResult r;
+  r.hops = {{net::IpAddr(net::Ipv4Addr(1)), 100, true},
+            {net::IpAddr(net::Ipv4Addr(2)), 100, false},
+            {net::IpAddr(net::Ipv4Addr(3)), 200, true},
+            {net::IpAddr(net::Ipv4Addr(4)), 300, false}};
+  EXPECT_EQ(r.ip_path_length(), 3u);  // last responding is hop 3
+  EXPECT_EQ(r.as_path_length(), 2u);  // AS 100, AS 200
+}
+
+TEST(Probes, GroupsAreCorrect) {
+  auto episode = env().sample_episode();
+  // Downstream cone candidates must be in the user's cone.
+  for (bgp::Asn asn :
+       env().probes.candidates(episode.user, ProbeGroup::kDownstreamCone)) {
+    EXPECT_TRUE(env().cones.in_cone(episode.user, asn));
+    EXPECT_NE(asn, episode.user);
+  }
+  // Upstream candidates have the user in their cone.
+  for (bgp::Asn asn :
+       env().probes.candidates(episode.user, ProbeGroup::kUpstreamCone)) {
+    EXPECT_TRUE(env().cones.in_cone(asn, episode.user));
+  }
+  auto inside = env().probes.candidates(episode.user, ProbeGroup::kInsideUser);
+  ASSERT_EQ(inside.size(), 1u);
+  EXPECT_EQ(inside[0], episode.user);
+}
+
+TEST(Probes, SelectionFillsAllGroups) {
+  util::Rng rng(7);
+  auto episode = env().sample_episode();
+  auto selected = env().probes.select(episode.user, rng, 4);
+  EXPECT_EQ(selected.size(), 16u);  // 4 groups x 4 probes (§10)
+  std::map<ProbeGroup, std::size_t> per_group;
+  for (const auto& p : selected) per_group[p.group] += 1;
+  EXPECT_EQ(per_group.size(), 4u);
+  for (auto& [g, n] : per_group) EXPECT_EQ(n, 4u);
+}
+
+TEST(Efficacy, CampaignShowsBlackholingWorks) {
+  EfficacyMeasurer measurer(env().graph, env().cones, env().engine, 555);
+  // Measure a batch of synthetic episodes.
+  // The headline-efficacy case: users whose providers ALL offer
+  // cone-authenticated blackholing, invoked at every provider (as
+  // victims do during real attacks).
+  std::vector<workload::Episode> episodes;
+  for (const auto& node : env().graph.nodes()) {
+    if (node.tier != topology::Tier::kStub) continue;
+    bool all_blackhole = !node.providers.empty();
+    for (bgp::Asn p : node.providers) {
+      const topology::AsNode* pn = env().graph.find(p);
+      if (!pn || !pn->blackhole.offers_blackholing ||
+          pn->blackhole.auth != topology::BlackholeAuth::kCustomerCone) {
+        all_blackhole = false;
+        break;
+      }
+    }
+    if (!all_blackhole) continue;
+    workload::Episode e;
+    e.user = node.asn;
+    e.prefix = net::Prefix(
+        net::Ipv4Addr(node.v4_block.addr().v4().value() + 0x0401), 32);
+    e.providers = node.providers;
+    e.start = 100;
+    e.end = 100 + util::kHour;
+    e.on_periods.push_back(workload::OnPeriod{e.start, e.end, true});
+    episodes.push_back(e);
+    if (episodes.size() >= 40) break;
+  }
+  ASSERT_GE(episodes.size(), 20u);
+  auto campaign = measurer.measure(episodes);
+  EXPECT_EQ(campaign.events_measured, episodes.size());
+  EXPECT_FALSE(campaign.measurements.empty());
+
+  // The paper's headline efficacy findings, as shape constraints:
+  // most traces are shorter during blackholing...
+  EXPECT_GT(campaign.fraction_paths_shorter_during(), 0.5);
+  // ...with a positive mean IP and AS hop reduction.
+  EXPECT_GT(campaign.mean_ip_hop_reduction(), 1.0);
+  EXPECT_GT(campaign.mean_as_hop_reduction(), 0.5);
+  // Some traffic is dropped at the destination AS or its upstream.
+  EXPECT_GT(campaign.fraction_dropped_at_destination_or_upstream(), 0.0);
+}
+
+TEST(Efficacy, NeighborTargetComparableWithoutBlackhole) {
+  // With no blackholes installed, traces to the blackholed host and its
+  // /31 neighbour have identical length (they share the covering AS).
+  auto episode = env().sample_episode();
+  ActiveBlackholes none;
+  auto a = env().traceroute.trace(env().graph.nodes()[5].asn,
+                                  episode.prefix.addr(), none);
+  net::IpAddr neighbor(
+      net::Ipv4Addr(episode.prefix.addr().v4().value() ^ 1u));
+  auto b = env().traceroute.trace(env().graph.nodes()[5].asn, neighbor, none);
+  EXPECT_EQ(a.ip_path_length(), b.ip_path_length());
+}
+
+}  // namespace
+}  // namespace bgpbh::dataplane

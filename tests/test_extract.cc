@@ -1,0 +1,181 @@
+#include "dictionary/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "dictionary/corpus.h"
+#include "topology/generator.h"
+
+namespace bgpbh::dictionary {
+namespace {
+
+TEST(Lemma, PositiveForms) {
+  EXPECT_TRUE(contains_blackhole_lemma("64500:666 - blackhole the prefix"));
+  EXPECT_TRUE(contains_blackhole_lemma("BLACKHOLING supported"));
+  EXPECT_TRUE(contains_blackhole_lemma("black-hole this route"));
+  EXPECT_TRUE(contains_blackhole_lemma("null route the destination"));
+  EXPECT_TRUE(contains_blackhole_lemma("null-route traffic"));
+  EXPECT_TRUE(contains_blackhole_lemma("RTBH community"));
+  EXPECT_TRUE(contains_blackhole_lemma("remotely triggered blackholing"));
+  EXPECT_TRUE(contains_blackhole_lemma("discard all traffic towards X"));
+  EXPECT_TRUE(contains_blackhole_lemma("drop traffic to the prefix"));
+}
+
+TEST(Lemma, NegativeForms) {
+  EXPECT_FALSE(contains_blackhole_lemma("prepend 2x towards peers"));
+  EXPECT_FALSE(contains_blackhole_lemma("peering routes"));
+  EXPECT_FALSE(contains_blackhole_lemma("set local-preference to 80"));
+  // "drop" without "traffic" is not enough.
+  EXPECT_FALSE(contains_blackhole_lemma("drop the MED attribute"));
+  EXPECT_FALSE(contains_blackhole_lemma(""));
+}
+
+TEST(Scope, Extraction) {
+  EXPECT_EQ(extract_scope("blackhole in Europe only"), "EU");
+  EXPECT_EQ(extract_scope("blackhole in the US only"), "US");
+  EXPECT_EQ(extract_scope("blackhole in Asia only"), "AS");
+  EXPECT_EQ(extract_scope("blackhole everywhere"), "");
+}
+
+TEST(MaxPrefixLen, Extraction) {
+  auto len = extract_max_prefix_len("prefixes up to /32 are accepted");
+  ASSERT_TRUE(len);
+  EXPECT_EQ(*len, 32);
+  EXPECT_EQ(*extract_max_prefix_len("prefix lengths up to /30 allowed"), 30);
+  EXPECT_FALSE(extract_max_prefix_len("no slash here"));
+  EXPECT_FALSE(extract_max_prefix_len("see /etc/config for details"));
+}
+
+TEST(Extract, IrrDocument) {
+  Document doc;
+  doc.kind = Document::Kind::kIrr;
+  doc.subject_asn = 64500;
+  doc.text =
+      "aut-num: AS64500\n"
+      "remarks:        64500:100  - prepend 1x to peers\n"
+      "remarks:        64500:666  - blackhole (null route) the prefix\n"
+      "remarks:        64500:667  - blackhole in Europe only\n"
+      "remarks:        prefixes up to /32 are accepted when tagged\n";
+  auto found = extract_from_document(doc);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_FALSE(found[0].is_blackhole);
+  EXPECT_EQ(found[0].community, bgp::Community(64500, 100));
+  EXPECT_TRUE(found[1].is_blackhole);
+  EXPECT_EQ(found[1].community, bgp::Community(64500, 666));
+  EXPECT_EQ(found[1].max_prefix_len, 32);
+  EXPECT_TRUE(found[2].is_blackhole);
+  EXPECT_EQ(found[2].scope, "EU");
+}
+
+TEST(Extract, WebPageMarkupStripped) {
+  Document doc;
+  doc.kind = Document::Kind::kWebPage;
+  doc.subject_asn = 65000;
+  doc.text = "<li><b>65000:666</b>: blackhole: traffic discarded</li>\n";
+  auto found = extract_from_document(doc);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].community, bgp::Community(65000, 666));
+  EXPECT_TRUE(found[0].is_blackhole);
+  EXPECT_EQ(found[0].source, Document::Kind::kWebPage);
+}
+
+TEST(Extract, Level3StyleTrapNotBlackhole) {
+  // 3356:666 tags peering routes at Level3 — must NOT be classified as
+  // a blackhole community (§4.1).
+  Document doc;
+  doc.kind = Document::Kind::kIrr;
+  doc.subject_asn = 3356;
+  doc.text =
+      "remarks:        3356:666   - peering routes\n"
+      "remarks:        3356:9999  - remotely triggered blackholing\n";
+  auto found = extract_from_document(doc);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_FALSE(found[0].is_blackhole);
+  EXPECT_EQ(found[0].community, bgp::Community(3356, 666));
+  EXPECT_TRUE(found[1].is_blackhole);
+  EXPECT_EQ(found[1].community, bgp::Community(3356, 9999));
+}
+
+TEST(Extract, LargeCommunity) {
+  Document doc;
+  doc.kind = Document::Kind::kIrr;
+  doc.subject_asn = 64500;
+  doc.text = "remarks: 64500:666:0 - blackhole (large community format)\n";
+  auto found = extract_from_document(doc);
+  ASSERT_EQ(found.size(), 1u);
+  ASSERT_TRUE(found[0].large_community);
+  EXPECT_EQ(*found[0].large_community, bgp::LargeCommunity(64500, 666, 0));
+  EXPECT_TRUE(found[0].is_blackhole);
+}
+
+TEST(Extract, IgnoresNonCommunityTokens) {
+  Document doc;
+  doc.kind = Document::Kind::kIrr;
+  doc.subject_asn = 1;
+  doc.text = "remarks: contact noc@example.net tel +1:555 blackhole ::ffff\n";
+  auto found = extract_from_document(doc);
+  // "+1:555" strips to "1:555" which parses — acceptable FP for the
+  // extractor, but "::ffff" and the email must not parse.
+  for (const auto& e : found) {
+    ASSERT_TRUE(e.community.has_value());
+  }
+}
+
+TEST(Corpus, GeneratedCorpusCoversDocumentedProviders) {
+  auto graph = topology::generate(topology::GeneratorConfig{});
+  auto corpus = generate_corpus(graph, 42);
+  EXPECT_FALSE(corpus.documents.empty());
+  // Paper: 5 networks contributed via private communication.
+  EXPECT_LE(corpus.private_communications.size(), 5u);
+
+  // Every documented provider has a document mentioning its community.
+  std::set<Asn> documented_subjects;
+  for (const auto& doc : corpus.documents) documented_subjects.insert(doc.subject_asn);
+  std::size_t missing = 0;
+  for (const auto& node : graph.nodes()) {
+    if (!node.blackhole.offers_blackholing) continue;
+    if (!node.blackhole.documented_in_irr && !node.blackhole.documented_on_web)
+      continue;
+    if (!documented_subjects.contains(node.asn)) ++missing;
+  }
+  EXPECT_EQ(missing, 0u);
+}
+
+TEST(Corpus, UndocumentedProvidersAbsent) {
+  auto graph = topology::generate(topology::GeneratorConfig{});
+  auto corpus = generate_corpus(graph, 42);
+  auto extracted = extract_all(corpus);
+  std::set<std::uint32_t> bh_comms;
+  for (const auto& e : extracted) {
+    if (e.is_blackhole && e.community) bh_comms.insert(e.community->raw());
+  }
+  // No undocumented provider's community may appear as a blackhole
+  // community in the corpus (they are only inferable via Fig 2).
+  std::size_t leaked = 0;
+  for (const auto& node : graph.nodes()) {
+    const auto& bp = node.blackhole;
+    if (!bp.offers_blackholing || bp.documented_in_irr || bp.documented_on_web)
+      continue;
+    bool via_private = false;
+    for (const auto& pc : corpus.private_communications) {
+      if (pc.asn == node.asn) via_private = true;
+    }
+    if (via_private) continue;
+    // Shared communities (0:666) may be documented by other providers.
+    if (bp.communities.front().asn() == 0) continue;
+    if (bh_comms.contains(bp.communities.front().raw())) ++leaked;
+  }
+  EXPECT_EQ(leaked, 0u);
+}
+
+TEST(Corpus, Deterministic) {
+  auto graph = topology::generate(topology::GeneratorConfig{});
+  auto c1 = generate_corpus(graph, 42);
+  auto c2 = generate_corpus(graph, 42);
+  ASSERT_EQ(c1.documents.size(), c2.documents.size());
+  for (std::size_t i = 0; i < c1.documents.size(); ++i) {
+    EXPECT_EQ(c1.documents[i].text, c2.documents[i].text);
+  }
+}
+
+}  // namespace
+}  // namespace bgpbh::dictionary

@@ -1,0 +1,213 @@
+#include "flows/ixp_traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace bgpbh::flows {
+namespace {
+
+TEST(Ipfix, RoundTrip) {
+  std::vector<FlowRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    FlowRecord r;
+    r.start = 1000 + i;
+    r.src_ip = net::Ipv4Addr(0x0A000001u + i);
+    r.dst_ip = net::Ipv4Addr(0x14000001u);
+    r.src_port = static_cast<std::uint16_t>(1024 + i);
+    r.dst_port = 80;
+    r.protocol = i % 2 ? 6 : 17;
+    r.bytes = 1000u * (i + 1);
+    r.packets = 10u * (i + 1);
+    r.in_member = 100 + i;
+    r.out_member = 400;
+    records.push_back(r);
+  }
+  IpfixExporter exporter(7);
+  auto msg = exporter.export_message(records, 5000);
+  auto decoded = decode_message(msg);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, records);
+}
+
+TEST(Ipfix, EmptyBatch) {
+  IpfixExporter exporter(7);
+  auto msg = exporter.export_message({}, 5000);
+  auto decoded = decode_message(msg);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Ipfix, CorruptedLengthRejected) {
+  IpfixExporter exporter(7);
+  FlowRecord r;
+  auto msg = exporter.export_message(std::vector<FlowRecord>{r}, 1);
+  msg[2] ^= 0x55;  // corrupt total length
+  EXPECT_FALSE(decode_message(msg));
+}
+
+TEST(Ipfix, TruncatedRejected) {
+  IpfixExporter exporter(7);
+  FlowRecord r;
+  auto msg = exporter.export_message(std::vector<FlowRecord>{r}, 1);
+  msg.resize(msg.size() - 4);
+  EXPECT_FALSE(decode_message(msg));
+}
+
+TEST(Sampler, ExactLongRunRate) {
+  Sampler s(10000);
+  std::uint64_t samples = 0, packets = 0;
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t p = rng.uniform(5000);
+    packets += p;
+    samples += s.sample(p);
+  }
+  // Systematic sampling is exact up to the final phase remainder.
+  EXPECT_EQ(samples, packets / 10000);
+}
+
+TEST(Sampler, SmallFlowsAccumulate) {
+  Sampler s(100);
+  std::uint64_t samples = 0;
+  for (int i = 0; i < 250; ++i) samples += s.sample(1);
+  EXPECT_EQ(samples, 2u);
+}
+
+TEST(Sampler, RateOneSamplesEverything) {
+  Sampler s(1);
+  EXPECT_EQ(s.sample(37), 37u);
+}
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::CustomerCones cones{graph};
+  routing::PropagationEngine engine{graph, cones, 99};
+
+  const topology::Ixp* bh_ixp() const {
+    for (const auto& ixp : graph.ixps()) {
+      if (ixp.offers_blackholing && ixp.members.size() >= 30) return &ixp;
+    }
+    return nullptr;
+  }
+
+  workload::Episode ixp_episode(std::uint32_t ixp_id, bgp::Asn user,
+                                std::uint32_t salt,
+                                routing::BlackholeAnnouncement::Misconfig mis =
+                                    routing::BlackholeAnnouncement::Misconfig::kNone) {
+    const topology::AsNode* node = graph.find(user);
+    workload::Episode e;
+    e.user = user;
+    e.prefix = net::Prefix(
+        net::Ipv4Addr(node->v4_block.addr().v4().value() + 0x0500 + salt), 32);
+    e.ixps = {ixp_id};
+    e.misconfig = mis;
+    e.start = util::from_date(2017, 3, 20);
+    e.end = e.start + util::kWeek;
+    e.on_periods.push_back(workload::OnPeriod{e.start, e.end, true});
+    return e;
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(IxpTraffic, WeekSimulationSplitsTraffic) {
+  const topology::Ixp* ixp = env().bh_ixp();
+  ASSERT_NE(ixp, nullptr);
+  std::vector<workload::Episode> episodes;
+  for (int i = 0; i < 4; ++i) {
+    episodes.push_back(env().ixp_episode(ixp->id, ixp->members[i], i));
+  }
+  IxpTrafficSim sim(env().graph, env().engine, IxpTrafficConfig{});
+  auto report = sim.simulate(ixp->id, episodes, episodes[0].start, 7);
+
+  ASSERT_EQ(report.per_prefix.size(), 4u);
+  EXPECT_GT(report.total_blackholed_bytes, 0u);
+  EXPECT_GT(report.total_forwarded_bytes, 0u);
+  // §10: more than 50% of traffic toward successfully blackholed /32s
+  // is dropped at the IXP (member honouring rate ~0.68), but not all.
+  EXPECT_GT(report.drop_fraction(), 0.15);
+  EXPECT_LT(report.drop_fraction(), 0.95);
+  // Each prefix has 7 days of series data.
+  for (auto& [prefix, split] : report.per_prefix) {
+    EXPECT_GE(split.blackholed.num_days() + split.forwarded.num_days(), 7u);
+  }
+}
+
+TEST(IxpTraffic, ResidualConcentration) {
+  const topology::Ixp* ixp = env().bh_ixp();
+  std::vector<workload::Episode> episodes = {
+      env().ixp_episode(ixp->id, ixp->members[0], 10)};
+  IxpTrafficSim sim(env().graph, env().engine, IxpTrafficConfig{});
+  auto report = sim.simulate(ixp->id, episodes, episodes[0].start, 7);
+  // A large share of residual traffic comes from a few members (the
+  // paper: 80% from fewer than ten member ASes).
+  EXPECT_GT(report.residual_share_of_top(10), 0.5);
+  EXPECT_LE(report.residual_share_of_top(report.residual_member_count()), 1.0);
+  EXPECT_DOUBLE_EQ(report.residual_share_of_top(report.residual_member_count()),
+                   1.0);
+}
+
+TEST(IxpTraffic, MisconfiguredAnnouncementDropsNothing) {
+  const topology::Ixp* ixp = env().bh_ixp();
+  std::vector<workload::Episode> episodes = {env().ixp_episode(
+      ixp->id, ixp->members[0], 20,
+      routing::BlackholeAnnouncement::Misconfig::kInvalidNextHop)};
+  IxpTrafficSim sim(env().graph, env().engine, IxpTrafficConfig{});
+  auto report = sim.simulate(ixp->id, episodes, episodes[0].start, 3);
+  // Control-plane blackholing with no data-plane reduction (red region
+  // of Fig 9c).
+  EXPECT_EQ(report.total_blackholed_bytes, 0u);
+  EXPECT_GT(report.total_forwarded_bytes, 0u);
+}
+
+TEST(IxpTraffic, EpisodesAtOtherIxpsIgnored) {
+  const topology::Ixp* ixp = env().bh_ixp();
+  std::vector<workload::Episode> episodes = {
+      env().ixp_episode(ixp->id + 1, ixp->members[0], 30)};
+  IxpTrafficSim sim(env().graph, env().engine, IxpTrafficConfig{});
+  auto report = sim.simulate(ixp->id, episodes, episodes[0].start, 3);
+  EXPECT_TRUE(report.per_prefix.empty());
+}
+
+TEST(IxpTraffic, OneDayAnalysisFractionDropping) {
+  const topology::Ixp* ixp = env().bh_ixp();
+  std::vector<workload::Episode> episodes;
+  for (int i = 0; i < 6; ++i) {
+    episodes.push_back(env().ixp_episode(ixp->id, ixp->members[i], 40 + i));
+  }
+  IxpTrafficSim sim(env().graph, env().engine, IxpTrafficConfig{});
+  auto analysis = sim.analyze_one_day(ixp->id, episodes);
+  EXPECT_GT(analysis.senders, 10u);
+  EXPECT_GT(analysis.senders_dropping, 0u);
+  // "about one third" of the traffic-sending ASes drop for at least one
+  // blackholed IP — wide tolerance for topology randomness.
+  EXPECT_GT(analysis.fraction_dropping(), 0.1);
+  EXPECT_LT(analysis.fraction_dropping(), 0.65);
+}
+
+TEST(IxpTraffic, SampledFlowsExportable) {
+  const topology::Ixp* ixp = env().bh_ixp();
+  std::vector<workload::Episode> episodes = {
+      env().ixp_episode(ixp->id, ixp->members[0], 50)};
+  IxpTrafficSim sim(env().graph, env().engine, IxpTrafficConfig{});
+  sim.simulate(ixp->id, episodes, episodes[0].start, 7);
+  const auto& flows = sim.sampled_flows();
+  if (flows.empty()) GTEST_SKIP() << "sampling produced no flows at this rate";
+  IpfixExporter exporter(ixp->id);
+  auto messages = exporter.export_batches(flows, episodes[0].start);
+  std::size_t decoded_total = 0;
+  for (const auto& msg : messages) {
+    auto decoded = decode_message(msg);
+    ASSERT_TRUE(decoded);
+    decoded_total += decoded->size();
+  }
+  EXPECT_EQ(decoded_total, flows.size());
+}
+
+}  // namespace
+}  // namespace bgpbh::flows

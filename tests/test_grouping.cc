@@ -1,0 +1,180 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bgpbh::core {
+namespace {
+
+PeerEvent make_event(const char* prefix, util::SimTime start, util::SimTime end,
+                     bgp::Asn provider = 200, bgp::Asn user = 400,
+                     bgp::Asn peer = 100) {
+  PeerEvent e;
+  e.platform = routing::Platform::kRis;
+  e.peer.peer_ip = net::IpAddr(net::Ipv4Addr(peer));
+  e.peer.peer_asn = peer;
+  e.prefix = *net::Prefix::parse(prefix);
+  e.provider = ProviderRef{.is_ixp = false, .asn = provider, .ixp_id = 0};
+  e.user = user;
+  e.start = start;
+  e.end = end;
+  e.open = false;
+  return e;
+}
+
+TEST(Correlate, SingleEventPassesThrough) {
+  std::vector<PeerEvent> events = {make_event("20.0.1.1/32", 100, 200)};
+  auto prefix_events = correlate(events);
+  ASSERT_EQ(prefix_events.size(), 1u);
+  EXPECT_EQ(prefix_events[0].start, 100);
+  EXPECT_EQ(prefix_events[0].end, 200);
+  EXPECT_EQ(prefix_events[0].num_peer_events, 1u);
+}
+
+TEST(Correlate, OverlappingPeersMerge) {
+  std::vector<PeerEvent> events = {
+      make_event("20.0.1.1/32", 100, 200, 200, 400, 100),
+      make_event("20.0.1.1/32", 105, 220, 300, 400, 101),
+  };
+  auto prefix_events = correlate(events);
+  ASSERT_EQ(prefix_events.size(), 1u);
+  EXPECT_EQ(prefix_events[0].start, 100);
+  EXPECT_EQ(prefix_events[0].end, 220);
+  EXPECT_EQ(prefix_events[0].providers.size(), 2u);
+  EXPECT_EQ(prefix_events[0].num_peer_events, 2u);
+}
+
+TEST(Correlate, ToleranceBridgesSmallGaps) {
+  std::vector<PeerEvent> events = {
+      make_event("20.0.1.1/32", 100, 200),
+      make_event("20.0.1.1/32", 250, 300),  // 50s gap <= 60s tolerance
+  };
+  EXPECT_EQ(correlate(events, 60).size(), 1u);
+  EXPECT_EQ(correlate(events, 10).size(), 2u);
+}
+
+TEST(Correlate, DifferentPrefixesNeverMerge) {
+  std::vector<PeerEvent> events = {
+      make_event("20.0.1.1/32", 100, 200),
+      make_event("20.0.1.2/32", 100, 200),
+  };
+  EXPECT_EQ(correlate(events).size(), 2u);
+}
+
+TEST(Correlate, UsersAggregated) {
+  std::vector<PeerEvent> events = {
+      make_event("20.0.1.1/32", 100, 200, 200, 400),
+      make_event("20.0.1.1/32", 110, 210, 200, 401),
+  };
+  auto prefix_events = correlate(events);
+  ASSERT_EQ(prefix_events.size(), 1u);
+  EXPECT_EQ(prefix_events[0].users.size(), 2u);
+}
+
+TEST(Correlate, ZeroUserIgnored) {
+  std::vector<PeerEvent> events = {make_event("20.0.1.1/32", 100, 200, 200, 0)};
+  auto prefix_events = correlate(events);
+  ASSERT_EQ(prefix_events.size(), 1u);
+  EXPECT_TRUE(prefix_events[0].users.empty());
+}
+
+TEST(Group, OnOffPatternCollapsesWithTimeout) {
+  // Operator probing: 30s ON, 60s OFF, repeated (§9).
+  std::vector<PeerEvent> events;
+  util::SimTime t = 1000;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(make_event("20.0.1.1/32", t, t + 30));
+    t += 30 + 60;
+  }
+  auto ungrouped = correlate(events, 0);
+  ASSERT_EQ(ungrouped.size(), 5u);
+  auto grouped = group_events(ungrouped, 5 * util::kMinute);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].start, 1000);
+  EXPECT_EQ(grouped[0].end, 1000 + 4 * 90 + 30);
+  EXPECT_EQ(grouped[0].num_peer_events, 5u);
+}
+
+TEST(Group, GapBeyondTimeoutSplits) {
+  std::vector<PeerEvent> events = {
+      make_event("20.0.1.1/32", 0, 60),
+      make_event("20.0.1.1/32", 60 + 6 * util::kMinute, 60 + 7 * util::kMinute),
+  };
+  auto ungrouped = correlate(events, 0);
+  auto grouped = group_events(ungrouped, 5 * util::kMinute);
+  EXPECT_EQ(grouped.size(), 2u);
+}
+
+TEST(Group, ProvidersAccumulateAcrossGroupedEvents) {
+  std::vector<PeerEvent> events = {
+      make_event("20.0.1.1/32", 0, 60, 200),
+      make_event("20.0.1.1/32", 120, 180, 300),
+  };
+  auto grouped = group_events(correlate(events, 0), 5 * util::kMinute);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_EQ(grouped[0].providers.size(), 2u);
+}
+
+TEST(Group, SortedByStart) {
+  std::vector<PeerEvent> events = {
+      make_event("20.0.1.2/32", 500, 600),
+      make_event("20.0.1.1/32", 100, 200),
+  };
+  auto prefix_events = correlate(events);
+  ASSERT_EQ(prefix_events.size(), 2u);
+  EXPECT_LE(prefix_events[0].start, prefix_events[1].start);
+}
+
+// Property: grouping never increases the event count, never loses peer
+// events, and group spans contain their members.
+class GroupingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupingProperty, Invariants) {
+  util::Rng rng(GetParam());
+  std::vector<PeerEvent> events;
+  for (int i = 0; i < 400; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "20.0.%d.1/32",
+                  static_cast<int>(rng.uniform(8)));
+    util::SimTime start = static_cast<util::SimTime>(rng.uniform(100000));
+    util::SimTime len = 1 + static_cast<util::SimTime>(rng.uniform(5000));
+    events.push_back(make_event(buf, start, start + len,
+                                200 + static_cast<bgp::Asn>(rng.uniform(3))));
+  }
+  auto ungrouped = correlate(events, 0);
+  auto grouped = group_events(ungrouped, 5 * util::kMinute);
+
+  EXPECT_LE(grouped.size(), ungrouped.size());
+  std::size_t peer_events_u = 0, peer_events_g = 0;
+  for (const auto& e : ungrouped) peer_events_u += e.num_peer_events;
+  for (const auto& e : grouped) peer_events_g += e.num_peer_events;
+  EXPECT_EQ(peer_events_u, events.size());
+  EXPECT_EQ(peer_events_g, events.size());
+
+  // Each ungrouped event must fall inside exactly one grouped event of
+  // the same prefix.
+  for (const auto& u : ungrouped) {
+    std::size_t containing = 0;
+    for (const auto& g : grouped) {
+      if (g.prefix == u.prefix && g.start <= u.start && g.end >= u.end)
+        ++containing;
+    }
+    EXPECT_GE(containing, 1u);
+  }
+  // Grouped events of the same prefix are separated by > timeout.
+  for (std::size_t i = 0; i < grouped.size(); ++i) {
+    for (std::size_t j = i + 1; j < grouped.size(); ++j) {
+      if (grouped[i].prefix != grouped[j].prefix) continue;
+      const auto& a = grouped[i].start < grouped[j].start ? grouped[i] : grouped[j];
+      const auto& b = grouped[i].start < grouped[j].start ? grouped[j] : grouped[i];
+      EXPECT_GT(b.start - a.end, 5 * util::kMinute);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingProperty,
+                         ::testing::Values(1, 7, 42, 1337));
+
+}  // namespace
+}  // namespace bgpbh::core

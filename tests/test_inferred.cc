@@ -1,0 +1,168 @@
+#include "dictionary/inferred.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpbh::dictionary {
+namespace {
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::Registry registry = topology::Registry::build(graph, 0.72, 0.95, 42);
+  Corpus corpus = generate_corpus(graph, 42);
+  BlackholeDictionary dict = build_documented_dictionary(corpus, registry);
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+bgp::ObservedUpdate make_update(const char* prefix,
+                                std::initializer_list<bgp::Community> comms) {
+  bgp::ObservedUpdate u;
+  u.peer_ip = net::IpAddr(net::Ipv4Addr(0xC0000201));
+  u.peer_asn = 100;
+  u.body.announced.push_back(*net::Prefix::parse(prefix));
+  u.body.as_path = bgp::AsPath::of({100, 200});
+  for (auto c : comms) u.body.communities.add(c);
+  return u;
+}
+
+// An undocumented provider and its community, plus one documented
+// blackhole community to co-occur with.
+struct PlantedComms {
+  bgp::Community undocumented;
+  Asn undocumented_asn;
+  bgp::Community documented;
+};
+
+PlantedComms setup() {
+  PlantedComms s{};
+  for (const auto& node : env().graph.nodes()) {
+    const auto& bp = node.blackhole;
+    if (bp.offers_blackholing && !bp.documented_in_irr && !bp.documented_on_web &&
+        bp.communities.front().asn() == (node.asn & 0xFFFF) &&
+        !env().dict.is_blackhole(bp.communities.front())) {
+      s.undocumented = bp.communities.front();
+      s.undocumented_asn = node.asn;
+      break;
+    }
+  }
+  for (const auto& [c, entry] : env().dict.entries()) {
+    if (!entry.provider_asns.empty()) {
+      s.documented = c;
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(Usage, TracksPrefixLengths) {
+  CommunityUsage usage;
+  bgp::Community c(100, 50);
+  usage.observe(make_update("20.0.0.0/16", {c}), env().dict);
+  usage.observe(make_update("20.1.0.0/24", {c}), env().dict);
+  usage.observe(make_update("20.1.2.3/32", {c}), env().dict);
+  const auto& stats = usage.stats().at(c);
+  EXPECT_EQ(stats.total, 3u);
+  EXPECT_DOUBLE_EQ(stats.fraction_more_specific_than(24), 1.0 / 3.0);
+  auto profile = stats.length_profile();
+  EXPECT_EQ(profile.size(), 3u);
+}
+
+TEST(Usage, CooccurrenceOnlyWithDocumented) {
+  CommunityUsage usage;
+  PlantedComms s = setup();
+  ASSERT_NE(s.undocumented_asn, 0u);
+  usage.observe(make_update("20.1.2.3/32", {s.undocumented, s.documented}),
+                env().dict);
+  usage.observe(make_update("20.1.2.4/32", {s.undocumented}), env().dict);
+  EXPECT_EQ(usage.stats().at(s.undocumented).cooccur_with_documented, 1u);
+  // The documented community itself never counts as co-occurring.
+  EXPECT_EQ(usage.stats().at(s.documented).cooccur_with_documented, 0u);
+}
+
+TEST(Usage, WithdrawalOnlyUpdatesIgnored) {
+  CommunityUsage usage;
+  bgp::ObservedUpdate u;
+  u.body.withdrawn.push_back(*net::Prefix::parse("20.0.0.0/16"));
+  u.body.communities.add(bgp::Community(1, 2));
+  usage.observe(u, env().dict);
+  EXPECT_TRUE(usage.stats().empty());
+}
+
+TEST(Inference, FindsPlantedUndocumentedCommunity) {
+  CommunityUsage usage;
+  PlantedComms s = setup();
+  ASSERT_NE(s.undocumented_asn, 0u);
+  // Exclusively-/32 usage with one co-occurrence.
+  usage.observe(make_update("20.1.2.3/32", {s.undocumented, s.documented}),
+                env().dict);
+  for (int i = 0; i < 5; ++i) {
+    usage.observe(make_update("20.1.2.5/32", {s.undocumented}), env().dict);
+  }
+  auto inferred = infer_undocumented(usage, env().dict, env().graph);
+  ASSERT_EQ(inferred.size(), 1u);
+  EXPECT_EQ(inferred[0].community, s.undocumented);
+  EXPECT_EQ(inferred[0].provider_asn, s.undocumented.asn());
+  EXPECT_DOUBLE_EQ(inferred[0].more_specific_fraction, 1.0);
+}
+
+TEST(Inference, RejectsMixedPrefixLengths) {
+  CommunityUsage usage;
+  PlantedComms s = setup();
+  usage.observe(make_update("20.1.2.3/32", {s.undocumented, s.documented}),
+                env().dict);
+  for (int i = 0; i < 5; ++i) {
+    usage.observe(make_update("20.1.0.0/24", {s.undocumented}), env().dict);
+  }
+  EXPECT_TRUE(infer_undocumented(usage, env().dict, env().graph).empty());
+}
+
+TEST(Inference, RejectsWithoutCooccurrence) {
+  CommunityUsage usage;
+  PlantedComms s = setup();
+  for (int i = 0; i < 6; ++i) {
+    usage.observe(make_update("20.1.2.3/32", {s.undocumented}), env().dict);
+  }
+  EXPECT_TRUE(infer_undocumented(usage, env().dict, env().graph).empty());
+}
+
+TEST(Inference, RejectsNonPublicAsn) {
+  CommunityUsage usage;
+  PlantedComms s = setup();
+  bgp::Community nonpublic(0, 667);  // first 16 bits not a public ASN
+  usage.observe(make_update("20.1.2.3/32", {nonpublic, s.documented}),
+                env().dict);
+  for (int i = 0; i < 5; ++i) {
+    usage.observe(make_update("20.1.2.4/32", {nonpublic}), env().dict);
+  }
+  EXPECT_TRUE(infer_undocumented(usage, env().dict, env().graph).empty());
+}
+
+TEST(Inference, RejectsBelowMinOccurrences) {
+  CommunityUsage usage;
+  PlantedComms s = setup();
+  usage.observe(make_update("20.1.2.3/32", {s.undocumented, s.documented}),
+                env().dict);
+  InferenceParams params;
+  params.min_occurrences = 10;
+  EXPECT_TRUE(infer_undocumented(usage, env().dict, env().graph, params).empty());
+}
+
+TEST(Inference, NeverReturnsDocumentedCommunities) {
+  CommunityUsage usage;
+  PlantedComms s = setup();
+  for (int i = 0; i < 10; ++i) {
+    usage.observe(make_update("20.1.2.3/32", {s.documented}), env().dict);
+  }
+  auto inferred = infer_undocumented(usage, env().dict, env().graph);
+  for (const auto& ic : inferred) {
+    EXPECT_FALSE(env().dict.is_blackhole(ic.community));
+  }
+}
+
+}  // namespace
+}  // namespace bgpbh::dictionary

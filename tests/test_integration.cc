@@ -1,0 +1,220 @@
+// End-to-end integration: the full pipeline from workload to inference
+// to the derived experiment aggregates, plus cross-module consistency
+// checks that no unit test can see.
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+#include "dataplane/efficacy.h"
+#include "dictionary/inferred.h"
+#include "flows/ixp_traffic.h"
+#include "scans/profile.h"
+
+namespace bgpbh {
+namespace {
+
+core::Study& study() {
+  static core::Study* s = [] {
+    core::StudyConfig config;
+    config.window_start = util::from_date(2017, 1, 1);
+    config.window_end = util::from_date(2017, 3, 1);
+    config.workload.intensity_scale = 0.04;
+    auto* study = new core::Study(config);
+    study->run();
+    return study;
+  }();
+  return *s;
+}
+
+TEST(Integration, InferredEventsMatchGroundTruthEpisodes) {
+  // Every inferred prefix must correspond to a ground-truth episode (no
+  // false positives at the prefix level).
+  std::set<net::Prefix> truth_prefixes;
+  for (const auto& t : study().ground_truth()) {
+    truth_prefixes.insert(t.episode.prefix);
+  }
+  // Plus the table-dump seeds, which are not part of ground_truth().
+  std::size_t false_positives = 0;
+  for (const auto& e : study().events()) {
+    if (e.started_in_table_dump) continue;
+    if (!truth_prefixes.contains(e.prefix)) ++false_positives;
+  }
+  EXPECT_EQ(false_positives, 0u);
+}
+
+TEST(Integration, InferredProvidersWereTargeted) {
+  // Each inferred (prefix, provider) pair must match an episode that
+  // actually involved that provider (ISP) or IXP.
+  std::map<net::Prefix, std::set<std::string>> truth;
+  for (const auto& t : study().ground_truth()) {
+    auto& set = truth[t.episode.prefix];
+    for (auto p : t.episode.providers) set.insert("AS" + std::to_string(p));
+    for (auto ix : t.episode.ixps) set.insert("IXP#" + std::to_string(ix));
+  }
+  std::size_t mismatches = 0, checked = 0;
+  for (const auto& e : study().events()) {
+    if (e.started_in_table_dump) continue;
+    auto it = truth.find(e.prefix);
+    if (it == truth.end()) continue;
+    ++checked;
+    if (it->second.contains(e.provider.to_string())) continue;
+    // Shared communities (e.g. 0:666) legitimately credit a different
+    // provider than the one targeted when both use the same value and
+    // the candidate is on the path — a documented limitation, not an
+    // engine bug.  Anything else is a real mismatch.
+    // IXP attributions share the RFC 7999 community: a bundled route
+    // re-exported over a PCH LAN session can credit a different IXP
+    // than the targeted one — the same ambiguity the real methodology
+    // faces with 65535:666.
+    if (e.provider.is_ixp) continue;
+    const topology::AsNode* node = study().graph().find(e.provider.asn);
+    bool shared_community_case =
+        node && node->blackhole.offers_blackholing &&
+        !node->blackhole.communities.empty() &&
+        node->blackhole.communities.front().asn() !=
+            (node->asn & 0xFFFF);  // provider uses a non-ASN-scoped value
+    if (!shared_community_case) ++mismatches;
+  }
+  ASSERT_GT(checked, 1000u);
+  // Allow a tiny residue for ambiguous-community collisions.
+  EXPECT_LT(static_cast<double>(mismatches) / static_cast<double>(checked),
+            0.01);
+}
+
+TEST(Integration, RecallOfVisibleEpisodes) {
+  // Episodes that produced at least one collector sighting must yield
+  // at least one inferred event for their prefix.
+  std::set<net::Prefix> inferred;
+  for (const auto& e : study().events()) inferred.insert(e.prefix);
+  std::size_t visible = 0, recalled = 0;
+  for (const auto& t : study().ground_truth()) {
+    if (t.observed_updates == 0) continue;
+    ++visible;
+    if (inferred.contains(t.episode.prefix)) ++recalled;
+  }
+  ASSERT_GT(visible, 500u);
+  double recall = static_cast<double>(recalled) / static_cast<double>(visible);
+  // Not every sighting carries a *documented* community (undocumented
+  // providers, stripped communities), so recall is high but not 1.0.
+  EXPECT_GT(recall, 0.80);
+}
+
+TEST(Integration, UndocumentedCommunitiesInferred) {
+  // The Fig 2 signature inference must discover undocumented provider
+  // communities from the accumulated update stream.
+  auto inferred = dictionary::infer_undocumented(
+      study().usage(), study().dictionary(), study().graph());
+  // The count scales with the observation window (the fig2 bench runs
+  // the full focus window and finds many more); two months at 0.04
+  // intensity reliably surface at least a handful.
+  EXPECT_GE(inferred.size(), 4u);
+  std::size_t correct = 0;
+  for (const auto& ic : inferred) {
+    const topology::AsNode* node = study().graph().find(ic.provider_asn);
+    if (node && node->blackhole.offers_blackholing) ++correct;
+  }
+  // Precision: most inferred communities belong to real blackholing
+  // providers.  (The paper validates candidates against documentation
+  // before trusting them, precisely because precision is not 1.0.)
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(inferred.size()),
+            0.75);
+}
+
+TEST(Integration, Fig2SignatureSeparation) {
+  // Documented blackhole communities sit on /25+ prefixes; service
+  // communities on /24-or-less (the Fig 2 contrast).
+  double bh_ms = 0, bh_n = 0, svc_ms = 0, svc_n = 0;
+  for (const auto& [community, stats] : study().usage().stats()) {
+    double frac = stats.fraction_more_specific_than(24);
+    if (study().dictionary().is_blackhole(community)) {
+      bh_ms += frac;
+      bh_n += 1;
+    } else if (stats.cooccur_with_documented == 0) {
+      svc_ms += frac;
+      svc_n += 1;
+    }
+  }
+  ASSERT_GT(bh_n, 10);
+  ASSERT_GT(svc_n, 10);
+  EXPECT_GT(bh_ms / bh_n, 0.85);
+  EXPECT_LT(svc_ms / svc_n, 0.20);
+}
+
+TEST(Integration, MultiProviderEventsExist) {
+  std::size_t multi = 0;
+  for (const auto& e : study().prefix_events()) {
+    if (e.providers.size() > 1) ++multi;
+  }
+  double rate = static_cast<double>(multi) /
+                static_cast<double>(study().prefix_events().size());
+  // Fig 7b: 28% of events involve multiple providers.
+  EXPECT_GT(rate, 0.08);
+  EXPECT_LT(rate, 0.5);
+}
+
+TEST(Integration, DurationContrastUngroupedVsGrouped) {
+  stats::Cdf ungrouped, grouped;
+  for (const auto& e : study().prefix_events()) {
+    if (e.includes_table_dump_start) continue;
+    ungrouped.add(static_cast<double>(e.duration()));
+  }
+  for (const auto& e : study().grouped_events()) {
+    if (e.includes_table_dump_start) continue;
+    grouped.add(static_cast<double>(e.duration()));
+  }
+  ASSERT_GT(ungrouped.count(), 500u);
+  // Fig 8a: most ungrouped events are very short; grouping collapses
+  // the ON/OFF probing so short events nearly disappear.
+  double short_ungrouped = ungrouped.at(60.0);
+  double short_grouped = grouped.at(60.0);
+  EXPECT_GT(short_ungrouped, 0.4);
+  EXPECT_LT(short_grouped, short_ungrouped / 2);
+}
+
+TEST(Integration, EfficacyOnStudyEpisodes) {
+  // Run the §10 campaign on a slice of ground-truth episodes.
+  std::vector<workload::Episode> episodes;
+  for (const auto& t : study().ground_truth()) {
+    if (!t.episode.providers.empty() && !t.activated_providers.empty() &&
+        t.episode.prefix.is_v4()) {
+      episodes.push_back(t.episode);
+    }
+    if (episodes.size() >= 60) break;
+  }
+  ASSERT_GE(episodes.size(), 30u);
+  dataplane::EfficacyMeasurer measurer(study().graph(), study().cones(),
+                                       study().propagation(), 42);
+  auto campaign = measurer.measure(episodes);
+  EXPECT_GT(campaign.fraction_paths_shorter_during(), 0.5);
+  EXPECT_GT(campaign.mean_ip_hop_reduction(), 1.0);
+}
+
+TEST(Integration, ScanProfileOnInferredPrefixes) {
+  std::set<net::Prefix> prefix_set;
+  for (const auto& e : study().events()) {
+    if (e.prefix.is_v4()) prefix_set.insert(e.prefix);
+  }
+  std::vector<net::Prefix> prefixes(prefix_set.begin(), prefix_set.end());
+  ASSERT_GT(prefixes.size(), 200u);
+  scans::ScanSynthesizer synth(study().graph(), 321);
+  scans::BlackholeProfiler profiler(synth);
+  auto profile = profiler.profile(prefixes);
+  std::size_t http = profile.prefixes_with_service[static_cast<std::size_t>(
+      scans::Service::kHttp)];
+  EXPECT_GT(http, profile.total_prefixes / 3);
+}
+
+TEST(Integration, MisconfiguredEpisodesRemainControlPlaneOnly) {
+  std::size_t misconfig_seen = 0;
+  for (const auto& t : study().ground_truth()) {
+    using M = routing::BlackholeAnnouncement::Misconfig;
+    if (t.episode.misconfig == M::kNone) continue;
+    ++misconfig_seen;
+    if (t.episode.misconfig == M::kWrongCommunity) {
+      EXPECT_TRUE(t.activated_providers.empty());
+    }
+  }
+  EXPECT_GT(misconfig_seen, 0u);
+}
+
+}  // namespace
+}  // namespace bgpbh

@@ -1,0 +1,144 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::net {
+namespace {
+
+TEST(Ipv4, ParseBasic) {
+  auto a = Ipv4Addr::parse("192.168.1.200");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->value(), 0xC0A801C8u);
+}
+
+TEST(Ipv4, ParseBounds) {
+  EXPECT_TRUE(Ipv4Addr::parse("0.0.0.0"));
+  EXPECT_TRUE(Ipv4Addr::parse("255.255.255.255"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+}
+
+class Ipv4InvalidTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4InvalidTest, Rejected) {
+  EXPECT_FALSE(Ipv4Addr::parse(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Invalids, Ipv4InvalidTest,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "a.b.c.d",
+                                           "1..2.3", "01.2.3.4", "1.2.3.999",
+                                           " 1.2.3.4", "1.2.3.4 ", "1,2,3,4"));
+
+TEST(Ipv4, RoundTrip) {
+  const char* cases[] = {"0.0.0.0", "10.0.0.1", "130.149.1.1", "255.255.255.255"};
+  for (const char* s : cases) {
+    auto a = Ipv4Addr::parse(s);
+    ASSERT_TRUE(a) << s;
+    EXPECT_EQ(a->to_string(), s);
+  }
+}
+
+TEST(Ipv4, BitAccess) {
+  Ipv4Addr a(0x80000001u);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_TRUE(a.bit(31));
+}
+
+TEST(Ipv4, ConstructFromOctets) {
+  Ipv4Addr a(130, 149, 1, 1);
+  EXPECT_EQ(a.to_string(), "130.149.1.1");
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4Addr(1), Ipv4Addr(2));
+  EXPECT_EQ(Ipv4Addr(7), Ipv4Addr(7));
+}
+
+TEST(Ipv6, ParseFull) {
+  auto a = Ipv6Addr::parse("2001:07f8:0001:0000:0000:0000:dead:beef");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x07f8);
+  EXPECT_EQ(a->group(6), 0xdead);
+  EXPECT_EQ(a->group(7), 0xbeef);
+}
+
+TEST(Ipv6, ParseCompressed) {
+  auto a = Ipv6Addr::parse("2001:7f8::dead:beef");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(2), 0);
+  EXPECT_EQ(a->group(7), 0xbeef);
+}
+
+TEST(Ipv6, ParseAllZeros) {
+  auto a = Ipv6Addr::parse("::");
+  ASSERT_TRUE(a);
+  for (unsigned g = 0; g < 8; ++g) EXPECT_EQ(a->group(g), 0);
+}
+
+TEST(Ipv6, ParseLeadingCompression) {
+  auto a = Ipv6Addr::parse("::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->group(7), 1);
+}
+
+TEST(Ipv6, ParseTrailingCompression) {
+  auto a = Ipv6Addr::parse("fe80::");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->group(0), 0xfe80);
+  EXPECT_EQ(a->group(7), 0);
+}
+
+class Ipv6InvalidTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv6InvalidTest, Rejected) {
+  EXPECT_FALSE(Ipv6Addr::parse(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Invalids, Ipv6InvalidTest,
+                         ::testing::Values("", ":::", "1:2:3:4:5:6:7",
+                                           "1:2:3:4:5:6:7:8:9", "g::1",
+                                           "12345::", "1::2::3",
+                                           "1:2:3:4:5:6:7::8"));
+
+TEST(Ipv6, CanonicalFormCompressesLongestRun) {
+  auto a = Ipv6Addr::parse("2001:0:0:1:0:0:0:1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "2001:0:0:1::1");
+}
+
+TEST(Ipv6, RoundTripCanonical) {
+  const char* cases[] = {"::", "::1", "fe80::", "2001:7f8::dead:beef",
+                         "2a00:1:2:3:4:5:6:7"};
+  for (const char* s : cases) {
+    auto a = Ipv6Addr::parse(s);
+    ASSERT_TRUE(a) << s;
+    auto b = Ipv6Addr::parse(a->to_string());
+    ASSERT_TRUE(b) << a->to_string();
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(IpAddr, ParseDispatch) {
+  auto v4 = IpAddr::parse("1.2.3.4");
+  ASSERT_TRUE(v4);
+  EXPECT_TRUE(v4->is_v4());
+  auto v6 = IpAddr::parse("::1");
+  ASSERT_TRUE(v6);
+  EXPECT_TRUE(v6->is_v6());
+  EXPECT_FALSE(IpAddr::parse("nonsense"));
+}
+
+TEST(IpAddr, MaxLen) {
+  EXPECT_EQ(IpAddr(Ipv4Addr(0)).max_len(), 32u);
+  EXPECT_EQ(IpAddr(Ipv6Addr()).max_len(), 128u);
+}
+
+TEST(IpAddr, FamilyOrdering) {
+  // IPv4 sorts before IPv6 by variant index.
+  EXPECT_LT(IpAddr(Ipv4Addr(0xFFFFFFFF)), IpAddr(Ipv6Addr()));
+}
+
+}  // namespace
+}  // namespace bgpbh::net

@@ -1,0 +1,75 @@
+#include "routing/looking_glass.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::routing {
+namespace {
+
+LgRoute route(const char* prefix, std::initializer_list<bgp::Asn> path,
+              bgp::Community c) {
+  LgRoute r;
+  r.prefix = *net::Prefix::parse(prefix);
+  r.as_path = bgp::AsPath(std::vector<bgp::Asn>(path));
+  r.communities.add(c);
+  return r;
+}
+
+TEST(LookingGlass, PrefixQuery) {
+  LookingGlass lg(174, true);
+  lg.install(route("130.149.1.1/32", {174, 64500}, bgp::Community(174, 666)));
+  auto r = lg.query_prefix(*net::Prefix::parse("130.149.1.1/32"));
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->communities.contains(bgp::Community(174, 666)));
+  EXPECT_FALSE(lg.query_prefix(*net::Prefix::parse("8.8.8.0/24")));
+}
+
+TEST(LookingGlass, CommunityQueryRequiresCapability) {
+  LookingGlass capable(174, true), incapable(3356, false);
+  auto r = route("130.149.1.1/32", {174, 64500}, bgp::Community(174, 666));
+  capable.install(r);
+  incapable.install(r);
+  EXPECT_EQ(capable.query_community(bgp::Community(174, 666)).size(), 1u);
+  EXPECT_TRUE(incapable.query_community(bgp::Community(174, 666)).empty());
+}
+
+TEST(LookingGlass, RevealsCollectorInvisibleBlackholing) {
+  // The Cogent/Pirate-Bay scenario (§5.2): a blackholed route visible
+  // only inside the provider can still be found via its looking glass.
+  LookingGlass lg(174, true);
+  lg.install(route("130.149.1.1/32", {174}, bgp::Community(174, 666)));
+  auto hits = lg.query_community(bgp::Community(174, 666));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].prefix.to_string(), "130.149.1.1/32");
+}
+
+TEST(LookingGlass, RemoveAndFullTable) {
+  LookingGlass lg(1, true);
+  lg.install(route("20.0.0.0/16", {1, 2}, bgp::Community(1, 100)));
+  lg.install(route("20.1.0.0/16", {1, 3}, bgp::Community(1, 100)));
+  EXPECT_EQ(lg.full_table().size(), 2u);
+  lg.remove(*net::Prefix::parse("20.0.0.0/16"));
+  EXPECT_EQ(lg.full_table().size(), 1u);
+}
+
+TEST(Directory, AddFindCount) {
+  LookingGlassDirectory dir;
+  dir.add(174, true);
+  dir.add(3356, false);
+  dir.add(1299, true);
+  EXPECT_EQ(dir.size(), 3u);
+  EXPECT_EQ(dir.num_community_capable(), 2u);
+  ASSERT_NE(dir.find(174), nullptr);
+  EXPECT_EQ(dir.find(9999), nullptr);
+  EXPECT_EQ(dir.all_asns().size(), 3u);
+}
+
+TEST(Directory, PaperScaleRatio) {
+  // The paper: ~150 LGs, 30 of which support the queries we need.
+  LookingGlassDirectory dir;
+  for (int i = 0; i < 150; ++i) dir.add(1000 + i, i % 5 == 0);
+  EXPECT_EQ(dir.size(), 150u);
+  EXPECT_EQ(dir.num_community_capable(), 30u);
+}
+
+}  // namespace
+}  // namespace bgpbh::routing

@@ -1,0 +1,171 @@
+#include "bgp/mrt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace bgpbh::bgp::mrt {
+namespace {
+
+net::Prefix P(const char* s) { return *net::Prefix::parse(s); }
+
+ObservedUpdate sample_update(util::SimTime t = 1488326400) {
+  ObservedUpdate u;
+  u.time = t;
+  u.peer_ip = *net::IpAddr::parse("198.51.100.7");
+  u.peer_asn = 3356;
+  u.collector_id = 4;
+  u.body.announced.push_back(P("130.149.1.1/32"));
+  u.body.as_path = AsPath::of({3356, 64500});
+  u.body.next_hop = *net::IpAddr::parse("198.51.100.7");
+  u.body.communities.add(Community(3356, 9999));
+  return u;
+}
+
+TEST(MrtUpdates, RoundTripSingle) {
+  net::BufWriter w;
+  encode_update(sample_update(), w);
+  auto decoded = decode_updates(w.data());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0], sample_update());
+}
+
+TEST(MrtUpdates, RoundTripStream) {
+  net::BufWriter w;
+  std::vector<ObservedUpdate> updates;
+  for (int i = 0; i < 50; ++i) {
+    ObservedUpdate u = sample_update(1488326400 + i);
+    u.peer_asn = 100 + static_cast<Asn>(i);
+    updates.push_back(u);
+    encode_update(u, w);
+  }
+  auto decoded = decode_updates(w.data());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, updates);
+}
+
+TEST(MrtUpdates, Ipv6PeerAddress) {
+  ObservedUpdate u = sample_update();
+  u.peer_ip = *net::IpAddr::parse("2001:7f8::5");
+  net::BufWriter w;
+  encode_update(u, w);
+  auto decoded = decode_updates(w.data());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0].peer_ip, u.peer_ip);
+}
+
+TEST(MrtUpdates, SkipsUnknownRecordTypes) {
+  net::BufWriter w;
+  // An unknown MRT record (type 99) between two updates.
+  encode_update(sample_update(1), w);
+  w.u32(5);   // ts
+  w.u16(99);  // type
+  w.u16(0);   // subtype
+  w.u32(3);   // length
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  encode_update(sample_update(2), w);
+  auto decoded = decode_updates(w.data());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->size(), 2u);
+}
+
+TEST(MrtUpdates, TruncatedFramingFails) {
+  net::BufWriter w;
+  encode_update(sample_update(), w);
+  std::vector<std::uint8_t> cut(w.data().begin(), w.data().end() - 3);
+  EXPECT_FALSE(decode_updates(cut));
+}
+
+TEST(MrtTableDump, RoundTrip) {
+  TableDump dump;
+  dump.time = 1488326400;
+  dump.collector_name = "rrc00";
+  for (int i = 0; i < 10; ++i) {
+    TableDump::Entry e;
+    e.peer.peer_ip = net::IpAddr(net::Ipv4Addr(0xC6336407u + (i % 3)));
+    e.peer.peer_asn = 100 + static_cast<Asn>(i % 3);
+    e.prefix = net::Prefix(net::IpAddr(net::Ipv4Addr(0x14000000u + (i << 16))), 16);
+    e.as_path = AsPath::of({e.peer.peer_asn, 500, 600});
+    e.communities.add(Community(500, 666));
+    e.next_hop = e.peer.peer_ip;
+    e.originated = 1488000000 + i;
+    dump.entries.push_back(e);
+  }
+  net::BufWriter w;
+  encode_table_dump(dump, w);
+  auto decoded = decode_table_dump(w.data());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->collector_name, "rrc00");
+  EXPECT_EQ(decoded->time, dump.time);
+  ASSERT_EQ(decoded->entries.size(), dump.entries.size());
+  // Entries are grouped per prefix; compare as multisets keyed by
+  // (peer, prefix).
+  auto key = [](const TableDump::Entry& e) {
+    return std::make_tuple(e.peer.peer_asn, e.prefix.to_string(),
+                           e.as_path.to_string(), e.communities.to_string());
+  };
+  std::multiset<std::tuple<Asn, std::string, std::string, std::string>> a, b;
+  for (const auto& e : dump.entries) a.insert(key(e));
+  for (const auto& e : decoded->entries) b.insert(key(e));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MrtTableDump, Ipv6Entries) {
+  TableDump dump;
+  dump.time = 7;
+  dump.collector_name = "x";
+  TableDump::Entry e;
+  e.peer.peer_ip = *net::IpAddr::parse("2001:7f8::9");
+  e.peer.peer_asn = 42;
+  e.prefix = P("2a00:1::/32");
+  e.as_path = AsPath::of({42, 64500});
+  dump.entries.push_back(e);
+  net::BufWriter w;
+  encode_table_dump(dump, w);
+  auto decoded = decode_table_dump(w.data());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->entries.size(), 1u);
+  EXPECT_EQ(decoded->entries[0].prefix, e.prefix);
+  EXPECT_EQ(decoded->entries[0].peer.peer_ip, e.peer.peer_ip);
+}
+
+TEST(MrtTableDump, RibWithoutPeerIndexFails) {
+  // Write only a RIB record (subtype 2) with no PEER_INDEX_TABLE.
+  net::BufWriter w;
+  w.u32(0);
+  w.u16(kTypeTableDumpV2);
+  w.u16(kSubtypeRibIpv4Unicast);
+  w.u32(7);
+  w.u32(0);  // seq
+  w.u8(8);   // prefix len
+  w.u8(10);  // prefix byte
+  w.u16(0);  // entry count
+  EXPECT_FALSE(decode_table_dump(w.data()));
+}
+
+TEST(MrtFiles, WriteReadRoundTrip) {
+  net::BufWriter w;
+  encode_update(sample_update(), w);
+  std::string path = ::testing::TempDir() + "/bgpbh_mrt_test.mrt";
+  ASSERT_TRUE(write_file(path, w.data()));
+  auto bytes = read_file(path);
+  ASSERT_TRUE(bytes);
+  EXPECT_EQ(*bytes, w.data());
+  auto decoded = decode_updates(*bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(MrtFiles, MissingFile) {
+  EXPECT_FALSE(read_file("/nonexistent/path/x.mrt"));
+}
+
+}  // namespace
+}  // namespace bgpbh::bgp::mrt

@@ -1,0 +1,194 @@
+#include "net/patricia.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace bgpbh::net {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+IpAddr A(const char* s) { return *IpAddr::parse(s); }
+
+TEST(Patricia, InsertAndFind) {
+  PatriciaTrie<int> t;
+  EXPECT_TRUE(t.insert(P("10.0.0.0/8"), 1));
+  EXPECT_TRUE(t.insert(P("10.1.0.0/16"), 2));
+  ASSERT_NE(t.find(P("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*t.find(P("10.0.0.0/8")), 1);
+  EXPECT_EQ(*t.find(P("10.1.0.0/16")), 2);
+  EXPECT_EQ(t.find(P("10.2.0.0/16")), nullptr);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Patricia, InsertOverwrites) {
+  PatriciaTrie<int> t;
+  EXPECT_TRUE(t.insert(P("10.0.0.0/8"), 1));
+  EXPECT_FALSE(t.insert(P("10.0.0.0/8"), 7));
+  EXPECT_EQ(*t.find(P("10.0.0.0/8")), 7);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Patricia, LongestPrefixMatch) {
+  PatriciaTrie<int> t;
+  t.insert(P("10.0.0.0/8"), 8);
+  t.insert(P("10.1.0.0/16"), 16);
+  t.insert(P("10.1.2.0/24"), 24);
+  Prefix matched;
+  const int* v = t.lookup(A("10.1.2.3"), &matched);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 24);
+  EXPECT_EQ(matched, P("10.1.2.0/24"));
+  EXPECT_EQ(*t.lookup(A("10.1.9.9")), 16);
+  EXPECT_EQ(*t.lookup(A("10.9.9.9")), 8);
+  EXPECT_EQ(t.lookup(A("11.0.0.0")), nullptr);
+}
+
+TEST(Patricia, HostRouteMatch) {
+  PatriciaTrie<int> t;
+  t.insert(P("10.1.2.3/32"), 32);
+  EXPECT_NE(t.lookup(A("10.1.2.3")), nullptr);
+  EXPECT_EQ(t.lookup(A("10.1.2.2")), nullptr);
+}
+
+TEST(Patricia, DefaultRoute) {
+  PatriciaTrie<int> t;
+  t.insert(P("0.0.0.0/0"), 0);
+  EXPECT_NE(t.lookup(A("203.0.113.7")), nullptr);
+}
+
+TEST(Patricia, Erase) {
+  PatriciaTrie<int> t;
+  t.insert(P("10.0.0.0/8"), 8);
+  t.insert(P("10.1.0.0/16"), 16);
+  EXPECT_TRUE(t.erase(P("10.1.0.0/16")));
+  EXPECT_FALSE(t.erase(P("10.1.0.0/16")));
+  EXPECT_EQ(t.find(P("10.1.0.0/16")), nullptr);
+  EXPECT_EQ(*t.lookup(A("10.1.2.3")), 8);  // falls back to /8
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Patricia, AllMatchesShortestFirst) {
+  PatriciaTrie<int> t;
+  t.insert(P("10.0.0.0/8"), 1);
+  t.insert(P("10.1.0.0/16"), 2);
+  t.insert(P("10.1.2.0/24"), 3);
+  auto matches = t.all_matches(A("10.1.2.3"));
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].len(), 8);
+  EXPECT_EQ(matches[2].len(), 24);
+}
+
+TEST(Patricia, ForEachVisitsAll) {
+  PatriciaTrie<int> t;
+  t.insert(P("10.0.0.0/8"), 1);
+  t.insert(P("192.168.0.0/16"), 2);
+  t.insert(P("10.1.2.3/32"), 3);
+  std::size_t n = 0;
+  int sum = 0;
+  t.for_each([&](const Prefix&, const int& v) {
+    ++n;
+    sum += v;
+  });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(Patricia, Ipv6Basics) {
+  PatriciaTrie<int> t;
+  t.insert(P("2001:7f8::/32"), 1);
+  t.insert(P("2001:7f8:1::/48"), 2);
+  EXPECT_EQ(*t.lookup(A("2001:7f8:1::5")), 2);
+  EXPECT_EQ(*t.lookup(A("2001:7f8:2::5")), 1);
+  EXPECT_EQ(t.lookup(A("2a00::1")), nullptr);
+}
+
+TEST(PrefixTable, DualFamily) {
+  PrefixTable<int> t;
+  t.insert(P("10.0.0.0/8"), 4);
+  t.insert(P("2001:7f8::/32"), 6);
+  EXPECT_TRUE(t.covered(A("10.1.1.1")));
+  EXPECT_TRUE(t.covered(A("2001:7f8::1")));
+  EXPECT_FALSE(t.covered(A("11.1.1.1")));
+  EXPECT_EQ(t.size(), 2u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+// Property test: Patricia LPM agrees with a brute-force scan over a
+// random rule set, for random query addresses.
+class PatriciaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatriciaPropertyTest, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  PatriciaTrie<int> trie;
+  std::map<Prefix, int> rules;
+  for (int i = 0; i < 300; ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next_u64());
+    std::uint8_t len = static_cast<std::uint8_t>(rng.uniform(33));
+    Prefix p(IpAddr(Ipv4Addr(addr)), len);
+    trie.insert(p, i);
+    rules[p] = i;
+  }
+  // Re-inserted values overwrite; mirror map state.
+  EXPECT_EQ(trie.size(), rules.size());
+
+  for (int q = 0; q < 2000; ++q) {
+    IpAddr ip(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())));
+    // Brute force: longest covering prefix.
+    const Prefix* best = nullptr;
+    for (const auto& [p, v] : rules) {
+      if (p.contains(ip) && (!best || p.len() > best->len())) best = &p;
+    }
+    Prefix matched;
+    const int* got = trie.lookup(ip, &matched);
+    if (best) {
+      ASSERT_NE(got, nullptr) << ip.to_string();
+      EXPECT_EQ(matched.len(), best->len()) << ip.to_string();
+      EXPECT_EQ(rules.at(matched), *got);
+    } else {
+      EXPECT_EQ(got, nullptr) << ip.to_string();
+    }
+  }
+}
+
+TEST_P(PatriciaPropertyTest, EraseRestoresBruteForce) {
+  util::Rng rng(GetParam() ^ 0xE2A5E);
+  PatriciaTrie<int> trie;
+  std::map<Prefix, int> rules;
+  for (int i = 0; i < 120; ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next_u64());
+    std::uint8_t len = static_cast<std::uint8_t>(8 + rng.uniform(25));
+    Prefix p(IpAddr(Ipv4Addr(addr)), len);
+    trie.insert(p, i);
+    rules[p] = i;
+  }
+  // Erase half.
+  std::size_t k = 0;
+  for (auto it = rules.begin(); it != rules.end();) {
+    if (k++ % 2 == 0) {
+      EXPECT_TRUE(trie.erase(it->first));
+      it = rules.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(trie.size(), rules.size());
+  for (int q = 0; q < 500; ++q) {
+    IpAddr ip(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())));
+    const Prefix* best = nullptr;
+    for (const auto& [p, v] : rules) {
+      if (p.contains(ip) && (!best || p.len() > best->len())) best = &p;
+    }
+    const int* got = trie.lookup(ip);
+    EXPECT_EQ(got != nullptr, best != nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatriciaPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace bgpbh::net

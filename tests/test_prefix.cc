@@ -1,0 +1,142 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bgpbh::net {
+namespace {
+
+TEST(Prefix, ParseBasic) {
+  auto p = Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->len(), 8);
+  EXPECT_TRUE(p->is_v4());
+}
+
+TEST(Prefix, ParseHostRoute) {
+  auto p = Prefix::parse("130.149.1.1/32");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->is_host_route());
+}
+
+TEST(Prefix, ParseV6) {
+  auto p = Prefix::parse("2001:7f8::/32");
+  ASSERT_TRUE(p);
+  EXPECT_FALSE(p->is_v4());
+  EXPECT_EQ(p->len(), 32);
+}
+
+class PrefixInvalidTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrefixInvalidTest, Rejected) {
+  EXPECT_FALSE(Prefix::parse(GetParam())) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Invalids, PrefixInvalidTest,
+                         ::testing::Values("10.0.0.0", "10.0.0.0/33",
+                                           "::/129", "10.0.0.0/-1",
+                                           "10.0.0.0/a", "/24", ""));
+
+TEST(Prefix, CanonicalizesHostBits) {
+  auto p = Prefix::parse("10.1.2.3/8");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+  EXPECT_EQ(*p, *Prefix::parse("10.0.0.0/8"));
+}
+
+TEST(Prefix, CanonicalizesV6HostBits) {
+  auto p = Prefix::parse("2001:db8:ffff::1/32");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "2001:db8::/32");
+}
+
+TEST(Prefix, Contains) {
+  auto p = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(*IpAddr::parse("10.255.0.1")));
+  EXPECT_FALSE(p.contains(*IpAddr::parse("11.0.0.0")));
+  EXPECT_FALSE(p.contains(*IpAddr::parse("::1")));  // family mismatch
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  Prefix p(IpAddr(Ipv4Addr(0)), 0);
+  EXPECT_TRUE(p.contains(*IpAddr::parse("255.255.255.255")));
+}
+
+TEST(Prefix, Covers) {
+  auto p8 = *Prefix::parse("10.0.0.0/8");
+  auto p24 = *Prefix::parse("10.1.2.0/24");
+  auto p32 = *Prefix::parse("10.1.2.3/32");
+  EXPECT_TRUE(p8.covers(p24));
+  EXPECT_TRUE(p24.covers(p32));
+  EXPECT_TRUE(p8.covers(p8));
+  EXPECT_FALSE(p24.covers(p8));
+  EXPECT_FALSE(p24.covers(*Prefix::parse("10.1.3.0/24")));
+}
+
+TEST(Prefix, MoreSpecificThan) {
+  EXPECT_TRUE(Prefix::parse("1.2.3.4/32")->more_specific_than(24));
+  EXPECT_TRUE(Prefix::parse("1.2.3.0/25")->more_specific_than(24));
+  EXPECT_FALSE(Prefix::parse("1.2.3.0/24")->more_specific_than(24));
+  EXPECT_FALSE(Prefix::parse("1.2.0.0/16")->more_specific_than(24));
+}
+
+TEST(Prefix, Parent) {
+  auto p = *Prefix::parse("10.1.2.3/32");
+  EXPECT_EQ(p.parent(24).to_string(), "10.1.2.0/24");
+  EXPECT_EQ(p.parent(8).to_string(), "10.0.0.0/8");
+  // Parent of equal/longer length is identity.
+  EXPECT_EQ(p.parent(32), p);
+}
+
+TEST(Prefix, HostRouteFactory) {
+  auto ip = *IpAddr::parse("130.149.1.1");
+  auto p = Prefix::host_route(ip);
+  EXPECT_EQ(p.len(), 32);
+  EXPECT_TRUE(p.contains(ip));
+  auto p6 = Prefix::host_route(*IpAddr::parse("::1"));
+  EXPECT_EQ(p6.len(), 128);
+}
+
+TEST(Prefix, Ipv4PrefixSize) {
+  EXPECT_EQ(ipv4_prefix_size(*Prefix::parse("1.2.3.4/32")), 1u);
+  EXPECT_EQ(ipv4_prefix_size(*Prefix::parse("1.2.3.0/24")), 256u);
+  EXPECT_EQ(ipv4_prefix_size(*Prefix::parse("0.0.0.0/0")), 1ULL << 32);
+  EXPECT_EQ(ipv4_prefix_size(*Prefix::parse("::/0")), 0u);  // v6
+}
+
+TEST(Prefix, HashDistinguishesLength) {
+  PrefixHash h;
+  auto a = *Prefix::parse("10.0.0.0/8");
+  auto b = *Prefix::parse("10.0.0.0/16");
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(PrefixProperty, RandomRoundTrip) {
+  util::Rng rng(12345);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next_u64());
+    std::uint8_t len = static_cast<std::uint8_t>(rng.uniform(33));
+    Prefix p(IpAddr(Ipv4Addr(addr)), len);
+    auto q = Prefix::parse(p.to_string());
+    ASSERT_TRUE(q) << p.to_string();
+    EXPECT_EQ(*q, p);
+    // Canonical: contains its own base address, covers itself.
+    EXPECT_TRUE(p.contains(p.addr()));
+    EXPECT_TRUE(p.covers(p));
+  }
+}
+
+TEST(PrefixProperty, ParentAlwaysCovers) {
+  util::Rng rng(777);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t addr = static_cast<std::uint32_t>(rng.next_u64());
+    std::uint8_t len = static_cast<std::uint8_t>(1 + rng.uniform(32));
+    Prefix p(IpAddr(Ipv4Addr(addr)), len);
+    std::uint8_t plen = static_cast<std::uint8_t>(rng.uniform(len));
+    EXPECT_TRUE(p.parent(plen).covers(p));
+  }
+}
+
+}  // namespace
+}  // namespace bgpbh::net

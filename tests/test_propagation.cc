@@ -1,0 +1,389 @@
+#include "routing/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace bgpbh::routing {
+namespace {
+
+using topology::AsGraph;
+using topology::AsNode;
+using topology::Tier;
+
+struct Env {
+  AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::CustomerCones cones{graph};
+  PropagationEngine engine{graph, cones, 99};
+
+  // A stub user with at least one blackholing provider.
+  const AsNode* user_with_provider() const {
+    for (const auto& node : graph.nodes()) {
+      if (node.tier != Tier::kStub) continue;
+      for (Asn p : node.providers) {
+        const AsNode* provider = graph.find(p);
+        if (provider && provider->blackhole.offers_blackholing &&
+            provider->blackhole.auth == topology::BlackholeAuth::kCustomerCone) {
+          return &node;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  Asn blackholing_provider_of(const AsNode& user) const {
+    for (Asn p : user.providers) {
+      const AsNode* provider = graph.find(p);
+      if (provider && provider->blackhole.offers_blackholing &&
+          provider->blackhole.auth == topology::BlackholeAuth::kCustomerCone)
+        return p;
+    }
+    return 0;
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(BaselinePath, EndpointsAndReachability) {
+  auto& e = env();
+  const auto& nodes = e.graph.nodes();
+  util::Rng rng(3);
+  std::size_t reachable = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    Asn from = nodes[rng.uniform(nodes.size())].asn;
+    Asn to = nodes[rng.uniform(nodes.size())].asn;
+    ++total;
+    auto path = e.engine.baseline_path(from, to);
+    if (!path) continue;
+    ++reachable;
+    EXPECT_EQ(path->first(), from);
+    EXPECT_EQ(path->origin(), to);
+    EXPECT_LE(path->length(), 12u);
+  }
+  // The topology is fully connected through the tier-1 clique.
+  EXPECT_EQ(reachable, total);
+}
+
+TEST(BaselinePath, SelfPath) {
+  auto& e = env();
+  Asn a = e.graph.nodes().front().asn;
+  auto path = e.engine.baseline_path(a, a);
+  ASSERT_TRUE(path);
+  EXPECT_EQ(path->length(), 1u);
+}
+
+// Valley-free property: once the path descends (provider->customer) or
+// crosses a peering link, it must never go up (customer->provider) or
+// cross another peering link.
+TEST(BaselinePath, ValleyFree) {
+  auto& e = env();
+  const auto& nodes = e.graph.nodes();
+  util::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    Asn from = nodes[rng.uniform(nodes.size())].asn;
+    Asn to = nodes[rng.uniform(nodes.size())].asn;
+    auto path = e.engine.baseline_path(from, to);
+    if (!path || path->length() < 2) continue;
+    // Walk from the origin towards the observer (direction of
+    // announcement propagation) and track phase.
+    const auto& hops = path->hops();
+    int phase = 0;  // 0 = ascending (c2p), 1 = peered, 2 = descending
+    for (std::size_t k = hops.size() - 1; k > 0; --k) {
+      Asn sender = hops[k];
+      Asn receiver = hops[k - 1];
+      auto rel = e.graph.relationship(sender, receiver);
+      if (rel == AsGraph::Rel::kProvider) {
+        // Announcement travels customer->provider: only in phase 0.
+        EXPECT_EQ(phase, 0) << path->to_string();
+      } else if (rel == AsGraph::Rel::kPeer) {
+        EXPECT_LE(phase, 0) << path->to_string();
+        phase = 1;
+      } else if (rel == AsGraph::Rel::kCustomer) {
+        phase = 2;
+      } else {
+        FAIL() << "non-adjacent hop in path " << path->to_string();
+      }
+    }
+  }
+}
+
+TEST(BaselinePath, Deterministic) {
+  auto& e = env();
+  auto p1 = e.engine.baseline_path(e.graph.nodes()[100].asn,
+                                   e.graph.nodes()[1500].asn);
+  auto p2 = e.engine.baseline_path(e.graph.nodes()[100].asn,
+                                   e.graph.nodes()[1500].asn);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(*p1, *p2);
+}
+
+BlackholeAnnouncement make_announcement(Env& e, const AsNode& user,
+                                        Asn provider) {
+  BlackholeAnnouncement ann;
+  ann.user = user.asn;
+  ann.prefix = net::Prefix(
+      net::Ipv4Addr(user.v4_block.addr().v4().value() + 0x0101), 32);
+  ann.target_providers = {provider};
+  ann.time = 1000;
+  return ann;
+}
+
+TEST(Blackhole, TargetProviderActivates) {
+  auto& e = env();
+  const AsNode* user = e.user_with_provider();
+  ASSERT_NE(user, nullptr);
+  Asn provider = e.blackholing_provider_of(*user);
+  auto prop = e.engine.propagate_blackhole(make_announcement(e, *user, provider));
+  EXPECT_EQ(prop.activated_providers, std::vector<Asn>{provider});
+  EXPECT_FALSE(prop.control_plane_only);
+  // The user itself always holds the route (internal/CDN visibility).
+  ASSERT_FALSE(prop.holders.empty());
+  EXPECT_EQ(prop.holders.front().holder, user->asn);
+  EXPECT_EQ(prop.holders.front().hops_from_user, 0);
+}
+
+TEST(Blackhole, ProviderHolderHasCorrectPath) {
+  auto& e = env();
+  const AsNode* user = e.user_with_provider();
+  Asn provider = e.blackholing_provider_of(*user);
+  auto prop = e.engine.propagate_blackhole(make_announcement(e, *user, provider));
+  bool found = false;
+  for (const auto& h : prop.holders) {
+    if (h.holder == provider) {
+      found = true;
+      EXPECT_EQ(h.path, bgp::AsPath::of({provider, user->asn}));
+      EXPECT_EQ(h.hops_from_user, 1);
+      const AsNode* pnode = e.graph.find(provider);
+      EXPECT_TRUE(h.communities.contains(pnode->blackhole.communities.front()));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Blackhole, WrongCommunityMisconfigActivatesNothing) {
+  auto& e = env();
+  const AsNode* user = e.user_with_provider();
+  Asn provider = e.blackholing_provider_of(*user);
+  auto ann = make_announcement(e, *user, provider);
+  ann.misconfig = BlackholeAnnouncement::Misconfig::kWrongCommunity;
+  auto prop = e.engine.propagate_blackhole(ann);
+  EXPECT_TRUE(prop.activated_providers.empty());
+}
+
+TEST(Blackhole, ForeignPrefixFailsConeAuthentication) {
+  auto& e = env();
+  const AsNode* user = e.user_with_provider();
+  Asn provider = e.blackholing_provider_of(*user);
+  auto ann = make_announcement(e, *user, provider);
+  // A victim address belonging to a completely unrelated AS.
+  const AsNode* victim = nullptr;
+  for (const auto& node : e.graph.nodes()) {
+    if (node.asn != user->asn && !e.cones.in_cone(user->asn, node.asn)) {
+      victim = &node;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  ann.prefix =
+      net::Prefix(net::Ipv4Addr(victim->v4_block.addr().v4().value() + 1), 32);
+  auto prop = e.engine.propagate_blackhole(ann);
+  EXPECT_TRUE(prop.activated_providers.empty())
+      << "provider must reject blackholing of address space outside the "
+         "user's customer cone";
+}
+
+TEST(Blackhole, BundleReachesNonTargetNeighbors) {
+  auto& e = env();
+  // Find a user with >= 2 providers so the bundle goes somewhere else.
+  const AsNode* user = nullptr;
+  Asn provider = 0;
+  for (const auto& node : e.graph.nodes()) {
+    if (node.tier != Tier::kStub || node.providers.size() < 2) continue;
+    for (Asn p : node.providers) {
+      const AsNode* pn = e.graph.find(p);
+      if (pn && pn->blackhole.offers_blackholing &&
+          pn->blackhole.auth == topology::BlackholeAuth::kCustomerCone) {
+        user = &node;
+        provider = p;
+        break;
+      }
+    }
+    if (user) break;
+  }
+  ASSERT_NE(user, nullptr);
+  auto ann = make_announcement(e, *user, provider);
+  ann.bundle = true;
+  auto prop = e.engine.propagate_blackhole(ann);
+  // Non-target neighbours that accept more-specifics hold the route too.
+  std::size_t non_target_holders = 0;
+  for (const auto& h : prop.holders) {
+    if (h.holder != user->asn && h.holder != provider) ++non_target_holders;
+  }
+  // The bundled announcement went to every neighbour; acceptance depends
+  // on their filters, but across the whole topology at least the
+  // provider itself must hold it.
+  EXPECT_TRUE(std::find(prop.activated_providers.begin(),
+                        prop.activated_providers.end(),
+                        provider) != prop.activated_providers.end());
+  (void)non_target_holders;
+}
+
+TEST(Blackhole, IxpRouteServerRedistribution) {
+  auto& e = env();
+  // Find a blackholing IXP and one of its members.
+  for (const auto& ixp : e.graph.ixps()) {
+    if (!ixp.offers_blackholing || ixp.members.size() < 10) continue;
+    Asn user = ixp.members.front();
+    BlackholeAnnouncement ann;
+    ann.user = user;
+    const AsNode* unode = e.graph.find(user);
+    ann.prefix =
+        net::Prefix(net::Ipv4Addr(unode->v4_block.addr().v4().value() + 7), 32);
+    ann.target_ixps = {ixp.id};
+    ann.time = 5;
+    auto prop = e.engine.propagate_blackhole(ann);
+    ASSERT_EQ(prop.activated_ixps, std::vector<std::uint32_t>{ixp.id});
+    EXPECT_FALSE(prop.rs_receivers.empty());
+    // The RS holder is observable with the IXP community attached.
+    bool rs_holder = false;
+    for (const auto& h : prop.holders) {
+      if (h.via_route_server && h.holder == ixp.route_server_asn) {
+        rs_holder = true;
+        EXPECT_TRUE(h.communities.contains(ixp.blackhole_community));
+        if (ixp.transparent_route_server) {
+          EXPECT_EQ(h.path, bgp::AsPath::of({user}));
+        } else {
+          EXPECT_EQ(h.path, bgp::AsPath::of({ixp.route_server_asn, user}));
+        }
+      }
+    }
+    EXPECT_TRUE(rs_holder);
+    return;
+  }
+  FAIL() << "no blackholing IXP with members found";
+}
+
+TEST(Blackhole, MissingIrrEntrySuppresssRsRedistribution) {
+  auto& e = env();
+  for (const auto& ixp : e.graph.ixps()) {
+    if (!ixp.offers_blackholing || ixp.members.empty()) continue;
+    Asn user = ixp.members.front();
+    const AsNode* unode = e.graph.find(user);
+    BlackholeAnnouncement ann;
+    ann.user = user;
+    ann.prefix =
+        net::Prefix(net::Ipv4Addr(unode->v4_block.addr().v4().value() + 9), 32);
+    ann.target_ixps = {ixp.id};
+    ann.misconfig = BlackholeAnnouncement::Misconfig::kMissingIrrEntry;
+    auto prop = e.engine.propagate_blackhole(ann);
+    EXPECT_TRUE(prop.activated_ixps.empty());
+    EXPECT_TRUE(prop.rs_receivers.empty());
+    EXPECT_TRUE(prop.control_plane_only);
+    return;
+  }
+  FAIL() << "no blackholing IXP found";
+}
+
+TEST(Blackhole, InvalidNextHopIsControlPlaneOnly) {
+  auto& e = env();
+  for (const auto& ixp : e.graph.ixps()) {
+    if (!ixp.offers_blackholing || ixp.members.empty()) continue;
+    Asn user = ixp.members.front();
+    const AsNode* unode = e.graph.find(user);
+    BlackholeAnnouncement ann;
+    ann.user = user;
+    ann.prefix =
+        net::Prefix(net::Ipv4Addr(unode->v4_block.addr().v4().value() + 11), 32);
+    ann.target_ixps = {ixp.id};
+    ann.misconfig = BlackholeAnnouncement::Misconfig::kInvalidNextHop;
+    auto prop = e.engine.propagate_blackhole(ann);
+    // Accepted on the control plane but ineffective on the data plane.
+    EXPECT_EQ(prop.activated_ixps, std::vector<std::uint32_t>{ixp.id});
+    EXPECT_TRUE(prop.control_plane_only);
+    return;
+  }
+  FAIL() << "no blackholing IXP found";
+}
+
+TEST(Blackhole, NonMemberCannotUseIxp) {
+  auto& e = env();
+  for (const auto& ixp : e.graph.ixps()) {
+    if (!ixp.offers_blackholing) continue;
+    // Find an AS that is not a member.
+    for (const auto& node : e.graph.nodes()) {
+      if (std::binary_search(ixp.members.begin(), ixp.members.end(), node.asn))
+        continue;
+      BlackholeAnnouncement ann;
+      ann.user = node.asn;
+      ann.prefix = net::Prefix(
+          net::Ipv4Addr(node.v4_block.addr().v4().value() + 3), 32);
+      ann.target_ixps = {ixp.id};
+      auto prop = e.engine.propagate_blackhole(ann);
+      EXPECT_TRUE(prop.activated_ixps.empty());
+      return;
+    }
+  }
+  FAIL() << "setup failure";
+}
+
+TEST(Blackhole, HoldersWithinLeakDepth) {
+  auto& e = env();
+  const AsNode* user = e.user_with_provider();
+  Asn provider = e.blackholing_provider_of(*user);
+  auto ann = make_announcement(e, *user, provider);
+  ann.bundle = true;
+  auto prop = e.engine.propagate_blackhole(ann);
+  for (const auto& h : prop.holders) {
+    EXPECT_LE(h.hops_from_user, 6);
+    if (!h.via_route_server) {
+      ASSERT_FALSE(h.path.empty());
+      EXPECT_EQ(h.path.origin(), user->asn);
+    }
+  }
+}
+
+TEST(Blackhole, DeterministicPropagation) {
+  auto& e = env();
+  const AsNode* user = e.user_with_provider();
+  Asn provider = e.blackholing_provider_of(*user);
+  auto ann = make_announcement(e, *user, provider);
+  ann.bundle = true;
+  auto p1 = e.engine.propagate_blackhole(ann);
+  auto p2 = e.engine.propagate_blackhole(ann);
+  EXPECT_EQ(p1.activated_providers, p2.activated_providers);
+  EXPECT_EQ(p1.holders.size(), p2.holders.size());
+}
+
+TEST(Behaviour, RsHonouringIsStable) {
+  auto& e = env();
+  const auto& ixp = e.graph.ixps().front();
+  for (Asn member : ixp.members) {
+    EXPECT_EQ(e.engine.honours_rs_blackhole(ixp.id, member),
+              e.engine.honours_rs_blackhole(ixp.id, member));
+    // Honouring implies using the route server.
+    if (e.engine.honours_rs_blackhole(ixp.id, member)) {
+      EXPECT_TRUE(e.engine.member_uses_route_server(ixp.id, member));
+    }
+  }
+}
+
+TEST(Behaviour, PrependFactorRange) {
+  auto& e = env();
+  std::size_t multi = 0;
+  for (const auto& node : e.graph.nodes()) {
+    std::size_t f = e.engine.prepend_factor(node.asn);
+    EXPECT_GE(f, 1u);
+    EXPECT_LE(f, 3u);
+    if (f > 1) ++multi;
+  }
+  // ~15% of ASes prepend.
+  EXPECT_GT(multi, e.graph.num_ases() / 20);
+  EXPECT_LT(multi, e.graph.num_ases() / 3);
+}
+
+}  // namespace
+}  // namespace bgpbh::routing

@@ -1,0 +1,167 @@
+// Property sweeps over the blackhole propagation engine: for hundreds
+// of randomly drawn announcements, structural invariants must hold.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/propagation.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace bgpbh::routing {
+namespace {
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::CustomerCones cones{graph};
+  PropagationEngine engine{graph, cones, 99};
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+BlackholeAnnouncement random_announcement(util::Rng& rng) {
+  const auto& nodes = env().graph.nodes();
+  for (;;) {
+    const auto& user = nodes[rng.uniform(nodes.size())];
+    if (user.originated_v4.empty()) continue;
+    BlackholeAnnouncement ann;
+    ann.user = user.asn;
+    std::uint32_t host = user.v4_block.addr().v4().value() +
+                         static_cast<std::uint32_t>(rng.uniform(1u << 16));
+    ann.prefix = net::Prefix(net::Ipv4Addr(host), 32);
+    for (bgp::Asn p : user.providers) {
+      const topology::AsNode* pn = env().graph.find(p);
+      if (pn && pn->blackhole.offers_blackholing && rng.bernoulli(0.7)) {
+        ann.target_providers.push_back(p);
+      }
+    }
+    for (std::uint32_t ix : user.ixps) {
+      const topology::Ixp* ixp = env().graph.find_ixp(ix);
+      if (ixp && ixp->offers_blackholing && rng.bernoulli(0.5)) {
+        ann.target_ixps.push_back(ix);
+      }
+    }
+    if (ann.target_providers.empty() && ann.target_ixps.empty()) continue;
+    ann.bundle = rng.bernoulli(0.5);
+    ann.time = 1000;
+    return ann;
+  }
+}
+
+class PropagationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropagationProperty, StructuralInvariants) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 150; ++iter) {
+    auto ann = random_announcement(rng);
+    auto prop = env().engine.propagate_blackhole(ann);
+
+    // 1. The user itself is always the first holder, with hop 0.
+    ASSERT_FALSE(prop.holders.empty());
+    EXPECT_EQ(prop.holders.front().holder, ann.user);
+    EXPECT_EQ(prop.holders.front().hops_from_user, 0);
+
+    // 2. No duplicate holders (each AS holds at most one copy), except
+    //    route-server pseudo-holders which are tracked separately.
+    std::set<bgp::Asn> seen;
+    for (const auto& h : prop.holders) {
+      if (h.via_route_server && h.holder != ann.user) continue;
+      EXPECT_TRUE(seen.insert(h.holder).second)
+          << "duplicate holder AS" << h.holder;
+    }
+
+    // 3. Non-RS holder paths are loop-free and terminate at the user.
+    for (const auto& h : prop.holders) {
+      if (h.via_route_server) continue;
+      ASSERT_FALSE(h.path.empty());
+      EXPECT_EQ(h.path.origin(), ann.user);
+      std::set<bgp::Asn> hops(h.path.hops().begin(), h.path.hops().end());
+      EXPECT_EQ(hops.size(), h.path.length()) << "loop in " << h.path.to_string();
+      EXPECT_LE(h.hops_from_user, 6);
+    }
+
+    // 4. Activated providers are either explicit targets or providers
+    //    whose community was carried by the bundle.
+    for (bgp::Asn p : prop.activated_providers) {
+      const topology::AsNode* pn = env().graph.find(p);
+      ASSERT_NE(pn, nullptr);
+      EXPECT_TRUE(pn->blackhole.offers_blackholing);
+      bool targeted = std::find(ann.target_providers.begin(),
+                                ann.target_providers.end(),
+                                p) != ann.target_providers.end();
+      EXPECT_TRUE(targeted || ann.bundle)
+          << "AS" << p << " activated without being targeted or bundled";
+    }
+
+    // 5. Activated IXPs all offer blackholing and have the user as a
+    //    member; rs_receivers reference only activated IXPs.
+    std::set<std::uint32_t> activated(prop.activated_ixps.begin(),
+                                      prop.activated_ixps.end());
+    for (std::uint32_t ix : prop.activated_ixps) {
+      const topology::Ixp* ixp = env().graph.find_ixp(ix);
+      ASSERT_NE(ixp, nullptr);
+      EXPECT_TRUE(ixp->offers_blackholing);
+      EXPECT_TRUE(std::binary_search(ixp->members.begin(), ixp->members.end(),
+                                     ann.user));
+    }
+    for (const auto& [ix, member] : prop.rs_receivers) {
+      EXPECT_TRUE(activated.contains(ix));
+      EXPECT_NE(member, ann.user);
+      EXPECT_TRUE(env().engine.member_uses_route_server(ix, member));
+    }
+
+    // 6. Holder communities: blackhole communities of activated
+    //    providers appear in the corresponding provider's held copy.
+    for (const auto& h : prop.holders) {
+      if (h.via_route_server) continue;
+      if (std::find(prop.activated_providers.begin(),
+                    prop.activated_providers.end(),
+                    h.holder) == prop.activated_providers.end())
+        continue;
+      const topology::AsNode* pn = env().graph.find(h.holder);
+      EXPECT_TRUE(h.communities.contains(pn->blackhole.communities.front()))
+          << "provider AS" << h.holder << " lost its own community";
+    }
+  }
+}
+
+TEST_P(PropagationProperty, WithdrawnIdempotence) {
+  // Propagating the same announcement twice yields identical results
+  // (the engine is stateless apart from the route-tree cache).
+  util::Rng rng(GetParam() ^ 0xABBA);
+  for (int iter = 0; iter < 40; ++iter) {
+    auto ann = random_announcement(rng);
+    auto a = env().engine.propagate_blackhole(ann);
+    auto b = env().engine.propagate_blackhole(ann);
+    EXPECT_EQ(a.activated_providers, b.activated_providers);
+    EXPECT_EQ(a.activated_ixps, b.activated_ixps);
+    EXPECT_EQ(a.rs_receivers, b.rs_receivers);
+    ASSERT_EQ(a.holders.size(), b.holders.size());
+    for (std::size_t i = 0; i < a.holders.size(); ++i) {
+      EXPECT_EQ(a.holders[i].holder, b.holders[i].holder);
+      EXPECT_EQ(a.holders[i].path, b.holders[i].path);
+    }
+  }
+}
+
+TEST_P(PropagationProperty, LessSpecificAlwaysRejected) {
+  // The /24-or-shorter rule holds for every provider and IXP.
+  util::Rng rng(GetParam() ^ 0x2424);
+  for (int iter = 0; iter < 60; ++iter) {
+    auto ann = random_announcement(rng);
+    ann.prefix = ann.prefix.parent(static_cast<std::uint8_t>(8 + rng.uniform(17)));
+    auto prop = env().engine.propagate_blackhole(ann);
+    EXPECT_TRUE(prop.activated_providers.empty())
+        << ann.prefix.to_string() << " must not be blackholable";
+    EXPECT_TRUE(prop.activated_ixps.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationProperty,
+                         ::testing::Values(11, 23, 47, 83));
+
+}  // namespace
+}  // namespace bgpbh::routing

@@ -1,0 +1,106 @@
+#include "topology/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpbh::topology {
+namespace {
+
+struct Env {
+  AsGraph graph = generate(GeneratorConfig{});
+  Registry registry = Registry::build(graph, 0.72, 0.95, 42);
+};
+
+const Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(Registry, CoverageRates) {
+  // PeeringDB covers ~72% of typed ASes; CAIDA ~95%.
+  std::size_t typed = 0;
+  for (const auto& node : env().graph.nodes()) {
+    if (node.type != NetworkType::kUnknown) ++typed;
+  }
+  double pdb_rate = static_cast<double>(env().registry.peeringdb_size()) /
+                    static_cast<double>(typed);
+  EXPECT_NEAR(pdb_rate, 0.72, 0.10);  // includes RS records, hence slack
+  double caida_rate = static_cast<double>(env().registry.caida_size()) /
+                      static_cast<double>(typed);
+  EXPECT_NEAR(caida_rate, 0.95, 0.05);
+}
+
+TEST(Registry, UnknownAsesAbsentFromBothSources) {
+  for (const auto& node : env().graph.nodes()) {
+    if (node.type != NetworkType::kUnknown) continue;
+    EXPECT_FALSE(env().registry.peeringdb(node.asn).has_value());
+    EXPECT_FALSE(env().registry.caida(node.asn).has_value());
+    EXPECT_EQ(env().registry.classify(node.asn), NetworkType::kUnknown);
+  }
+}
+
+TEST(Registry, RirCountryComplete) {
+  for (const auto& node : env().graph.nodes()) {
+    auto c = env().registry.rir_country(node.asn);
+    ASSERT_TRUE(c) << node.asn;
+    EXPECT_EQ(*c, node.country);
+  }
+}
+
+TEST(Registry, ClassifyMatchesGroundTruthMostly) {
+  std::size_t agree = 0, total = 0;
+  for (const auto& node : env().graph.nodes()) {
+    if (node.type == NetworkType::kUnknown) continue;
+    ++total;
+    NetworkType classified = env().registry.classify(node.asn);
+    if (classified == node.type) ++agree;
+    // Never classify a typed network as something contradictory when a
+    // PeeringDB record exists and discloses the type.
+    auto rec = env().registry.peeringdb(node.asn);
+    if (rec && rec->type != PdbType::kNotDisclosed &&
+        node.type != NetworkType::kEduResearchNfP) {
+      EXPECT_EQ(classified, node.type) << "AS" << node.asn;
+    }
+  }
+  // CAIDA's missing edu class degrades some EduResearchNfP to
+  // Enterprise; overall agreement stays high.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.80);
+}
+
+TEST(Registry, IxpRecordsComplete) {
+  for (const auto& ixp : env().graph.ixps()) {
+    auto rec = env().registry.peeringdb_ixp(ixp.id);
+    ASSERT_TRUE(rec);
+    EXPECT_EQ(rec->route_server_asn, ixp.route_server_asn);
+    EXPECT_EQ(rec->peering_lan, ixp.peering_lan);
+    EXPECT_EQ(rec->country, ixp.country);
+  }
+}
+
+TEST(Registry, RouteServerClassifiedAsIxp) {
+  const Ixp& ixp = env().graph.ixps().front();
+  EXPECT_EQ(env().registry.classify(ixp.route_server_asn), NetworkType::kIxp);
+}
+
+TEST(Registry, LanContainment) {
+  const Ixp& ixp = env().graph.ixps().front();
+  auto id = env().registry.ixp_lan_containing(ixp.blackhole_ip_v4);
+  ASSERT_TRUE(id);
+  EXPECT_EQ(*id, ixp.id);
+  EXPECT_FALSE(
+      env().registry.ixp_lan_containing(*net::IpAddr::parse("203.0.113.1")));
+}
+
+TEST(Registry, PdbTypeToString) {
+  EXPECT_EQ(to_string(PdbType::kNsp), "NSP");
+  EXPECT_EQ(to_string(PdbType::kCableDslIsp), "Cable/DSL/ISP");
+  EXPECT_EQ(to_string(PdbType::kNotDisclosed), "Not Disclosed");
+}
+
+TEST(Registry, ClassifyUnknownAsn) {
+  EXPECT_EQ(env().registry.classify(123456789), NetworkType::kUnknown);
+}
+
+}  // namespace
+}  // namespace bgpbh::topology

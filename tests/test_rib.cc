@@ -1,0 +1,108 @@
+#include "bgp/rib.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::bgp {
+namespace {
+
+net::Prefix P(const char* s) { return *net::Prefix::parse(s); }
+
+ObservedUpdate announce(const char* prefix, Asn peer, util::SimTime t) {
+  ObservedUpdate u;
+  u.time = t;
+  u.peer_ip = net::IpAddr(net::Ipv4Addr(peer));
+  u.peer_asn = peer;
+  u.body.announced.push_back(P(prefix));
+  u.body.as_path = AsPath::of({peer, 64500});
+  return u;
+}
+
+ObservedUpdate withdraw(const char* prefix, Asn peer, util::SimTime t) {
+  ObservedUpdate u;
+  u.time = t;
+  u.peer_ip = net::IpAddr(net::Ipv4Addr(peer));
+  u.peer_asn = peer;
+  u.body.withdrawn.push_back(P(prefix));
+  return u;
+}
+
+TEST(Rib, AnnounceInstalls) {
+  Rib rib;
+  rib.apply(announce("20.0.0.0/16", 100, 10));
+  PeerKey peer{net::IpAddr(net::Ipv4Addr(100)), 100};
+  const RibEntry* e = rib.find(peer, P("20.0.0.0/16"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->last_update, 10);
+  EXPECT_EQ(e->as_path.origin(), 64500u);
+}
+
+TEST(Rib, WithdrawRemoves) {
+  Rib rib;
+  rib.apply(announce("20.0.0.0/16", 100, 10));
+  rib.apply(withdraw("20.0.0.0/16", 100, 20));
+  PeerKey peer{net::IpAddr(net::Ipv4Addr(100)), 100};
+  EXPECT_EQ(rib.find(peer, P("20.0.0.0/16")), nullptr);
+}
+
+TEST(Rib, ReannounceOverwrites) {
+  Rib rib;
+  rib.apply(announce("20.0.0.0/16", 100, 10));
+  ObservedUpdate u2 = announce("20.0.0.0/16", 100, 30);
+  u2.body.communities.add(Community(100, 666));
+  rib.apply(u2);
+  PeerKey peer{net::IpAddr(net::Ipv4Addr(100)), 100};
+  const RibEntry* e = rib.find(peer, P("20.0.0.0/16"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->last_update, 30);
+  EXPECT_TRUE(e->communities.contains(Community(100, 666)));
+}
+
+TEST(Rib, PerPeerIsolation) {
+  Rib rib;
+  rib.apply(announce("20.0.0.0/16", 100, 10));
+  rib.apply(announce("20.0.0.0/16", 200, 10));
+  rib.apply(withdraw("20.0.0.0/16", 100, 20));
+  PeerKey p100{net::IpAddr(net::Ipv4Addr(100)), 100};
+  PeerKey p200{net::IpAddr(net::Ipv4Addr(200)), 200};
+  EXPECT_EQ(rib.find(p100, P("20.0.0.0/16")), nullptr);
+  EXPECT_NE(rib.find(p200, P("20.0.0.0/16")), nullptr);
+  EXPECT_EQ(rib.num_peers(), 2u);
+}
+
+TEST(Rib, FindAllAcrossPeers) {
+  Rib rib;
+  rib.apply(announce("20.0.0.0/16", 100, 10));
+  rib.apply(announce("20.0.0.0/16", 200, 12));
+  rib.apply(announce("20.1.0.0/16", 200, 13));
+  auto all = rib.find_all(P("20.0.0.0/16"));
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(rib.total_entries(), 3u);
+}
+
+TEST(Rib, EntriesForPeer) {
+  Rib rib;
+  rib.apply(announce("20.0.0.0/16", 100, 10));
+  rib.apply(announce("20.1.0.0/16", 100, 11));
+  PeerKey peer{net::IpAddr(net::Ipv4Addr(100)), 100};
+  EXPECT_EQ(rib.entries_for_peer(peer).size(), 2u);
+  PeerKey unknown{net::IpAddr(net::Ipv4Addr(9)), 9};
+  EXPECT_TRUE(rib.entries_for_peer(unknown).empty());
+}
+
+TEST(Rib, WithdrawUnknownIsNoop) {
+  Rib rib;
+  rib.apply(withdraw("20.0.0.0/16", 100, 20));
+  EXPECT_EQ(rib.total_entries(), 0u);
+}
+
+TEST(Rib, ForEachVisitsEverything) {
+  Rib rib;
+  rib.apply(announce("20.0.0.0/16", 100, 10));
+  rib.apply(announce("20.1.0.0/16", 200, 11));
+  std::size_t count = 0;
+  rib.for_each([&](const PeerKey&, const RibEntry&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace bgpbh::bgp

@@ -1,0 +1,203 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bgpbh::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformZeroBound) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform(0), 0u);
+}
+
+TEST(Rng, UniformOneBound) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+class UniformBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformBoundTest, StaysBelowBound) {
+  Rng rng(GetParam() * 31 + 5);
+  std::uint64_t bound = GetParam();
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST_P(UniformBoundTest, CoversSmallRangeFully) {
+  std::uint64_t bound = GetParam();
+  if (bound > 64) GTEST_SKIP() << "coverage check only for small bounds";
+  Rng rng(GetParam());
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) seen.insert(rng.uniform(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformBoundTest,
+                         ::testing::Values(2, 3, 7, 10, 64, 1000, 1u << 20,
+                                           (1ULL << 40) + 17));
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ZipfWithinRange) {
+  Rng rng(29);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(rng.zipf(100, 1.0), 100u);
+    EXPECT_LT(rng.zipf(100, 0.8), 100u);
+  }
+}
+
+TEST(Rng, ZipfSkewsTowardZero) {
+  Rng rng(31);
+  std::size_t low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.zipf(1000, 1.0) < 10) ++low;
+  }
+  // With s=1, ranks 0..9 hold a large share of the mass.
+  EXPECT_GT(static_cast<double>(low) / n, 0.25);
+}
+
+TEST(Rng, ZipfDegenerate) {
+  Rng rng(37);
+  EXPECT_EQ(rng.zipf(0, 1.0), 0u);
+  EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+}
+
+TEST(Rng, WeightedRespectsZeros) {
+  Rng rng(41);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted(w), 1u);
+  }
+}
+
+TEST(Rng, WeightedFrequency) {
+  Rng rng(43);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += rng.weighted(w) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(47);
+  auto sample = rng.sample_indices(100, 30);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesClampsToPopulation) {
+  Rng rng(53);
+  auto sample = rng.sample_indices(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesEmpty) {
+  Rng rng(59);
+  EXPECT_TRUE(rng.sample_indices(0, 3).empty());
+  EXPECT_TRUE(rng.sample_indices(10, 0).empty());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(61);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIsStable) {
+  Rng a(71), b(71);
+  Rng fa = a.fork(5), fb = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForkLabelsDiffer) {
+  Rng a(73);
+  Rng f1 = a.fork(1), f2 = a.fork(2);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(79), b(79);
+  (void)a.fork(9);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace bgpbh::util

@@ -1,0 +1,188 @@
+#include "scans/profile.h"
+#include "scans/reputation.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace bgpbh::scans {
+namespace {
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  ScanSynthesizer scans{graph, 777};
+
+  std::vector<net::Prefix> sample_prefixes(std::size_t n) const {
+    std::vector<net::Prefix> out;
+    util::Rng rng(11);
+    const auto& nodes = graph.nodes();
+    while (out.size() < n) {
+      const auto& node = nodes[rng.uniform(nodes.size())];
+      std::uint32_t host = node.v4_block.addr().v4().value() +
+                           static_cast<std::uint32_t>(rng.uniform(1u << 16));
+      out.emplace_back(net::Ipv4Addr(host), 32);
+    }
+    return out;
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(ScanSynthesizer, Deterministic) {
+  auto ip = *net::IpAddr::parse("20.5.1.2");
+  auto a = env().scans.probe(ip);
+  auto b = env().scans.probe(ip);
+  EXPECT_EQ(a.services, b.services);
+  EXPECT_EQ(a.http_responds, b.http_responds);
+  EXPECT_EQ(a.alexa_rank, b.alexa_rank);
+}
+
+TEST(ScanSynthesizer, TarpitsOpenEverything) {
+  // Scan many addresses; every tarpit must accept all 13 protocols.
+  util::Rng rng(5);
+  std::size_t tarpits = 0, total = 20000;
+  for (std::size_t i = 0; i < total; ++i) {
+    net::IpAddr ip(net::Ipv4Addr(0x14000000u + static_cast<std::uint32_t>(rng.uniform(1u << 24))));
+    auto p = env().scans.probe(ip);
+    if (p.is_tarpit) {
+      ++tarpits;
+      for (std::size_t s = 0; s < kNumServices; ++s) {
+        EXPECT_TRUE(has_service(p.services, static_cast<Service>(s)));
+      }
+    }
+  }
+  // ~4% of hosts (§8).
+  EXPECT_NEAR(static_cast<double>(tarpits) / static_cast<double>(total), 0.04,
+              0.01);
+}
+
+TEST(ScanSynthesizer, CoLocationStructure) {
+  util::Rng rng(6);
+  std::size_t ftp = 0, ftp_http = 0, ssh = 0, ssh_http = 0, http = 0, total = 30000;
+  for (std::size_t i = 0; i < total; ++i) {
+    net::IpAddr ip(net::Ipv4Addr(0x15000000u + static_cast<std::uint32_t>(rng.uniform(1u << 24))));
+    auto p = env().scans.probe(ip);
+    if (p.is_tarpit) continue;  // tarpits open everything trivially
+    bool has_http = has_service(p.services, Service::kHttp);
+    http += has_http;
+    if (has_service(p.services, Service::kFtp)) {
+      ++ftp;
+      ftp_http += has_http;
+    }
+    if (has_service(p.services, Service::kSsh)) {
+      ++ssh;
+      ssh_http += has_http;
+    }
+  }
+  ASSERT_GT(ftp, 100u);
+  ASSERT_GT(ssh, 100u);
+  // >90% of FTP and ~79% of SSH servers co-locate with HTTP (§8).
+  EXPECT_GT(static_cast<double>(ftp_http) / static_cast<double>(ftp), 0.9);
+  EXPECT_GT(static_cast<double>(ssh_http) / static_cast<double>(ssh), 0.6);
+  // HTTP dominates overall.
+  EXPECT_GT(static_cast<double>(http) / static_cast<double>(total), 0.4);
+}
+
+TEST(ScanSynthesizer, HttpResponseRateForBlackholedHosts) {
+  util::Rng rng(8);
+  std::size_t http = 0, responds = 0;
+  for (std::size_t i = 0; i < 30000; ++i) {
+    net::IpAddr ip(net::Ipv4Addr(0x16000000u + static_cast<std::uint32_t>(rng.uniform(1u << 24))));
+    auto p = env().scans.probe(ip);
+    if (!has_service(p.services, Service::kHttp)) continue;
+    ++http;
+    responds += p.http_responds;
+  }
+  // ~61% for blackholed hosts vs ~90% general population (§8).
+  EXPECT_NEAR(static_cast<double>(responds) / static_cast<double>(http), 0.61,
+              0.03);
+  EXPECT_DOUBLE_EQ(env().scans.general_http_response_rate(), 0.90);
+}
+
+TEST(Profiler, ProfileShape) {
+  BlackholeProfiler profiler(env().scans);
+  auto prefixes = env().sample_prefixes(3000);
+  auto profile = profiler.profile(prefixes);
+  EXPECT_EQ(profile.total_prefixes, 3000u);
+  EXPECT_EQ(profile.host_routes, 3000u);
+  EXPECT_EQ(profile.covered_addresses, 3000u);
+
+  std::size_t http = profile.prefixes_with_service[static_cast<std::size_t>(Service::kHttp)];
+  // HTTP is the dominant service (53% of prefixes in the paper).
+  for (std::size_t s = 0; s < kNumServices; ++s) {
+    EXPECT_GE(http, profile.prefixes_with_service[s]);
+  }
+  EXPECT_NEAR(static_cast<double>(http) / 3000.0, 0.53, 0.08);
+  // ~60% of prefixes expose at least one service.
+  double with_any = 1.0 - static_cast<double>(profile.prefixes_with_none) / 3000.0;
+  EXPECT_NEAR(with_any, 0.64, 0.10);
+  // ~10% run all six mail protocols; ~4% are tarpits (§8).
+  EXPECT_NEAR(static_cast<double>(profile.mail_sextet_prefixes) / 3000.0, 0.135,
+              0.06);
+  EXPECT_NEAR(static_cast<double>(profile.tarpit_prefixes) / 3000.0, 0.04, 0.02);
+  // Alexa presence: ~3% of HTTP hosts.
+  EXPECT_LT(profile.alexa_prefixes, http / 10);
+  // TLD mix led by .com.
+  if (!profile.tld_counts.empty()) {
+    std::size_t com = profile.tld_counts.count("com") ? profile.tld_counts.at("com") : 0;
+    for (auto& [tld, n] : profile.tld_counts) {
+      EXPECT_GE(com, n / 2) << tld;
+    }
+  }
+}
+
+TEST(Profiler, WiderPrefixSamplesMultipleHosts) {
+  BlackholeProfiler profiler(env().scans);
+  std::vector<net::Prefix> prefixes = {*net::Prefix::parse("20.7.0.0/24")};
+  auto profile = profiler.profile(prefixes, 16);
+  EXPECT_EQ(profile.total_prefixes, 1u);
+  EXPECT_EQ(profile.host_routes, 0u);
+  EXPECT_EQ(profile.covered_addresses, 256u);
+}
+
+TEST(Reputation, DailyStatsShape) {
+  ReputationDb db(999);
+  auto prefixes = env().sample_prefixes(20000);
+  auto stats = db.daily_stats(17000, prefixes);
+  // §8: 400-900 matches/day at the paper's 20K-prefix scale; >90%
+  // probers; ~2% both; 500-800 login IPs.
+  EXPECT_GT(stats.matches, 100u);
+  EXPECT_LT(stats.matches, 1500u);
+  EXPECT_GT(static_cast<double>(stats.probers) / static_cast<double>(stats.matches),
+            0.85);
+  EXPECT_GT(stats.both, 0u);
+  EXPECT_LT(static_cast<double>(stats.both) / static_cast<double>(stats.matches),
+            0.08);
+  EXPECT_GT(stats.login_ips, 50u);
+  // The union covers ~2% of blackholed prefixes.
+  EXPECT_NEAR(static_cast<double>(stats.prefixes_involved) / 20000.0, 0.016,
+              0.012);
+}
+
+TEST(Reputation, MembershipStableAcrossDays) {
+  ReputationDb db(999);
+  auto prefixes = env().sample_prefixes(5000);
+  auto d1 = db.daily_matches(17000, prefixes);
+  auto d2 = db.daily_matches(17001, prefixes);
+  // Different days differ in activity but draw from the same stable
+  // ~2% sub-population.
+  std::set<std::uint32_t> ips1, ips2;
+  for (auto& m : d1) ips1.insert(m.ip.value());
+  for (auto& m : d2) ips2.insert(m.ip.value());
+  std::size_t common = 0;
+  for (auto ip : ips1) common += ips2.contains(ip);
+  EXPECT_GT(common, 0u);
+}
+
+TEST(ServiceNames, Complete) {
+  for (std::size_t s = 0; s < kNumServices; ++s) {
+    EXPECT_NE(to_string(static_cast<Service>(s)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace bgpbh::scans

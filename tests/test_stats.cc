@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "stats/cdf.h"
+#include "stats/histogram.h"
+#include "stats/series.h"
+#include "stats/table.h"
+
+namespace bgpbh::stats {
+namespace {
+
+TEST(Cdf, EmptyBehaviour) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.at(5.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(Cdf, AtIsStepFunction) {
+  Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, Quantiles) {
+  Cdf cdf({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 20.0);
+}
+
+TEST(Cdf, MinMaxMean) {
+  Cdf cdf({3, 1, 2});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+}
+
+TEST(Cdf, AddAfterQuery) {
+  Cdf cdf({1.0});
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 1.0);
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.5);
+}
+
+TEST(Cdf, PointsMonotonic) {
+  Cdf cdf({1, 5, 9, 13, 200});
+  auto pts = cdf.log_points(20);
+  ASSERT_EQ(pts.size(), 20u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Cdf, AsciiPlotNonEmpty) {
+  Cdf cdf({1, 2, 3});
+  auto plot = cdf.ascii_plot("test");
+  EXPECT_NE(plot.find("test"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(IntHistogram, Fractions) {
+  IntHistogram h;
+  h.add(1, 70);
+  h.add(2, 20);
+  h.add(5, 10);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.70);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(2), 0.30);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(6), 0.0);
+  EXPECT_EQ(h.max_key(), 5);
+  EXPECT_EQ(h.at(3), 0u);
+}
+
+TEST(IntHistogram, Empty) {
+  IntHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(LogHistogram, Buckets) {
+  LogHistogram h(1.0, 10.0);
+  h.add(0.5);   // clamped to lo
+  h.add(5.0);   // bucket [1, 10)
+  h.add(50.0);  // bucket [10, 100)
+  h.add(55.0);
+  EXPECT_EQ(h.total(), 4u);
+  auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_EQ(buckets[1].count, 2u);
+  EXPECT_DOUBLE_EQ(buckets[1].lo, 10.0);
+}
+
+TEST(DailySeries, Accumulate) {
+  DailySeries s;
+  s.add(10 * util::kDay + 5);
+  s.add(10 * util::kDay + 100);
+  s.add(11 * util::kDay);
+  EXPECT_DOUBLE_EQ(s.at_day(10), 2.0);
+  EXPECT_DOUBLE_EQ(s.at_day(11), 1.0);
+  EXPECT_DOUBLE_EQ(s.at_day(12), 0.0);
+  EXPECT_EQ(s.first_day(), 10);
+  EXPECT_EQ(s.last_day(), 11);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+}
+
+TEST(DailySeries, MeanMaxInWindow) {
+  DailySeries s;
+  s.set(10, 1);
+  s.set(11, 5);
+  s.set(12, 3);
+  EXPECT_DOUBLE_EQ(s.mean_in(10 * util::kDay, 12 * util::kDay), 3.0);
+  EXPECT_DOUBLE_EQ(s.max_in(10 * util::kDay, 13 * util::kDay), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_in(20 * util::kDay, 30 * util::kDay), 0.0);
+}
+
+TEST(DailySeries, AsciiPlotIncludesAnnotations) {
+  DailySeries s;
+  for (int d = 0; d < 100; ++d) s.set(d, d);
+  auto plot = s.ascii_plot("growth", {{50, "E"}});
+  EXPECT_NE(plot.find("growth"), std::string::npos);
+  EXPECT_NE(plot.find('E'), std::string::npos);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"Source", "#Peers"});
+  t.add_row({"RIS", "425"});
+  t.add_row({"CDN", "3,349"});
+  auto s = t.to_string();
+  EXPECT_NE(s.find("RIS"), std::string::npos);
+  EXPECT_NE(s.find("3,349"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, Markdown) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  auto md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(Table, NumericRow) {
+  Table t({"x", "v1", "v2"});
+  t.add_row_numeric("r", {1.234, 5.678}, 1);
+  auto s = t.to_string();
+  EXPECT_NE(s.find("1.2"), std::string::npos);
+  EXPECT_NE(s.find("5.7"), std::string::npos);
+}
+
+TEST(Formatting, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(88209), "88,209");
+  EXPECT_EQ(with_commas(1193455), "1,193,455");
+}
+
+TEST(Formatting, Pct) {
+  EXPECT_EQ(pct(0.336, 1), "33.6%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace bgpbh::stats

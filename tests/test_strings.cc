@@ -1,0 +1,92 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::util {
+namespace {
+
+TEST(Split, Basic) {
+  auto parts = split("a:b:c", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a::b:", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyString) {
+  auto parts = split("", ':');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWs, DropsEmpty) {
+  auto parts = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWs, AllWhitespace) { EXPECT_TRUE(split_ws(" \t\n ").empty()); }
+
+TEST(Trim, Both) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(ToLower, Mixed) { EXPECT_EQ(to_lower("BlackHole-666"), "blackhole-666"); }
+
+TEST(StartsWith, Cases) {
+  EXPECT_TRUE(starts_with("remarks: foo", "remarks:"));
+  EXPECT_FALSE(starts_with("rem", "remarks:"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ContainsIcase, Matches) {
+  EXPECT_TRUE(contains_icase("Remotely Triggered BLACKHOLING", "blackhol"));
+  EXPECT_FALSE(contains_icase("traffic engineering", "blackhole"));
+  EXPECT_TRUE(contains_icase("x", ""));
+  EXPECT_FALSE(contains_icase("", "x"));
+}
+
+TEST(ParseU32, Valid) {
+  std::uint32_t v = 0;
+  EXPECT_TRUE(parse_u32("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u32("65535", v));
+  EXPECT_EQ(v, 65535u);
+  EXPECT_TRUE(parse_u32("4294967295", v));
+  EXPECT_EQ(v, 4294967295u);
+}
+
+TEST(ParseU32, Invalid) {
+  std::uint32_t v = 0;
+  EXPECT_FALSE(parse_u32("", v));
+  EXPECT_FALSE(parse_u32("-1", v));
+  EXPECT_FALSE(parse_u32("12a", v));
+  EXPECT_FALSE(parse_u32("4294967296", v));  // overflow
+  EXPECT_FALSE(parse_u32(" 1", v));
+}
+
+TEST(ParseU64, Overflow) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));
+}
+
+TEST(Strf, Formats) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace bgpbh::util

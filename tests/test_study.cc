@@ -1,0 +1,187 @@
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::core {
+namespace {
+
+// One shared study over a short window keeps the suite fast while still
+// exercising the full pipeline.
+Study& study() {
+  static Study* s = [] {
+    StudyConfig config;
+    config.window_start = util::from_date(2017, 2, 1);
+    config.window_end = util::from_date(2017, 3, 1);
+    config.workload.intensity_scale = 0.05;
+    auto* study = new Study(config);
+    study->run();
+    return study;
+  }();
+  return *s;
+}
+
+TEST(Study, ProducesEvents) {
+  EXPECT_GT(study().events().size(), 1000u);
+  EXPECT_GT(study().prefix_events().size(), 100u);
+  EXPECT_GE(study().prefix_events().size(), study().grouped_events().size());
+}
+
+TEST(Study, GroundTruthMostlyVisible) {
+  std::size_t invisible = 0;
+  for (const auto& t : study().ground_truth()) {
+    if (t.observed_updates == 0) ++invisible;
+  }
+  double rate = 1.0 - static_cast<double>(invisible) /
+                          static_cast<double>(study().ground_truth().size());
+  // §10: 99.5% of route-server blackholing events are visible; overall
+  // visibility is necessarily a lower bound, but must stay high.
+  EXPECT_GT(rate, 0.95);
+}
+
+TEST(Study, EventsWithinWindow) {
+  for (const auto& e : study().events()) {
+    EXPECT_LE(e.start, e.end);
+    // Table-dump-seeded events legitimately start at 0.
+    if (!e.started_in_table_dump) {
+      EXPECT_GE(e.start, study().config().window_start);
+    }
+    EXPECT_LE(e.end, study().config().window_end);
+  }
+}
+
+TEST(Study, TableDumpEventsPresent) {
+  std::size_t from_dump = 0;
+  for (const auto& e : study().events()) {
+    if (e.started_in_table_dump) ++from_dump;
+  }
+  EXPECT_GT(from_dump, 0u);
+}
+
+TEST(Study, DetectionKindMixMatchesPaper) {
+  std::size_t bundled = 0, total = 0, ixp = 0;
+  for (const auto& e : study().events()) {
+    ++total;
+    if (e.kind == DetectionKind::kBundled) ++bundled;
+    if (e.kind == DetectionKind::kIxpPeerIp ||
+        e.kind == DetectionKind::kIxpRouteServer)
+      ++ixp;
+  }
+  // Bundling contributes "about half" of inferences (§9 / Fig 7c
+  // no-path ≈ 50%); wide tolerance, the shape is what matters.
+  double bundled_rate = static_cast<double>(bundled) / static_cast<double>(total);
+  EXPECT_GT(bundled_rate, 0.15);
+  EXPECT_LT(bundled_rate, 0.70);
+  EXPECT_GT(ixp, 0u);
+}
+
+TEST(Study, Table3AllCoversPlatforms) {
+  auto t0 = study().config().window_start;
+  auto t1 = study().config().window_end;
+  auto per = study().table3(t0, t1);
+  auto all = study().table3_all(t0, t1);
+  EXPECT_FALSE(per.empty());
+  for (auto& [platform, row] : per) {
+    EXPECT_LE(row.providers, all.providers) << routing::to_string(platform);
+    EXPECT_LE(row.users, all.users);
+    EXPECT_LE(row.prefixes, all.prefixes);
+    EXPECT_GE(row.providers, row.unique_providers);
+    EXPECT_GE(row.direct_feed_fraction, 0.0);
+    EXPECT_LE(row.direct_feed_fraction, 1.0);
+  }
+  EXPECT_GT(all.prefixes, 100u);
+  EXPECT_GT(all.users, 20u);
+  EXPECT_GT(all.providers, 10u);
+}
+
+TEST(Study, Table4TransitAccessDominates) {
+  auto t0 = study().config().window_start;
+  auto t1 = study().config().window_end;
+  auto table4 = study().table4(t0, t1);
+  ASSERT_TRUE(table4.contains(topology::NetworkType::kTransitAccess));
+  const auto& ta = table4[topology::NetworkType::kTransitAccess];
+  for (auto& [type, row] : table4) {
+    EXPECT_GE(ta.prefixes, row.prefixes) << topology::to_string(type);
+  }
+  // IXPs have 100% direct feeds in Table 4 by construction (every IXP
+  // in our events was observed via its own collector).
+  if (table4.contains(topology::NetworkType::kIxp)) {
+    EXPECT_GT(table4[topology::NetworkType::kIxp].direct_feed_fraction, 0.9);
+  }
+}
+
+TEST(Study, DailySeriesPopulated) {
+  auto prefixes = study().daily_prefixes();
+  auto users = study().daily_users();
+  auto providers = study().daily_providers();
+  EXPECT_GT(prefixes.num_days(), 20u);
+  EXPECT_GT(prefixes.max(), users.max());
+  EXPECT_GT(users.max(), 0.0);
+  EXPECT_GT(providers.max(), 0.0);
+}
+
+TEST(Study, CountryBreakdownsNonEmpty) {
+  auto t0 = study().config().window_start;
+  auto t1 = study().config().window_end;
+  auto providers = study().providers_per_country(t0, t1);
+  auto users = study().users_per_country(t0, t1);
+  EXPECT_GT(providers.size(), 3u);
+  EXPECT_GT(users.size(), 3u);
+  std::size_t total_users = 0;
+  for (auto& [c, n] : users) total_users += n;
+  auto all = study().table3_all(t0, t1);
+  EXPECT_EQ(total_users, all.users);
+}
+
+TEST(Study, UsageCollected) {
+  EXPECT_GT(study().usage().stats().size(), 50u);
+}
+
+TEST(Study, HostRouteShareInEvents) {
+  std::set<net::Prefix> prefixes;
+  for (const auto& e : study().events()) prefixes.insert(e.prefix);
+  std::size_t v4 = 0, hosts = 0;
+  for (const auto& p : prefixes) {
+    if (!p.is_v4()) continue;
+    ++v4;
+    if (p.is_host_route()) ++hosts;
+  }
+  ASSERT_GT(v4, 50u);
+  EXPECT_GT(static_cast<double>(hosts) / static_cast<double>(v4), 0.9);
+}
+
+TEST(Study, Determinism) {
+  StudyConfig config;
+  config.window_start = util::from_date(2017, 3, 1);
+  config.window_end = util::from_date(2017, 3, 8);
+  config.workload.intensity_scale = 0.05;
+  Study a(config), b(config);
+  a.run();
+  b.run();
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].prefix, b.events()[i].prefix);
+    EXPECT_EQ(a.events()[i].start, b.events()[i].start);
+    EXPECT_EQ(a.events()[i].provider, b.events()[i].provider);
+  }
+}
+
+TEST(Study, BundlingAblationLosesInferences) {
+  StudyConfig config;
+  config.window_start = util::from_date(2017, 3, 1);
+  config.window_end = util::from_date(2017, 3, 8);
+  config.workload.intensity_scale = 0.05;
+  Study baseline(config);
+  baseline.run();
+  config.engine.detect_bundled = false;
+  Study ablated(config);
+  ablated.run();
+  // Disabling bundling detection must lose a substantial share of
+  // inferences (the paper: about half).
+  EXPECT_LT(ablated.events().size(), baseline.events().size());
+  auto t0 = config.window_start, t1 = config.window_end;
+  EXPECT_LE(ablated.table3_all(t0, t1).providers,
+            baseline.table3_all(t0, t1).providers);
+}
+
+}  // namespace
+}  // namespace bgpbh::core

@@ -1,0 +1,97 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::util {
+namespace {
+
+TEST(CivilDate, EpochIsZero) {
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(from_date(1970, 1, 1), 0);
+}
+
+TEST(CivilDate, KnownDates) {
+  EXPECT_EQ(days_from_civil(2000, 3, 1), 11017);
+  EXPECT_EQ(days_from_civil(2017, 3, 1), 17226);
+  EXPECT_EQ(from_date(2017, 3, 1), 17226 * kDay);
+}
+
+TEST(CivilDate, InverseForKnownDate) {
+  Date d = civil_from_days(days_from_civil(2016, 2, 29));
+  EXPECT_EQ(d, (Date{2016, 2, 29}));
+}
+
+class CivilRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CivilRoundTrip, DaysToDateToDays) {
+  std::int64_t days = GetParam();
+  Date d = civil_from_days(days);
+  EXPECT_EQ(days_from_civil(d.year, d.month, d.day), days);
+  EXPECT_GE(d.month, 1);
+  EXPECT_LE(d.month, 12);
+  EXPECT_GE(d.day, 1);
+  EXPECT_LE(d.day, 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CivilRoundTrip,
+                         ::testing::Range<std::int64_t>(16000, 17600, 37));
+
+TEST(CivilDate, LeapYearFebruary) {
+  EXPECT_EQ(civil_from_days(days_from_civil(2016, 2, 29)).day, 29);
+  // 2017-02-28 + 1 day = 2017-03-01 (non-leap).
+  Date d = civil_from_days(days_from_civil(2017, 2, 28) + 1);
+  EXPECT_EQ(d, (Date{2017, 3, 1}));
+}
+
+TEST(SimTime, DayIndexFloors) {
+  EXPECT_EQ(day_index(0), 0);
+  EXPECT_EQ(day_index(kDay - 1), 0);
+  EXPECT_EQ(day_index(kDay), 1);
+  EXPECT_EQ(day_index(-1), -1);
+}
+
+TEST(SimTime, FromDatetime) {
+  SimTime t = from_datetime(2017, 3, 1, 12, 30, 15);
+  EXPECT_EQ(t, from_date(2017, 3, 1) + 12 * kHour + 30 * kMinute + 15);
+}
+
+TEST(Format, Date) {
+  EXPECT_EQ(format_date(from_date(2016, 10, 31)), "2016-10-31");
+  EXPECT_EQ(format_date(from_date(2014, 12, 1)), "2014-12-01");
+}
+
+TEST(Format, Datetime) {
+  EXPECT_EQ(format_datetime(from_datetime(2016, 5, 16, 1, 2, 3)),
+            "2016-05-16T01:02:03Z");
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration(30), "30s");
+  EXPECT_EQ(format_duration(90), "1m30s");
+  EXPECT_EQ(format_duration(2 * kHour + 30 * kMinute), "2h30m");
+  EXPECT_EQ(format_duration(3 * kDay + 4 * kHour), "3d4h");
+  EXPECT_EQ(format_duration(-30), "-30s");
+}
+
+TEST(StudyAnchors, Ordering) {
+  EXPECT_LT(study_start(), focus_start());
+  EXPECT_LT(focus_start(), march2017_start());
+  EXPECT_LT(march2017_start(), march2017_end());
+  EXPECT_EQ(march2017_end(), study_end());
+  EXPECT_EQ(focus_end(), study_end());
+}
+
+TEST(StudyAnchors, Values) {
+  EXPECT_EQ(format_date(study_start()), "2014-12-01");
+  EXPECT_EQ(format_date(study_end()), "2017-04-01");
+  EXPECT_EQ(format_date(focus_start()), "2016-08-01");
+}
+
+TEST(StudyAnchors, WindowLengths) {
+  // The longitudinal window spans ~852 days; the focus window 243.
+  EXPECT_EQ((study_end() - study_start()) / kDay, 852);
+  EXPECT_EQ((focus_end() - focus_start()) / kDay, 243);
+}
+
+}  // namespace
+}  // namespace bgpbh::util

@@ -1,0 +1,77 @@
+#include "workload/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpbh::workload {
+namespace {
+
+TEST(Timeline, GrowthOverStudyWindow) {
+  TimelineModel model(1.0);
+  std::int64_t start = util::day_index(util::study_start());
+  std::int64_t end = util::day_index(util::study_end()) - 1;
+  // ~5x growth in new-episode rate over the window (before carry-over).
+  double early = model.new_episodes(start + 10);
+  double late = model.new_episodes(end - 30);
+  EXPECT_GT(late, early * 3.0);
+  EXPECT_GT(early, 0.0);
+}
+
+TEST(Timeline, ScaleIsLinear) {
+  TimelineModel full(1.0), scaled(0.05);
+  std::int64_t day = util::day_index(util::from_date(2016, 3, 1));
+  EXPECT_NEAR(scaled.new_episodes(day), full.new_episodes(day) * 0.05, 1e-9);
+}
+
+TEST(Timeline, SpikeDaysElevated) {
+  TimelineModel model(1.0);
+  for (const auto& spike : model.spikes()) {
+    if (spike.misconfiguration) continue;
+    std::int64_t day = util::day_index(spike.date);
+    EXPECT_GT(model.spike_multiplier(day), model.spike_multiplier(day - 7))
+        << spike.label;
+    EXPECT_GE(model.spike_multiplier(day), 2.0) << spike.label;
+  }
+}
+
+TEST(Timeline, SpikeDecayTail) {
+  TimelineModel model(1.0);
+  // Spike E (Krebs) lasts days: the day after is still elevated.
+  std::int64_t krebs = util::day_index(util::from_date(2016, 9, 20));
+  EXPECT_GT(model.spike_multiplier(krebs + 1), 1.3);
+  EXPECT_GT(model.spike_multiplier(krebs), model.spike_multiplier(krebs + 1));
+}
+
+TEST(Timeline, MiraiEraElevation) {
+  TimelineModel model(1.0);
+  std::int64_t before = util::day_index(util::from_date(2016, 8, 10));
+  std::int64_t during = util::day_index(util::from_date(2016, 12, 10));
+  EXPECT_GT(model.spike_multiplier(during), model.spike_multiplier(before));
+}
+
+TEST(Timeline, MisconfigSpikeOnlyOnItsDay) {
+  TimelineModel model(1.0);
+  std::int64_t day_a = util::day_index(util::from_date(2016, 4, 18));
+  EXPECT_NE(model.misconfig_spike_on(day_a), nullptr);
+  EXPECT_EQ(model.misconfig_spike_on(day_a)->label, 'A');
+  EXPECT_EQ(model.misconfig_spike_on(day_a + 1), nullptr);
+}
+
+TEST(Timeline, SixLabelledSpikes) {
+  TimelineModel model(1.0);
+  ASSERT_EQ(model.spikes().size(), 6u);
+  std::string labels;
+  for (const auto& s : model.spikes()) labels += s.label;
+  EXPECT_EQ(labels, "ABCDEF");
+  auto ann = model.annotations();
+  EXPECT_EQ(ann.size(), 6u);
+}
+
+TEST(Timeline, SpikeDatesMatchPaper) {
+  TimelineModel model(1.0);
+  EXPECT_EQ(util::format_date(model.spikes()[1].date), "2016-05-16");  // NS1
+  EXPECT_EQ(util::format_date(model.spikes()[4].date), "2016-09-20");  // Krebs
+  EXPECT_EQ(util::format_date(model.spikes()[5].date), "2016-10-31");  // Liberia
+}
+
+}  // namespace
+}  // namespace bgpbh::workload

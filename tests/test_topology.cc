@@ -1,0 +1,247 @@
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bgpbh::topology {
+namespace {
+
+// The generated graph is expensive enough to share across tests.
+const AsGraph& graph() {
+  static AsGraph g = generate(GeneratorConfig{});
+  return g;
+}
+
+TEST(Generator, PopulationCounts) {
+  GeneratorConfig cfg;
+  EXPECT_EQ(graph().num_ases(),
+            cfg.num_tier1 + cfg.num_transit + cfg.num_content +
+                cfg.num_enterprise + cfg.num_edu + cfg.num_access_stub);
+  EXPECT_EQ(graph().num_ixps(), cfg.num_ixps);
+}
+
+TEST(Generator, RelationshipSymmetry) {
+  for (const auto& node : graph().nodes()) {
+    for (Asn p : node.providers) {
+      const AsNode* provider = graph().find(p);
+      ASSERT_NE(provider, nullptr);
+      EXPECT_NE(std::find(provider->customers.begin(), provider->customers.end(),
+                          node.asn),
+                provider->customers.end())
+          << node.asn << " -> " << p;
+    }
+    for (Asn peer : node.peers) {
+      const AsNode* other = graph().find(peer);
+      ASSERT_NE(other, nullptr);
+      EXPECT_NE(std::find(other->peers.begin(), other->peers.end(), node.asn),
+                other->peers.end());
+    }
+  }
+}
+
+TEST(Generator, Tier1Clique) {
+  std::vector<const AsNode*> tier1;
+  for (const auto& node : graph().nodes()) {
+    if (node.tier == Tier::kTier1) tier1.push_back(&node);
+  }
+  ASSERT_EQ(tier1.size(), GeneratorConfig{}.num_tier1);
+  for (const auto* a : tier1) {
+    EXPECT_TRUE(a->providers.empty()) << "tier1 AS" << a->asn << " has providers";
+    for (const auto* b : tier1) {
+      if (a == b) continue;
+      EXPECT_TRUE(std::find(a->peers.begin(), a->peers.end(), b->asn) !=
+                  a->peers.end());
+    }
+  }
+}
+
+TEST(Generator, EveryStubHasProvider) {
+  for (const auto& node : graph().nodes()) {
+    if (node.tier == Tier::kStub) {
+      EXPECT_FALSE(node.providers.empty()) << "AS" << node.asn;
+    }
+  }
+}
+
+TEST(Generator, IxpMembershipSymmetry) {
+  for (const auto& ixp : graph().ixps()) {
+    for (Asn member : ixp.members) {
+      const AsNode* node = graph().find(member);
+      ASSERT_NE(node, nullptr);
+      EXPECT_NE(std::find(node->ixps.begin(), node->ixps.end(), ixp.id),
+                node->ixps.end());
+    }
+  }
+}
+
+TEST(Generator, IxpMembershipIsSkewed) {
+  // Large IXPs should dwarf the tail (DE-CIX vs small regional IXPs).
+  std::size_t largest = 0, smallest = SIZE_MAX;
+  for (const auto& ixp : graph().ixps()) {
+    largest = std::max(largest, ixp.members.size());
+    smallest = std::min(smallest, ixp.members.size());
+  }
+  EXPECT_GT(largest, 200u);
+  EXPECT_LT(smallest, 20u);
+}
+
+TEST(Generator, DocumentedProviderPopulations) {
+  GeneratorConfig cfg;
+  std::map<NetworkType, std::size_t> documented;
+  std::size_t undocumented = 0;
+  for (const auto& node : graph().nodes()) {
+    if (!node.blackhole.offers_blackholing) continue;
+    bool doc = node.blackhole.documented_in_irr || node.blackhole.documented_on_web;
+    if (doc) {
+      documented[node.type] += 1;
+    } else {
+      undocumented += 1;
+    }
+  }
+  EXPECT_EQ(documented[NetworkType::kTransitAccess], cfg.bh_transit_access);
+  EXPECT_EQ(documented[NetworkType::kContent], cfg.bh_content);
+  EXPECT_EQ(documented[NetworkType::kEduResearchNfP], cfg.bh_edu);
+  EXPECT_EQ(documented[NetworkType::kEnterprise], cfg.bh_enterprise);
+  EXPECT_EQ(documented[NetworkType::kUnknown], cfg.bh_unknown);
+  EXPECT_EQ(undocumented, cfg.bh_undocumented);
+}
+
+TEST(Generator, BlackholingIxpCount) {
+  GeneratorConfig cfg;
+  std::size_t bh = 0, rfc7999 = 0;
+  for (const auto& ixp : graph().ixps()) {
+    if (!ixp.offers_blackholing) continue;
+    ++bh;
+    if (ixp.blackhole_community == bgp::Community::rfc7999_blackhole()) ++rfc7999;
+  }
+  EXPECT_EQ(bh, cfg.num_blackholing_ixps);
+  // 47 of 49 use the RFC 7999 value (§4.1).
+  EXPECT_EQ(rfc7999, cfg.num_blackholing_ixps - 2);
+}
+
+TEST(Generator, IxpBlackholeIpConvention) {
+  for (const auto& ixp : graph().ixps()) {
+    ASSERT_TRUE(ixp.blackhole_ip_v4.is_v4());
+    // Last octet .66 inside the peering LAN (§4.1).
+    EXPECT_EQ(ixp.blackhole_ip_v4.v4().value() & 0xFF, 66u);
+    EXPECT_TRUE(ixp.peering_lan.contains(ixp.blackhole_ip_v4));
+    // IPv6 blackhole address ends in dead:beef.
+    EXPECT_EQ(ixp.blackhole_ip_v6.group(6), 0xdead);
+    EXPECT_EQ(ixp.blackhole_ip_v6.group(7), 0xbeef);
+  }
+}
+
+TEST(Generator, ProvidersHaveCustomers) {
+  for (const auto& node : graph().nodes()) {
+    if (node.blackhole.offers_blackholing) {
+      EXPECT_FALSE(node.customers.empty())
+          << "blackholing provider AS" << node.asn << " has no customers";
+    }
+  }
+}
+
+TEST(Generator, V4BlocksDisjoint) {
+  std::set<std::uint32_t> blocks;
+  for (const auto& node : graph().nodes()) {
+    EXPECT_EQ(node.v4_block.len(), 16);
+    EXPECT_TRUE(blocks.insert(node.v4_block.addr().v4().value()).second);
+  }
+}
+
+TEST(Generator, OriginatedPrefixesWithinBlock) {
+  for (const auto& node : graph().nodes()) {
+    ASSERT_FALSE(node.originated_v4.empty());
+    for (const auto& p : node.originated_v4) {
+      EXPECT_TRUE(node.v4_block.covers(p))
+          << "AS" << node.asn << " " << p.to_string();
+    }
+  }
+}
+
+TEST(Generator, OriginLookupAgreesWithOwnership) {
+  for (const auto& node : graph().nodes()) {
+    auto origin = graph().origin_of(node.v4_block.addr());
+    ASSERT_TRUE(origin);
+    EXPECT_EQ(*origin, node.asn);
+  }
+}
+
+TEST(Generator, Deterministic) {
+  GeneratorConfig cfg;
+  AsGraph a = generate(cfg);
+  AsGraph b = generate(cfg);
+  ASSERT_EQ(a.num_ases(), b.num_ases());
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    EXPECT_EQ(a.nodes()[i].asn, b.nodes()[i].asn);
+    EXPECT_EQ(a.nodes()[i].providers, b.nodes()[i].providers);
+    EXPECT_EQ(a.nodes()[i].originated_v4, b.nodes()[i].originated_v4);
+  }
+}
+
+TEST(Generator, SeedChangesTopology) {
+  GeneratorConfig cfg;
+  cfg.seed = 4242;
+  AsGraph other = generate(cfg);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < other.nodes().size(); ++i) {
+    if (other.nodes()[i].providers != graph().nodes()[i].providers) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, LargeCommunityAdoption) {
+  // Exactly one provider uses an RFC 8092 large community (§4.1).
+  std::size_t large = 0;
+  for (const auto& node : graph().nodes()) {
+    if (node.blackhole.large_community) ++large;
+  }
+  EXPECT_EQ(large, 1u);
+}
+
+TEST(Generator, SharedZeroCommunityAmongUnknowns) {
+  std::size_t sharing = 0;
+  for (const auto& node : graph().nodes()) {
+    if (node.blackhole.offers_blackholing &&
+        !node.blackhole.communities.empty() &&
+        node.blackhole.communities.front() == bgp::Community(0, 666)) {
+      ++sharing;
+    }
+  }
+  EXPECT_GE(sharing, 2u);  // multiple networks share 0:666 (§4.1)
+}
+
+TEST(AsGraph, RelationshipQuery) {
+  const AsNode* stub = nullptr;
+  for (const auto& node : graph().nodes()) {
+    if (node.tier == Tier::kStub && !node.providers.empty()) {
+      stub = &node;
+      break;
+    }
+  }
+  ASSERT_NE(stub, nullptr);
+  EXPECT_EQ(graph().relationship(stub->asn, stub->providers[0]),
+            AsGraph::Rel::kProvider);
+  EXPECT_EQ(graph().relationship(stub->providers[0], stub->asn),
+            AsGraph::Rel::kCustomer);
+  EXPECT_EQ(graph().relationship(stub->asn, 999999), AsGraph::Rel::kNone);
+}
+
+TEST(AsGraph, IxpLookups) {
+  const Ixp& ixp = graph().ixps().front();
+  EXPECT_EQ(graph().ixp_by_route_server(ixp.route_server_asn)->id, ixp.id);
+  EXPECT_EQ(graph().ixp_by_lan_ip(ixp.blackhole_ip_v4)->id, ixp.id);
+  EXPECT_EQ(graph().ixp_by_lan_ip(*net::IpAddr::parse("8.8.8.8")), nullptr);
+}
+
+TEST(NetworkType, ToString) {
+  EXPECT_EQ(to_string(NetworkType::kTransitAccess), "Transit/Access");
+  EXPECT_EQ(to_string(NetworkType::kIxp), "IXP");
+  EXPECT_EQ(to_string(NetworkType::kEduResearchNfP), "Educ./Res./NfP");
+}
+
+}  // namespace
+}  // namespace bgpbh::topology

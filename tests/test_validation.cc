@@ -1,0 +1,204 @@
+// §5.2 validation paths: looking glasses reveal blackholing that no
+// collector sees (the Cogent / Pirate-Bay case), and the engine's
+// inferences agree with the looking-glass ground state.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dictionary/dictionary.h"
+#include "routing/collectors.h"
+#include "routing/looking_glass.h"
+#include "topology/generator.h"
+
+namespace bgpbh {
+namespace {
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::CustomerCones cones{graph};
+  topology::Registry registry = topology::Registry::build(graph, 0.72, 0.95, 42);
+  dictionary::Corpus corpus = dictionary::generate_corpus(graph, 42);
+  dictionary::BlackholeDictionary dict =
+      dictionary::build_documented_dictionary(corpus, registry);
+  routing::PropagationEngine engine{graph, cones, 99};
+  routing::CollectorFleet fleet =
+      routing::CollectorFleet::build(graph, routing::FleetConfig{});
+
+  // Populate a looking-glass directory from a propagation result: the
+  // per-AS route state the study records out of band.
+  routing::LookingGlassDirectory glasses_for(
+      const routing::BlackholePropagation& prop,
+      const routing::BlackholeAnnouncement& ann) {
+    routing::LookingGlassDirectory dir;
+    for (const auto& holder : prop.holders) {
+      if (holder.via_route_server && holder.holder != ann.user) continue;
+      auto& lg = dir.add(holder.holder, /*supports_community_queries=*/true);
+      routing::LgRoute route;
+      route.prefix = ann.prefix;
+      route.as_path = holder.path;
+      route.communities = holder.communities;
+      route.installed = ann.time;
+      lg.install(route);
+    }
+    return dir;
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+// Find a provider with NO collector session anywhere: blackholing at it
+// (tailored, not bundled) is invisible to every collector — but its
+// looking glass still shows it.
+TEST(Validation, LookingGlassRevealsCollectorInvisibleBlackholing) {
+  const topology::AsNode* provider = nullptr;
+  bgp::Asn user = 0;
+  for (const auto& node : env().graph.nodes()) {
+    if (!node.blackhole.offers_blackholing) continue;
+    if (node.blackhole.auth != topology::BlackholeAuth::kCustomerCone) continue;
+    if (!env().fleet.sessions_of(node.asn).empty()) continue;
+    for (bgp::Asn cust : node.customers) {
+      // The user must also lack collector sessions, else its own feed
+      // reveals the event.
+      if (env().fleet.sessions_of(cust).empty()) {
+        provider = &node;
+        user = cust;
+        break;
+      }
+    }
+    if (provider) break;
+  }
+  if (!provider) GTEST_SKIP() << "fleet covers every provider in this seed";
+
+  const topology::AsNode* unode = env().graph.find(user);
+  routing::BlackholeAnnouncement ann;
+  ann.user = user;
+  ann.prefix = net::Prefix(
+      net::Ipv4Addr(unode->v4_block.addr().v4().value() + 0x0BAD), 32);
+  ann.target_providers = {provider->asn};
+  ann.bundle = false;  // tailored: only the provider hears it
+  ann.time = 1000;
+  auto prop = env().engine.propagate_blackhole(ann);
+  ASSERT_FALSE(prop.activated_providers.empty());
+
+  // No collector records anything.
+  auto updates = env().fleet.observe_announcement(prop, ann, env().engine);
+  std::size_t visible = 0;
+  for (const auto& fu : updates) {
+    if (fu.update.peer_asn == provider->asn || fu.update.peer_asn == user)
+      ++visible;
+  }
+  EXPECT_EQ(visible, 0u);
+
+  // The provider's looking glass does: query by community (the
+  // Periscope capability the paper uses for the Cogent case).
+  auto glasses = env().glasses_for(prop, ann);
+  routing::LookingGlass* lg = glasses.find(provider->asn);
+  ASSERT_NE(lg, nullptr);
+  auto hits = lg->query_community(provider->blackhole.communities.front());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].prefix, ann.prefix);
+}
+
+// Engine inferences must agree with looking-glass state for events that
+// ARE collector-visible: every inferred ISP provider's glass holds the
+// blackholed route with the matching community.
+TEST(Validation, InferencesAgreeWithLookingGlasses) {
+  // A user whose providers offer blackholing and that has sessions.
+  const topology::AsNode* user = nullptr;
+  for (const auto& node : env().graph.nodes()) {
+    if (node.tier != topology::Tier::kStub) continue;
+    if (env().fleet.sessions_of(node.asn).empty()) continue;
+    bool ok = false;
+    for (bgp::Asn p : node.providers) {
+      const topology::AsNode* pn = env().graph.find(p);
+      if (pn && pn->blackhole.offers_blackholing &&
+          pn->blackhole.auth == topology::BlackholeAuth::kCustomerCone)
+        ok = true;
+    }
+    if (ok) {
+      user = &node;
+      break;
+    }
+  }
+  ASSERT_NE(user, nullptr);
+
+  routing::BlackholeAnnouncement ann;
+  ann.user = user->asn;
+  ann.prefix = net::Prefix(
+      net::Ipv4Addr(user->v4_block.addr().v4().value() + 0x0EEF), 32);
+  for (bgp::Asn p : user->providers) {
+    const topology::AsNode* pn = env().graph.find(p);
+    if (pn && pn->blackhole.offers_blackholing) ann.target_providers.push_back(p);
+  }
+  ann.bundle = true;
+  ann.time = 5000;
+  auto prop = env().engine.propagate_blackhole(ann);
+  auto glasses = env().glasses_for(prop, ann);
+
+  core::InferenceEngine inference(env().dict, env().registry);
+  for (const auto& fu : env().fleet.observe_announcement(prop, ann, env().engine)) {
+    inference.process(fu.platform, fu.update);
+  }
+  inference.finish(9000);
+
+  std::size_t checked = 0;
+  for (const auto& event : inference.events()) {
+    if (event.provider.is_ixp) continue;
+    if (std::find(prop.activated_providers.begin(),
+                  prop.activated_providers.end(),
+                  event.provider.asn) == prop.activated_providers.end())
+      continue;  // bundled non-activated sighting: no glass state expected
+    routing::LookingGlass* lg = glasses.find(event.provider.asn);
+    ASSERT_NE(lg, nullptr) << event.provider.to_string();
+    auto route = lg->query_prefix(event.prefix);
+    ASSERT_TRUE(route.has_value()) << event.provider.to_string();
+    const topology::AsNode* pn = env().graph.find(event.provider.asn);
+    EXPECT_TRUE(route->communities.contains(pn->blackhole.communities.front()));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// The §5.2 headline: collector-based inference is a LOWER BOUND — over
+// a batch of tailored (unbundled) announcements, the set of events the
+// collectors see is a strict subset of the looking-glass truth.
+TEST(Validation, CollectorInferenceIsALowerBound) {
+  std::size_t lg_events = 0, collector_events = 0;
+  util::Rng rng(7);
+  const auto& nodes = env().graph.nodes();
+  for (int i = 0; i < 150; ++i) {
+    const auto& node = nodes[rng.uniform(nodes.size())];
+    if (node.tier != topology::Tier::kStub || node.providers.empty()) continue;
+    bgp::Asn provider = 0;
+    for (bgp::Asn p : node.providers) {
+      const topology::AsNode* pn = env().graph.find(p);
+      if (pn && pn->blackhole.offers_blackholing &&
+          pn->blackhole.auth == topology::BlackholeAuth::kCustomerCone)
+        provider = p;
+    }
+    if (!provider) continue;
+    routing::BlackholeAnnouncement ann;
+    ann.user = node.asn;
+    ann.prefix = net::Prefix(
+        net::Ipv4Addr(node.v4_block.addr().v4().value() + 0x0C00 +
+                      static_cast<std::uint32_t>(i)),
+        32);
+    ann.target_providers = {provider};
+    ann.bundle = false;
+    ann.time = 1000 + i;
+    auto prop = env().engine.propagate_blackhole(ann);
+    if (prop.activated_providers.empty()) continue;
+    ++lg_events;  // the provider's glass would always show it
+    auto updates = env().fleet.observe_announcement(prop, ann, env().engine);
+    if (!updates.empty()) ++collector_events;
+  }
+  ASSERT_GT(lg_events, 20u);
+  EXPECT_LE(collector_events, lg_events);
+  EXPECT_LT(collector_events, lg_events)
+      << "some tailored blackholing must stay collector-invisible";
+}
+
+}  // namespace
+}  // namespace bgpbh

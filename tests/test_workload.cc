@@ -1,0 +1,244 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpbh::workload {
+namespace {
+
+struct Env {
+  topology::AsGraph graph = topology::generate(topology::GeneratorConfig{});
+  topology::CustomerCones cones{graph};
+  WorkloadConfig config;
+  WorkloadGenerator gen{graph, cones, config};
+
+  std::vector<Episode> sample_month() {
+    std::vector<Episode> all;
+    std::int64_t d0 = util::day_index(util::from_date(2017, 2, 1));
+    for (std::int64_t d = d0; d < d0 + 28; ++d) {
+      auto eps = gen.episodes_for_day(d);
+      all.insert(all.end(), eps.begin(), eps.end());
+    }
+    return all;
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+const std::vector<Episode>& month() {
+  static std::vector<Episode> m = env().sample_month();
+  return m;
+}
+
+TEST(Workload, EligibleUsersNonEmpty) {
+  EXPECT_GT(env().gen.eligible_users().size(), 500u);
+  for (const auto& u : env().gen.eligible_users()) {
+    EXPECT_TRUE(!u.available_providers.empty() || !u.available_ixps.empty());
+    EXPECT_GT(u.activity_weight, 0.0);
+  }
+}
+
+TEST(Workload, EpisodesHaveValidTargets) {
+  for (const auto& episode : month()) {
+    EXPECT_FALSE(episode.providers.empty() && episode.ixps.empty());
+    const topology::AsNode* user = env().graph.find(episode.user);
+    ASSERT_NE(user, nullptr);
+    for (bgp::Asn p : episode.providers) {
+      // Targets must actually be the user's blackholing-capable providers.
+      EXPECT_NE(std::find(user->providers.begin(), user->providers.end(), p),
+                user->providers.end());
+      EXPECT_TRUE(env().graph.find(p)->blackhole.offers_blackholing);
+    }
+    for (std::uint32_t ix : episode.ixps) {
+      const topology::Ixp* ixp = env().graph.find_ixp(ix);
+      ASSERT_NE(ixp, nullptr);
+      EXPECT_TRUE(ixp->offers_blackholing);
+      EXPECT_TRUE(std::binary_search(ixp->members.begin(), ixp->members.end(),
+                                     episode.user));
+    }
+  }
+}
+
+TEST(Workload, OnPeriodsOrderedWithinEpisode) {
+  for (const auto& episode : month()) {
+    ASSERT_FALSE(episode.on_periods.empty());
+    util::SimTime prev_end = episode.start - 1;
+    for (const auto& p : episode.on_periods) {
+      EXPECT_GT(p.start, prev_end);
+      EXPECT_GT(p.end, p.start);
+      EXPECT_LE(p.end, episode.end);
+      prev_end = p.end;
+    }
+    // Gaps between materialized ON periods stay below the 5-minute
+    // grouping timeout (the paper's probing practice).
+    for (std::size_t i = 1; i < episode.on_periods.size(); ++i) {
+      EXPECT_LE(episode.on_periods[i].start - episode.on_periods[i - 1].end,
+                5 * util::kMinute);
+    }
+  }
+}
+
+TEST(Workload, VictimPrefixBelongsToUser) {
+  for (const auto& episode : month()) {
+    if (!episode.prefix.is_v4()) continue;
+    auto origin = env().graph.origin_of(episode.prefix.addr());
+    ASSERT_TRUE(origin);
+    EXPECT_EQ(*origin, episode.user);
+  }
+}
+
+TEST(Workload, HostRouteShare) {
+  std::size_t v4 = 0, host_routes = 0;
+  for (const auto& episode : month()) {
+    if (!episode.prefix.is_v4()) continue;
+    ++v4;
+    if (episode.prefix.is_host_route()) ++host_routes;
+  }
+  ASSERT_GT(v4, 100u);
+  // ~98% of blackholed IPv4 prefixes are /32s (§5.1).
+  EXPECT_NEAR(static_cast<double>(host_routes) / static_cast<double>(v4), 0.975,
+              0.03);
+}
+
+TEST(Workload, BundleRate) {
+  std::size_t bundled = 0;
+  for (const auto& episode : month()) bundled += episode.bundle;
+  double rate = static_cast<double>(bundled) / static_cast<double>(month().size());
+  EXPECT_NEAR(rate, env().config.bundle_probability, 0.08);
+}
+
+TEST(Workload, MultiProviderRate) {
+  std::size_t multi = 0;
+  for (const auto& episode : month()) {
+    if (episode.providers.size() + episode.ixps.size() > 1) ++multi;
+  }
+  double rate = static_cast<double>(multi) / static_cast<double>(month().size());
+  // 28% of events involve multiple providers (Fig 7b); the realized rate
+  // is bounded by users that actually have several options.
+  EXPECT_GT(rate, 0.15);
+  EXPECT_LT(rate, 0.50);
+}
+
+TEST(Workload, ProviderCountCap) {
+  for (const auto& episode : month()) {
+    EXPECT_LE(episode.providers.size() + episode.ixps.size(), 20u);
+  }
+}
+
+TEST(Workload, MisconfigRateLow) {
+  std::size_t misconfigured = 0;
+  for (const auto& episode : month()) {
+    if (episode.misconfig != routing::BlackholeAnnouncement::Misconfig::kNone)
+      ++misconfigured;
+  }
+  double rate =
+      static_cast<double>(misconfigured) / static_cast<double>(month().size());
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(Workload, PrefixIntervalsDisjoint) {
+  std::map<net::Prefix, std::vector<std::pair<util::SimTime, util::SimTime>>>
+      intervals;
+  for (const auto& episode : month()) {
+    intervals[episode.prefix].emplace_back(episode.start, episode.end);
+  }
+  for (auto& [prefix, spans] : intervals) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second)
+          << prefix.to_string() << " has overlapping ground-truth episodes";
+    }
+  }
+}
+
+TEST(Workload, AnnouncementCarriesEpisodeFields) {
+  const Episode& episode = month().front();
+  auto ann = episode.announcement(episode.start + 5);
+  EXPECT_EQ(ann.user, episode.user);
+  EXPECT_EQ(ann.prefix, episode.prefix);
+  EXPECT_EQ(ann.target_providers, episode.providers);
+  EXPECT_EQ(ann.bundle, episode.bundle);
+  EXPECT_EQ(ann.time, episode.start + 5);
+}
+
+TEST(Workload, ContentUsersDominatePrefixes) {
+  std::map<topology::NetworkType, std::size_t> prefixes_by_type;
+  std::map<topology::NetworkType, std::set<bgp::Asn>> users_by_type;
+  for (const auto& episode : month()) {
+    auto type = env().graph.find(episode.user)->type;
+    prefixes_by_type[type] += 1;
+    users_by_type[type].insert(episode.user);
+  }
+  // Content providers originate the plurality of blackholed prefixes
+  // (43% in the paper, §8).
+  std::size_t content = prefixes_by_type[topology::NetworkType::kContent];
+  for (auto& [type, count] : prefixes_by_type) {
+    if (type == topology::NetworkType::kContent) continue;
+    EXPECT_GE(content, count / 2) << to_string(type);
+  }
+}
+
+TEST(Workload, SpikeADayProducesMassMisconfig) {
+  WorkloadGenerator gen(env().graph, env().cones, env().config);
+  std::int64_t spike_day = util::day_index(util::from_date(2016, 4, 18));
+  auto episodes = gen.episodes_for_day(spike_day);
+  // The accidental /24-table blackholing of an academic network: many
+  // short /24 episodes from one edu user.
+  std::size_t academic_24s = 0;
+  for (const auto& e : episodes) {
+    if (e.prefix.len() == 24 &&
+        env().graph.find(e.user)->type == topology::NetworkType::kEduResearchNfP &&
+        e.end - e.start < 2 * util::kMinute) {
+      ++academic_24s;
+    }
+  }
+  EXPECT_GT(academic_24s, 3u);
+}
+
+TEST(Workload, DailyVolumeGrowsOverStudy) {
+  WorkloadGenerator gen(env().graph, env().cones, env().config);
+  std::int64_t early = util::day_index(util::from_date(2015, 1, 15));
+  std::int64_t late = util::day_index(util::from_date(2017, 2, 15));
+  std::size_t early_count = 0, late_count = 0;
+  for (int i = 0; i < 10; ++i) {
+    early_count += gen.episodes_for_day(early + i).size();
+    late_count += gen.episodes_for_day(late + i).size();
+  }
+  EXPECT_GT(late_count, early_count * 2);
+}
+
+TEST(Workload, Deterministic) {
+  WorkloadGenerator g1(env().graph, env().cones, env().config);
+  WorkloadGenerator g2(env().graph, env().cones, env().config);
+  std::int64_t day = util::day_index(util::from_date(2016, 9, 20));
+  auto e1 = g1.episodes_for_day(day);
+  auto e2 = g2.episodes_for_day(day);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].user, e2[i].user);
+    EXPECT_EQ(e1[i].prefix, e2[i].prefix);
+    EXPECT_EQ(e1[i].start, e2[i].start);
+  }
+}
+
+TEST(Workload, BackgroundAnnouncementsValid) {
+  WorkloadGenerator gen(env().graph, env().cones, env().config);
+  std::int64_t day = util::day_index(util::from_date(2017, 1, 10));
+  auto background = gen.background_for_day(day);
+  EXPECT_FALSE(background.empty());
+  for (const auto& ann : background) {
+    const topology::AsNode* node = env().graph.find(ann.user);
+    ASSERT_NE(node, nullptr);
+    // Regular announcements: the AS's own public prefixes, never
+    // more specific than /24.
+    EXPECT_FALSE(ann.prefix.more_specific_than(24));
+    EXPECT_TRUE(node->v4_block.covers(ann.prefix));
+  }
+}
+
+}  // namespace
+}  // namespace bgpbh::workload

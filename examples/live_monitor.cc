@@ -1,12 +1,17 @@
 // Continuous monitoring mode over an MRT archive: the study writes a
 // day of collector updates to an MRT file (BGP4MP_MESSAGE_AS4 records,
 // the format RIS/RouteViews archives use), then a separate monitoring
-// pass reads the file back and streams it through the inference engine,
-// printing a live event log — the §4.2 "continuous monitoring" loop.
+// pass replays the file through the sharded streaming pipeline
+// (src/stream/): MrtFileSource -> shard router -> engine shards ->
+// event store.  The event-store snapshot drives a live alert log —
+// the §4.2 "continuous monitoring" loop as a production pipeline.
+#include <algorithm>
 #include <cstdio>
 
 #include "bgp/mrt.h"
 #include "core/study.h"
+#include "stream/pipeline.h"
+#include "stream/source.h"
 
 using namespace bgpbh;
 
@@ -21,81 +26,61 @@ int main() {
 
   net::BufWriter archive;
   std::size_t written = 0;
-  {
-    // Re-run the workload against the fleet, capturing raw updates.
-    auto& propagation = study.propagation();
-    workload::WorkloadGenerator workload(study.graph(), study.cones(),
-                                         config.workload);
-    std::int64_t day = util::day_index(config.window_start);
-    for (const auto& episode : workload.episodes_for_day(day)) {
-      auto ann = episode.announcement(episode.start);
-      auto prop = propagation.propagate_blackhole(ann);
-      for (const auto& period : episode.on_periods) {
-        if (period.start >= config.window_end) break;
-        ann.time = period.start;
-        for (const auto& fu :
-             study.fleet().observe_announcement(prop, ann, propagation)) {
-          bgp::mrt::encode_update(fu.update, archive);
-          ++written;
-        }
-        for (const auto& fu : study.fleet().observe_withdrawal(
-                 prop, ann, propagation,
-                 std::min(period.end, config.window_end - 20),
-                 period.explicit_withdrawal)) {
-          bgp::mrt::encode_update(fu.update, archive);
-          ++written;
-        }
-      }
-    }
+  for (const auto& fu : study.replay_updates()) {
+    bgp::mrt::encode_update(fu.update, archive);
+    ++written;
   }
   std::string path = "/tmp/bgpbh_live_monitor.mrt";
   bgp::mrt::write_file(path, archive.data());
   std::printf("wrote %zu MRT records (%zu bytes) to %s\n\n", written,
               archive.size(), path.c_str());
 
-  // 2. Monitoring pass: read the archive and stream it through the
-  //    engine as if it were live.
-  auto bytes = bgp::mrt::read_file(path);
-  if (!bytes) {
-    std::printf("failed to read archive\n");
+  // 2. Monitoring pass: replay the archive through the sharded
+  //    streaming pipeline as if it were a live feed.
+  auto source = stream::MrtFileSource::open(path, routing::Platform::kRis);
+  if (!source) {
+    std::printf("failed to read/parse archive\n");
     return 1;
   }
-  auto updates = bgp::mrt::decode_updates(*bytes);
-  if (!updates) {
-    std::printf("malformed archive\n");
-    return 1;
-  }
-  std::sort(updates->begin(), updates->end(),
-            [](const bgp::ObservedUpdate& a, const bgp::ObservedUpdate& b) {
-              return a.time < b.time;
-            });
 
-  core::InferenceEngine engine(study.dictionary(), study.registry());
-  std::size_t logged = 0;
-  std::size_t before = 0;
-  for (const auto& update : *updates) {
-    // Platform attribution is irrelevant for the event log.
-    engine.process(routing::Platform::kRis, update);
-    for (std::size_t i = before; i < engine.events().size(); ++i) {
-      const auto& e = engine.events()[i];
-      if (logged < 15) {
-        std::printf("%s  BLACKHOLE %-20s at %-12s user AS%-6u %s (%s)\n",
-                    util::format_datetime(e.end).c_str(),
-                    e.prefix.to_string().c_str(), e.provider.to_string().c_str(),
-                    e.user, e.explicit_withdrawal ? "withdrawn" : "re-announced",
-                    util::format_duration(e.duration()).c_str());
-      }
-      ++logged;
-    }
-    before = engine.events().size();
+  stream::PipelineConfig pconfig;
+  pconfig.num_shards = 4;
+  stream::StreamPipeline pipeline(study.dictionary(), study.registry(),
+                                  pconfig);
+  std::uint64_t replayed = pipeline.run(*source);
+  pipeline.finish(config.window_end);
+
+  // 3. Alert log from the merged, time-ordered event store.
+  const auto& events = pipeline.store().events();
+  std::size_t shown = 0;
+  for (const auto& e : events) {
+    if (shown >= 15) break;
+    std::printf("%s  BLACKHOLE %-20s at %-12s user AS%-6u %s (%s)\n",
+                util::format_datetime(e.end).c_str(),
+                e.prefix.to_string().c_str(), e.provider.to_string().c_str(),
+                e.user, e.explicit_withdrawal ? "withdrawn" : "re-announced",
+                util::format_duration(e.duration()).c_str());
+    ++shown;
   }
-  engine.finish(config.window_end);
-  std::printf("%s", logged > 15 ? "...\n" : "");
-  std::printf("\nmonitoring summary: %llu updates replayed, %zu events closed, "
-              "%zu still active at end of archive\n",
-              static_cast<unsigned long long>(engine.stats().updates_processed),
-              engine.events().size() - (engine.events().size() - before),
-              engine.open_event_count());
+  if (events.size() > shown) std::printf("...\n");
+
+  auto snap = pipeline.store().snapshot();
+  std::printf("\nmonitoring summary: %llu updates replayed across %zu shards, "
+              "%zu events closed, %zu still open at end of archive\n",
+              static_cast<unsigned long long>(replayed),
+              pipeline.num_shards(),
+              snap.total_events - pipeline.open_at_finish(),
+              pipeline.open_at_finish());
+  std::printf("busiest providers:\n");
+  std::vector<std::pair<std::size_t, core::ProviderRef>> top;
+  for (const auto& [provider, n] : snap.per_provider) {
+    top.emplace_back(n, provider);
+  }
+  std::sort(top.rbegin(), top.rend());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, top.size()); ++i) {
+    std::printf("  %-12s %zu events\n", top[i].second.to_string().c_str(),
+                top[i].first);
+  }
   std::remove(path.c_str());
   return 0;
 }

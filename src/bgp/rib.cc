@@ -2,6 +2,11 @@
 
 namespace bgpbh::bgp {
 
+std::size_t PeerKeyHash::operator()(const PeerKey& key) const noexcept {
+  return net::hash_combine(net::IpAddrHash{}(key.peer_ip),
+                           std::hash<Asn>{}(key.peer_asn));
+}
+
 void Rib::apply(const ObservedUpdate& update) {
   PeerKey key{update.peer_ip, update.peer_asn};
   auto& table = tables_[key];

@@ -32,6 +32,12 @@ struct PeerKey {
   friend auto operator<=>(const PeerKey&, const PeerKey&) = default;
 };
 
+// Hash support so per-(peer, prefix) state can live in hash maps and be
+// partitioned across engine shards (src/stream/).
+struct PeerKeyHash {
+  std::size_t operator()(const PeerKey& key) const noexcept;
+};
+
 class Rib {
  public:
   // Applies an update for a given peer; returns the prefixes whose

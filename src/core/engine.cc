@@ -4,6 +4,25 @@
 
 namespace bgpbh::core {
 
+EngineStats& EngineStats::operator+=(const EngineStats& other) {
+  updates_processed += other.updates_processed;
+  announcements_seen += other.announcements_seen;
+  withdrawals_seen += other.withdrawals_seen;
+  bogons_filtered += other.bogons_filtered;
+  events_opened += other.events_opened;
+  events_closed_explicit += other.events_closed_explicit;
+  events_closed_implicit += other.events_closed_implicit;
+  ambiguous_rejected += other.ambiguous_rejected;
+  ixp_rejected += other.ixp_rejected;
+  return *this;
+}
+
+std::size_t InferenceEngine::StateKeyHash::operator()(
+    const StateKey& key) const noexcept {
+  return net::hash_combine(bgp::PeerKeyHash{}(key.first),
+                           net::PrefixHash{}(key.second));
+}
+
 std::string ProviderRef::to_string() const {
   if (is_ixp) return "IXP#" + std::to_string(ixp_id);
   return "AS" + std::to_string(asn);
@@ -183,11 +202,11 @@ void InferenceEngine::open_event(Platform platform, const bgp::PeerKey& peer,
   }
   ActiveState state;
   state.start = from_dump ? 0 : time;
+  state.platform = platform;
   state.from_table_dump = from_dump;
   state.detections = std::move(detections);
   state.communities = communities;
   active_.emplace(key, std::move(state));
-  active_platform_[key] = platform;
   ++stats_.events_opened;
 }
 
@@ -216,7 +235,6 @@ void InferenceEngine::close_event(Platform platform, const bgp::PeerKey& peer,
     closed_.push_back(std::move(e));
   }
   active_.erase(it);
-  active_platform_.erase(key);
   if (explicit_withdrawal) {
     ++stats_.events_closed_explicit;
   } else {
@@ -269,15 +287,25 @@ void InferenceEngine::process(Platform platform,
 
 void InferenceEngine::finish(util::SimTime end_time) {
   // Close remaining events; copy keys first since close_event mutates.
+  // Sorted by key so the emission order is deterministic regardless of
+  // the hash-map iteration order (and identical across shard layouts).
   std::vector<std::pair<StateKey, Platform>> remaining;
   remaining.reserve(active_.size());
   for (const auto& [key, state] : active_) {
-    remaining.emplace_back(key, active_platform_[key]);
+    remaining.emplace_back(key, state.platform);
   }
+  std::sort(remaining.begin(), remaining.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [key, platform] : remaining) {
     close_event(platform, key.first, key.second, end_time,
                 /*explicit_withdrawal=*/false);
   }
+}
+
+std::vector<PeerEvent> InferenceEngine::drain_closed() {
+  std::vector<PeerEvent> out;
+  out.swap(closed_);
+  return out;
 }
 
 std::size_t InferenceEngine::open_event_count() const { return active_.size(); }

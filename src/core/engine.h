@@ -23,8 +23,9 @@
 // times are unknown and recorded as zero (§4.2).
 #pragma once
 
-#include <map>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/mrt.h"
@@ -66,6 +67,10 @@ struct EngineStats {
   std::uint64_t events_closed_implicit = 0;
   std::uint64_t ambiguous_rejected = 0;   // ambiguous comm, no path evidence
   std::uint64_t ixp_rejected = 0;         // IXP comm, no RS/LAN evidence
+
+  // Counter-wise sum; lets per-shard stats fold into a fleet total.
+  EngineStats& operator+=(const EngineStats& other);
+  friend bool operator==(const EngineStats&, const EngineStats&) = default;
 };
 
 class InferenceEngine {
@@ -86,6 +91,12 @@ class InferenceEngine {
 
   // Closed events (open events are returned by finish()).
   const std::vector<PeerEvent>& events() const { return closed_; }
+  // Incremental alternative to events(): moves out the events closed
+  // since the last drain, leaving the internal buffer empty.  Streaming
+  // consumers (src/stream/ shard workers) use this so the per-shard
+  // buffer never grows with the lifetime of the pipeline; events() and
+  // drain_closed() must not be mixed on the same engine.
+  std::vector<PeerEvent> drain_closed();
   std::size_t open_event_count() const;
   const EngineStats& stats() const { return stats_; }
 
@@ -99,6 +110,7 @@ class InferenceEngine {
 
   struct ActiveState {
     util::SimTime start = 0;
+    Platform platform = Platform::kRis;  // platform that opened the event
     bool from_table_dump = false;
     std::vector<Detection> detections;
     bgp::CommunitySet communities;
@@ -123,8 +135,10 @@ class InferenceEngine {
   BgpCleaner cleaner_;
 
   using StateKey = std::pair<bgp::PeerKey, net::Prefix>;
-  std::map<StateKey, ActiveState> active_;
-  std::map<StateKey, Platform> active_platform_;
+  struct StateKeyHash {
+    std::size_t operator()(const StateKey& key) const noexcept;
+  };
+  std::unordered_map<StateKey, ActiveState, StateKeyHash> active_;
   std::vector<PeerEvent> closed_;
   EngineStats stats_;
 };

@@ -1,6 +1,32 @@
 #include "core/events.h"
 
-// to_string implementations live in engine.cc next to the inference
-// logic; this translation unit anchors the events component in the
-// static library.
-namespace bgpbh::core {}
+#include <algorithm>
+#include <tuple>
+
+// ProviderRef / DetectionKind to_string implementations live in
+// engine.cc next to the inference logic.
+namespace bgpbh::core {
+
+bool canonical_less(const PeerEvent& a, const PeerEvent& b) {
+  auto key = [](const PeerEvent& e) {
+    return std::tie(e.start, e.end, e.prefix, e.peer, e.provider, e.platform,
+                    e.kind, e.user, e.as_distance, e.explicit_withdrawal,
+                    e.started_in_table_dump, e.open);
+  };
+  if (key(a) != key(b)) return key(a) < key(b);
+  // Tiebreak on the communities attribute: one key can open and close
+  // twice within the same second with different community sets, and
+  // operator== distinguishes those events, so the canonical order must
+  // too (an unstable sort would otherwise make equivalence checks
+  // order-dependent).
+  if (a.communities.classic() != b.communities.classic()) {
+    return a.communities.classic() < b.communities.classic();
+  }
+  return a.communities.large() < b.communities.large();
+}
+
+void canonical_sort(std::vector<PeerEvent>& events) {
+  std::sort(events.begin(), events.end(), canonical_less);
+}
+
+}  // namespace bgpbh::core

@@ -60,7 +60,17 @@ struct PeerEvent {
   bgp::CommunitySet communities;
 
   util::SimTime duration() const { return end - start; }
+
+  friend bool operator==(const PeerEvent&, const PeerEvent&) = default;
 };
+
+// Canonical total order over peer events: (start, end, prefix, peer,
+// provider, platform, kind, user, ...).  Sorting two event sets with
+// this comparator makes them directly comparable regardless of the
+// emission order — the equivalence contract between the sequential
+// engine and the sharded streaming pipeline (src/stream/).
+bool canonical_less(const PeerEvent& a, const PeerEvent& b);
+void canonical_sort(std::vector<PeerEvent>& events);
 
 // A blackholing event correlated across peers: the blackholing of one
 // prefix at one or more providers concurrently (§9).

@@ -25,17 +25,16 @@ Study::Study(StudyConfig config)
       engine_(std::make_unique<InferenceEngine>(dictionary_, registry_,
                                                 config_.engine)) {}
 
-void Study::seed_table_dump() {
+bgp::mrt::TableDump Study::build_table_dump() const {
   // Episodes already active when monitoring starts are only visible in
   // the first RIB dump; the engine must record start time 0 for them.
-  if (config_.table_dump_episodes == 0) return;
   util::Rng rng(config_.seed ^ 0xD00DULL);
   bgp::mrt::TableDump dump;
   dump.time = config_.window_start;
   dump.collector_name = "bgpbh-initial-rib";
 
   const auto& users = workload_->eligible_users();
-  if (users.empty()) return;
+  if (users.empty()) return dump;
   for (std::size_t k = 0; k < config_.table_dump_episodes; ++k) {
     const auto& user = users[rng.uniform(users.size())];
     const topology::AsNode* node = graph_.find(user.asn);
@@ -66,14 +65,23 @@ void Study::seed_table_dump() {
     entry.originated = config_.window_start - util::kDay;
     dump.entries.push_back(std::move(entry));
   }
+  return dump;
+}
 
+std::optional<bgp::mrt::TableDump> Study::initial_table_dump() const {
+  if (config_.table_dump_episodes == 0) return std::nullopt;
+  bgp::mrt::TableDump dump = build_table_dump();
+  if (dump.entries.empty()) return std::nullopt;
   // Round-trip through the MRT codec: the study consumes its own
   // interchange format, not in-memory shortcuts.
   net::BufWriter w;
   bgp::mrt::encode_table_dump(dump, w);
-  auto decoded = bgp::mrt::decode_table_dump(w.data());
-  if (decoded) {
-    engine_->init_from_table_dump(Platform::kRis, *decoded);
+  return bgp::mrt::decode_table_dump(w.data());
+}
+
+void Study::seed_table_dump() {
+  if (auto dump = initial_table_dump()) {
+    engine_->init_from_table_dump(Platform::kRis, *dump);
   }
 }
 
@@ -84,8 +92,11 @@ void Study::feed_update(const routing::FeedUpdate& update) {
   }
 }
 
-void Study::run_background_day(std::int64_t day) {
-  auto announcements = workload_->background_for_day(day);
+void Study::run_background_day(std::int64_t day,
+                               workload::WorkloadGenerator& workload,
+                               routing::PropagationEngine& propagation,
+                               const UpdateSink& sink) const {
+  auto announcements = workload.background_for_day(day);
   util::Rng rng(config_.seed ^ (0xBA5EULL + static_cast<std::uint64_t>(day)));
   const auto& sessions = fleet_.sessions();
   if (sessions.empty()) return;
@@ -114,7 +125,7 @@ void Study::run_background_day(std::int64_t day) {
     std::size_t copies = 2 + rng.uniform(3);
     for (std::size_t c = 0; c < copies; ++c) {
       const auto& session = sessions[rng.uniform(sessions.size())];
-      auto path = propagation_->baseline_path(session.peer_asn, ann.user);
+      auto path = propagation.baseline_path(session.peer_asn, ann.user);
       if (!path) continue;
       routing::FeedUpdate fu;
       fu.platform = session.platform;
@@ -127,27 +138,25 @@ void Study::run_background_day(std::int64_t day) {
       for (auto community : ann.extra_communities) {
         fu.update.body.communities.add(community);
       }
-      feed_update(fu);
+      sink(fu);
     }
   }
 }
 
-void Study::run() {
-  if (ran_) return;
-  ran_ = true;
-
-  seed_table_dump();
-
+void Study::walk_updates(workload::WorkloadGenerator& workload,
+                         routing::PropagationEngine& propagation,
+                         const UpdateSink& sink,
+                         std::vector<GroundTruthEpisode>* truth_out) const {
   std::int64_t first_day = util::day_index(config_.window_start);
   std::int64_t last_day = util::day_index(config_.window_end);
 
   for (std::int64_t day = first_day; day < last_day; ++day) {
-    auto episodes = workload_->episodes_for_day(day);
+    auto episodes = workload.episodes_for_day(day);
     for (auto& episode : episodes) {
       // Propagate the initial announcement once; toggles re-use the
       // same propagation footprint (same communities and targets).
       routing::BlackholeAnnouncement ann = episode.announcement(episode.start);
-      auto prop = propagation_->propagate_blackhole(ann);
+      auto prop = propagation.propagate_blackhole(ann);
 
       GroundTruthEpisode truth;
       truth.activated_providers = prop.activated_providers;
@@ -163,18 +172,45 @@ void Study::run() {
             std::min(period.end, config_.window_end - 20);
         if (period_end <= period.start) continue;
         ann.time = period.start;
-        auto announce_updates = fleet_.observe_announcement(prop, ann, *propagation_);
-        for (const auto& u : announce_updates) feed_update(u);
+        auto announce_updates = fleet_.observe_announcement(prop, ann, propagation);
+        for (const auto& u : announce_updates) sink(u);
         truth.observed_updates += announce_updates.size();
         auto withdraw_updates = fleet_.observe_withdrawal(
-            prop, ann, *propagation_, period_end, period.explicit_withdrawal);
-        for (const auto& u : withdraw_updates) feed_update(u);
+            prop, ann, propagation, period_end, period.explicit_withdrawal);
+        for (const auto& u : withdraw_updates) sink(u);
       }
-      truth.episode = std::move(episode);
-      truth_.push_back(std::move(truth));
+      if (truth_out) {
+        truth.episode = std::move(episode);
+        truth_out->push_back(std::move(truth));
+      }
     }
-    run_background_day(day);
+    run_background_day(day, workload, propagation, sink);
   }
+}
+
+std::vector<routing::FeedUpdate> Study::replay_updates() const {
+  // Fresh substrates with the same seeds reproduce run()'s stream
+  // update-for-update: workload and propagation draw only from their
+  // own RNGs, and the walker makes the identical call sequence.
+  workload::WorkloadGenerator workload(graph_, *cones_, config_.workload);
+  routing::PropagationEngine propagation(graph_, *cones_,
+                                         config_.seed ^ 0xABCDULL);
+  std::vector<routing::FeedUpdate> out;
+  walk_updates(workload, propagation,
+               [&out](const routing::FeedUpdate& u) { out.push_back(u); },
+               nullptr);
+  return out;
+}
+
+void Study::run() {
+  if (ran_) return;
+  ran_ = true;
+
+  seed_table_dump();
+
+  walk_updates(*workload_, *propagation_,
+               [this](const routing::FeedUpdate& u) { feed_update(u); },
+               &truth_);
 
   engine_->finish(config_.window_end);
   events_ = engine_->events();

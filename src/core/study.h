@@ -5,8 +5,10 @@
 // this class.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -123,9 +125,36 @@ class Study {
   std::vector<const PrefixEvent*> prefix_events_in(util::SimTime t0,
                                                    util::SimTime t1) const;
 
+  // ---- streaming-pipeline interop ---------------------------------------
+  // Re-generates the exact update stream run() feeds into the engine
+  // (excluding table-dump initialization) from fresh, identically
+  // seeded workload/propagation substrates.  Usable before or after
+  // run(); this is the replay workload for src/stream/ equivalence
+  // tests and benches.
+  std::vector<routing::FeedUpdate> replay_updates() const;
+
+  // The §4.2 initial RIB dump run() seeds the engine with (after the
+  // MRT codec round-trip); nullopt when table_dump_episodes == 0 or no
+  // episode materialized.
+  std::optional<bgp::mrt::TableDump> initial_table_dump() const;
+
  private:
+  using UpdateSink = std::function<void(const routing::FeedUpdate&)>;
+
   void feed_update(const routing::FeedUpdate& update);
-  void run_background_day(std::int64_t day);
+  // Walks the full day loop (episodes + background traffic) against the
+  // given substrates, emitting every collector update into `sink`;
+  // optionally records ground truth.  run() and replay_updates() share
+  // this walker so their streams are update-for-update identical.
+  void walk_updates(workload::WorkloadGenerator& workload,
+                    routing::PropagationEngine& propagation,
+                    const UpdateSink& sink,
+                    std::vector<GroundTruthEpisode>* truth_out) const;
+  void run_background_day(std::int64_t day,
+                          workload::WorkloadGenerator& workload,
+                          routing::PropagationEngine& propagation,
+                          const UpdateSink& sink) const;
+  bgp::mrt::TableDump build_table_dump() const;
   void seed_table_dump();
 
   StudyConfig config_;

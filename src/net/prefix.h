@@ -60,6 +60,12 @@ struct IpAddrHash {
   std::size_t operator()(const IpAddr& a) const noexcept;
 };
 
+// Boost-style combine shared by the composite-key hashes built on the
+// hashes above (bgp::PeerKeyHash, engine state keys, shard routing).
+inline std::size_t hash_combine(std::size_t h, std::size_t v) noexcept {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
 // Number of addresses covered by an IPv4 prefix.
 std::uint64_t ipv4_prefix_size(const Prefix& p);
 

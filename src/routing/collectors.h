@@ -52,6 +52,8 @@ struct CollectorSession {
 struct FeedUpdate {
   Platform platform = Platform::kRis;
   bgp::ObservedUpdate update;
+
+  friend bool operator==(const FeedUpdate&, const FeedUpdate&) = default;
 };
 
 struct FleetConfig {

@@ -1,0 +1,65 @@
+#include "stream/event_store.h"
+
+#include <algorithm>
+
+namespace bgpbh::stream {
+
+void EventStore::ingest(std::vector<core::PeerEvent> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : events) {
+    counters_.total_events += 1;
+    counters_.per_provider[e.provider] += 1;
+    counters_.per_platform[e.platform] += 1;
+    if (!has_any_ || e.start < counters_.first_start) {
+      counters_.first_start = e.start;
+    }
+    if (!has_any_ || e.end > counters_.last_end) {
+      counters_.last_end = e.end;
+    }
+    has_any_ = true;
+  }
+  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
+}
+
+void EventStore::finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  core::canonical_sort(events_);
+  finalized_ = true;
+}
+
+bool EventStore::finalized() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finalized_;
+}
+
+std::size_t EventStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+EventStore::Snapshot EventStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::vector<core::PeerEvent> EventStore::events_in(util::SimTime t0,
+                                                   util::SimTime t1) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<core::PeerEvent> out;
+  for (const auto& e : events_) {
+    if (e.end >= t0 && e.start < t1) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t EventStore::count_in(util::SimTime t0, util::SimTime t1) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [&](const auto& e) {
+        return e.end >= t0 && e.start < t1;
+      }));
+}
+
+}  // namespace bgpbh::stream

@@ -1,0 +1,60 @@
+// Merged, time-ordered store of closed blackholing events produced by
+// the engine shards of the streaming pipeline.
+//
+// Shard workers ingest batches concurrently while the pipeline runs;
+// aggregate counters (per-provider, per-platform, total) are maintained
+// incrementally so a live alerting sink can take a consistent snapshot
+// at any time without stopping the workers.  After the pipeline
+// finishes, finalize() sorts the merged set into the canonical event
+// order (core::canonical_less) — the representation in which a sharded
+// run is byte-comparable to a sequential one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/events.h"
+
+namespace bgpbh::stream {
+
+class EventStore {
+ public:
+  // Consistent view of the aggregate counters at one instant.
+  struct Snapshot {
+    std::size_t total_events = 0;
+    util::SimTime first_start = 0;  // min start over ingested events
+    util::SimTime last_end = 0;     // max end over ingested events
+    std::map<core::ProviderRef, std::size_t> per_provider;
+    std::map<routing::Platform, std::size_t> per_platform;
+  };
+
+  // Thread-safe: called by shard workers with drained closed events.
+  void ingest(std::vector<core::PeerEvent> events);
+
+  // Sorts the merged set canonically.  Call once all workers stopped.
+  void finalize();
+  bool finalized() const;
+
+  // ---- queries ----------------------------------------------------------
+  std::size_t size() const;
+  Snapshot snapshot() const;
+  // Events overlapping [t0, t1) (same overlap rule as Study::events_in).
+  std::vector<core::PeerEvent> events_in(util::SimTime t0,
+                                         util::SimTime t1) const;
+  std::size_t count_in(util::SimTime t0, util::SimTime t1) const;
+
+  // The merged event set; canonical order once finalized.  Only valid
+  // to hold the reference while no worker is ingesting.
+  const std::vector<core::PeerEvent>& events() const { return events_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<core::PeerEvent> events_;
+  Snapshot counters_;
+  bool has_any_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace bgpbh::stream

@@ -1,0 +1,101 @@
+// StreamPipeline: the live ingestion facade.
+//
+//   UpdateSource ──> ShardRouter ──> SpscQueue[i] ──> shard worker i
+//                                                     (InferenceEngine)
+//                                                          │ drain_closed()
+//                                                          v
+//                                                      EventStore
+//
+// One producer thread pulls FeedUpdates from a source (collector-fleet
+// adapter, MRT archive replay, or an in-memory batch), the router
+// splits them into per-(peer, prefix) sub-updates and pushes each onto
+// the owning shard's bounded queue (blocking when full: backpressure,
+// never drops), and N workers run private engine shards whose closed
+// events merge into a time-ordered store with a live snapshot API.
+//
+// Equivalence contract: after finish(), store().events() sorted
+// canonically is identical to what one sequential InferenceEngine
+// produces from the same update stream, for any shard count, and
+// merged_stats() equals the sequential engine's stats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bgp/mrt.h"
+#include "core/engine.h"
+#include "stream/event_store.h"
+#include "stream/shard_router.h"
+#include "stream/source.h"
+#include "stream/worker_pool.h"
+
+namespace bgpbh::stream {
+
+struct PipelineConfig {
+  std::size_t num_shards = 4;
+  // Bounded per-shard queue; a full queue blocks the producer.
+  std::size_t queue_capacity = 4096;
+  // Sub-updates a worker processes between event-store drains.
+  std::size_t drain_batch = 256;
+  core::EngineConfig engine;
+};
+
+class StreamPipeline {
+ public:
+  StreamPipeline(const dictionary::BlackholeDictionary& dictionary,
+                 const topology::Registry& registry,
+                 PipelineConfig config = {});
+  ~StreamPipeline();
+
+  // §4.2 initialization from a RIB dump; must be called before start().
+  // Entries are partitioned onto their owning shards.
+  void init_from_table_dump(routing::Platform platform,
+                            const bgp::mrt::TableDump& dump);
+
+  void start();
+
+  // Route one update into the shard queues (single producer thread).
+  // Returns false — without routing or counting the update — once the
+  // pipeline has finished; nothing is ever silently dropped.
+  bool push(const routing::FeedUpdate& update);
+
+  // Drains an entire source through push(); returns updates consumed.
+  std::uint64_t run(UpdateSource& source);
+
+  // Close the queues, join the workers, close still-open events at
+  // `end_time`, drain every shard into the store and canonical-sort it.
+  void finish(util::SimTime end_time);
+  bool finished() const { return finished_; }
+
+  // ---- queries ----------------------------------------------------------
+  EventStore& store() { return store_; }
+  const EventStore& store() const { return store_; }
+
+  // Live while running (relaxed gauges), exact after finish().
+  std::size_t open_event_count() const;
+
+  // PeerEvents emitted by finish() force-closing still-open state at
+  // end_time — the "still active at archive cut-off" gauge, in the
+  // same per-detection unit as the store's counters.
+  std::size_t open_at_finish() const { return open_at_finish_; }
+
+  // Original updates accepted via push()/run().
+  std::uint64_t updates_pushed() const { return router_.updates_routed(); }
+
+  // Shard stats folded into one EngineStats.  updates_processed counts
+  // original (pre-split) updates so the result is comparable with a
+  // sequential engine fed the same stream.  Valid after finish().
+  core::EngineStats merged_stats() const;
+
+  std::size_t num_shards() const { return pool_.num_shards(); }
+
+ private:
+  EventStore store_;
+  WorkerPool pool_;
+  ShardRouter router_;
+  bool started_ = false;
+  bool finished_ = false;
+  std::size_t open_at_finish_ = 0;
+};
+
+}  // namespace bgpbh::stream

@@ -1,0 +1,21 @@
+#include "stream/shard_router.h"
+
+#include "bgp/rib.h"
+#include "net/prefix.h"
+
+namespace bgpbh::stream {
+
+std::size_t shard_for(const bgp::PeerKey& peer, const net::Prefix& prefix,
+                      std::size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  std::size_t h =
+      net::hash_combine(bgp::PeerKeyHash{}(peer), net::PrefixHash{}(prefix));
+  // Fibonacci-style final mix: the low bits of the combined hash alone
+  // correlate with the low bits of the IPv4 host address, which would
+  // skew the shard load for dense /32 blackhole ranges.
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return h % num_shards;
+}
+
+}  // namespace bgpbh::stream

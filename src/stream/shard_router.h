@@ -1,0 +1,74 @@
+// Shard routing for the streaming pipeline.
+//
+// Engine state is keyed by (BGP peer, prefix) and every transition —
+// open, implicit close, explicit close — touches exactly one key, so
+// partitioning keys across shards by hash preserves the sequential
+// engine's semantics exactly.  An UPDATE message may carry several
+// prefixes whose keys hash to different shards; the router therefore
+// splits each observed update into single-prefix sub-updates and
+// routes each to the shard owning its key.  Within one update,
+// withdrawn prefixes are emitted before announced ones (the order the
+// sequential engine processes them in), and the SPSC queues are FIFO,
+// so the per-key transition order is identical to sequential replay.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/rib.h"
+#include "routing/collectors.h"
+
+namespace bgpbh::stream {
+
+// Deterministic shard assignment for a (peer, prefix) state key.
+std::size_t shard_for(const bgp::PeerKey& peer, const net::Prefix& prefix,
+                      std::size_t num_shards);
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t num_shards) : num_shards_(num_shards) {}
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  // Original (pre-split) updates seen; the pipeline reports this as
+  // updates_processed so merged stats match the sequential engine's.
+  std::uint64_t updates_routed() const { return updates_routed_; }
+
+  // Splits `fu` into single-prefix sub-updates and calls
+  // emit(shard_index, sub_update) for each.  Withdrawals first.
+  template <typename Emit>
+  void route(const routing::FeedUpdate& fu, Emit&& emit) {
+    ++updates_routed_;
+    bgp::PeerKey peer{fu.update.peer_ip, fu.update.peer_asn};
+    for (const auto& prefix : fu.update.body.withdrawn) {
+      routing::FeedUpdate sub = base_of(fu);
+      sub.update.body.withdrawn.push_back(prefix);
+      emit(shard_for(peer, prefix, num_shards_), std::move(sub));
+    }
+    for (const auto& prefix : fu.update.body.announced) {
+      routing::FeedUpdate sub = base_of(fu);
+      sub.update.body.announced.push_back(prefix);
+      sub.update.body.as_path = fu.update.body.as_path;
+      sub.update.body.communities = fu.update.body.communities;
+      sub.update.body.next_hop = fu.update.body.next_hop;
+      sub.update.body.origin = fu.update.body.origin;
+      emit(shard_for(peer, prefix, num_shards_), std::move(sub));
+    }
+  }
+
+ private:
+  // Collector metadata shared by every sub-update of one update.
+  static routing::FeedUpdate base_of(const routing::FeedUpdate& fu) {
+    routing::FeedUpdate sub;
+    sub.platform = fu.platform;
+    sub.update.time = fu.update.time;
+    sub.update.peer_ip = fu.update.peer_ip;
+    sub.update.peer_asn = fu.update.peer_asn;
+    sub.update.collector_id = fu.update.collector_id;
+    return sub;
+  }
+
+  std::size_t num_shards_;
+  std::uint64_t updates_routed_ = 0;
+};
+
+}  // namespace bgpbh::stream

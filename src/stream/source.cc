@@ -1,0 +1,82 @@
+#include "stream/source.h"
+
+#include <algorithm>
+
+#include "bgp/mrt.h"
+
+namespace bgpbh::stream {
+
+std::optional<routing::FeedUpdate> VectorSource::next() {
+  if (pos_ >= updates_.size()) return std::nullopt;
+  return updates_[pos_++];
+}
+
+std::optional<MrtFileSource> MrtFileSource::open(const std::string& path,
+                                                 routing::Platform platform) {
+  auto bytes = bgp::mrt::read_file(path);
+  if (!bytes) return std::nullopt;
+  return from_buffer(*bytes, platform);
+}
+
+std::optional<MrtFileSource> MrtFileSource::from_buffer(
+    std::span<const std::uint8_t> data, routing::Platform platform) {
+  auto updates = bgp::mrt::decode_updates(data);
+  if (!updates) return std::nullopt;
+  std::stable_sort(updates->begin(), updates->end(),
+                   [](const bgp::ObservedUpdate& a,
+                      const bgp::ObservedUpdate& b) { return a.time < b.time; });
+  MrtFileSource source;
+  source.platform_ = platform;
+  source.updates_ = std::move(*updates);
+  return source;
+}
+
+std::optional<routing::FeedUpdate> MrtFileSource::next() {
+  if (pos_ >= updates_.size()) return std::nullopt;
+  routing::FeedUpdate fu;
+  fu.platform = platform_;
+  fu.update = updates_[pos_++];
+  return fu;
+}
+
+FleetSource::FleetSource(const routing::CollectorFleet& fleet,
+                         routing::PropagationEngine& propagation,
+                         std::vector<workload::Episode> episodes,
+                         util::SimTime window_end)
+    : fleet_(fleet),
+      propagation_(propagation),
+      episodes_(std::move(episodes)),
+      window_end_(window_end) {}
+
+void FleetSource::refill() {
+  while (buffer_.empty() && episode_pos_ < episodes_.size()) {
+    const workload::Episode& episode = episodes_[episode_pos_++];
+    routing::BlackholeAnnouncement ann = episode.announcement(episode.start);
+    auto prop = propagation_.propagate_blackhole(ann);
+    for (const auto& period : episode.on_periods) {
+      // Same clamping as Study::run: nothing is stamped past the window.
+      if (period.start >= window_end_ - 30) break;
+      util::SimTime period_end = std::min(period.end, window_end_ - 20);
+      if (period_end <= period.start) continue;
+      ann.time = period.start;
+      for (auto& u : fleet_.observe_announcement(prop, ann, propagation_)) {
+        buffer_.push_back(std::move(u));
+      }
+      for (auto& u : fleet_.observe_withdrawal(prop, ann, propagation_,
+                                               period_end,
+                                               period.explicit_withdrawal)) {
+        buffer_.push_back(std::move(u));
+      }
+    }
+  }
+}
+
+std::optional<routing::FeedUpdate> FleetSource::next() {
+  if (buffer_.empty()) refill();
+  if (buffer_.empty()) return std::nullopt;
+  routing::FeedUpdate fu = std::move(buffer_.front());
+  buffer_.pop_front();
+  return fu;
+}
+
+}  // namespace bgpbh::stream

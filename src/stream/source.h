@@ -1,0 +1,101 @@
+// Update sources for the streaming pipeline: where live FeedUpdates
+// come from before they hit the shard router.
+//
+// Three implementations cover the deployment modes of §4.2 continuous
+// monitoring:
+//   * VectorSource     — replays an in-memory batch (tests, benches,
+//                        Study::replay_updates()).
+//   * MrtFileSource    — replays a collector archive file of BGP4MP
+//                        records, tagged with the platform the archive
+//                        came from (the RIS/RouteViews archive case).
+//   * FleetSource      — adapter over routing::CollectorFleet: walks
+//                        blackholing episodes, propagates each through
+//                        the AS topology and yields the updates every
+//                        collector platform records, episode by episode
+//                        (the live simulation case).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "routing/collectors.h"
+#include "routing/propagation.h"
+#include "workload/scenario.h"
+
+namespace bgpbh::stream {
+
+// Pull interface: next() returns updates in feed order until nullopt.
+class UpdateSource {
+ public:
+  virtual ~UpdateSource() = default;
+  virtual std::optional<routing::FeedUpdate> next() = 0;
+};
+
+class VectorSource : public UpdateSource {
+ public:
+  explicit VectorSource(std::vector<routing::FeedUpdate> updates)
+      : updates_(std::move(updates)) {}
+
+  std::optional<routing::FeedUpdate> next() override;
+  std::size_t remaining() const { return updates_.size() - pos_; }
+
+ private:
+  std::vector<routing::FeedUpdate> updates_;
+  std::size_t pos_ = 0;
+};
+
+// Replays the BGP4MP update records of one MRT archive, time-sorted,
+// each stamped with the platform the archive belongs to.  The whole
+// archive is decoded up front (MRT framing is not resumable mid-read),
+// then streamed out one update at a time.
+class MrtFileSource : public UpdateSource {
+ public:
+  static std::optional<MrtFileSource> open(const std::string& path,
+                                           routing::Platform platform);
+  static std::optional<MrtFileSource> from_buffer(
+      std::span<const std::uint8_t> data, routing::Platform platform);
+
+  std::optional<routing::FeedUpdate> next() override;
+  std::size_t total_updates() const { return updates_.size(); }
+
+ private:
+  MrtFileSource() = default;
+  routing::Platform platform_ = routing::Platform::kRis;
+  std::vector<bgp::ObservedUpdate> updates_;
+  std::size_t pos_ = 0;
+};
+
+// Adapter over the collector fleet: yields, lazily per episode, the
+// updates all platforms record for a sequence of blackholing episodes.
+// Announcement and withdrawal observations of one ON-period are
+// buffered together, so the per-key ordering the engine relies on is
+// respected.  Propagation results are computed on demand against the
+// caller's PropagationEngine (shared route-tree cache).
+class FleetSource : public UpdateSource {
+ public:
+  FleetSource(const routing::CollectorFleet& fleet,
+              routing::PropagationEngine& propagation,
+              std::vector<workload::Episode> episodes,
+              util::SimTime window_end);
+
+  std::optional<routing::FeedUpdate> next() override;
+  std::size_t episodes_consumed() const { return episode_pos_; }
+
+ private:
+  void refill();
+
+  const routing::CollectorFleet& fleet_;
+  routing::PropagationEngine& propagation_;
+  std::vector<workload::Episode> episodes_;
+  util::SimTime window_end_;
+  std::size_t episode_pos_ = 0;
+  std::deque<routing::FeedUpdate> buffer_;
+};
+
+}  // namespace bgpbh::stream

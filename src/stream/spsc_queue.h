@@ -1,0 +1,145 @@
+// Bounded single-producer/single-consumer queue connecting the shard
+// router (producer side of the streaming pipeline) to one engine-shard
+// worker.
+//
+// Design: a fixed ring buffer with atomic head/tail indices.  The
+// uncontended transfer path is a plain load/store pair — no lock, no
+// notify.  The mutex + condition variables exist only for the
+// *blocking* edges: a full queue parks the producer (backpressure:
+// updates are never dropped, the source is throttled instead, matching
+// how a BGP feed socket would push back) and an empty queue parks the
+// consumer.  Each side advertises that it is about to park via a
+// waiter flag, so the peer pays for the lock + notify only when
+// someone may actually be asleep.  The flag store / index re-check on
+// the parking side and the index publish / flag check on the waking
+// side are separated by seq_cst fences (Dekker pattern): whichever
+// fence comes first in the total order, either the parker sees the
+// published index and never sleeps, or the waker sees the flag and
+// notifies under the mutex — no lost wakeup.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace bgpbh::stream {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity), buf_(capacity_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Blocks while the queue is full; returns false iff the queue was
+  // closed (the item is then not enqueued).  Producer thread only.
+  bool push(T item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (tail - head_.load(std::memory_order_acquire) < capacity_) break;
+      std::unique_lock<std::mutex> lock(mu_);
+      producer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (closed_.load(std::memory_order_acquire) ||
+          tail - head_.load(std::memory_order_acquire) < capacity_) {
+        producer_waiting_.store(false, std::memory_order_relaxed);
+        if (closed_.load(std::memory_order_acquire)) return false;
+        break;
+      }
+      not_full_.wait(lock);
+      producer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    buf_[tail % capacity_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    std::size_t occupancy = tail + 1 - head_.load(std::memory_order_acquire);
+    if (occupancy > peak_size_.load(std::memory_order_relaxed)) {
+      peak_size_.store(occupancy, std::memory_order_relaxed);
+    }
+    wake(consumer_waiting_, not_empty_);
+    return true;
+  }
+
+  // Blocks while the queue is empty; returns nullopt once the queue is
+  // closed AND fully drained.  Consumer thread only.
+  std::optional<T> pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (tail_.load(std::memory_order_acquire) != head) break;
+      if (closed_.load(std::memory_order_acquire)) {
+        if (tail_.load(std::memory_order_acquire) != head) break;
+        return std::nullopt;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (tail_.load(std::memory_order_acquire) != head ||
+          closed_.load(std::memory_order_acquire)) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        if (tail_.load(std::memory_order_acquire) != head) break;
+        return std::nullopt;
+      }
+      not_empty_.wait(lock);
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    T item = std::move(buf_[head % capacity_]);
+    head_.store(head + 1, std::memory_order_release);
+    wake(producer_waiting_, not_full_);
+    return item;
+  }
+
+  // End of stream: pending items remain poppable, further pushes fail.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_.store(true, std::memory_order_release);
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Approximate occupancy (exact when producer and consumer are idle).
+  std::size_t size() const {
+    std::size_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  // High-water mark of occupancy; proves the bound held under load.
+  std::size_t peak_size() const {
+    return peak_size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Notify the peer only if it advertised that it may be parked.  The
+  // fence pairs with the one the parking side executes between setting
+  // its flag and re-checking the indices.
+  void wake(std::atomic<bool>& waiting, std::condition_variable& cv) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting.load(std::memory_order_relaxed)) {
+      { std::lock_guard<std::mutex> lock(mu_); }
+      cv.notify_one();
+    }
+  }
+
+  const std::size_t capacity_;
+  std::vector<T> buf_;
+  std::atomic<std::size_t> head_{0};  // next slot to pop
+  std::atomic<std::size_t> tail_{0};  // next slot to fill
+  std::atomic<std::size_t> peak_size_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> producer_waiting_{false};
+  std::atomic<bool> consumer_waiting_{false};
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+};
+
+}  // namespace bgpbh::stream

@@ -1,0 +1,93 @@
+#include "stream/worker_pool.h"
+
+namespace bgpbh::stream {
+
+WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
+                       const topology::Registry& registry,
+                       core::EngineConfig engine_config,
+                       std::size_t num_shards, std::size_t queue_capacity,
+                       std::size_t drain_batch, EventStore& store)
+    : drain_batch_(drain_batch == 0 ? 1 : drain_batch), store_(store) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<core::InferenceEngine>(
+        dictionary, registry, engine_config);
+    shard->queue =
+        std::make_unique<SpscQueue<routing::FeedUpdate>>(queue_capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+WorkerPool::~WorkerPool() { close_and_join(); }
+
+core::InferenceEngine& WorkerPool::engine(std::size_t shard) {
+  return *shards_.at(shard)->engine;
+}
+
+const core::InferenceEngine& WorkerPool::engine(std::size_t shard) const {
+  return *shards_.at(shard)->engine;
+}
+
+void WorkerPool::start() {
+  // Refuse after shutdown: the queues are closed, and threads spawned
+  // now could never be joined again.
+  if (started_.load() || joined_.load()) return;
+  started_.store(true);
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, &shard = *shard] { worker_loop(shard); });
+  }
+}
+
+bool WorkerPool::submit(std::size_t shard, routing::FeedUpdate update) {
+  return shards_.at(shard)->queue->push(std::move(update));
+}
+
+void WorkerPool::worker_loop(Shard& shard) {
+  std::size_t since_drain = 0;
+  while (auto update = shard.queue->pop()) {
+    shard.engine->process(update->platform, update->update);
+    shard.open_gauge.store(shard.engine->open_event_count(),
+                           std::memory_order_relaxed);
+    shard.processed.fetch_add(1, std::memory_order_relaxed);
+    if (++since_drain >= drain_batch_) {
+      store_.ingest(shard.engine->drain_closed());
+      since_drain = 0;
+    }
+  }
+  store_.ingest(shard.engine->drain_closed());
+}
+
+void WorkerPool::close_and_join() {
+  if (joined_.exchange(true)) return;
+  for (auto& shard : shards_) shard->queue->close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  all_joined_.store(true, std::memory_order_release);
+}
+
+std::size_t WorkerPool::open_event_count() const {
+  // Engines may only be read directly while no worker can touch them:
+  // before start(), or after every thread has actually been joined.
+  // In between (including mid-shutdown) use the published gauges.
+  bool direct = !started_.load(std::memory_order_acquire) ||
+                all_joined_.load(std::memory_order_acquire);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += direct ? shard->engine->open_event_count()
+                    : shard->open_gauge.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t WorkerPool::processed_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->processed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace bgpbh::stream

@@ -1,0 +1,80 @@
+// Worker pool: N engine shards, each a thread consuming single-prefix
+// sub-updates from its own bounded SPSC queue and running a private
+// core::InferenceEngine over the (peer, prefix) keys it owns.
+//
+// Workers drain their engine's closed events into the shared EventStore
+// every `drain_batch` processed sub-updates (and once more on exit), so
+// no shard buffer grows with the lifetime of the stream, and publish a
+// per-shard open-event gauge after every update for live snapshots.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "routing/collectors.h"
+#include "stream/event_store.h"
+#include "stream/spsc_queue.h"
+
+namespace bgpbh::stream {
+
+class WorkerPool {
+ public:
+  WorkerPool(const dictionary::BlackholeDictionary& dictionary,
+             const topology::Registry& registry,
+             core::EngineConfig engine_config, std::size_t num_shards,
+             std::size_t queue_capacity, std::size_t drain_batch,
+             EventStore& store);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  // The shard's private engine.  Before start() and after
+  // close_and_join() the caller may use it freely (table-dump init,
+  // finish, stats); while workers run, only the owning worker may.
+  core::InferenceEngine& engine(std::size_t shard);
+  const core::InferenceEngine& engine(std::size_t shard) const;
+
+  void start();
+  bool started() const { return started_.load(std::memory_order_acquire); }
+
+  // Blocking enqueue onto the shard's queue (producer thread only).
+  // Returns false if the pool was already shut down.
+  bool submit(std::size_t shard, routing::FeedUpdate update);
+
+  // Close all queues, wait for every worker to drain and exit.
+  void close_and_join();
+
+  // Live gauge: open events summed over shards (relaxed reads of the
+  // per-shard gauges workers publish after each update).
+  std::size_t open_event_count() const;
+
+  // Sub-updates consumed by all workers so far.
+  std::uint64_t processed_count() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<core::InferenceEngine> engine;
+    std::unique_ptr<SpscQueue<routing::FeedUpdate>> queue;
+    std::thread thread;
+    std::atomic<std::size_t> open_gauge{0};
+    std::atomic<std::uint64_t> processed{0};
+  };
+
+  void worker_loop(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t drain_batch_;
+  EventStore& store_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> joined_{false};      // shutdown initiated
+  std::atomic<bool> all_joined_{false};  // worker threads actually joined
+};
+
+}  // namespace bgpbh::stream

@@ -1,0 +1,399 @@
+// Tests for the streaming ingestion subsystem (src/stream/):
+//   * SPSC queue FIFO/close semantics and producer backpressure (a full
+//     bounded queue blocks, never drops),
+//   * shard routing: per-prefix splitting, key affinity, determinism,
+//   * event store snapshot and window queries,
+//   * the equivalence contract: the sharded pipeline produces the exact
+//     canonical event set and merged stats of a sequential engine, for
+//     any shard count, on a Study-generated workload.
+#include "stream/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/study.h"
+#include "stream/source.h"
+#include "stream/spsc_queue.h"
+
+namespace bgpbh::stream {
+namespace {
+
+using core::EngineStats;
+using core::PeerEvent;
+using routing::FeedUpdate;
+using routing::Platform;
+
+// ---- SpscQueue --------------------------------------------------------
+
+TEST(SpscQueue, FifoOrderAndCloseSemantics) {
+  SpscQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  q.close();
+  EXPECT_FALSE(q.push(4));     // rejected after close...
+  EXPECT_EQ(q.pop(), 3);       // ...but the backlog still drains
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(SpscQueue, BackpressureBlocksProducerInsteadOfDropping) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr int kTotal = 64;
+  SpscQueue<int> q(kCapacity);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kTotal; ++i) {
+      EXPECT_TRUE(q.push(i));
+      pushed.fetch_add(1);
+    }
+  });
+  // However long the producer runs, it can never get more than
+  // kCapacity ahead of the (still idle) consumer: the bound is
+  // structural, the sleep only gives the producer time to hit it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(pushed.load(), static_cast<int>(kCapacity));
+
+  std::vector<int> got;
+  for (int i = 0; i < kTotal; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    got.push_back(*v);
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), kTotal);           // nothing dropped
+  EXPECT_LE(q.peak_size(), kCapacity);        // bound held throughout
+  for (int i = 0; i < kTotal; ++i) EXPECT_EQ(got[i], i);  // FIFO
+}
+
+// ---- helpers ----------------------------------------------------------
+
+FeedUpdate make_update(Platform platform, const char* peer_ip,
+                       bgp::Asn peer_asn,
+                       std::initializer_list<const char*> announced,
+                       std::initializer_list<const char*> withdrawn,
+                       util::SimTime t = 100) {
+  FeedUpdate fu;
+  fu.platform = platform;
+  fu.update.time = t;
+  fu.update.peer_ip = *net::IpAddr::parse(peer_ip);
+  fu.update.peer_asn = peer_asn;
+  for (const char* p : announced) {
+    fu.update.body.announced.push_back(*net::Prefix::parse(p));
+  }
+  for (const char* p : withdrawn) {
+    fu.update.body.withdrawn.push_back(*net::Prefix::parse(p));
+  }
+  fu.update.body.as_path = bgp::AsPath::of({200, 400});
+  fu.update.body.communities.add(bgp::Community(200, 666));
+  return fu;
+}
+
+// ---- ShardRouter ------------------------------------------------------
+
+TEST(ShardRouter, SplitsPerPrefixWithdrawalsFirst) {
+  ShardRouter router(4);
+  FeedUpdate fu = make_update(Platform::kRis, "198.51.100.1", 200,
+                              {"20.0.1.1/32", "20.0.1.2/32"}, {"20.0.1.3/32"});
+  std::vector<std::pair<std::size_t, FeedUpdate>> routed;
+  router.route(fu, [&](std::size_t shard, FeedUpdate sub) {
+    routed.emplace_back(shard, std::move(sub));
+  });
+  ASSERT_EQ(routed.size(), 3u);
+  EXPECT_EQ(router.updates_routed(), 1u);
+
+  // Withdrawal first, then the announcements in order.
+  EXPECT_EQ(routed[0].second.update.body.withdrawn.size(), 1u);
+  EXPECT_TRUE(routed[0].second.update.body.announced.empty());
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(routed[i].second.update.body.announced.size(), 1u);
+    EXPECT_TRUE(routed[i].second.update.body.withdrawn.empty());
+    // Announced sub-updates carry the full route attributes.
+    EXPECT_EQ(routed[i].second.update.body.as_path, fu.update.body.as_path);
+    EXPECT_EQ(routed[i].second.update.body.communities,
+              fu.update.body.communities);
+  }
+  // Every sub-update keeps the collector metadata and lands on the
+  // shard owning its (peer, prefix) key.
+  bgp::PeerKey peer{fu.update.peer_ip, fu.update.peer_asn};
+  EXPECT_EQ(routed[0].first,
+            shard_for(peer, fu.update.body.withdrawn[0], 4));
+  EXPECT_EQ(routed[1].first,
+            shard_for(peer, fu.update.body.announced[0], 4));
+  for (const auto& [shard, sub] : routed) {
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(sub.platform, fu.platform);
+    EXPECT_EQ(sub.update.time, fu.update.time);
+    EXPECT_EQ(sub.update.peer_ip, fu.update.peer_ip);
+    EXPECT_EQ(sub.update.peer_asn, fu.update.peer_asn);
+  }
+}
+
+TEST(ShardRouter, ShardAssignmentIsDeterministicAndSingleShardIsZero) {
+  bgp::PeerKey peer{*net::IpAddr::parse("198.51.100.1"), 200};
+  net::Prefix prefix = *net::Prefix::parse("20.0.1.1/32");
+  EXPECT_EQ(shard_for(peer, prefix, 8), shard_for(peer, prefix, 8));
+  EXPECT_EQ(shard_for(peer, prefix, 1), 0u);
+  // Different keys spread: at least two of a batch of host routes land
+  // on different shards (sanity, not a distribution test).
+  std::set<std::size_t> seen;
+  for (std::uint32_t host = 0; host < 64; ++host) {
+    net::Prefix p(net::Ipv4Addr(0x14000000u + host), 32);
+    seen.insert(shard_for(peer, p, 8));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+// ---- EventStore -------------------------------------------------------
+
+PeerEvent make_event(bgp::Asn provider_asn, Platform platform,
+                     util::SimTime start, util::SimTime end) {
+  PeerEvent e;
+  e.platform = platform;
+  e.peer = {*net::IpAddr::parse("198.51.100.1"), 200};
+  e.prefix = *net::Prefix::parse("20.0.1.1/32");
+  e.provider = {.is_ixp = false, .asn = provider_asn, .ixp_id = 0};
+  e.start = start;
+  e.end = end;
+  e.open = false;
+  return e;
+}
+
+TEST(EventStore, SnapshotCountersAndWindowQueries) {
+  EventStore store;
+  store.ingest({make_event(200, Platform::kRis, 100, 200),
+                make_event(200, Platform::kCdn, 150, 300)});
+  store.ingest({make_event(300, Platform::kRis, 400, 500)});
+
+  auto snap = store.snapshot();
+  EXPECT_EQ(snap.total_events, 3u);
+  EXPECT_EQ(snap.first_start, 100);
+  EXPECT_EQ(snap.last_end, 500);
+  EXPECT_EQ(snap.per_provider.at({.is_ixp = false, .asn = 200, .ixp_id = 0}),
+            2u);
+  EXPECT_EQ(snap.per_platform.at(Platform::kRis), 2u);
+
+  EXPECT_EQ(store.count_in(0, 1000), 3u);
+  EXPECT_EQ(store.count_in(350, 1000), 1u);
+  EXPECT_EQ(store.events_in(120, 160).size(), 2u);
+
+  store.finalize();
+  const auto& events = store.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             core::canonical_less));
+}
+
+// ---- MrtFileSource ----------------------------------------------------
+
+TEST(MrtFileSource, ReplaysTimeSortedTaggedUpdates) {
+  net::BufWriter archive;
+  for (util::SimTime t : {300, 100, 200}) {
+    bgp::ObservedUpdate u;
+    u.time = t;
+    u.peer_ip = *net::IpAddr::parse("198.51.100.1");
+    u.peer_asn = 200;
+    u.body.announced.push_back(*net::Prefix::parse("20.0.1.1/32"));
+    u.body.as_path = bgp::AsPath::of({200, 400});
+    bgp::mrt::encode_update(u, archive);
+  }
+  auto source = MrtFileSource::from_buffer(archive.data(), Platform::kPch);
+  ASSERT_TRUE(source.has_value());
+  EXPECT_EQ(source->total_updates(), 3u);
+  util::SimTime last = 0;
+  std::size_t n = 0;
+  while (auto fu = source->next()) {
+    EXPECT_EQ(fu->platform, Platform::kPch);
+    EXPECT_GE(fu->update.time, last);
+    last = fu->update.time;
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+}
+
+// ---- engine drain API -------------------------------------------------
+
+// Study fixture shared by the equivalence suite: a short window at
+// bench intensity, its replay stream computed once.
+struct StudyFixture {
+  core::StudyConfig config;
+  std::unique_ptr<core::Study> study;
+  std::vector<FeedUpdate> updates;
+
+  StudyFixture() {
+    config.window_start = util::from_date(2017, 3, 1);
+    config.window_end = util::from_date(2017, 3, 4);
+    config.workload.intensity_scale = 0.05;
+    config.table_dump_episodes = 10;
+    study = std::make_unique<core::Study>(config);
+    updates = study->replay_updates();
+  }
+};
+
+StudyFixture& fixture() {
+  static StudyFixture f;
+  return f;
+}
+
+TEST(EngineDrain, DrainClosedIsIncrementalAndEmpties) {
+  auto& f = fixture();
+  // Pick a documented unambiguous ISP community from the dictionary.
+  bgp::Community community;
+  bgp::Asn provider = 0;
+  for (const auto& [c, entry] : f.study->dictionary().entries()) {
+    if (entry.provider_asns.size() == 1 && entry.ixp_ids.empty()) {
+      community = c;
+      provider = entry.provider_asns[0];
+      break;
+    }
+  }
+  ASSERT_NE(provider, 0u);
+
+  core::InferenceEngine engine(f.study->dictionary(), f.study->registry());
+  FeedUpdate open = make_update(Platform::kRis, "198.51.100.9", provider,
+                                {"130.149.1.1/32"}, {}, 100);
+  open.update.body.as_path = bgp::AsPath::of({provider, 64500});
+  open.update.body.communities = {};
+  open.update.body.communities.add(community);
+  engine.process(open.platform, open.update);
+  EXPECT_TRUE(engine.drain_closed().empty());  // nothing closed yet
+
+  FeedUpdate close = make_update(Platform::kRis, "198.51.100.9", provider, {},
+                                 {"130.149.1.1/32"}, 200);
+  engine.process(close.platform, close.update);
+  auto drained = engine.drain_closed();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].provider.asn, provider);
+  EXPECT_TRUE(engine.events().empty());        // drain emptied the buffer
+  EXPECT_TRUE(engine.drain_closed().empty());  // second drain: nothing new
+}
+
+// ---- pipeline equivalence --------------------------------------------
+
+std::vector<PeerEvent> sequential_events(EngineStats* stats_out) {
+  auto& f = fixture();
+  core::InferenceEngine engine(f.study->dictionary(), f.study->registry());
+  if (auto dump = f.study->initial_table_dump()) {
+    engine.init_from_table_dump(Platform::kRis, *dump);
+  }
+  for (const auto& u : f.updates) engine.process(u.platform, u.update);
+  engine.finish(f.config.window_end);
+  if (stats_out) *stats_out = engine.stats();
+  std::vector<PeerEvent> events = engine.events();
+  core::canonical_sort(events);
+  return events;
+}
+
+std::vector<PeerEvent> pipeline_events(std::size_t shards,
+                                       EngineStats* stats_out) {
+  auto& f = fixture();
+  PipelineConfig config;
+  config.num_shards = shards;
+  config.queue_capacity = 64;  // small bound: exercises backpressure
+  config.drain_batch = 32;
+  StreamPipeline pipeline(f.study->dictionary(), f.study->registry(), config);
+  if (auto dump = f.study->initial_table_dump()) {
+    pipeline.init_from_table_dump(Platform::kRis, *dump);
+  }
+  VectorSource source(f.updates);
+  pipeline.run(source);
+  pipeline.finish(f.config.window_end);
+  if (stats_out) *stats_out = pipeline.merged_stats();
+  EXPECT_EQ(pipeline.open_event_count(), 0u);  // finish closed everything
+  return pipeline.store().events();
+}
+
+TEST(StreamPipeline, ShardedPipelineMatchesSequentialEngine) {
+  EngineStats seq_stats;
+  auto seq = sequential_events(&seq_stats);
+  ASSERT_FALSE(seq.empty());
+
+  EngineStats pipe_stats;
+  auto pipe = pipeline_events(4, &pipe_stats);
+  ASSERT_EQ(seq.size(), pipe.size());
+  EXPECT_TRUE(seq == pipe);  // canonical order, all fields compared
+  EXPECT_EQ(seq_stats, pipe_stats);
+}
+
+TEST(StreamPipeline, DeterministicAcrossShardCounts) {
+  EngineStats stats1, stats8;
+  auto events1 = pipeline_events(1, &stats1);
+  auto events8 = pipeline_events(8, &stats8);
+  ASSERT_FALSE(events1.empty());
+  EXPECT_TRUE(events1 == events8);
+  EXPECT_EQ(stats1, stats8);
+}
+
+TEST(StreamPipeline, ReplayStreamMatchesStudyRun) {
+  auto& f = fixture();
+  f.study->run();
+  std::vector<PeerEvent> from_study = f.study->events();
+  core::canonical_sort(from_study);
+
+  EngineStats seq_stats;
+  auto seq = sequential_events(&seq_stats);
+  EXPECT_TRUE(from_study == seq);
+  EXPECT_EQ(f.study->engine_stats(), seq_stats);
+}
+
+TEST(StreamPipeline, StoreSnapshotConsistentAfterFinish) {
+  auto& f = fixture();
+  PipelineConfig config;
+  config.num_shards = 2;
+  StreamPipeline pipeline(f.study->dictionary(), f.study->registry(), config);
+  VectorSource source(f.updates);
+  pipeline.run(source);
+  pipeline.finish(f.config.window_end);
+
+  auto snap = pipeline.store().snapshot();
+  EXPECT_EQ(snap.total_events, pipeline.store().size());
+  std::size_t platform_sum = 0;
+  for (const auto& [platform, n] : snap.per_platform) platform_sum += n;
+  EXPECT_EQ(platform_sum, snap.total_events);
+  EXPECT_EQ(pipeline.store().count_in(0, f.config.window_end + 1),
+            snap.total_events);
+  EXPECT_EQ(pipeline.updates_pushed(), f.updates.size());
+
+  // After finish() the pipeline rejects — and does not count — pushes.
+  EXPECT_FALSE(pipeline.push(f.updates.front()));
+  EXPECT_EQ(pipeline.updates_pushed(), f.updates.size());
+}
+
+// ---- FleetSource ------------------------------------------------------
+
+TEST(FleetSource, StreamsEpisodeObservationsThroughPipeline) {
+  auto& f = fixture();
+  workload::WorkloadGenerator workload(f.study->graph(), f.study->cones(),
+                                       f.config.workload);
+  routing::PropagationEngine propagation(f.study->graph(), f.study->cones(),
+                                         f.config.seed ^ 0xABCDULL);
+  std::vector<workload::Episode> episodes;
+  std::int64_t first_day = util::day_index(f.config.window_start);
+  std::int64_t last_day = util::day_index(f.config.window_end);
+  for (std::int64_t day = first_day; day < last_day; ++day) {
+    for (auto& e : workload.episodes_for_day(day)) {
+      episodes.push_back(std::move(e));
+    }
+  }
+  ASSERT_FALSE(episodes.empty());
+
+  FleetSource source(f.study->fleet(), propagation, episodes,
+                     f.config.window_end);
+  PipelineConfig config;
+  config.num_shards = 2;
+  StreamPipeline pipeline(f.study->dictionary(), f.study->registry(), config);
+  std::uint64_t consumed = pipeline.run(source);
+  pipeline.finish(f.config.window_end);
+  EXPECT_EQ(source.episodes_consumed(), episodes.size());
+  EXPECT_GT(consumed, 0u);
+  EXPECT_GT(pipeline.store().size(), 0u);
+}
+
+}  // namespace
+}  // namespace bgpbh::stream

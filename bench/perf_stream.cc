@@ -1,6 +1,6 @@
 // Streaming-pipeline throughput: updates/sec through the sharded live
-// ingestion path (source -> shard router -> SPSC queues -> engine
-// shards -> event store) at 1, 2, 4 and 8 shards, against the
+// ingestion path (source -> shard router -> batched SPSC queues ->
+// engine shards -> event store) at 1, 2, 4 and 8 shards, against the
 // sequential single-engine replay as baseline.
 //
 // The §4.2 monitoring problem is embarrassingly parallel in the
@@ -8,10 +8,19 @@
 // into wall-clock throughput on multi-core hardware (on a single
 // hardware thread the shard counts collapse to roughly the baseline,
 // minus queue overhead).  Every configuration is checked against the
-// sequential event set before its numbers are reported.
+// sequential event set before its numbers are reported, and all
+// results are written to BENCH_stream.json — the perf trajectory every
+// PR is measured against.
+//
+//   perf_stream [--smoke] [--out <path>]
+//
+// --smoke shrinks the workload and runs only 1 and 4 shards (CI).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/study.h"
 #include "stream/pipeline.h"
@@ -26,13 +35,33 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+struct ShardResult {
+  std::size_t shards = 0;
+  double rate = 0;
+  double speedup_vs_sequential = 0;
+  bool events_identical = false;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_stream [--smoke] [--out <path>]\n");
+      return 2;
+    }
+  }
+
   core::StudyConfig config;
   config.window_start = util::from_date(2017, 3, 1);
   config.window_end = util::from_date(2017, 3, 15);
-  config.workload.intensity_scale = 0.05;
+  config.workload.intensity_scale = smoke ? 0.02 : 0.05;
   config.table_dump_episodes = 0;
 
   std::printf("building study substrates + replay workload...\n");
@@ -41,7 +70,7 @@ int main() {
   // Replicate the stream a few times so per-run wall time is measurable
   // and per-update setup cost amortizes away.
   std::vector<routing::FeedUpdate> workload;
-  constexpr int kReplicas = 4;
+  const int kReplicas = smoke ? 2 : 4;
   workload.reserve(updates.size() * kReplicas);
   for (int r = 0; r < kReplicas; ++r) {
     for (const auto& u : updates) {
@@ -59,15 +88,21 @@ int main() {
   for (const auto& u : workload) engine.process(u.platform, u.update);
   engine.finish(config.window_end);
   double base_secs = seconds_since(t0);
+  double base_rate = workload.size() / base_secs;
   std::vector<core::PeerEvent> reference = engine.events();
   core::canonical_sort(reference);
   std::printf("  %-22s %10.0f updates/sec   (%zu events)\n",
-              "sequential engine", workload.size() / base_secs,
-              reference.size());
+              "sequential engine", base_rate, reference.size());
 
+  const stream::PipelineConfig defaults;
+  std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  std::vector<ShardResult> results;
+  bool all_equivalent = true;
   double one_shard_rate = 0.0;
   double best_multi_rate = 0.0;
-  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+  for (std::size_t shards : shard_counts) {
     t0 = std::chrono::steady_clock::now();
     stream::PipelineConfig pconfig;
     pconfig.num_shards = shards;
@@ -80,9 +115,14 @@ int main() {
     double rate = workload.size() / secs;
 
     bool equivalent = pipeline.store().events() == reference;
+    all_equivalent = all_equivalent && equivalent;
+    results.push_back(ShardResult{.shards = shards,
+                                  .rate = rate,
+                                  .speedup_vs_sequential = rate / base_rate,
+                                  .events_identical = equivalent});
     std::printf("  pipeline %zu shard%-3s   %10.0f updates/sec   %.2fx vs "
                 "sequential  [%s]\n",
-                shards, shards == 1 ? "" : "s", rate, rate * base_secs / workload.size(),
+                shards, shards == 1 ? "" : "s", rate, rate / base_rate,
                 equivalent ? "events identical" : "EVENT MISMATCH");
     if (shards == 1) one_shard_rate = rate;
     if (shards > 1 && rate > best_multi_rate) best_multi_rate = rate;
@@ -90,5 +130,35 @@ int main() {
 
   std::printf("\nmulti-shard best vs 1-shard pipeline: %.2fx\n",
               one_shard_rate > 0 ? best_multi_rate / one_shard_rate : 0.0);
-  return 0;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"perf_stream\",\n");
+  std::fprintf(out, "  \"workload_updates\": %zu,\n", workload.size());
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"batch_size\": %zu,\n", defaults.batch_size);
+  std::fprintf(out, "  \"queue_capacity\": %zu,\n", defaults.queue_capacity);
+  std::fprintf(out, "  \"sequential_updates_per_sec\": %.0f,\n", base_rate);
+  std::fprintf(out, "  \"events\": %zu,\n", reference.size());
+  std::fprintf(out, "  \"shard_scaling\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"shards\": %zu, \"updates_per_sec\": %.0f, "
+                 "\"speedup_vs_sequential\": %.2f, \"events_identical\": %s}%s\n",
+                 r.shards, r.rate, r.speedup_vs_sequential,
+                 r.events_identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The numbers are meaningless if the sharded pipeline diverges from
+  // the sequential engine — fail loudly (CI runs this as a smoke test).
+  return all_equivalent ? 0 : 1;
 }

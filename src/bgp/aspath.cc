@@ -17,21 +17,34 @@ AsPath AsPath::without_prepending() const {
   return AsPath(std::move(out));
 }
 
+std::size_t AsPath::unique_length() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i == 0 || hops_[i] != hops_[i - 1]) ++n;
+  }
+  return n;
+}
+
 std::optional<std::size_t> AsPath::index_of(Asn asn) const {
-  AsPath clean = without_prepending();
-  for (std::size_t i = 0; i < clean.hops_.size(); ++i) {
-    if (clean.hops_[i] == asn) return i;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0 && hops_[i] == hops_[i - 1]) continue;  // prepending
+    if (hops_[i] == asn) return idx;
+    ++idx;
   }
   return std::nullopt;
 }
 
 std::optional<Asn> AsPath::hop_before(Asn asn) const {
-  AsPath clean = without_prepending();
-  for (std::size_t i = 0; i < clean.hops_.size(); ++i) {
-    if (clean.hops_[i] == asn) {
-      if (i + 1 < clean.hops_.size()) return clean.hops_[i + 1];
-      return std::nullopt;  // provider is the origin; no user behind it
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0 && hops_[i] == hops_[i - 1]) continue;  // prepending
+    if (hops_[i] != asn) continue;
+    // The next *distinct* hop toward the origin — what the element
+    // after `asn` in the materialized prepending-free path would be.
+    for (std::size_t j = i + 1; j < hops_.size(); ++j) {
+      if (hops_[j] != asn) return hops_[j];
     }
+    return std::nullopt;  // provider is the origin; no user behind it
   }
   return std::nullopt;
 }

@@ -37,14 +37,18 @@ class AsPath {
   // required before inferring the blackholing user (§4.2).
   AsPath without_prepending() const;
 
-  // Number of unique AS hops (after removing prepending).
-  std::size_t unique_length() const { return without_prepending().length(); }
+  // Number of unique AS hops (after removing prepending).  In-place
+  // scan; never materializes the prepending-free path.
+  std::size_t unique_length() const;
 
-  // Index of `asn` in the prepending-free path, or nullopt.
+  // Index of `asn` in the prepending-free path, or nullopt.  In-place
+  // scan over the raw hops (the inference hot path calls this per
+  // candidate provider; it must not allocate).
   std::optional<std::size_t> index_of(Asn asn) const;
 
   // The AS one hop before `asn` on the prepending-free path (i.e.
   // closer to the origin) — the blackholing-user position per §4.2.
+  // In-place scan, allocation-free.
   std::optional<Asn> hop_before(Asn asn) const;
 
   void prepend(Asn asn, std::size_t times = 1);

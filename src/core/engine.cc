@@ -67,13 +67,35 @@ bool BgpCleaner::is_bogus(const net::Prefix& prefix) const {
 InferenceEngine::InferenceEngine(const dictionary::BlackholeDictionary& dictionary,
                                  const topology::Registry& registry,
                                  EngineConfig config)
-    : dictionary_(dictionary), registry_(registry), config_(config) {}
+    : dictionary_(dictionary),
+      owned_compiled_(config.use_compiled_fastpath
+                          ? dictionary::CompiledDictionary(dictionary)
+                          : dictionary::CompiledDictionary()),
+      compiled_(&owned_compiled_),
+      registry_(registry),
+      config_(config) {}
 
-std::vector<InferenceEngine::Detection> InferenceEngine::detect(
-    const bgp::PeerKey& peer, const bgp::AsPath& path,
-    const bgp::CommunitySet& communities) {
-  std::vector<Detection> out;
-  bgp::AsPath clean = path.without_prepending();
+InferenceEngine::InferenceEngine(const dictionary::BlackholeDictionary& dictionary,
+                                 const dictionary::CompiledDictionary& compiled,
+                                 const topology::Registry& registry,
+                                 EngineConfig config)
+    : dictionary_(dictionary),
+      compiled_(&compiled),
+      registry_(registry),
+      config_(config) {}
+
+bool InferenceEngine::detect(const bgp::PeerKey& peer, const bgp::AsPath& path,
+                             const bgp::CommunitySet& communities) {
+  // Fast negative path: no community even *might* be a blackhole
+  // community — a handful of bit-tests, no path work, no allocation,
+  // and (by construction of the bitset) no stats changes the full scan
+  // wouldn't also have made.
+  if (config_.use_compiled_fastpath && !compiled_->prefilter(communities)) {
+    detect_scratch_.clear();
+    return false;
+  }
+  std::vector<Detection>& out = detect_scratch_;
+  out.clear();
 
   auto add_provider = [&](ProviderRef provider, Asn user, DetectionKind kind,
                           int distance) {
@@ -89,12 +111,21 @@ std::vector<InferenceEngine::Detection> InferenceEngine::detect(
   };
 
   for (auto community : communities.classic()) {
-    const dictionary::DictEntry* entry = dictionary_.lookup(community);
-    if (!entry) continue;
+    dictionary::EntryView entry;
+    if (config_.use_compiled_fastpath) {
+      if (!compiled_->maybe_blackhole(community)) continue;
+      const dictionary::EntryView* e = compiled_->lookup(community);
+      if (!e) continue;
+      entry = *e;
+    } else {
+      const dictionary::DictEntry* e = dictionary_.lookup(community);
+      if (!e) continue;
+      entry = dictionary::EntryView{e->provider_asns, e->ixp_ids};
+    }
 
     // ---- IXP communities (65535:666 et al.) --------------------------
-    bool any_ixp_evidence = entry->ixp_ids.empty();
-    for (std::uint32_t ixp_id : entry->ixp_ids) {
+    bool any_ixp_evidence = entry.ixp_ids.empty();
+    for (std::uint32_t ixp_id : entry.ixp_ids) {
       auto rec = registry_.peeringdb_ixp(ixp_id);
       if (!rec) continue;
       ProviderRef provider{.is_ixp = true,
@@ -102,9 +133,9 @@ std::vector<InferenceEngine::Detection> InferenceEngine::detect(
                            .ixp_id = ixp_id};
       // (a) the IXP's route-server ASN appears in the AS path.  Distance
       // 0 = the collector sits at the blackholing IXP itself (Fig 7c).
-      if (auto idx = clean.index_of(rec->route_server_asn)) {
+      if (auto idx = path.index_of(rec->route_server_asn)) {
         Asn user = 0;
-        if (auto u = clean.hop_before(rec->route_server_asn)) user = *u;
+        if (auto u = path.hop_before(rec->route_server_asn)) user = *u;
         add_provider(provider, user, DetectionKind::kIxpRouteServer,
                      static_cast<int>(*idx));
         any_ixp_evidence = true;
@@ -117,7 +148,7 @@ std::vector<InferenceEngine::Detection> InferenceEngine::detect(
       if (rec->peering_lan.contains(peer.peer_ip)) {
         Asn user = peer.peer_asn;
         if (user == rec->route_server_asn) {
-          user = clean.empty() ? 0 : clean.origin();
+          user = path.empty() ? 0 : path.origin();
         }
         add_provider(provider, user, DetectionKind::kIxpPeerIp, 0);
         any_ixp_evidence = true;
@@ -127,16 +158,15 @@ std::vector<InferenceEngine::Detection> InferenceEngine::detect(
     if (!any_ixp_evidence) ++stats_.ixp_rejected;
 
     // ---- ISP communities ---------------------------------------------
-    if (entry->provider_asns.empty()) continue;
-    bool ambiguous = entry->provider_asns.size() > 1;
-    if (ambiguous && config_.require_path_evidence_for_ambiguous) {
+    if (entry.provider_asns.empty()) continue;
+    if (entry.ambiguous() && config_.require_path_evidence_for_ambiguous) {
       // e.g. 0:666 shared by multiple providers: require a candidate on
       // the path; otherwise ignore the update (§4.2).
       bool found = false;
-      for (Asn candidate : entry->provider_asns) {
-        if (auto idx = clean.index_of(candidate)) {
+      for (Asn candidate : entry.provider_asns) {
+        if (auto idx = path.index_of(candidate)) {
           Asn user = 0;
-          if (auto u = clean.hop_before(candidate)) user = *u;
+          if (auto u = path.hop_before(candidate)) user = *u;
           add_provider(ProviderRef{.is_ixp = false, .asn = candidate, .ixp_id = 0},
                        user, DetectionKind::kProviderOnPath,
                        static_cast<int>(*idx + 1));
@@ -146,17 +176,17 @@ std::vector<InferenceEngine::Detection> InferenceEngine::detect(
       if (!found) ++stats_.ambiguous_rejected;
       continue;
     }
-    for (Asn candidate : entry->provider_asns) {
+    for (Asn candidate : entry.provider_asns) {
       ProviderRef provider{.is_ixp = false, .asn = candidate, .ixp_id = 0};
-      if (auto idx = clean.index_of(candidate)) {
+      if (auto idx = path.index_of(candidate)) {
         Asn user = 0;
-        if (auto u = clean.hop_before(candidate)) user = *u;
+        if (auto u = path.hop_before(candidate)) user = *u;
         add_provider(provider, user, DetectionKind::kProviderOnPath,
                      static_cast<int>(*idx + 1));
       } else if (config_.detect_bundled) {
         // Bundled community: provider not on the path; the user is the
         // origin of the announcement (Fig 3).
-        Asn user = clean.empty() ? peer.peer_asn : clean.origin();
+        Asn user = path.empty() ? peer.peer_asn : path.origin();
         add_provider(provider, user, DetectionKind::kBundled, kNoPathDistance);
       }
     }
@@ -164,26 +194,34 @@ std::vector<InferenceEngine::Detection> InferenceEngine::detect(
 
   // ---- RFC 8092 large communities ------------------------------------
   for (auto large : communities.large()) {
-    if (auto provider_asn = dictionary_.lookup_large(large)) {
+    std::optional<Asn> provider_asn;
+    if (config_.use_compiled_fastpath) {
+      if (compiled_->maybe_blackhole(large)) {
+        provider_asn = compiled_->lookup_large(large);
+      }
+    } else {
+      provider_asn = dictionary_.lookup_large(large);
+    }
+    if (provider_asn) {
       ProviderRef provider{.is_ixp = false, .asn = *provider_asn, .ixp_id = 0};
-      if (auto idx = clean.index_of(*provider_asn)) {
+      if (auto idx = path.index_of(*provider_asn)) {
         Asn user = 0;
-        if (auto u = clean.hop_before(*provider_asn)) user = *u;
+        if (auto u = path.hop_before(*provider_asn)) user = *u;
         add_provider(provider, user, DetectionKind::kProviderOnPath,
                      static_cast<int>(*idx + 1));
       } else if (config_.detect_bundled) {
-        Asn user = clean.empty() ? peer.peer_asn : clean.origin();
+        Asn user = path.empty() ? peer.peer_asn : path.origin();
         add_provider(provider, user, DetectionKind::kBundled, kNoPathDistance);
       }
     }
   }
-  return out;
+  return !out.empty();
 }
 
 void InferenceEngine::open_event(Platform platform, const bgp::PeerKey& peer,
                                  const net::Prefix& prefix, util::SimTime time,
                                  bool from_dump,
-                                 std::vector<Detection> detections,
+                                 const std::vector<Detection>& detections,
                                  const bgp::CommunitySet& communities) {
   StateKey key{peer, prefix};
   auto it = active_.find(key);
@@ -204,7 +242,7 @@ void InferenceEngine::open_event(Platform platform, const bgp::PeerKey& peer,
   state.start = from_dump ? 0 : time;
   state.platform = platform;
   state.from_table_dump = from_dump;
-  state.detections = std::move(detections);
+  state.detections = detections;  // copy out of the reused scratch
   state.communities = communities;
   active_.emplace(key, std::move(state));
   ++stats_.events_opened;
@@ -249,10 +287,9 @@ void InferenceEngine::init_from_table_dump(Platform platform,
       ++stats_.bogons_filtered;
       continue;
     }
-    auto detections = detect(entry.peer, entry.as_path, entry.communities);
-    if (detections.empty()) continue;
+    if (!detect(entry.peer, entry.as_path, entry.communities)) continue;
     open_event(platform, entry.peer, entry.prefix, dump.time,
-               /*from_dump=*/true, std::move(detections), entry.communities);
+               /*from_dump=*/true, detect_scratch_, entry.communities);
   }
 }
 
@@ -272,10 +309,9 @@ void InferenceEngine::process(Platform platform,
       ++stats_.bogons_filtered;
       continue;
     }
-    auto detections = detect(peer, update.body.as_path, update.body.communities);
-    if (!detections.empty()) {
+    if (detect(peer, update.body.as_path, update.body.communities)) {
       open_event(platform, peer, prefix, update.time, /*from_dump=*/false,
-                 std::move(detections), update.body.communities);
+                 detect_scratch_, update.body.communities);
     } else {
       // Announcement without blackhole communities for a previously
       // blackholed prefix: implicit withdrawal (§4.2).

@@ -30,6 +30,7 @@
 
 #include "bgp/mrt.h"
 #include "core/events.h"
+#include "dictionary/compiled.h"
 #include "dictionary/dictionary.h"
 #include "net/patricia.h"
 #include "topology/registry.h"
@@ -55,6 +56,11 @@ struct EngineConfig {
   bool detect_bundled = true;
   // Ablation knob: accept ambiguous communities without path evidence.
   bool require_path_evidence_for_ambiguous = true;
+  // Query the compiled dictionary (bitset prefilter + flat arrays)
+  // instead of the std::map source dictionary.  Results are identical
+  // either way (tests/test_engine.cc proves it); the knob exists for
+  // A/B benching and as a safety hatch.
+  bool use_compiled_fastpath = true;
 };
 
 struct EngineStats {
@@ -76,6 +82,15 @@ struct EngineStats {
 class InferenceEngine {
  public:
   InferenceEngine(const dictionary::BlackholeDictionary& dictionary,
+                  const topology::Registry& registry,
+                  EngineConfig config = {});
+
+  // Shares a prebuilt compiled dictionary instead of compiling a
+  // private copy — the compiled form is immutable, so N engine shards
+  // over the same dictionary need only one.  `compiled` must be built
+  // from `dictionary` and outlive the engine.
+  InferenceEngine(const dictionary::BlackholeDictionary& dictionary,
+                  const dictionary::CompiledDictionary& compiled,
                   const topology::Registry& registry,
                   EngineConfig config = {});
 
@@ -116,23 +131,34 @@ class InferenceEngine {
     bgp::CommunitySet communities;
   };
 
-  // Runs steps 2-4 on one route; empty result = not a blackhole route.
-  std::vector<Detection> detect(const bgp::PeerKey& peer,
-                                const bgp::AsPath& path,
-                                const bgp::CommunitySet& communities);
+  // Runs steps 2-4 on one route, filling detect_scratch_; false = not a
+  // blackhole route.  The negative path — the overwhelming majority of
+  // updates in a real feed — performs zero heap allocations: the
+  // compiled dictionary's bitset prefilter runs before any path work,
+  // path scans never materialize the prepending-free copy, and the
+  // scratch vector is engine-owned and reused across updates.
+  bool detect(const bgp::PeerKey& peer, const bgp::AsPath& path,
+              const bgp::CommunitySet& communities);
 
   void open_event(Platform platform, const bgp::PeerKey& peer,
                   const net::Prefix& prefix, util::SimTime time,
-                  bool from_dump, std::vector<Detection> detections,
+                  bool from_dump, const std::vector<Detection>& detections,
                   const bgp::CommunitySet& communities);
   void close_event(Platform platform, const bgp::PeerKey& peer,
                    const net::Prefix& prefix, util::SimTime time,
                    bool explicit_withdrawal);
 
   const dictionary::BlackholeDictionary& dictionary_;
+  // Compiled fast-path form: either owned (built by the ctor, left
+  // empty when the fast path is disabled) or shared across shards.
+  // compiled_ points at whichever is in use.
+  dictionary::CompiledDictionary owned_compiled_;
+  const dictionary::CompiledDictionary* compiled_;
   const topology::Registry& registry_;
   EngineConfig config_;
   BgpCleaner cleaner_;
+  // Reused by detect(); valid until the next detect() call.
+  std::vector<Detection> detect_scratch_;
 
   using StateKey = std::pair<bgp::PeerKey, net::Prefix>;
   struct StateKeyHash {

@@ -1,0 +1,88 @@
+#include "dictionary/compiled.h"
+
+#include <algorithm>
+
+namespace bgpbh::dictionary {
+
+CompiledDictionary::CompiledDictionary(const BlackholeDictionary& source) {
+  // Size the pools exactly up front: spans into them are taken during
+  // the fill and must never be invalidated by reallocation.
+  std::size_t total_providers = 0;
+  std::size_t total_ixps = 0;
+  for (const auto& [c, entry] : source.entries()) {
+    total_providers += entry.provider_asns.size();
+    total_ixps += entry.ixp_ids.size();
+  }
+  provider_pool_.reserve(total_providers);
+  ixp_pool_.reserve(total_ixps);
+  keys_.reserve(source.entries().size());
+  entries_.reserve(source.entries().size());
+
+  // std::map iteration is already key-sorted, so keys_ comes out sorted.
+  for (const auto& [c, entry] : source.entries()) {
+    keys_.push_back(c.raw());
+    EntryView view;
+    if (!entry.provider_asns.empty()) {
+      Asn* start = provider_pool_.data() + provider_pool_.size();
+      provider_pool_.insert(provider_pool_.end(), entry.provider_asns.begin(),
+                            entry.provider_asns.end());
+      view.provider_asns = {start, entry.provider_asns.size()};
+    }
+    if (!entry.ixp_ids.empty()) {
+      std::uint32_t* start = ixp_pool_.data() + ixp_pool_.size();
+      ixp_pool_.insert(ixp_pool_.end(), entry.ixp_ids.begin(),
+                       entry.ixp_ids.end());
+      view.ixp_ids = {start, entry.ixp_ids.size()};
+    }
+    entries_.push_back(view);
+    set_bit(classic_bits_, c.value());
+  }
+
+  large_.reserve(source.large_entries().size());
+  for (const auto& [c, provider] : source.large_entries()) {
+    large_.push_back(LargeEntry{.global = c.global_admin(),
+                                .l1 = c.local1(),
+                                .l2 = c.local2(),
+                                .provider = provider});
+    set_bit(large_bits_, large_fingerprint(c));
+  }
+  // std::map order on LargeCommunity is (global, l1, l2) — already the
+  // LargeEntry order, but sort defensively; build cost is irrelevant.
+  std::sort(large_.begin(), large_.end());
+}
+
+const EntryView* CompiledDictionary::lookup(bgp::Community c) const {
+  const std::uint32_t key = c.raw();
+  const std::uint32_t* base = keys_.data();
+  std::size_t n = keys_.size();
+  if (n == 0) return nullptr;
+  // Branchless lower-bound: the `base +=` compiles to a conditional
+  // move, so a miss costs ~log2(n) predictable iterations with no
+  // branch mispredicts.
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base += (base[half - 1] < key) ? half : 0;
+    n -= half;
+  }
+  if (*base != key) return nullptr;
+  return &entries_[static_cast<std::size_t>(base - keys_.data())];
+}
+
+std::optional<Asn> CompiledDictionary::lookup_large(bgp::LargeCommunity c) const {
+  const LargeEntry probe{.global = c.global_admin(),
+                         .l1 = c.local1(),
+                         .l2 = c.local2(),
+                         .provider = 0};
+  auto it = std::lower_bound(
+      large_.begin(), large_.end(), probe,
+      [](const LargeEntry& a, const LargeEntry& b) {
+        return std::tie(a.global, a.l1, a.l2) < std::tie(b.global, b.l1, b.l2);
+      });
+  if (it == large_.end() || it->global != probe.global ||
+      it->l1 != probe.l1 || it->l2 != probe.l2) {
+    return std::nullopt;
+  }
+  return it->provider;
+}
+
+}  // namespace bgpbh::dictionary

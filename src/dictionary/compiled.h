@@ -1,0 +1,135 @@
+// Compiled, immutable fast-path form of the blackhole dictionary.
+//
+// The engine matches *every* update's communities against the
+// dictionary, yet in a realistic feed almost none carry a blackhole
+// community — the lookup cost is dominated by misses.  The mutable
+// BlackholeDictionary (std::map, one node allocation per entry) is the
+// build/update-time representation; CompiledDictionary is the frozen
+// read-path form the inference engine actually queries:
+//
+//   * an 8 KiB presence bitset over the 16-bit *value* half of classic
+//     communities (the "666" of "3356:666"), so a non-blackhole update
+//     costs one bit-test per community and touches no cold memory —
+//     blackhole values cluster (666, 66, 999, ...), so the bitset is
+//     extremely sparse and a miss almost never proceeds further;
+//   * a sorted flat key array + branchless binary search for confirmed
+//     candidates, with provider/IXP lists packed into dense pools and
+//     exposed as std::span views (no per-entry allocation, no pointer
+//     chasing into map nodes);
+//   * the same two-level treatment for RFC 8092 large communities,
+//     keyed on a 16-bit fingerprint of the 96-bit value.
+//
+// The compiled form never produces a false negative: every community
+// the source dictionary knows passes the bitset and resolves to an
+// identical entry (tests/test_compiled_dictionary.cc fuzzes this
+// equivalence).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dictionary/dictionary.h"
+
+namespace bgpbh::dictionary {
+
+// Allocation-free view of one dictionary entry's detection-relevant
+// fields.  Both the compiled fast path and the std::map slow path
+// produce this shape, so the engine's inference logic is written once
+// (and the two paths stay byte-for-byte comparable).
+struct EntryView {
+  std::span<const Asn> provider_asns;
+  std::span<const std::uint32_t> ixp_ids;
+
+  bool ambiguous() const { return provider_asns.size() > 1; }
+};
+
+class CompiledDictionary {
+ public:
+  CompiledDictionary() = default;
+  explicit CompiledDictionary(const BlackholeDictionary& source);
+
+  // Copying would duplicate the pools while the EntryView spans kept
+  // pointing into the source object's storage. Moves transfer the pool
+  // buffers, so the spans stay valid.
+  CompiledDictionary(const CompiledDictionary&) = delete;
+  CompiledDictionary& operator=(const CompiledDictionary&) = delete;
+  CompiledDictionary(CompiledDictionary&&) = default;
+  CompiledDictionary& operator=(CompiledDictionary&&) = default;
+
+  // One bit-test: can `c` possibly be a blackhole community?  False
+  // positives allowed (same 16-bit value half as a real entry), false
+  // negatives never.
+  bool maybe_blackhole(bgp::Community c) const {
+    return test_bit(classic_bits_, c.value());
+  }
+  bool maybe_blackhole(bgp::LargeCommunity c) const {
+    return test_bit(large_bits_, large_fingerprint(c));
+  }
+
+  // True if any community in the set may be a blackhole community.
+  // Pure bit-tests over hot cache lines; the engine consults this
+  // before doing any per-update path work.
+  bool prefilter(const bgp::CommunitySet& comms) const {
+    for (auto c : comms.classic()) {
+      if (maybe_blackhole(c)) return true;
+    }
+    for (auto c : comms.large()) {
+      if (maybe_blackhole(c)) return true;
+    }
+    return false;
+  }
+
+  // Exact lookup; nullptr when `c` is not a blackhole community.  The
+  // returned view stays valid for the lifetime of this object.
+  const EntryView* lookup(bgp::Community c) const;
+  std::optional<Asn> lookup_large(bgp::LargeCommunity c) const;
+
+  std::size_t num_classic() const { return keys_.size(); }
+  std::size_t num_large() const { return large_.size(); }
+
+ private:
+  static constexpr std::size_t kBitWords = 65536 / 64;  // 8 KiB per set
+
+  static bool test_bit(const std::array<std::uint64_t, kBitWords>& bits,
+                       std::uint16_t i) {
+    return (bits[i >> 6] >> (i & 63)) & 1u;
+  }
+  static void set_bit(std::array<std::uint64_t, kBitWords>& bits,
+                      std::uint16_t i) {
+    bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  // 16-bit mix of the three 32-bit words of a large community.
+  static std::uint16_t large_fingerprint(bgp::LargeCommunity c) {
+    std::uint32_t h = c.global_admin() * 0x9E3779B1u;
+    h ^= c.local1() * 0x85EBCA77u;
+    h ^= c.local2() * 0xC2B2AE3Du;
+    return static_cast<std::uint16_t>(h ^ (h >> 16));
+  }
+
+  struct LargeEntry {
+    std::uint32_t global = 0, l1 = 0, l2 = 0;
+    Asn provider = 0;
+    friend auto operator<=>(const LargeEntry&, const LargeEntry&) = default;
+  };
+
+  std::array<std::uint64_t, kBitWords> classic_bits_{};
+  std::array<std::uint64_t, kBitWords> large_bits_{};
+
+  // Sorted raw classic communities; entries_[i] belongs to keys_[i].
+  // Keys live in their own array so the binary search walks densely
+  // packed 32-bit values.
+  std::vector<std::uint32_t> keys_;
+  std::vector<EntryView> entries_;
+
+  // Dense pools backing the entry spans.
+  std::vector<Asn> provider_pool_;
+  std::vector<std::uint32_t> ixp_pool_;
+
+  std::vector<LargeEntry> large_;  // sorted by (global, l1, l2)
+};
+
+}  // namespace bgpbh::dictionary

@@ -61,6 +61,7 @@ class BlackholeDictionary {
   std::vector<std::uint32_t> all_ixps() const;
 
   const std::map<bgp::Community, DictEntry>& entries() const { return entries_; }
+  const std::map<bgp::LargeCommunity, Asn>& large_entries() const { return large_; }
 
   // Table 2: (#networks, #communities) per network type; IXPs counted
   // in their own class.

@@ -7,8 +7,13 @@ StreamPipeline::StreamPipeline(const dictionary::BlackholeDictionary& dictionary
                                PipelineConfig config)
     : pool_(dictionary, registry, config.engine,
             config.num_shards == 0 ? 1 : config.num_shards,
-            config.queue_capacity, config.drain_batch, store_),
-      router_(config.num_shards == 0 ? 1 : config.num_shards) {}
+            config.queue_capacity, config.drain_batch,
+            config.batch_size == 0 ? 1 : config.batch_size, store_),
+      router_(config.num_shards == 0 ? 1 : config.num_shards),
+      batch_size_(config.batch_size == 0 ? 1 : config.batch_size),
+      pending_(pool_.num_shards()) {
+  for (auto& buf : pending_) buf.reserve(batch_size_);
+}
 
 StreamPipeline::~StreamPipeline() { pool_.close_and_join(); }
 
@@ -44,9 +49,23 @@ bool StreamPipeline::push(const routing::FeedUpdate& update) {
   // pre-start push could block forever.
   start();
   router_.route(update, [this](std::size_t shard, routing::FeedUpdate sub) {
-    pool_.submit(shard, std::move(sub));
+    auto& buf = pending_[shard];
+    buf.push_back(std::move(sub));
+    if (buf.size() >= batch_size_) {
+      pool_.submit_batch(shard, buf);
+      buf.clear();
+    }
   });
   return true;
+}
+
+void StreamPipeline::flush() {
+  for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
+    auto& buf = pending_[shard];
+    if (buf.empty()) continue;
+    pool_.submit_batch(shard, buf);
+    buf.clear();
+  }
 }
 
 std::uint64_t StreamPipeline::run(UpdateSource& source) {
@@ -61,6 +80,7 @@ std::uint64_t StreamPipeline::run(UpdateSource& source) {
 
 void StreamPipeline::finish(util::SimTime end_time) {
   if (finished_) return;
+  flush();  // staged sub-updates must reach the workers before close
   finished_ = true;
   pool_.close_and_join();
   for (std::size_t i = 0; i < pool_.num_shards(); ++i) {

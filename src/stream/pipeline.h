@@ -8,10 +8,12 @@
 //
 // One producer thread pulls FeedUpdates from a source (collector-fleet
 // adapter, MRT archive replay, or an in-memory batch), the router
-// splits them into per-(peer, prefix) sub-updates and pushes each onto
-// the owning shard's bounded queue (blocking when full: backpressure,
-// never drops), and N workers run private engine shards whose closed
-// events merge into a time-ordered store with a live snapshot API.
+// splits them into per-(peer, prefix) sub-updates and stages them in
+// per-shard buffers that move onto the owning shard's bounded queue in
+// batches of `batch_size` (blocking when full: backpressure, never
+// drops), and N workers pop in matching batches and run private engine
+// shards whose closed events merge into a time-ordered store with a
+// live snapshot API.
 //
 // Equivalence contract: after finish(), store().events() sorted
 // canonically is identical to what one sequential InferenceEngine
@@ -37,6 +39,12 @@ struct PipelineConfig {
   std::size_t queue_capacity = 4096;
   // Sub-updates a worker processes between event-store drains.
   std::size_t drain_batch = 256;
+  // Sub-updates moved per queue transfer: the router buffers up to this
+  // many per shard before a push_batch, and workers pop up to this many
+  // per pop_batch — one index publish per chunk instead of per element.
+  // 1 restores per-element transfer (lowest latency, e.g. live alert
+  // feeds); flush() force-publishes the buffers at any time.
+  std::size_t batch_size = 64;
   core::EngineConfig engine;
 };
 
@@ -56,8 +64,15 @@ class StreamPipeline {
 
   // Route one update into the shard queues (single producer thread).
   // Returns false — without routing or counting the update — once the
-  // pipeline has finished; nothing is ever silently dropped.
+  // pipeline has finished; nothing is ever silently dropped.  Routed
+  // sub-updates are staged in per-shard buffers and handed to the
+  // workers `batch_size` at a time; call flush() to force staged
+  // sub-updates out early (finish() always flushes).
   bool push(const routing::FeedUpdate& update);
+
+  // Hand all staged sub-updates to their shard queues now (producer
+  // thread only).  Bounds the detection latency of a slow feed.
+  void flush();
 
   // Drains an entire source through push(); returns updates consumed.
   std::uint64_t run(UpdateSource& source);
@@ -93,6 +108,9 @@ class StreamPipeline {
   EventStore store_;
   WorkerPool pool_;
   ShardRouter router_;
+  std::size_t batch_size_;
+  // Per-shard staging buffers between the router and the queues.
+  std::vector<std::vector<routing::FeedUpdate>> pending_;
   bool started_ = false;
   bool finished_ = false;
   std::size_t open_at_finish_ = 0;

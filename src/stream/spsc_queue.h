@@ -18,11 +18,13 @@
 // notifies under the mutex — no lost wakeup.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace bgpbh::stream {
@@ -65,6 +67,49 @@ class SpscQueue {
     return true;
   }
 
+  // Batch push: moves items[0..n) into the ring in FIFO order, blocking
+  // while full.  The tail index is published once per chunk of free
+  // space (one release store + at most one wake per chunk) instead of
+  // once per element — the point of the batched pipeline edges.
+  // Returns the number of items enqueued: items.size(), or fewer iff
+  // the queue was closed mid-batch.  Producer thread only.
+  std::size_t push_batch(std::span<T> items) {
+    std::size_t pushed = 0;
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    while (pushed < items.size()) {
+      std::size_t free = 0;
+      for (;;) {  // wait for space; same Dekker protocol as push()
+        if (closed_.load(std::memory_order_acquire)) return pushed;
+        free = capacity_ - (tail - head_.load(std::memory_order_acquire));
+        if (free > 0) break;
+        std::unique_lock<std::mutex> lock(mu_);
+        producer_waiting_.store(true, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        free = capacity_ - (tail - head_.load(std::memory_order_acquire));
+        if (closed_.load(std::memory_order_acquire) || free > 0) {
+          producer_waiting_.store(false, std::memory_order_relaxed);
+          if (closed_.load(std::memory_order_acquire)) return pushed;
+          break;
+        }
+        not_full_.wait(lock);
+        producer_waiting_.store(false, std::memory_order_relaxed);
+      }
+      const std::size_t chunk = std::min(free, items.size() - pushed);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        buf_[(tail + i) % capacity_] = std::move(items[pushed + i]);
+      }
+      tail += chunk;
+      pushed += chunk;
+      tail_.store(tail, std::memory_order_release);
+      std::size_t occupancy = tail - head_.load(std::memory_order_acquire);
+      if (occupancy > peak_size_.load(std::memory_order_relaxed)) {
+        peak_size_.store(occupancy, std::memory_order_relaxed);
+      }
+      wake(consumer_waiting_, not_empty_);
+    }
+    return pushed;
+  }
+
   // Blocks while the queue is empty; returns nullopt once the queue is
   // closed AND fully drained.  Consumer thread only.
   std::optional<T> pop() {
@@ -91,6 +136,43 @@ class SpscQueue {
     head_.store(head + 1, std::memory_order_release);
     wake(producer_waiting_, not_full_);
     return item;
+  }
+
+  // Batch pop: moves up to `max` immediately-available items into
+  // `out` (appending) with a single head publish + at most one wake.
+  // Blocks while the queue is empty; returns the number appended, 0
+  // iff the queue is closed AND fully drained.  Consumer thread only.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    if (max == 0) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = 0;
+    for (;;) {  // wait for data; same Dekker protocol as pop()
+      avail = tail_.load(std::memory_order_acquire) - head;
+      if (avail > 0) break;
+      if (closed_.load(std::memory_order_acquire)) {
+        avail = tail_.load(std::memory_order_acquire) - head;
+        if (avail > 0) break;
+        return 0;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      avail = tail_.load(std::memory_order_acquire) - head;
+      if (avail > 0 || closed_.load(std::memory_order_acquire)) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        if (avail > 0) break;
+        return 0;
+      }
+      not_empty_.wait(lock);
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    const std::size_t chunk = std::min(avail, max);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      out.push_back(std::move(buf_[(head + i) % capacity_]));
+    }
+    head_.store(head + chunk, std::memory_order_release);
+    wake(producer_waiting_, not_full_);
+    return chunk;
   }
 
   // End of stream: pending items remain poppable, further pushes fail.

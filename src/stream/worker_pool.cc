@@ -6,14 +6,20 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
                        const topology::Registry& registry,
                        core::EngineConfig engine_config,
                        std::size_t num_shards, std::size_t queue_capacity,
-                       std::size_t drain_batch, EventStore& store)
-    : drain_batch_(drain_batch == 0 ? 1 : drain_batch), store_(store) {
+                       std::size_t drain_batch, std::size_t batch_size,
+                       EventStore& store)
+    : compiled_(engine_config.use_compiled_fastpath
+                    ? dictionary::CompiledDictionary(dictionary)
+                    : dictionary::CompiledDictionary()),
+      drain_batch_(drain_batch == 0 ? 1 : drain_batch),
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      store_(store) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->engine = std::make_unique<core::InferenceEngine>(
-        dictionary, registry, engine_config);
+        dictionary, compiled_, registry, engine_config);
     shard->queue =
         std::make_unique<SpscQueue<routing::FeedUpdate>>(queue_capacity);
     shards_.push_back(std::move(shard));
@@ -44,14 +50,26 @@ bool WorkerPool::submit(std::size_t shard, routing::FeedUpdate update) {
   return shards_.at(shard)->queue->push(std::move(update));
 }
 
+std::size_t WorkerPool::submit_batch(std::size_t shard,
+                                     std::span<routing::FeedUpdate> updates) {
+  return shards_.at(shard)->queue->push_batch(updates);
+}
+
 void WorkerPool::worker_loop(Shard& shard) {
   std::size_t since_drain = 0;
-  while (auto update = shard.queue->pop()) {
-    shard.engine->process(update->platform, update->update);
+  std::vector<routing::FeedUpdate> batch;
+  batch.reserve(batch_size_);
+  for (;;) {
+    batch.clear();
+    if (shard.queue->pop_batch(batch, batch_size_) == 0) break;
+    for (auto& update : batch) {
+      shard.engine->process(update.platform, update.update);
+    }
     shard.open_gauge.store(shard.engine->open_event_count(),
                            std::memory_order_relaxed);
-    shard.processed.fetch_add(1, std::memory_order_relaxed);
-    if (++since_drain >= drain_batch_) {
+    shard.processed.fetch_add(batch.size(), std::memory_order_relaxed);
+    since_drain += batch.size();
+    if (since_drain >= drain_batch_) {
       store_.ingest(shard.engine->drain_closed());
       since_drain = 0;
     }

@@ -2,19 +2,24 @@
 // sub-updates from its own bounded SPSC queue and running a private
 // core::InferenceEngine over the (peer, prefix) keys it owns.
 //
-// Workers drain their engine's closed events into the shared EventStore
-// every `drain_batch` processed sub-updates (and once more on exit), so
-// no shard buffer grows with the lifetime of the stream, and publish a
-// per-shard open-event gauge after every update for live snapshots.
+// Updates move through the queues in batches (pop_batch/push_batch:
+// one index publish and at most one wake per chunk instead of per
+// element), bounded by `batch_size`.  Workers drain their engine's
+// closed events into the shared EventStore every `drain_batch`
+// processed sub-updates (and once more on exit), so no shard buffer
+// grows with the lifetime of the stream, and publish a per-shard
+// open-event gauge after every batch for live snapshots.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
+#include "dictionary/compiled.h"
 #include "routing/collectors.h"
 #include "stream/event_store.h"
 #include "stream/spsc_queue.h"
@@ -27,7 +32,7 @@ class WorkerPool {
              const topology::Registry& registry,
              core::EngineConfig engine_config, std::size_t num_shards,
              std::size_t queue_capacity, std::size_t drain_batch,
-             EventStore& store);
+             std::size_t batch_size, EventStore& store);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -47,6 +52,12 @@ class WorkerPool {
   // Blocking enqueue onto the shard's queue (producer thread only).
   // Returns false if the pool was already shut down.
   bool submit(std::size_t shard, routing::FeedUpdate update);
+
+  // Blocking batch enqueue; moves from `updates`.  Returns the number
+  // accepted — updates.size(), or fewer iff the pool was shut down
+  // mid-batch.
+  std::size_t submit_batch(std::size_t shard,
+                           std::span<routing::FeedUpdate> updates);
 
   // Close all queues, wait for every worker to drain and exit.
   void close_and_join();
@@ -69,8 +80,12 @@ class WorkerPool {
 
   void worker_loop(Shard& shard);
 
+  // One compiled dictionary shared by every shard engine (it is
+  // immutable; per-shard copies would just multiply the pools).
+  dictionary::CompiledDictionary compiled_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t drain_batch_;
+  std::size_t batch_size_;
   EventStore& store_;
   std::atomic<bool> started_{false};
   std::atomic<bool> joined_{false};      // shutdown initiated

@@ -1,0 +1,149 @@
+// Equivalence of the compiled fast-path dictionary with its std::map
+// source: over fuzzed dictionaries, every lookup (classic and large),
+// ambiguity flag, provider/IXP span, and prefilter verdict must match
+// — the compiled form may only ever add bitset false *positives*,
+// never false negatives.
+#include "dictionary/compiled.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bgpbh::dictionary {
+namespace {
+
+using bgp::Community;
+using bgp::CommunitySet;
+using bgp::LargeCommunity;
+
+Community random_community(util::Rng& rng) {
+  // Small value space so fuzzed probes hit real entries often and
+  // distinct communities share 16-bit value halves (exercising bitset
+  // false positives).
+  return Community(static_cast<std::uint16_t>(rng.uniform(64)),
+                   static_cast<std::uint16_t>(rng.uniform(1024)));
+}
+
+LargeCommunity random_large(util::Rng& rng) {
+  return LargeCommunity(static_cast<std::uint32_t>(rng.uniform(1 << 20)),
+                        static_cast<std::uint32_t>(rng.uniform(1024)),
+                        static_cast<std::uint32_t>(rng.uniform(8)));
+}
+
+BlackholeDictionary random_dictionary(util::Rng& rng) {
+  BlackholeDictionary dict;
+  const std::size_t n_provider = 20 + rng.uniform(200);
+  for (std::size_t i = 0; i < n_provider; ++i) {
+    // 1-3 providers per add; repeated adds to the same community merge.
+    std::size_t k = 1 + rng.uniform(3);
+    Community c = random_community(rng);
+    for (std::size_t j = 0; j < k; ++j) {
+      dict.add_provider(c, static_cast<Asn>(1 + rng.uniform(5000)),
+                        DictSource::kIrr);
+    }
+  }
+  const std::size_t n_ixp = rng.uniform(40);
+  for (std::size_t i = 0; i < n_ixp; ++i) {
+    dict.add_ixp(random_community(rng),
+                 static_cast<std::uint32_t>(rng.uniform(64)),
+                 DictSource::kWebPage);
+  }
+  const std::size_t n_large = rng.uniform(60);
+  for (std::size_t i = 0; i < n_large; ++i) {
+    dict.add_large(random_large(rng), static_cast<Asn>(1 + rng.uniform(5000)),
+                   DictSource::kIrr);
+  }
+  return dict;
+}
+
+template <typename T, typename U>
+void expect_span_equals_vector(std::span<const T> span,
+                               const std::vector<U>& vec) {
+  ASSERT_EQ(span.size(), vec.size());
+  for (std::size_t i = 0; i < vec.size(); ++i) EXPECT_EQ(span[i], vec[i]);
+}
+
+TEST(CompiledDictionary, FuzzedEquivalenceWithSource) {
+  util::Rng rng(20170817);
+  for (int trial = 0; trial < 25; ++trial) {
+    BlackholeDictionary dict = random_dictionary(rng);
+    CompiledDictionary compiled(dict);
+
+    ASSERT_EQ(compiled.num_classic(), dict.entries().size());
+    ASSERT_EQ(compiled.num_large(), dict.large_entries().size());
+
+    // Every source entry resolves to an identical compiled view.
+    for (const auto& [c, entry] : dict.entries()) {
+      ASSERT_TRUE(compiled.maybe_blackhole(c)) << c.to_string();
+      const EntryView* view = compiled.lookup(c);
+      ASSERT_NE(view, nullptr) << c.to_string();
+      expect_span_equals_vector(view->provider_asns, entry.provider_asns);
+      expect_span_equals_vector(view->ixp_ids, entry.ixp_ids);
+      EXPECT_EQ(view->ambiguous(), entry.provider_asns.size() > 1);
+    }
+    for (const auto& [c, provider] : dict.large_entries()) {
+      ASSERT_TRUE(compiled.maybe_blackhole(c)) << c.to_string();
+      EXPECT_EQ(compiled.lookup_large(c), provider);
+    }
+
+    // Random probes: hit or miss, both forms must agree exactly.
+    for (int probe = 0; probe < 2000; ++probe) {
+      Community c = random_community(rng);
+      const DictEntry* expected = dict.lookup(c);
+      const EntryView* got = compiled.lookup(c);
+      if (expected == nullptr) {
+        EXPECT_EQ(got, nullptr) << c.to_string();
+      } else {
+        ASSERT_NE(got, nullptr) << c.to_string();
+        expect_span_equals_vector(got->provider_asns, expected->provider_asns);
+        expect_span_equals_vector(got->ixp_ids, expected->ixp_ids);
+      }
+      LargeCommunity lc = random_large(rng);
+      EXPECT_EQ(compiled.lookup_large(lc), dict.lookup_large(lc))
+          << lc.to_string();
+    }
+
+    // Prefilter: any_blackhole => prefilter (no false negatives, ever).
+    for (int probe = 0; probe < 500; ++probe) {
+      CommunitySet set;
+      std::size_t n = rng.uniform(5);
+      for (std::size_t i = 0; i < n; ++i) set.add(random_community(rng));
+      if (rng.uniform(4) == 0) set.add(random_large(rng));
+      if (dict.any_blackhole(set)) {
+        EXPECT_TRUE(compiled.prefilter(set)) << set.to_string();
+      }
+    }
+  }
+}
+
+TEST(CompiledDictionary, EmptyDictionary) {
+  BlackholeDictionary empty;
+  CompiledDictionary compiled(empty);
+  EXPECT_EQ(compiled.num_classic(), 0u);
+  EXPECT_EQ(compiled.num_large(), 0u);
+  EXPECT_EQ(compiled.lookup(Community(65535, 666)), nullptr);
+  EXPECT_EQ(compiled.lookup_large(LargeCommunity(1, 666, 0)), std::nullopt);
+  EXPECT_FALSE(compiled.maybe_blackhole(Community(65535, 666)));
+  CommunitySet set;
+  set.add(Community(65535, 666));
+  EXPECT_FALSE(compiled.prefilter(set));
+}
+
+TEST(CompiledDictionary, PrefilterSharesValueHalf) {
+  // The bitset keys on the 16-bit value half alone: 3356:666 in the
+  // dictionary makes 9999:666 pass the prefilter (false positive), but
+  // the exact lookup still rejects it.
+  BlackholeDictionary dict;
+  dict.add_provider(Community(3356, 666), 3356, DictSource::kIrr);
+  CompiledDictionary compiled(dict);
+  EXPECT_TRUE(compiled.maybe_blackhole(Community(9999, 666)));
+  EXPECT_EQ(compiled.lookup(Community(9999, 666)), nullptr);
+  EXPECT_FALSE(compiled.maybe_blackhole(Community(3356, 667)));
+  ASSERT_NE(compiled.lookup(Community(3356, 666)), nullptr);
+}
+
+}  // namespace
+}  // namespace bgpbh::dictionary

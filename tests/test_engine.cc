@@ -374,6 +374,96 @@ TEST(BgpCleanerTest, KnownBogons) {
   EXPECT_FALSE(cleaner.is_bogus(*net::Prefix::parse("2a00:1::/32")));
 }
 
+// The compiled-dictionary fast path (bitset prefilter + flat-array
+// lookups + in-place path scans) must be a pure optimization: over a
+// workload covering every detection kind, ablation, rejection path,
+// and close mode, the engine's events and stats are byte-identical
+// with the fast path on and off.
+TEST(Engine, FastPathMatchesSlowPath) {
+  for (bool detect_bundled : {true, false}) {
+    for (bool require_evidence : {true, false}) {
+      EngineConfig fast_config, slow_config;
+      fast_config.detect_bundled = slow_config.detect_bundled = detect_bundled;
+      fast_config.require_path_evidence_for_ambiguous =
+          slow_config.require_path_evidence_for_ambiguous = require_evidence;
+      fast_config.use_compiled_fastpath = true;
+      slow_config.use_compiled_fastpath = false;
+      InferenceEngine fast(world().dict, world().registry, fast_config);
+      InferenceEngine slow(world().dict, world().registry, slow_config);
+
+      std::vector<std::pair<routing::Platform, bgp::ObservedUpdate>> workload;
+      auto add = [&](routing::Platform p, bgp::ObservedUpdate u) {
+        workload.emplace_back(p, std::move(u));
+      };
+      // Provider on path, with prepending.
+      add(P::kRis, announce("20.0.1.1/32", "198.51.100.1", 200,
+                            {200, 200, 400, 400}, {Community(200, 666)}, 100));
+      // Bundled (provider 300 not on path).
+      add(P::kCdn, announce("20.0.1.2/32", "198.51.100.3", 500, {500, 400},
+                            {Community(300, 666)}, 101));
+      // Ambiguous without path evidence (rejected unless ablated).
+      add(P::kRis, announce("20.0.1.3/32", "198.51.100.1", 500, {500, 400},
+                            {Community(0, 666)}, 102));
+      // Ambiguous with path evidence.
+      add(P::kRis, announce("20.0.1.4/32", "198.51.100.1", 201, {201, 400},
+                            {Community(0, 666)}, 103));
+      // IXP route-server ASN on path.
+      add(P::kPch, announce("20.0.1.5/32", "198.51.100.9", 500,
+                            {500, 59000, 400},
+                            {Community::rfc7999_blackhole()}, 104));
+      // IXP peer-ip in LAN (transparent RS).
+      add(P::kPch, announce("20.0.1.6/32", "185.1.0.23", 400, {400},
+                            {Community::rfc7999_blackhole()}, 105));
+      // IXP community without evidence (ixp_rejected).
+      add(P::kCdn, announce("20.0.1.7/32", "198.51.100.4", 500, {500, 400},
+                            {Community::rfc7999_blackhole()}, 106));
+      // Large community.
+      {
+        auto u = announce("20.0.1.8/32", "198.51.100.1", 200, {200, 400}, {},
+                          107);
+        u.body.communities.add(bgp::LargeCommunity(200, 666, 0));
+        add(P::kRis, u);
+      }
+      // Unknown large community (negative).
+      {
+        auto u = announce("20.0.1.9/32", "198.51.100.1", 200, {200, 400}, {},
+                          108);
+        u.body.communities.add(bgp::LargeCommunity(999, 1, 2));
+        add(P::kRis, u);
+      }
+      // Tag-less noise: service community sharing the 666 value half
+      // (prefilter false positive), plain service community, and no
+      // communities at all.
+      add(P::kRis, announce("20.0.2.1/32", "198.51.100.1", 200, {200, 400},
+                            {Community(999, 666)}, 109));
+      add(P::kRis, announce("20.0.2.2/32", "198.51.100.1", 200, {200, 400},
+                            {Community(200, 120)}, 110));
+      add(P::kRis, announce("20.0.2.3/32", "198.51.100.1", 200, {200, 400}, {},
+                            111));
+      // Bogon (filtered).
+      add(P::kRis, announce("10.1.2.3/32", "198.51.100.1", 200, {200, 400},
+                            {Community(200, 666)}, 112));
+      // Implicit withdrawal (tag-less re-announcement) + explicit one.
+      add(P::kRis, announce("20.0.1.1/32", "198.51.100.1", 200, {200, 400},
+                            {Community(200, 120)}, 120));
+      add(P::kCdn, withdraw("20.0.1.2/32", "198.51.100.3", 500, 121));
+      // Multi-provider bundle.
+      add(P::kRis, announce("20.0.1.10/32", "198.51.100.1", 200, {200, 400},
+                            {Community(200, 666), Community(300, 666)}, 122));
+
+      for (const auto& [p, u] : workload) {
+        fast.process(p, u);
+        slow.process(p, u);
+      }
+      fast.finish(1000);
+      slow.finish(1000);
+      EXPECT_EQ(fast.events(), slow.events());
+      EXPECT_EQ(fast.stats(), slow.stats());
+      EXPECT_FALSE(fast.events().empty());
+    }
+  }
+}
+
 TEST(ProviderRefTest, OrderingAndToString) {
   ProviderRef isp{.is_ixp = false, .asn = 200, .ixp_id = 0};
   ProviderRef ixp{.is_ixp = true, .asn = 59000, .ixp_id = 3};

@@ -72,6 +72,100 @@ TEST(SpscQueue, BackpressureBlocksProducerInsteadOfDropping) {
   for (int i = 0; i < kTotal; ++i) EXPECT_EQ(got[i], i);  // FIFO
 }
 
+TEST(SpscQueue, BatchAndSinglePushPopInterleave) {
+  SpscQueue<int> q(16);
+  std::vector<int> first{0, 1, 2};
+  EXPECT_EQ(q.push_batch(first), 3u);
+  EXPECT_TRUE(q.push(3));
+  std::vector<int> second{4, 5};
+  EXPECT_EQ(q.push_batch(second), 2u);
+
+  EXPECT_EQ(q.pop(), 0);  // single pop sees batch-pushed items in order
+  std::vector<int> got;
+  EXPECT_EQ(q.pop_batch(got, 3), 3u);
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.pop_batch(got, 100), 2u);  // appends; takes what's there
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+  q.close();
+  EXPECT_EQ(q.pop_batch(got, 8), 0u);  // closed and drained
+}
+
+TEST(SpscQueue, PushBatchBlocksWhenFullAndStopsAtClose) {
+  constexpr std::size_t kCapacity = 4;
+  SpscQueue<int> q(kCapacity);
+  std::vector<int> items(16);
+  for (int i = 0; i < 16; ++i) items[i] = i;
+  std::size_t accepted = 0;
+  std::thread producer([&] { accepted = q.push_batch(items); });
+  // The batch is larger than the ring: the producer publishes the first
+  // chunk and blocks for space.  Wait for that chunk deterministically
+  // (no fixed sleep — the bound is structural, not timing-based).
+  while (q.size() < kCapacity) std::this_thread::yield();
+  EXPECT_EQ(q.size(), kCapacity);
+  q.close();
+  producer.join();
+  EXPECT_EQ(accepted, kCapacity);  // partial batch reported, not lost
+  for (int i = 0; i < static_cast<int>(kCapacity); ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(SpscQueue, PopBatchBlocksUntilCloseWhenEmpty) {
+  SpscQueue<int> q(8);
+  std::vector<int> got;
+  std::size_t popped = 99;
+  std::thread consumer([&] { popped = q.pop_batch(got, 4); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  q.close();
+  consumer.join();
+  EXPECT_EQ(popped, 0u);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(SpscQueue, BatchFifoOrderUnderProducerConsumerStress) {
+  constexpr int kTotal = 20000;
+  SpscQueue<int> q(32);
+  std::thread producer([&] {
+    std::vector<int> batch;
+    int next = 0;
+    std::size_t batch_size = 1;
+    while (next < kTotal) {
+      // Mix batch pushes of cycling sizes with single pushes.
+      if (batch_size % 5 == 0) {
+        q.push(next++);
+      } else {
+        batch.clear();
+        for (std::size_t i = 0; i < batch_size && next < kTotal; ++i) {
+          batch.push_back(next++);
+        }
+        EXPECT_EQ(q.push_batch(batch), batch.size());
+      }
+      batch_size = batch_size % 11 + 1;
+    }
+    q.close();
+  });
+
+  std::vector<int> got;
+  got.reserve(kTotal);
+  std::vector<int> chunk;
+  std::size_t max = 1;
+  for (;;) {
+    // Mix batch pops of cycling sizes with single pops.
+    if (max % 7 == 0) {
+      auto v = q.pop();
+      if (!v) break;
+      got.push_back(*v);
+    } else {
+      chunk.clear();
+      if (q.pop_batch(chunk, max) == 0) break;
+      got.insert(got.end(), chunk.begin(), chunk.end());
+    }
+    max = max % 13 + 1;
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kTotal));  // nothing dropped
+  for (int i = 0; i < kTotal; ++i) ASSERT_EQ(got[i], i);    // strict FIFO
+}
+
 // ---- helpers ----------------------------------------------------------
 
 FeedUpdate make_update(Platform platform, const char* peer_ip,

@@ -36,6 +36,14 @@ struct Result {
 
 double g_min_seconds = 0.25;
 
+// The seed repo's negative-path cost (ns/update), measured by this
+// harness at PR 0 on the reference dev container.  The "vs seed"
+// speedup is derived from this recorded constant; the "fast vs slow"
+// speedup is a same-run A/B of the compiled-dictionary path against
+// the std::map path — the two ratios answer different questions and
+// BENCH_engine.json reports both under distinct names.
+constexpr double kSeedNegativePathNs = 66.0;
+
 // Runs `body(i)` in doubling rounds until one round exceeds the time
 // floor, then reports that round — self-calibrating across machines.
 template <typename F>
@@ -253,7 +261,11 @@ int main(int argc, char** argv) {
     if (r.name == "engine_negative_tagless_slowpath") slow_ns = r.ns_per_op;
   }
   double speedup = fast_ns > 0 ? slow_ns / fast_ns : 0;
-  std::printf("\nnegative-path fast vs slow dictionary path: %.2fx\n", speedup);
+  double speedup_vs_seed = fast_ns > 0 ? kSeedNegativePathNs / fast_ns : 0;
+  std::printf("\nnegative-path fast vs slow dictionary path (same run): %.2fx\n",
+              speedup);
+  std::printf("negative-path vs recorded seed (%.0f ns): %.2fx\n",
+              kSeedNegativePathNs, speedup_vs_seed);
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
@@ -263,7 +275,11 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"bench\": \"perf_micro\",\n");
   std::fprintf(out, "  \"unit\": {\"ns_per_op\": \"nanoseconds per operation\", "
                     "\"ops_per_sec\": \"operations per second\"},\n");
-  std::fprintf(out, "  \"negative_path_speedup_fast_vs_slow\": %.2f,\n", speedup);
+  std::fprintf(out,
+               "  \"negative_path_speedup_fast_vs_slow\": %.2f,\n", speedup);
+  std::fprintf(out, "  \"seed_negative_path_ns\": %.1f,\n", kSeedNegativePathNs);
+  std::fprintf(out,
+               "  \"negative_path_speedup_vs_seed\": %.2f,\n", speedup_vs_seed);
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];

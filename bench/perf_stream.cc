@@ -1,23 +1,34 @@
 // Streaming-pipeline throughput: updates/sec through the sharded live
-// ingestion path (source -> shard router -> batched SPSC queues ->
-// engine shards -> event store) at 1, 2, 4 and 8 shards, against the
-// sequential single-engine replay as baseline.
+// ingestion path (source -> zero-copy shard router -> batched SPSC
+// queues of 16-byte SubUpdateRefs -> engine shards -> event store
+// lanes) at 1, 2, 4 and 8 shards, against the sequential single-engine
+// replay as baseline, plus an MPMC row (several producer threads, one
+// per collector platform).
 //
 // The §4.2 monitoring problem is embarrassingly parallel in the
 // (peer, prefix) key — this bench shows the shard fan-out turning that
 // into wall-clock throughput on multi-core hardware (on a single
-// hardware thread the shard counts collapse to roughly the baseline,
-// minus queue overhead).  Every configuration is checked against the
-// sequential event set before its numbers are reported, and all
-// results are written to BENCH_stream.json — the perf trajectory every
-// PR is measured against.
+// hardware thread the shard counts collapse to roughly the 1-shard
+// pipeline rate; BENCH_stream.json records hardware_threads so scaling
+// regressions stay attributable).  Every configuration is checked
+// against the sequential event set before its numbers are reported.
 //
-//   perf_stream [--smoke] [--out <path>]
+// Beyond throughput, the bench enforces the zero-copy contract: a
+// counting allocator (global operator new, thread-local counters)
+// proves that routing an announced-prefix sub-update through a warm
+// pipeline performs ZERO heap allocations — the run fails otherwise —
+// and a per-stage microbench (route / queue / store-drain ns/op)
+// attributes any future regression to its stage.
+//
+//   perf_stream [--smoke] [--producers <P>] [--out <path>]
 //
 // --smoke shrinks the workload and runs only 1 and 4 shards (CI).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +36,29 @@
 #include "core/study.h"
 #include "stream/pipeline.h"
 #include "stream/source.h"
+
+// ---- counting allocator ------------------------------------------------
+// Thread-local so the producer thread's allocation count is exact no
+// matter what the shard workers do concurrently.
+
+namespace {
+thread_local std::uint64_t t_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace bgpbh;
 
@@ -37,23 +71,79 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 struct ShardResult {
   std::size_t shards = 0;
+  std::size_t producers = 1;
   double rate = 0;
   double speedup_vs_sequential = 0;
   bool events_identical = false;
 };
 
+constexpr std::size_t kNumPlatforms = routing::kNumPlatforms;
+using routing::platform_index;
+
+// Runs `workload` through a pipeline with the given shard/producer
+// counts.  With several producers the stream is partitioned by
+// platform — one producer per collector platform, the MPMC deployment
+// shape — which preserves per-key order because collector sessions
+// (and hence peer keys) are platform-disjoint.
+double run_pipeline(const core::Study& study,
+                    const std::vector<routing::FeedUpdate>& workload,
+                    std::size_t shards, std::size_t producers,
+                    util::SimTime end_time,
+                    const std::vector<core::PeerEvent>& reference,
+                    bool* events_identical) {
+  auto t0 = std::chrono::steady_clock::now();
+  stream::PipelineConfig pconfig;
+  pconfig.num_shards = shards;
+  pconfig.num_producers = producers;
+  stream::StreamPipeline pipeline(study.dictionary(), study.registry(),
+                                  pconfig);
+  if (producers <= 1) {
+    stream::VectorSource source(workload);
+    pipeline.run(source);
+  } else {
+    std::vector<std::vector<routing::FeedUpdate>> parts(producers);
+    for (const auto& u : workload) {
+      parts[platform_index(u.platform) % producers].push_back(u);
+    }
+    pipeline.start();
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&pipeline, &parts, p] {
+        auto& producer = pipeline.producer(p);
+        for (const auto& u : parts[p]) producer.push(u);
+        producer.flush();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  pipeline.finish(end_time);
+  double secs = seconds_since(t0);
+  *events_identical = pipeline.store().events() == reference;
+  return workload.size() / secs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::size_t mpmc_producers = 3;
   std::string out_path = "BENCH_stream.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
+      mpmc_producers = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (mpmc_producers == 0 || mpmc_producers > kNumPlatforms) {
+        std::fprintf(stderr, "--producers must be 1..%zu\n", kNumPlatforms);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: perf_stream [--smoke] [--out <path>]\n");
+      std::fprintf(stderr,
+                   "usage: perf_stream [--smoke] [--producers <P>] "
+                   "[--out <path>]\n");
       return 2;
     }
   }
@@ -91,7 +181,7 @@ int main(int argc, char** argv) {
   double base_rate = workload.size() / base_secs;
   std::vector<core::PeerEvent> reference = engine.events();
   core::canonical_sort(reference);
-  std::printf("  %-22s %10.0f updates/sec   (%zu events)\n",
+  std::printf("  %-26s %10.0f updates/sec   (%zu events)\n",
               "sequential engine", base_rate, reference.size());
 
   const stream::PipelineConfig defaults;
@@ -103,24 +193,16 @@ int main(int argc, char** argv) {
   double one_shard_rate = 0.0;
   double best_multi_rate = 0.0;
   for (std::size_t shards : shard_counts) {
-    t0 = std::chrono::steady_clock::now();
-    stream::PipelineConfig pconfig;
-    pconfig.num_shards = shards;
-    stream::StreamPipeline pipeline(study.dictionary(), study.registry(),
-                                    pconfig);
-    stream::VectorSource source(workload);
-    pipeline.run(source);
-    pipeline.finish(config.window_end);
-    double secs = seconds_since(t0);
-    double rate = workload.size() / secs;
-
-    bool equivalent = pipeline.store().events() == reference;
+    bool equivalent = false;
+    double rate = run_pipeline(study, workload, shards, /*producers=*/1,
+                               config.window_end, reference, &equivalent);
     all_equivalent = all_equivalent && equivalent;
     results.push_back(ShardResult{.shards = shards,
+                                  .producers = 1,
                                   .rate = rate,
                                   .speedup_vs_sequential = rate / base_rate,
                                   .events_identical = equivalent});
-    std::printf("  pipeline %zu shard%-3s   %10.0f updates/sec   %.2fx vs "
+    std::printf("  pipeline %zu shard%-3s       %10.0f updates/sec   %.2fx vs "
                 "sequential  [%s]\n",
                 shards, shards == 1 ? "" : "s", rate, rate / base_rate,
                 equivalent ? "events identical" : "EVENT MISMATCH");
@@ -128,8 +210,130 @@ int main(int argc, char** argv) {
     if (shards > 1 && rate > best_multi_rate) best_multi_rate = rate;
   }
 
+  // MPMC row: several producer threads (one per collector platform)
+  // feeding a 4-shard pipeline concurrently.
+  {
+    bool equivalent = false;
+    double rate = run_pipeline(study, workload, /*shards=*/4, mpmc_producers,
+                               config.window_end, reference, &equivalent);
+    all_equivalent = all_equivalent && equivalent;
+    results.push_back(ShardResult{.shards = 4,
+                                  .producers = mpmc_producers,
+                                  .rate = rate,
+                                  .speedup_vs_sequential = rate / base_rate,
+                                  .events_identical = equivalent});
+    std::printf("  pipeline 4 shards x %zu prod %10.0f updates/sec   %.2fx vs "
+                "sequential  [%s]\n",
+                mpmc_producers, rate, rate / base_rate,
+                equivalent ? "events identical" : "EVENT MISMATCH");
+  }
+
   std::printf("\nmulti-shard best vs 1-shard pipeline: %.2fx\n",
               one_shard_rate > 0 ? best_multi_rate / one_shard_rate : 0.0);
+
+  // ---- zero-allocation routing assertion -----------------------------
+  // Warm a pipeline until the block pool and staging buffers reach
+  // steady state, then count producer-thread allocations while routing
+  // single-announced-prefix sub-updates.  The zero-copy contract: none.
+  double allocs_per_subupdate = 0.0;
+  {
+    stream::StreamPipeline pipeline(study.dictionary(), study.registry(),
+                                    stream::PipelineConfig{});
+    routing::FeedUpdate probe;
+    probe.platform = routing::Platform::kRis;
+    probe.update.time = config.window_start;
+    probe.update.peer_ip = *net::IpAddr::parse("198.51.100.9");
+    probe.update.peer_asn = 3356;
+    probe.update.body.as_path = bgp::AsPath::of({3356, 3356, 1299, 2914, 64500});
+    probe.update.body.communities.add(bgp::Community(3356, 120));
+    probe.update.body.communities.add(bgp::Community(1299, 3000));
+    probe.update.body.announced.push_back(*net::Prefix::parse("20.7.0.0/16"));
+    // Warm until the block pool's high-water mark stabilizes (it is
+    // bounded by staging + queue capacity, so this converges fast);
+    // afterwards every acquire recycles and capacities are final.
+    const std::uint64_t kWarm = 100000, kMeasure = 200000;
+    std::size_t prev_allocated = 0;
+    for (int round = 0; round < 10; ++round) {
+      for (std::uint64_t i = 0; i < kWarm; ++i) {
+        probe.update.time += 1;
+        pipeline.push(probe);
+      }
+      std::size_t now_allocated = pipeline.blocks_allocated();
+      if (round > 0 && now_allocated == prev_allocated) break;
+      prev_allocated = now_allocated;
+    }
+    std::uint64_t before = t_alloc_count;
+    for (std::uint64_t i = 0; i < kMeasure; ++i) {
+      probe.update.time += 1;
+      pipeline.push(probe);
+    }
+    std::uint64_t allocs = t_alloc_count - before;
+    pipeline.finish(config.window_end);
+    allocs_per_subupdate = static_cast<double>(allocs) / kMeasure;
+    std::printf("routing allocations per announced-prefix sub-update: %.4f "
+                "(%llu allocs / %llu routed)  [%s]\n",
+                allocs_per_subupdate, static_cast<unsigned long long>(allocs),
+                static_cast<unsigned long long>(kMeasure),
+                allocs == 0 ? "zero-copy OK" : "ALLOCATION REGRESSION");
+    if (allocs != 0) all_equivalent = false;  // fail the run loudly
+  }
+
+  // ---- per-stage breakdown -------------------------------------------
+  // Isolated costs of the three data-plane stages, so a scaling
+  // regression in the headline number is attributable.
+  double route_ns = 0, queue_ns = 0, drain_ns = 0;
+  {
+    // Stage 1: route = cached block acquire + one update copy + shard
+    // hash + ref emit, with the consumer-side batched recycle.
+    stream::BlockPool pool;
+    stream::ShardRouter router(4, pool);
+    std::vector<stream::UpdateBlock*> to_recycle;
+    to_recycle.reserve(defaults.batch_size);
+    std::uint64_t subs = 0;
+    auto s0 = std::chrono::steady_clock::now();
+    for (const auto& u : workload) {
+      router.route(u, [&](std::size_t, stream::SubUpdateRef ref) {
+        ++subs;
+        if (stream::BlockPool::unref(ref.block)) to_recycle.push_back(ref.block);
+        if (to_recycle.size() >= defaults.batch_size) {
+          pool.recycle_batch(to_recycle);
+          to_recycle.clear();
+        }
+      });
+    }
+    route_ns = subs ? seconds_since(s0) * 1e9 / static_cast<double>(subs) : 0;
+
+    // Stage 2: queue transfer of 16-byte refs, batched both sides.
+    stream::SpscQueue<stream::SubUpdateRef> queue(defaults.queue_capacity);
+    std::vector<stream::SubUpdateRef> batch_in(defaults.batch_size);
+    std::vector<stream::SubUpdateRef> batch_out;
+    batch_out.reserve(defaults.batch_size);
+    const std::uint64_t kQueueOps = 4 << 20;
+    s0 = std::chrono::steady_clock::now();
+    for (std::uint64_t done = 0; done < kQueueOps;
+         done += defaults.batch_size) {
+      queue.push_batch(batch_in);
+      batch_out.clear();
+      queue.pop_batch(batch_out, defaults.batch_size);
+    }
+    queue_ns = seconds_since(s0) * 1e9 / static_cast<double>(kQueueOps);
+
+    // Stage 3: store drain = sealed-chunk handoff into a lane.
+    stream::EventStore store(4);
+    std::vector<core::PeerEvent> chunk_template(256);
+    const std::uint64_t kChunks = 2048;
+    double accum = 0;
+    for (std::uint64_t i = 0; i < kChunks; ++i) {
+      auto chunk = chunk_template;
+      auto c0 = std::chrono::steady_clock::now();
+      store.ingest_chunk(i % 4, std::move(chunk));
+      accum += seconds_since(c0);
+    }
+    drain_ns = accum * 1e9 / static_cast<double>(kChunks * 256);
+    std::printf("stage breakdown: route %.1f ns/sub-update, queue %.1f "
+                "ns/ref, drain %.2f ns/event\n",
+                route_ns, queue_ns, drain_ns);
+  }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
@@ -142,15 +346,24 @@ int main(int argc, char** argv) {
                std::thread::hardware_concurrency());
   std::fprintf(out, "  \"batch_size\": %zu,\n", defaults.batch_size);
   std::fprintf(out, "  \"queue_capacity\": %zu,\n", defaults.queue_capacity);
+  std::fprintf(out, "  \"zero_copy\": %s,\n",
+               defaults.zero_copy ? "true" : "false");
+  std::fprintf(out, "  \"routing_allocs_per_subupdate\": %.4f,\n",
+               allocs_per_subupdate);
+  std::fprintf(out,
+               "  \"stage_breakdown\": {\"route_ns_per_subupdate\": %.2f, "
+               "\"queue_ns_per_ref\": %.2f, \"drain_ns_per_event\": %.2f},\n",
+               route_ns, queue_ns, drain_ns);
   std::fprintf(out, "  \"sequential_updates_per_sec\": %.0f,\n", base_rate);
   std::fprintf(out, "  \"events\": %zu,\n", reference.size());
   std::fprintf(out, "  \"shard_scaling\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(out,
-                 "    {\"shards\": %zu, \"updates_per_sec\": %.0f, "
+                 "    {\"shards\": %zu, \"producers\": %zu, "
+                 "\"updates_per_sec\": %.0f, "
                  "\"speedup_vs_sequential\": %.2f, \"events_identical\": %s}%s\n",
-                 r.shards, r.rate, r.speedup_vs_sequential,
+                 r.shards, r.producers, r.rate, r.speedup_vs_sequential,
                  r.events_identical ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
@@ -159,6 +372,7 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
 
   // The numbers are meaningless if the sharded pipeline diverges from
-  // the sequential engine — fail loudly (CI runs this as a smoke test).
+  // the sequential engine or the zero-copy contract regressed — fail
+  // loudly (CI runs this as a smoke test).
   return all_equivalent ? 0 : 1;
 }

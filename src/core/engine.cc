@@ -110,10 +110,16 @@ bool InferenceEngine::detect(const bgp::PeerKey& peer, const bgp::AsPath& path,
     out.push_back(d);
   };
 
+  // With exactly one classic community and no large ones, a passed
+  // prefilter already pinpoints that community — the per-community
+  // bitset re-probe below would be pure overhead on the hit path.
+  const bool probe_each =
+      communities.classic().size() != 1 || !communities.large().empty();
+
   for (auto community : communities.classic()) {
     dictionary::EntryView entry;
     if (config_.use_compiled_fastpath) {
-      if (!compiled_->maybe_blackhole(community)) continue;
+      if (probe_each && !compiled_->maybe_blackhole(community)) continue;
       const dictionary::EntryView* e = compiled_->lookup(community);
       if (!e) continue;
       entry = *e;
@@ -293,31 +299,56 @@ void InferenceEngine::init_from_table_dump(Platform platform,
   }
 }
 
+void InferenceEngine::process_withdrawal(Platform platform,
+                                         const bgp::PeerKey& peer,
+                                         const net::Prefix& prefix,
+                                         util::SimTime time) {
+  ++stats_.withdrawals_seen;
+  close_event(platform, peer, prefix, time, /*explicit_withdrawal=*/true);
+}
+
+void InferenceEngine::process_announcement(Platform platform,
+                                           const bgp::PeerKey& peer,
+                                           const net::Prefix& prefix,
+                                           util::SimTime time,
+                                           const bgp::AsPath& path,
+                                           const bgp::CommunitySet& communities) {
+  ++stats_.announcements_seen;
+  if (config_.clean_input && cleaner_.is_bogus(prefix)) {
+    ++stats_.bogons_filtered;
+    return;
+  }
+  if (detect(peer, path, communities)) {
+    open_event(platform, peer, prefix, time, /*from_dump=*/false,
+               detect_scratch_, communities);
+  } else {
+    // Announcement without blackhole communities for a previously
+    // blackholed prefix: implicit withdrawal (§4.2).
+    close_event(platform, peer, prefix, time, /*explicit_withdrawal=*/false);
+  }
+}
+
 void InferenceEngine::process(Platform platform,
                               const bgp::ObservedUpdate& update) {
   ++stats_.updates_processed;
   bgp::PeerKey peer{update.peer_ip, update.peer_asn};
 
   for (const auto& prefix : update.body.withdrawn) {
-    ++stats_.withdrawals_seen;
-    close_event(platform, peer, prefix, update.time,
-                /*explicit_withdrawal=*/true);
+    process_withdrawal(platform, peer, prefix, update.time);
   }
   for (const auto& prefix : update.body.announced) {
-    ++stats_.announcements_seen;
-    if (config_.clean_input && cleaner_.is_bogus(prefix)) {
-      ++stats_.bogons_filtered;
-      continue;
-    }
-    if (detect(peer, update.body.as_path, update.body.communities)) {
-      open_event(platform, peer, prefix, update.time, /*from_dump=*/false,
-                 detect_scratch_, update.body.communities);
-    } else {
-      // Announcement without blackhole communities for a previously
-      // blackholed prefix: implicit withdrawal (§4.2).
-      close_event(platform, peer, prefix, update.time,
-                  /*explicit_withdrawal=*/false);
-    }
+    process_announcement(platform, peer, prefix, update.time,
+                         update.body.as_path, update.body.communities);
+  }
+}
+
+void InferenceEngine::process(const UpdateView& view) {
+  ++stats_.updates_processed;
+  if (view.is_withdrawal) {
+    process_withdrawal(view.platform, view.peer, *view.prefix, view.time);
+  } else {
+    process_announcement(view.platform, view.peer, *view.prefix, view.time,
+                         *view.as_path, *view.communities);
   }
 }
 

@@ -63,6 +63,22 @@ struct EngineConfig {
   bool use_compiled_fastpath = true;
 };
 
+// Borrowed single-prefix view of one observed update — the zero-copy
+// engine entry point used by the streaming data plane (the shard
+// workers read route attributes straight out of a shared UpdateBlock,
+// src/stream/update_block.h).  All referenced data is owned by the
+// caller and only needs to stay alive for the duration of the
+// process() call.  Withdrawals never read as_path/communities.
+struct UpdateView {
+  Platform platform = Platform::kRis;
+  util::SimTime time = 0;
+  bgp::PeerKey peer;
+  const net::Prefix* prefix = nullptr;
+  bool is_withdrawal = false;
+  const bgp::AsPath* as_path = nullptr;
+  const bgp::CommunitySet* communities = nullptr;
+};
+
 struct EngineStats {
   std::uint64_t updates_processed = 0;
   std::uint64_t announcements_seen = 0;
@@ -100,6 +116,13 @@ class InferenceEngine {
 
   // Continuous monitoring mode.
   void process(Platform platform, const bgp::ObservedUpdate& update);
+
+  // Zero-copy single-prefix entry point: identical inference and stats
+  // to feeding the same sub-update through the owning overload above,
+  // without materializing an ObservedUpdate.  One call counts as one
+  // processed update (the streaming pipeline folds sub-update counts
+  // back into original-update counts itself).
+  void process(const UpdateView& view);
 
   // Close all still-open events at `end_time` (end of study window).
   void finish(util::SimTime end_time);
@@ -139,6 +162,15 @@ class InferenceEngine {
   // scratch vector is engine-owned and reused across updates.
   bool detect(const bgp::PeerKey& peer, const bgp::AsPath& path,
               const bgp::CommunitySet& communities);
+
+  // Shared per-prefix transitions; both process() overloads funnel
+  // here, which is what keeps the owning and view paths byte-equal.
+  void process_withdrawal(Platform platform, const bgp::PeerKey& peer,
+                          const net::Prefix& prefix, util::SimTime time);
+  void process_announcement(Platform platform, const bgp::PeerKey& peer,
+                            const net::Prefix& prefix, util::SimTime time,
+                            const bgp::AsPath& path,
+                            const bgp::CommunitySet& communities);
 
   void open_event(Platform platform, const bgp::PeerKey& peer,
                   const net::Prefix& prefix, util::SimTime time,

@@ -15,12 +15,9 @@ CompiledDictionary::CompiledDictionary(const BlackholeDictionary& source) {
   }
   provider_pool_.reserve(total_providers);
   ixp_pool_.reserve(total_ixps);
-  keys_.reserve(source.entries().size());
   entries_.reserve(source.entries().size());
 
-  // std::map iteration is already key-sorted, so keys_ comes out sorted.
   for (const auto& [c, entry] : source.entries()) {
-    keys_.push_back(c.raw());
     EntryView view;
     if (!entry.provider_asns.empty()) {
       Asn* start = provider_pool_.data() + provider_pool_.size();
@@ -38,6 +35,26 @@ CompiledDictionary::CompiledDictionary(const BlackholeDictionary& source) {
     set_bit(classic_bits_, c.value());
   }
 
+  // Slot table: power-of-two capacity, load factor <= 0.5.
+  if (!entries_.empty()) {
+    std::size_t capacity = 4;
+    unsigned shift = 30;
+    while (capacity < entries_.size() * 2) {
+      capacity <<= 1;
+      --shift;
+    }
+    slots_.assign(capacity, Slot{});
+    slot_mask_ = capacity - 1;
+    slot_shift_ = shift;
+    std::uint32_t index = 1;  // 1-based; 0 marks an empty slot
+    for (const auto& [c, entry] : source.entries()) {
+      (void)entry;
+      std::size_t i = slot_index(c.raw());
+      while (slots_[i].entry_plus_one != 0) i = (i + 1) & slot_mask_;
+      slots_[i] = Slot{.key = c.raw(), .entry_plus_one = index++};
+    }
+  }
+
   large_.reserve(source.large_entries().size());
   for (const auto& [c, provider] : source.large_entries()) {
     large_.push_back(LargeEntry{.global = c.global_admin(),
@@ -49,23 +66,6 @@ CompiledDictionary::CompiledDictionary(const BlackholeDictionary& source) {
   // std::map order on LargeCommunity is (global, l1, l2) — already the
   // LargeEntry order, but sort defensively; build cost is irrelevant.
   std::sort(large_.begin(), large_.end());
-}
-
-const EntryView* CompiledDictionary::lookup(bgp::Community c) const {
-  const std::uint32_t key = c.raw();
-  const std::uint32_t* base = keys_.data();
-  std::size_t n = keys_.size();
-  if (n == 0) return nullptr;
-  // Branchless lower-bound: the `base +=` compiles to a conditional
-  // move, so a miss costs ~log2(n) predictable iterations with no
-  // branch mispredicts.
-  while (n > 1) {
-    const std::size_t half = n / 2;
-    base += (base[half - 1] < key) ? half : 0;
-    n -= half;
-  }
-  if (*base != key) return nullptr;
-  return &entries_[static_cast<std::size_t>(base - keys_.data())];
 }
 
 std::optional<Asn> CompiledDictionary::lookup_large(bgp::LargeCommunity c) const {

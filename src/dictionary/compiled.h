@@ -12,10 +12,12 @@
 //     costs one bit-test per community and touches no cold memory —
 //     blackhole values cluster (666, 66, 999, ...), so the bitset is
 //     extremely sparse and a miss almost never proceeds further;
-//   * a sorted flat key array + branchless binary search for confirmed
-//     candidates, with provider/IXP lists packed into dense pools and
-//     exposed as std::span views (no per-entry allocation, no pointer
-//     chasing into map nodes);
+//   * a flat open-addressing slot table (power-of-two capacity, load
+//     factor <= 0.5, linear probing) for confirmed candidates: the
+//     common hit is one multiply-shift hash, one 8-byte slot load and
+//     one compare — no binary-search dependency chain, no pointer
+//     chasing into map nodes.  Provider/IXP lists are packed into
+//     dense pools and exposed as std::span views;
 //   * the same two-level treatment for RFC 8092 large communities,
 //     keyed on a 16-bit fingerprint of the 96-bit value.
 //
@@ -84,10 +86,20 @@ class CompiledDictionary {
 
   // Exact lookup; nullptr when `c` is not a blackhole community.  The
   // returned view stays valid for the lifetime of this object.
-  const EntryView* lookup(bgp::Community c) const;
+  const EntryView* lookup(bgp::Community c) const {
+    if (slots_.empty()) return nullptr;
+    const std::uint32_t key = c.raw();
+    std::size_t i = slot_index(key);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.entry_plus_one == 0) return nullptr;
+      if (s.key == key) return &entries_[s.entry_plus_one - 1];
+      i = (i + 1) & slot_mask_;
+    }
+  }
   std::optional<Asn> lookup_large(bgp::LargeCommunity c) const;
 
-  std::size_t num_classic() const { return keys_.size(); }
+  std::size_t num_classic() const { return entries_.size(); }
   std::size_t num_large() const { return large_.size(); }
 
  private:
@@ -119,10 +131,24 @@ class CompiledDictionary {
   std::array<std::uint64_t, kBitWords> classic_bits_{};
   std::array<std::uint64_t, kBitWords> large_bits_{};
 
-  // Sorted raw classic communities; entries_[i] belongs to keys_[i].
-  // Keys live in their own array so the binary search walks densely
-  // packed 32-bit values.
-  std::vector<std::uint32_t> keys_;
+  // Open-addressing slot table over raw classic communities.  A slot
+  // is 8 bytes: the raw key and a 1-based index into entries_ (0 =
+  // empty).  Capacity is a power of two at most half full, so linear
+  // probe chains stay short and a lookup is branch-predictable.
+  struct Slot {
+    std::uint32_t key = 0;
+    std::uint32_t entry_plus_one = 0;
+  };
+
+  std::size_t slot_index(std::uint32_t key) const {
+    // Fibonacci multiply-shift: cheap and mixes the ASN half (the
+    // varying half of blackhole communities) into the high bits.
+    return (key * 0x9E3779B1u) >> slot_shift_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t slot_mask_ = 0;
+  unsigned slot_shift_ = 32;
   std::vector<EntryView> entries_;
 
   // Dense pools backing the entry spans.

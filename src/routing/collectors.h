@@ -35,6 +35,12 @@ inline constexpr std::array<Platform, kNumPlatforms> kAllPlatforms = {
 
 std::string to_string(Platform p);
 
+// Dense 0..kNumPlatforms-1 index of a platform — array indexing and
+// the streaming pipeline's one-producer-per-platform mapping.
+inline constexpr std::size_t platform_index(Platform p) {
+  return static_cast<std::size_t>(p);
+}
+
 enum class FeedType : std::uint8_t { kFull, kPartial, kCustomerOnly };
 
 struct CollectorSession {

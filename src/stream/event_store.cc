@@ -4,27 +4,78 @@
 
 namespace bgpbh::stream {
 
-void EventStore::ingest(std::vector<core::PeerEvent> events) {
-  if (events.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : events) {
-    counters_.total_events += 1;
-    counters_.per_provider[e.provider] += 1;
-    counters_.per_platform[e.platform] += 1;
-    if (!has_any_ || e.start < counters_.first_start) {
-      counters_.first_start = e.start;
-    }
-    if (!has_any_ || e.end > counters_.last_end) {
-      counters_.last_end = e.end;
-    }
-    has_any_ = true;
+EventStore::EventStore(std::size_t lanes) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
   }
-  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
-                 std::make_move_iterator(events.end()));
+}
+
+void EventStore::count_events(Lane& lane,
+                              const std::vector<core::PeerEvent>& events) {
+  for (const auto& e : events) {
+    lane.counters.total_events += 1;
+    lane.counters.per_provider[e.provider] += 1;
+    lane.counters.per_platform[e.platform] += 1;
+    if (!lane.has_any || e.start < lane.counters.first_start) {
+      lane.counters.first_start = e.start;
+    }
+    if (!lane.has_any || e.end > lane.counters.last_end) {
+      lane.counters.last_end = e.end;
+    }
+    lane.has_any = true;
+  }
+  lane.event_count += events.size();
+}
+
+void EventStore::fold(Snapshot& into, bool& into_has_any, const Snapshot& from,
+                      bool from_has_any) {
+  if (!from_has_any) return;
+  into.total_events += from.total_events;
+  for (const auto& [provider, n] : from.per_provider) {
+    into.per_provider[provider] += n;
+  }
+  for (const auto& [platform, n] : from.per_platform) {
+    into.per_platform[platform] += n;
+  }
+  if (!into_has_any || from.first_start < into.first_start) {
+    into.first_start = from.first_start;
+  }
+  if (!into_has_any || from.last_end > into.last_end) {
+    into.last_end = from.last_end;
+  }
+  into_has_any = true;
+}
+
+void EventStore::ingest_chunk(std::size_t lane_index,
+                              std::vector<core::PeerEvent>&& chunk) {
+  if (chunk.empty()) return;
+  Lane& lane = *lanes_[lane_index % lanes_.size()];
+  std::lock_guard<std::mutex> lock(lane.mu);
+  count_events(lane, chunk);
+  lane.chunks.push_back(std::move(chunk));
+}
+
+void EventStore::ingest(std::vector<core::PeerEvent> events) {
+  ingest_chunk(0, std::move(events));
 }
 
 void EventStore::finalize() {
   std::lock_guard<std::mutex> lock(mu_);
+  for (auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    std::lock_guard<std::mutex> lane_lock(lane.mu);
+    for (auto& chunk : lane.chunks) {
+      events_.insert(events_.end(), std::make_move_iterator(chunk.begin()),
+                     std::make_move_iterator(chunk.end()));
+    }
+    lane.chunks.clear();
+    lane.event_count = 0;
+    fold(merged_counters_, merged_has_any_, lane.counters, lane.has_any);
+    lane.counters = Snapshot{};
+    lane.has_any = false;
+  }
   core::canonical_sort(events_);
   finalized_ = true;
 }
@@ -34,32 +85,100 @@ bool EventStore::finalized() const {
   return finalized_;
 }
 
+// Readers scan the merged vector (under mu_) and then each lane (under
+// its own mutex) without holding one big lock, so a concurrent
+// finalize() — which relocates events from the lanes into the merged
+// vector — could slip between the observation points and make a scan
+// miss whatever already moved.  finalize() holds mu_ for its entire
+// duration and is one-shot, so re-reading finalized() after the scan
+// detects exactly that interleaving: if the flag didn't change, no
+// relocation overlapped the scan.  At most one retry ever happens.
+template <typename Scan>
+auto EventStore::consistent_scan(Scan&& scan) const {
+  for (;;) {
+    const bool was_finalized = finalized();
+    auto result = scan();
+    if (was_finalized || !finalized()) return result;
+  }
+}
+
 std::size_t EventStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  return consistent_scan([&] {
+    std::size_t total;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      total = events_.size();
+    }
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lane_lock(lane->mu);
+      total += lane->event_count;
+    }
+    return total;
+  });
 }
 
 EventStore::Snapshot EventStore::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  return consistent_scan([&] {
+    Snapshot snap;
+    bool has_any = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snap = merged_counters_;
+      has_any = merged_has_any_;
+    }
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lane_lock(lane->mu);
+      fold(snap, has_any, lane->counters, lane->has_any);
+    }
+    return snap;
+  });
 }
 
 std::vector<core::PeerEvent> EventStore::events_in(util::SimTime t0,
                                                    util::SimTime t1) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<core::PeerEvent> out;
-  for (const auto& e : events_) {
-    if (e.end >= t0 && e.start < t1) out.push_back(e);
-  }
-  return out;
+  auto overlaps = [&](const core::PeerEvent& e) {
+    return e.end >= t0 && e.start < t1;
+  };
+  return consistent_scan([&] {
+    std::vector<core::PeerEvent> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& e : events_) {
+        if (overlaps(e)) out.push_back(e);
+      }
+    }
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lane_lock(lane->mu);
+      for (const auto& chunk : lane->chunks) {
+        for (const auto& e : chunk) {
+          if (overlaps(e)) out.push_back(e);
+        }
+      }
+    }
+    return out;
+  });
 }
 
 std::size_t EventStore::count_in(util::SimTime t0, util::SimTime t1) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(), [&](const auto& e) {
-        return e.end >= t0 && e.start < t1;
-      }));
+  auto overlaps = [&](const core::PeerEvent& e) {
+    return e.end >= t0 && e.start < t1;
+  };
+  return consistent_scan([&] {
+    std::size_t n = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      n += static_cast<std::size_t>(
+          std::count_if(events_.begin(), events_.end(), overlaps));
+    }
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lane_lock(lane->mu);
+      for (const auto& chunk : lane->chunks) {
+        n += static_cast<std::size_t>(
+            std::count_if(chunk.begin(), chunk.end(), overlaps));
+      }
+    }
+    return n;
+  });
 }
 
 }  // namespace bgpbh::stream

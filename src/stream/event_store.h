@@ -1,17 +1,22 @@
 // Merged, time-ordered store of closed blackholing events produced by
 // the engine shards of the streaming pipeline.
 //
-// Shard workers ingest batches concurrently while the pipeline runs;
-// aggregate counters (per-provider, per-platform, total) are maintained
-// incrementally so a live alerting sink can take a consistent snapshot
-// at any time without stopping the workers.  After the pipeline
-// finishes, finalize() sorts the merged set into the canonical event
-// order (core::canonical_less) — the representation in which a sharded
-// run is byte-comparable to a sequential one.
+// Shard workers hand events over in *sealed chunks*: each worker seals
+// its engine's drained batch and moves the whole vector into its own
+// lane under that lane's mutex — an O(1) splice plus small counter
+// updates, never an element-wise copy under a shared lock.  Lanes are
+// per-shard, so the hot ingest path has no cross-shard contention; the
+// expensive work (merging every lane into one canonically sorted
+// vector) happens once, in finalize(), after the workers have stopped.
+//
+// Aggregate counters (per-provider, per-platform, total) are kept per
+// lane and folded on demand, so a live alerting sink can take a
+// consistent snapshot at any time without stopping the workers.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -30,10 +35,20 @@ class EventStore {
     std::map<routing::Platform, std::size_t> per_platform;
   };
 
-  // Thread-safe: called by shard workers with drained closed events.
+  // One lane per concurrent ingester (shard worker).  Lane count is
+  // fixed at construction; ingest_chunk(lane) for lane >= lanes rounds
+  // into the available ones.
+  explicit EventStore(std::size_t lanes = 1);
+
+  // Sealed-chunk handoff: moves the whole chunk into the lane under
+  // its (per-lane, effectively uncontended) mutex.  Thread-safe.
+  void ingest_chunk(std::size_t lane, std::vector<core::PeerEvent>&& chunk);
+
+  // Convenience for single-writer callers (tests, batch imports).
   void ingest(std::vector<core::PeerEvent> events);
 
-  // Sorts the merged set canonically.  Call once all workers stopped.
+  // Merges every lane into the canonical event order.  Call once all
+  // workers stopped.
   void finalize();
   bool finalized() const;
 
@@ -45,15 +60,38 @@ class EventStore {
                                          util::SimTime t1) const;
   std::size_t count_in(util::SimTime t0, util::SimTime t1) const;
 
-  // The merged event set; canonical order once finalized.  Only valid
-  // to hold the reference while no worker is ingesting.
+  // The merged event set in canonical order.  EMPTY until finalize()
+  // merges the lanes — ingested events live in per-shard lanes first
+  // (query them live via snapshot()/events_in()/count_in()).  Only
+  // valid to hold the reference while no worker is ingesting.
   const std::vector<core::PeerEvent>& events() const { return events_; }
 
  private:
+  struct Lane {
+    mutable std::mutex mu;
+    std::vector<std::vector<core::PeerEvent>> chunks;  // sealed, unmerged
+    std::size_t event_count = 0;
+    Snapshot counters;
+    bool has_any = false;
+  };
+
+  static void count_events(Lane& lane,
+                           const std::vector<core::PeerEvent>& events);
+  static void fold(Snapshot& into, bool& into_has_any, const Snapshot& from,
+                   bool from_has_any);
+
+  // Runs `scan` and retries once if a concurrent finalize() moved
+  // events between the scan's observation points (see the .cc).
+  template <typename Scan>
+  auto consistent_scan(Scan&& scan) const;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  // Guards the merged state (events_, merged counters, finalized_).
   mutable std::mutex mu_;
   std::vector<core::PeerEvent> events_;
-  Snapshot counters_;
-  bool has_any_ = false;
+  Snapshot merged_counters_;
+  bool merged_has_any_ = false;
   bool finalized_ = false;
 };
 

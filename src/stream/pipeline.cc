@@ -2,76 +2,107 @@
 
 namespace bgpbh::stream {
 
+StreamPipeline::Producer::Producer(StreamPipeline& owner,
+                                   std::size_t num_shards, BlockPool& blocks,
+                                   bool zero_copy, std::size_t batch_size)
+    : owner_(&owner), router_(num_shards, blocks, zero_copy),
+      batch_size_(batch_size), pending_(num_shards) {
+  for (auto& buf : pending_) buf.reserve(batch_size);
+}
+
+bool StreamPipeline::Producer::push(const routing::FeedUpdate& update) {
+  StreamPipeline& p = *owner_;
+  if (p.finished()) return false;  // queues are closed; don't count or drop
+  // Workers must be consuming before the bounded queues fill up, or a
+  // pre-start push could block forever.  Read-only check first: an
+  // unconditional start() would put an atomic RMW on every push,
+  // ping-ponging the flag's cache line across producer threads.
+  if (!p.started_.load(std::memory_order_acquire)) p.start();
+  router_.route(update, [&](std::size_t shard, SubUpdateRef ref) {
+    auto& buf = pending_[shard];
+    buf.push_back(ref);
+    if (buf.size() >= batch_size_) submit_shard(shard);
+  });
+  return true;
+}
+
+void StreamPipeline::Producer::flush() {
+  for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
+    if (!pending_[shard].empty()) submit_shard(shard);
+  }
+}
+
+void StreamPipeline::Producer::submit_shard(std::size_t shard) {
+  StreamPipeline& p = *owner_;
+  auto& buf = pending_[shard];
+  std::size_t accepted = p.workers_.submit_batch(shard, buf);
+  // Shutdown mid-batch: the caller keeps the rejected refs' block
+  // references; release them so no block leaks.
+  for (std::size_t i = accepted; i < buf.size(); ++i) {
+    p.blocks_.release(buf[i].block);
+  }
+  buf.clear();
+}
+
 StreamPipeline::StreamPipeline(const dictionary::BlackholeDictionary& dictionary,
                                const topology::Registry& registry,
                                PipelineConfig config)
-    : pool_(dictionary, registry, config.engine,
-            config.num_shards == 0 ? 1 : config.num_shards,
-            config.queue_capacity, config.drain_batch,
-            config.batch_size == 0 ? 1 : config.batch_size, store_),
-      router_(config.num_shards == 0 ? 1 : config.num_shards),
-      batch_size_(config.batch_size == 0 ? 1 : config.batch_size),
-      pending_(pool_.num_shards()) {
-  for (auto& buf : pending_) buf.reserve(batch_size_);
+    : store_(config.num_shards == 0 ? 1 : config.num_shards),
+      workers_(dictionary, registry, config.engine,
+               config.num_shards == 0 ? 1 : config.num_shards,
+               config.queue_capacity, config.drain_batch,
+               config.batch_size == 0 ? 1 : config.batch_size,
+               /*serialize_producers=*/config.num_producers > 1, blocks_,
+               store_) {
+  const std::size_t num_producers =
+      config.num_producers == 0 ? 1 : config.num_producers;
+  const std::size_t batch_size = config.batch_size == 0 ? 1 : config.batch_size;
+  producers_.reserve(num_producers);
+  for (std::size_t i = 0; i < num_producers; ++i) {
+    producers_.push_back(std::unique_ptr<Producer>(
+        new Producer(*this, workers_.num_shards(), blocks_, config.zero_copy,
+                     batch_size)));
+  }
 }
 
-StreamPipeline::~StreamPipeline() { pool_.close_and_join(); }
+StreamPipeline::~StreamPipeline() { workers_.close_and_join(); }
 
 void StreamPipeline::init_from_table_dump(routing::Platform platform,
                                           const bgp::mrt::TableDump& dump) {
   // Partition entries onto their owning shards; relative order within a
   // shard follows the dump (per-key state only depends on its own
   // entries, so cross-shard order is irrelevant).
-  std::vector<bgp::mrt::TableDump> per_shard(pool_.num_shards());
+  std::vector<bgp::mrt::TableDump> per_shard(workers_.num_shards());
   for (auto& sub : per_shard) {
     sub.time = dump.time;
     sub.collector_name = dump.collector_name;
   }
   for (const auto& entry : dump.entries) {
-    std::size_t shard = shard_for(entry.peer, entry.prefix, pool_.num_shards());
+    std::size_t shard =
+        shard_for(entry.peer, entry.prefix, workers_.num_shards());
     per_shard[shard].entries.push_back(entry);
   }
   for (std::size_t i = 0; i < per_shard.size(); ++i) {
     if (per_shard[i].entries.empty()) continue;
-    pool_.engine(i).init_from_table_dump(platform, per_shard[i]);
+    workers_.engine(i).init_from_table_dump(platform, per_shard[i]);
   }
 }
 
 void StreamPipeline::start() {
-  if (started_) return;
-  started_ = true;
-  pool_.start();
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
+  workers_.start();
 }
 
 bool StreamPipeline::push(const routing::FeedUpdate& update) {
-  if (finished_) return false;  // queues are closed; don't count or drop
-  // Workers must be consuming before the bounded queues fill up, or a
-  // pre-start push could block forever.
-  start();
-  router_.route(update, [this](std::size_t shard, routing::FeedUpdate sub) {
-    auto& buf = pending_[shard];
-    buf.push_back(std::move(sub));
-    if (buf.size() >= batch_size_) {
-      pool_.submit_batch(shard, buf);
-      buf.clear();
-    }
-  });
-  return true;
+  return producers_[0]->push(update);
 }
 
-void StreamPipeline::flush() {
-  for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
-    auto& buf = pending_[shard];
-    if (buf.empty()) continue;
-    pool_.submit_batch(shard, buf);
-    buf.clear();
-  }
-}
+void StreamPipeline::flush() { producers_[0]->flush(); }
 
 std::uint64_t StreamPipeline::run(UpdateSource& source) {
   start();
   std::uint64_t consumed = 0;
-  while (auto update = source.next()) {
+  while (const routing::FeedUpdate* update = source.next()) {
     if (!push(*update)) break;
     ++consumed;
   }
@@ -79,33 +110,43 @@ std::uint64_t StreamPipeline::run(UpdateSource& source) {
 }
 
 void StreamPipeline::finish(util::SimTime end_time) {
-  if (finished_) return;
-  flush();  // staged sub-updates must reach the workers before close
-  finished_ = true;
-  pool_.close_and_join();
-  for (std::size_t i = 0; i < pool_.num_shards(); ++i) {
+  if (finished_.exchange(true, std::memory_order_acq_rel)) return;
+  // Staged sub-updates must reach the workers before close.  Producer
+  // threads have stopped by contract, so their handles are quiescent.
+  for (auto& producer : producers_) {
+    producer->flush();
+    producer->router_.release_cached_blocks();
+  }
+  workers_.close_and_join();
+  for (std::size_t i = 0; i < workers_.num_shards(); ++i) {
     // Workers drain on exit, so everything the engine holds after
     // finish() is exactly the force-closed remainder.
-    pool_.engine(i).finish(end_time);
-    auto forced = pool_.engine(i).drain_closed();
+    workers_.engine(i).finish(end_time);
+    auto forced = workers_.engine(i).drain_closed();
     open_at_finish_ += forced.size();
-    store_.ingest(std::move(forced));
+    store_.ingest_chunk(i, std::move(forced));
   }
   store_.finalize();
 }
 
 std::size_t StreamPipeline::open_event_count() const {
-  return pool_.open_event_count();
+  return workers_.open_event_count();
+}
+
+std::uint64_t StreamPipeline::updates_pushed() const {
+  std::uint64_t total = 0;
+  for (const auto& producer : producers_) total += producer->updates_pushed();
+  return total;
 }
 
 core::EngineStats StreamPipeline::merged_stats() const {
   core::EngineStats merged;
-  for (std::size_t i = 0; i < pool_.num_shards(); ++i) {
-    merged += pool_.engine(i).stats();
+  for (std::size_t i = 0; i < workers_.num_shards(); ++i) {
+    merged += workers_.engine(i).stats();
   }
   // Shards count split sub-updates; report original updates instead so
   // the number matches a sequential engine fed the same stream.
-  merged.updates_processed = router_.updates_routed();
+  merged.updates_processed = updates_pushed();
   return merged;
 }
 

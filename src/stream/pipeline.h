@@ -1,26 +1,46 @@
 // StreamPipeline: the live ingestion facade.
 //
-//   UpdateSource ──> ShardRouter ──> SpscQueue[i] ──> shard worker i
-//                                                     (InferenceEngine)
-//                                                          │ drain_closed()
-//                                                          v
-//                                                      EventStore
+//   UpdateSource ──> Producer 0 ┐                ┌> shard worker 0
+//    (per collector   ShardRouter├─ SubUpdateRef ─┤  (InferenceEngine)
+//     platform)                  │   SpscQueue[i] │       │ drain_closed()
+//   UpdateSource ──> Producer P-1┘   (16 B refs)  └> shard worker N-1
+//                        │                                │ sealed chunks
+//                        v                                v
+//                   BlockPool <─── release ─────── EventStore lane[i]
+//               (UpdateBlock: each parsed update stored once)
 //
-// One producer thread pulls FeedUpdates from a source (collector-fleet
-// adapter, MRT archive replay, or an in-memory batch), the router
-// splits them into per-(peer, prefix) sub-updates and stages them in
-// per-shard buffers that move onto the owning shard's bounded queue in
-// batches of `batch_size` (blocking when full: backpressure, never
-// drops), and N workers pop in matching batches and run private engine
-// shards whose closed events merge into a time-ordered store with a
-// live snapshot API.
+// Zero-copy data plane: a producer thread pulls FeedUpdates from a
+// source (collector-fleet adapter, MRT archive replay, or an in-memory
+// batch), parks each parsed update once in a pooled UpdateBlock, and
+// the router emits 16-byte SubUpdateRefs — (block, prefix index, kind)
+// — staged per shard and moved onto the owning shard's bounded queue
+// in batches of `batch_size` (blocking when full: backpressure, never
+// drops).  N workers pop in matching batches, run private engine
+// shards straight over the shared blocks via core::UpdateView (no
+// materialization), release the blocks back to the pool, and seal
+// their closed events into per-shard EventStore lanes — merged and
+// canonically ordered at finish().  In steady state the whole path
+// from push() to the engine performs zero heap allocations per
+// sub-update (bench/perf_stream asserts this with a counting
+// allocator).  `zero_copy = false` restores the materializing
+// deep-copy data plane as an A/B slow path.
+//
+// MPMC stage: `num_producers > 1` gives each producer thread its own
+// Producer handle (router + staging buffers); shard submission then
+// serializes on a per-shard mutex held once per sealed batch.  Per-key
+// equivalence holds as long as all updates of one (peer, prefix) key
+// flow through the same producer — true for one-producer-per-platform
+// deployments (collector sessions are platform-disjoint) and for any
+// peer-key-hash partition.
 //
 // Equivalence contract: after finish(), store().events() sorted
 // canonically is identical to what one sequential InferenceEngine
-// produces from the same update stream, for any shard count, and
-// merged_stats() equals the sequential engine's stats.
+// produces from the same update stream, for any shard count, batch
+// size, producer count, and either data plane, and merged_stats()
+// equals the sequential engine's stats.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -29,6 +49,7 @@
 #include "stream/event_store.h"
 #include "stream/shard_router.h"
 #include "stream/source.h"
+#include "stream/update_block.h"
 #include "stream/worker_pool.h"
 
 namespace bgpbh::stream {
@@ -39,17 +60,58 @@ struct PipelineConfig {
   std::size_t queue_capacity = 4096;
   // Sub-updates a worker processes between event-store drains.
   std::size_t drain_batch = 256;
-  // Sub-updates moved per queue transfer: the router buffers up to this
-  // many per shard before a push_batch, and workers pop up to this many
-  // per pop_batch — one index publish per chunk instead of per element.
-  // 1 restores per-element transfer (lowest latency, e.g. live alert
-  // feeds); flush() force-publishes the buffers at any time.
+  // Sub-updates moved per queue transfer: a producer stages up to this
+  // many per shard before a push_batch, and workers pop up to this
+  // many per pop_batch — one index publish per chunk instead of per
+  // element.  1 restores per-element transfer (lowest latency, e.g.
+  // live alert feeds); flush() force-publishes the buffers at any time.
   std::size_t batch_size = 64;
+  // MPMC stage: number of concurrent producer threads (e.g. one per
+  // collector platform).  Each must use its own producer() handle.
+  std::size_t num_producers = 1;
+  // A/B knob: false restores the owning-FeedUpdate deep-copy data
+  // plane (one materialized FeedUpdate per sub-update, owning engine
+  // entry point) — the pre-zero-copy baseline, kept to prove
+  // event-set equality and measure the win.
+  bool zero_copy = true;
   core::EngineConfig engine;
 };
 
 class StreamPipeline {
  public:
+  // One per producer thread: routes updates into the shard queues
+  // through its own router and staging buffers.  Obtain via
+  // StreamPipeline::producer(i); never share a handle across threads.
+  class Producer {
+   public:
+    // Route one update.  Returns false — without routing or counting
+    // the update — once the pipeline has finished; nothing is ever
+    // silently dropped.  Routed sub-updates are staged per shard and
+    // handed to the workers `batch_size` at a time.
+    bool push(const routing::FeedUpdate& update);
+
+    // Hand this producer's staged sub-updates to their shard queues
+    // now.  Bounds the detection latency of a slow feed.
+    void flush();
+
+    // Original updates accepted via push() on this handle.
+    std::uint64_t updates_pushed() const { return router_.updates_routed(); }
+
+   private:
+    friend class StreamPipeline;
+    Producer(StreamPipeline& owner, std::size_t num_shards, BlockPool& blocks,
+             bool zero_copy, std::size_t batch_size);
+
+    // Hand one shard's staged batch to the workers, releasing any refs
+    // a mid-shutdown rejection left with us.
+    void submit_shard(std::size_t shard);
+
+    StreamPipeline* owner_;
+    ShardRouter router_;
+    std::size_t batch_size_;
+    std::vector<std::vector<SubUpdateRef>> pending_;
+  };
+
   StreamPipeline(const dictionary::BlackholeDictionary& dictionary,
                  const topology::Registry& registry,
                  PipelineConfig config = {});
@@ -60,18 +122,15 @@ class StreamPipeline {
   void init_from_table_dump(routing::Platform platform,
                             const bgp::mrt::TableDump& dump);
 
+  // Idempotent; safe to race from multiple producer threads.
   void start();
 
-  // Route one update into the shard queues (single producer thread).
-  // Returns false — without routing or counting the update — once the
-  // pipeline has finished; nothing is ever silently dropped.  Routed
-  // sub-updates are staged in per-shard buffers and handed to the
-  // workers `batch_size` at a time; call flush() to force staged
-  // sub-updates out early (finish() always flushes).
-  bool push(const routing::FeedUpdate& update);
+  // ---- producing --------------------------------------------------------
+  Producer& producer(std::size_t index) { return *producers_.at(index); }
+  std::size_t num_producers() const { return producers_.size(); }
 
-  // Hand all staged sub-updates to their shard queues now (producer
-  // thread only).  Bounds the detection latency of a slow feed.
+  // Single-producer facade: producer(0).
+  bool push(const routing::FeedUpdate& update);
   void flush();
 
   // Drains an entire source through push(); returns updates consumed.
@@ -79,8 +138,9 @@ class StreamPipeline {
 
   // Close the queues, join the workers, close still-open events at
   // `end_time`, drain every shard into the store and canonical-sort it.
+  // All producer threads must have stopped pushing before this call.
   void finish(util::SimTime end_time);
-  bool finished() const { return finished_; }
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
 
   // ---- queries ----------------------------------------------------------
   EventStore& store() { return store_; }
@@ -94,25 +154,30 @@ class StreamPipeline {
   // same per-detection unit as the store's counters.
   std::size_t open_at_finish() const { return open_at_finish_; }
 
-  // Original updates accepted via push()/run().
-  std::uint64_t updates_pushed() const { return router_.updates_routed(); }
+  // Original updates accepted via push()/run(), over all producers.
+  std::uint64_t updates_pushed() const;
 
   // Shard stats folded into one EngineStats.  updates_processed counts
   // original (pre-split) updates so the result is comparable with a
   // sequential engine fed the same stream.  Valid after finish().
   core::EngineStats merged_stats() const;
 
-  std::size_t num_shards() const { return pool_.num_shards(); }
+  std::size_t num_shards() const { return workers_.num_shards(); }
+
+  // Pool observability: every block acquired must come back; 0 after
+  // finish() proves the refcounting closed the loop.
+  std::size_t blocks_in_flight() const { return blocks_.in_flight(); }
+  // Pool high-water mark; stops growing once the pipeline reaches
+  // steady state (bounded by staging + queue capacities).
+  std::size_t blocks_allocated() const { return blocks_.blocks_allocated(); }
 
  private:
   EventStore store_;
-  WorkerPool pool_;
-  ShardRouter router_;
-  std::size_t batch_size_;
-  // Per-shard staging buffers between the router and the queues.
-  std::vector<std::vector<routing::FeedUpdate>> pending_;
-  bool started_ = false;
-  bool finished_ = false;
+  BlockPool blocks_;
+  WorkerPool workers_;
+  std::vector<std::unique_ptr<Producer>> producers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
   std::size_t open_at_finish_ = 0;
 };
 

@@ -8,14 +8,23 @@
 // splits each observed update into single-prefix sub-updates and
 // routes each to the shard owning its key.  Within one update,
 // withdrawn prefixes are emitted before announced ones (the order the
-// sequential engine processes them in), and the SPSC queues are FIFO,
-// so the per-key transition order is identical to sequential replay.
+// sequential engine processes them in), and the queues are FIFO, so
+// the per-key transition order is identical to sequential replay.
+//
+// Data plane: the router stores each parsed update exactly once in a
+// pooled UpdateBlock and emits 16-byte SubUpdateRefs — it never copies
+// the AS path or communities, and in steady state (recycled blocks)
+// performs zero heap allocations per update.  The pre-zero-copy
+// representation — one fully materialized FeedUpdate per sub-update —
+// is kept behind `zero_copy = false` as the A/B slow path
+// (PipelineConfig::zero_copy; tests prove event-set equality).
 #pragma once
 
 #include <cstdint>
 
 #include "bgp/rib.h"
 #include "routing/collectors.h"
+#include "stream/update_block.h"
 
 namespace bgpbh::stream {
 
@@ -25,49 +34,132 @@ std::size_t shard_for(const bgp::PeerKey& peer, const net::Prefix& prefix,
 
 class ShardRouter {
  public:
-  explicit ShardRouter(std::size_t num_shards) : num_shards_(num_shards) {}
+  // Blocks a producer keeps locally between pool refills; one pool
+  // lock per this many updates instead of per update.
+  static constexpr std::size_t kBlockCacheSize = 64;
+
+  ShardRouter(std::size_t num_shards, BlockPool& pool, bool zero_copy = true)
+      : num_shards_(num_shards), pool_(&pool), zero_copy_(zero_copy) {
+    cache_.reserve(kBlockCacheSize);
+  }
+
+  ~ShardRouter() { release_cached_blocks(); }
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
 
   std::size_t num_shards() const { return num_shards_; }
+  bool zero_copy() const { return zero_copy_; }
 
   // Original (pre-split) updates seen; the pipeline reports this as
   // updates_processed so merged stats match the sequential engine's.
   std::uint64_t updates_routed() const { return updates_routed_; }
 
   // Splits `fu` into single-prefix sub-updates and calls
-  // emit(shard_index, sub_update) for each.  Withdrawals first.
+  // emit(shard_index, SubUpdateRef) for each.  Withdrawals first.
+  // Every emitted ref carries one reference on its block; whoever
+  // consumes the ref must release it back to the pool.
   template <typename Emit>
   void route(const routing::FeedUpdate& fu, Emit&& emit) {
     ++updates_routed_;
+    const bgp::UpdateBody& body = fu.update.body;
+    const std::size_t subs = body.withdrawn.size() + body.announced.size();
+    if (subs == 0) return;
     bgp::PeerKey peer{fu.update.peer_ip, fu.update.peer_asn};
-    for (const auto& prefix : fu.update.body.withdrawn) {
-      routing::FeedUpdate sub = base_of(fu);
-      sub.update.body.withdrawn.push_back(prefix);
-      emit(shard_for(peer, prefix, num_shards_), std::move(sub));
+
+    if (!zero_copy_) {
+      route_owning(fu, peer, emit);
+      return;
     }
-    for (const auto& prefix : fu.update.body.announced) {
-      routing::FeedUpdate sub = base_of(fu);
-      sub.update.body.announced.push_back(prefix);
-      sub.update.body.as_path = fu.update.body.as_path;
-      sub.update.body.communities = fu.update.body.communities;
-      sub.update.body.next_hop = fu.update.body.next_hop;
-      sub.update.body.origin = fu.update.body.origin;
-      emit(shard_for(peer, prefix, num_shards_), std::move(sub));
+
+    // Zero-copy fast path: one block holds the parsed update; the copy
+    // assignment below reuses the recycled block's vector capacities,
+    // so nothing allocates once the pool is warm.
+    UpdateBlock* block = next_block();
+    block->update = fu;
+    block->refs.store(static_cast<std::uint32_t>(subs),
+                      std::memory_order_relaxed);
+    for (std::size_t i = 0; i < body.withdrawn.size(); ++i) {
+      emit(shard_for(peer, body.withdrawn[i], num_shards_),
+           SubUpdateRef{block, static_cast<std::uint32_t>(i),
+                        SubKind::kWithdraw});
+    }
+    for (std::size_t i = 0; i < body.announced.size(); ++i) {
+      emit(shard_for(peer, body.announced[i], num_shards_),
+           SubUpdateRef{block, static_cast<std::uint32_t>(i),
+                        SubKind::kAnnounce});
     }
   }
 
  private:
-  // Collector metadata shared by every sub-update of one update.
-  static routing::FeedUpdate base_of(const routing::FeedUpdate& fu) {
-    routing::FeedUpdate sub;
+  // A/B slow path: materialize a full single-prefix FeedUpdate per
+  // sub-update (deep copies of path and communities — the original,
+  // copy-bound data plane).  Workers feed these to the owning engine
+  // entry point.
+  template <typename Emit>
+  void route_owning(const routing::FeedUpdate& fu, const bgp::PeerKey& peer,
+                    Emit&& emit) {
+    const bgp::UpdateBody& body = fu.update.body;
+    for (const auto& prefix : body.withdrawn) {
+      UpdateBlock* block = next_block();
+      materialize_base(fu, *block);
+      block->update.update.body.withdrawn.push_back(prefix);
+      emit(shard_for(peer, prefix, num_shards_),
+           SubUpdateRef{block, 0, SubKind::kOwned});
+    }
+    for (const auto& prefix : body.announced) {
+      UpdateBlock* block = next_block();
+      materialize_base(fu, *block);
+      bgp::UpdateBody& sub = block->update.update.body;
+      sub.announced.push_back(prefix);
+      sub.as_path = body.as_path;
+      sub.communities = body.communities;
+      sub.next_hop = body.next_hop;
+      sub.origin = body.origin;
+      emit(shard_for(peer, prefix, num_shards_),
+           SubUpdateRef{block, 0, SubKind::kOwned});
+    }
+  }
+
+  // Collector metadata shared by every sub-update of one update; the
+  // block may be recycled, so clear all route attributes explicitly.
+  static void materialize_base(const routing::FeedUpdate& fu,
+                               UpdateBlock& block) {
+    routing::FeedUpdate& sub = block.update;
     sub.platform = fu.platform;
     sub.update.time = fu.update.time;
     sub.update.peer_ip = fu.update.peer_ip;
     sub.update.peer_asn = fu.update.peer_asn;
     sub.update.collector_id = fu.update.collector_id;
-    return sub;
+    sub.update.body.withdrawn.clear();
+    sub.update.body.announced.clear();
+    sub.update.body.as_path = bgp::AsPath();
+    sub.update.body.communities.clear();
+    sub.update.body.next_hop.reset();
+    sub.update.body.origin = bgp::Origin::kIgp;
+    block.refs.store(1, std::memory_order_relaxed);
   }
 
+  UpdateBlock* next_block() {
+    if (cache_.empty()) pool_->acquire_batch(cache_, kBlockCacheSize);
+    UpdateBlock* block = cache_.back();
+    cache_.pop_back();
+    return block;
+  }
+
+ public:
+  // Hand locally cached (unused, unreferenced) blocks back to the
+  // pool; the pipeline calls this at finish() so in_flight drops to 0.
+  void release_cached_blocks() {
+    pool_->recycle_batch(cache_);
+    cache_.clear();
+  }
+
+ private:
   std::size_t num_shards_;
+  BlockPool* pool_;
+  bool zero_copy_;
+  std::vector<UpdateBlock*> cache_;
   std::uint64_t updates_routed_ = 0;
 };
 

@@ -6,9 +6,9 @@
 
 namespace bgpbh::stream {
 
-std::optional<routing::FeedUpdate> VectorSource::next() {
-  if (pos_ >= updates_.size()) return std::nullopt;
-  return updates_[pos_++];
+const routing::FeedUpdate* VectorSource::next() {
+  if (pos_ >= updates_.size()) return nullptr;
+  return &updates_[pos_++];
 }
 
 std::optional<MrtFileSource> MrtFileSource::open(const std::string& path,
@@ -31,12 +31,12 @@ std::optional<MrtFileSource> MrtFileSource::from_buffer(
   return source;
 }
 
-std::optional<routing::FeedUpdate> MrtFileSource::next() {
-  if (pos_ >= updates_.size()) return std::nullopt;
-  routing::FeedUpdate fu;
-  fu.platform = platform_;
-  fu.update = updates_[pos_++];
-  return fu;
+const routing::FeedUpdate* MrtFileSource::next() {
+  if (pos_ >= updates_.size()) return nullptr;
+  current_.platform = platform_;
+  // Copy-assign into the reused slot: steady-state allocation-free.
+  current_.update = updates_[pos_++];
+  return &current_;
 }
 
 FleetSource::FleetSource(const routing::CollectorFleet& fleet,
@@ -71,12 +71,12 @@ void FleetSource::refill() {
   }
 }
 
-std::optional<routing::FeedUpdate> FleetSource::next() {
+const routing::FeedUpdate* FleetSource::next() {
   if (buffer_.empty()) refill();
-  if (buffer_.empty()) return std::nullopt;
-  routing::FeedUpdate fu = std::move(buffer_.front());
+  if (buffer_.empty()) return nullptr;
+  current_ = std::move(buffer_.front());
   buffer_.pop_front();
-  return fu;
+  return &current_;
 }
 
 }  // namespace bgpbh::stream

@@ -30,11 +30,16 @@
 
 namespace bgpbh::stream {
 
-// Pull interface: next() returns updates in feed order until nullopt.
+// Pull interface: next() returns updates in feed order until nullptr.
+// Zero-copy contract: the returned update is BORROWED from the source
+// — valid until the next next() call (or source destruction), never
+// owned by the caller.  The pipeline routes straight out of it into a
+// pooled UpdateBlock, so a replayed update is copied exactly once end
+// to end.
 class UpdateSource {
  public:
   virtual ~UpdateSource() = default;
-  virtual std::optional<routing::FeedUpdate> next() = 0;
+  virtual const routing::FeedUpdate* next() = 0;
 };
 
 class VectorSource : public UpdateSource {
@@ -42,7 +47,7 @@ class VectorSource : public UpdateSource {
   explicit VectorSource(std::vector<routing::FeedUpdate> updates)
       : updates_(std::move(updates)) {}
 
-  std::optional<routing::FeedUpdate> next() override;
+  const routing::FeedUpdate* next() override;
   std::size_t remaining() const { return updates_.size() - pos_; }
 
  private:
@@ -61,7 +66,7 @@ class MrtFileSource : public UpdateSource {
   static std::optional<MrtFileSource> from_buffer(
       std::span<const std::uint8_t> data, routing::Platform platform);
 
-  std::optional<routing::FeedUpdate> next() override;
+  const routing::FeedUpdate* next() override;
   std::size_t total_updates() const { return updates_.size(); }
 
  private:
@@ -69,6 +74,7 @@ class MrtFileSource : public UpdateSource {
   routing::Platform platform_ = routing::Platform::kRis;
   std::vector<bgp::ObservedUpdate> updates_;
   std::size_t pos_ = 0;
+  routing::FeedUpdate current_;  // backs the borrowed next() result
 };
 
 // Adapter over the collector fleet: yields, lazily per episode, the
@@ -84,7 +90,7 @@ class FleetSource : public UpdateSource {
               std::vector<workload::Episode> episodes,
               util::SimTime window_end);
 
-  std::optional<routing::FeedUpdate> next() override;
+  const routing::FeedUpdate* next() override;
   std::size_t episodes_consumed() const { return episode_pos_; }
 
  private:
@@ -96,6 +102,7 @@ class FleetSource : public UpdateSource {
   util::SimTime window_end_;
   std::size_t episode_pos_ = 0;
   std::deque<routing::FeedUpdate> buffer_;
+  routing::FeedUpdate current_;  // backs the borrowed next() result
 };
 
 }  // namespace bgpbh::stream

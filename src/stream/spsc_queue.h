@@ -134,7 +134,7 @@ class SpscQueue {
     }
     T item = std::move(buf_[head % capacity_]);
     head_.store(head + 1, std::memory_order_release);
-    wake(producer_waiting_, not_full_);
+    maybe_wake_producer(head + 1);
     return item;
   }
 
@@ -171,7 +171,7 @@ class SpscQueue {
       out.push_back(std::move(buf_[(head + i) % capacity_]));
     }
     head_.store(head + chunk, std::memory_order_release);
-    wake(producer_waiting_, not_full_);
+    maybe_wake_producer(head + chunk);
     return chunk;
   }
 
@@ -203,13 +203,29 @@ class SpscQueue {
  private:
   // Notify the peer only if it advertised that it may be parked.  The
   // fence pairs with the one the parking side executes between setting
-  // its flag and re-checking the indices.
+  // its flag and re-checking the indices.  exchange() claims the wake:
+  // repeated callers don't re-notify a peer that is already being
+  // woken (the parker re-sets its flag if it needs to park again).
   void wake(std::atomic<bool>& waiting, std::condition_variable& cv) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (waiting.load(std::memory_order_relaxed)) {
+    if (waiting.exchange(false, std::memory_order_relaxed)) {
       { std::lock_guard<std::mutex> lock(mu_); }
       cv.notify_one();
     }
+  }
+
+  // Backpressure hysteresis: a producer parked on a full queue is only
+  // woken once at least half the ring is free, so one producer/consumer
+  // round trip moves ~capacity/2 items instead of one consume batch —
+  // on an oversubscribed host this is the difference between a context
+  // switch per batch and one per half-ring.  Latency-neutral: the path
+  // only runs while the queue is (near) full, where residency already
+  // dominates, and a draining consumer always crosses the threshold
+  // before it can park (it parks only on empty).  The parker's Dekker
+  // re-check covers the park-after-drain race as before.
+  void maybe_wake_producer(std::size_t new_head) {
+    std::size_t occupancy = tail_.load(std::memory_order_acquire) - new_head;
+    if (occupancy * 2 <= capacity_) wake(producer_waiting_, not_full_);
   }
 
   const std::size_t capacity_;

@@ -1,0 +1,51 @@
+#include "stream/update_block.h"
+
+namespace bgpbh::stream {
+
+UpdateBlock* BlockPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    slab_.emplace_back();
+    return &slab_.back();
+  }
+  UpdateBlock* block = free_.back();
+  free_.pop_back();
+  return block;
+}
+
+void BlockPool::acquire_batch(std::vector<UpdateBlock*>& out, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (free_.empty()) {
+      slab_.emplace_back();
+      out.push_back(&slab_.back());
+    } else {
+      out.push_back(free_.back());
+      free_.pop_back();
+    }
+  }
+}
+
+void BlockPool::release(UpdateBlock* block) {
+  if (!unref(block)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(block);
+}
+
+void BlockPool::recycle_batch(std::span<UpdateBlock* const> blocks) {
+  if (blocks.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.insert(free_.end(), blocks.begin(), blocks.end());
+}
+
+std::size_t BlockPool::blocks_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slab_.size();
+}
+
+std::size_t BlockPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slab_.size() - free_.size();
+}
+
+}  // namespace bgpbh::stream

@@ -7,12 +7,15 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
                        core::EngineConfig engine_config,
                        std::size_t num_shards, std::size_t queue_capacity,
                        std::size_t drain_batch, std::size_t batch_size,
+                       bool serialize_producers, BlockPool& blocks,
                        EventStore& store)
     : compiled_(engine_config.use_compiled_fastpath
                     ? dictionary::CompiledDictionary(dictionary)
                     : dictionary::CompiledDictionary()),
       drain_batch_(drain_batch == 0 ? 1 : drain_batch),
       batch_size_(batch_size == 0 ? 1 : batch_size),
+      serialize_producers_(serialize_producers),
+      blocks_(blocks),
       store_(store) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
@@ -20,8 +23,8 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
     auto shard = std::make_unique<Shard>();
     shard->engine = std::make_unique<core::InferenceEngine>(
         dictionary, compiled_, registry, engine_config);
-    shard->queue =
-        std::make_unique<SpscQueue<routing::FeedUpdate>>(queue_capacity);
+    shard->queue = std::make_unique<SpscQueue<SubUpdateRef>>(queue_capacity);
+    shard->index = i;
     shards_.push_back(std::move(shard));
   }
 }
@@ -38,43 +41,78 @@ const core::InferenceEngine& WorkerPool::engine(std::size_t shard) const {
 
 void WorkerPool::start() {
   // Refuse after shutdown: the queues are closed, and threads spawned
-  // now could never be joined again.
-  if (started_.load() || joined_.load()) return;
-  started_.store(true);
+  // now could never be joined again.  exchange() makes concurrent
+  // producer-triggered starts race-free: exactly one spawns.
+  if (joined_.load(std::memory_order_acquire)) return;
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& shard : shards_) {
     shard->thread = std::thread([this, &shard = *shard] { worker_loop(shard); });
   }
 }
 
-bool WorkerPool::submit(std::size_t shard, routing::FeedUpdate update) {
-  return shards_.at(shard)->queue->push(std::move(update));
+bool WorkerPool::submit(std::size_t shard, SubUpdateRef ref) {
+  Shard& s = *shards_.at(shard);
+  if (!serialize_producers_) return s.queue->push(ref);
+  std::lock_guard<std::mutex> lock(s.producer_mu);
+  return s.queue->push(ref);
 }
 
 std::size_t WorkerPool::submit_batch(std::size_t shard,
-                                     std::span<routing::FeedUpdate> updates) {
-  return shards_.at(shard)->queue->push_batch(updates);
+                                     std::span<SubUpdateRef> refs) {
+  Shard& s = *shards_.at(shard);
+  if (!serialize_producers_) return s.queue->push_batch(refs);
+  // One lock per sealed batch; a producer parked on a full queue keeps
+  // the lock, but the worker never takes it, so drains still progress.
+  std::lock_guard<std::mutex> lock(s.producer_mu);
+  return s.queue->push_batch(refs);
 }
 
 void WorkerPool::worker_loop(Shard& shard) {
   std::size_t since_drain = 0;
-  std::vector<routing::FeedUpdate> batch;
+  std::vector<SubUpdateRef> batch;
   batch.reserve(batch_size_);
+  // Blocks whose last reference this worker dropped; recycled with one
+  // pool lock per consume batch instead of one per block.
+  std::vector<UpdateBlock*> to_recycle;
+  to_recycle.reserve(batch_size_);
+  core::UpdateView view;
   for (;;) {
     batch.clear();
     if (shard.queue->pop_batch(batch, batch_size_) == 0) break;
-    for (auto& update : batch) {
-      shard.engine->process(update.platform, update.update);
+    for (const SubUpdateRef& ref : batch) {
+      UpdateBlock* block = ref.block;
+      const routing::FeedUpdate& fu = block->update;
+      if (ref.kind == SubKind::kOwned) {
+        // A/B slow path: materialized single-prefix update, owning
+        // engine entry point.
+        shard.engine->process(fu.platform, fu.update);
+      } else {
+        const bool withdrawal = ref.kind == SubKind::kWithdraw;
+        view.platform = fu.platform;
+        view.time = fu.update.time;
+        view.peer = bgp::PeerKey{fu.update.peer_ip, fu.update.peer_asn};
+        view.is_withdrawal = withdrawal;
+        view.prefix = withdrawal
+                          ? &fu.update.body.withdrawn[ref.prefix_index]
+                          : &fu.update.body.announced[ref.prefix_index];
+        view.as_path = &fu.update.body.as_path;
+        view.communities = &fu.update.body.communities;
+        shard.engine->process(view);
+      }
+      if (BlockPool::unref(block)) to_recycle.push_back(block);
     }
+    blocks_.recycle_batch(to_recycle);
+    to_recycle.clear();
     shard.open_gauge.store(shard.engine->open_event_count(),
                            std::memory_order_relaxed);
     shard.processed.fetch_add(batch.size(), std::memory_order_relaxed);
     since_drain += batch.size();
     if (since_drain >= drain_batch_) {
-      store_.ingest(shard.engine->drain_closed());
+      store_.ingest_chunk(shard.index, shard.engine->drain_closed());
       since_drain = 0;
     }
   }
-  store_.ingest(shard.engine->drain_closed());
+  store_.ingest_chunk(shard.index, shard.engine->drain_closed());
 }
 
 void WorkerPool::close_and_join() {

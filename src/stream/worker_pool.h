@@ -1,28 +1,40 @@
-// Worker pool: N engine shards, each a thread consuming single-prefix
-// sub-updates from its own bounded SPSC queue and running a private
+// Worker pool: N engine shards, each a thread consuming 16-byte
+// SubUpdateRefs from its own bounded SPSC queue and running a private
 // core::InferenceEngine over the (peer, prefix) keys it owns.
 //
-// Updates move through the queues in batches (pop_batch/push_batch:
-// one index publish and at most one wake per chunk instead of per
-// element), bounded by `batch_size`.  Workers drain their engine's
-// closed events into the shared EventStore every `drain_batch`
-// processed sub-updates (and once more on exit), so no shard buffer
-// grows with the lifetime of the stream, and publish a per-shard
-// open-event gauge after every batch for live snapshots.
+// The zero-copy data plane: each ref names a shared pooled UpdateBlock
+// plus one prefix; the worker builds a borrowed core::UpdateView over
+// the block (no materialization) and releases the block's reference
+// after processing.  Refs move through the queues in batches
+// (pop_batch/push_batch: one index publish and at most one wake per
+// chunk instead of per element), bounded by `batch_size`.
+//
+// Multi-producer (MPMC) stage: with `serialize_producers`, several
+// producer threads may submit concurrently — submission serializes on
+// a per-shard mutex held once per sealed batch, so producer contention
+// is amortized by batch_size, and the SPSC queue invariants still hold
+// (the mutex orders the producer-side index accesses).
+//
+// Workers seal their engine's closed events every `drain_batch`
+// processed sub-updates (and once more on exit) and hand the chunk to
+// the shard's own EventStore lane — no shared store mutex on the hot
+// path — and publish a per-shard open-event gauge after every batch
+// for live snapshots.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "dictionary/compiled.h"
-#include "routing/collectors.h"
 #include "stream/event_store.h"
 #include "stream/spsc_queue.h"
+#include "stream/update_block.h"
 
 namespace bgpbh::stream {
 
@@ -32,7 +44,8 @@ class WorkerPool {
              const topology::Registry& registry,
              core::EngineConfig engine_config, std::size_t num_shards,
              std::size_t queue_capacity, std::size_t drain_batch,
-             std::size_t batch_size, EventStore& store);
+             std::size_t batch_size, bool serialize_producers,
+             BlockPool& blocks, EventStore& store);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -46,24 +59,25 @@ class WorkerPool {
   core::InferenceEngine& engine(std::size_t shard);
   const core::InferenceEngine& engine(std::size_t shard) const;
 
+  // Idempotent and safe to race from multiple producer threads.
   void start();
   bool started() const { return started_.load(std::memory_order_acquire); }
 
-  // Blocking enqueue onto the shard's queue (producer thread only).
-  // Returns false if the pool was already shut down.
-  bool submit(std::size_t shard, routing::FeedUpdate update);
+  // Blocking enqueue onto the shard's queue.  Returns false if the
+  // pool was already shut down (the caller still owns the ref's block
+  // reference and must release it).
+  bool submit(std::size_t shard, SubUpdateRef ref);
 
-  // Blocking batch enqueue; moves from `updates`.  Returns the number
-  // accepted — updates.size(), or fewer iff the pool was shut down
-  // mid-batch.
-  std::size_t submit_batch(std::size_t shard,
-                           std::span<routing::FeedUpdate> updates);
+  // Blocking batch enqueue.  Returns the number accepted —
+  // refs.size(), or fewer iff the pool was shut down mid-batch; block
+  // references of rejected refs stay with the caller.
+  std::size_t submit_batch(std::size_t shard, std::span<SubUpdateRef> refs);
 
   // Close all queues, wait for every worker to drain and exit.
   void close_and_join();
 
   // Live gauge: open events summed over shards (relaxed reads of the
-  // per-shard gauges workers publish after each update).
+  // per-shard gauges workers publish after each batch).
   std::size_t open_event_count() const;
 
   // Sub-updates consumed by all workers so far.
@@ -72,8 +86,11 @@ class WorkerPool {
  private:
   struct Shard {
     std::unique_ptr<core::InferenceEngine> engine;
-    std::unique_ptr<SpscQueue<routing::FeedUpdate>> queue;
+    std::unique_ptr<SpscQueue<SubUpdateRef>> queue;
+    // Taken per sealed batch when several producers feed this shard.
+    std::mutex producer_mu;
     std::thread thread;
+    std::size_t index = 0;
     std::atomic<std::size_t> open_gauge{0};
     std::atomic<std::uint64_t> processed{0};
   };
@@ -86,6 +103,8 @@ class WorkerPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t drain_batch_;
   std::size_t batch_size_;
+  bool serialize_producers_;
+  BlockPool& blocks_;
   EventStore& store_;
   std::atomic<bool> started_{false};
   std::atomic<bool> joined_{false};      // shutdown initiated

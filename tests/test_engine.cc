@@ -464,6 +464,82 @@ TEST(Engine, FastPathMatchesSlowPath) {
   }
 }
 
+// The zero-copy UpdateView entry point must produce byte-identical
+// events and stats to the owning ObservedUpdate overload when fed the
+// same stream split into single-prefix sub-updates (withdrawals
+// first) — the contract the streaming data plane relies on.
+TEST(Engine, ViewPathMatchesOwningPath) {
+  InferenceEngine owning(world().dict, world().registry);
+  InferenceEngine viewing(world().dict, world().registry);
+
+  std::vector<std::pair<routing::Platform, bgp::ObservedUpdate>> workload;
+  // Provider on path + bundled + IXP + large + noise + closes, and one
+  // update mixing a withdrawal with two announcements.
+  workload.emplace_back(P::kRis,
+                        announce("20.0.1.1/32", "198.51.100.1", 200,
+                                 {200, 400}, {Community(200, 666)}, 100));
+  workload.emplace_back(P::kPch,
+                        announce("20.0.1.2/32", "185.1.0.23", 400, {400},
+                                 {Community::rfc7999_blackhole()}, 101));
+  {
+    auto u = announce("20.0.1.3/32", "198.51.100.1", 200, {200, 400}, {}, 102);
+    u.body.communities.add(bgp::LargeCommunity(200, 666, 0));
+    workload.emplace_back(P::kRis, u);
+  }
+  workload.emplace_back(P::kRis,
+                        announce("20.0.2.1/32", "198.51.100.1", 200,
+                                 {200, 400}, {Community(200, 120)}, 103));
+  workload.emplace_back(P::kRis,
+                        announce("10.1.2.3/32", "198.51.100.1", 200,
+                                 {200, 400}, {Community(200, 666)}, 104));
+  {
+    // Withdraw 20.0.1.1 and announce two more prefixes in one UPDATE.
+    auto u = announce("20.0.1.4/32", "198.51.100.1", 200, {200, 400},
+                      {Community(200, 666)}, 105);
+    u.body.announced.push_back(*net::Prefix::parse("20.0.1.5/32"));
+    u.body.withdrawn.push_back(*net::Prefix::parse("20.0.1.1/32"));
+    workload.emplace_back(P::kRis, u);
+  }
+  workload.emplace_back(P::kCdn,
+                        withdraw("20.0.1.2/32", "185.1.0.23", 400, 106));
+
+  std::uint64_t views_processed = 0;
+  for (const auto& [platform, update] : workload) {
+    owning.process(platform, update);
+    // The view path sees the same update as single-prefix sub-updates,
+    // withdrawals before announcements (the router's emission order).
+    bgp::PeerKey peer{update.peer_ip, update.peer_asn};
+    UpdateView view;
+    view.platform = platform;
+    view.time = update.time;
+    view.peer = peer;
+    view.as_path = &update.body.as_path;
+    view.communities = &update.body.communities;
+    for (const auto& prefix : update.body.withdrawn) {
+      view.is_withdrawal = true;
+      view.prefix = &prefix;
+      viewing.process(view);
+      ++views_processed;
+    }
+    for (const auto& prefix : update.body.announced) {
+      view.is_withdrawal = false;
+      view.prefix = &prefix;
+      viewing.process(view);
+      ++views_processed;
+    }
+  }
+  owning.finish(1000);
+  viewing.finish(1000);
+  EXPECT_EQ(owning.events(), viewing.events());
+  EXPECT_FALSE(owning.events().empty());
+
+  // Stats match except updates_processed, which counts sub-updates on
+  // the view path (the pipeline folds it back to original updates).
+  EngineStats expect = owning.stats();
+  expect.updates_processed = views_processed;
+  EXPECT_EQ(expect, viewing.stats());
+}
+
 TEST(ProviderRefTest, OrderingAndToString) {
   ProviderRef isp{.is_ixp = false, .asn = 200, .ixp_id = 0};
   ProviderRef ixp{.is_ixp = true, .asn = 59000, .ixp_id = 3};

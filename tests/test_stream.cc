@@ -13,6 +13,8 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <random>
+#include <set>
 #include <thread>
 
 #include "core/study.h"
@@ -191,42 +193,97 @@ FeedUpdate make_update(Platform platform, const char* peer_ip,
 
 // ---- ShardRouter ------------------------------------------------------
 
-TEST(ShardRouter, SplitsPerPrefixWithdrawalsFirst) {
-  ShardRouter router(4);
+TEST(ShardRouter, SplitsPerPrefixWithdrawalsFirstZeroCopy) {
+  BlockPool pool;
+  ShardRouter router(4, pool);
   FeedUpdate fu = make_update(Platform::kRis, "198.51.100.1", 200,
                               {"20.0.1.1/32", "20.0.1.2/32"}, {"20.0.1.3/32"});
-  std::vector<std::pair<std::size_t, FeedUpdate>> routed;
-  router.route(fu, [&](std::size_t shard, FeedUpdate sub) {
-    routed.emplace_back(shard, std::move(sub));
+  std::vector<std::pair<std::size_t, SubUpdateRef>> routed;
+  router.route(fu, [&](std::size_t shard, SubUpdateRef ref) {
+    routed.emplace_back(shard, ref);
   });
   ASSERT_EQ(routed.size(), 3u);
   EXPECT_EQ(router.updates_routed(), 1u);
 
+  // All three refs share ONE block holding the parsed update once.
+  UpdateBlock* block = routed[0].second.block;
+  ASSERT_NE(block, nullptr);
+  for (const auto& [shard, ref] : routed) EXPECT_EQ(ref.block, block);
+  EXPECT_EQ(block->refs.load(), 3u);
+  EXPECT_EQ(block->update, fu);
+  // One cache refill; cached blocks count as in flight until the
+  // router hands them back.
+  EXPECT_EQ(pool.blocks_allocated(), ShardRouter::kBlockCacheSize);
+  EXPECT_EQ(pool.in_flight(), ShardRouter::kBlockCacheSize);
+
   // Withdrawal first, then the announcements in order.
-  EXPECT_EQ(routed[0].second.update.body.withdrawn.size(), 1u);
-  EXPECT_TRUE(routed[0].second.update.body.announced.empty());
-  for (std::size_t i = 1; i < 3; ++i) {
-    EXPECT_EQ(routed[i].second.update.body.announced.size(), 1u);
-    EXPECT_TRUE(routed[i].second.update.body.withdrawn.empty());
-    // Announced sub-updates carry the full route attributes.
-    EXPECT_EQ(routed[i].second.update.body.as_path, fu.update.body.as_path);
-    EXPECT_EQ(routed[i].second.update.body.communities,
-              fu.update.body.communities);
-  }
-  // Every sub-update keeps the collector metadata and lands on the
-  // shard owning its (peer, prefix) key.
+  EXPECT_EQ(routed[0].second.kind, SubKind::kWithdraw);
+  EXPECT_EQ(routed[0].second.prefix_index, 0u);
+  EXPECT_EQ(routed[1].second.kind, SubKind::kAnnounce);
+  EXPECT_EQ(routed[1].second.prefix_index, 0u);
+  EXPECT_EQ(routed[2].second.kind, SubKind::kAnnounce);
+  EXPECT_EQ(routed[2].second.prefix_index, 1u);
+
+  // Each ref lands on the shard owning its (peer, prefix) key.
   bgp::PeerKey peer{fu.update.peer_ip, fu.update.peer_asn};
-  EXPECT_EQ(routed[0].first,
-            shard_for(peer, fu.update.body.withdrawn[0], 4));
-  EXPECT_EQ(routed[1].first,
-            shard_for(peer, fu.update.body.announced[0], 4));
-  for (const auto& [shard, sub] : routed) {
-    EXPECT_LT(shard, 4u);
-    EXPECT_EQ(sub.platform, fu.platform);
-    EXPECT_EQ(sub.update.time, fu.update.time);
-    EXPECT_EQ(sub.update.peer_ip, fu.update.peer_ip);
-    EXPECT_EQ(sub.update.peer_asn, fu.update.peer_asn);
+  EXPECT_EQ(routed[0].first, shard_for(peer, fu.update.body.withdrawn[0], 4));
+  EXPECT_EQ(routed[1].first, shard_for(peer, fu.update.body.announced[0], 4));
+  EXPECT_EQ(routed[2].first, shard_for(peer, fu.update.body.announced[1], 4));
+  for (const auto& [shard, ref] : routed) EXPECT_LT(shard, 4u);
+
+  // Releasing every ref recycles the block...
+  for (const auto& [shard, ref] : routed) pool.release(ref.block);
+  EXPECT_EQ(pool.in_flight(), ShardRouter::kBlockCacheSize - 1);
+  // ...and further updates draw from the router's local cache — no new
+  // allocations, steady state reached after one update.
+  for (int i = 0; i < 8; ++i) {
+    router.route(fu, [&](std::size_t, SubUpdateRef ref) {
+      pool.release(ref.block);
+    });
   }
+  EXPECT_EQ(pool.blocks_allocated(), ShardRouter::kBlockCacheSize);
+  // Handing the cache back zeroes the in-flight gauge.
+  router.release_cached_blocks();
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(ShardRouter, OwningSlowPathMaterializesPerSubUpdate) {
+  BlockPool pool;
+  ShardRouter router(4, pool, /*zero_copy=*/false);
+  FeedUpdate fu = make_update(Platform::kRis, "198.51.100.1", 200,
+                              {"20.0.1.1/32", "20.0.1.2/32"}, {"20.0.1.3/32"});
+  std::vector<std::pair<std::size_t, SubUpdateRef>> routed;
+  router.route(fu, [&](std::size_t shard, SubUpdateRef ref) {
+    routed.emplace_back(shard, ref);
+  });
+  ASSERT_EQ(routed.size(), 3u);
+
+  // One materialized block per sub-update, all owned (refs == 1).
+  EXPECT_EQ(pool.in_flight(), ShardRouter::kBlockCacheSize);  // incl. cache
+  for (const auto& [shard, ref] : routed) {
+    EXPECT_EQ(ref.kind, SubKind::kOwned);
+    EXPECT_EQ(ref.block->refs.load(), 1u);
+    EXPECT_EQ(ref.block->update.platform, fu.platform);
+    EXPECT_EQ(ref.block->update.update.time, fu.update.time);
+    EXPECT_EQ(ref.block->update.update.peer_ip, fu.update.peer_ip);
+  }
+  const auto& w = routed[0].second.block->update.update.body;
+  EXPECT_EQ(w.withdrawn.size(), 1u);
+  EXPECT_TRUE(w.announced.empty());
+  EXPECT_TRUE(w.as_path.empty());
+  for (std::size_t i = 1; i < 3; ++i) {
+    const auto& a = routed[i].second.block->update.update.body;
+    EXPECT_EQ(a.announced.size(), 1u);
+    EXPECT_TRUE(a.withdrawn.empty());
+    EXPECT_EQ(a.as_path, fu.update.body.as_path);
+    EXPECT_EQ(a.communities, fu.update.body.communities);
+  }
+  // Same shard assignment as the zero-copy plane.
+  bgp::PeerKey peer{fu.update.peer_ip, fu.update.peer_asn};
+  EXPECT_EQ(routed[0].first, shard_for(peer, fu.update.body.withdrawn[0], 4));
+  for (const auto& [shard, ref] : routed) pool.release(ref.block);
+  router.release_cached_blocks();
+  EXPECT_EQ(pool.in_flight(), 0u);
 }
 
 TEST(ShardRouter, ShardAssignmentIsDeterministicAndSingleShardIsZero) {
@@ -282,6 +339,37 @@ TEST(EventStore, SnapshotCountersAndWindowQueries) {
   ASSERT_EQ(events.size(), 3u);
   EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
                              core::canonical_less));
+}
+
+TEST(EventStore, LanesMergeAtFinalizeAndSnapshotAggregates) {
+  EventStore store(3);
+  store.ingest_chunk(0, {make_event(200, Platform::kRis, 100, 200)});
+  store.ingest_chunk(1, {make_event(200, Platform::kCdn, 150, 300),
+                         make_event(300, Platform::kRis, 400, 500)});
+  store.ingest_chunk(2, {make_event(300, Platform::kPch, 50, 120)});
+  store.ingest_chunk(5, {make_event(300, Platform::kPch, 60, 130)});  // wraps
+
+  // Aggregated across lanes before any merge happened.
+  auto snap = store.snapshot();
+  EXPECT_EQ(snap.total_events, 5u);
+  EXPECT_EQ(snap.first_start, 50);
+  EXPECT_EQ(snap.last_end, 500);
+  EXPECT_EQ(snap.per_provider.at({.is_ixp = false, .asn = 300, .ixp_id = 0}),
+            3u);
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.count_in(0, 1000), 5u);
+  EXPECT_EQ(store.events_in(110, 160).size(), 4u);
+
+  store.finalize();
+  const auto& events = store.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             core::canonical_less));
+  // Queries and counters are unchanged by the merge.
+  auto after = store.snapshot();
+  EXPECT_EQ(after.total_events, 5u);
+  EXPECT_EQ(after.first_start, 50);
+  EXPECT_EQ(store.count_in(0, 1000), 5u);
 }
 
 // ---- MrtFileSource ----------------------------------------------------
@@ -384,23 +472,63 @@ std::vector<PeerEvent> sequential_events(EngineStats* stats_out) {
   return events;
 }
 
-std::vector<PeerEvent> pipeline_events(std::size_t shards,
-                                       EngineStats* stats_out) {
+struct PipelineRunOptions {
+  std::size_t shards = 4;
+  std::size_t batch_size = 64;
+  std::size_t producers = 1;
+  bool zero_copy = true;
+};
+
+// Runs the fixture stream through a pipeline.  With several producers,
+// updates are partitioned by peer-key hash — all transitions of one
+// (peer, prefix) key flow through the same producer, so per-key order
+// (the equivalence prerequisite) is preserved — and pushed from
+// `producers` concurrent threads.
+std::vector<PeerEvent> pipeline_events_opt(const PipelineRunOptions& opt,
+                                           EngineStats* stats_out) {
   auto& f = fixture();
   PipelineConfig config;
-  config.num_shards = shards;
+  config.num_shards = opt.shards;
   config.queue_capacity = 64;  // small bound: exercises backpressure
   config.drain_batch = 32;
+  config.batch_size = opt.batch_size;
+  config.num_producers = opt.producers;
+  config.zero_copy = opt.zero_copy;
   StreamPipeline pipeline(f.study->dictionary(), f.study->registry(), config);
   if (auto dump = f.study->initial_table_dump()) {
     pipeline.init_from_table_dump(Platform::kRis, *dump);
   }
-  VectorSource source(f.updates);
-  pipeline.run(source);
+  if (opt.producers <= 1) {
+    VectorSource source(f.updates);
+    pipeline.run(source);
+  } else {
+    std::vector<std::vector<FeedUpdate>> parts(opt.producers);
+    for (const auto& u : f.updates) {
+      bgp::PeerKey peer{u.update.peer_ip, u.update.peer_asn};
+      parts[bgp::PeerKeyHash{}(peer) % opt.producers].push_back(u);
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(opt.producers);
+    for (std::size_t p = 0; p < opt.producers; ++p) {
+      threads.emplace_back([&pipeline, &parts, p] {
+        auto& producer = pipeline.producer(p);
+        for (const auto& u : parts[p]) producer.push(u);
+        producer.flush();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
   pipeline.finish(f.config.window_end);
   if (stats_out) *stats_out = pipeline.merged_stats();
   EXPECT_EQ(pipeline.open_event_count(), 0u);  // finish closed everything
+  EXPECT_EQ(pipeline.updates_pushed(), f.updates.size());
+  EXPECT_EQ(pipeline.blocks_in_flight(), 0u);  // every block came home
   return pipeline.store().events();
+}
+
+std::vector<PeerEvent> pipeline_events(std::size_t shards,
+                                       EngineStats* stats_out) {
+  return pipeline_events_opt({.shards = shards}, stats_out);
 }
 
 TEST(StreamPipeline, ShardedPipelineMatchesSequentialEngine) {
@@ -422,6 +550,104 @@ TEST(StreamPipeline, DeterministicAcrossShardCounts) {
   ASSERT_FALSE(events1.empty());
   EXPECT_TRUE(events1 == events8);
   EXPECT_EQ(stats1, stats8);
+}
+
+// The zero-copy data plane must be byte-equivalent to the sequential
+// engine across the whole deployment envelope: shard counts × transfer
+// batch sizes × concurrent producer counts.
+TEST(StreamPipeline, EquivalenceAcrossShardsBatchesProducers) {
+  EngineStats seq_stats;
+  auto seq = sequential_events(&seq_stats);
+  ASSERT_FALSE(seq.empty());
+
+  for (std::size_t shards : {1u, 3u, 8u}) {
+    for (std::size_t batch : {1u, 64u}) {
+      for (std::size_t producers : {1u, 3u}) {
+        EngineStats stats;
+        auto events = pipeline_events_opt(
+            {.shards = shards, .batch_size = batch, .producers = producers},
+            &stats);
+        EXPECT_TRUE(events == seq)
+            << "shards=" << shards << " batch=" << batch
+            << " producers=" << producers;
+        EXPECT_EQ(stats, seq_stats)
+            << "shards=" << shards << " batch=" << batch
+            << " producers=" << producers;
+      }
+    }
+  }
+}
+
+// The owning-FeedUpdate slow path (zero_copy = false) stays behind a
+// config knob as the A/B baseline; its event set must match the
+// zero-copy plane's (and hence the sequential engine's) exactly.
+TEST(StreamPipeline, OwningSlowPathMatchesZeroCopyPath) {
+  EngineStats fast_stats, slow_stats;
+  auto fast = pipeline_events_opt({.zero_copy = true}, &fast_stats);
+  auto slow = pipeline_events_opt({.zero_copy = false}, &slow_stats);
+  ASSERT_FALSE(fast.empty());
+  EXPECT_TRUE(fast == slow);
+  EXPECT_EQ(fast_stats, slow_stats);
+}
+
+// Randomized flush stress: interleave push()/flush() at random points
+// while a reader thread hammers the live snapshot API.  The store's
+// sealed-chunk handoff and counters must stay consistent throughout,
+// and the final event set must still be exactly the sequential one.
+TEST(StreamPipeline, RandomizedFlushStressWithConcurrentSnapshots) {
+  auto& f = fixture();
+  EngineStats seq_stats;
+  auto seq = sequential_events(&seq_stats);
+
+  PipelineConfig config;
+  config.num_shards = 3;
+  config.queue_capacity = 64;
+  config.drain_batch = 8;    // frequent sealed chunks
+  config.batch_size = 16;
+  StreamPipeline pipeline(f.study->dictionary(), f.study->registry(), config);
+  if (auto dump = f.study->initial_table_dump()) {
+    pipeline.init_from_table_dump(Platform::kRis, *dump);
+  }
+  pipeline.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots_taken{0};
+  std::thread reader([&] {
+    std::size_t last_total = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      auto snap = pipeline.store().snapshot();
+      // Totals are monotone while the pipeline runs.
+      EXPECT_GE(snap.total_events, last_total);
+      last_total = snap.total_events;
+      std::size_t platform_sum = 0;
+      for (const auto& [platform, n] : snap.per_platform) platform_sum += n;
+      EXPECT_EQ(platform_sum, snap.total_events);  // consistent snapshot
+      // All fixture events overlap [0, end+1), so a full-window count
+      // is a point-in-time total — bracket it between two size() reads
+      // (totals only grow while the pipeline runs).
+      std::size_t before = pipeline.store().size();
+      std::size_t counted = pipeline.store().count_in(0, f.config.window_end + 1);
+      std::size_t after = pipeline.store().size();
+      EXPECT_LE(before, counted);
+      EXPECT_LE(counted, after);
+      (void)pipeline.open_event_count();
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::mt19937_64 rng(7);
+  for (const auto& u : f.updates) {
+    pipeline.push(u);
+    if ((rng() & 0x3F) == 0) pipeline.flush();  // ~1/64 updates
+  }
+  pipeline.finish(f.config.window_end);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  EXPECT_TRUE(pipeline.store().events() == seq);
+  EXPECT_EQ(pipeline.merged_stats(), seq_stats);
+  EXPECT_EQ(pipeline.blocks_in_flight(), 0u);
 }
 
 TEST(StreamPipeline, ReplayStreamMatchesStudyRun) {

@@ -33,6 +33,9 @@
 #include <thread>
 #include <vector>
 
+#include "api/dispatch.h"
+#include "api/query.h"
+#include "api/sink.h"
 #include "core/study.h"
 #include "stream/pipeline.h"
 #include "stream/source.h"
@@ -335,6 +338,69 @@ int main(int argc, char** argv) {
                 route_ns, queue_ns, drain_ns);
   }
 
+  // ---- AnalysisSession consumer-surface stages ------------------------
+  // query = lane-consistent EventQuery scan over a populated store;
+  // sink_dispatch = producer-side cost of the subscription layer (chunk
+  // copy into the bounded dispatch queue), the delta a registered sink
+  // adds on top of the bare drain above.  With NO sinks the dispatch
+  // layer is a single null-listener branch per sealed chunk — the
+  // zero-allocation assertion above already ran without sinks, so any
+  // hot-path regression from the subscription layer fails this bench.
+  double query_ns = 0, sink_dispatch_ns = 0;
+  {
+    const std::size_t kEvents = 1 << 17;
+    const std::size_t kChunkLen = 256;
+    stream::EventStore store(4);
+    std::vector<core::PeerEvent> chunk(kChunkLen);
+    for (std::size_t done = 0; done < kEvents; done += kChunkLen) {
+      for (std::size_t i = 0; i < kChunkLen; ++i) {
+        chunk[i].start = static_cast<util::SimTime>(done + i);
+        chunk[i].end = chunk[i].start + 50;
+      }
+      store.ingest_chunk(done / kChunkLen, std::vector(chunk));
+    }
+    api::EventQuery query;
+    query.between(static_cast<util::SimTime>(kEvents / 4),
+                  static_cast<util::SimTime>(3 * kEvents / 4));
+    const int kQueryReps = 20;
+    auto s0 = std::chrono::steady_clock::now();
+    std::size_t matched = 0;
+    for (int rep = 0; rep < kQueryReps; ++rep) {
+      matched += store.count(
+          [&query](const core::PeerEvent& e) { return query.matches(e); });
+    }
+    query_ns = seconds_since(s0) * 1e9 /
+               static_cast<double>(kQueryReps * kEvents);
+
+    // Dispatch: same sealed-chunk ingest as the drain stage, with a
+    // listener feeding a running SinkDispatcher (one no-op sink).
+    class NullSink : public api::EventSink {} sink;
+    api::SinkDispatcher dispatcher({&sink}, /*grouper=*/nullptr,
+                                   /*capacity_chunks=*/256,
+                                   /*snapshot_fn=*/{},
+                                   /*snapshot_every_events=*/0);
+    dispatcher.start();
+    stream::EventStore dispatch_store(4);
+    dispatch_store.set_chunk_listener(
+        [&dispatcher](std::size_t, std::vector<core::PeerEvent> events) {
+          dispatcher.submit(std::move(events));
+        });
+    const std::uint64_t kChunks = 2048;
+    double accum = 0;
+    for (std::uint64_t i = 0; i < kChunks; ++i) {
+      auto c = chunk;
+      auto c0 = std::chrono::steady_clock::now();
+      dispatch_store.ingest_chunk(i % 4, std::move(c));
+      accum += seconds_since(c0);
+    }
+    dispatcher.stop();
+    sink_dispatch_ns = accum * 1e9 / static_cast<double>(kChunks * kChunkLen);
+    std::printf("consumer surface: query %.2f ns/event scanned (%zu matches), "
+                "sink dispatch %.2f ns/event (vs %.2f ns/event bare drain)\n",
+                query_ns, matched / static_cast<std::size_t>(kQueryReps),
+                sink_dispatch_ns, drain_ns);
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -352,8 +418,10 @@ int main(int argc, char** argv) {
                allocs_per_subupdate);
   std::fprintf(out,
                "  \"stage_breakdown\": {\"route_ns_per_subupdate\": %.2f, "
-               "\"queue_ns_per_ref\": %.2f, \"drain_ns_per_event\": %.2f},\n",
-               route_ns, queue_ns, drain_ns);
+               "\"queue_ns_per_ref\": %.2f, \"drain_ns_per_event\": %.2f, "
+               "\"query_ns_per_event\": %.2f, "
+               "\"sink_dispatch_ns_per_event\": %.2f},\n",
+               route_ns, queue_ns, drain_ns, query_ns, sink_dispatch_ns);
   std::fprintf(out, "  \"sequential_updates_per_sec\": %.0f,\n", base_rate);
   std::fprintf(out, "  \"events\": %zu,\n", reference.size());
   std::fprintf(out, "  \"shard_scaling\": [\n");

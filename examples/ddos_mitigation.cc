@@ -1,26 +1,48 @@
 // A single DDoS mitigation walkthrough: a hosting provider's customer
 // comes under attack; the host blackholes the victim /32 at its transit
 // providers; we watch the event on the control plane (what collectors
-// and the inference engine see) and on the data plane (traceroutes
-// during vs after, Fig 9 style).
+// see, streamed through an AnalysisSession with a subscribed sink) and
+// on the data plane (traceroutes during vs after, Fig 9 style).
 #include <cstdio>
 
-#include "core/engine.h"
+#include "api/session.h"
 #include "dataplane/efficacy.h"
-#include "dictionary/dictionary.h"
-#include "topology/generator.h"
 
 using namespace bgpbh;
 
+namespace {
+
+// Prints each inferred peer-granularity event as it closes.
+class InferenceLog : public api::EventSink {
+ public:
+  void on_event_closed(const core::PeerEvent& e) override {
+    ++events_;
+    if (events_ == 13) std::printf("  ...\n");
+    if (events_ >= 13) return;
+    std::printf("  [%s] %s blackholed at %s (user AS%u, %s, AS distance %d)\n",
+                routing::to_string(e.platform).c_str(),
+                e.prefix.to_string().c_str(), e.provider.to_string().c_str(),
+                e.user, core::to_string(e.kind).c_str(), e.as_distance);
+  }
+  std::size_t events() const { return events_; }
+
+ private:
+  std::size_t events_ = 0;
+};
+
+}  // namespace
+
 int main() {
-  // 1. Substrate.
-  auto graph = topology::generate(topology::GeneratorConfig{});
-  topology::CustomerCones cones(graph);
-  auto registry = topology::Registry::build(graph, 0.72, 0.95, 42);
-  auto corpus = dictionary::generate_corpus(graph, 42);
-  auto dict = dictionary::build_documented_dictionary(corpus, registry);
-  routing::PropagationEngine propagation(graph, cones, 99);
-  auto fleet = routing::CollectorFleet::build(graph, routing::FleetConfig{});
+  // 1. Substrates come from the session — one construction path for
+  //    every consumer of the library.
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kLiveFeed;
+  config.study.table_dump_episodes = 0;
+  config.num_shards = 2;
+  api::AnalysisSession session(config);
+  const topology::AsGraph& graph = session.graph();
+  const topology::CustomerCones& cones = session.cones();
+  routing::PropagationEngine& propagation = session.propagation();
 
   // 2. Pick a content provider whose upstreams offer blackholing.
   const topology::AsNode* victim_host = nullptr;
@@ -67,30 +89,23 @@ int main() {
               "%zu ASes hold the route\n",
               prop.activated_providers.size(), prop.holders.size());
 
-  // 4. Control plane: what do the collectors record, and what does the
-  //    inference engine conclude?
-  core::InferenceEngine engine(dict, registry);
-  auto updates = fleet.observe_announcement(prop, ann, propagation);
-  for (const auto& u : updates) engine.process(u.platform, u.update);
+  // 4. Control plane: stream the collector observations through the
+  //    live session; the sink logs what the engine shards conclude.
+  InferenceLog log;
+  session.subscribe(log);
+
+  auto updates = session.fleet().observe_announcement(prop, ann, propagation);
+  for (const auto& u : updates) session.push(u);
   std::printf("collector sightings: %zu updates\n", updates.size());
 
   auto withdrawal_time = ann.time + 47 * util::kMinute;
-  auto withdrawals =
-      fleet.observe_withdrawal(prop, ann, propagation, withdrawal_time, true);
-  for (const auto& u : withdrawals) engine.process(u.platform, u.update);
-  engine.finish(withdrawal_time + util::kHour);
-
+  auto withdrawals = session.fleet().observe_withdrawal(
+      prop, ann, propagation, withdrawal_time, true);
   std::printf("\ninferred events:\n");
-  for (const auto& e : engine.events()) {
-    std::printf("  [%s] %s blackholed at %s (user AS%u, %s, AS distance %d)\n",
-                routing::to_string(e.platform).c_str(),
-                e.prefix.to_string().c_str(), e.provider.to_string().c_str(),
-                e.user, core::to_string(e.kind).c_str(), e.as_distance);
-    if (engine.events().size() > 12 && &e == &engine.events()[11]) {
-      std::printf("  ... (%zu more)\n", engine.events().size() - 12);
-      break;
-    }
-  }
+  for (const auto& u : withdrawals) session.push(u);
+  session.close(withdrawal_time + util::kHour);
+  std::printf("  %zu peer events inferred, %zu §9 groups\n", log.events(),
+              session.grouped_events().size());
 
   // 5. Data plane: traceroute during vs after from a random probe.
   dataplane::ForwardingSim forwarding(graph, propagation, 7);

@@ -1,18 +1,21 @@
 // Build the blackhole-communities dictionary the way §4.1 does: scrape
 // IRR objects and operator web pages, extract community meanings by
 // keyword lemmas, keep only validated blackhole communities — then show
-// what the dictionary knows.
+// what the dictionary knows.  The corpus, registry, and dictionary all
+// come from one AnalysisSession: the same substrates every other
+// consumer of the library sees.
 #include <cstdio>
 
-#include "dictionary/dictionary.h"
-#include "topology/generator.h"
+#include "api/session.h"
+#include "dictionary/extract.h"
 
 using namespace bgpbh;
 
 int main() {
-  auto graph = topology::generate(topology::GeneratorConfig{});
-  auto registry = topology::Registry::build(graph, 0.72, 0.95, 42);
-  auto corpus = dictionary::generate_corpus(graph, 42);
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kBatch;
+  api::AnalysisSession session(config);
+  const dictionary::Corpus& corpus = session.corpus();
 
   std::printf("corpus: %zu documents (%zu via private communication)\n\n",
               corpus.documents.size(), corpus.private_communications.size());
@@ -30,7 +33,7 @@ int main() {
     break;
   }
 
-  auto dict = dictionary::build_documented_dictionary(corpus, registry);
+  const dictionary::BlackholeDictionary& dict = session.dictionary();
   std::printf("dictionary: %zu communities, %zu ISP providers, %zu IXPs\n\n",
               dict.num_communities(), dict.num_providers(), dict.num_ixps());
 
@@ -50,7 +53,7 @@ int main() {
 
   // Per-type breakdown (Table 2 shape).
   std::printf("\nproviders per network type (classified via PeeringDB/CAIDA):\n");
-  for (auto& [type, row] : dict.breakdown(registry)) {
+  for (auto& [type, row] : dict.breakdown(session.registry())) {
     std::printf("  %-16s %3zu networks, %3zu communities\n",
                 topology::to_string(type).c_str(), row.networks,
                 row.communities);

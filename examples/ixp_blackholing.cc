@@ -2,18 +2,21 @@
 // /32 with the RFC 7999 BLACKHOLE community to the route server, the RS
 // redistributes it with the next hop rewritten to the blackholing IP,
 // members that honour it drop the traffic — and we account the week of
-// fabric traffic the mitigation removed (Fig 9c style).
+// fabric traffic the mitigation removed (Fig 9c style).  Topology and
+// propagation substrates come from an AnalysisSession.
 #include <cstdio>
 
+#include "api/session.h"
 #include "flows/ixp_traffic.h"
-#include "topology/generator.h"
 
 using namespace bgpbh;
 
 int main() {
-  auto graph = topology::generate(topology::GeneratorConfig{});
-  topology::CustomerCones cones(graph);
-  routing::PropagationEngine propagation(graph, cones, 99);
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kBatch;
+  api::AnalysisSession session(config);
+  const topology::AsGraph& graph = session.graph();
+  routing::PropagationEngine& propagation = session.propagation();
 
   // The largest blackholing IXP (DE-CIX scale in our model).
   const topology::Ixp* ixp = nullptr;

@@ -1,32 +1,84 @@
-// Continuous monitoring mode over an MRT archive: the study writes a
-// day of collector updates to an MRT file (BGP4MP_MESSAGE_AS4 records,
-// the format RIS/RouteViews archives use), then a separate monitoring
-// pass replays the file through the sharded streaming pipeline
-// (src/stream/): MrtFileSource -> shard router -> engine shards ->
-// event store.  The event-store snapshot drives a live alert log —
-// the §4.2 "continuous monitoring" loop as a production pipeline.
+// Continuous monitoring mode over an MRT archive, driven entirely
+// through the public AnalysisSession API: the session's study
+// substrates write a day of collector updates to an MRT file
+// (BGP4MP_MESSAGE_AS4 records, the format RIS/RouteViews archives
+// use), then a live-feed session replays the file through the sharded
+// streaming pipeline while a subscribed EventSink turns closed events
+// and incremental §9 group updates into an alert log — the §4.2
+// "continuous monitoring" loop as a production pipeline.
+//
+// The live alert lines interleave in shard-drain order, so they vary
+// run to run (as in any live sharded monitor); the SET of events and
+// alerts, and everything from "monitoring summary" down, is
+// deterministic — the §9 groups are arrival-order independent.
 #include <algorithm>
 #include <cstdio>
 
+#include "api/session.h"
 #include "bgp/mrt.h"
-#include "core/study.h"
-#include "stream/pipeline.h"
-#include "stream/source.h"
 
 using namespace bgpbh;
 
+namespace {
+
+// Alert sink: prints the first closed events as they arrive on the
+// dispatch thread, and flags §9 groups that keep growing (the paper's
+// ON/OFF probing signature).
+class AlertSink : public api::EventSink {
+ public:
+  void on_event_closed(const core::PeerEvent& e) override {
+    ++events_;
+    if (events_ > 15) return;
+    std::printf("%s  BLACKHOLE %-20s at %-12s user AS%-6u %s (%s)\n",
+                util::format_datetime(e.end).c_str(),
+                e.prefix.to_string().c_str(), e.provider.to_string().c_str(),
+                e.user, e.explicit_withdrawal ? "withdrawn" : "re-announced",
+                util::format_duration(e.duration()).c_str());
+    if (events_ == 15) std::printf("...\n");
+  }
+
+  void on_group_updated(const core::PrefixEvent& group) override {
+    // Alert once per prefix when a group first shows repeated probing.
+    if (group.num_peer_events < 6) return;
+    if (!alerted_.insert(group.prefix).second) return;
+    std::printf(">>> GROUP ALERT %s: %zu peer events across %zu providers "
+                "within %s — repeated ON/OFF blackholing\n",
+                group.prefix.to_string().c_str(), group.num_peer_events,
+                group.providers.size(),
+                util::format_duration(group.duration()).c_str());
+  }
+
+  void on_snapshot(const stream::EventStore::Snapshot& snap) override {
+    last_total_ = snap.total_events;
+  }
+
+  std::size_t events() const { return events_; }
+  std::size_t last_snapshot_total() const { return last_total_; }
+
+ private:
+  std::size_t events_ = 0;
+  std::size_t last_total_ = 0;
+  std::set<net::Prefix> alerted_;
+};
+
+}  // namespace
+
 int main() {
-  // 1. Produce one day of updates and serialize them to MRT.
-  core::StudyConfig config;
-  config.window_start = util::from_date(2017, 3, 15);
-  config.window_end = util::from_date(2017, 3, 16);
-  config.workload.intensity_scale = 0.05;
-  config.table_dump_episodes = 0;
-  core::Study study(config);
+  // 1. One session is both the archive producer (its study substrates
+  //    generate the day of updates) and the live monitor that replays
+  //    the archive through the sharded pipeline.
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kLiveFeed;
+  config.study.window_start = util::from_date(2017, 3, 15);
+  config.study.window_end = util::from_date(2017, 3, 16);
+  config.study.workload.intensity_scale = 0.05;
+  config.study.table_dump_episodes = 0;
+  config.num_shards = 4;
+  api::AnalysisSession session(config);
 
   net::BufWriter archive;
   std::size_t written = 0;
-  for (const auto& fu : study.replay_updates()) {
+  for (const auto& fu : session.study().replay_updates()) {
     bgp::mrt::encode_update(fu.update, archive);
     ++written;
   }
@@ -35,42 +87,30 @@ int main() {
   std::printf("wrote %zu MRT records (%zu bytes) to %s\n\n", written,
               archive.size(), path.c_str());
 
-  // 2. Monitoring pass: replay the archive through the sharded
-  //    streaming pipeline as if it were a live feed.
+  // 2. Monitoring pass: subscribe the alert sink, replay the archive
+  //    as if it were a live feed, close at the archive cut-off.
   auto source = stream::MrtFileSource::open(path, routing::Platform::kRis);
   if (!source) {
     std::printf("failed to read/parse archive\n");
     return 1;
   }
+  AlertSink alerts;
+  session.subscribe(alerts);
+  std::uint64_t replayed = session.feed(*source);
+  session.close(config.study.window_end);
 
-  stream::PipelineConfig pconfig;
-  pconfig.num_shards = 4;
-  stream::StreamPipeline pipeline(study.dictionary(), study.registry(),
-                                  pconfig);
-  std::uint64_t replayed = pipeline.run(*source);
-  pipeline.finish(config.window_end);
-
-  // 3. Alert log from the merged, time-ordered event store.
-  const auto& events = pipeline.store().events();
-  std::size_t shown = 0;
-  for (const auto& e : events) {
-    if (shown >= 15) break;
-    std::printf("%s  BLACKHOLE %-20s at %-12s user AS%-6u %s (%s)\n",
-                util::format_datetime(e.end).c_str(),
-                e.prefix.to_string().c_str(), e.provider.to_string().c_str(),
-                e.user, e.explicit_withdrawal ? "withdrawn" : "re-announced",
-                util::format_duration(e.duration()).c_str());
-    ++shown;
-  }
-  if (events.size() > shown) std::printf("...\n");
-
-  auto snap = pipeline.store().snapshot();
+  // 3. Summary from the final snapshot (the same counters the sink saw
+  //    in its last on_snapshot delivery).
+  auto snap = session.snapshot();
   std::printf("\nmonitoring summary: %llu updates replayed across %zu shards, "
               "%zu events closed, %zu still open at end of archive\n",
-              static_cast<unsigned long long>(replayed),
-              pipeline.num_shards(),
-              snap.total_events - pipeline.open_at_finish(),
-              pipeline.open_at_finish());
+              static_cast<unsigned long long>(replayed), session.num_shards(),
+              snap.total_events - session.open_at_close(),
+              session.open_at_close());
+  std::printf("sink saw %zu events; final snapshot delivered %zu\n",
+              alerts.events(), alerts.last_snapshot_total());
+  std::printf("%zu §9 groups live-maintained while ingesting\n",
+              session.grouped_events().size());
   std::printf("busiest providers:\n");
   std::vector<std::pair<std::size_t, core::ProviderRef>> top;
   for (const auto& [provider, n] : snap.per_provider) {

@@ -1,0 +1,105 @@
+#include "api/dispatch.h"
+
+namespace bgpbh::api {
+
+SinkDispatcher::SinkDispatcher(
+    std::vector<EventSink*> sinks, LiveGrouper* grouper,
+    std::size_t capacity_chunks,
+    std::function<stream::EventStore::Snapshot()> snapshot_fn,
+    std::size_t snapshot_every_events)
+    : sinks_(std::move(sinks)),
+      grouper_(grouper),
+      capacity_(capacity_chunks == 0 ? 1 : capacity_chunks),
+      snapshot_fn_(std::move(snapshot_fn)),
+      snapshot_every_(snapshot_every_events) {}
+
+SinkDispatcher::~SinkDispatcher() { stop(); }
+
+void SinkDispatcher::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void SinkDispatcher::submit(std::span<const core::PeerEvent> events) {
+  submit(std::vector<core::PeerEvent>(events.begin(), events.end()));
+}
+
+void SinkDispatcher::submit(std::vector<core::PeerEvent>&& events) {
+  if (events.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_space_.wait(lock,
+                 [this] { return queue_.size() < capacity_ || stopping_; });
+  if (stopping_) return;  // ingest has stopped by contract; nothing to lose
+  queue_.push_back(Item{.events = std::move(events), .snapshot = false});
+  cv_items_.notify_one();
+}
+
+bool SinkDispatcher::request_snapshot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_space_.wait(lock,
+                 [this] { return queue_.size() < capacity_ || stopping_; });
+  if (stopping_) return false;
+  queue_.push_back(Item{.events = {}, .snapshot = true});
+  cv_items_.notify_one();
+  return true;
+}
+
+void SinkDispatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+  // call_once: concurrent stoppers all block here until the one join
+  // finished, so no caller can proceed while the thread still runs.
+  std::call_once(join_once_, [this] {
+    if (thread_.joinable()) thread_.join();
+  });
+}
+
+std::uint64_t SinkDispatcher::events_delivered() const {
+  return delivered_.load(std::memory_order_relaxed);
+}
+
+void SinkDispatcher::loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_items_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and fully drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      cv_space_.notify_one();
+    }
+    deliver(item);
+  }
+}
+
+void SinkDispatcher::deliver(const Item& item) {
+  if (item.snapshot) {
+    publish_snapshot();
+    return;
+  }
+  for (const core::PeerEvent& event : item.events) {
+    for (EventSink* sink : sinks_) sink->on_event_closed(event);
+    if (grouper_) {
+      core::PrefixEvent group = grouper_->add(event);
+      for (EventSink* sink : sinks_) sink->on_group_updated(group);
+    }
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (snapshot_every_ > 0 && ++since_snapshot_ >= snapshot_every_) {
+      since_snapshot_ = 0;
+      publish_snapshot();
+    }
+  }
+}
+
+void SinkDispatcher::publish_snapshot() {
+  if (!snapshot_fn_) return;
+  stream::EventStore::Snapshot snapshot = snapshot_fn_();
+  for (EventSink* sink : sinks_) sink->on_snapshot(snapshot);
+}
+
+}  // namespace bgpbh::api

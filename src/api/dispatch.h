@@ -1,0 +1,111 @@
+// SinkDispatcher: bounded hand-off between the ingest hot path and the
+// registered EventSinks.
+//
+// Shard workers seal closed-event chunks into EventStore lanes; the
+// store's chunk listener moves its copy of each chunk into this
+// dispatcher's bounded queue and returns — that one copy (made by the
+// store, after the chunk is counted into its lane) is the entire
+// hot-path cost of the subscription layer.  One dedicated dispatch
+// thread drains the
+// queue and, per event, calls every sink's on_event_closed, folds the
+// event into the session's LiveGrouper, and fans the updated §9 group
+// out through on_group_updated.  Callbacks therefore run strictly
+// single-threaded, in per-lane ingest order.
+//
+// Backpressure, not loss: submit() blocks while the queue is full, so
+// a sink that falls arbitrarily far behind stalls the pipeline's
+// ingest chain (queue -> worker -> producer) instead of dropping
+// events.  Every closed event is delivered exactly once; stop() drains
+// whatever is queued before joining.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "api/live_grouper.h"
+#include "api/sink.h"
+#include "core/events.h"
+#include "stream/event_store.h"
+
+namespace bgpbh::api {
+
+class SinkDispatcher {
+ public:
+  // `sinks` are borrowed and must outlive the dispatcher; `grouper`
+  // (optional) receives every event and powers on_group_updated.
+  // `snapshot_fn` supplies the snapshot for on_snapshot deliveries;
+  // `snapshot_every_events > 0` additionally publishes one every that
+  // many delivered events.
+  SinkDispatcher(std::vector<EventSink*> sinks, LiveGrouper* grouper,
+                 std::size_t capacity_chunks,
+                 std::function<stream::EventStore::Snapshot()> snapshot_fn,
+                 std::size_t snapshot_every_events);
+  ~SinkDispatcher();
+
+  SinkDispatcher(const SinkDispatcher&) = delete;
+  SinkDispatcher& operator=(const SinkDispatcher&) = delete;
+
+  void start();
+
+  // Enqueue a chunk for delivery; blocks while full (never drops).
+  // Safe from any number of ingesting threads.  The span overload
+  // copies; the vector overload takes ownership (the store listener's
+  // hand-off path — no second copy).
+  void submit(std::span<const core::PeerEvent> events);
+  void submit(std::vector<core::PeerEvent>&& events);
+
+  // Queue an on_snapshot delivery (ordered with the event stream).
+  // Returns false — nothing queued — once stop() has begun; the caller
+  // delivers inline instead (the dispatch thread is gone, so there is
+  // nothing to race with).
+  bool request_snapshot();
+
+  // Drain everything queued, deliver it, then join the thread.
+  // Idempotent and safe to race: every caller blocks until the
+  // dispatch thread has actually exited, so after stop() returns it is
+  // safe to invoke the sinks from the calling thread.  submit() after
+  // stop() is rejected (dropping nothing — callers stop ingesting
+  // first by contract).
+  void stop();
+
+  std::uint64_t events_delivered() const;
+
+ private:
+  struct Item {
+    std::vector<core::PeerEvent> events;  // empty => snapshot request
+    bool snapshot = false;
+  };
+
+  void loop();
+  void deliver(const Item& item);
+  void publish_snapshot();
+
+  std::vector<EventSink*> sinks_;
+  LiveGrouper* grouper_;
+  std::size_t capacity_;
+  std::function<stream::EventStore::Snapshot()> snapshot_fn_;
+  std::size_t snapshot_every_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;  // producers wait for room
+  std::condition_variable cv_items_;  // dispatch thread waits for work
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  // Counters touched by the dispatch thread without mu_ (producers may
+  // be parked on the mutex; delivery must not contend per event).
+  // delivered_ bumps per event so snapshot functions can read an
+  // up-to-the-callback progress count.
+  std::atomic<std::uint64_t> delivered_{0};
+  std::uint64_t since_snapshot_ = 0;  // dispatch thread only
+  std::once_flag join_once_;          // concurrent stop() joins exactly once
+  std::thread thread_;
+};
+
+}  // namespace bgpbh::api

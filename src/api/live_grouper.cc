@@ -1,0 +1,35 @@
+#include "api/live_grouper.h"
+
+namespace bgpbh::api {
+
+LiveGrouper::LiveGrouper(util::SimTime tolerance, util::SimTime timeout)
+    : grouper_(tolerance, timeout) {}
+
+void LiveGrouper::on_event_closed(const core::PeerEvent& event) { add(event); }
+
+core::PrefixEvent LiveGrouper::add(const core::PeerEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grouper_.add(event);
+}
+
+std::vector<core::PrefixEvent> LiveGrouper::correlated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grouper_.correlated();
+}
+
+std::vector<core::PrefixEvent> LiveGrouper::grouped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grouper_.grouped();
+}
+
+std::size_t LiveGrouper::num_peer_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grouper_.num_peer_events();
+}
+
+std::size_t LiveGrouper::num_grouped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grouper_.num_grouped();
+}
+
+}  // namespace bgpbh::api

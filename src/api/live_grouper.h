@@ -1,0 +1,51 @@
+// LiveGrouper: the flagship built-in EventSink — incremental §9
+// correlation/grouping over the live event stream.
+//
+// A production monitor must learn that a blackholing event opened,
+// extended, or merged while the shard workers are still ingesting; the
+// batch pipeline (correlate() + group_events() after the run) cannot
+// say anything until the archive ends.  LiveGrouper wraps
+// core::IncrementalGrouper — the same insertion-merge core those batch
+// functions are wrappers over — behind a mutex, so the dispatch thread
+// can fold events in while any thread queries the current groups.
+//
+// Equivalence contract (tested across shard counts {1,3,8} and
+// producer counts {1,3} in tests/test_api.cc): after any set of events
+// has been added in ANY order, correlated() and grouped() are
+// byte-identical to batch correlate(events, tolerance) and
+// group_events(correlate(events, tolerance), timeout) on that set.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "api/sink.h"
+#include "core/grouping.h"
+
+namespace bgpbh::api {
+
+class LiveGrouper : public EventSink {
+ public:
+  explicit LiveGrouper(util::SimTime tolerance = core::kCorrelateTolerance,
+                       util::SimTime timeout = core::kGroupTimeout);
+
+  // EventSink: fold the event in (discarding the group result).
+  void on_event_closed(const core::PeerEvent& event) override;
+
+  // Folds one closed event into both layers and returns a copy of the
+  // §9 group that now contains it.  Thread-safe.
+  core::PrefixEvent add(const core::PeerEvent& event);
+
+  // Current layers in batch output order.  Thread-safe snapshots.
+  std::vector<core::PrefixEvent> correlated() const;
+  std::vector<core::PrefixEvent> grouped() const;
+
+  std::size_t num_peer_events() const;
+  std::size_t num_grouped() const;
+
+ private:
+  mutable std::mutex mu_;
+  core::IncrementalGrouper grouper_;
+};
+
+}  // namespace bgpbh::api

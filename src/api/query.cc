@@ -1,0 +1,69 @@
+#include "api/query.h"
+
+namespace bgpbh::api {
+
+EventQuery& EventQuery::between(util::SimTime t0, util::SimTime t1) {
+  window_ = {t0, t1};
+  return *this;
+}
+
+EventQuery& EventQuery::provider(core::ProviderRef p) {
+  provider_ = p;
+  return *this;
+}
+
+EventQuery& EventQuery::provider_asn(bgp::Asn asn) {
+  return provider(core::ProviderRef{.is_ixp = false, .asn = asn, .ixp_id = 0});
+}
+
+EventQuery& EventQuery::ixp(std::uint32_t ixp_id) {
+  // The route-server ASN half of the ref varies per IXP; match on the
+  // IXP identity alone via a predicate instead of the full ref.
+  return where([ixp_id](const core::PeerEvent& e) {
+    return e.provider.is_ixp && e.provider.ixp_id == ixp_id;
+  });
+}
+
+EventQuery& EventQuery::platform(routing::Platform p) {
+  platform_ = p;
+  return *this;
+}
+
+EventQuery& EventQuery::prefix(net::Prefix p) {
+  prefix_ = p;
+  return *this;
+}
+
+EventQuery& EventQuery::within(net::Prefix supernet) {
+  supernet_ = supernet;
+  return *this;
+}
+
+EventQuery& EventQuery::user(bgp::Asn asn) {
+  user_ = asn;
+  return *this;
+}
+
+EventQuery& EventQuery::where(
+    std::function<bool(const core::PeerEvent&)> predicate) {
+  predicates_.push_back(std::move(predicate));
+  return *this;
+}
+
+bool EventQuery::matches(const core::PeerEvent& e) const {
+  if (window_ &&
+      !core::overlaps_window(e.start, e.end, window_->first, window_->second)) {
+    return false;
+  }
+  if (provider_ && e.provider != *provider_) return false;
+  if (platform_ && e.platform != *platform_) return false;
+  if (prefix_ && e.prefix != *prefix_) return false;
+  if (supernet_ && !supernet_->covers(e.prefix)) return false;
+  if (user_ && e.user != *user_) return false;
+  for (const auto& pred : predicates_) {
+    if (!pred(e)) return false;
+  }
+  return true;
+}
+
+}  // namespace bgpbh::api

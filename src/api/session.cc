@@ -1,0 +1,268 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bgpbh::api {
+
+namespace {
+
+stream::PipelineConfig pipeline_config(const SessionConfig& config) {
+  stream::PipelineConfig pc;
+  pc.num_shards = config.num_shards;
+  pc.num_producers = config.num_producers;
+  pc.queue_capacity = config.queue_capacity;
+  pc.drain_batch = config.drain_batch;
+  pc.batch_size = config.batch_size;
+  pc.zero_copy = config.zero_copy;
+  pc.engine = config.study.engine;
+  return pc;
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(SessionConfig config)
+    : config_(std::move(config)),
+      study_(std::make_unique<core::Study>(config_.study)),
+      grouper_(config_.correlate_tolerance, config_.group_timeout) {
+  if (live()) {
+    pipeline_ = std::make_unique<stream::StreamPipeline>(
+        study_->dictionary(), study_->registry(), pipeline_config(config_));
+    // §4.2 initialization is part of the configured study in every
+    // mode (study.table_dump_episodes == 0 disables it).
+    if (auto dump = study_->initial_table_dump()) {
+      pipeline_->init_from_table_dump(routing::Platform::kRis, *dump);
+    }
+  }
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+bool AnalysisSession::subscribe(EventSink& sink) {
+  // The dispatcher snapshots the sink list when delivery begins; a
+  // late subscriber could never be delivered to, so refuse it loudly
+  // rather than ignore it silently.
+  bool late = started_.load(std::memory_order_acquire) || ran_;
+  assert(!late && "subscribe() must precede run()/start()");
+  if (late) return false;
+  sinks_.push_back(&sink);
+  return true;
+}
+
+void AnalysisSession::start_dispatcher() {
+  // Zero sinks: no dispatcher, no store listener — the ingest hot path
+  // is exactly the bare pipeline's (queries compute §9 layers on
+  // demand instead; the two paths are equivalence-tested).
+  if (sinks_.empty() || dispatcher_) return;
+  dispatcher_ = std::make_unique<SinkDispatcher>(
+      sinks_, &grouper_, config_.sink_queue_chunks,
+      [this] { return snapshot(); }, config_.snapshot_every_events);
+  if (pipeline_) {
+    dispatcher_->start();
+    pipeline_->store().set_chunk_listener(
+        [this](std::size_t, std::vector<core::PeerEvent> chunk) {
+          dispatcher_->submit(std::move(chunk));
+        });
+  }
+}
+
+void AnalysisSession::start() {
+  assert(live() && "start() is for the live modes; kBatch uses run()");
+  // call_once blocks concurrent callers until the winner has wired the
+  // dispatcher and store listener AND started the pipeline — a racing
+  // first push can therefore never reach a shard worker (whose drains
+  // invoke the listener) before the subscription layer exists.
+  std::call_once(start_once_, [this] {
+    start_dispatcher();
+    pipeline_->start();
+    started_.store(true, std::memory_order_release);
+  });
+}
+
+bool AnalysisSession::push(const routing::FeedUpdate& update,
+                          std::size_t producer) {
+  if (!started_.load(std::memory_order_acquire)) start();
+  return pipeline_->producer(producer).push(update);
+}
+
+void AnalysisSession::flush(std::size_t producer) {
+  pipeline_->producer(producer).flush();
+}
+
+std::uint64_t AnalysisSession::feed(stream::UpdateSource& source) {
+  if (!started_.load(std::memory_order_acquire)) start();
+  return pipeline_->run(source);
+}
+
+void AnalysisSession::close(util::SimTime end_time) {
+  assert(live() && "close() is for the live modes");
+  if (closed_) return;
+  closed_ = true;
+  // finish() flushes the producers, joins the workers, and force-closes
+  // still-open events — every resulting chunk still flows through the
+  // store listener into the dispatcher before the queue stops.
+  pipeline_->finish(end_time);
+  if (dispatcher_) {
+    dispatcher_->request_snapshot();  // final counters, after every event
+    dispatcher_->stop();
+  }
+}
+
+void AnalysisSession::deliver_batch_results() {
+  if (sinks_.empty()) {
+    // No subscribers: queries serve the study's own (incremental)
+    // layers directly — see prefix_events() — so nothing to do here.
+    return;
+  }
+  // Reuse the dispatch thread so sink callbacks keep their contract
+  // (one thread, close order, cadence + final snapshot) in batch too.
+  // Cadence snapshots fold the delivered PREFIX of the event stream so
+  // a subscriber sees running totals, as it would live; the final
+  // request covers everything.
+  dispatcher_ = std::make_unique<SinkDispatcher>(
+      sinks_, &grouper_, config_.sink_queue_chunks,
+      [this] {
+        const auto& all = study_->events();
+        std::size_t delivered = static_cast<std::size_t>(
+            std::min<std::uint64_t>(dispatcher_->events_delivered(),
+                                    all.size()));
+        return snapshot_of(std::span(all.data(), delivered));
+      },
+      config_.snapshot_every_events);
+  dispatcher_->start();
+  const auto& events = study_->events();
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t i = 0; i < events.size(); i += kChunk) {
+    std::span<const core::PeerEvent> chunk(
+        events.data() + i, std::min(kChunk, events.size() - i));
+    dispatcher_->submit(chunk);
+  }
+  dispatcher_->request_snapshot();
+  dispatcher_->stop();
+}
+
+void AnalysisSession::run() {
+  assert(config_.mode != SessionConfig::Mode::kLiveFeed &&
+         "kLiveFeed sessions are driven by start()/push()/close()");
+  if (ran_) return;
+  ran_ = true;
+  if (!live()) {
+    study_->run();
+    deliver_batch_results();
+    closed_ = true;
+    return;
+  }
+  start();
+  stream::VectorSource source(study_->replay_updates());
+  pipeline_->run(source);
+  close(config_.study.window_end);
+}
+
+std::vector<core::PeerEvent> AnalysisSession::events(
+    const EventQuery& query) const {
+  std::vector<core::PeerEvent> out;
+  if (live()) {
+    out = pipeline_->store().query(
+        [&query](const core::PeerEvent& e) { return query.matches(e); });
+  } else {
+    for (const auto& e : study_->events()) {
+      if (query.matches(e)) out.push_back(e);
+    }
+  }
+  core::canonical_sort(out);
+  return out;
+}
+
+std::size_t AnalysisSession::count(const EventQuery& query) const {
+  if (live()) {
+    return pipeline_->store().count(
+        [&query](const core::PeerEvent& e) { return query.matches(e); });
+  }
+  std::size_t n = 0;
+  for (const auto& e : study_->events()) {
+    if (query.matches(e)) ++n;
+  }
+  return n;
+}
+
+bool AnalysisSession::dispatching() const {
+  if (!live()) return dispatcher_ != nullptr;  // batch: single-threaded run()
+  // dispatcher_ is written inside the one-shot start and never again;
+  // started_ == true (acquire) therefore makes the pointer safe to
+  // read even while other threads are pushing.
+  return started_.load(std::memory_order_acquire) && dispatcher_ != nullptr;
+}
+
+std::vector<core::PrefixEvent> AnalysisSession::prefix_events() const {
+  if (dispatching()) return grouper_.correlated();
+  if (!live() && default_grouping()) return study_->prefix_events();
+  core::IncrementalGrouper grouper(config_.correlate_tolerance,
+                                   config_.group_timeout);
+  for (const auto& e : events()) grouper.add(e);
+  return grouper.correlated();
+}
+
+std::vector<core::PrefixEvent> AnalysisSession::grouped_events() const {
+  if (dispatching()) return grouper_.grouped();
+  if (!live() && default_grouping()) return study_->grouped_events();
+  core::IncrementalGrouper grouper(config_.correlate_tolerance,
+                                   config_.group_timeout);
+  for (const auto& e : events()) grouper.add(e);
+  return grouper.grouped();
+}
+
+stream::EventStore::Snapshot AnalysisSession::snapshot_of(
+    std::span<const core::PeerEvent> events) const {
+  stream::EventStore::Snapshot snap;
+  bool any = false;
+  for (const auto& e : events) {
+    stream::EventStore::fold_event(snap, any, e);
+  }
+  return snap;
+}
+
+stream::EventStore::Snapshot AnalysisSession::snapshot() const {
+  if (live()) return pipeline_->store().snapshot();
+  return snapshot_of(study_->events());
+}
+
+void AnalysisSession::publish_snapshot() {
+  // Through the dispatch thread while it runs (ordered with the event
+  // stream).  If the dispatcher is already stopping it may still be
+  // draining — wait for stop() to finish (idempotent, joins the
+  // thread) so the inline delivery below can never run concurrently
+  // with dispatch-thread callbacks.
+  if (dispatching()) {
+    if (dispatcher_->request_snapshot()) return;
+    dispatcher_->stop();
+  }
+  stream::EventStore::Snapshot snap = snapshot();
+  for (EventSink* sink : sinks_) sink->on_snapshot(snap);
+}
+
+core::EngineStats AnalysisSession::stats() const {
+  if (!live()) return study_->engine_stats();
+  assert(closed_ && "live stats() requires close(): shard engines are "
+                    "readable only after the workers joined");
+  return pipeline_->merged_stats();
+}
+
+std::size_t AnalysisSession::open_event_count() const {
+  return live() ? pipeline_->open_event_count() : 0;
+}
+
+std::size_t AnalysisSession::open_at_close() const {
+  return live() ? pipeline_->open_at_finish() : 0;
+}
+
+std::uint64_t AnalysisSession::updates_pushed() const {
+  if (live()) return pipeline_->updates_pushed();
+  return study_->engine_stats().updates_processed;
+}
+
+std::size_t AnalysisSession::num_shards() const {
+  return live() ? pipeline_->num_shards() : 1;
+}
+
+}  // namespace bgpbh::api

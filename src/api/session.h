@@ -1,0 +1,200 @@
+// AnalysisSession: the one consumer surface of the library.
+//
+// The paper's measurement loop (GiotsasRSFDB17 §4–§9) — ingest updates,
+// infer per-peer events, correlate them into §9 prefix-event groups,
+// query the result — used to be split across two disjoint surfaces:
+// the batch core::Study (full-window replay, aggregates at the end)
+// and the live stream::StreamPipeline (sharded ingestion, empty
+// EventStore until finalize()).  AnalysisSession subsumes both behind
+// one object model:
+//
+//   api::SessionConfig cfg;                 // source + shards + dictionary
+//   cfg.study.window_start = ...;
+//   api::AnalysisSession session(cfg);
+//   session.subscribe(my_sink);             // EventSink callbacks
+//   session.run();                          // batch or live replay
+//   auto events = session.events(api::EventQuery().between(t0, t1));
+//   auto groups = session.grouped_events(); // §9, incremental
+//
+// Three source modes, one interaction model:
+//   * kBatch      — Study replay through one engine; sinks are fed the
+//                   closed events in close order when run() completes.
+//   * kLiveReplay — the same study workload streamed through the
+//                   sharded zero-copy pipeline; sinks fire while the
+//                   shard workers ingest.  run() = start + feed + close.
+//   * kLiveFeed   — the caller pushes updates (or drains an
+//                   UpdateSource) and closes explicitly: the
+//                   production monitoring shape.
+//
+// Whatever the mode, the consumer surface is identical: EventSink
+// subscriptions (delivered off the hot path through a bounded
+// SinkDispatcher — zero sinks means the pipeline hot path is
+// untouched), EventQuery reads (identical results from live per-shard
+// lanes or the finalized/batch event set, canonically sorted), and the
+// incremental §9 layers (prefix_events()/grouped_events(), maintained
+// by the built-in LiveGrouper and byte-equivalent to batch
+// correlate()+group_events() on the same stream).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "api/dispatch.h"
+#include "api/live_grouper.h"
+#include "api/query.h"
+#include "api/sink.h"
+#include "core/study.h"
+#include "stream/pipeline.h"
+#include "stream/source.h"
+
+namespace bgpbh::api {
+
+struct SessionConfig {
+  enum class Mode {
+    kBatch,       // sequential Study replay, sinks fed at run()
+    kLiveReplay,  // study workload through the sharded live pipeline
+    kLiveFeed,    // caller-fed live pipeline: start()/push()/close()
+  };
+  Mode mode = Mode::kLiveReplay;
+
+  // Substrates + workload + window + engine ablations.  The study's
+  // table-dump episodes seed §4.2 initialization in every mode.
+  core::StudyConfig study;
+
+  // Live data plane shape (ignored in kBatch); forwarded to
+  // stream::PipelineConfig.
+  std::size_t num_shards = 4;
+  std::size_t num_producers = 1;
+  std::size_t queue_capacity = 4096;
+  std::size_t drain_batch = 256;
+  std::size_t batch_size = 64;
+  bool zero_copy = true;
+
+  // §9 grouping parameters (LiveGrouper; the correlate tolerance must
+  // not exceed the grouping timeout — a shorter timeout is raised to
+  // the tolerance, and debug builds assert).
+  util::SimTime correlate_tolerance = core::kCorrelateTolerance;
+  util::SimTime group_timeout = core::kGroupTimeout;
+
+  // Sink dispatch: bounded queue depth in sealed chunks (a full queue
+  // blocks ingest — backpressure, never loss), and an optional
+  // snapshot cadence (every N delivered events; 0 = only final/manual).
+  std::size_t sink_queue_chunks = 256;
+  std::size_t snapshot_every_events = 0;
+};
+
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(SessionConfig config = {});
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  // ---- substrates (shared by every mode) -------------------------------
+  const core::Study& study() const { return *study_; }
+  const topology::AsGraph& graph() const { return study_->graph(); }
+  const topology::Registry& registry() const { return study_->registry(); }
+  const topology::CustomerCones& cones() const { return study_->cones(); }
+  const dictionary::Corpus& corpus() const { return study_->corpus(); }
+  const dictionary::BlackholeDictionary& dictionary() const {
+    return study_->dictionary();
+  }
+  const routing::CollectorFleet& fleet() const { return study_->fleet(); }
+  routing::PropagationEngine& propagation() { return study_->propagation(); }
+  const SessionConfig& config() const { return config_; }
+
+  // ---- subscriptions ---------------------------------------------------
+  // Borrowed; must outlive the session.  Register before run()/start():
+  // the dispatcher snapshots the sink list when delivery begins, so a
+  // late subscribe is refused — false is returned (and debug builds
+  // assert) instead of silently never delivering.
+  bool subscribe(EventSink& sink);
+
+  // ---- execution -------------------------------------------------------
+  // kBatch / kLiveReplay: runs the configured study window end to end
+  // (including sink delivery and close).  Idempotent.
+  void run();
+
+  // kLiveFeed: start the pipeline (idempotent and safe to race —
+  // implied by the first push, concurrent first pushes from several
+  // producer threads block until one of them finished the start), feed
+  // updates, close at the archive cut-off.
+  void start();
+  bool push(const routing::FeedUpdate& update, std::size_t producer = 0);
+  void flush(std::size_t producer = 0);
+  std::uint64_t feed(stream::UpdateSource& source);
+  void close(util::SimTime end_time);
+  bool closed() const { return closed_; }
+
+  // ---- queries ---------------------------------------------------------
+  // Peer-granularity events matching `query`, canonically sorted.
+  // Identical result sets from live lanes (mid-run) and the finalized
+  // store; in kBatch, from the study's event set.
+  std::vector<core::PeerEvent> events(const EventQuery& query = {}) const;
+  std::size_t count(const EventQuery& query = {}) const;
+
+  // §9 layers.  Live modes with sinks: the incremental LiveGrouper
+  // state (what subscribers have been told so far).  Otherwise:
+  // computed from the events ingested so far — same result, the two
+  // paths are equivalence-tested.
+  std::vector<core::PrefixEvent> prefix_events() const;
+  std::vector<core::PrefixEvent> grouped_events() const;
+
+  // Aggregate counters now (live: lane-consistent store snapshot).
+  stream::EventStore::Snapshot snapshot() const;
+  // Queue an on_snapshot delivery to the sinks, ordered with the event
+  // stream (delivered inline when no dispatch thread is running).
+  void publish_snapshot();
+
+  // Engine statistics; valid after run() (batch) / close() (live).
+  core::EngineStats stats() const;
+
+  // Live gauges.
+  std::size_t open_event_count() const;
+  // Events force-closed at the close() cut-off — "still active at the
+  // end of the archive" (always 0 for kBatch: Study counts those
+  // within its own event set).
+  std::size_t open_at_close() const;
+  std::uint64_t updates_pushed() const;
+  std::size_t num_shards() const;
+
+ private:
+  bool live() const { return config_.mode != SessionConfig::Mode::kBatch; }
+  bool default_grouping() const {
+    return config_.correlate_tolerance == core::kCorrelateTolerance &&
+           config_.group_timeout == core::kGroupTimeout;
+  }
+  // True when the dispatch thread owns sink delivery and grouper_ is
+  // being fed.  Races with a concurrent lazy start are resolved by
+  // reading started_ (release-stored after the dispatcher is fully
+  // wired) before touching dispatcher_.
+  bool dispatching() const;
+  void start_dispatcher();
+  void deliver_batch_results();
+  stream::EventStore::Snapshot snapshot_of(
+      std::span<const core::PeerEvent> events) const;
+
+  SessionConfig config_;
+  std::unique_ptr<core::Study> study_;
+  LiveGrouper grouper_;
+  std::vector<EventSink*> sinks_;
+  // Dispatcher before pipeline: the pipeline's destructor joins shard
+  // workers that may be parked in the dispatcher's bounded queue, so
+  // the dispatcher must be destroyed (stopped) after the pipeline.
+  std::unique_ptr<SinkDispatcher> dispatcher_;
+  std::unique_ptr<stream::StreamPipeline> pipeline_;
+  // One-shot start: call_once makes racing first pushes block until
+  // the winner has installed the dispatcher + store listener, so no
+  // update can reach a worker before the subscription layer is wired.
+  std::once_flag start_once_;
+  std::atomic<bool> started_{false};
+  bool ran_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace bgpbh::api

@@ -1,0 +1,45 @@
+// EventSink: the subscription half of the public AnalysisSession API.
+//
+// Sinks observe the measurement loop of GiotsasRSFDB17 §4–§9 as it
+// happens: a peer-granularity blackholing event closing (§4.2), the §9
+// prefix-event group that absorbs it changing shape, and periodic
+// aggregate snapshots.  The session delivers every callback on ONE
+// dedicated dispatch thread, decoupled from the shard workers by a
+// bounded queue (api::SinkDispatcher): a slow sink never adds latency
+// to the ingest hot path, and if it falls a full queue behind, the
+// pipeline's backpressure chain stalls rather than drops — a sink sees
+// every closed event exactly once.
+//
+// Within one (peer, prefix) key, events arrive in close order; across
+// keys the interleaving follows shard drain order.  Default
+// implementations are no-ops so a sink overrides only what it needs.
+#pragma once
+
+#include "core/events.h"
+#include "stream/event_store.h"
+
+namespace bgpbh::api {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  // One peer-granularity event closed (explicit withdrawal, implicit
+  // timeout, or force-closed at the archive cut-off).
+  virtual void on_event_closed(const core::PeerEvent& event) { (void)event; }
+
+  // The §9 group (prefix event at the grouping timeout) that absorbed
+  // the latest closed event — a new group, or an existing one extended
+  // or merged.  Fired after the corresponding on_event_closed.
+  virtual void on_group_updated(const core::PrefixEvent& group) {
+    (void)group;
+  }
+
+  // Aggregate counters at one instant: on the configured cadence, on
+  // AnalysisSession::publish_snapshot(), and once at close.
+  virtual void on_snapshot(const stream::EventStore::Snapshot& snapshot) {
+    (void)snapshot;
+  }
+};
+
+}  // namespace bgpbh::api

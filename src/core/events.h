@@ -84,6 +84,17 @@ struct PrefixEvent {
   bool includes_table_dump_start = false;
 
   util::SimTime duration() const { return end - start; }
+
+  friend bool operator==(const PrefixEvent&, const PrefixEvent&) = default;
 };
+
+// The one [t0, t1) window-overlap rule every event query uses —
+// Study::events_in, stream::EventStore::events_in and api::EventQuery
+// all filter through this helper, so "overlaps the window" can never
+// drift between the batch and live surfaces.
+constexpr bool overlaps_window(util::SimTime start, util::SimTime end,
+                               util::SimTime t0, util::SimTime t1) {
+  return end >= t0 && start < t1;
+}
 
 }  // namespace bgpbh::core

@@ -1,7 +1,7 @@
 #include "core/grouping.h"
 
 #include <algorithm>
-#include <map>
+#include <cassert>
 
 namespace bgpbh::core {
 
@@ -19,93 +19,114 @@ PrefixEvent seed_from(const PeerEvent& e) {
   return pe;
 }
 
-void absorb(PrefixEvent& pe, const PeerEvent& e) {
-  pe.start = std::min(pe.start, e.start);
-  pe.end = std::max(pe.end, e.end);
-  pe.providers.insert(e.provider);
-  if (e.user != 0) pe.users.insert(e.user);
-  pe.num_peer_events += 1;
-  pe.includes_table_dump_start |= e.started_in_table_dump;
+void merge_into(PrefixEvent& into, PrefixEvent&& other) {
+  into.start = std::min(into.start, other.start);
+  into.end = std::max(into.end, other.end);
+  into.providers.merge(other.providers);
+  into.users.merge(other.users);
+  into.num_peer_events += other.num_peer_events;
+  into.includes_table_dump_start |= other.includes_table_dump_start;
+}
+
+// Inserts one interval into a layer, absorbing every stored interval
+// within `threshold` of it (gap <= threshold, inclusive — matching the
+// batch sweep's `next.start <= end + threshold`).  Entries are disjoint
+// and separated by more than `threshold`, so the absorbable ones are
+// the contiguous run just below upper_bound(end + threshold).  Returns
+// the entry the interval ended up in; `count` tracks the layer's live
+// event count.
+using IntervalMap = std::map<util::SimTime, PrefixEvent>;
+
+const PrefixEvent& insert_merged(IntervalMap& layer, PrefixEvent event,
+                                 util::SimTime threshold, std::size_t& count) {
+  auto it = layer.upper_bound(event.end + threshold);
+  while (it != layer.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end + threshold < event.start) break;
+    merge_into(event, std::move(prev->second));
+    it = layer.erase(prev);
+    --count;
+  }
+  auto [pos, inserted] = layer.emplace(event.start, std::move(event));
+  assert(inserted);
+  ++count;
+  return pos->second;
+}
+
+// Flattens per-prefix layers into the batch output order (start, then
+// prefix; two events can never tie on both — they would have merged).
+template <typename PerPrefix, typename Select>
+std::vector<PrefixEvent> flatten(const PerPrefix& per_prefix, Select&& select,
+                                 std::size_t count) {
+  std::vector<PrefixEvent> out;
+  out.reserve(count);
+  for (const auto& [prefix, state] : per_prefix) {
+    for (const auto& [start, event] : select(state)) out.push_back(event);
+  }
+  std::sort(out.begin(), out.end(), [](const PrefixEvent& a, const PrefixEvent& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.prefix < b.prefix;
+  });
+  return out;
 }
 
 }  // namespace
 
 std::vector<PrefixEvent> correlate(std::span<const PeerEvent> events,
                                    util::SimTime tolerance) {
-  // Bucket by prefix, then sweep each bucket in start order merging
-  // intervals that overlap (within tolerance).
-  std::map<net::Prefix, std::vector<const PeerEvent*>> by_prefix;
-  for (const auto& e : events) by_prefix[e.prefix].push_back(&e);
-
-  std::vector<PrefixEvent> out;
-  for (auto& [prefix, list] : by_prefix) {
-    std::sort(list.begin(), list.end(), [](const PeerEvent* a, const PeerEvent* b) {
-      if (a->start != b->start) return a->start < b->start;
-      return a->end < b->end;
-    });
-    PrefixEvent current;
-    bool have = false;
-    for (const PeerEvent* e : list) {
-      if (!have) {
-        current = seed_from(*e);
-        have = true;
-        continue;
-      }
-      if (e->start <= current.end + tolerance) {
-        absorb(current, *e);
-      } else {
-        out.push_back(current);
-        current = seed_from(*e);
-      }
-    }
-    if (have) out.push_back(current);
+  std::map<net::Prefix, IntervalMap> per_prefix;
+  std::size_t count = 0;
+  for (const auto& e : events) {
+    insert_merged(per_prefix[e.prefix], seed_from(e), tolerance, count);
   }
-  std::sort(out.begin(), out.end(), [](const PrefixEvent& a, const PrefixEvent& b) {
-    if (a.start != b.start) return a.start < b.start;
-    return a.prefix < b.prefix;
-  });
-  return out;
+  return flatten(per_prefix, [](const IntervalMap& m) -> const IntervalMap& {
+    return m;
+  }, count);
 }
 
 std::vector<PrefixEvent> group_events(std::span<const PrefixEvent> events,
                                       util::SimTime timeout) {
-  std::map<net::Prefix, std::vector<const PrefixEvent*>> by_prefix;
-  for (const auto& e : events) by_prefix[e.prefix].push_back(&e);
-
-  std::vector<PrefixEvent> out;
-  for (auto& [prefix, list] : by_prefix) {
-    std::sort(list.begin(), list.end(),
-              [](const PrefixEvent* a, const PrefixEvent* b) {
-                if (a->start != b->start) return a->start < b->start;
-                return a->end < b->end;
-              });
-    PrefixEvent current;
-    bool have = false;
-    for (const PrefixEvent* e : list) {
-      if (!have) {
-        current = *e;
-        have = true;
-        continue;
-      }
-      if (e->start <= current.end + timeout) {
-        current.end = std::max(current.end, e->end);
-        current.start = std::min(current.start, e->start);
-        current.providers.insert(e->providers.begin(), e->providers.end());
-        current.users.insert(e->users.begin(), e->users.end());
-        current.num_peer_events += e->num_peer_events;
-        current.includes_table_dump_start |= e->includes_table_dump_start;
-      } else {
-        out.push_back(current);
-        current = *e;
-      }
-    }
-    if (have) out.push_back(current);
+  std::map<net::Prefix, IntervalMap> per_prefix;
+  std::size_t count = 0;
+  for (const auto& e : events) {
+    insert_merged(per_prefix[e.prefix], e, timeout, count);
   }
-  std::sort(out.begin(), out.end(), [](const PrefixEvent& a, const PrefixEvent& b) {
-    if (a.start != b.start) return a.start < b.start;
-    return a.prefix < b.prefix;
-  });
-  return out;
+  return flatten(per_prefix, [](const IntervalMap& m) -> const IntervalMap& {
+    return m;
+  }, count);
+}
+
+IncrementalGrouper::IncrementalGrouper(util::SimTime tolerance,
+                                       util::SimTime timeout)
+    // The grouping layer is computed directly from peer events, which
+    // is equivalent to group_events(correlate(...)) only when
+    // correlation merges no further than grouping does — a
+    // mis-configured shorter timeout is raised to the tolerance so the
+    // equivalence contract holds in release builds too.
+    : tolerance_(tolerance), timeout_(std::max(timeout, tolerance)) {
+  assert(tolerance <= timeout &&
+         "IncrementalGrouper requires tolerance <= timeout");
+}
+
+const PrefixEvent& IncrementalGrouper::add(const PeerEvent& event) {
+  PrefixState& state = per_prefix_[event.prefix];
+  insert_merged(state.correlated, seed_from(event), tolerance_,
+                num_correlated_);
+  ++num_peer_events_;
+  return insert_merged(state.grouped, seed_from(event), timeout_,
+                       num_grouped_);
+}
+
+std::vector<PrefixEvent> IncrementalGrouper::correlated() const {
+  return flatten(per_prefix_, [](const PrefixState& s) -> const IntervalMap& {
+    return s.correlated;
+  }, num_correlated_);
+}
+
+std::vector<PrefixEvent> IncrementalGrouper::grouped() const {
+  return flatten(per_prefix_, [](const PrefixState& s) -> const IntervalMap& {
+    return s.grouped;
+  }, num_grouped_);
 }
 
 }  // namespace bgpbh::core

@@ -5,8 +5,19 @@
 // union of per-peer activity.  §9 then groups consecutive events of the
 // same prefix with a 5-minute timeout: the ungrouped/grouped duration
 // contrast (Fig 8a) exposes the operators' ON/OFF probing practice.
+//
+// Both layers are one merge rule — intervals of the same prefix whose
+// gap is at most a threshold belong to one event — and that rule is
+// order-independent: inserting intervals one at a time and absorbing
+// every stored interval within the threshold yields exactly the
+// partition of the sorted batch sweep.  IncrementalGrouper maintains
+// both layers that way, one closed peer event at a time, which is what
+// lets the live pipeline (api::LiveGrouper) publish §9 groups while
+// shard workers are still ingesting.  The batch correlate() /
+// group_events() entry points are thin wrappers over the same core.
 #pragma once
 
+#include <map>
 #include <span>
 #include <vector>
 
@@ -14,14 +25,69 @@
 
 namespace bgpbh::core {
 
+// The paper's §9 thresholds, shared by every grouping surface (batch
+// wrappers, IncrementalGrouper, api::LiveGrouper, api::SessionConfig).
+inline constexpr util::SimTime kCorrelateTolerance = 60;
+inline constexpr util::SimTime kGroupTimeout = 5 * util::kMinute;
+
 // Merge per-peer events into per-prefix events: overlapping (or within
 // `tolerance`) intervals of the same prefix are one blackholing event.
 std::vector<PrefixEvent> correlate(std::span<const PeerEvent> events,
-                                   util::SimTime tolerance = 60);
+                                   util::SimTime tolerance = kCorrelateTolerance);
 
 // Group consecutive events of the same prefix when the OFF gap is at
 // most `timeout` (paper: 5 minutes).
 std::vector<PrefixEvent> group_events(std::span<const PrefixEvent> events,
-                                      util::SimTime timeout = 5 * util::kMinute);
+                                      util::SimTime timeout = kGroupTimeout);
+
+// Incremental §9 correlation + grouping: add() folds one closed peer
+// event into both layers, in any arrival order.  After adding any
+// multiset of events, correlated() equals correlate(events, tolerance)
+// and grouped() equals group_events(correlate(events, tolerance),
+// timeout) on the same multiset — byte for byte (requires tolerance <=
+// timeout, which makes the correlation layer a refinement of the
+// grouping layer; a shorter timeout is raised to the tolerance, and
+// debug builds assert).
+//
+// Not thread-safe; api::LiveGrouper wraps it with a mutex for
+// concurrent sink delivery and queries.
+class IncrementalGrouper {
+ public:
+  explicit IncrementalGrouper(util::SimTime tolerance = kCorrelateTolerance,
+                              util::SimTime timeout = kGroupTimeout);
+
+  // Folds one closed peer event into both layers; returns a reference
+  // to the grouping-layer event that now contains it (valid until the
+  // next add()).
+  const PrefixEvent& add(const PeerEvent& event);
+
+  // Both layers flattened into the batch output order (start, prefix).
+  std::vector<PrefixEvent> correlated() const;
+  std::vector<PrefixEvent> grouped() const;
+
+  std::size_t num_correlated() const { return num_correlated_; }
+  std::size_t num_grouped() const { return num_grouped_; }
+  std::size_t num_peer_events() const { return num_peer_events_; }
+  util::SimTime tolerance() const { return tolerance_; }
+  util::SimTime timeout() const { return timeout_; }
+
+ private:
+  // Disjoint merged intervals of one prefix, keyed by start time.  The
+  // invariant (any two entries are separated by a gap greater than the
+  // layer's threshold) keeps them sorted by end as well, so the
+  // entries a new interval must absorb are one contiguous run.
+  using IntervalMap = std::map<util::SimTime, PrefixEvent>;
+  struct PrefixState {
+    IntervalMap correlated;
+    IntervalMap grouped;
+  };
+
+  util::SimTime tolerance_;
+  util::SimTime timeout_;
+  std::map<net::Prefix, PrefixState> per_prefix_;
+  std::size_t num_correlated_ = 0;
+  std::size_t num_grouped_ = 0;
+  std::size_t num_peer_events_ = 0;
+};
 
 }  // namespace bgpbh::core

@@ -215,8 +215,12 @@ void Study::run() {
   engine_->finish(config_.window_end);
   events_ = engine_->events();
   engine_stats_ = engine_->stats();
-  prefix_events_ = correlate(events_);
-  grouped_events_ = group_events(prefix_events_);
+  // Same incremental core the live session's api::LiveGrouper runs —
+  // the batch aggregates are the incremental ones fed in close order.
+  IncrementalGrouper grouper;
+  for (const auto& e : events_) grouper.add(e);
+  prefix_events_ = grouper.correlated();
+  grouped_events_ = grouper.grouped();
 }
 
 stats::DailySeries Study::daily_providers() const {
@@ -284,7 +288,7 @@ std::vector<const PeerEvent*> Study::events_in(util::SimTime t0,
                                                util::SimTime t1) const {
   std::vector<const PeerEvent*> out;
   for (const auto& e : events_) {
-    if (e.end >= t0 && e.start < t1) out.push_back(&e);
+    if (overlaps_window(e.start, e.end, t0, t1)) out.push_back(&e);
   }
   return out;
 }
@@ -293,7 +297,7 @@ std::vector<const PrefixEvent*> Study::prefix_events_in(util::SimTime t0,
                                                         util::SimTime t1) const {
   std::vector<const PrefixEvent*> out;
   for (const auto& e : prefix_events_) {
-    if (e.end >= t0 && e.start < t1) out.push_back(&e);
+    if (overlaps_window(e.start, e.end, t0, t1)) out.push_back(&e);
   }
   return out;
 }
@@ -307,7 +311,7 @@ std::map<Platform, Study::VisibilityRow> Study::table3(util::SimTime t0,
   };
   std::map<Platform, Sets> per;
   for (const auto& e : events_) {
-    if (e.end < t0 || e.start >= t1) continue;
+    if (!overlaps_window(e.start, e.end, t0, t1)) continue;
     auto& s = per[e.platform];
     s.providers.insert(e.provider);
     if (e.user != 0) s.users.insert(e.user);
@@ -356,7 +360,7 @@ Study::VisibilityRow Study::table3_all(util::SimTime t0, util::SimTime t1) const
   std::set<bgp::Asn> users;
   std::set<net::Prefix> prefixes;
   for (const auto& e : events_) {
-    if (e.end < t0 || e.start >= t1) continue;
+    if (!overlaps_window(e.start, e.end, t0, t1)) continue;
     providers.insert(e.provider);
     if (e.user != 0) users.insert(e.user);
     prefixes.insert(e.prefix);
@@ -394,7 +398,7 @@ std::map<topology::NetworkType, Study::TypeRow> Study::table4(
   // Provider -> type resolution via the registry pipeline (§4.1).
   std::map<ProviderRef, topology::NetworkType> types;
   for (const auto& e : events_) {
-    if (e.end < t0 || e.start >= t1) continue;
+    if (!overlaps_window(e.start, e.end, t0, t1)) continue;
     topology::NetworkType type;
     if (e.provider.is_ixp) {
       type = topology::NetworkType::kIxp;
@@ -426,7 +430,7 @@ std::map<std::string, std::size_t> Study::providers_per_country(
     util::SimTime t0, util::SimTime t1) const {
   std::set<ProviderRef> providers;
   for (const auto& e : events_) {
-    if (e.end < t0 || e.start >= t1) continue;
+    if (!overlaps_window(e.start, e.end, t0, t1)) continue;
     providers.insert(e.provider);
   }
   std::map<std::string, std::size_t> out;
@@ -447,7 +451,7 @@ std::map<std::string, std::size_t> Study::users_per_country(
     util::SimTime t0, util::SimTime t1) const {
   std::set<bgp::Asn> users;
   for (const auto& e : events_) {
-    if (e.end < t0 || e.start >= t1) continue;
+    if (!overlaps_window(e.start, e.end, t0, t1)) continue;
     if (e.user != 0) users.insert(e.user);
   }
   std::map<std::string, std::size_t> out;

@@ -1,6 +1,7 @@
 #include "stream/event_store.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace bgpbh::stream {
 
@@ -12,19 +13,24 @@ EventStore::EventStore(std::size_t lanes) {
   }
 }
 
+void EventStore::fold_event(Snapshot& into, bool& into_has_any,
+                            const core::PeerEvent& event) {
+  into.total_events += 1;
+  into.per_provider[event.provider] += 1;
+  into.per_platform[event.platform] += 1;
+  if (!into_has_any || event.start < into.first_start) {
+    into.first_start = event.start;
+  }
+  if (!into_has_any || event.end > into.last_end) {
+    into.last_end = event.end;
+  }
+  into_has_any = true;
+}
+
 void EventStore::count_events(Lane& lane,
                               const std::vector<core::PeerEvent>& events) {
   for (const auto& e : events) {
-    lane.counters.total_events += 1;
-    lane.counters.per_provider[e.provider] += 1;
-    lane.counters.per_platform[e.platform] += 1;
-    if (!lane.has_any || e.start < lane.counters.first_start) {
-      lane.counters.first_start = e.start;
-    }
-    if (!lane.has_any || e.end > lane.counters.last_end) {
-      lane.counters.last_end = e.end;
-    }
-    lane.has_any = true;
+    fold_event(lane.counters, lane.has_any, e);
   }
   lane.event_count += events.size();
 }
@@ -48,13 +54,29 @@ void EventStore::fold(Snapshot& into, bool& into_has_any, const Snapshot& from,
   into_has_any = true;
 }
 
+void EventStore::set_chunk_listener(ChunkListener listener) {
+  chunk_listener_ = std::move(listener);
+}
+
 void EventStore::ingest_chunk(std::size_t lane_index,
                               std::vector<core::PeerEvent>&& chunk) {
   if (chunk.empty()) return;
-  Lane& lane = *lanes_[lane_index % lanes_.size()];
-  std::lock_guard<std::mutex> lock(lane.mu);
-  count_events(lane, chunk);
-  lane.chunks.push_back(std::move(chunk));
+  lane_index %= lanes_.size();
+  // The listener's copy is taken up front and delivered only after the
+  // chunk is counted into its lane, so a snapshot triggered by the
+  // delivery can never report fewer events than the listener has been
+  // handed.  Delivery stays outside the lane lock: a listener parked
+  // on a full dispatch queue (backpressure) must not hold up
+  // concurrent snapshot readers.
+  std::vector<core::PeerEvent> observed;
+  if (chunk_listener_) observed = chunk;
+  Lane& lane = *lanes_[lane_index];
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    count_events(lane, chunk);
+    lane.chunks.push_back(std::move(chunk));
+  }
+  if (chunk_listener_) chunk_listener_(lane_index, std::move(observed));
 }
 
 void EventStore::ingest(std::vector<core::PeerEvent> events) {
@@ -134,24 +156,21 @@ EventStore::Snapshot EventStore::snapshot() const {
   });
 }
 
-std::vector<core::PeerEvent> EventStore::events_in(util::SimTime t0,
-                                                   util::SimTime t1) const {
-  auto overlaps = [&](const core::PeerEvent& e) {
-    return e.end >= t0 && e.start < t1;
-  };
+std::vector<core::PeerEvent> EventStore::query(
+    const std::function<bool(const core::PeerEvent&)>& pred) const {
   return consistent_scan([&] {
     std::vector<core::PeerEvent> out;
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (const auto& e : events_) {
-        if (overlaps(e)) out.push_back(e);
+        if (pred(e)) out.push_back(e);
       }
     }
     for (const auto& lane : lanes_) {
       std::lock_guard<std::mutex> lane_lock(lane->mu);
       for (const auto& chunk : lane->chunks) {
         for (const auto& e : chunk) {
-          if (overlaps(e)) out.push_back(e);
+          if (pred(e)) out.push_back(e);
         }
       }
     }
@@ -159,26 +178,45 @@ std::vector<core::PeerEvent> EventStore::events_in(util::SimTime t0,
   });
 }
 
-std::size_t EventStore::count_in(util::SimTime t0, util::SimTime t1) const {
-  auto overlaps = [&](const core::PeerEvent& e) {
-    return e.end >= t0 && e.start < t1;
-  };
+std::size_t EventStore::count(
+    const std::function<bool(const core::PeerEvent&)>& pred) const {
   return consistent_scan([&] {
     std::size_t n = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       n += static_cast<std::size_t>(
-          std::count_if(events_.begin(), events_.end(), overlaps));
+          std::count_if(events_.begin(), events_.end(), pred));
     }
     for (const auto& lane : lanes_) {
       std::lock_guard<std::mutex> lane_lock(lane->mu);
       for (const auto& chunk : lane->chunks) {
         n += static_cast<std::size_t>(
-            std::count_if(chunk.begin(), chunk.end(), overlaps));
+            std::count_if(chunk.begin(), chunk.end(), pred));
       }
     }
     return n;
   });
+}
+
+std::vector<core::PeerEvent> EventStore::events_in(util::SimTime t0,
+                                                   util::SimTime t1) const {
+  return query([&](const core::PeerEvent& e) {
+    return core::overlaps_window(e.start, e.end, t0, t1);
+  });
+}
+
+std::size_t EventStore::count_in(util::SimTime t0, util::SimTime t1) const {
+  return count([&](const core::PeerEvent& e) {
+    return core::overlaps_window(e.start, e.end, t0, t1);
+  });
+}
+
+const std::vector<core::PeerEvent>& EventStore::events() const {
+  assert(finalized() &&
+         "EventStore::events() before finalize(): the merged vector is empty "
+         "while events sit in per-shard lanes — query()/events_in() is the "
+         "live-safe path");
+  return events_;
 }
 
 }  // namespace bgpbh::stream

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,12 @@ class EventStore {
     std::map<routing::Platform, std::size_t> per_platform;
   };
 
+  // Folds one event into a snapshot's counters — THE accumulation rule
+  // for Snapshot, shared by the store's lane counters and by
+  // api::AnalysisSession's batch-mode snapshot.
+  static void fold_event(Snapshot& into, bool& into_has_any,
+                         const core::PeerEvent& event);
+
   // One lane per concurrent ingester (shard worker).  Lane count is
   // fixed at construction; ingest_chunk(lane) for lane >= lanes rounds
   // into the available ones.
@@ -43,6 +50,21 @@ class EventStore {
   // Sealed-chunk handoff: moves the whole chunk into the lane under
   // its (per-lane, effectively uncontended) mutex.  Thread-safe.
   void ingest_chunk(std::size_t lane, std::vector<core::PeerEvent>&& chunk);
+
+  // Sink-dispatch hook: receives a copy of every chunk right AFTER it
+  // landed in its lane (so a listener-driven snapshot can never lag
+  // the events already handed out), on the ingesting thread and
+  // outside any store lock (the listener may block for backpressure
+  // without stalling readers).  With one writer per lane — the
+  // pipeline's shape — chunks of a lane are observed in ingest order,
+  // so per-(peer, prefix) close order is preserved end to end.  Set
+  // before any ingester runs (not synchronized against concurrent
+  // ingest_chunk); null clears.  When no listener is set the only cost
+  // is one branch per sealed chunk — nothing per event; with one, the
+  // chunk copy made for it is the entire hot-path cost.
+  using ChunkListener =
+      std::function<void(std::size_t lane, std::vector<core::PeerEvent> chunk)>;
+  void set_chunk_listener(ChunkListener listener);
 
   // Convenience for single-writer callers (tests, batch imports).
   void ingest(std::vector<core::PeerEvent> events);
@@ -55,16 +77,30 @@ class EventStore {
   // ---- queries ----------------------------------------------------------
   std::size_t size() const;
   Snapshot snapshot() const;
-  // Events overlapping [t0, t1) (same overlap rule as Study::events_in).
+
+  // Lane-consistent predicate scan: visits the merged vector and every
+  // lane's sealed chunks under the finalize-consistent retry, so the
+  // same query yields the same event set live (per-shard lanes) and
+  // after finalize().  Result order is scan order, NOT canonical —
+  // canonical_sort it for comparisons.  api::EventQuery runs on this.
+  std::vector<core::PeerEvent> query(
+      const std::function<bool(const core::PeerEvent&)>& pred) const;
+  std::size_t count(
+      const std::function<bool(const core::PeerEvent&)>& pred) const;
+
+  // Events overlapping [t0, t1) (core::overlaps_window, the same rule
+  // as Study::events_in).
   std::vector<core::PeerEvent> events_in(util::SimTime t0,
                                          util::SimTime t1) const;
   std::size_t count_in(util::SimTime t0, util::SimTime t1) const;
 
-  // The merged event set in canonical order.  EMPTY until finalize()
-  // merges the lanes — ingested events live in per-shard lanes first
-  // (query them live via snapshot()/events_in()/count_in()).  Only
-  // valid to hold the reference while no worker is ingesting.
-  const std::vector<core::PeerEvent>& events() const { return events_; }
+  // The merged event set in canonical order.  Asserts (debug builds)
+  // that finalize() ran: before the merge the vector is EMPTY — the
+  // events live in per-shard lanes, reachable only through
+  // query()/events_in()/count_in()/snapshot() — and silently returning
+  // {} here has bitten real callers.  Only valid to hold the reference
+  // while no worker is ingesting.
+  const std::vector<core::PeerEvent>& events() const;
 
  private:
   struct Lane {
@@ -86,6 +122,7 @@ class EventStore {
   auto consistent_scan(Scan&& scan) const;
 
   std::vector<std::unique_ptr<Lane>> lanes_;
+  ChunkListener chunk_listener_;
 
   // Guards the merged state (events_, merged counters, finalized_).
   mutable std::mutex mu_;

@@ -50,13 +50,6 @@ void WorkerPool::start() {
   }
 }
 
-bool WorkerPool::submit(std::size_t shard, SubUpdateRef ref) {
-  Shard& s = *shards_.at(shard);
-  if (!serialize_producers_) return s.queue->push(ref);
-  std::lock_guard<std::mutex> lock(s.producer_mu);
-  return s.queue->push(ref);
-}
-
 std::size_t WorkerPool::submit_batch(std::size_t shard,
                                      std::span<SubUpdateRef> refs) {
   Shard& s = *shards_.at(shard);

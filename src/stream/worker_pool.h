@@ -63,11 +63,6 @@ class WorkerPool {
   void start();
   bool started() const { return started_.load(std::memory_order_acquire); }
 
-  // Blocking enqueue onto the shard's queue.  Returns false if the
-  // pool was already shut down (the caller still owns the ref's block
-  // reference and must release it).
-  bool submit(std::size_t shard, SubUpdateRef ref);
-
   // Blocking batch enqueue.  Returns the number accepted —
   // refs.size(), or fewer iff the pool was shut down mid-batch; block
   // references of rejected refs stay with the caller.

@@ -1,0 +1,387 @@
+// Tests for the public AnalysisSession API (src/api/):
+//   * EventQuery filter semantics and composition,
+//   * batch sessions match core::Study exactly,
+//   * the flagship equivalence contract: LiveGrouper's incremental §9
+//     groups are byte-identical to batch correlate()+group_events()
+//     across shard counts {1,3,8} x producer counts {1,3},
+//   * subscription semantics under sharding: per-key delivery order,
+//     no event dropped under sink backpressure, snapshot cadence,
+//   * lane-consistent queries: identical result sets from live
+//     per-shard lanes and the finalized store.
+#include "api/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/study.h"
+#include "stream/source.h"
+
+namespace bgpbh::api {
+namespace {
+
+using core::PeerEvent;
+using core::PrefixEvent;
+using routing::FeedUpdate;
+using routing::Platform;
+
+// ---- EventQuery -------------------------------------------------------
+
+PeerEvent make_event(const char* prefix, util::SimTime start, util::SimTime end,
+                     bgp::Asn provider = 200, Platform platform = Platform::kRis,
+                     bgp::Asn user = 400) {
+  PeerEvent e;
+  e.platform = platform;
+  e.peer.peer_ip = *net::IpAddr::parse("198.51.100.1");
+  e.peer.peer_asn = 100;
+  e.prefix = *net::Prefix::parse(prefix);
+  e.provider = core::ProviderRef{.is_ixp = false, .asn = provider, .ixp_id = 0};
+  e.user = user;
+  e.start = start;
+  e.end = end;
+  e.open = false;
+  return e;
+}
+
+TEST(EventQuery, EmptyQueryMatchesEverything) {
+  EXPECT_TRUE(EventQuery().matches(make_event("20.0.1.1/32", 100, 200)));
+}
+
+TEST(EventQuery, WindowUsesSharedOverlapRule) {
+  PeerEvent e = make_event("20.0.1.1/32", 100, 200);
+  EXPECT_TRUE(EventQuery().between(150, 160).matches(e));   // inside
+  EXPECT_TRUE(EventQuery().between(200, 300).matches(e));   // end inclusive
+  EXPECT_TRUE(EventQuery().between(0, 101).matches(e));     // start edge
+  EXPECT_FALSE(EventQuery().between(0, 100).matches(e));    // t1 exclusive
+  EXPECT_FALSE(EventQuery().between(201, 300).matches(e));  // after
+  // Exactly the helper both Study::events_in and EventStore::events_in
+  // filter through.
+  EXPECT_EQ(EventQuery().between(0, 100).matches(e),
+            core::overlaps_window(e.start, e.end, 0, 100));
+}
+
+TEST(EventQuery, ProviderPlatformPrefixUserFilters) {
+  PeerEvent e = make_event("20.0.1.1/32", 100, 200, 200, Platform::kRouteViews, 400);
+  EXPECT_TRUE(EventQuery().provider_asn(200).matches(e));
+  EXPECT_FALSE(EventQuery().provider_asn(300).matches(e));
+  EXPECT_TRUE(EventQuery().platform(Platform::kRouteViews).matches(e));
+  EXPECT_FALSE(EventQuery().platform(Platform::kRis).matches(e));
+  EXPECT_TRUE(EventQuery().prefix(*net::Prefix::parse("20.0.1.1/32")).matches(e));
+  EXPECT_FALSE(EventQuery().prefix(*net::Prefix::parse("20.0.1.2/32")).matches(e));
+  EXPECT_TRUE(EventQuery().user(400).matches(e));
+  EXPECT_FALSE(EventQuery().user(500).matches(e));
+}
+
+TEST(EventQuery, SupernetAndIxpAndPredicate) {
+  PeerEvent e = make_event("20.0.1.1/32", 100, 200);
+  EXPECT_TRUE(EventQuery().within(*net::Prefix::parse("20.0.0.0/16")).matches(e));
+  EXPECT_FALSE(EventQuery().within(*net::Prefix::parse("21.0.0.0/16")).matches(e));
+  // A /32 supernet only covers itself.
+  EXPECT_TRUE(EventQuery().within(*net::Prefix::parse("20.0.1.1/32")).matches(e));
+  EXPECT_FALSE(EventQuery().within(*net::Prefix::parse("20.0.1.2/32")).matches(e));
+
+  PeerEvent ixp_event = e;
+  ixp_event.provider = core::ProviderRef{.is_ixp = true, .asn = 65000,
+                                         .ixp_id = 7};
+  EXPECT_TRUE(EventQuery().ixp(7).matches(ixp_event));
+  EXPECT_FALSE(EventQuery().ixp(8).matches(ixp_event));
+  EXPECT_FALSE(EventQuery().ixp(7).matches(e));  // ISP provider
+
+  EXPECT_TRUE(EventQuery()
+                  .where([](const PeerEvent& ev) { return ev.user == 400; })
+                  .where([](const PeerEvent& ev) { return ev.start == 100; })
+                  .matches(e));
+  EXPECT_FALSE(EventQuery()
+                   .where([](const PeerEvent& ev) { return ev.user == 400; })
+                   .where([](const PeerEvent& ev) { return ev.start == 999; })
+                   .matches(e));
+}
+
+TEST(EventQuery, FiltersCompose) {
+  PeerEvent e = make_event("20.0.1.1/32", 100, 200, 200, Platform::kRouteViews);
+  auto q = EventQuery()
+               .between(0, 1000)
+               .provider_asn(200)
+               .platform(Platform::kRouteViews)
+               .within(*net::Prefix::parse("20.0.0.0/8"));
+  EXPECT_TRUE(q.matches(e));
+  EXPECT_FALSE(q.platform(Platform::kPch).matches(e));  // one mismatch kills
+}
+
+// ---- lane-consistent store queries ------------------------------------
+
+TEST(StoreQuery, LiveLanesAndFinalizedStoreYieldIdenticalResults) {
+  stream::EventStore store(3);
+  store.ingest_chunk(0, {make_event("20.0.1.1/32", 100, 200),
+                         make_event("20.0.1.2/32", 150, 300)});
+  store.ingest_chunk(1, {make_event("20.0.1.1/32", 400, 500, 300)});
+  store.ingest_chunk(2, {make_event("20.0.1.3/32", 50, 120)});
+
+  // [130, 400) keeps (100,200) and (150,300), drops (400,500) (t1
+  // exclusive) and (50,120) (ends before t0).
+  auto pred = [](const PeerEvent& e) {
+    return EventQuery().between(130, 400).matches(e);
+  };
+  auto live = store.query(pred);
+  core::canonical_sort(live);
+  EXPECT_EQ(live.size(), 2u);
+  EXPECT_EQ(store.count(pred), 2u);
+
+  store.finalize();
+  auto merged = store.query(pred);
+  core::canonical_sort(merged);
+  EXPECT_TRUE(live == merged);
+  EXPECT_EQ(store.count(pred), 2u);
+  // events() is legal now that finalize() ran.
+  EXPECT_EQ(store.events().size(), 4u);
+}
+
+TEST(StoreQuery, ChunkListenerObservesEveryChunkInLaneOrder) {
+  stream::EventStore store(2);
+  std::vector<std::pair<std::size_t, std::size_t>> seen;  // (lane, size)
+  store.set_chunk_listener(
+      [&](std::size_t lane, std::vector<PeerEvent> chunk) {
+        seen.emplace_back(lane, chunk.size());
+      });
+  store.ingest_chunk(0, {make_event("20.0.1.1/32", 100, 200)});
+  store.ingest_chunk(1, {make_event("20.0.1.2/32", 100, 200),
+                         make_event("20.0.1.3/32", 100, 200)});
+  store.ingest_chunk(0, {make_event("20.0.1.4/32", 100, 200)});
+  store.ingest_chunk(0, {});  // empty chunks are not observed
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_EQ(seen[2], (std::pair<std::size_t, std::size_t>{0, 1}));
+}
+
+// ---- session fixtures -------------------------------------------------
+
+core::StudyConfig study_config() {
+  core::StudyConfig config;
+  config.window_start = util::from_date(2017, 3, 1);
+  config.window_end = util::from_date(2017, 3, 4);
+  config.workload.intensity_scale = 0.05;
+  config.table_dump_episodes = 10;
+  return config;
+}
+
+// Batch reference, computed once: the sequential study plus its batch
+// §9 layers.
+struct BatchReference {
+  std::unique_ptr<core::Study> study;
+  std::vector<PeerEvent> events;  // canonical order
+  std::vector<PrefixEvent> prefix_events;
+  std::vector<PrefixEvent> grouped;
+
+  BatchReference() {
+    study = std::make_unique<core::Study>(study_config());
+    study->run();
+    events = study->events();
+    core::canonical_sort(events);
+    prefix_events = core::correlate(study->events());
+    grouped = core::group_events(prefix_events);
+  }
+};
+
+const BatchReference& reference() {
+  static BatchReference ref;
+  return ref;
+}
+
+// Counting sink: keeps the dispatcher path active and records totals.
+class CountingSink : public EventSink {
+ public:
+  void on_event_closed(const PeerEvent&) override { ++events_; }
+  void on_group_updated(const PrefixEvent&) override { ++groups_; }
+  void on_snapshot(const stream::EventStore::Snapshot& snap) override {
+    ++snapshots_;
+    last_snapshot_total_ = snap.total_events;
+  }
+  std::size_t events() const { return events_; }
+  std::size_t groups() const { return groups_; }
+  std::size_t snapshots() const { return snapshots_; }
+  std::size_t last_snapshot_total() const { return last_snapshot_total_; }
+
+ private:
+  std::size_t events_ = 0;
+  std::size_t groups_ = 0;
+  std::size_t snapshots_ = 0;
+  std::size_t last_snapshot_total_ = 0;
+};
+
+// ---- batch mode -------------------------------------------------------
+
+TEST(AnalysisSession, BatchSessionMatchesStudy) {
+  const auto& ref = reference();
+  SessionConfig config;
+  config.mode = SessionConfig::Mode::kBatch;
+  config.study = study_config();
+  AnalysisSession session(config);
+  CountingSink sink;
+  session.subscribe(sink);
+  session.run();
+
+  EXPECT_TRUE(session.events() == ref.events);
+  EXPECT_TRUE(session.prefix_events() == ref.prefix_events);
+  EXPECT_TRUE(session.grouped_events() == ref.grouped);
+  EXPECT_EQ(session.stats(), ref.study->engine_stats());
+
+  // The sink saw every closed event, every group update, and a final
+  // snapshot carrying the full totals.
+  EXPECT_EQ(sink.events(), ref.events.size());
+  EXPECT_EQ(sink.groups(), ref.events.size());
+  EXPECT_GE(sink.snapshots(), 1u);
+  EXPECT_EQ(sink.last_snapshot_total(), ref.events.size());
+  EXPECT_EQ(session.snapshot().total_events, ref.events.size());
+}
+
+// ---- the flagship equivalence contract --------------------------------
+
+// Runs a live-feed session over the study replay stream with the given
+// shard/producer counts (peer-key-hash partition across producer
+// threads, the order-preserving MPMC shape) and returns it closed.
+std::unique_ptr<AnalysisSession> run_live(std::size_t shards,
+                                          std::size_t producers,
+                                          EventSink* sink,
+                                          SessionConfig base = {}) {
+  base.mode = SessionConfig::Mode::kLiveFeed;
+  base.study = study_config();
+  base.num_shards = shards;
+  base.num_producers = producers;
+  base.queue_capacity = 64;  // small bound: exercises backpressure
+  base.drain_batch = 32;
+  auto session = std::make_unique<AnalysisSession>(base);
+  if (sink) session->subscribe(*sink);
+  auto updates = session->study().replay_updates();
+  if (producers <= 1) {
+    stream::VectorSource source(updates);
+    session->feed(source);
+  } else {
+    session->start();
+    std::vector<std::vector<FeedUpdate>> parts(producers);
+    for (const auto& u : updates) {
+      bgp::PeerKey peer{u.update.peer_ip, u.update.peer_asn};
+      parts[bgp::PeerKeyHash{}(peer) % producers].push_back(u);
+    }
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&session, &parts, p] {
+        for (const auto& u : parts[p]) session->push(u, p);
+        session->flush(p);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  session->close(study_config().window_end);
+  return session;
+}
+
+TEST(AnalysisSession, LiveGrouperMatchesBatchGroupingAcrossShardsAndProducers) {
+  const auto& ref = reference();
+  for (std::size_t shards : {1u, 3u, 8u}) {
+    for (std::size_t producers : {1u, 3u}) {
+      CountingSink sink;
+      auto session = run_live(shards, producers, &sink);
+      // Incremental §9 layers == batch correlate()+group_events(),
+      // byte for byte (field-wise PrefixEvent equality).
+      EXPECT_TRUE(session->prefix_events() == ref.prefix_events)
+          << "shards=" << shards << " producers=" << producers;
+      EXPECT_TRUE(session->grouped_events() == ref.grouped)
+          << "shards=" << shards << " producers=" << producers;
+      // And the same peer-event set + engine stats underneath.
+      EXPECT_TRUE(session->events() == ref.events)
+          << "shards=" << shards << " producers=" << producers;
+      EXPECT_EQ(session->stats(), ref.study->engine_stats());
+      EXPECT_EQ(sink.events(), ref.events.size());
+    }
+  }
+}
+
+TEST(AnalysisSession, ZeroSinkSessionServesIdenticalQueriesAndGroups) {
+  const auto& ref = reference();
+  // No sinks: no dispatcher, no store listener — §9 layers computed on
+  // demand from the lane-consistent store scan instead.
+  auto session = run_live(3, 1, nullptr);
+  EXPECT_TRUE(session->events() == ref.events);
+  EXPECT_TRUE(session->prefix_events() == ref.prefix_events);
+  EXPECT_TRUE(session->grouped_events() == ref.grouped);
+
+  // Queries serve identical results to a batch session over the same
+  // config (the one-surface contract).
+  SessionConfig batch_config;
+  batch_config.mode = SessionConfig::Mode::kBatch;
+  batch_config.study = study_config();
+  AnalysisSession batch(batch_config);
+  batch.run();
+  auto window = EventQuery().between(study_config().window_start + util::kDay,
+                                     study_config().window_start + 2 * util::kDay);
+  EXPECT_TRUE(session->events(window) == batch.events(window));
+  EXPECT_EQ(session->count(window), batch.count(window));
+  auto ris = EventQuery().platform(Platform::kRis);
+  EXPECT_TRUE(session->events(ris) == batch.events(ris));
+}
+
+// ---- subscription semantics under sharding ----------------------------
+
+// Slow sink with a tiny dispatch queue: ingest must stall, not drop.
+class SlowRecordingSink : public EventSink {
+ public:
+  void on_event_closed(const PeerEvent& e) override {
+    recorded_.push_back(e);
+    if (recorded_.size() % 64 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+  const std::vector<PeerEvent>& recorded() const { return recorded_; }
+
+ private:
+  std::vector<PeerEvent> recorded_;  // dispatch thread only
+};
+
+TEST(AnalysisSession, NoDropUnderBackpressureAndPerKeyDeliveryOrder) {
+  const auto& ref = reference();
+  SessionConfig config;
+  config.sink_queue_chunks = 2;  // force dispatch backpressure
+  config.drain_batch = 8;        // many small chunks
+  SlowRecordingSink sink;
+  auto session = run_live(3, 1, &sink, config);
+
+  // Exactly the full event set arrived — nothing dropped, nothing
+  // duplicated — despite the sink stalling the dispatch queue.
+  std::vector<PeerEvent> recorded = sink.recorded();
+  core::canonical_sort(recorded);
+  EXPECT_TRUE(recorded == ref.events);
+
+  // Per (peer, prefix) key, delivery follows close order: one key is
+  // owned by one shard, whose lane preserves drain order end to end.
+  std::map<std::tuple<std::string, bgp::Asn, std::string>, util::SimTime> last;
+  for (const auto& e : sink.recorded()) {
+    auto key = std::make_tuple(e.peer.peer_ip.to_string(), e.peer.peer_asn,
+                               e.prefix.to_string());
+    auto it = last.find(key);
+    if (it != last.end()) {
+      EXPECT_LE(it->second, e.end) << "out-of-order delivery within a key";
+    }
+    last[key] = e.end;
+  }
+}
+
+TEST(AnalysisSession, SnapshotCadenceAndFinalSnapshot) {
+  const auto& ref = reference();
+  SessionConfig config;
+  config.snapshot_every_events = 16;
+  CountingSink sink;
+  auto session = run_live(2, 1, &sink, config);
+  // Cadence snapshots during the run plus the final one at close().
+  EXPECT_GE(sink.snapshots(), 1 + ref.events.size() / 16);
+  EXPECT_EQ(sink.last_snapshot_total(), ref.events.size());
+}
+
+}  // namespace
+}  // namespace bgpbh::api

@@ -2,10 +2,60 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "util/rng.h"
 
 namespace bgpbh::core {
 namespace {
+
+// Independent reference implementation of §9 correlation: the classic
+// sort-then-sweep (what correlate() was before it became a wrapper over
+// the incremental insertion-merge core).  Pins the semantics the
+// incremental path must reproduce.
+std::vector<PrefixEvent> sweep_correlate(std::span<const PeerEvent> events,
+                                         util::SimTime tolerance) {
+  std::map<net::Prefix, std::vector<const PeerEvent*>> by_prefix;
+  for (const auto& e : events) by_prefix[e.prefix].push_back(&e);
+  std::vector<PrefixEvent> out;
+  for (auto& [prefix, list] : by_prefix) {
+    std::sort(list.begin(), list.end(),
+              [](const PeerEvent* a, const PeerEvent* b) {
+                if (a->start != b->start) return a->start < b->start;
+                return a->end < b->end;
+              });
+    PrefixEvent current;
+    bool have = false;
+    for (const PeerEvent* e : list) {
+      if (have && e->start <= current.end + tolerance) {
+        current.start = std::min(current.start, e->start);
+        current.end = std::max(current.end, e->end);
+        current.providers.insert(e->provider);
+        if (e->user != 0) current.users.insert(e->user);
+        current.num_peer_events += 1;
+        current.includes_table_dump_start |= e->started_in_table_dump;
+        continue;
+      }
+      if (have) out.push_back(current);
+      current = PrefixEvent{};
+      current.prefix = e->prefix;
+      current.start = e->start;
+      current.end = e->end;
+      current.providers.insert(e->provider);
+      if (e->user != 0) current.users.insert(e->user);
+      current.num_peer_events = 1;
+      current.includes_table_dump_start = e->started_in_table_dump;
+      have = true;
+    }
+    if (have) out.push_back(current);
+  }
+  std::sort(out.begin(), out.end(), [](const PrefixEvent& a, const PrefixEvent& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.prefix < b.prefix;
+  });
+  return out;
+}
 
 PeerEvent make_event(const char* prefix, util::SimTime start, util::SimTime end,
                      bgp::Asn provider = 200, bgp::Asn user = 400,
@@ -175,6 +225,92 @@ TEST_P(GroupingProperty, Invariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GroupingProperty,
                          ::testing::Values(1, 7, 42, 1337));
+
+// ---- incremental grouping ---------------------------------------------
+
+std::vector<PeerEvent> random_events(std::uint64_t seed, int n) {
+  util::Rng rng(seed);
+  std::vector<PeerEvent> events;
+  for (int i = 0; i < n; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "20.0.%d.1/32",
+                  static_cast<int>(rng.uniform(6)));
+    util::SimTime start = static_cast<util::SimTime>(rng.uniform(50000));
+    util::SimTime len = 1 + static_cast<util::SimTime>(rng.uniform(2000));
+    auto e = make_event(buf, start, start + len,
+                        200 + static_cast<bgp::Asn>(rng.uniform(3)),
+                        400 + static_cast<bgp::Asn>(rng.uniform(4)));
+    e.started_in_table_dump = rng.uniform(10) == 0;
+    events.push_back(e);
+  }
+  return events;
+}
+
+class IncrementalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The wrappers must still compute exactly the classic sorted sweep...
+TEST_P(IncrementalProperty, BatchWrappersMatchReferenceSweep) {
+  auto events = random_events(GetParam(), 300);
+  for (util::SimTime tolerance : {0, 60, 500}) {
+    EXPECT_TRUE(correlate(events, tolerance) ==
+                sweep_correlate(events, tolerance))
+        << "tolerance=" << tolerance;
+  }
+}
+
+// ...and the incremental grouper must match the batch wrappers for ANY
+// insertion order — the property that makes cross-shard arrival order
+// irrelevant to api::LiveGrouper.
+TEST_P(IncrementalProperty, AnyInsertionOrderMatchesBatch) {
+  auto events = random_events(GetParam(), 300);
+  auto batch_correlated = correlate(events);
+  auto batch_grouped = group_events(batch_correlated);
+
+  auto shuffled = events;
+  util::Rng rng(GetParam() ^ 0xF00DULL);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.uniform(i)]);
+  }
+  IncrementalGrouper grouper;
+  for (const auto& e : shuffled) grouper.add(e);
+
+  EXPECT_TRUE(grouper.correlated() == batch_correlated);
+  EXPECT_TRUE(grouper.grouped() == batch_grouped);
+  EXPECT_EQ(grouper.num_peer_events(), events.size());
+  EXPECT_EQ(grouper.num_correlated(), batch_correlated.size());
+  EXPECT_EQ(grouper.num_grouped(), batch_grouped.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty,
+                         ::testing::Values(3, 11, 99, 4242));
+
+TEST(IncrementalGrouper, AddReturnsTheContainingGroup) {
+  IncrementalGrouper grouper(/*tolerance=*/0, /*timeout=*/5 * util::kMinute);
+  const auto& g1 = grouper.add(make_event("20.0.1.1/32", 1000, 1030));
+  EXPECT_EQ(g1.start, 1000);
+  EXPECT_EQ(g1.end, 1030);
+  EXPECT_EQ(g1.num_peer_events, 1u);
+
+  // 90s OFF gap: new correlated event, same §9 group.
+  const auto& g2 = grouper.add(make_event("20.0.1.1/32", 1120, 1150, 300));
+  EXPECT_EQ(g2.start, 1000);
+  EXPECT_EQ(g2.end, 1150);
+  EXPECT_EQ(g2.num_peer_events, 2u);
+  EXPECT_EQ(g2.providers.size(), 2u);
+  EXPECT_EQ(grouper.num_correlated(), 2u);
+  EXPECT_EQ(grouper.num_grouped(), 1u);
+
+  // An earlier event bridging backwards merges into the same group.
+  const auto& g3 = grouper.add(make_event("20.0.1.1/32", 700, 720));
+  EXPECT_EQ(g3.start, 700);
+  EXPECT_EQ(g3.end, 1150);
+  EXPECT_EQ(g3.num_peer_events, 3u);
+
+  // A different prefix gets its own group.
+  const auto& other = grouper.add(make_event("20.0.1.2/32", 1000, 1030));
+  EXPECT_EQ(other.num_peer_events, 1u);
+  EXPECT_EQ(grouper.num_grouped(), 2u);
+}
 
 }  // namespace
 }  // namespace bgpbh::core

@@ -20,7 +20,15 @@
 // and a per-stage microbench (route / queue / store-drain ns/op)
 // attributes any future regression to its stage.
 //
+// The persistence stages measure the spill path of the same store
+// (sealed chunks -> bounded queue -> segment log, src/storage/) and
+// the reopen read path (segment set open + index-seeking window
+// query); the segment directory they write is left on disk
+// (--segments-out, default BENCH_segments/) so CI can upload a sample
+// of the on-disk format as an artifact.
+//
 //   perf_stream [--smoke] [--producers <P>] [--out <path>]
+//               [--segments-out <dir>]
 //
 // --smoke shrinks the workload and runs only 1 and 4 shards (CI).
 #include <atomic>
@@ -28,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <new>
 #include <string>
 #include <thread>
@@ -37,6 +46,8 @@
 #include "api/query.h"
 #include "api/sink.h"
 #include "core/study.h"
+#include "storage/segment_reader.h"
+#include "storage/spill.h"
 #include "stream/pipeline.h"
 #include "stream/source.h"
 
@@ -132,6 +143,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::size_t mpmc_producers = 3;
   std::string out_path = "BENCH_stream.json";
+  std::string segments_dir = "BENCH_segments";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -143,10 +155,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--segments-out") == 0 && i + 1 < argc) {
+      segments_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: perf_stream [--smoke] [--producers <P>] "
-                   "[--out <path>]\n");
+                   "[--out <path>] [--segments-out <dir>]\n");
       return 2;
     }
   }
@@ -238,10 +252,26 @@ int main(int argc, char** argv) {
   // Warm a pipeline until the block pool and staging buffers reach
   // steady state, then count producer-thread allocations while routing
   // single-announced-prefix sub-updates.  The zero-copy contract: none.
+  // Spill is ENABLED on this pipeline's store: chunk copies for the
+  // segment log happen on the draining worker threads, so persistence
+  // must not add a single allocation to the producer's routing path —
+  // the assertion proves it.
   double allocs_per_subupdate = 0.0;
   {
+    std::filesystem::remove_all(segments_dir);
+    storage::SpillConfig spill_config;
+    spill_config.dir = segments_dir;
+    auto spill = storage::SpillWriter::open(std::move(spill_config));
+    if (!spill) {
+      std::fprintf(stderr, "cannot open %s for spill\n", segments_dir.c_str());
+      return 1;
+    }
     stream::StreamPipeline pipeline(study.dictionary(), study.registry(),
                                     stream::PipelineConfig{});
+    pipeline.store().set_spill_listener(
+        [&spill](std::size_t, std::vector<core::PeerEvent> chunk) {
+          spill->submit(std::move(chunk));
+        });
     routing::FeedUpdate probe;
     probe.platform = routing::Platform::kRis;
     probe.update.time = config.window_start;
@@ -272,9 +302,10 @@ int main(int argc, char** argv) {
     }
     std::uint64_t allocs = t_alloc_count - before;
     pipeline.finish(config.window_end);
+    spill->stop();
     allocs_per_subupdate = static_cast<double>(allocs) / kMeasure;
     std::printf("routing allocations per announced-prefix sub-update: %.4f "
-                "(%llu allocs / %llu routed)  [%s]\n",
+                "(%llu allocs / %llu routed, spill enabled)  [%s]\n",
                 allocs_per_subupdate, static_cast<unsigned long long>(allocs),
                 static_cast<unsigned long long>(kMeasure),
                 allocs == 0 ? "zero-copy OK" : "ALLOCATION REGRESSION");
@@ -401,6 +432,84 @@ int main(int argc, char** argv) {
                 sink_dispatch_ns, drain_ns);
   }
 
+  // ---- persistence stages --------------------------------------------
+  // spill = sealed-chunk ingest with the segment-log spill hook wired
+  // (chunk copy + bounded-queue handoff + writer-thread append +
+  // seal), timed end to end until everything is durably on disk — the
+  // full producer-visible + drain cost of persistence per event.
+  // reopen_query = SegmentSet::open + an index-seeking half-range
+  // window query over the reopened log, per event on disk.  The
+  // segment directory is left behind for the CI artifact.
+  double spill_ns = 0, reopen_query_ns = 0;
+  std::uint64_t persisted_events = 0, persisted_bytes = 0, segment_files = 0;
+  {
+    std::filesystem::remove_all(segments_dir);
+    storage::SpillConfig spill_config;
+    spill_config.dir = segments_dir;
+    spill_config.segment.max_segment_bytes = 1 << 20;
+    auto spill = storage::SpillWriter::open(spill_config);
+    if (!spill) {
+      std::fprintf(stderr, "cannot open %s for spill\n", segments_dir.c_str());
+      return 1;
+    }
+    stream::EventStore store(4);
+    store.set_spill_listener(
+        [&spill](std::size_t, std::vector<core::PeerEvent> chunk) {
+          spill->submit(std::move(chunk));
+        });
+    const std::size_t kChunkLen = 256;
+    const std::uint64_t kChunks = smoke ? 512 : 2048;
+    const std::uint64_t kEvents = kChunks * kChunkLen;
+    std::vector<core::PeerEvent> chunk(kChunkLen);
+    auto s0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kChunks; ++i) {
+      for (std::size_t j = 0; j < kChunkLen; ++j) {
+        chunk[j].start = static_cast<util::SimTime>(i * kChunkLen + j);
+        chunk[j].end = chunk[j].start + 50;
+      }
+      store.ingest_chunk(i % 4, std::vector(chunk));
+    }
+    spill->stop();  // queue drained, active segment sealed
+    spill_ns = seconds_since(s0) * 1e9 / static_cast<double>(kEvents);
+    persisted_events = spill->events_spilled();
+    persisted_bytes = spill->bytes_on_disk();
+    segment_files = spill->segments_sealed();
+    if (persisted_events != kEvents || spill->io_error()) {
+      std::fprintf(stderr, "SPILL LOSS: %llu of %llu events persisted\n",
+                   static_cast<unsigned long long>(persisted_events),
+                   static_cast<unsigned long long>(kEvents));
+      all_equivalent = false;
+    }
+
+    auto set = storage::SegmentSet::open(segments_dir);
+    if (!set || set->size() != kEvents) {
+      std::fprintf(stderr, "REOPEN MISMATCH: %zu of %llu events on disk\n",
+                   set ? set->size() : 0,
+                   static_cast<unsigned long long>(kEvents));
+      all_equivalent = false;
+    } else {
+      const int kReps = 20;
+      std::size_t matched = 0;
+      s0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kReps; ++rep) {
+        matched += set
+                       ->events_in(static_cast<util::SimTime>(kEvents / 4),
+                                   static_cast<util::SimTime>(3 * kEvents / 4))
+                       .size();
+      }
+      reopen_query_ns =
+          seconds_since(s0) * 1e9 / static_cast<double>(kReps * kEvents);
+      std::printf("persistence: spill %.2f ns/event (%llu events, %llu "
+                  "segments, %.1f MiB), reopen query %.2f ns/event (%zu "
+                  "matches)\n",
+                  spill_ns, static_cast<unsigned long long>(persisted_events),
+                  static_cast<unsigned long long>(segment_files),
+                  static_cast<double>(persisted_bytes) / (1024.0 * 1024.0),
+                  reopen_query_ns,
+                  matched / static_cast<std::size_t>(kReps));
+    }
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -420,8 +529,17 @@ int main(int argc, char** argv) {
                "  \"stage_breakdown\": {\"route_ns_per_subupdate\": %.2f, "
                "\"queue_ns_per_ref\": %.2f, \"drain_ns_per_event\": %.2f, "
                "\"query_ns_per_event\": %.2f, "
-               "\"sink_dispatch_ns_per_event\": %.2f},\n",
-               route_ns, queue_ns, drain_ns, query_ns, sink_dispatch_ns);
+               "\"sink_dispatch_ns_per_event\": %.2f, "
+               "\"spill_ns_per_event\": %.2f, "
+               "\"reopen_query_ns_per_event\": %.2f},\n",
+               route_ns, queue_ns, drain_ns, query_ns, sink_dispatch_ns,
+               spill_ns, reopen_query_ns);
+  std::fprintf(out,
+               "  \"persistence\": {\"events\": %llu, \"segments\": %llu, "
+               "\"bytes\": %llu},\n",
+               static_cast<unsigned long long>(persisted_events),
+               static_cast<unsigned long long>(segment_files),
+               static_cast<unsigned long long>(persisted_bytes));
   std::fprintf(out, "  \"sequential_updates_per_sec\": %.0f,\n", base_rate);
   std::fprintf(out, "  \"events\": %zu,\n", reference.size());
   std::fprintf(out, "  \"shard_scaling\": [\n");

@@ -11,8 +11,22 @@
 // run to run (as in any live sharded monitor); the SET of events and
 // alerts, and everything from "monitoring summary" down, is
 // deterministic — the §9 groups are arrival-order independent.
+//
+// Persistence (src/storage/):
+//   live_monitor --persist <dir>            spill closed events to an
+//                                           append-only segment log
+//                                           (fresh start: clears <dir>)
+//   live_monitor --persist <dir> --resume   keep the directory's prior
+//                                           sessions and merge them
+//                                           into every query (the
+//                                           restart-survival loop)
+// After the run, the monitor reopens the directory in kReopen mode and
+// verifies the archive serves the identical event set — exiting
+// non-zero otherwise, so the examples-smoke CI job gates on it.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 
 #include "api/session.h"
 #include "bgp/mrt.h"
@@ -63,7 +77,30 @@ class AlertSink : public api::EventSink {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string persist_dir;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--persist") == 0 && i + 1 < argc) {
+      persist_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else {
+      std::fprintf(stderr, "usage: live_monitor [--persist <dir> [--resume]]\n");
+      return 2;
+    }
+  }
+  if (resume && persist_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --persist <dir>\n");
+    return 2;
+  }
+  // Without --resume this run's live view is the whole truth, so the
+  // reopen self-check below compares against it — start from an empty
+  // directory or a stale one would (correctly) fail the comparison.
+  if (!persist_dir.empty() && !resume) {
+    std::filesystem::remove_all(persist_dir);
+  }
+
   // 1. One session is both the archive producer (its study substrates
   //    generate the day of updates) and the live monitor that replays
   //    the archive through the sharded pipeline.
@@ -74,6 +111,8 @@ int main() {
   config.study.workload.intensity_scale = 0.05;
   config.study.table_dump_episodes = 0;
   config.num_shards = 4;
+  config.persist_dir = persist_dir;
+  config.resume = resume;
   api::AnalysisSession session(config);
 
   net::BufWriter archive;
@@ -122,5 +161,29 @@ int main() {
                 top[i].first);
   }
   std::remove(path.c_str());
+
+  // 4. Persistence round trip: reopen the segment log and prove the
+  //    archive serves the exact event set the live view held (with
+  //    --resume that is this run's events PLUS every prior session's).
+  if (!persist_dir.empty()) {
+    std::printf("\npersistence: %llu events appended to %s "
+                "(%llu segments sealed, %llu bytes)%s\n",
+                static_cast<unsigned long long>(session.events_persisted()),
+                persist_dir.c_str(),
+                static_cast<unsigned long long>(session.segments_sealed()),
+                static_cast<unsigned long long>(session.persisted_bytes()),
+                resume ? ", merged with prior sessions" : "");
+    api::SessionConfig reopen_config;
+    reopen_config.mode = api::SessionConfig::Mode::kReopen;
+    reopen_config.persist_dir = persist_dir;
+    api::AnalysisSession reopened(reopen_config);
+    auto from_disk = reopened.events();
+    auto from_live = session.events();
+    bool identical = from_disk == from_live;
+    std::printf("reopened from disk: %zu events across %zu segments [%s]\n",
+                from_disk.size(), reopened.disk()->num_segments(),
+                identical ? "identical to live view" : "MISMATCH");
+    if (!identical) return 1;
+  }
   return 0;
 }

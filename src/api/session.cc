@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace bgpbh::api {
@@ -24,11 +25,57 @@ stream::PipelineConfig pipeline_config(const SessionConfig& config) {
 
 AnalysisSession::AnalysisSession(SessionConfig config)
     : config_(std::move(config)),
-      study_(std::make_unique<core::Study>(config_.study)),
+      study_(config_.mode == SessionConfig::Mode::kReopen
+                 ? nullptr
+                 : std::make_unique<core::Study>(config_.study)),
       grouper_(config_.correlate_tolerance, config_.group_timeout) {
+  assert((!reopen() || !config_.persist_dir.empty()) &&
+         "kReopen requires persist_dir");
+  // Persistence wiring order matters: the spill writer's open runs
+  // crash recovery (resealing any torn segment), and must do so BEFORE
+  // the disk snapshot is taken; the snapshot in turn must be taken
+  // before this session appends anything, so the merged live+disk view
+  // never double-counts this session's own output (the writer appends
+  // only to segments numbered after the snapshot's).
+  if (!config_.persist_dir.empty() && !reopen()) {
+    storage::SpillConfig spill_config;
+    spill_config.dir = config_.persist_dir;
+    spill_config.segment = config_.segment;
+    spill_config.queue_chunks = config_.spill_queue_chunks;
+    spill_ = storage::SpillWriter::open(std::move(spill_config));
+    if (!spill_) {
+      // A session configured for persistence that silently runs
+      // without it would lose its history with no signal — fail the
+      // construction instead (an environmental error, so it must fire
+      // in release builds too, not just as an assert).
+      throw std::runtime_error("bgpbh: persist_dir '" + config_.persist_dir +
+                               "' could not be opened for writing");
+    }
+  }
+  if (reopen() || (config_.resume && !config_.persist_dir.empty())) {
+    disk_ = storage::SegmentSet::open(config_.persist_dir);
+    // Fold the disk summary streamingly — one segment block in memory
+    // at a time, never the whole archive.
+    disk_->for_each([this](const core::PeerEvent& e) {
+      stream::EventStore::fold_event(disk_snapshot_, disk_has_any_, e);
+    });
+  }
+  if (reopen()) {
+    closed_ = true;  // an archive view is born closed
+    return;
+  }
   if (live()) {
     pipeline_ = std::make_unique<stream::StreamPipeline>(
         study_->dictionary(), study_->registry(), pipeline_config(config_));
+    // Spill hook before anything can ingest (the store's lifecycle
+    // contract): every sealed chunk — including finish()'s force-closed
+    // remainder — crosses the bounded queue to the segment writer.
+    if (spill_) {
+      pipeline_->store().set_spill_listener(
+          [this](std::size_t, std::vector<core::PeerEvent> chunk) {
+            spill_->submit(std::move(chunk));
+          });
+    }
     // §4.2 initialization is part of the configured study in every
     // mode (study.table_dump_episodes == 0 disables it).
     if (auto dump = study_->initial_table_dump()) {
@@ -107,6 +154,10 @@ void AnalysisSession::close(util::SimTime end_time) {
     dispatcher_->request_snapshot();  // final counters, after every event
     dispatcher_->stop();
   }
+  // Seal the segment log last: every chunk has been submitted by
+  // finish(), so stop() drains the queue and leaves the full event set
+  // durably on disk before close() returns.
+  if (spill_) spill_->stop();
 }
 
 void AnalysisSession::deliver_batch_results() {
@@ -145,11 +196,26 @@ void AnalysisSession::deliver_batch_results() {
 void AnalysisSession::run() {
   assert(config_.mode != SessionConfig::Mode::kLiveFeed &&
          "kLiveFeed sessions are driven by start()/push()/close()");
-  if (ran_) return;
+  assert(!reopen() && "kReopen sessions serve queries only; nothing to run");
+  if (ran_ || reopen()) return;
   ran_ = true;
   if (!live()) {
     study_->run();
     deliver_batch_results();
+    // Batch persistence: the whole event set, close order, sealed
+    // before run() returns — a kReopen session on the same directory
+    // then serves identical queries.
+    if (spill_) {
+      const auto& events = study_->events();
+      constexpr std::size_t kChunk = 256;
+      for (std::size_t i = 0; i < events.size(); i += kChunk) {
+        spill_->submit(std::vector<core::PeerEvent>(
+            events.begin() + static_cast<std::ptrdiff_t>(i),
+            events.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(i + kChunk, events.size()))));
+      }
+      spill_->stop();
+    }
     closed_ = true;
     return;
   }
@@ -165,23 +231,39 @@ std::vector<core::PeerEvent> AnalysisSession::events(
   if (live()) {
     out = pipeline_->store().query(
         [&query](const core::PeerEvent& e) { return query.matches(e); });
-  } else {
+  } else if (!reopen()) {
     for (const auto& e : study_->events()) {
       if (query.matches(e)) out.push_back(e);
     }
+  }
+  // Disk half of the merged view: the directory's pre-session segments
+  // (all of them for kReopen).  Window-only queries could seek via the
+  // sparse index; the general filter decodes every record, so route
+  // through the one predicate path and let query.matches() — which
+  // uses core::overlaps_window for its window term — decide.
+  if (disk_) {
+    auto from_disk = disk_->query(
+        [&query](const core::PeerEvent& e) { return query.matches(e); });
+    out.insert(out.end(), std::make_move_iterator(from_disk.begin()),
+               std::make_move_iterator(from_disk.end()));
   }
   core::canonical_sort(out);
   return out;
 }
 
 std::size_t AnalysisSession::count(const EventQuery& query) const {
-  if (live()) {
-    return pipeline_->store().count(
-        [&query](const core::PeerEvent& e) { return query.matches(e); });
-  }
   std::size_t n = 0;
-  for (const auto& e : study_->events()) {
-    if (query.matches(e)) ++n;
+  if (live()) {
+    n = pipeline_->store().count(
+        [&query](const core::PeerEvent& e) { return query.matches(e); });
+  } else if (!reopen()) {
+    for (const auto& e : study_->events()) {
+      if (query.matches(e)) ++n;
+    }
+  }
+  if (disk_) {
+    n += disk_->count(
+        [&query](const core::PeerEvent& e) { return query.matches(e); });
   }
   return n;
 }
@@ -195,8 +277,16 @@ bool AnalysisSession::dispatching() const {
 }
 
 std::vector<core::PrefixEvent> AnalysisSession::prefix_events() const {
-  if (dispatching()) return grouper_.correlated();
-  if (!live() && default_grouping()) return study_->prefix_events();
+  // A merged live+disk (or kReopen) view must group over events(), not
+  // the study's own layers — hence the !disk_ guard on the batch
+  // shortcut; the dispatching grouper never covers disk events either,
+  // but a resume session's grouper only saw this session's stream, so
+  // fall through to the recompute when a disk half exists.
+  if (dispatching() && !disk_) return grouper_.correlated();
+  if (config_.mode == SessionConfig::Mode::kBatch && default_grouping() &&
+      !disk_) {
+    return study_->prefix_events();
+  }
   core::IncrementalGrouper grouper(config_.correlate_tolerance,
                                    config_.group_timeout);
   for (const auto& e : events()) grouper.add(e);
@@ -204,8 +294,11 @@ std::vector<core::PrefixEvent> AnalysisSession::prefix_events() const {
 }
 
 std::vector<core::PrefixEvent> AnalysisSession::grouped_events() const {
-  if (dispatching()) return grouper_.grouped();
-  if (!live() && default_grouping()) return study_->grouped_events();
+  if (dispatching() && !disk_) return grouper_.grouped();
+  if (config_.mode == SessionConfig::Mode::kBatch && default_grouping() &&
+      !disk_) {
+    return study_->grouped_events();
+  }
   core::IncrementalGrouper grouper(config_.correlate_tolerance,
                                    config_.group_timeout);
   for (const auto& e : events()) grouper.add(e);
@@ -223,8 +316,22 @@ stream::EventStore::Snapshot AnalysisSession::snapshot_of(
 }
 
 stream::EventStore::Snapshot AnalysisSession::snapshot() const {
-  if (live()) return pipeline_->store().snapshot();
-  return snapshot_of(study_->events());
+  // This session's half: live store counters / batch study fold.
+  stream::EventStore::Snapshot snap;
+  bool has_any = false;
+  if (live()) {
+    snap = pipeline_->store().snapshot();
+    has_any = snap.total_events > 0;
+  } else if (!reopen()) {
+    snap = snapshot_of(study_->events());
+    has_any = snap.total_events > 0;
+  }
+  // Disk half from the summary cached at open — the segment snapshot
+  // is immutable, so merging never rescans the log.
+  if (disk_) {
+    stream::EventStore::fold(snap, has_any, disk_snapshot_, disk_has_any_);
+  }
+  return snap;
 }
 
 void AnalysisSession::publish_snapshot() {
@@ -242,6 +349,9 @@ void AnalysisSession::publish_snapshot() {
 }
 
 core::EngineStats AnalysisSession::stats() const {
+  assert(!reopen() && "kReopen has no engine: the segment log persists "
+                      "events, not engine state");
+  if (reopen()) return {};
   if (!live()) return study_->engine_stats();
   assert(closed_ && "live stats() requires close(): shard engines are "
                     "readable only after the workers joined");
@@ -258,11 +368,25 @@ std::size_t AnalysisSession::open_at_close() const {
 
 std::uint64_t AnalysisSession::updates_pushed() const {
   if (live()) return pipeline_->updates_pushed();
+  if (reopen()) return 0;
   return study_->engine_stats().updates_processed;
 }
 
 std::size_t AnalysisSession::num_shards() const {
+  if (reopen()) return 0;
   return live() ? pipeline_->num_shards() : 1;
+}
+
+std::uint64_t AnalysisSession::events_persisted() const {
+  return spill_ ? spill_->events_spilled() : 0;
+}
+
+std::uint64_t AnalysisSession::segments_sealed() const {
+  return spill_ ? spill_->segments_sealed() : 0;
+}
+
+std::uint64_t AnalysisSession::persisted_bytes() const {
+  return spill_ ? spill_->bytes_on_disk() : 0;
 }
 
 }  // namespace bgpbh::api

@@ -16,7 +16,7 @@
 //   auto events = session.events(api::EventQuery().between(t0, t1));
 //   auto groups = session.grouped_events(); // §9, incremental
 //
-// Three source modes, one interaction model:
+// Four source modes, one interaction model:
 //   * kBatch      — Study replay through one engine; sinks are fed the
 //                   closed events in close order when run() completes.
 //   * kLiveReplay — the same study workload streamed through the
@@ -25,6 +25,14 @@
 //   * kLiveFeed   — the caller pushes updates (or drains an
 //                   UpdateSource) and closes explicitly: the
 //                   production monitoring shape.
+//   * kReopen     — no ingestion at all: queries served from the
+//                   persistent segment log a previous session wrote to
+//                   `persist_dir` (src/storage/) — the restart-
+//                   survival half of the persistence story.  Any mode
+//                   with `persist_dir` set spills its closed events
+//                   there; `resume` additionally merges the
+//                   directory's prior contents into every query (the
+//                   live+disk view).
 //
 // Whatever the mode, the consumer surface is identical: EventSink
 // subscriptions (delivered off the hot path through a bounded
@@ -37,6 +45,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -48,6 +57,8 @@
 #include "api/query.h"
 #include "api/sink.h"
 #include "core/study.h"
+#include "storage/segment_reader.h"
+#include "storage/spill.h"
 #include "stream/pipeline.h"
 #include "stream/source.h"
 
@@ -58,6 +69,7 @@ struct SessionConfig {
     kBatch,       // sequential Study replay, sinks fed at run()
     kLiveReplay,  // study workload through the sharded live pipeline
     kLiveFeed,    // caller-fed live pipeline: start()/push()/close()
+    kReopen,      // serve queries from persist_dir's segment log only
   };
   Mode mode = Mode::kLiveReplay;
 
@@ -85,6 +97,30 @@ struct SessionConfig {
   // snapshot cadence (every N delivered events; 0 = only final/manual).
   std::size_t sink_queue_chunks = 256;
   std::size_t snapshot_every_events = 0;
+
+  // ---- persistence (src/storage/) --------------------------------------
+  // Non-empty: closed events are spilled to an append-only segment log
+  // in this directory.  Live modes spill every sealed store chunk
+  // through a storage::SpillWriter (bounded queue + one writer thread,
+  // so segment I/O never runs on an ingesting thread); kBatch spills
+  // the study's event set at run(); kReopen serves queries from the
+  // directory without running anything.  Opening recovers and reseals
+  // any torn segment a crashed writer left behind; a directory that
+  // cannot be created/written throws std::runtime_error from the
+  // constructor (silently running a persistence-configured monitor
+  // without persistence is the one unacceptable failure mode).
+  std::string persist_dir;
+  // Live/batch modes with persist_dir: also open the segments already
+  // in the directory (prior sessions') and serve events()/count()/
+  // snapshot() as the MERGED live+disk view.  The disk snapshot is
+  // taken at construction, before this session writes anything, so its
+  // own spill output is never double-counted.
+  bool resume = false;
+  // Segment roll / sparse-index / fsync / retention knobs.
+  storage::SegmentConfig segment;
+  // Bounded spill queue depth in chunks (full = ingest blocks:
+  // backpressure, never loss — the pipeline-wide contract).
+  std::size_t spill_queue_chunks = 256;
 };
 
 class AnalysisSession {
@@ -95,17 +131,27 @@ class AnalysisSession {
   AnalysisSession(const AnalysisSession&) = delete;
   AnalysisSession& operator=(const AnalysisSession&) = delete;
 
-  // ---- substrates (shared by every mode) -------------------------------
-  const core::Study& study() const { return *study_; }
-  const topology::AsGraph& graph() const { return study_->graph(); }
-  const topology::Registry& registry() const { return study_->registry(); }
-  const topology::CustomerCones& cones() const { return study_->cones(); }
-  const dictionary::Corpus& corpus() const { return study_->corpus(); }
-  const dictionary::BlackholeDictionary& dictionary() const {
-    return study_->dictionary();
+  // ---- substrates (every mode except kReopen) --------------------------
+  // A kReopen session reads events straight off the segment log and
+  // never builds the study substrates (no graph, no dictionary, no
+  // workload) — that is what makes reopening an archive cheap.  These
+  // accessors assert on it.
+  const core::Study& study() const {
+    assert(study_ && "kReopen sessions build no study substrates");
+    return *study_;
   }
-  const routing::CollectorFleet& fleet() const { return study_->fleet(); }
-  routing::PropagationEngine& propagation() { return study_->propagation(); }
+  const topology::AsGraph& graph() const { return study().graph(); }
+  const topology::Registry& registry() const { return study().registry(); }
+  const topology::CustomerCones& cones() const { return study().cones(); }
+  const dictionary::Corpus& corpus() const { return study().corpus(); }
+  const dictionary::BlackholeDictionary& dictionary() const {
+    return study().dictionary();
+  }
+  const routing::CollectorFleet& fleet() const { return study().fleet(); }
+  routing::PropagationEngine& propagation() {
+    assert(study_ && "kReopen sessions build no study substrates");
+    return study_->propagation();
+  }
   const SessionConfig& config() const { return config_; }
 
   // ---- subscriptions ---------------------------------------------------
@@ -163,8 +209,20 @@ class AnalysisSession {
   std::uint64_t updates_pushed() const;
   std::size_t num_shards() const;
 
+  // ---- persistence gauges (zero / null without persist_dir) ------------
+  // Events durably appended to the segment log so far.
+  std::uint64_t events_persisted() const;
+  std::uint64_t segments_sealed() const;
+  std::uint64_t persisted_bytes() const;
+  // The disk snapshot a resume/kReopen session opened (null otherwise).
+  const storage::SegmentSet* disk() const { return disk_.get(); }
+
  private:
-  bool live() const { return config_.mode != SessionConfig::Mode::kBatch; }
+  bool reopen() const { return config_.mode == SessionConfig::Mode::kReopen; }
+  bool live() const {
+    return config_.mode == SessionConfig::Mode::kLiveReplay ||
+           config_.mode == SessionConfig::Mode::kLiveFeed;
+  }
   bool default_grouping() const {
     return config_.correlate_tolerance == core::kCorrelateTolerance &&
            config_.group_timeout == core::kGroupTimeout;
@@ -183,6 +241,14 @@ class AnalysisSession {
   std::unique_ptr<core::Study> study_;
   LiveGrouper grouper_;
   std::vector<EventSink*> sinks_;
+  // Persistence: the spill writer receives every sealed store chunk
+  // (live) or the study's events (batch); disk_ is the point-in-time
+  // snapshot of the directory's pre-existing segments that resume /
+  // kReopen queries merge in.
+  std::unique_ptr<storage::SpillWriter> spill_;
+  std::unique_ptr<storage::SegmentSet> disk_;
+  stream::EventStore::Snapshot disk_snapshot_;  // folded once at open
+  bool disk_has_any_ = false;
   // Dispatcher before pipeline: the pipeline's destructor joins shard
   // workers that may be parked in the dispatcher's bounded queue, so
   // the dispatcher must be destroyed (stopped) after the pipeline.

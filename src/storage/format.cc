@@ -1,0 +1,102 @@
+#include "storage/format.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/crc32.h"
+
+namespace bgpbh::storage {
+
+std::string segment_file_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "events-%06llu.seg",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::uint64_t parse_segment_seq(const std::string& file_name) {
+  constexpr std::string_view kPrefix = "events-";
+  constexpr std::string_view kSuffix = ".seg";
+  if (file_name.size() <= kPrefix.size() + kSuffix.size() ||
+      file_name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      file_name.compare(file_name.size() - kSuffix.size(), kSuffix.size(),
+                        kSuffix) != 0) {
+    return 0;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = kPrefix.size(); i < file_name.size() - kSuffix.size();
+       ++i) {
+    unsigned char c = static_cast<unsigned char>(file_name[i]);
+    if (!std::isdigit(c)) return 0;
+    seq = seq * 10 + (c - '0');
+  }
+  return seq;
+}
+
+void encode_segment_header(net::BufWriter& out) {
+  out.u32(kSegmentMagic);
+  out.u8(kFormatVersion);
+  out.u8(0);
+  out.u8(0);
+  out.u8(0);
+}
+
+bool check_segment_header(std::span<const std::uint8_t> file) {
+  if (file.size() < kSegmentHeaderBytes) return false;
+  net::BufReader r(file);
+  return r.u32() == kSegmentMagic && r.u8() == kFormatVersion;
+}
+
+void encode_footer(const SegmentMeta& meta, net::BufWriter& out) {
+  net::BufWriter payload;
+  payload.u32(meta.record_count);
+  payload.u64(static_cast<std::uint64_t>(meta.min_start));
+  payload.u64(static_cast<std::uint64_t>(meta.max_end));
+  payload.u32(static_cast<std::uint32_t>(meta.index.size()));
+  for (const auto& entry : meta.index) {
+    payload.u64(entry.offset);
+    payload.u32(entry.records);
+    payload.u64(static_cast<std::uint64_t>(entry.min_start));
+    payload.u64(static_cast<std::uint64_t>(entry.max_end));
+  }
+  std::uint32_t crc = util::crc32(payload.data());
+  out.bytes(payload.data());
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  out.u32(crc);
+  out.u32(kFooterMagic);
+}
+
+std::optional<Trailer> parse_trailer(std::span<const std::uint8_t> trailer) {
+  if (trailer.size() != kTrailerBytes) return std::nullopt;
+  net::BufReader r(trailer);
+  Trailer out;
+  out.payload_len = r.u32();
+  out.payload_crc = r.u32();
+  if (r.u32() != kFooterMagic) return std::nullopt;
+  return out;
+}
+
+bool parse_footer_payload(std::span<const std::uint8_t> payload,
+                          std::uint32_t expected_crc, SegmentMeta& meta) {
+  if (util::crc32(payload) != expected_crc) return false;
+  net::BufReader r(payload);
+  meta.record_count = r.u32();
+  meta.min_start = static_cast<util::SimTime>(r.u64());
+  meta.max_end = static_cast<util::SimTime>(r.u64());
+  std::uint32_t entries = r.u32();
+  if (!r.ok() || std::size_t{entries} * 28 != r.remaining()) return false;
+  meta.index.clear();
+  meta.index.reserve(entries);
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    IndexEntry entry;
+    entry.offset = r.u64();
+    entry.records = r.u32();
+    entry.min_start = static_cast<util::SimTime>(r.u64());
+    entry.max_end = static_cast<util::SimTime>(r.u64());
+    meta.index.push_back(entry);
+  }
+  meta.sealed = true;
+  return true;
+}
+
+}  // namespace bgpbh::storage

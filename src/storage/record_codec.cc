@@ -1,0 +1,173 @@
+#include "storage/record_codec.h"
+
+#include <algorithm>
+
+#include "storage/format.h"
+#include "util/crc32.h"
+
+namespace bgpbh::storage {
+
+namespace {
+
+void encode_ip(const net::IpAddr& ip, net::BufWriter& out) {
+  if (ip.is_v4()) {
+    out.u8(4);
+    out.u32(ip.v4().value());
+  } else {
+    out.u8(6);
+    out.bytes(ip.v6().bytes());
+  }
+}
+
+std::optional<net::IpAddr> decode_ip(net::BufReader& in) {
+  switch (in.u8()) {
+    case 4:
+      return net::IpAddr(net::Ipv4Addr(in.u32()));
+    case 6: {
+      auto raw = in.bytes(16);
+      if (raw.size() != 16) return std::nullopt;
+      net::Ipv6Addr::Bytes bytes;
+      std::copy(raw.begin(), raw.end(), bytes.begin());
+      return net::IpAddr(net::Ipv6Addr(bytes));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+constexpr std::uint8_t kFlagOpen = 1u << 0;
+constexpr std::uint8_t kFlagExplicitWithdrawal = 1u << 1;
+constexpr std::uint8_t kFlagTableDumpStart = 1u << 2;
+constexpr std::uint8_t kKnownFlags =
+    kFlagOpen | kFlagExplicitWithdrawal | kFlagTableDumpStart;
+
+}  // namespace
+
+void encode_event_payload(const core::PeerEvent& event, net::BufWriter& out) {
+  out.u8(static_cast<std::uint8_t>(event.platform));
+  encode_ip(event.peer.peer_ip, out);
+  out.u32(event.peer.peer_asn);
+  encode_ip(event.prefix.addr(), out);
+  out.u8(event.prefix.len());
+  out.u8(event.provider.is_ixp ? 1 : 0);
+  out.u32(event.provider.asn);
+  out.u32(event.provider.ixp_id);
+  out.u32(event.user);
+  out.u8(static_cast<std::uint8_t>(event.kind));
+  out.u32(static_cast<std::uint32_t>(event.as_distance));
+  out.u64(static_cast<std::uint64_t>(event.start));
+  out.u64(static_cast<std::uint64_t>(event.end));
+  std::uint8_t flags = 0;
+  if (event.open) flags |= kFlagOpen;
+  if (event.explicit_withdrawal) flags |= kFlagExplicitWithdrawal;
+  if (event.started_in_table_dump) flags |= kFlagTableDumpStart;
+  out.u8(flags);
+  out.u16(static_cast<std::uint16_t>(event.communities.classic().size()));
+  for (const auto& c : event.communities.classic()) out.u32(c.raw());
+  out.u16(static_cast<std::uint16_t>(event.communities.large().size()));
+  for (const auto& l : event.communities.large()) {
+    out.u32(l.global_admin());
+    out.u32(l.local1());
+    out.u32(l.local2());
+  }
+}
+
+std::optional<core::PeerEvent> decode_event_payload(net::BufReader& in) {
+  core::PeerEvent event;
+  std::uint8_t platform = in.u8();
+  if (platform >= routing::kNumPlatforms) return std::nullopt;
+  event.platform = static_cast<routing::Platform>(platform);
+  auto peer_ip = decode_ip(in);
+  if (!peer_ip) return std::nullopt;
+  event.peer.peer_ip = *peer_ip;
+  event.peer.peer_asn = in.u32();
+  auto prefix_addr = decode_ip(in);
+  if (!prefix_addr) return std::nullopt;
+  std::uint8_t prefix_len = in.u8();
+  if (prefix_len > prefix_addr->max_len()) return std::nullopt;
+  net::Prefix prefix(*prefix_addr, prefix_len);
+  // Non-canonical prefixes (host bits set past the length) never come
+  // from our encoder; reject them so decode(encode(x)) == x is the
+  // ONLY way a record round-trips.
+  if (prefix.addr() != *prefix_addr) return std::nullopt;
+  event.prefix = prefix;
+  std::uint8_t is_ixp = in.u8();
+  if (is_ixp > 1) return std::nullopt;
+  event.provider.is_ixp = is_ixp != 0;
+  event.provider.asn = in.u32();
+  event.provider.ixp_id = in.u32();
+  event.user = in.u32();
+  std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(core::DetectionKind::kIxpPeerIp)) {
+    return std::nullopt;
+  }
+  event.kind = static_cast<core::DetectionKind>(kind);
+  event.as_distance = static_cast<std::int32_t>(in.u32());
+  event.start = static_cast<util::SimTime>(in.u64());
+  event.end = static_cast<util::SimTime>(in.u64());
+  std::uint8_t flags = in.u8();
+  if ((flags & ~kKnownFlags) != 0) return std::nullopt;
+  event.open = (flags & kFlagOpen) != 0;
+  event.explicit_withdrawal = (flags & kFlagExplicitWithdrawal) != 0;
+  event.started_in_table_dump = (flags & kFlagTableDumpStart) != 0;
+  std::uint16_t n_classic = in.u16();
+  if (std::size_t{n_classic} * 4 > in.remaining()) return std::nullopt;
+  for (std::uint16_t i = 0; i < n_classic; ++i) {
+    event.communities.add(bgp::Community(in.u32()));
+  }
+  std::uint16_t n_large = in.u16();
+  if (std::size_t{n_large} * 12 > in.remaining()) return std::nullopt;
+  for (std::uint16_t i = 0; i < n_large; ++i) {
+    std::uint32_t global = in.u32(), l1 = in.u32(), l2 = in.u32();
+    event.communities.add(bgp::LargeCommunity(global, l1, l2));
+  }
+  if (!in.ok()) return std::nullopt;
+  return event;
+}
+
+void encode_record(const core::PeerEvent& event, net::BufWriter& out) {
+  net::BufWriter payload;
+  encode_event_payload(event, payload);
+  out.u16(kRecordMagic);
+  out.u8(kRecordVersion);
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = util::crc32(std::span(&kRecordVersion, 1));
+  crc = util::crc32(payload.data(), crc);
+  out.bytes(payload.data());
+  out.u32(crc);
+}
+
+std::optional<core::PeerEvent> decode_record(net::BufReader& in) {
+  if (in.u16() != kRecordMagic) return std::nullopt;
+  std::uint8_t version = in.u8();
+  std::uint32_t payload_len = in.u32();
+  if (!in.ok() || version != kRecordVersion ||
+      payload_len > kMaxRecordPayload) {
+    return std::nullopt;
+  }
+  auto payload = in.bytes(payload_len);
+  std::uint32_t crc = in.u32();
+  if (!in.ok()) return std::nullopt;
+  std::uint32_t expect = util::crc32(std::span(&version, 1));
+  expect = util::crc32(payload, expect);
+  if (crc != expect) return std::nullopt;
+  net::BufReader body(payload);
+  auto event = decode_event_payload(body);
+  // Trailing payload bytes mean the length field and the payload
+  // disagree — a framing bug, not a valid record.
+  if (!event || !body.ok() || !body.at_end()) return std::nullopt;
+  return event;
+}
+
+std::size_t encoded_record_size(const core::PeerEvent& event) {
+  std::size_t payload = 1 +                                  // platform
+                        (event.peer.peer_ip.is_v4() ? 5 : 17) + 4 +
+                        (event.prefix.is_v4() ? 5 : 17) + 1 +
+                        (1 + 4 + 4) +                        // provider
+                        4 + 1 + 4 + 8 + 8 + 1 +  // user..flags
+                        2 + 4 * event.communities.classic().size() +
+                        2 + 12 * event.communities.large().size();
+  return payload + kRecordOverheadBytes;
+}
+
+}  // namespace bgpbh::storage

@@ -1,0 +1,46 @@
+#include "storage/recovery.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/segment_reader.h"
+
+namespace bgpbh::storage {
+
+namespace fs = std::filesystem;
+
+RecoveryResult recover_segment(const std::string& path) {
+  RecoveryResult result;
+  auto reader = SegmentReader::open(path);
+  if (!reader) return result;  // not a segment (or unreadable): untouched
+  result.records = reader->meta().record_count;
+  result.meta = reader->meta();
+  if (reader->meta().sealed) {
+    result.ok = true;
+    result.was_sealed = true;
+    return result;
+  }
+  std::error_code ec;
+  std::uint64_t file_bytes = fs::file_size(path, ec);
+  if (ec) return result;
+  result.truncated_bytes = file_bytes - reader->data_end();
+  // Drop the torn tail, then append the rebuilt footer.
+  fs::resize_file(path, reader->data_end(), ec);
+  if (ec) return result;
+  net::BufWriter footer;
+  SegmentMeta sealed = reader->meta();
+  sealed.sealed = true;
+  encode_footer(sealed, footer);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return result;
+  bool wrote = std::fwrite(footer.data().data(), 1, footer.size(), f) ==
+               footer.size();
+  wrote = std::fclose(f) == 0 && wrote;
+  if (!wrote) return result;
+  sealed.file_bytes = reader->data_end() + footer.size();
+  result.meta = sealed;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace bgpbh::storage

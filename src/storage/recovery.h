@@ -1,0 +1,36 @@
+// Crash recovery for segment files: truncate the torn tail, rebuild
+// the index from intact records, reseal in place.
+//
+// A writer that dies mid-append leaves its active segment without a
+// footer and possibly with a partial record at the end.  recover_
+// segment() scans the intact record prefix (every record is CRC-
+// framed, so the first torn byte is detected deterministically),
+// truncates the file to the end of the last intact record, and writes
+// a fresh footer + trailer built from the rebuilt index — after which
+// the segment is indistinguishable from one sealed normally, and
+// exactly the acked prefix of what was appended survives, byte-wise.
+//
+// SegmentWriter::open runs this on every unsealed segment it finds, so
+// simply reopening a store directory heals it; SegmentReader tolerates
+// torn tails read-only for callers that must not mutate (kReopen on a
+// directory another process owns).
+#pragma once
+
+#include <string>
+
+#include "storage/format.h"
+
+namespace bgpbh::storage {
+
+struct RecoveryResult {
+  bool ok = false;          // file is a readable segment, sealed on return
+  bool was_sealed = false;  // footer was already valid; file untouched
+  std::uint32_t records = 0;            // intact records kept
+  std::uint64_t truncated_bytes = 0;    // torn tail removed
+  SegmentMeta meta;                     // valid when ok
+};
+
+// Recovers one segment file in place (no-op when already sealed).
+RecoveryResult recover_segment(const std::string& path);
+
+}  // namespace bgpbh::storage

@@ -1,0 +1,254 @@
+#include "storage/segment_reader.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "storage/record_codec.h"
+
+namespace bgpbh::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Reads [offset, offset + len) into `out`; false on seek/short read.
+bool read_range(std::FILE* f, std::uint64_t offset, std::size_t len,
+                std::vector<std::uint8_t>& out) {
+  out.resize(len);
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) return false;
+  return len == 0 || std::fread(out.data(), 1, len, f) == len;
+}
+
+}  // namespace
+
+SegmentReader::~SegmentReader() {
+  if (file_) std::fclose(file_);
+}
+
+std::unique_ptr<SegmentReader> SegmentReader::open(const std::string& path) {
+  auto reader = std::unique_ptr<SegmentReader>(new SegmentReader());
+  reader->path_ = path;
+  reader->file_ = std::fopen(path.c_str(), "rb");
+  if (!reader->file_) return nullptr;
+  std::FILE* f = reader->file_;
+  if (std::fseek(f, 0, SEEK_END) != 0) return nullptr;
+  long ssize = std::ftell(f);
+  if (ssize < 0) return nullptr;
+  std::uint64_t file_bytes = static_cast<std::uint64_t>(ssize);
+  std::vector<std::uint8_t> buf;
+  if (file_bytes < kSegmentHeaderBytes ||
+      !read_range(f, 0, kSegmentHeaderBytes, buf) ||
+      !check_segment_header(buf)) {
+    return nullptr;
+  }
+  SegmentMeta& meta = reader->meta_;
+  meta.seq = parse_segment_seq(fs::path(path).filename().string());
+  meta.file_bytes = file_bytes;
+
+  // Sealed segment: trailer -> footer payload -> index, and we're done
+  // having read only O(index) bytes.
+  if (file_bytes >= kSegmentHeaderBytes + kTrailerBytes &&
+      read_range(f, file_bytes - kTrailerBytes, kTrailerBytes, buf)) {
+    if (auto trailer = parse_trailer(buf)) {
+      std::uint64_t max_payload =
+          file_bytes - kSegmentHeaderBytes - kTrailerBytes;
+      if (trailer->payload_len <= max_payload &&
+          read_range(f, file_bytes - kTrailerBytes - trailer->payload_len,
+                     trailer->payload_len, buf) &&
+          parse_footer_payload(buf, trailer->payload_crc, meta)) {
+        reader->data_end_ =
+            file_bytes - kTrailerBytes - trailer->payload_len;
+        return reader;
+      }
+    }
+  }
+
+  // Unsealed (torn) segment: scan the intact record prefix and rebuild
+  // the sparse index.  The scan buffer is transient — released as soon
+  // as open() returns; only the rebuilt index is kept.
+  meta = SegmentMeta{};
+  meta.seq = parse_segment_seq(fs::path(path).filename().string());
+  meta.file_bytes = file_bytes;
+  meta.sealed = false;
+  if (!read_range(f, kSegmentHeaderBytes, file_bytes - kSegmentHeaderBytes,
+                  buf)) {
+    return nullptr;
+  }
+  std::uint64_t offset = 0;  // relative to the record region
+  IndexEntry block;
+  constexpr std::size_t kRebuildBlockRecords = 64;
+  while (offset < buf.size()) {
+    net::BufReader attempt(std::span<const std::uint8_t>(buf).subspan(
+        static_cast<std::size_t>(offset)));
+    auto event = decode_record(attempt);
+    if (!event) break;  // first torn byte: everything after is the tail
+    if (block.records == 0) {
+      block.offset = kSegmentHeaderBytes + offset;
+      block.min_start = event->start;
+      block.max_end = event->end;
+    } else {
+      block.min_start = std::min(block.min_start, event->start);
+      block.max_end = std::max(block.max_end, event->end);
+    }
+    ++block.records;
+    if (meta.record_count == 0) {
+      meta.min_start = event->start;
+      meta.max_end = event->end;
+    } else {
+      meta.min_start = std::min(meta.min_start, event->start);
+      meta.max_end = std::max(meta.max_end, event->end);
+    }
+    ++meta.record_count;
+    if (block.records == kRebuildBlockRecords) {
+      meta.index.push_back(block);
+      block = IndexEntry{};
+    }
+    offset += attempt.pos();
+  }
+  if (block.records > 0) meta.index.push_back(block);
+  reader->data_end_ = kSegmentHeaderBytes + offset;
+  return reader;
+}
+
+void SegmentReader::decode_block_locked(
+    std::size_t i,
+    const std::function<void(const core::PeerEvent&)>& fn) const {
+  const IndexEntry& entry = meta_.index[i];
+  std::uint64_t end = block_end(i);
+  if (end <= entry.offset ||
+      !read_range(file_, entry.offset,
+                  static_cast<std::size_t>(end - entry.offset), block_)) {
+    ++decode_errors_;
+    return;
+  }
+  net::BufReader r(block_);
+  for (std::uint32_t k = 0; k < entry.records; ++k) {
+    auto event = decode_record(r);
+    if (!event) {
+      // Only reachable when a sealed segment's data region rotted
+      // after sealing: the index says a record is here but it no
+      // longer frames.  Serve what decodes, count the loss.
+      ++decode_errors_;
+      return;
+    }
+    fn(*event);
+  }
+}
+
+void SegmentReader::for_each(
+    const std::function<void(const core::PeerEvent&)>& fn) const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  for (std::size_t i = 0; i < meta_.index.size(); ++i) {
+    decode_block_locked(i, fn);
+  }
+}
+
+std::vector<core::PeerEvent> SegmentReader::events() const {
+  std::vector<core::PeerEvent> out;
+  out.reserve(meta_.record_count);
+  for_each([&out](const core::PeerEvent& e) { out.push_back(e); });
+  return out;
+}
+
+void SegmentReader::query(
+    const std::function<bool(const core::PeerEvent&)>& pred,
+    std::vector<core::PeerEvent>& out) const {
+  for_each([&](const core::PeerEvent& e) {
+    if (!pred || pred(e)) out.push_back(e);
+  });
+}
+
+void SegmentReader::events_in(util::SimTime t0, util::SimTime t1,
+                              std::vector<core::PeerEvent>& out) const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  last_scan_blocks_decoded_ = 0;
+  // Footer summary first: skip the whole segment when its [min_start,
+  // max_end] envelope misses the window.
+  if (meta_.record_count == 0 ||
+      !core::overlaps_window(meta_.min_start, meta_.max_end, t0, t1)) {
+    return;
+  }
+  for (std::size_t i = 0; i < meta_.index.size(); ++i) {
+    const IndexEntry& entry = meta_.index[i];
+    if (!core::overlaps_window(entry.min_start, entry.max_end, t0, t1)) {
+      continue;  // index seek: the whole block misses the window
+    }
+    ++last_scan_blocks_decoded_;
+    decode_block_locked(i, [&](const core::PeerEvent& e) {
+      if (core::overlaps_window(e.start, e.end, t0, t1)) out.push_back(e);
+    });
+  }
+}
+
+std::unique_ptr<SegmentSet> SegmentSet::open(const std::string& dir) {
+  auto set = std::unique_ptr<SegmentSet>(new SegmentSet());
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return set;  // nothing yet: empty set
+  std::vector<std::pair<std::uint64_t, std::string>> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    std::uint64_t seq = parse_segment_seq(entry.path().filename().string());
+    if (seq != 0) files.emplace_back(seq, entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [seq, path] : files) {
+    auto reader = SegmentReader::open(path);
+    if (reader) {
+      set->segments_.push_back(std::move(reader));
+    } else {
+      ++set->skipped_files_;
+    }
+  }
+  return set;
+}
+
+std::size_t SegmentSet::size() const {
+  std::size_t total = 0;
+  for (const auto& seg : segments_) total += seg->meta().record_count;
+  return total;
+}
+
+std::uint64_t SegmentSet::bytes_on_disk() const {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments_) total += seg->meta().file_bytes;
+  return total;
+}
+
+void SegmentSet::for_each(
+    const std::function<void(const core::PeerEvent&)>& fn) const {
+  for (const auto& seg : segments_) seg->for_each(fn);
+}
+
+std::vector<core::PeerEvent> SegmentSet::events() const {
+  std::vector<core::PeerEvent> out;
+  out.reserve(size());
+  for_each([&out](const core::PeerEvent& e) { out.push_back(e); });
+  return out;
+}
+
+std::vector<core::PeerEvent> SegmentSet::query(
+    const std::function<bool(const core::PeerEvent&)>& pred) const {
+  std::vector<core::PeerEvent> out;
+  for (const auto& seg : segments_) seg->query(pred, out);
+  return out;
+}
+
+std::size_t SegmentSet::count(
+    const std::function<bool(const core::PeerEvent&)>& pred) const {
+  std::size_t n = 0;
+  for_each([&](const core::PeerEvent& e) {
+    if (!pred || pred(e)) ++n;
+  });
+  return n;
+}
+
+std::vector<core::PeerEvent> SegmentSet::events_in(util::SimTime t0,
+                                                   util::SimTime t1) const {
+  std::vector<core::PeerEvent> out;
+  // Each reader skips itself via its footer summary, then seeks via
+  // its sparse index.
+  for (const auto& seg : segments_) seg->events_in(t0, t1, out);
+  return out;
+}
+
+}  // namespace bgpbh::storage

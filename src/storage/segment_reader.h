@@ -1,0 +1,148 @@
+// Read half of the persistent event store: one SegmentReader per
+// segment file, a SegmentSet over a whole store directory.
+//
+// A sealed segment is opened by validating its footer and trusting the
+// sparse time index; an unsealed one (crashed writer) is scanned
+// record by record, keeping the intact prefix and rebuilding the index
+// in memory — opening is always read-only, so a crashed directory can
+// be queried without mutating it (recovery.h reseals in place when the
+// caller owns the directory).
+//
+// Readers hold only the footer metadata in memory — O(index), a few
+// hundred bytes per segment — and read record blocks from the file ON
+// DEMAND per query, so reopening a multi-gigabyte archive costs
+// megabytes, not the archive (the point of spilling to disk in the
+// first place).  A time-window scan seeks to just the index blocks
+// whose [min_start, max_end] envelope overlaps the window (records
+// arrive in spill order, not time order, so the envelope — not a
+// sorted range — is what the index stores), then filters each decoded
+// record through core::overlaps_window, the same [t0, t1) rule every
+// other event query in the repo uses.  Results are in on-disk
+// (arrival) order; canonical_sort them for comparisons, exactly as
+// with stream::EventStore::query.  Queries are const and thread-safe
+// (block reads serialize on an internal mutex).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "storage/format.h"
+
+namespace bgpbh::storage {
+
+class SegmentReader {
+ public:
+  // Opens + validates one segment file; nullptr when the file cannot
+  // be read or its header is not ours.  Torn tails are tolerated (the
+  // intact record prefix is served).
+  static std::unique_ptr<SegmentReader> open(const std::string& path);
+  ~SegmentReader();
+
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  const SegmentMeta& meta() const { return meta_; }
+  // Offset one past the last intact record (what recovery truncates to).
+  std::uint64_t data_end() const { return data_end_; }
+
+  // Visits every record in arrival order, one block in memory at a
+  // time — how large archives are folded without materializing.
+  void for_each(const std::function<void(const core::PeerEvent&)>& fn) const;
+
+  // All records, arrival order (materializes; prefer for_each/query
+  // for large segments).
+  std::vector<core::PeerEvent> events() const;
+
+  // Predicate scan over every record.
+  void query(const std::function<bool(const core::PeerEvent&)>& pred,
+             std::vector<core::PeerEvent>& out) const;
+
+  // Window scan seeking via the sparse index: only blocks overlapping
+  // [t0, t1) are read and decoded.
+  void events_in(util::SimTime t0, util::SimTime t1,
+                 std::vector<core::PeerEvent>& out) const;
+
+  // Index blocks decoded by the last events_in() call — lets tests
+  // prove the index actually skips (diagnostics only).
+  std::size_t last_scan_blocks_decoded() const {
+    return last_scan_blocks_decoded_;
+  }
+
+  // Records whose CRC matched at seal time but that decode could not
+  // serve (disk corruption inside a sealed segment).
+  std::size_t decode_errors() const { return decode_errors_; }
+
+ private:
+  SegmentReader() = default;
+
+  // Byte offset one past block `i`'s last record.
+  std::uint64_t block_end(std::size_t i) const {
+    return i + 1 < meta_.index.size() ? meta_.index[i + 1].offset : data_end_;
+  }
+
+  // Reads + decodes one index block, invoking `fn` per record.  Caller
+  // holds io_mu_.
+  void decode_block_locked(
+      std::size_t i,
+      const std::function<void(const core::PeerEvent&)>& fn) const;
+
+  std::string path_;
+  std::FILE* file_ = nullptr;  // read-only; access under io_mu_
+  SegmentMeta meta_;
+  std::uint64_t data_end_ = 0;
+  mutable std::mutex io_mu_;                 // serializes block reads
+  mutable std::vector<std::uint8_t> block_;  // scratch, under io_mu_
+  mutable std::size_t last_scan_blocks_decoded_ = 0;
+  mutable std::size_t decode_errors_ = 0;
+};
+
+// All segments of one store directory, sequence order.  Opening takes
+// a point-in-time snapshot of the directory listing: segments created
+// by a writer afterwards are not visible, which is exactly what the
+// merged live+disk view wants (the live store holds this session's
+// events; the set holds prior sessions').
+class SegmentSet {
+ public:
+  // Opens every events-*.seg in `dir` (an absent or empty directory
+  // yields an empty set — a first run resuming nothing is not an
+  // error).  Unreadable files are skipped and counted.
+  static std::unique_ptr<SegmentSet> open(const std::string& dir);
+
+  std::size_t num_segments() const { return segments_.size(); }
+  std::size_t skipped_files() const { return skipped_files_; }
+  std::size_t size() const;  // total records
+  std::uint64_t bytes_on_disk() const;
+  const std::vector<std::unique_ptr<SegmentReader>>& segments() const {
+    return segments_;
+  }
+
+  // Streaming visit of every record (arrival order within a segment,
+  // segments in sequence order) — one block in memory at a time.
+  void for_each(const std::function<void(const core::PeerEvent&)>& fn) const;
+
+  // Arrival order within a segment, segments in sequence order.
+  std::vector<core::PeerEvent> events() const;
+
+  std::vector<core::PeerEvent> query(
+      const std::function<bool(const core::PeerEvent&)>& pred) const;
+  std::size_t count(
+      const std::function<bool(const core::PeerEvent&)>& pred) const;
+
+  // Window scan: whole segments outside [t0, t1) are skipped via their
+  // footer summary, the rest seek via their sparse index.
+  std::vector<core::PeerEvent> events_in(util::SimTime t0,
+                                         util::SimTime t1) const;
+
+ private:
+  SegmentSet() = default;
+
+  std::vector<std::unique_ptr<SegmentReader>> segments_;
+  std::size_t skipped_files_ = 0;
+};
+
+}  // namespace bgpbh::storage

@@ -1,0 +1,222 @@
+#include "storage/segment_writer.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "storage/record_codec.h"
+#include "storage/recovery.h"
+
+namespace bgpbh::storage {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<SegmentWriter> SegmentWriter::open(const std::string& dir,
+                                                   SegmentConfig config) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec && !fs::is_directory(dir)) return nullptr;
+  // Existing segments, sequence order: recover-and-reseal any torn one
+  // (crashed writer), and account them all for retention.
+  std::vector<std::pair<std::uint64_t, std::string>> existing;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    std::uint64_t seq = parse_segment_seq(entry.path().filename().string());
+    if (seq != 0) existing.emplace_back(seq, entry.path().string());
+  }
+  std::sort(existing.begin(), existing.end());
+  std::vector<SegmentMeta> sealed;
+  std::uint64_t next_seq = 1;
+  for (const auto& [seq, path] : existing) {
+    next_seq = std::max(next_seq, seq + 1);
+    RecoveryResult recovered = recover_segment(path);
+    if (recovered.ok) sealed.push_back(recovered.meta);
+    // Unrecoverable files are left alone and simply not accounted.
+  }
+  return std::unique_ptr<SegmentWriter>(
+      new SegmentWriter(dir, std::move(config), next_seq, std::move(sealed)));
+}
+
+SegmentWriter::SegmentWriter(std::string dir, SegmentConfig config,
+                             std::uint64_t next_seq,
+                             std::vector<SegmentMeta> sealed)
+    : dir_(std::move(dir)),
+      config_(std::move(config)),
+      next_seq_(next_seq),
+      sealed_(std::move(sealed)) {
+  if (config_.index_block_records == 0) config_.index_block_records = 64;
+}
+
+SegmentWriter::~SegmentWriter() { close(); }
+
+bool SegmentWriter::open_active() {
+  active_path_ = (fs::path(dir_) / segment_file_name(next_seq_)).string();
+  file_ = std::fopen(active_path_.c_str(), "wb");
+  if (!file_) return false;
+  net::BufWriter header;
+  encode_segment_header(header);
+  if (std::fwrite(header.data().data(), 1, header.size(), file_) !=
+      header.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  write_offset_ = kSegmentHeaderBytes;
+  active_ = SegmentMeta{};
+  active_.seq = next_seq_;
+  block_ = IndexEntry{};
+  return true;
+}
+
+void SegmentWriter::abandon_active() {
+  // A partial record may be on disk.  Never write a footer over it (a
+  // CRC-valid footer with a misaligned index would defeat recovery):
+  // close as-is, burn the sequence number, and let recover_segment()
+  // truncate the torn tail on the next directory open.  Reopening the
+  // same seq with "wb" would instead destroy the acked records already
+  // in the file.
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  ++next_seq_;
+}
+
+bool SegmentWriter::append(const core::PeerEvent& event) {
+  if (closed_) return false;
+  if (!file_ && !open_active()) return false;
+  net::BufWriter record;
+  encode_record(event, record);
+  if (std::fwrite(record.data().data(), 1, record.size(), file_) !=
+      record.size()) {
+    abandon_active();
+    return false;
+  }
+  if (block_.records == 0) {
+    block_.offset = write_offset_;
+    block_.min_start = event.start;
+    block_.max_end = event.end;
+  } else {
+    block_.min_start = std::min(block_.min_start, event.start);
+    block_.max_end = std::max(block_.max_end, event.end);
+  }
+  ++block_.records;
+  if (active_.record_count == 0) {
+    active_.min_start = event.start;
+    active_.max_end = event.end;
+  } else {
+    active_.min_start = std::min(active_.min_start, event.start);
+    active_.max_end = std::max(active_.max_end, event.end);
+  }
+  ++active_.record_count;
+  write_offset_ += record.size();
+  ++events_appended_;
+  if (block_.records >= config_.index_block_records) {
+    active_.index.push_back(block_);
+    block_ = IndexEntry{};
+  }
+  // Roll thresholds: size always, time span when configured.
+  bool roll = write_offset_ >= config_.max_segment_bytes;
+  if (config_.max_segment_span > 0 &&
+      active_.max_end - active_.min_start >= config_.max_segment_span) {
+    roll = true;
+  }
+  if (roll) return seal_active();
+  return true;
+}
+
+bool SegmentWriter::append(std::span<const core::PeerEvent> events) {
+  for (const auto& event : events) {
+    if (!append(event)) return false;
+  }
+  return true;
+}
+
+bool SegmentWriter::sync() {
+  if (!file_) return true;
+  if (std::fflush(file_) != 0 ||
+      (config_.fsync_on_seal && ::fsync(::fileno(file_)) != 0)) {
+    abandon_active();
+    return false;
+  }
+  return true;
+}
+
+bool SegmentWriter::seal_active() {
+  if (!file_) return true;
+  if (block_.records > 0) {
+    active_.index.push_back(block_);
+    block_ = IndexEntry{};
+  }
+  bool ok = true;
+  if (active_.record_count == 0) {
+    // Nothing was appended: drop the header-only file instead of
+    // leaving an empty segment behind.
+    std::fclose(file_);
+    file_ = nullptr;
+    std::error_code ec;
+    fs::remove(active_path_, ec);
+    return true;
+  }
+  active_.sealed = true;
+  net::BufWriter footer;
+  encode_footer(active_, footer);
+  ok = std::fwrite(footer.data().data(), 1, footer.size(), file_) ==
+       footer.size();
+  ok = std::fflush(file_) == 0 && ok;
+  if (config_.fsync_on_seal) ok = ::fsync(::fileno(file_)) == 0 && ok;
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  ++next_seq_;
+  if (!ok) {
+    // The footer may be partial: the segment stays unsealed on disk
+    // and out of the sealed bookkeeping; recovery truncates + reseals
+    // it on the next directory open.
+    return false;
+  }
+  active_.file_bytes = write_offset_ + footer.size();
+  sealed_.push_back(active_);
+  ++segments_sealed_;
+  apply_retention();
+  return ok;
+}
+
+void SegmentWriter::apply_retention() {
+  if (config_.retain_max_bytes == 0 && config_.retain_max_segments == 0) {
+    return;
+  }
+  auto over_budget = [&] {
+    if (config_.retain_max_segments > 0 &&
+        sealed_.size() > config_.retain_max_segments) {
+      return true;
+    }
+    if (config_.retain_max_bytes > 0) {
+      std::uint64_t total = 0;
+      for (const auto& meta : sealed_) total += meta.file_bytes;
+      return total > config_.retain_max_bytes;
+    }
+    return false;
+  };
+  // Oldest first; never below one segment (the data just sealed).
+  while (sealed_.size() > 1 && over_budget()) {
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / segment_file_name(sealed_.front().seq), ec);
+    sealed_.erase(sealed_.begin());
+    ++segments_retired_;
+  }
+}
+
+bool SegmentWriter::close() {
+  if (closed_) return true;
+  closed_ = true;
+  return seal_active();
+}
+
+std::uint64_t SegmentWriter::bytes_on_disk() const {
+  std::uint64_t total = file_ ? write_offset_ : 0;
+  for (const auto& meta : sealed_) total += meta.file_bytes;
+  return total;
+}
+
+}  // namespace bgpbh::storage

@@ -1,0 +1,101 @@
+// Append-only segment log writer (the write half of the persistent
+// event store — format.h documents the on-disk layout).
+//
+// One writer owns a store directory: it appends CRC-framed PeerEvent
+// records to the active segment, accumulates the sparse time index in
+// memory, and *seals* the segment (footer + trailer) when it exceeds
+// the configured size or time span, rolling to the next sequence
+// number.  Sealing is also when retention runs: oldest sealed segments
+// are deleted until the directory fits the configured budget.
+//
+// Durability contract: everything appended before a sync() that
+// returned true survives a crash (modulo fsync_on_seal for
+// power-loss-grade durability); a crash mid-append loses at most the
+// unsynced tail — recovery (recovery.h) truncates the torn record and
+// reseals, so reopening the directory always yields a prefix of what
+// was appended.  Single-threaded: callers serialize (storage::
+// SpillWriter wraps one writer in a queue-fed thread).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "net/bytes.h"
+#include "storage/format.h"
+
+namespace bgpbh::storage {
+
+class SegmentWriter {
+ public:
+  // Opens (creating if needed) `dir`.  Any torn active segment left by
+  // a crashed writer is recovered and resealed first; appending then
+  // continues in a fresh segment after the highest existing sequence
+  // number.  Returns nullptr if the directory cannot be created or a
+  // file cannot be opened.
+  static std::unique_ptr<SegmentWriter> open(const std::string& dir,
+                                             SegmentConfig config = {});
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  // Appends one record to the active segment (opening it lazily),
+  // sealing + rolling afterwards if the segment crossed a roll
+  // threshold.  Returns false on I/O error — the active segment is
+  // then ABANDONED unsealed (never resealed by this writer, its
+  // sequence number burned) so a partial write can never end up behind
+  // a CRC-valid footer; the next append starts a fresh segment, and
+  // recovery truncates the abandoned one to its intact prefix on the
+  // next directory open.
+  bool append(const core::PeerEvent& event);
+  bool append(std::span<const core::PeerEvent> events);
+
+  // Flushes the active segment to the OS (the durability ack point;
+  // fsync too when config.fsync_on_seal).  Records appended before a
+  // successful sync() survive recovery byte-wise.
+  bool sync();
+
+  // Seals the active segment now (no-op when it is empty) and closes
+  // the writer.  Idempotent; the destructor calls it.
+  bool close();
+
+  // ---- observability ----------------------------------------------------
+  const std::string& dir() const { return dir_; }
+  std::uint64_t events_appended() const { return events_appended_; }
+  std::uint64_t segments_sealed() const { return segments_sealed_; }
+  std::uint64_t segments_retired() const { return segments_retired_; }
+  // Sealed bytes currently on disk plus the active segment's.
+  std::uint64_t bytes_on_disk() const;
+  std::uint64_t active_seq() const { return next_seq_; }
+
+ private:
+  SegmentWriter(std::string dir, SegmentConfig config, std::uint64_t next_seq,
+                std::vector<SegmentMeta> sealed);
+
+  bool open_active();     // lazily creates the next segment file
+  bool seal_active();     // footer + trailer + fclose + retention
+  void abandon_active();  // I/O error: close unsealed, burn the seq
+  void apply_retention();
+
+  std::string dir_;
+  SegmentConfig config_;
+
+  std::FILE* file_ = nullptr;
+  std::string active_path_;
+  SegmentMeta active_;           // summary + index of the active segment
+  IndexEntry block_;             // index block being accumulated
+  std::uint64_t write_offset_ = 0;
+
+  std::uint64_t next_seq_ = 1;
+  std::vector<SegmentMeta> sealed_;  // oldest first, for retention
+  std::uint64_t events_appended_ = 0;
+  std::uint64_t segments_sealed_ = 0;
+  std::uint64_t segments_retired_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace bgpbh::storage

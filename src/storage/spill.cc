@@ -1,0 +1,88 @@
+#include "storage/spill.h"
+
+namespace bgpbh::storage {
+
+std::unique_ptr<SpillWriter> SpillWriter::open(SpillConfig config) {
+  auto writer = SegmentWriter::open(config.dir, config.segment);
+  if (!writer) return nullptr;
+  if (config.queue_chunks == 0) config.queue_chunks = 1;
+  return std::unique_ptr<SpillWriter>(
+      new SpillWriter(std::move(config), std::move(writer)));
+}
+
+SpillWriter::SpillWriter(SpillConfig config,
+                         std::unique_ptr<SegmentWriter> writer)
+    : config_(std::move(config)), writer_(std::move(writer)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+SpillWriter::~SpillWriter() { stop(); }
+
+bool SpillWriter::submit(std::vector<core::PeerEvent> chunk) {
+  if (chunk.empty()) return true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return queue_.size() < config_.queue_chunks || stopping_;
+    });
+    if (stopping_) return false;
+    queue_.push_back(std::move(chunk));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void SpillWriter::run() {
+  for (;;) {
+    std::vector<std::vector<core::PeerEvent>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty() && stopping_) return;
+      // Take the whole backlog in one go: one sync() per drain, and
+      // the producers see a fully empty queue immediately.
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    // Count only events whose append AND the batch's sync succeeded —
+    // events_spilled() is a durability gauge, so it must never exceed
+    // what recovery would hand back (under-counting a completed chunk
+    // whose batch-mate failed is the conservative error).
+    bool ok = true;
+    std::uint64_t appended = 0;
+    for (const auto& chunk : batch) {
+      if (writer_->append(std::span(chunk))) {
+        appended += chunk.size();
+      } else {
+        ok = false;
+      }
+    }
+    if (!writer_->sync()) ok = false;
+    if (ok) {
+      events_spilled_.fetch_add(appended, std::memory_order_relaxed);
+    } else {
+      io_error_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SpillWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // Serialize concurrent stop() callers past the join + seal.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (thread_.joinable()) thread_.join();
+  if (!joined_) {
+    joined_ = true;
+    if (!writer_->close()) io_error_.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace bgpbh::storage

@@ -1,0 +1,93 @@
+// SpillWriter: the bridge from the live pipeline's EventStore to the
+// append-only segment log.
+//
+// Shard workers hand the store sealed chunks of closed events; the
+// store's spill hook (stream::EventStore::set_spill_listener) submits
+// a copy of each chunk here.  Chunks cross a bounded MPMC queue to ONE
+// writer thread that appends them to a SegmentWriter in submission
+// order and sync()s after every drain — so disk I/O never runs on an
+// ingesting thread, and everything appended before the queue emptied
+// is the acked (recoverable) prefix.  A full queue blocks submit():
+// backpressure, never loss, the same contract as the rest of the
+// pipeline.
+//
+// stop() drains the queue, seals the active segment and joins the
+// thread; after it returns, every submitted event is on disk.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/events.h"
+#include "storage/segment_writer.h"
+
+namespace bgpbh::storage {
+
+struct SpillConfig {
+  std::string dir;
+  SegmentConfig segment;
+  // Bounded queue depth in chunks; a full queue blocks submit().
+  std::size_t queue_chunks = 256;
+};
+
+class SpillWriter {
+ public:
+  // Opens the directory (recovering torn segments — SegmentWriter::
+  // open) and starts the writer thread.  nullptr when the directory is
+  // unusable.
+  static std::unique_ptr<SpillWriter> open(SpillConfig config);
+  ~SpillWriter();
+
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  // Thread-safe; blocks while the queue is full.  Returns false (and
+  // drops nothing — the chunk was never accepted) after stop().
+  bool submit(std::vector<core::PeerEvent> chunk);
+
+  // Drains the queue, seals the active segment, joins the writer
+  // thread.  Idempotent; the destructor calls it.  After it returns,
+  // every accepted event is durably appended.
+  void stop();
+
+  // ---- observability ----------------------------------------------------
+  const std::string& dir() const { return writer_->dir(); }
+  std::uint64_t events_spilled() const {
+    return events_spilled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t segments_sealed() const { return writer_->segments_sealed(); }
+  std::uint64_t segments_retired() const { return writer_->segments_retired(); }
+  std::uint64_t bytes_on_disk() const { return writer_->bytes_on_disk(); }
+  // True if any append or sync failed; the log is then a prefix.
+  bool io_error() const { return io_error_.load(std::memory_order_relaxed); }
+
+ private:
+  explicit SpillWriter(SpillConfig config,
+                       std::unique_ptr<SegmentWriter> writer);
+
+  void run();
+
+  SpillConfig config_;
+  std::unique_ptr<SegmentWriter> writer_;  // writer thread only, after start
+
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<std::vector<core::PeerEvent>> queue_;
+  bool stopping_ = false;
+
+  std::thread thread_;
+  std::mutex stop_mu_;
+  std::atomic<std::uint64_t> events_spilled_{0};
+  std::atomic<bool> io_error_{false};
+  bool joined_ = false;  // guarded by stop_mu_
+};
+
+}  // namespace bgpbh::storage

@@ -55,27 +55,45 @@ void EventStore::fold(Snapshot& into, bool& into_has_any, const Snapshot& from,
 }
 
 void EventStore::set_chunk_listener(ChunkListener listener) {
+  assert(!ingest_started_.load(std::memory_order_relaxed) &&
+         "set_chunk_listener() after the first ingest_chunk(): the slot is "
+         "read unsynchronized on the ingest path and already-handed-over "
+         "chunks would be missed — install listeners before any ingester "
+         "runs");
   chunk_listener_ = std::move(listener);
+}
+
+void EventStore::set_spill_listener(ChunkListener listener) {
+  assert(!ingest_started_.load(std::memory_order_relaxed) &&
+         "set_spill_listener() after the first ingest_chunk(): install the "
+         "spill hook before any ingester runs");
+  spill_listener_ = std::move(listener);
 }
 
 void EventStore::ingest_chunk(std::size_t lane_index,
                               std::vector<core::PeerEvent>&& chunk) {
   if (chunk.empty()) return;
+#ifndef NDEBUG
+  ingest_started_.store(true, std::memory_order_relaxed);
+#endif
   lane_index %= lanes_.size();
-  // The listener's copy is taken up front and delivered only after the
-  // chunk is counted into its lane, so a snapshot triggered by the
+  // The listeners' copies are taken up front and delivered only after
+  // the chunk is counted into its lane, so a snapshot triggered by the
   // delivery can never report fewer events than the listener has been
   // handed.  Delivery stays outside the lane lock: a listener parked
-  // on a full dispatch queue (backpressure) must not hold up
+  // on a full dispatch/spill queue (backpressure) must not hold up
   // concurrent snapshot readers.
   std::vector<core::PeerEvent> observed;
   if (chunk_listener_) observed = chunk;
+  std::vector<core::PeerEvent> spilled;
+  if (spill_listener_) spilled = chunk;
   Lane& lane = *lanes_[lane_index];
   {
     std::lock_guard<std::mutex> lock(lane.mu);
     count_events(lane, chunk);
     lane.chunks.push_back(std::move(chunk));
   }
+  if (spill_listener_) spill_listener_(lane_index, std::move(spilled));
   if (chunk_listener_) chunk_listener_(lane_index, std::move(observed));
 }
 

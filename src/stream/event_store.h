@@ -14,6 +14,7 @@
 // consistent snapshot at any time without stopping the workers.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -42,6 +43,14 @@ class EventStore {
   static void fold_event(Snapshot& into, bool& into_has_any,
                          const core::PeerEvent& event);
 
+  // Folds one snapshot into another (same rule as fold_event, counter
+  // granularity) — how the lanes merge, and how api::AnalysisSession
+  // merges the persistent segment log's cached summary into a live
+  // view.  `from_has_any`/`into_has_any` disambiguate the zero-valued
+  // time fields of an empty snapshot.
+  static void fold(Snapshot& into, bool& into_has_any, const Snapshot& from,
+                   bool from_has_any);
+
   // One lane per concurrent ingester (shard worker).  Lane count is
   // fixed at construction; ingest_chunk(lane) for lane >= lanes rounds
   // into the available ones.
@@ -55,16 +64,37 @@ class EventStore {
   // landed in its lane (so a listener-driven snapshot can never lag
   // the events already handed out), on the ingesting thread and
   // outside any store lock (the listener may block for backpressure
-  // without stalling readers).  With one writer per lane — the
-  // pipeline's shape — chunks of a lane are observed in ingest order,
-  // so per-(peer, prefix) close order is preserved end to end.  Set
-  // before any ingester runs (not synchronized against concurrent
-  // ingest_chunk); null clears.  When no listener is set the only cost
-  // is one branch per sealed chunk — nothing per event; with one, the
-  // chunk copy made for it is the entire hot-path cost.
+  // without stalling readers).
+  //
+  // ORDERING CONTRACT (single writer per lane): the store never
+  // reorders — a lane's chunks are observed in exactly the order its
+  // ingester called ingest_chunk, so with the pipeline's shape (one
+  // shard worker per lane, every (peer, prefix) key owned by one
+  // shard) per-key close order is preserved end to end.  Nothing is
+  // guaranteed across lanes: cross-lane interleaving follows whichever
+  // ingester ran first.  Two writers sharing a lane would also be
+  // safe (the lane mutex serializes them) but forfeits the per-key
+  // order, so don't.
+  //
+  // LIFECYCLE CONTRACT: set before any ingester runs, never after —
+  // the slot is read without synchronization on the ingest path, so
+  // installing a listener once ingest_chunk has run is a data race AND
+  // would silently miss the chunks already handed over.  Debug builds
+  // assert; null clears (same rule).  When no listener is set the only
+  // cost is one branch per sealed chunk — nothing per event; with one,
+  // the chunk copy made for it is the entire hot-path cost.
   using ChunkListener =
       std::function<void(std::size_t lane, std::vector<core::PeerEvent> chunk)>;
   void set_chunk_listener(ChunkListener listener);
+
+  // Spill hook (persistent event store, src/storage/): identical
+  // contracts to the chunk listener, invoked right before it with its
+  // own copy of the chunk.  Kept a separate slot so persistence
+  // composes with sink dispatch — api::AnalysisSession wires this to a
+  // storage::SpillWriter (whose bounded queue and writer thread keep
+  // segment I/O off the ingesting threads) while the chunk listener
+  // feeds the SinkDispatcher.
+  void set_spill_listener(ChunkListener listener);
 
   // Convenience for single-writer callers (tests, batch imports).
   void ingest(std::vector<core::PeerEvent> events);
@@ -113,8 +143,6 @@ class EventStore {
 
   static void count_events(Lane& lane,
                            const std::vector<core::PeerEvent>& events);
-  static void fold(Snapshot& into, bool& into_has_any, const Snapshot& from,
-                   bool from_has_any);
 
   // Runs `scan` and retries once if a concurrent finalize() moved
   // events between the scan's observation points (see the .cc).
@@ -123,6 +151,12 @@ class EventStore {
 
   std::vector<std::unique_ptr<Lane>> lanes_;
   ChunkListener chunk_listener_;
+  ChunkListener spill_listener_;
+#ifndef NDEBUG
+  // Catches the set-after-ingest lifecycle footgun (see the listener
+  // contracts above); debug builds only.
+  std::atomic<bool> ingest_started_{false};
+#endif
 
   // Guards the merged state (events_, merged counters, finalized_).
   mutable std::mutex mu_;

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte spans.
+//
+// Integrity check for the persistent event store's on-disk records and
+// segment footers (src/storage/): every record carries the CRC of its
+// version byte + payload, so a torn or bit-flipped tail is detected and
+// truncated on recovery instead of decoding into garbage events.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bgpbh::util {
+
+// CRC of `data`; chain calls by passing the previous result as `seed`
+// (the seed is the running CRC, not the raw register value).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+}  // namespace bgpbh::util

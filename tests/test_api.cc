@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <thread>
@@ -370,6 +371,142 @@ TEST(AnalysisSession, NoDropUnderBackpressureAndPerKeyDeliveryOrder) {
     }
     last[key] = e.end;
   }
+}
+
+// ---- persistence: the segment-log equivalence grid --------------------
+
+// For every (shards, producers) cell, EventQuery results must be
+// byte-identical from (a) the in-memory finalized store of a live
+// session that spilled to disk, (b) a kReopen session serving the same
+// directory, and (c) a merged live+disk view: a resume session over
+// the same directory ingesting a second, time-shifted stream.
+TEST(AnalysisSession, PersistenceGridMemoryDiskAndMergedViewsIdentical) {
+  namespace fs = std::filesystem;
+  const auto& ref = reference();
+
+  // The shifted second stream's expected event set, computed once from
+  // a non-persisting live session (the event set is shard-invariant —
+  // the grid test above proves that).
+  const util::SimTime kShift = 40 * util::kDay;
+  std::vector<PeerEvent> shifted_ref;
+  {
+    SessionConfig config;
+    config.mode = SessionConfig::Mode::kLiveFeed;
+    config.study = study_config();
+    config.num_shards = 2;
+    AnalysisSession session(config);
+    auto updates = session.study().replay_updates();
+    for (auto& u : updates) u.update.time += kShift;
+    stream::VectorSource source(updates);
+    session.feed(source);
+    session.close(study_config().window_end + kShift);
+    shifted_ref = session.events();
+  }
+  ASSERT_FALSE(shifted_ref.empty());
+
+  for (std::size_t shards : {1u, 3u, 8u}) {
+    for (std::size_t producers : {1u, 3u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " producers=" + std::to_string(producers));
+      std::string dir =
+          (fs::temp_directory_path() /
+           ("bgpbh_api_persist_" + std::to_string(shards) + "_" +
+            std::to_string(producers)))
+              .string();
+      fs::remove_all(dir);
+
+      // (a) live session spilling every sealed chunk to the log.
+      SessionConfig base;
+      base.persist_dir = dir;
+      base.segment.max_segment_bytes = 32 * 1024;  // force several segments
+      auto session = run_live(shards, producers, nullptr, base);
+      auto mem = session->events();
+      EXPECT_TRUE(mem == ref.events);
+      EXPECT_EQ(session->events_persisted(), mem.size());
+      EXPECT_GE(session->segments_sealed(), 2u);
+
+      // (b) reopened from disk: identical full and filtered queries.
+      SessionConfig reopen_config;
+      reopen_config.mode = SessionConfig::Mode::kReopen;
+      reopen_config.persist_dir = dir;
+      AnalysisSession reopened(reopen_config);
+      EXPECT_TRUE(reopened.events() == mem);
+      auto window =
+          EventQuery().between(study_config().window_start + util::kDay,
+                               study_config().window_start + 2 * util::kDay);
+      EXPECT_TRUE(reopened.events(window) == session->events(window));
+      EXPECT_EQ(reopened.count(window), session->count(window));
+      auto ris = EventQuery().platform(Platform::kRis);
+      EXPECT_TRUE(reopened.events(ris) == session->events(ris));
+      EXPECT_EQ(reopened.snapshot().total_events, mem.size());
+      EXPECT_TRUE(reopened.grouped_events() == session->grouped_events());
+
+      // (c) merged live+disk: a resume session over the same directory
+      // ingests the shifted stream; queries span both halves.
+      SessionConfig resume_config;
+      resume_config.mode = SessionConfig::Mode::kLiveFeed;
+      resume_config.study = study_config();
+      resume_config.num_shards = shards;
+      resume_config.persist_dir = dir;
+      resume_config.resume = true;
+      resume_config.segment.max_segment_bytes = 32 * 1024;
+      AnalysisSession resumed(resume_config);
+      auto updates = resumed.study().replay_updates();
+      for (auto& u : updates) u.update.time += kShift;
+      stream::VectorSource source(updates);
+      resumed.feed(source);
+      resumed.close(study_config().window_end + kShift);
+
+      std::vector<PeerEvent> expect = mem;
+      expect.insert(expect.end(), shifted_ref.begin(), shifted_ref.end());
+      core::canonical_sort(expect);
+      EXPECT_TRUE(resumed.events() == expect);
+      EXPECT_EQ(resumed.snapshot().total_events, expect.size());
+      // Filtered merged queries == the same filter over the merged
+      // set (both windows straddle the disk/live boundary: table-dump
+      // events carry start == 0 and overlap every window, from either
+      // half — the shared overlap rule must treat both halves alike).
+      for (const auto& q :
+           {window, EventQuery().between(study_config().window_start + kShift,
+                                         study_config().window_end + kShift)}) {
+        std::vector<PeerEvent> expect_match;
+        for (const auto& e : expect) {
+          if (q.matches(e)) expect_match.push_back(e);
+        }
+        EXPECT_TRUE(resumed.events(q) == expect_match);
+        EXPECT_EQ(resumed.count(q), expect_match.size());
+      }
+
+      // Restart-survival across BOTH sessions: a final reopen sees the
+      // union, because the resume session appended its own segments.
+      AnalysisSession reopened_again(reopen_config);
+      EXPECT_TRUE(reopened_again.events() == expect);
+
+      fs::remove_all(dir);
+    }
+  }
+}
+
+TEST(AnalysisSession, BatchSessionPersistsAndReopens) {
+  namespace fs = std::filesystem;
+  const auto& ref = reference();
+  std::string dir =
+      (fs::temp_directory_path() / "bgpbh_api_persist_batch").string();
+  fs::remove_all(dir);
+  SessionConfig config;
+  config.mode = SessionConfig::Mode::kBatch;
+  config.study = study_config();
+  config.persist_dir = dir;
+  AnalysisSession session(config);
+  session.run();
+  EXPECT_EQ(session.events_persisted(), ref.events.size());
+
+  SessionConfig reopen_config;
+  reopen_config.mode = SessionConfig::Mode::kReopen;
+  reopen_config.persist_dir = dir;
+  AnalysisSession reopened(reopen_config);
+  EXPECT_TRUE(reopened.events() == ref.events);
+  fs::remove_all(dir);
 }
 
 TEST(AnalysisSession, SnapshotCadenceAndFinalSnapshot) {

@@ -1,0 +1,36 @@
+// Shared bench provenance: every BENCH_*.json carries a "meta" object
+// stamping the exact source revision, build type, and hardware the
+// numbers were produced on, so trajectory comparisons (and the
+// tools/check_bench_regression.py gate) can tell a real regression
+// from a different-machine or Debug-build artifact.
+//
+// BGPBH_GIT_SHA / BGPBH_BUILD_TYPE are injected per bench target by
+// CMake (see the bench section of CMakeLists.txt); building a bench
+// .cc outside CMake still compiles — the fields degrade to "unknown".
+#pragma once
+
+#include <string>
+#include <thread>
+
+#ifndef BGPBH_GIT_SHA
+#define BGPBH_GIT_SHA "unknown"
+#endif
+#ifndef BGPBH_BUILD_TYPE
+#define BGPBH_BUILD_TYPE "unknown"
+#endif
+
+namespace bgpbh::bench {
+
+// The value of a `"meta":` key — a flat JSON object, no trailing comma.
+inline std::string meta_json() {
+  std::string out = "{\"git_sha\": \"";
+  out += BGPBH_GIT_SHA;
+  out += "\", \"build_type\": \"";
+  out += BGPBH_BUILD_TYPE;
+  out += "\", \"hardware_threads\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += "}";
+  return out;
+}
+
+}  // namespace bgpbh::bench

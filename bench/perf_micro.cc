@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.h"
 #include "core/engine.h"
 #include "core/study.h"
 #include "dictionary/compiled.h"
@@ -273,6 +274,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n  \"bench\": \"perf_micro\",\n");
+  std::fprintf(out, "  \"meta\": %s,\n", bench::meta_json().c_str());
   std::fprintf(out, "  \"unit\": {\"ns_per_op\": \"nanoseconds per operation\", "
                     "\"ops_per_sec\": \"operations per second\"},\n");
   std::fprintf(out,

@@ -45,11 +45,14 @@
 #include "api/dispatch.h"
 #include "api/query.h"
 #include "api/sink.h"
+#include "bench_meta.h"
 #include "core/study.h"
 #include "storage/segment_reader.h"
 #include "storage/spill.h"
 #include "stream/pipeline.h"
 #include "stream/source.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 
 // ---- counting allocator ------------------------------------------------
 // Thread-local so the producer thread's allocation count is exact no
@@ -144,6 +147,7 @@ int main(int argc, char** argv) {
   std::size_t mpmc_producers = 3;
   std::string out_path = "BENCH_stream.json";
   std::string segments_dir = "BENCH_segments";
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -157,10 +161,13 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--segments-out") == 0 && i + 1 < argc) {
       segments_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: perf_stream [--smoke] [--producers <P>] "
-                   "[--out <path>] [--segments-out <dir>]\n");
+                   "[--out <path>] [--segments-out <dir>] "
+                   "[--metrics-out <path>]\n");
       return 2;
     }
   }
@@ -257,6 +264,8 @@ int main(int argc, char** argv) {
   // must not add a single allocation to the producer's routing path —
   // the assertion proves it.
   double allocs_per_subupdate = 0.0;
+  std::string metrics_prom;  // Prometheus dump of the instrumented run
+  std::uint64_t telemetry_batches = 0;
   {
     std::filesystem::remove_all(segments_dir);
     storage::SpillConfig spill_config;
@@ -310,6 +319,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(kMeasure),
                 allocs == 0 ? "zero-copy OK" : "ALLOCATION REGRESSION");
     if (allocs != 0) all_equivalent = false;  // fail the run loudly
+    // Telemetry is default-on (the pipeline owns a registry when the
+    // config carries none), so the zero count above was measured WITH
+    // the instrumented hot path.  Prove the instruments actually
+    // recorded — an empty batch histogram would mean the assertion
+    // silently stopped covering the telemetry layer.
+    telemetry::MetricsRegistry::Snapshot tsnap =
+        pipeline.metrics().snapshot();
+    const auto* batch_metric = tsnap.find("stream.worker.batch_ns");
+    telemetry_batches = batch_metric ? batch_metric->hist.count : 0;
+    if (telemetry_batches == 0) {
+      std::fprintf(stderr,
+                   "TELEMETRY MISS: stream.worker.batch_ns recorded nothing "
+                   "during the zero-alloc run\n");
+      all_equivalent = false;
+    }
+    std::printf("telemetry: %llu worker batches recorded, %.0f sub-updates "
+                "counted by the registry\n",
+                static_cast<unsigned long long>(telemetry_batches),
+                tsnap.value_or("stream.shard.processed"));
+    metrics_prom = telemetry::to_prometheus(tsnap);
   }
 
   // ---- per-stage breakdown -------------------------------------------
@@ -510,12 +539,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The stage breakdown flows through the telemetry registry — the
+  // same snapshot/export path AnalysisSession::telemetry() consumers
+  // use — so the BENCH JSON is derived from registry state, not a
+  // parallel set of locals.  The exporter preserves the historical key
+  // names (the `stage.` prefix is stripped).
+  telemetry::MetricsRegistry bench_registry;
+  bench_registry.gauge("stage.route_ns_per_subupdate").set(route_ns);
+  bench_registry.gauge("stage.queue_ns_per_ref").set(queue_ns);
+  bench_registry.gauge("stage.drain_ns_per_event").set(drain_ns);
+  bench_registry.gauge("stage.query_ns_per_event").set(query_ns);
+  bench_registry.gauge("stage.sink_dispatch_ns_per_event")
+      .set(sink_dispatch_ns);
+  bench_registry.gauge("stage.spill_ns_per_event").set(spill_ns);
+  bench_registry.gauge("stage.reopen_query_ns_per_event").set(reopen_query_ns);
+  telemetry::MetricsRegistry::Snapshot stage_snap = bench_registry.snapshot();
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
   std::fprintf(out, "{\n  \"bench\": \"perf_stream\",\n");
+  std::fprintf(out, "  \"meta\": %s,\n", bench::meta_json().c_str());
   std::fprintf(out, "  \"workload_updates\": %zu,\n", workload.size());
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
@@ -525,15 +571,10 @@ int main(int argc, char** argv) {
                defaults.zero_copy ? "true" : "false");
   std::fprintf(out, "  \"routing_allocs_per_subupdate\": %.4f,\n",
                allocs_per_subupdate);
-  std::fprintf(out,
-               "  \"stage_breakdown\": {\"route_ns_per_subupdate\": %.2f, "
-               "\"queue_ns_per_ref\": %.2f, \"drain_ns_per_event\": %.2f, "
-               "\"query_ns_per_event\": %.2f, "
-               "\"sink_dispatch_ns_per_event\": %.2f, "
-               "\"spill_ns_per_event\": %.2f, "
-               "\"reopen_query_ns_per_event\": %.2f},\n",
-               route_ns, queue_ns, drain_ns, query_ns, sink_dispatch_ns,
-               spill_ns, reopen_query_ns);
+  std::fprintf(out, "  \"telemetry_batches_recorded\": %llu,\n",
+               static_cast<unsigned long long>(telemetry_batches));
+  std::fprintf(out, "  \"stage_breakdown\": %s,\n",
+               telemetry::to_json_object(stage_snap, "stage.").c_str());
   std::fprintf(out,
                "  \"persistence\": {\"events\": %llu, \"segments\": %llu, "
                "\"bytes\": %llu},\n",
@@ -556,6 +597,21 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Optional Prometheus snapshot: the instrumented zero-alloc run's
+  // registry (pipeline/queue/spill instruments) plus the stage gauges
+  // above — what CI uploads as an artifact.
+  if (!metrics_out.empty()) {
+    std::FILE* prom = std::fopen(metrics_out.c_str(), "w");
+    if (!prom) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fputs(metrics_prom.c_str(), prom);
+    std::fputs(telemetry::to_prometheus(stage_snap).c_str(), prom);
+    std::fclose(prom);
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
 
   // The numbers are meaningless if the sharded pipeline diverges from
   // the sequential engine or the zero-copy contract regressed — fail

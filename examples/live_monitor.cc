@@ -23,6 +23,15 @@
 // After the run, the monitor reopens the directory in kReopen mode and
 // verifies the archive serves the identical event set — exiting
 // non-zero otherwise, so the examples-smoke CI job gates on it.
+//
+// Output discipline: alert lines (the product) go to stdout via
+// printf; operational status goes through util::Log — structured
+// key=value lines on stderr, BGPBH_LOG-leveled — so the two streams
+// separate cleanly.  Telemetry (src/telemetry/):
+//   live_monitor --metrics-out <file>    write the session registry as
+//                                        Prometheus text after close
+//   live_monitor --metrics-every <N>     while ingesting, log a
+//                                        metrics digest every N updates
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +39,8 @@
 
 #include "api/session.h"
 #include "bgp/mrt.h"
+#include "telemetry/export.h"
+#include "util/log.h"
 
 using namespace bgpbh;
 
@@ -79,19 +90,28 @@ class AlertSink : public api::EventSink {
 
 int main(int argc, char** argv) {
   std::string persist_dir;
+  std::string metrics_out;
+  std::uint64_t metrics_every = 0;
   bool resume = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--persist") == 0 && i + 1 < argc) {
       persist_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
+      metrics_every = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
-      std::fprintf(stderr, "usage: live_monitor [--persist <dir> [--resume]]\n");
+      std::fprintf(stderr,
+                   "usage: live_monitor [--persist <dir> [--resume]] "
+                   "[--metrics-out <file>] [--metrics-every <N>]\n");
       return 2;
     }
   }
   if (resume && persist_dir.empty()) {
-    std::fprintf(stderr, "--resume requires --persist <dir>\n");
+    util::Log(util::LogLevel::kError, "live_monitor")
+        .msg("--resume requires --persist <dir>");
     return 2;
   }
   // Without --resume this run's live view is the whole truth, so the
@@ -123,32 +143,61 @@ int main(int argc, char** argv) {
   }
   std::string path = "/tmp/bgpbh_live_monitor.mrt";
   bgp::mrt::write_file(path, archive.data());
-  std::printf("wrote %zu MRT records (%zu bytes) to %s\n\n", written,
-              archive.size(), path.c_str());
+  util::Log(util::LogLevel::kInfo, "live_monitor")
+      .msg("archive written")
+      .kv("records", static_cast<std::uint64_t>(written))
+      .kv("bytes", static_cast<std::uint64_t>(archive.size()))
+      .kv("path", path);
 
   // 2. Monitoring pass: subscribe the alert sink, replay the archive
-  //    as if it were a live feed, close at the archive cut-off.
+  //    as if it were a live feed, close at the archive cut-off.  The
+  //    manual start/push/flush loop is feed() spelled out, which gives
+  //    --metrics-every a place to log a registry digest mid-ingest.
   auto source = stream::MrtFileSource::open(path, routing::Platform::kRis);
   if (!source) {
-    std::printf("failed to read/parse archive\n");
+    util::Log(util::LogLevel::kError, "live_monitor")
+        .msg("failed to read/parse archive")
+        .kv("path", path);
     return 1;
   }
   AlertSink alerts;
   session.subscribe(alerts);
-  std::uint64_t replayed = session.feed(*source);
+  session.start();
+  std::uint64_t replayed = 0;
+  while (const routing::FeedUpdate* u = source->next()) {
+    session.push(*u);
+    ++replayed;
+    if (metrics_every != 0 && replayed % metrics_every == 0) {
+      auto digest = session.telemetry().snapshot();
+      util::Log(util::LogLevel::kInfo, "live_monitor")
+          .msg("metrics digest")
+          .kv("pushed", digest.value_or("stream.updates_pushed"))
+          .kv("queue_depth", digest.value_or("stream.queue.depth"))
+          .kv("open_events", digest.value_or("stream.shard.open_events"))
+          .kv("dispatch_lag", digest.value_or("api.dispatch.lag_events"));
+    }
+  }
+  session.flush();
   session.close(config.study.window_end);
 
   // 3. Summary from the final snapshot (the same counters the sink saw
   //    in its last on_snapshot delivery).
   auto snap = session.snapshot();
-  std::printf("\nmonitoring summary: %llu updates replayed across %zu shards, "
-              "%zu events closed, %zu still open at end of archive\n",
-              static_cast<unsigned long long>(replayed), session.num_shards(),
+  util::Log(util::LogLevel::kInfo, "live_monitor")
+      .msg("monitoring summary")
+      .kv("replayed", replayed)
+      .kv("shards", static_cast<std::uint64_t>(session.num_shards()))
+      .kv("closed", static_cast<std::uint64_t>(snap.total_events -
+                                               session.open_at_close()))
+      .kv("open_at_close", static_cast<std::uint64_t>(session.open_at_close()))
+      .kv("sink_events", static_cast<std::uint64_t>(alerts.events()))
+      .kv("snapshot_delivered",
+          static_cast<std::uint64_t>(alerts.last_snapshot_total()))
+      .kv("groups", static_cast<std::uint64_t>(session.grouped_events().size()));
+  std::printf("\nmonitoring summary: %llu updates replayed, %zu events closed, "
+              "%zu §9 groups\n",
+              static_cast<unsigned long long>(replayed),
               snap.total_events - session.open_at_close(),
-              session.open_at_close());
-  std::printf("sink saw %zu events; final snapshot delivered %zu\n",
-              alerts.events(), alerts.last_snapshot_total());
-  std::printf("%zu §9 groups live-maintained while ingesting\n",
               session.grouped_events().size());
   std::printf("busiest providers:\n");
   std::vector<std::pair<std::size_t, core::ProviderRef>> top;
@@ -166,13 +215,13 @@ int main(int argc, char** argv) {
   //    archive serves the exact event set the live view held (with
   //    --resume that is this run's events PLUS every prior session's).
   if (!persist_dir.empty()) {
-    std::printf("\npersistence: %llu events appended to %s "
-                "(%llu segments sealed, %llu bytes)%s\n",
-                static_cast<unsigned long long>(session.events_persisted()),
-                persist_dir.c_str(),
-                static_cast<unsigned long long>(session.segments_sealed()),
-                static_cast<unsigned long long>(session.persisted_bytes()),
-                resume ? ", merged with prior sessions" : "");
+    util::Log(util::LogLevel::kInfo, "live_monitor")
+        .msg("events persisted")
+        .kv("events", session.events_persisted())
+        .kv("dir", persist_dir)
+        .kv("segments_sealed", session.segments_sealed())
+        .kv("bytes", session.persisted_bytes())
+        .kv("resume", resume);
     api::SessionConfig reopen_config;
     reopen_config.mode = api::SessionConfig::Mode::kReopen;
     reopen_config.persist_dir = persist_dir;
@@ -180,10 +229,38 @@ int main(int argc, char** argv) {
     auto from_disk = reopened.events();
     auto from_live = session.events();
     bool identical = from_disk == from_live;
-    std::printf("reopened from disk: %zu events across %zu segments [%s]\n",
-                from_disk.size(), reopened.disk()->num_segments(),
-                identical ? "identical to live view" : "MISMATCH");
-    if (!identical) return 1;
+    if (!identical) {
+      util::Log(util::LogLevel::kError, "live_monitor")
+          .msg("reopened archive does not match live view")
+          .kv("disk_events", static_cast<std::uint64_t>(from_disk.size()))
+          .kv("live_events", static_cast<std::uint64_t>(from_live.size()));
+      return 1;
+    }
+    util::Log(util::LogLevel::kInfo, "live_monitor")
+        .msg("reopen self-check passed")
+        .kv("events", static_cast<std::uint64_t>(from_disk.size()))
+        .kv("segments",
+            static_cast<std::uint64_t>(reopened.disk()->num_segments()));
+  }
+
+  // 5. Final registry dump for scraping: everything the run recorded —
+  //    queue depths, per-shard batch latencies, dispatch lag, spill
+  //    counters — in Prometheus text exposition format.
+  if (!metrics_out.empty()) {
+    std::string prom = telemetry::to_prometheus(session.telemetry().snapshot());
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (!f) {
+      util::Log(util::LogLevel::kError, "live_monitor")
+          .msg("cannot write metrics file")
+          .kv("path", metrics_out);
+      return 1;
+    }
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+    util::Log(util::LogLevel::kInfo, "live_monitor")
+        .msg("metrics written")
+        .kv("path", metrics_out)
+        .kv("bytes", static_cast<std::uint64_t>(prom.size()));
   }
   return 0;
 }

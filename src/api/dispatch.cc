@@ -1,19 +1,59 @@
 #include "api/dispatch.h"
 
+#include "telemetry/trace.h"
+
 namespace bgpbh::api {
 
 SinkDispatcher::SinkDispatcher(
     std::vector<EventSink*> sinks, LiveGrouper* grouper,
     std::size_t capacity_chunks,
     std::function<stream::EventStore::Snapshot()> snapshot_fn,
-    std::size_t snapshot_every_events)
+    std::size_t snapshot_every_events, telemetry::MetricsRegistry* metrics)
     : sinks_(std::move(sinks)),
       grouper_(grouper),
       capacity_(capacity_chunks == 0 ? 1 : capacity_chunks),
       snapshot_fn_(std::move(snapshot_fn)),
-      snapshot_every_(snapshot_every_events) {}
+      snapshot_every_(snapshot_every_events),
+      metrics_(metrics) {
+  if (!metrics_) return;
+  metrics_->describe("api.dispatch.events_submitted",
+                     "Closed events accepted into the dispatch queue");
+  metrics_->describe("api.dispatch.events_delivered",
+                     "Closed events fanned out to every sink");
+  metrics_->describe("api.dispatch.deliver_ns",
+                     "Sink fan-out latency per queued chunk (ns: all sinks, "
+                     "grouper fold, group fan-out)");
+  metrics_->describe("api.dispatch.queue_chunks",
+                     "Chunks waiting for the dispatch thread");
+  metrics_->describe("api.dispatch.lag_events",
+                     "Events submitted but not yet delivered (sink lag)");
+  metrics_->describe("api.dispatch.sink.events",
+                     "Events delivered per registered sink");
+  submitted_ctr_ = &metrics_->counter("api.dispatch.events_submitted");
+  delivered_ctr_ = &metrics_->counter("api.dispatch.events_delivered");
+  deliver_hist_ = &metrics_->histogram("api.dispatch.deliver_ns");
+  queue_gauge_ = &metrics_->gauge("api.dispatch.queue_chunks");
+  lag_gauge_ = &metrics_->gauge("api.dispatch.lag_events");
+  sink_ctrs_.reserve(sinks_.size());
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    sink_ctrs_.push_back(&metrics_->shard_counter("api.dispatch.sink.events", i));
+  }
+  hook_id_ = metrics_->add_collection_hook([this] {
+    const std::uint64_t submitted = submitted_.load(std::memory_order_relaxed);
+    const std::uint64_t delivered = delivered_.load(std::memory_order_relaxed);
+    submitted_ctr_->set_total(submitted);
+    delivered_ctr_->set_total(delivered);
+    queue_gauge_->set(static_cast<double>(queue_depth()));
+    lag_gauge_->set(static_cast<double>(submitted - delivered));
+  });
+}
 
-SinkDispatcher::~SinkDispatcher() { stop(); }
+SinkDispatcher::~SinkDispatcher() {
+  // A session-owned registry can outlive this dispatcher; a late
+  // snapshot must not run our hook against dead members.
+  if (metrics_) metrics_->remove_collection_hook(hook_id_);
+  stop();
+}
 
 void SinkDispatcher::start() {
   if (thread_.joinable()) return;
@@ -26,11 +66,13 @@ void SinkDispatcher::submit(std::span<const core::PeerEvent> events) {
 
 void SinkDispatcher::submit(std::vector<core::PeerEvent>&& events) {
   if (events.empty()) return;
+  const std::size_t count = events.size();
   std::unique_lock<std::mutex> lock(mu_);
   cv_space_.wait(lock,
                  [this] { return queue_.size() < capacity_ || stopping_; });
   if (stopping_) return;  // ingest has stopped by contract; nothing to lose
   queue_.push_back(Item{.events = std::move(events), .snapshot = false});
+  submitted_.fetch_add(count, std::memory_order_relaxed);
   cv_items_.notify_one();
 }
 
@@ -62,6 +104,11 @@ std::uint64_t SinkDispatcher::events_delivered() const {
   return delivered_.load(std::memory_order_relaxed);
 }
 
+std::size_t SinkDispatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void SinkDispatcher::loop() {
   for (;;) {
     Item item;
@@ -82,8 +129,14 @@ void SinkDispatcher::deliver(const Item& item) {
     publish_snapshot();
     return;
   }
+  telemetry::ScopedSpan span(deliver_hist_,
+                             metrics_ ? &metrics_->trace() : nullptr,
+                             "dispatch.deliver");
   for (const core::PeerEvent& event : item.events) {
-    for (EventSink* sink : sinks_) sink->on_event_closed(event);
+    for (std::size_t i = 0; i < sinks_.size(); ++i) {
+      sinks_[i]->on_event_closed(event);
+      if (!sink_ctrs_.empty()) sink_ctrs_[i]->add();
+    }
     if (grouper_) {
       core::PrefixEvent group = grouper_->add(event);
       for (EventSink* sink : sinks_) sink->on_group_updated(group);

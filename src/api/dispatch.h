@@ -33,6 +33,7 @@
 #include "api/sink.h"
 #include "core/events.h"
 #include "stream/event_store.h"
+#include "telemetry/metrics.h"
 
 namespace bgpbh::api {
 
@@ -42,11 +43,15 @@ class SinkDispatcher {
   // (optional) receives every event and powers on_group_updated.
   // `snapshot_fn` supplies the snapshot for on_snapshot deliveries;
   // `snapshot_every_events > 0` additionally publishes one every that
-  // many delivered events.
+  // many delivered events.  `metrics` (optional, must outlive the
+  // dispatcher) wires api.dispatch.* instruments: submit/deliver
+  // counters, a per-chunk delivery-latency histogram, per-sink
+  // delivered counters, and hook-sampled queue depth / delivery lag.
   SinkDispatcher(std::vector<EventSink*> sinks, LiveGrouper* grouper,
                  std::size_t capacity_chunks,
                  std::function<stream::EventStore::Snapshot()> snapshot_fn,
-                 std::size_t snapshot_every_events);
+                 std::size_t snapshot_every_events,
+                 telemetry::MetricsRegistry* metrics = nullptr);
   ~SinkDispatcher();
 
   SinkDispatcher(const SinkDispatcher&) = delete;
@@ -77,6 +82,9 @@ class SinkDispatcher {
 
   std::uint64_t events_delivered() const;
 
+  // Chunks waiting for the dispatch thread (telemetry sample).
+  std::size_t queue_depth() const;
+
  private:
   struct Item {
     std::vector<core::PeerEvent> events;  // empty => snapshot request
@@ -103,9 +111,21 @@ class SinkDispatcher {
   // delivered_ bumps per event so snapshot functions can read an
   // up-to-the-callback progress count.
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> submitted_{0};  // events accepted into the queue
   std::uint64_t since_snapshot_ = 0;  // dispatch thread only
   std::once_flag join_once_;          // concurrent stop() joins exactly once
   std::thread thread_;
+
+  // Telemetry (borrowed from the registry at wiring time; all null
+  // when the dispatcher was built without a registry).
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter* submitted_ctr_ = nullptr;
+  telemetry::Counter* delivered_ctr_ = nullptr;
+  telemetry::LatencyHistogram* deliver_hist_ = nullptr;
+  telemetry::Gauge* queue_gauge_ = nullptr;
+  telemetry::Gauge* lag_gauge_ = nullptr;
+  std::vector<telemetry::Counter*> sink_ctrs_;
+  std::uint64_t hook_id_ = 0;
 };
 
 }  // namespace bgpbh::api

@@ -42,6 +42,7 @@ AnalysisSession::AnalysisSession(SessionConfig config)
     spill_config.dir = config_.persist_dir;
     spill_config.segment = config_.segment;
     spill_config.queue_chunks = config_.spill_queue_chunks;
+    spill_config.metrics = &metrics_;
     spill_ = storage::SpillWriter::open(std::move(spill_config));
     if (!spill_) {
       // A session configured for persistence that silently runs
@@ -65,8 +66,10 @@ AnalysisSession::AnalysisSession(SessionConfig config)
     return;
   }
   if (live()) {
+    stream::PipelineConfig pc = pipeline_config(config_);
+    pc.metrics = &metrics_;
     pipeline_ = std::make_unique<stream::StreamPipeline>(
-        study_->dictionary(), study_->registry(), pipeline_config(config_));
+        study_->dictionary(), study_->registry(), pc);
     // Spill hook before anything can ingest (the store's lifecycle
     // contract): every sealed chunk — including finish()'s force-closed
     // remainder — crosses the bounded queue to the segment writer.
@@ -104,7 +107,7 @@ void AnalysisSession::start_dispatcher() {
   if (sinks_.empty() || dispatcher_) return;
   dispatcher_ = std::make_unique<SinkDispatcher>(
       sinks_, &grouper_, config_.sink_queue_chunks,
-      [this] { return snapshot(); }, config_.snapshot_every_events);
+      [this] { return snapshot(); }, config_.snapshot_every_events, &metrics_);
   if (pipeline_) {
     dispatcher_->start();
     pipeline_->store().set_chunk_listener(
@@ -180,7 +183,7 @@ void AnalysisSession::deliver_batch_results() {
                                     all.size()));
         return snapshot_of(std::span(all.data(), delivered));
       },
-      config_.snapshot_every_events);
+      config_.snapshot_every_events, &metrics_);
   dispatcher_->start();
   const auto& events = study_->events();
   constexpr std::size_t kChunk = 256;

@@ -61,6 +61,7 @@
 #include "storage/spill.h"
 #include "stream/pipeline.h"
 #include "stream/source.h"
+#include "telemetry/metrics.h"
 
 namespace bgpbh::api {
 
@@ -217,6 +218,20 @@ class AnalysisSession {
   // The disk snapshot a resume/kReopen session opened (null otherwise).
   const storage::SegmentSet* disk() const { return disk_.get(); }
 
+  // ---- telemetry (src/telemetry/) --------------------------------------
+  // The session-wide metrics registry: every layer this session owns
+  // (pipeline, shard workers, queues, sink dispatcher, spill writer)
+  // records into it.  snapshot() it at any time — recording proceeds
+  // concurrently — and render with telemetry::to_prometheus() /
+  // telemetry::to_json_object().  The trace ring
+  // (telemetry().trace().configure(...)) is off by default.
+  // (Fully qualified types: the accessor name shadows the namespace
+  // inside this class scope.)
+  bgpbh::telemetry::MetricsRegistry& telemetry() { return metrics_; }
+  const bgpbh::telemetry::MetricsRegistry& telemetry() const {
+    return metrics_;
+  }
+
  private:
   bool reopen() const { return config_.mode == SessionConfig::Mode::kReopen; }
   bool live() const {
@@ -238,6 +253,12 @@ class AnalysisSession {
       std::span<const core::PeerEvent> events) const;
 
   SessionConfig config_;
+  // Declared before every component that registers instruments or
+  // collection hooks (pipeline, dispatcher, spill writer): destruction
+  // runs in reverse order, so the registry outlives them all and their
+  // hook removal in ~StreamPipeline/~SinkDispatcher/~SpillWriter always
+  // targets a live registry.
+  bgpbh::telemetry::MetricsRegistry metrics_;
   std::unique_ptr<core::Study> study_;
   LiveGrouper grouper_;
   std::vector<EventSink*> sinks_;

@@ -1,5 +1,7 @@
 #include "storage/spill.h"
 
+#include "telemetry/trace.h"
+
 namespace bgpbh::storage {
 
 std::unique_ptr<SpillWriter> SpillWriter::open(SpillConfig config) {
@@ -13,10 +15,57 @@ std::unique_ptr<SpillWriter> SpillWriter::open(SpillConfig config) {
 SpillWriter::SpillWriter(SpillConfig config,
                          std::unique_ptr<SegmentWriter> writer)
     : config_(std::move(config)), writer_(std::move(writer)) {
+  if (telemetry::MetricsRegistry* metrics = config_.metrics) {
+    metrics->describe("storage.spill.append_ns",
+                      "Segment append latency per spilled chunk (ns, writer "
+                      "thread)");
+    metrics->describe("storage.spill.sync_ns",
+                      "fsync latency per drain batch (ns, writer thread)");
+    metrics->describe("storage.spill.queue_chunks",
+                      "Chunks waiting for the spill writer thread");
+    metrics->describe("storage.spill.events_spilled",
+                      "Events durably appended (acked prefix)");
+    metrics->describe("storage.spill.segments_sealed",
+                      "Segments sealed by size/age roll");
+    metrics->describe("storage.spill.segments_retired",
+                      "Segments deleted by the retention policy");
+    metrics->describe("storage.spill.bytes_on_disk",
+                      "Bytes currently held by live segments");
+    append_hist_ = &metrics->histogram("storage.spill.append_ns");
+    sync_hist_ = &metrics->histogram("storage.spill.sync_ns");
+    spilled_ctr_ = &metrics->counter("storage.spill.events_spilled");
+    sealed_ctr_ = &metrics->counter("storage.spill.segments_sealed");
+    retired_ctr_ = &metrics->counter("storage.spill.segments_retired");
+    queue_gauge_ = &metrics->gauge("storage.spill.queue_chunks");
+    bytes_gauge_ = &metrics->gauge("storage.spill.bytes_on_disk");
+    // Recovery may have found pre-existing segments; seed the mirrors
+    // before the writer thread takes ownership of the counters.
+    sealed_mirror_.store(writer_->segments_sealed(),
+                         std::memory_order_relaxed);
+    retired_mirror_.store(writer_->segments_retired(),
+                          std::memory_order_relaxed);
+    bytes_mirror_.store(writer_->bytes_on_disk(), std::memory_order_relaxed);
+    hook_id_ = metrics->add_collection_hook([this] {
+      spilled_ctr_->set_total(events_spilled_.load(std::memory_order_relaxed));
+      sealed_ctr_->set_total(sealed_mirror_.load(std::memory_order_relaxed));
+      retired_ctr_->set_total(retired_mirror_.load(std::memory_order_relaxed));
+      bytes_gauge_->set(static_cast<double>(
+          bytes_mirror_.load(std::memory_order_relaxed)));
+      std::size_t depth;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        depth = queue_.size();
+      }
+      queue_gauge_->set(static_cast<double>(depth));
+    });
+  }
   thread_ = std::thread([this] { run(); });
 }
 
-SpillWriter::~SpillWriter() { stop(); }
+SpillWriter::~SpillWriter() {
+  if (config_.metrics) config_.metrics->remove_collection_hook(hook_id_);
+  stop();
+}
 
 bool SpillWriter::submit(std::vector<core::PeerEvent> chunk) {
   if (chunk.empty()) return true;
@@ -53,18 +102,33 @@ void SpillWriter::run() {
     // whose batch-mate failed is the conservative error).
     bool ok = true;
     std::uint64_t appended = 0;
+    telemetry::TraceRing* ring =
+        config_.metrics ? &config_.metrics->trace() : nullptr;
     for (const auto& chunk : batch) {
+      telemetry::ScopedSpan span(append_hist_, ring, "spill.append");
       if (writer_->append(std::span(chunk))) {
         appended += chunk.size();
       } else {
         ok = false;
       }
     }
-    if (!writer_->sync()) ok = false;
+    {
+      telemetry::ScopedSpan span(sync_hist_, ring, "spill.sync");
+      if (!writer_->sync()) ok = false;
+    }
     if (ok) {
       events_spilled_.fetch_add(appended, std::memory_order_relaxed);
     } else {
       io_error_.store(true, std::memory_order_relaxed);
+    }
+    if (config_.metrics) {
+      // Republish the SegmentWriter's plain counters (writer-thread
+      // owned) for the collection hook.
+      sealed_mirror_.store(writer_->segments_sealed(),
+                           std::memory_order_relaxed);
+      retired_mirror_.store(writer_->segments_retired(),
+                            std::memory_order_relaxed);
+      bytes_mirror_.store(writer_->bytes_on_disk(), std::memory_order_relaxed);
     }
   }
 }

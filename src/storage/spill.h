@@ -27,6 +27,7 @@
 
 #include "core/events.h"
 #include "storage/segment_writer.h"
+#include "telemetry/metrics.h"
 
 namespace bgpbh::storage {
 
@@ -35,6 +36,12 @@ struct SpillConfig {
   SegmentConfig segment;
   // Bounded queue depth in chunks; a full queue blocks submit().
   std::size_t queue_chunks = 256;
+  // Optional telemetry sink (must outlive the writer): storage.spill.*
+  // append/sync latency histograms on the writer thread, hook-sampled
+  // queue depth, and durability totals (events spilled, segments
+  // sealed/retired, bytes on disk) mirrored through writer-thread
+  // atomics so snapshots never race SegmentWriter's plain counters.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class SpillWriter {
@@ -88,6 +95,22 @@ class SpillWriter {
   std::atomic<std::uint64_t> events_spilled_{0};
   std::atomic<bool> io_error_{false};
   bool joined_ = false;  // guarded by stop_mu_
+
+  // Telemetry (null without a registry).  The writer thread owns
+  // SegmentWriter's plain counters; it republishes them into the
+  // *_mirror_ atomics once per drain so the collection hook can read
+  // them from the snapshotting thread race-free.
+  telemetry::LatencyHistogram* append_hist_ = nullptr;
+  telemetry::LatencyHistogram* sync_hist_ = nullptr;
+  telemetry::Counter* spilled_ctr_ = nullptr;
+  telemetry::Counter* sealed_ctr_ = nullptr;
+  telemetry::Counter* retired_ctr_ = nullptr;
+  telemetry::Gauge* queue_gauge_ = nullptr;
+  telemetry::Gauge* bytes_gauge_ = nullptr;
+  std::uint64_t hook_id_ = 0;
+  std::atomic<std::uint64_t> sealed_mirror_{0};
+  std::atomic<std::uint64_t> retired_mirror_{0};
+  std::atomic<std::uint64_t> bytes_mirror_{0};
 };
 
 }  // namespace bgpbh::storage

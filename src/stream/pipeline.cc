@@ -47,13 +47,17 @@ void StreamPipeline::Producer::submit_shard(std::size_t shard) {
 StreamPipeline::StreamPipeline(const dictionary::BlackholeDictionary& dictionary,
                                const topology::Registry& registry,
                                PipelineConfig config)
-    : store_(config.num_shards == 0 ? 1 : config.num_shards),
+    : owned_metrics_(config.metrics
+                         ? nullptr
+                         : std::make_unique<telemetry::MetricsRegistry>()),
+      metrics_(config.metrics ? config.metrics : owned_metrics_.get()),
+      store_(config.num_shards == 0 ? 1 : config.num_shards),
       workers_(dictionary, registry, config.engine,
                config.num_shards == 0 ? 1 : config.num_shards,
                config.queue_capacity, config.drain_batch,
                config.batch_size == 0 ? 1 : config.batch_size,
                /*serialize_producers=*/config.num_producers > 1, blocks_,
-               store_) {
+               store_, *metrics_) {
   const std::size_t num_producers =
       config.num_producers == 0 ? 1 : config.num_producers;
   const std::size_t batch_size = config.batch_size == 0 ? 1 : config.batch_size;
@@ -63,9 +67,48 @@ StreamPipeline::StreamPipeline(const dictionary::BlackholeDictionary& dictionary
         new Producer(*this, workers_.num_shards(), blocks_, config.zero_copy,
                      batch_size)));
   }
+  // Live-state sampling: everything below is copied out of counters the
+  // data plane already maintains, only when someone snapshots — zero
+  // added work per routed sub-update.
+  metrics_->describe("stream.queue.depth", "Shard queue occupancy (refs)");
+  metrics_->describe("stream.queue.peak",
+                     "Shard queue occupancy high-water mark (refs)");
+  metrics_->describe("stream.shard.open_events",
+                     "Open (unsealed) blackholing events per shard");
+  metrics_->describe("stream.shard.processed",
+                     "Sub-updates consumed per shard worker");
+  metrics_->describe("stream.pool.blocks_allocated",
+                     "UpdateBlocks ever allocated by the pool (high-water)");
+  metrics_->describe("stream.pool.blocks_in_flight",
+                     "UpdateBlocks currently outside the pool");
+  metrics_->describe("stream.updates_pushed",
+                     "Original updates accepted across all producers");
+  metrics_hook_ = metrics_->add_collection_hook([this] {
+    const std::size_t shards = workers_.num_shards();
+    for (std::size_t i = 0; i < shards; ++i) {
+      metrics_->shard_gauge("stream.queue.depth", i)
+          .set(static_cast<double>(workers_.queue_depth(i)));
+      metrics_->shard_gauge("stream.queue.peak", i)
+          .set(static_cast<double>(workers_.queue_peak(i)));
+      metrics_->shard_gauge("stream.shard.open_events", i)
+          .set(static_cast<double>(workers_.open_events(i)));
+      metrics_->shard_counter("stream.shard.processed", i)
+          .set_total(workers_.processed(i));
+    }
+    metrics_->gauge("stream.pool.blocks_allocated")
+        .set(static_cast<double>(blocks_.blocks_allocated()));
+    metrics_->gauge("stream.pool.blocks_in_flight")
+        .set(static_cast<double>(blocks_.in_flight()));
+    metrics_->counter("stream.updates_pushed").set_total(updates_pushed());
+  });
 }
 
-StreamPipeline::~StreamPipeline() { workers_.close_and_join(); }
+StreamPipeline::~StreamPipeline() {
+  // Drop the hook before members die: a session-owned registry can
+  // outlive this pipeline, and a late snapshot must not call into it.
+  metrics_->remove_collection_hook(metrics_hook_);
+  workers_.close_and_join();
+}
 
 void StreamPipeline::init_from_table_dump(routing::Platform platform,
                                           const bgp::mrt::TableDump& dump) {
@@ -126,6 +169,9 @@ void StreamPipeline::finish(util::SimTime end_time) {
     open_at_finish_ += forced.size();
     store_.ingest_chunk(i, std::move(forced));
   }
+  // Gauge readers (open_event_count(), telemetry hooks) never touch
+  // the engines once started; publish the post-force-close state.
+  workers_.publish_open_gauges();
   store_.finalize();
 }
 

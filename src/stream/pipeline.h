@@ -51,6 +51,7 @@
 #include "stream/source.h"
 #include "stream/update_block.h"
 #include "stream/worker_pool.h"
+#include "telemetry/metrics.h"
 
 namespace bgpbh::stream {
 
@@ -74,6 +75,12 @@ struct PipelineConfig {
   // entry point) — the pre-zero-copy baseline, kept to prove
   // event-set equality and measure the win.
   bool zero_copy = true;
+  // Telemetry sink (src/telemetry/).  When null the pipeline owns a
+  // private registry — telemetry is always on; the instrumentation is
+  // designed so the hot path stays allocation- and mutex-free (see
+  // WorkerPool / SpscQueue docs).  When set (e.g. by AnalysisSession)
+  // it must outlive the pipeline.
+  telemetry::MetricsRegistry* metrics = nullptr;
   core::EngineConfig engine;
 };
 
@@ -171,11 +178,23 @@ class StreamPipeline {
   // steady state (bounded by staging + queue capacities).
   std::size_t blocks_allocated() const { return blocks_.blocks_allocated(); }
 
+  // The registry this pipeline records into: the one from
+  // PipelineConfig::metrics, or the pipeline's own.  snapshot() folds
+  // per-shard instruments and samples the live gauges (queue depth,
+  // pool occupancy, open events) via a collection hook.
+  telemetry::MetricsRegistry& metrics() { return *metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
+  // Declared before workers_: the pool borrows instruments from the
+  // registry for the lifetime of its shards.
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  telemetry::MetricsRegistry* metrics_;
   EventStore store_;
   BlockPool blocks_;
   WorkerPool workers_;
   std::vector<std::unique_ptr<Producer>> producers_;
+  std::uint64_t metrics_hook_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};
   std::size_t open_at_finish_ = 0;

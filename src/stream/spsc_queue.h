@@ -27,6 +27,8 @@
 #include <span>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace bgpbh::stream {
 
 template <typename T>
@@ -37,6 +39,20 @@ class SpscQueue {
 
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Telemetry binding (src/telemetry/): stall counters tick once per
+  // cv wait, wake counters once per claimed notify — all on the park/
+  // wake slow paths, so the uncontended transfer path is untouched.
+  // Bind before the queue carries traffic; pointers are borrowed.
+  struct Instruments {
+    telemetry::Counter* producer_stalls = nullptr;
+    telemetry::Counter* producer_wakes = nullptr;
+    telemetry::Counter* consumer_stalls = nullptr;
+    telemetry::Counter* consumer_wakes = nullptr;
+  };
+  void bind_instruments(const Instruments& instruments) {
+    instruments_ = instruments;
+  }
 
   // Blocks while the queue is full; returns false iff the queue was
   // closed (the item is then not enqueued).  Producer thread only.
@@ -54,6 +70,7 @@ class SpscQueue {
         if (closed_.load(std::memory_order_acquire)) return false;
         break;
       }
+      if (instruments_.producer_stalls) instruments_.producer_stalls->add();
       not_full_.wait(lock);
       producer_waiting_.store(false, std::memory_order_relaxed);
     }
@@ -63,7 +80,7 @@ class SpscQueue {
     if (occupancy > peak_size_.load(std::memory_order_relaxed)) {
       peak_size_.store(occupancy, std::memory_order_relaxed);
     }
-    wake(consumer_waiting_, not_empty_);
+    wake(consumer_waiting_, not_empty_, instruments_.consumer_wakes);
     return true;
   }
 
@@ -91,6 +108,7 @@ class SpscQueue {
           if (closed_.load(std::memory_order_acquire)) return pushed;
           break;
         }
+        if (instruments_.producer_stalls) instruments_.producer_stalls->add();
         not_full_.wait(lock);
         producer_waiting_.store(false, std::memory_order_relaxed);
       }
@@ -105,7 +123,7 @@ class SpscQueue {
       if (occupancy > peak_size_.load(std::memory_order_relaxed)) {
         peak_size_.store(occupancy, std::memory_order_relaxed);
       }
-      wake(consumer_waiting_, not_empty_);
+      wake(consumer_waiting_, not_empty_, instruments_.consumer_wakes);
     }
     return pushed;
   }
@@ -129,6 +147,7 @@ class SpscQueue {
         if (tail_.load(std::memory_order_acquire) != head) break;
         return std::nullopt;
       }
+      if (instruments_.consumer_stalls) instruments_.consumer_stalls->add();
       not_empty_.wait(lock);
       consumer_waiting_.store(false, std::memory_order_relaxed);
     }
@@ -163,6 +182,7 @@ class SpscQueue {
         if (avail > 0) break;
         return 0;
       }
+      if (instruments_.consumer_stalls) instruments_.consumer_stalls->add();
       not_empty_.wait(lock);
       consumer_waiting_.store(false, std::memory_order_relaxed);
     }
@@ -206,11 +226,13 @@ class SpscQueue {
   // its flag and re-checking the indices.  exchange() claims the wake:
   // repeated callers don't re-notify a peer that is already being
   // woken (the parker re-sets its flag if it needs to park again).
-  void wake(std::atomic<bool>& waiting, std::condition_variable& cv) {
+  void wake(std::atomic<bool>& waiting, std::condition_variable& cv,
+            telemetry::Counter* wake_counter) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (waiting.exchange(false, std::memory_order_relaxed)) {
       { std::lock_guard<std::mutex> lock(mu_); }
       cv.notify_one();
+      if (wake_counter) wake_counter->add();
     }
   }
 
@@ -225,11 +247,14 @@ class SpscQueue {
   // re-check covers the park-after-drain race as before.
   void maybe_wake_producer(std::size_t new_head) {
     std::size_t occupancy = tail_.load(std::memory_order_acquire) - new_head;
-    if (occupancy * 2 <= capacity_) wake(producer_waiting_, not_full_);
+    if (occupancy * 2 <= capacity_) {
+      wake(producer_waiting_, not_full_, instruments_.producer_wakes);
+    }
   }
 
   const std::size_t capacity_;
   std::vector<T> buf_;
+  Instruments instruments_;
   std::atomic<std::size_t> head_{0};  // next slot to pop
   std::atomic<std::size_t> tail_{0};  // next slot to fill
   std::atomic<std::size_t> peak_size_{0};

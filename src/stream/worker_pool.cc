@@ -1,5 +1,7 @@
 #include "stream/worker_pool.h"
 
+#include "telemetry/trace.h"
+
 namespace bgpbh::stream {
 
 WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
@@ -8,7 +10,7 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
                        std::size_t num_shards, std::size_t queue_capacity,
                        std::size_t drain_batch, std::size_t batch_size,
                        bool serialize_producers, BlockPool& blocks,
-                       EventStore& store)
+                       EventStore& store, telemetry::MetricsRegistry& metrics)
     : compiled_(engine_config.use_compiled_fastpath
                     ? dictionary::CompiledDictionary(dictionary)
                     : dictionary::CompiledDictionary()),
@@ -16,8 +18,24 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
       batch_size_(batch_size == 0 ? 1 : batch_size),
       serialize_producers_(serialize_producers),
       blocks_(blocks),
-      store_(store) {
+      store_(store),
+      trace_(&metrics.trace()) {
   if (num_shards == 0) num_shards = 1;
+  metrics.describe("stream.worker.batch_ns",
+                   "Shard worker consume-batch processing latency (ns, up to "
+                   "batch_size sub-updates per record)");
+  metrics.describe("stream.worker.drain_ns",
+                   "Shard worker closed-event drain + store handoff latency "
+                   "(ns per drain)");
+  metrics.describe("stream.queue.producer_stalls",
+                   "Times a producer parked on a full shard queue "
+                   "(backpressure)");
+  metrics.describe("stream.queue.consumer_stalls",
+                   "Times a shard worker parked on an empty queue");
+  metrics.describe("stream.queue.producer_wakes",
+                   "Producer wakeups claimed by the backpressure hysteresis");
+  metrics.describe("stream.queue.consumer_wakes",
+                   "Worker wakeups claimed after an enqueue");
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -25,6 +43,18 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
         dictionary, compiled_, registry, engine_config);
     shard->queue = std::make_unique<SpscQueue<SubUpdateRef>>(queue_capacity);
     shard->index = i;
+    shard->batch_hist = &metrics.shard_histogram("stream.worker.batch_ns", i);
+    shard->drain_hist = &metrics.shard_histogram("stream.worker.drain_ns", i);
+    shard->queue->bind_instruments(SpscQueue<SubUpdateRef>::Instruments{
+        .producer_stalls =
+            &metrics.shard_counter("stream.queue.producer_stalls", i),
+        .producer_wakes =
+            &metrics.shard_counter("stream.queue.producer_wakes", i),
+        .consumer_stalls =
+            &metrics.shard_counter("stream.queue.consumer_stalls", i),
+        .consumer_wakes =
+            &metrics.shard_counter("stream.queue.consumer_wakes", i),
+    });
     shards_.push_back(std::move(shard));
   }
 }
@@ -72,6 +102,8 @@ void WorkerPool::worker_loop(Shard& shard) {
   for (;;) {
     batch.clear();
     if (shard.queue->pop_batch(batch, batch_size_) == 0) break;
+    telemetry::ScopedSpan span(shard.batch_hist, trace_, "worker.batch",
+                               shard.index);
     for (const SubUpdateRef& ref : batch) {
       UpdateBlock* block = ref.block;
       const routing::FeedUpdate& fu = block->update;
@@ -101,11 +133,17 @@ void WorkerPool::worker_loop(Shard& shard) {
     shard.processed.fetch_add(batch.size(), std::memory_order_relaxed);
     since_drain += batch.size();
     if (since_drain >= drain_batch_) {
+      telemetry::ScopedSpan drain_span(shard.drain_hist, trace_,
+                                       "worker.drain", shard.index);
       store_.ingest_chunk(shard.index, shard.engine->drain_closed());
       since_drain = 0;
     }
   }
-  store_.ingest_chunk(shard.index, shard.engine->drain_closed());
+  {
+    telemetry::ScopedSpan drain_span(shard.drain_hist, trace_, "worker.drain",
+                                     shard.index);
+    store_.ingest_chunk(shard.index, shard.engine->drain_closed());
+  }
 }
 
 void WorkerPool::close_and_join() {
@@ -114,15 +152,23 @@ void WorkerPool::close_and_join() {
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
-  all_joined_.store(true, std::memory_order_release);
+}
+
+void WorkerPool::publish_open_gauges() {
+  for (auto& shard : shards_) {
+    shard->open_gauge.store(shard->engine->open_event_count(),
+                            std::memory_order_relaxed);
+  }
 }
 
 std::size_t WorkerPool::open_event_count() const {
-  // Engines may only be read directly while no worker can touch them:
-  // before start(), or after every thread has actually been joined.
-  // In between (including mid-shutdown) use the published gauges.
-  bool direct = !started_.load(std::memory_order_acquire) ||
-                all_joined_.load(std::memory_order_acquire);
+  // Engines may only be read directly before start(), while no worker
+  // (and no post-join force-close on another thread) can touch them.
+  // Ever after, use the published gauges: workers refresh them after
+  // every batch, and the pipeline's finish() re-publishes them once
+  // the force-closed remainder is drained — so even mid-shutdown a
+  // concurrent reader never races the engine hash tables.
+  bool direct = !started_.load(std::memory_order_acquire);
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     total += direct ? shard->engine->open_event_count()
@@ -137,6 +183,22 @@ std::uint64_t WorkerPool::processed_count() const {
     total += shard->processed.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+std::size_t WorkerPool::queue_depth(std::size_t shard) const {
+  return shards_.at(shard)->queue->size();
+}
+
+std::size_t WorkerPool::queue_peak(std::size_t shard) const {
+  return shards_.at(shard)->queue->peak_size();
+}
+
+std::size_t WorkerPool::open_events(std::size_t shard) const {
+  return shards_.at(shard)->open_gauge.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WorkerPool::processed(std::size_t shard) const {
+  return shards_.at(shard)->processed.load(std::memory_order_relaxed);
 }
 
 }  // namespace bgpbh::stream

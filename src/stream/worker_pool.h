@@ -35,17 +35,25 @@
 #include "stream/event_store.h"
 #include "stream/spsc_queue.h"
 #include "stream/update_block.h"
+#include "telemetry/metrics.h"
 
 namespace bgpbh::stream {
 
 class WorkerPool {
  public:
+  // `metrics` wires the pool's telemetry: per-shard batch-processing
+  // and drain latency histograms (stream.worker.batch_ns /
+  // stream.worker.drain_ns, recorded once per consume batch — two
+  // clock reads amortized over batch_size sub-updates), per-shard
+  // queue stall/wake counters bound into the SPSC queues, and the
+  // trace ring for slow-batch spans.  Must outlive the pool.
   WorkerPool(const dictionary::BlackholeDictionary& dictionary,
              const topology::Registry& registry,
              core::EngineConfig engine_config, std::size_t num_shards,
              std::size_t queue_capacity, std::size_t drain_batch,
              std::size_t batch_size, bool serialize_producers,
-             BlockPool& blocks, EventStore& store);
+             BlockPool& blocks, EventStore& store,
+             telemetry::MetricsRegistry& metrics);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -71,12 +79,26 @@ class WorkerPool {
   // Close all queues, wait for every worker to drain and exit.
   void close_and_join();
 
+  // Re-publish every shard's open-event gauge from its engine.  Only
+  // legal while no worker can touch the engines (before start() or
+  // after close_and_join()); the pipeline calls it after force-closing
+  // the remainder in finish() so concurrent gauge readers see the
+  // final count without ever touching engine state.
+  void publish_open_gauges();
+
   // Live gauge: open events summed over shards (relaxed reads of the
   // per-shard gauges workers publish after each batch).
   std::size_t open_event_count() const;
 
   // Sub-updates consumed by all workers so far.
   std::uint64_t processed_count() const;
+
+  // Per-shard samples for telemetry collection hooks (all relaxed
+  // reads of values the worker/queue already publish — safe any time).
+  std::size_t queue_depth(std::size_t shard) const;
+  std::size_t queue_peak(std::size_t shard) const;
+  std::size_t open_events(std::size_t shard) const;
+  std::uint64_t processed(std::size_t shard) const;
 
  private:
   struct Shard {
@@ -88,6 +110,9 @@ class WorkerPool {
     std::size_t index = 0;
     std::atomic<std::size_t> open_gauge{0};
     std::atomic<std::uint64_t> processed{0};
+    // Telemetry (borrowed from the registry; wiring-time only).
+    telemetry::LatencyHistogram* batch_hist = nullptr;
+    telemetry::LatencyHistogram* drain_hist = nullptr;
   };
 
   void worker_loop(Shard& shard);
@@ -101,9 +126,9 @@ class WorkerPool {
   bool serialize_producers_;
   BlockPool& blocks_;
   EventStore& store_;
+  telemetry::TraceRing* trace_;
   std::atomic<bool> started_{false};
   std::atomic<bool> joined_{false};      // shutdown initiated
-  std::atomic<bool> all_joined_{false};  // worker threads actually joined
 };
 
 }  // namespace bgpbh::stream

@@ -1,0 +1,127 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace bgpbh::telemetry {
+
+namespace {
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof(buf) - 1));
+}
+
+const char* type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string json_number(double v) {
+  char buf[64];
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+std::string to_prometheus(const MetricsRegistry::Snapshot& snapshot,
+                          std::string_view prefix) {
+  std::string out;
+  const std::string pre =
+      prefix.empty() ? std::string() : sanitize(prefix) + "_";
+  for (const auto& m : snapshot.metrics) {
+    const std::string name = pre + sanitize(m.name);
+    if (!m.help.empty()) {
+      appendf(out, "# HELP %s %s\n", name.c_str(), m.help.c_str());
+    }
+    appendf(out, "# TYPE %s %s\n", name.c_str(), type_name(m.kind));
+    if (m.kind == MetricKind::kHistogram) {
+      for (const auto& [upper, cumulative] : m.hist.buckets) {
+        appendf(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                name.c_str(), upper, cumulative);
+      }
+      appendf(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+              m.hist.count);
+      appendf(out, "%s_sum %" PRIu64 "\n", name.c_str(), m.hist.sum);
+      appendf(out, "%s_count %" PRIu64 "\n", name.c_str(), m.hist.count);
+      continue;
+    }
+    if (m.per_shard.empty()) {
+      appendf(out, "%s %s\n", name.c_str(), json_number(m.value).c_str());
+    } else {
+      for (const auto& [shard, v] : m.per_shard) {
+        appendf(out, "%s{shard=\"%zu\"} %s\n", name.c_str(), shard,
+                json_number(v).c_str());
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json_object(const MetricsRegistry::Snapshot& snapshot,
+                           std::string_view name_prefix, int indent) {
+  std::string out = "{";
+  const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) : 0, ' ');
+  const char* sep = "";
+  for (const auto& m : snapshot.metrics) {
+    if (m.name.size() < name_prefix.size() ||
+        m.name.compare(0, name_prefix.size(), name_prefix) != 0) {
+      continue;
+    }
+    const std::string key = m.name.substr(name_prefix.size());
+    out += sep;
+    sep = indent > 0 ? "," : ", ";
+    if (indent > 0) {
+      out += "\n";
+      out += pad;
+    }
+    out += "\"" + key + "\": ";
+    if (m.kind == MetricKind::kHistogram) {
+      out += "{\"count\": " + json_number(static_cast<double>(m.hist.count)) +
+             ", \"mean\": " + json_number(m.hist.mean()) +
+             ", \"p50\": " + json_number(m.hist.percentile(0.50)) +
+             ", \"p90\": " + json_number(m.hist.percentile(0.90)) +
+             ", \"p99\": " + json_number(m.hist.percentile(0.99)) +
+             ", \"max\": " + json_number(static_cast<double>(m.hist.max)) +
+             "}";
+    } else {
+      out += json_number(m.value);
+    }
+  }
+  if (indent > 0 && out.size() > 1) out += "\n";
+  out += "}";
+  return out;
+}
+
+}  // namespace bgpbh::telemetry

@@ -1,0 +1,41 @@
+// Exporters for MetricsRegistry snapshots.
+//
+// Two render targets, one source of truth:
+//   * Prometheus text exposition format (the scrape/ops surface):
+//     HELP/TYPE headers, `{shard="i"}` labels for sharded instruments,
+//     cumulative `_bucket{le="..."}` series + `_sum`/`_count` for
+//     histograms.  Metric names are sanitized (`.` and `-` -> `_`) and
+//     prefixed (default `bgpbh_`).
+//   * BENCH-style flat JSON (the perf-trajectory surface): counters
+//     and gauges as plain numbers, histograms as
+//     {count, mean, p50, p90, p99, max} objects — the exact shape the
+//     checked-in BENCH_*.json files carry, so perf_stream/perf_micro
+//     emit their stage breakdowns straight from a registry.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace bgpbh::telemetry {
+
+// Full Prometheus text dump of the snapshot.
+std::string to_prometheus(const MetricsRegistry::Snapshot& snapshot,
+                          std::string_view prefix = "bgpbh");
+
+// Flat JSON object ("{...}") of every metric whose name starts with
+// `name_prefix`; the prefix is stripped from the emitted keys.  An
+// empty prefix exports everything.  Values: counters/gauges as numbers
+// (integral values without a decimal point), histograms as nested
+// objects.  `indent` spaces of indentation per line; 0 packs one line.
+std::string to_json_object(const MetricsRegistry::Snapshot& snapshot,
+                           std::string_view name_prefix = "",
+                           int indent = 0);
+
+// One JSON number formatted like the exporters format it (integral ->
+// no decimal point, else fixed 4 digits) — exposed so tests can assert
+// exporter agreement without re-implementing the formatting.
+std::string json_number(double v);
+
+}  // namespace bgpbh::telemetry

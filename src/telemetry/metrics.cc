@@ -1,0 +1,222 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgpbh::telemetry {
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation (1-based, ceil), then the first
+  // bucket whose cumulative count covers it.
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.999999);
+  const std::uint64_t rank = target == 0 ? 1 : target;
+  for (const auto& [upper, cumulative] : buckets) {
+    if (cumulative >= rank) return static_cast<double>(upper);
+  }
+  return buckets.empty() ? 0.0 : static_cast<double>(buckets.back().first);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t bucket) {
+  if (bucket < kSub) return bucket;  // exact buckets 0..7
+  const std::size_t major = bucket / kSub;
+  const std::size_t minor = bucket % kSub;
+  const std::uint64_t width = std::uint64_t{1} << (major - 1);
+  const std::uint64_t lower =
+      (std::uint64_t{1} << (major + kSubBits - 1)) + minor * width;
+  return lower + width - 1;
+}
+
+void LatencyHistogram::fold_into(HistogramSnapshot& into) const {
+  const std::uint64_t count = count_.load(std::memory_order_relaxed);
+  if (count == 0) return;
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  const std::uint64_t max = max_.load(std::memory_order_relaxed);
+  if (into.count == 0 || min < into.min) into.min = min;
+  if (max > into.max) into.max = max;
+  into.count += count;
+  into.sum += sum_.load(std::memory_order_relaxed);
+
+  // Merge bucket-wise: rebuild the (upper bound -> per-bucket count)
+  // map from both sides, then re-accumulate into cumulative form.
+  std::map<std::uint64_t, std::uint64_t> per_bucket;
+  std::uint64_t prev = 0;
+  for (const auto& [upper, cumulative] : into.buckets) {
+    per_bucket[upper] += cumulative - prev;
+    prev = cumulative;
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n) per_bucket[bucket_upper_bound(b)] += n;
+  }
+  into.buckets.clear();
+  into.buckets.reserve(per_bucket.size());
+  std::uint64_t cumulative = 0;
+  for (const auto& [upper, n] : per_bucket) {
+    cumulative += n;
+    into.buckets.emplace_back(upper, cumulative);
+  }
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricKind kind) {
+  // Caller holds mu_.
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{.kind = kind}).first;
+  }
+  assert(it->second.kind == kind &&
+         "one metric name cannot span instrument kinds");
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kCounter);
+  auto& slot = e.counters[0];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Counter& MetricsRegistry::shard_counter(std::string_view name,
+                                        std::size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kCounter);
+  e.sharded = true;
+  auto& slot = e.counters[shard];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kGauge);
+  auto& slot = e.gauges[0];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::shard_gauge(std::string_view name, std::size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kGauge);
+  e.sharded = true;
+  auto& slot = e.gauges[shard];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kHistogram);
+  auto& slot = e.histograms[0];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::shard_histogram(std::string_view name,
+                                                   std::size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kHistogram);
+  e.sharded = true;
+  auto& slot = e.histograms[shard];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void MetricsRegistry::describe(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    it->second.help = std::string(help);
+  } else {
+    // Allow describing before the instrument exists: park the help on
+    // a kind chosen by the first instrument call (entry() asserts kind
+    // consistency only between instrument calls, so pre-create is
+    // avoided — store help lazily instead).
+    pending_help_.emplace(std::string(name), std::string(help));
+  }
+}
+
+std::uint64_t MetricsRegistry::add_collection_hook(
+    std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  const std::uint64_t id = next_hook_id_++;
+  hooks_.emplace(id, std::move(hook));
+  return id;
+}
+
+void MetricsRegistry::remove_collection_hook(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  hooks_.erase(id);
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::Snapshot::find(
+    std::string_view name) const {
+  auto it = std::lower_bound(
+      metrics.begin(), metrics.end(), name,
+      [](const Metric& m, std::string_view n) { return m.name < n; });
+  if (it == metrics.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double MetricsRegistry::Snapshot::value_or(std::string_view name,
+                                           double fallback) const {
+  const Metric* m = find(name);
+  return m ? m->value : fallback;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  // Hooks first (they copy external relaxed counters into instruments),
+  // under their own mutex so a hook may not create instruments but may
+  // freely record into captured ones.
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    for (const auto& [id, hook] : hooks_) hook();
+  }
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    Metric m;
+    m.name = name;
+    m.kind = e.kind;
+    m.help = e.help;
+    if (m.help.empty()) {
+      auto h = pending_help_.find(name);
+      if (h != pending_help_.end()) m.help = h->second;
+    }
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        for (const auto& [shard, c] : e.counters) {
+          const double v = static_cast<double>(c->value());
+          m.value += v;
+          if (e.sharded) m.per_shard.emplace_back(shard, v);
+        }
+        break;
+      case MetricKind::kGauge:
+        for (const auto& [shard, g] : e.gauges) {
+          const double v = g->value();
+          m.value += v;
+          if (e.sharded) m.per_shard.emplace_back(shard, v);
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& [shard, h] : e.histograms) {
+          h->fold_into(m.hist);
+          if (e.sharded) {
+            m.per_shard.emplace_back(shard,
+                                     static_cast<double>(h->count()));
+          }
+        }
+        m.value = static_cast<double>(m.hist.count);
+        break;
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;  // entries_ is an ordered map, so metrics is name-sorted
+}
+
+}  // namespace bgpbh::telemetry

@@ -1,0 +1,258 @@
+// Unified telemetry layer: the metrics substrate every runtime layer
+// (stream, api, storage, bench, examples) records into.
+//
+// Design constraints, in priority order:
+//   1. The record path is allocation-free and lock-free: a Counter add
+//      or LatencyHistogram record is one (histogram: a handful of)
+//      relaxed atomic RMWs on instrument-owned storage.  Instruments
+//      are created once, at wiring time, and the references handed out
+//      are stable for the registry's lifetime — the ingest hot path
+//      never touches the registry itself.
+//   2. Hot-path layers keep their existing relaxed counters (queue
+//      indices, shard gauges, pool watermarks) and the registry SAMPLES
+//      them at snapshot time through collection hooks — observability
+//      must not add stores to paths that already publish the number.
+//   3. Per-shard (or per-producer / per-sink) instruments share one
+//      metric name and are FOLDED on snapshot: counters and gauges sum,
+//      histograms merge bucket-wise — so N shards recording into N
+//      disjoint cache lines still export as one logical metric, with
+//      the per-shard split preserved for exporters that want labels.
+//
+// LatencyHistogram is HDR-style: fixed-size log-bucketed (8 linear
+// sub-buckets per power of two, ≤12.5% relative error), covering
+// 0 ns .. ~18 min, ~2.4 KiB of atomics per instrument, no allocation
+// ever after construction.
+//
+// Consumption: MetricsRegistry::snapshot() runs the hooks, folds every
+// instrument, and returns a plain-data Snapshot; telemetry/export.h
+// renders it as Prometheus text or BENCH-style JSON.  The registry is
+// exposed per session through api::AnalysisSession::telemetry() and
+// per pipeline through stream::StreamPipeline::metrics().
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace bgpbh::telemetry {
+
+// Monotonically increasing count.  add() is the recording edge;
+// set_total() is for collection hooks that mirror an externally
+// maintained monotonic total (a queue's stall count, a writer's
+// segments-sealed count) into the registry at snapshot time — the one
+// writer is the hook, so a plain relaxed store suffices.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void set_total(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Point-in-time level (queue depth, open events, pool occupancy).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Folded, plain-data view of one histogram — what exporters and tests
+// consume.  `buckets` carries (inclusive upper bound, cumulative
+// count) for every bucket that closed a non-zero increment, ending
+// with the total count (the +Inf bucket when values were clamped).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  // Value at quantile q in [0,1]: the upper bound of the first bucket
+  // whose cumulative count reaches q*count (≤12.5% above the true
+  // quantile by bucket construction).
+  double percentile(double q) const;
+};
+
+// Fixed-size log-bucketed latency histogram (nanosecond domain, but
+// unit-agnostic: it buckets any uint64).  Values 0..7 get exact
+// buckets; above that, each power of two splits into 8 linear
+// sub-buckets; values beyond ~2^40 clamp into the last bucket.
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 3;                  // 8 sub-buckets
+  static constexpr unsigned kSub = 1u << kSubBits;
+  static constexpr unsigned kMaxPow = 40;                  // ~18.3 minutes in ns
+  static constexpr std::size_t kBuckets = (kMaxPow - kSubBits + 1) * kSub;
+
+  // Allocation-free, lock-free: one bucket RMW + count/sum RMWs + two
+  // bounded CAS loops for min/max.  Safe from any number of threads,
+  // though instruments are normally per-shard precisely so recording
+  // threads never share these cache lines.
+  void record(std::uint64_t v) {
+    buckets_[bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Adds this instrument's buckets and counters into `into` — the
+  // per-shard fold.  Folding N shard instruments is bucket-wise
+  // identical to one instrument having recorded every value (tested
+  // against a sequential reference in test_telemetry).
+  void fold_into(HistogramSnapshot& into) const;
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    fold_into(s);
+    return s;
+  }
+
+  // Bucket index for a value (public for boundary tests).
+  static std::size_t bucket_for(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned h = 63u - static_cast<unsigned>(std::countl_zero(v));
+    if (h >= kMaxPow) return kBuckets - 1;
+    const std::size_t major = h - kSubBits + 1;
+    const std::size_t minor =
+        static_cast<std::size_t>(v >> (h - kSubBits)) & (kSub - 1);
+    return major * kSub + minor;
+  }
+
+  // Inclusive upper bound of a bucket (the value exporters report).
+  static std::uint64_t bucket_upper_bound(std::size_t bucket);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// The central instrument directory.  Creation (counter()/gauge()/
+// histogram() and their shard_ variants) is mutex-guarded get-or-create
+// and may allocate — wiring-time only; the returned references stay
+// valid for the registry's lifetime, and recording through them never
+// reenters the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Unsharded instruments.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  // Per-shard instruments: same metric name, disjoint storage per
+  // shard index, folded on snapshot.  A shard index is any small
+  // stable id — engine shard, producer index, sink index.
+  Counter& shard_counter(std::string_view name, std::size_t shard);
+  Gauge& shard_gauge(std::string_view name, std::size_t shard);
+  LatencyHistogram& shard_histogram(std::string_view name, std::size_t shard);
+
+  // Attach/overwrite the help line exporters emit for `name`.
+  void describe(std::string_view name, std::string_view help);
+
+  // Collection hooks run at the start of every snapshot(), on the
+  // snapshotting thread — the bridge from pre-existing relaxed
+  // counters (queue depths, pool watermarks, writer totals) into
+  // registry instruments without adding hot-path stores.  A hook must
+  // only touch instruments it captured at wiring time (calling back
+  // into instrument creation from a hook deadlocks by design).
+  // Returns an id for remove_collection_hook — components that
+  // register a hook MUST remove it before they are destroyed.
+  std::uint64_t add_collection_hook(std::function<void()> hook);
+  void remove_collection_hook(std::uint64_t id);
+
+  // The slow-span trace ring (telemetry/trace.h); off by default.
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  struct Metric {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    // Folded value (counters: sum over shards; gauges: sum — depths
+    // and occupancies add; histograms: see `hist`).
+    double value = 0;
+    // Per-shard split, present iff the metric was registered sharded.
+    std::vector<std::pair<std::size_t, double>> per_shard;
+    HistogramSnapshot hist;
+  };
+
+  struct Snapshot {
+    std::vector<Metric> metrics;  // sorted by name
+    const Metric* find(std::string_view name) const;
+    // Folded value of `name`, or `fallback` when absent.
+    double value_or(std::string_view name, double fallback = 0) const;
+  };
+
+  // Runs the collection hooks, then folds every instrument.  Safe to
+  // call from any thread at any time; recording proceeds concurrently
+  // (counters are read relaxed — each metric's value is exact as of
+  // some instant during the fold, and totals never go backwards
+  // between snapshots).
+  Snapshot snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string help;
+    bool sharded = false;
+    // shard id -> instrument; unsharded entries use the single key 0.
+    std::map<std::size_t, std::unique_ptr<Counter>> counters;
+    std::map<std::size_t, std::unique_ptr<Gauge>> gauges;
+    std::map<std::size_t, std::unique_ptr<LatencyHistogram>> histograms;
+  };
+
+  Entry& entry(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mu_;  // guards entries_ and pending_help_
+  std::map<std::string, Entry, std::less<>> entries_;
+  // describe() calls that arrived before their instrument existed.
+  std::map<std::string, std::string, std::less<>> pending_help_;
+
+  mutable std::mutex hooks_mu_;  // guards hooks_; held while hooks run
+  std::map<std::uint64_t, std::function<void()>> hooks_;
+  std::uint64_t next_hook_id_ = 1;
+
+  TraceRing trace_;
+};
+
+}  // namespace bgpbh::telemetry

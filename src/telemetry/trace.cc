@@ -1,0 +1,16 @@
+#include "telemetry/trace.h"
+
+#include "telemetry/metrics.h"
+
+namespace bgpbh::telemetry {
+
+ScopedSpan::~ScopedSpan() {
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  if (hist_) hist_->record(ns);
+  if (ring_) ring_->maybe_record(label_, shard_, ns);
+}
+
+}  // namespace bgpbh::telemetry

@@ -1,0 +1,113 @@
+// Lightweight pipeline tracing: scoped span timers that feed the
+// stage-latency histograms, plus an off-by-default ring of recent SLOW
+// span records for post-hoc "why did that batch take 80 ms" forensics.
+//
+// A ScopedSpan costs two steady_clock reads and one histogram record —
+// cheap enough to wrap every worker consume batch.  The TraceRing adds
+// a single relaxed enabled-check per span when disabled (the default);
+// when enabled, only spans at or above the slow threshold take the
+// ring mutex (rare by construction — the threshold selects outliers).
+//
+// The ring holds the most recent kCapacity slow records and overwrites
+// the oldest; recent() copies them out oldest-first.  Labels must be
+// string literals (the ring stores the pointer, never the bytes — no
+// allocation on the record path).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace bgpbh::telemetry {
+
+class LatencyHistogram;
+
+struct TraceConfig {
+  bool enabled = false;
+  // Spans shorter than this never reach the ring (histograms see every
+  // span regardless).
+  std::uint64_t slow_threshold_ns = 1'000'000;  // 1 ms
+};
+
+struct TraceRecord {
+  const char* label = "";       // stage name (string literal)
+  std::uint32_t shard = 0;      // shard / producer / sink index
+  std::uint64_t duration_ns = 0;
+  std::uint64_t seq = 0;        // monotone; orders records across shards
+};
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+
+  void configure(const TraceConfig& config) {
+    threshold_ns_.store(config.slow_threshold_ns, std::memory_order_relaxed);
+    enabled_.store(config.enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  // One relaxed load when disabled; mutex only for qualifying spans.
+  void maybe_record(const char* label, std::uint32_t shard,
+                    std::uint64_t duration_ns) {
+    if (!enabled()) return;
+    if (duration_ns < threshold_ns_.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceRecord& slot = slots_[next_ % kCapacity];
+    slot.label = label;
+    slot.shard = shard;
+    slot.duration_ns = duration_ns;
+    slot.seq = next_++;
+  }
+
+  // Records captured so far, oldest first (at most kCapacity).
+  std::vector<TraceRecord> recent() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceRecord> out;
+    const std::uint64_t n = next_ < kCapacity ? next_ : kCapacity;
+    out.reserve(n);
+    for (std::uint64_t i = next_ - n; i < next_; ++i) {
+      out.push_back(slots_[i % kCapacity]);
+    }
+    return out;
+  }
+
+  std::uint64_t records_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> threshold_ns_{1'000'000};
+  mutable std::mutex mu_;
+  TraceRecord slots_[kCapacity] = {};
+  std::uint64_t next_ = 0;  // guarded by mu_
+};
+
+// Times its scope and, on destruction, records the elapsed nanoseconds
+// into `hist` (when non-null) and offers them to `ring` (when non-null
+// — the ring decides via its enabled/threshold state).  `label` must
+// be a string literal.
+class ScopedSpan {
+ public:
+  ScopedSpan(LatencyHistogram* hist, TraceRing* ring, const char* label,
+             std::uint32_t shard = 0)
+      : hist_(hist), ring_(ring), label_(label), shard_(shard),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan();
+
+ private:
+  LatencyHistogram* hist_;
+  TraceRing* ring_;
+  const char* label_;
+  std::uint32_t shard_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bgpbh::telemetry

@@ -1,0 +1,132 @@
+// Tiny leveled structured logger: one key=value line per event on
+// stderr, so example binaries and operational tools stop mixing printf
+// and std::cerr for status output and their logs stay grep/awk-able.
+//
+//   util::Log(util::LogLevel::kInfo, "live_monitor")
+//       .msg("replay complete")
+//       .kv("updates", replayed)
+//       .kv("shards", 4);
+//   // -> level=info component=live_monitor msg="replay complete"
+//   //    updates=398624 shards=4
+//
+// The line is buffered in the Log object and emitted by a single
+// fputs() in the destructor, so concurrent loggers never interleave
+// within a line.  The threshold comes from the BGPBH_LOG environment
+// variable — debug | info (default) | warn | error | off — read once.
+// Below-threshold lines cost one branch and build nothing.
+//
+// This is operator/status logging; it is deliberately not the metrics
+// path (src/telemetry/) — counters belong in the registry, events in
+// the log.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace bgpbh::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+inline LogLevel log_threshold() {
+  static const LogLevel threshold = [] {
+    const char* env = std::getenv("BGPBH_LOG");
+    if (!env) return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+    return LogLevel::kInfo;
+  }();
+  return threshold;
+}
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_threshold()) &&
+         log_threshold() != LogLevel::kOff;
+}
+
+class Log {
+ public:
+  Log(LogLevel level, std::string_view component)
+      : enabled_(log_enabled(level)) {
+    if (!enabled_) return;
+    line_ = "level=";
+    line_ += level_name(level);
+    line_ += " component=";
+    line_ += component;
+  }
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  ~Log() {
+    if (!enabled_) return;
+    line_ += '\n';
+    std::fputs(line_.c_str(), stderr);
+  }
+
+  // Free-text message; quoted, emitted as msg="...".
+  Log& msg(std::string_view text) { return kv("msg", text); }
+
+  Log& kv(std::string_view key, std::string_view value) {
+    if (!enabled_) return *this;
+    line_ += ' ';
+    line_ += key;
+    line_ += '=';
+    const bool quote =
+        value.find(' ') != std::string_view::npos || value.empty();
+    if (quote) line_ += '"';
+    line_ += value;
+    if (quote) line_ += '"';
+    return *this;
+  }
+  Log& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  Log& kv(std::string_view key, const std::string& value) {
+    return kv(key, std::string_view(value));
+  }
+  Log& kv(std::string_view key, bool value) {
+    return kv(key, value ? std::string_view("true") : std::string_view("false"));
+  }
+  Log& kv(std::string_view key, double value) {
+    if (!enabled_) return *this;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+    return kv(key, std::string_view(buf));
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  Log& kv(std::string_view key, T value) {
+    if (!enabled_) return *this;
+    char buf[32];
+    if constexpr (std::is_signed_v<T>) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(value));
+    }
+    return kv(key, std::string_view(buf));
+  }
+
+ private:
+  static const char* level_name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off";
+    }
+    return "info";
+  }
+
+  bool enabled_;
+  std::string line_;
+};
+
+}  // namespace bgpbh::util

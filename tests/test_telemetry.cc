@@ -1,0 +1,395 @@
+// Tests for the telemetry layer (src/telemetry/):
+//  * LatencyHistogram bucket geometry — exact small-value buckets, the
+//    bucket_for/bucket_upper_bound inverse relation, the ≤12.5%
+//    relative-error bound, and percentile math against it.
+//  * Registry folding — per-shard counters/gauges/histograms fold to
+//    the same result a single sequential instrument would produce.
+//  * Snapshot consistency under concurrent recording — totals are
+//    monotone across snapshots and exact at quiescence.
+//  * Exporters — Prometheus text and BENCH-style JSON agree with the
+//    registry state they were rendered from.
+//  * Trace ring + ScopedSpan — disabled-by-default, threshold
+//    filtering, histogram feeding.
+//  * End-to-end: a live AnalysisSession populates session.telemetry()
+//    with the stream/dispatch instruments and the hook-sampled gauges.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "api/sink.h"
+#include "stream/source.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using namespace bgpbh;
+using telemetry::LatencyHistogram;
+using telemetry::MetricsRegistry;
+
+// ---- histogram bucket geometry ----------------------------------------
+
+TEST(LatencyHistogram, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_for(v), v) << "value " << v;
+    EXPECT_EQ(LatencyHistogram::bucket_upper_bound(v), v) << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, BucketForIsMonotoneAndUpperBoundInverts) {
+  // Every bucket's inclusive upper bound maps back to that bucket, and
+  // the next value up maps to the next bucket — the exporter's le=""
+  // boundaries are exact.
+  for (std::size_t b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_bound(b);
+    EXPECT_EQ(LatencyHistogram::bucket_for(upper), b) << "bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_for(upper + 1), b + 1)
+        << "bucket " << b;
+  }
+  // Oversized values clamp into the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_for(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundedBy12Point5Percent) {
+  // 8 linear sub-buckets per power of two: the bucket width is 1/8 of
+  // the value's magnitude, so reporting the upper bound overstates by
+  // at most 12.5%.
+  for (std::uint64_t v : {9ull, 100ull, 1000ull, 12345ull, 999999ull,
+                          87654321ull, 5'000'000'000ull}) {
+    const std::size_t b = LatencyHistogram::bucket_for(v);
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_bound(b);
+    ASSERT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v), 0.125 * static_cast<double>(v))
+        << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, CountSumMinMaxAndPercentiles) {
+  LatencyHistogram h;
+  // 1..1000: exact mean 500.5, p50 ~500, p99 ~990.
+  std::uint64_t sum = 0;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.record(v);
+    sum += v;
+  }
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, sum);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  // Quantiles report a bucket upper bound ≥ the true quantile, within
+  // the 12.5% band.
+  EXPECT_GE(s.percentile(0.50), 500.0);
+  EXPECT_LE(s.percentile(0.50), 500.0 * 1.125 + 1);
+  EXPECT_GE(s.percentile(0.99), 990.0);
+  EXPECT_LE(s.percentile(0.99), 990.0 * 1.125 + 1);
+  // Degenerate quantiles stay in range.
+  EXPECT_GE(s.percentile(0.0), 1.0);
+  EXPECT_LE(s.percentile(1.0), 1000.0 * 1.125 + 1);
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsZero) {
+  LatencyHistogram h;
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.0);
+  EXPECT_TRUE(s.buckets.empty());
+}
+
+// ---- registry folding -------------------------------------------------
+
+TEST(MetricsRegistry, ShardedCounterFoldsToSumWithPerShardSplit) {
+  MetricsRegistry reg;
+  reg.shard_counter("work.items", 0).add(10);
+  reg.shard_counter("work.items", 1).add(32);
+  reg.shard_counter("work.items", 3).add(1);
+  auto snap = reg.snapshot();
+  const auto* m = snap.find("work.items");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, telemetry::MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(m->value, 43.0);
+  ASSERT_EQ(m->per_shard.size(), 3u);
+  EXPECT_EQ(m->per_shard[0], (std::pair<std::size_t, double>{0, 10.0}));
+  EXPECT_EQ(m->per_shard[1], (std::pair<std::size_t, double>{1, 32.0}));
+  EXPECT_EQ(m->per_shard[2], (std::pair<std::size_t, double>{3, 1.0}));
+  EXPECT_DOUBLE_EQ(snap.value_or("work.items"), 43.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("no.such.metric", -1.0), -1.0);
+}
+
+TEST(MetricsRegistry, ShardedHistogramFoldMatchesSequentialReference) {
+  // The same value stream recorded round-robin into 4 shard
+  // instruments must fold to exactly what one instrument records.
+  MetricsRegistry sharded;
+  LatencyHistogram reference;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 5000; ++i) {
+    v = v * 2862933555777941757ull + 3037000493ull;  // splitmix-ish walk
+    const std::uint64_t sample = v >> (v % 50);      // spread across decades
+    sharded.shard_histogram("stage.ns", i % 4).record(sample);
+    reference.record(sample);
+  }
+  auto folded = sharded.snapshot();
+  const auto* m = folded.find("stage.ns");
+  ASSERT_NE(m, nullptr);
+  auto ref = reference.snapshot();
+  EXPECT_EQ(m->hist.count, ref.count);
+  EXPECT_EQ(m->hist.sum, ref.sum);
+  EXPECT_EQ(m->hist.min, ref.min);
+  EXPECT_EQ(m->hist.max, ref.max);
+  ASSERT_EQ(m->hist.buckets.size(), ref.buckets.size());
+  for (std::size_t i = 0; i < ref.buckets.size(); ++i) {
+    EXPECT_EQ(m->hist.buckets[i], ref.buckets[i]) << "bucket row " << i;
+  }
+  EXPECT_DOUBLE_EQ(m->hist.percentile(0.9), ref.percentile(0.9));
+}
+
+TEST(MetricsRegistry, InstrumentReferencesAreStable) {
+  MetricsRegistry reg;
+  telemetry::Counter& a = reg.counter("c");
+  telemetry::Counter& b = reg.counter("c");
+  EXPECT_EQ(&a, &b);
+  telemetry::Gauge& g1 = reg.shard_gauge("g", 2);
+  telemetry::Gauge& g2 = reg.shard_gauge("g", 2);
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_NE(&g1, &reg.shard_gauge("g", 3));
+}
+
+TEST(MetricsRegistry, DescribeBeforeOrAfterCreationAttachesHelp) {
+  MetricsRegistry reg;
+  reg.describe("early", "described before creation");
+  reg.counter("early").add();
+  reg.gauge("late").set(1);
+  reg.describe("late", "described after creation");
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find("early")->help, "described before creation");
+  EXPECT_EQ(snap.find("late")->help, "described after creation");
+}
+
+TEST(MetricsRegistry, CollectionHooksRunOnSnapshotAndAreRemovable) {
+  MetricsRegistry reg;
+  telemetry::Gauge& g = reg.gauge("sampled");
+  int calls = 0;
+  std::uint64_t id = reg.add_collection_hook([&] {
+    ++calls;
+    g.set(static_cast<double>(calls));
+  });
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_or("sampled"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_or("sampled"), 2.0);
+  reg.remove_collection_hook(id);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value_or("sampled"), 2.0);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(MetricsRegistry, SnapshotsAreConsistentUnderConcurrentRecording) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<telemetry::Counter*> counters;
+  std::vector<LatencyHistogram*> hists;
+  for (int t = 0; t < kThreads; ++t) {
+    counters.push_back(&reg.shard_counter("conc.count", static_cast<std::size_t>(t)));
+    hists.push_back(&reg.shard_histogram("conc.ns", static_cast<std::size_t>(t)));
+  }
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counters[static_cast<std::size_t>(t)]->add();
+        hists[static_cast<std::size_t>(t)]->record(i & 1023);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Totals observed mid-flight never exceed the final total and never
+  // go backwards between snapshots.
+  double prev_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto snap = reg.snapshot();
+    double now = snap.value_or("conc.count");
+    EXPECT_GE(now, prev_count);
+    EXPECT_LE(now, static_cast<double>(kThreads) * kPerThread);
+    const auto* h = snap.find("conc.ns");
+    if (h) {
+      EXPECT_LE(h->hist.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+    }
+    prev_count = now;
+  }
+  for (auto& t : threads) t.join();
+  auto final_snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(final_snap.value_or("conc.count"),
+                   static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(final_snap.find("conc.ns")->hist.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- exporters --------------------------------------------------------
+
+TEST(Exporters, PrometheusAndJsonAgreeWithRegistryState) {
+  MetricsRegistry reg;
+  reg.describe("requests.total", "requests served");
+  reg.counter("requests.total").add(42);
+  reg.gauge("queue.depth").set(7);
+  reg.shard_counter("shard.work", 0).add(3);
+  reg.shard_counter("shard.work", 1).add(4);
+  LatencyHistogram& h = reg.histogram("latency.ns");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  auto snap = reg.snapshot();
+
+  std::string prom = telemetry::to_prometheus(snap, "bgpbh");
+  // Names sanitized with the prefix; HELP/TYPE lines present.
+  EXPECT_NE(prom.find("# HELP bgpbh_requests_total requests served"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE bgpbh_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bgpbh_requests_total 42\n"), std::string::npos);
+  EXPECT_NE(prom.find("bgpbh_queue_depth 7\n"), std::string::npos);
+  // Sharded metrics export with shard labels.
+  EXPECT_NE(prom.find("bgpbh_shard_work{shard=\"0\"} 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("bgpbh_shard_work{shard=\"1\"} 4\n"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(prom.find("bgpbh_latency_ns_bucket{le=\"+Inf\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bgpbh_latency_ns_count 100\n"), std::string::npos);
+  EXPECT_NE(prom.find("bgpbh_latency_ns_sum 5050\n"), std::string::npos);
+
+  std::string json = telemetry::to_json_object(snap);
+  EXPECT_NE(json.find("\"requests.total\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"shard.work\": 7"), std::string::npos);  // folded sum
+  EXPECT_NE(json.find("\"latency.ns\": {\"count\": 100"), std::string::npos);
+
+  // Prefix filtering + stripping: only matching keys, prefix removed.
+  std::string filtered = telemetry::to_json_object(snap, "queue.");
+  EXPECT_NE(filtered.find("\"depth\": 7"), std::string::npos);
+  EXPECT_EQ(filtered.find("requests"), std::string::npos);
+}
+
+// ---- trace ring + spans -----------------------------------------------
+
+TEST(TraceRing, DisabledByDefaultAndThresholdFilters) {
+  telemetry::TraceRing ring;
+  EXPECT_FALSE(ring.enabled());
+  ring.maybe_record("stage", 0, 1'000'000'000);
+  EXPECT_EQ(ring.records_seen(), 0u);
+
+  ring.configure({.enabled = true, .slow_threshold_ns = 1000});
+  ring.maybe_record("fast", 0, 999);   // below threshold: dropped
+  ring.maybe_record("slow", 2, 5000);  // recorded
+  ASSERT_EQ(ring.records_seen(), 1u);
+  auto recent = ring.recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_STREQ(recent[0].label, "slow");
+  EXPECT_EQ(recent[0].shard, 2u);
+  EXPECT_EQ(recent[0].duration_ns, 5000u);
+}
+
+TEST(TraceRing, KeepsMostRecentCapacityRecords) {
+  telemetry::TraceRing ring;
+  ring.configure({.enabled = true, .slow_threshold_ns = 0});
+  const std::size_t n = telemetry::TraceRing::kCapacity + 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    ring.maybe_record("s", 0, i + 1);
+  }
+  auto recent = ring.recent();
+  ASSERT_EQ(recent.size(), telemetry::TraceRing::kCapacity);
+  // Oldest-first, ending at the last record.
+  EXPECT_EQ(recent.front().duration_ns, n - telemetry::TraceRing::kCapacity + 1);
+  EXPECT_EQ(recent.back().duration_ns, n);
+  EXPECT_LT(recent.front().seq, recent.back().seq);
+}
+
+TEST(ScopedSpan, FeedsHistogramAndRespectsRingGate) {
+  LatencyHistogram hist;
+  telemetry::TraceRing ring;  // disabled: histogram still records
+  { telemetry::ScopedSpan span(&hist, &ring, "unit"); }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(ring.records_seen(), 0u);
+
+  ring.configure({.enabled = true, .slow_threshold_ns = 0});
+  { telemetry::ScopedSpan span(&hist, &ring, "unit", 3); }
+  EXPECT_EQ(hist.count(), 2u);
+  ASSERT_EQ(ring.records_seen(), 1u);
+  EXPECT_EQ(ring.recent()[0].shard, 3u);
+}
+
+// ---- end-to-end: session telemetry ------------------------------------
+
+core::StudyConfig small_study() {
+  core::StudyConfig config;
+  config.window_start = util::from_date(2017, 3, 1);
+  config.window_end = util::from_date(2017, 3, 3);
+  config.workload.intensity_scale = 0.05;
+  config.table_dump_episodes = 0;
+  return config;
+}
+
+class NullSink : public api::EventSink {};
+
+TEST(SessionTelemetry, LiveSessionPopulatesRegistryAcrossLayers) {
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kLiveReplay;
+  config.study = small_study();
+  config.num_shards = 2;
+  api::AnalysisSession session(config);
+  NullSink sink;
+  session.subscribe(sink);
+  // Trace ring on with a zero threshold: every span must land.
+  session.telemetry().trace().configure(
+      {.enabled = true, .slow_threshold_ns = 0});
+  session.run();
+
+  auto snap = session.telemetry().snapshot();
+  // Stream layer: the hook-sampled counters match the session gauges.
+  EXPECT_DOUBLE_EQ(snap.value_or("stream.updates_pushed"),
+                   static_cast<double>(session.updates_pushed()));
+  const auto* batch_hist = snap.find("stream.worker.batch_ns");
+  ASSERT_NE(batch_hist, nullptr);
+  EXPECT_GT(batch_hist->hist.count, 0u);
+  ASSERT_EQ(batch_hist->per_shard.size(), 2u);  // one instrument per shard
+  // Dispatch layer: every closed event was counted through the
+  // dispatcher instruments.
+  EXPECT_DOUBLE_EQ(snap.value_or("api.dispatch.events_delivered"),
+                   static_cast<double>(session.count()));
+  EXPECT_DOUBLE_EQ(snap.value_or("api.dispatch.events_submitted"),
+                   snap.value_or("api.dispatch.events_delivered"));
+  EXPECT_DOUBLE_EQ(snap.value_or("api.dispatch.lag_events"), 0.0);
+  // Spans reached the trace ring.
+  EXPECT_GT(session.telemetry().trace().records_seen(), 0u);
+  // The exporters render the same state.
+  std::string prom = telemetry::to_prometheus(snap);
+  EXPECT_NE(prom.find("bgpbh_stream_updates_pushed"), std::string::npos);
+  EXPECT_NE(prom.find("bgpbh_api_dispatch_events_delivered"),
+            std::string::npos);
+}
+
+TEST(SessionTelemetry, RegistrySurvivesPipelineTeardown) {
+  // Snapshot after close(): the components' collection hooks were
+  // removed at destruction time where applicable, and a snapshot taken
+  // while the session is still alive must include the final totals.
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kLiveReplay;
+  config.study = small_study();
+  config.num_shards = 1;
+  api::AnalysisSession session(config);
+  session.run();
+  auto first = session.telemetry().snapshot();
+  auto second = session.telemetry().snapshot();
+  EXPECT_DOUBLE_EQ(first.value_or("stream.updates_pushed"),
+                   second.value_or("stream.updates_pushed"));
+  EXPECT_GT(second.value_or("stream.updates_pushed"), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_stream.json stage breakdowns.
+
+Compares a freshly measured BENCH_stream.json against the checked-in
+baseline and fails (exit 1) when any gated stage regresses by more
+than the tolerance.  Gated stages are the hot per-unit costs the
+pipeline's design promises to hold:
+
+    route_ns_per_subupdate   shard-worker routing cost
+    drain_ns_per_event       store-drain cost
+    query_ns_per_event       finalized-store query cost
+
+Other stages (sink dispatch, spill, reopen) are I/O- and
+scheduler-bound and too noisy on shared runners to gate; they are
+printed for the record but never fail the build.
+
+Usage:
+    tools/check_bench_regression.py BASELINE.json FRESH.json
+
+Tolerance defaults to 25% and can be overridden with the
+BGPBH_BENCH_TOLERANCE environment variable (e.g. "0.40" for 40%).
+Stdlib only; no dependencies.
+"""
+
+import json
+import os
+import sys
+
+GATED_STAGES = (
+    "route_ns_per_subupdate",
+    "drain_ns_per_event",
+    "query_ns_per_event",
+)
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_stages(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    stages = doc.get("stage_breakdown")
+    if not isinstance(stages, dict):
+        raise SystemExit(f"{path}: no stage_breakdown object")
+    return stages
+
+
+def stage_value(stages, name, path):
+    v = stages.get(name)
+    # Histogram-shaped entries carry the per-unit cost as "mean".
+    if isinstance(v, dict):
+        v = v.get("mean")
+    if not isinstance(v, (int, float)) or v <= 0:
+        raise SystemExit(f"{path}: stage {name!r} missing or non-positive: {v!r}")
+    return float(v)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = argv[1], argv[2]
+    tolerance = float(os.environ.get("BGPBH_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+
+    baseline = load_stages(baseline_path)
+    fresh = load_stages(fresh_path)
+
+    failures = []
+    print(f"bench regression gate: tolerance {tolerance:.0%}")
+    print(f"  baseline: {baseline_path}")
+    print(f"  fresh:    {fresh_path}")
+    for name in GATED_STAGES:
+        base = stage_value(baseline, name, baseline_path)
+        cur = stage_value(fresh, name, fresh_path)
+        ratio = cur / base
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"  {name:28s} {base:10.2f} -> {cur:10.2f} ns  "
+              f"({ratio - 1.0:+.1%})  [{verdict}]")
+
+    # Ungated stages: report only.
+    for name in sorted(set(baseline) & set(fresh) - set(GATED_STAGES)):
+        try:
+            base = stage_value(baseline, name, baseline_path)
+            cur = stage_value(fresh, name, fresh_path)
+        except SystemExit:
+            continue
+        print(f"  {name:28s} {base:10.2f} -> {cur:10.2f} ns  "
+              f"({cur / base - 1.0:+.1%})  [info]")
+
+    if failures:
+        print(f"FAIL: {len(failures)} stage(s) regressed beyond "
+              f"{tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

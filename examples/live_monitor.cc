@@ -153,11 +153,16 @@ int main(int argc, char** argv) {
   //    as if it were a live feed, close at the archive cut-off.  The
   //    manual start/push/flush loop is feed() spelled out, which gives
   //    --metrics-every a place to log a registry digest mid-ingest.
-  auto source = stream::MrtFileSource::open(path, routing::Platform::kRis);
+  std::string open_error;
+  auto source =
+      stream::MrtFileSource::open(path, routing::Platform::kRis, &open_error);
   if (!source) {
     util::Log(util::LogLevel::kError, "live_monitor")
         .msg("failed to read/parse archive")
-        .kv("path", path);
+        .kv("path", path)
+        .kv("reason", open_error);
+    std::fprintf(stderr, "live_monitor: cannot open %s: %s\n", path.c_str(),
+                 open_error.c_str());
     return 1;
   }
   AlertSink alerts;
@@ -179,6 +184,15 @@ int main(int argc, char** argv) {
   }
   session.flush();
   session.close(config.study.window_end);
+  api::SessionHealth health = session.health();
+  util::Log(health.state == api::HealthState::kHealthy
+                ? util::LogLevel::kInfo
+                : util::LogLevel::kWarn,
+            "live_monitor")
+      .msg("session health")
+      .kv("state", api::to_string(health.state))
+      .kv("events_shed", session.events_shed())
+      .kv("events_lost", session.events_lost());
 
   // 3. Summary from the final snapshot (the same counters the sink saw
   //    in its last on_snapshot delivery).

@@ -1,6 +1,7 @@
 #include "api/dispatch.h"
 
 #include "telemetry/trace.h"
+#include "util/log.h"
 
 namespace bgpbh::api {
 
@@ -8,12 +9,15 @@ SinkDispatcher::SinkDispatcher(
     std::vector<EventSink*> sinks, LiveGrouper* grouper,
     std::size_t capacity_chunks,
     std::function<stream::EventStore::Snapshot()> snapshot_fn,
-    std::size_t snapshot_every_events, telemetry::MetricsRegistry* metrics)
+    std::size_t snapshot_every_events, telemetry::MetricsRegistry* metrics,
+    OverloadPolicy overload, std::chrono::nanoseconds shed_deadline)
     : sinks_(std::move(sinks)),
       grouper_(grouper),
       capacity_(capacity_chunks == 0 ? 1 : capacity_chunks),
       snapshot_fn_(std::move(snapshot_fn)),
       snapshot_every_(snapshot_every_events),
+      overload_(overload),
+      shed_deadline_(shed_deadline),
       metrics_(metrics) {
   if (!metrics_) return;
   metrics_->describe("api.dispatch.events_submitted",
@@ -29,11 +33,18 @@ SinkDispatcher::SinkDispatcher(
                      "Events submitted but not yet delivered (sink lag)");
   metrics_->describe("api.dispatch.sink.events",
                      "Events delivered per registered sink");
+  metrics_->describe("api.dispatch.events_shed",
+                     "Events dropped while the sink plane was quarantined "
+                     "(kShed overload policy only)");
+  metrics_->describe("api.dispatch.quarantined",
+                     "1 while the sink plane is quarantined for overload");
   submitted_ctr_ = &metrics_->counter("api.dispatch.events_submitted");
   delivered_ctr_ = &metrics_->counter("api.dispatch.events_delivered");
   deliver_hist_ = &metrics_->histogram("api.dispatch.deliver_ns");
   queue_gauge_ = &metrics_->gauge("api.dispatch.queue_chunks");
   lag_gauge_ = &metrics_->gauge("api.dispatch.lag_events");
+  shed_ctr_ = &metrics_->counter("api.dispatch.events_shed");
+  quarantined_gauge_ = &metrics_->gauge("api.dispatch.quarantined");
   sink_ctrs_.reserve(sinks_.size());
   for (std::size_t i = 0; i < sinks_.size(); ++i) {
     sink_ctrs_.push_back(&metrics_->shard_counter("api.dispatch.sink.events", i));
@@ -45,6 +56,9 @@ SinkDispatcher::SinkDispatcher(
     delivered_ctr_->set_total(delivered);
     queue_gauge_->set(static_cast<double>(queue_depth()));
     lag_gauge_->set(static_cast<double>(submitted - delivered));
+    shed_ctr_->set_total(events_shed_.load(std::memory_order_relaxed));
+    quarantined_gauge_->set(
+        quarantined_mirror_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
   });
 }
 
@@ -68,8 +82,38 @@ void SinkDispatcher::submit(std::vector<core::PeerEvent>&& events) {
   if (events.empty()) return;
   const std::size_t count = events.size();
   std::unique_lock<std::mutex> lock(mu_);
-  cv_space_.wait(lock,
-                 [this] { return queue_.size() < capacity_ || stopping_; });
+  if (overload_ == OverloadPolicy::kShed) {
+    const auto has_room = [this] {
+      return queue_.size() < capacity_ || stopping_;
+    };
+    if (quarantined_) {
+      // Already quarantined: shed immediately (no per-chunk deadline
+      // stall — that is the whole point of quarantining).  The
+      // dispatch thread lifts the quarantine once it drains the
+      // backlog.
+      events_shed_.fetch_add(count, std::memory_order_relaxed);
+      return;
+    }
+    if (!cv_space_.wait_for(lock, shed_deadline_, has_room)) {
+      quarantined_ = true;
+      quarantined_mirror_.store(true, std::memory_order_relaxed);
+      quarantines_.fetch_add(1, std::memory_order_relaxed);
+      events_shed_.fetch_add(count, std::memory_order_relaxed);
+      static util::LogRateLimiter limit(/*per_second=*/0.5, /*burst=*/3.0);
+      if (limit.allow()) {
+        util::Log(util::LogLevel::kWarn, "dispatch")
+            .msg("sink overload deadline exceeded; quarantining sink plane")
+            .kv("queue_chunks", queue_.size())
+            .kv("events_shed",
+                events_shed_.load(std::memory_order_relaxed))
+            .kv("suppressed", limit.last_suppressed());
+      }
+      return;
+    }
+  } else {
+    cv_space_.wait(lock,
+                   [this] { return queue_.size() < capacity_ || stopping_; });
+  }
   if (stopping_) return;  // ingest has stopped by contract; nothing to lose
   queue_.push_back(Item{.events = std::move(events), .snapshot = false});
   submitted_.fetch_add(count, std::memory_order_relaxed);
@@ -118,6 +162,16 @@ void SinkDispatcher::loop() {
       if (queue_.empty()) return;  // stopping and fully drained
       item = std::move(queue_.front());
       queue_.pop_front();
+      if (quarantined_ && queue_.empty()) {
+        // Backlog drained: the slow sink caught up, lift the
+        // quarantine and resume delivering new chunks.
+        quarantined_ = false;
+        quarantined_mirror_.store(false, std::memory_order_relaxed);
+        util::Log(util::LogLevel::kInfo, "dispatch")
+            .msg("sink backlog drained; quarantine lifted")
+            .kv("events_shed",
+                events_shed_.load(std::memory_order_relaxed));
+      }
       cv_space_.notify_one();
     }
     deliver(item);

@@ -12,14 +12,24 @@
 // out through on_group_updated.  Callbacks therefore run strictly
 // single-threaded, in per-lane ingest order.
 //
-// Backpressure, not loss: submit() blocks while the queue is full, so
-// a sink that falls arbitrarily far behind stalls the pipeline's
-// ingest chain (queue -> worker -> producer) instead of dropping
-// events.  Every closed event is delivered exactly once; stop() drains
-// whatever is queued before joining.
+// Backpressure, not loss: with the default OverloadPolicy::kBlock,
+// submit() blocks while the queue is full, so a sink that falls
+// arbitrarily far behind stalls the pipeline's ingest chain (queue ->
+// worker -> producer) instead of dropping events.  Every closed event
+// is delivered exactly once; stop() drains whatever is queued before
+// joining.
+//
+// OverloadPolicy::kShed is the opt-in escape hatch for deployments
+// where one stuck consumer must not stall ingest forever: submit()
+// waits at most `shed_deadline` for room; on timeout the sink plane is
+// QUARANTINED — the chunk and every subsequent one are dropped with an
+// exact events_shed() count (never silently) until the dispatch thread
+// has drained the backlog, at which point delivery resumes.  The
+// session health plane reports the quarantine as kDegraded.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +47,12 @@
 
 namespace bgpbh::api {
 
+// What submit() does when the dispatch queue stays full.
+enum class OverloadPolicy : int {
+  kBlock = 0,  // wait forever: backpressure, never loss (default)
+  kShed = 1,   // wait shed_deadline, then quarantine + count-and-drop
+};
+
 class SinkDispatcher {
  public:
   // `sinks` are borrowed and must outlive the dispatcher; `grouper`
@@ -47,11 +63,16 @@ class SinkDispatcher {
   // dispatcher) wires api.dispatch.* instruments: submit/deliver
   // counters, a per-chunk delivery-latency histogram, per-sink
   // delivered counters, and hook-sampled queue depth / delivery lag.
+  // `overload` / `shed_deadline` pick the full-queue behavior (see the
+  // file comment); the defaults preserve block-never-drop.
   SinkDispatcher(std::vector<EventSink*> sinks, LiveGrouper* grouper,
                  std::size_t capacity_chunks,
                  std::function<stream::EventStore::Snapshot()> snapshot_fn,
                  std::size_t snapshot_every_events,
-                 telemetry::MetricsRegistry* metrics = nullptr);
+                 telemetry::MetricsRegistry* metrics = nullptr,
+                 OverloadPolicy overload = OverloadPolicy::kBlock,
+                 std::chrono::nanoseconds shed_deadline =
+                     std::chrono::milliseconds(100));
   ~SinkDispatcher();
 
   SinkDispatcher(const SinkDispatcher&) = delete;
@@ -85,6 +106,20 @@ class SinkDispatcher {
   // Chunks waiting for the dispatch thread (telemetry sample).
   std::size_t queue_depth() const;
 
+  // kShed accounting: events dropped while quarantined (exact), and
+  // whether the sink plane is currently quarantined.  Always 0/false
+  // under kBlock.
+  std::uint64_t events_shed() const {
+    return events_shed_.load(std::memory_order_relaxed);
+  }
+  bool quarantined() const {
+    return quarantined_mirror_.load(std::memory_order_relaxed);
+  }
+  // Times the sink plane entered quarantine.
+  std::uint64_t times_quarantined() const {
+    return quarantines_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Item {
     std::vector<core::PeerEvent> events;  // empty => snapshot request
@@ -100,12 +135,18 @@ class SinkDispatcher {
   std::size_t capacity_;
   std::function<stream::EventStore::Snapshot()> snapshot_fn_;
   std::size_t snapshot_every_;
+  OverloadPolicy overload_;
+  std::chrono::nanoseconds shed_deadline_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_space_;  // producers wait for room
   std::condition_variable cv_items_;  // dispatch thread waits for work
   std::deque<Item> queue_;
   bool stopping_ = false;
+  bool quarantined_ = false;  // guarded by mu_; mirror below for readers
+  std::atomic<bool> quarantined_mirror_{false};
+  std::atomic<std::uint64_t> events_shed_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
   // Counters touched by the dispatch thread without mu_ (producers may
   // be parked on the mutex; delivery must not contend per event).
   // delivered_ bumps per event so snapshot functions can read an
@@ -124,6 +165,8 @@ class SinkDispatcher {
   telemetry::LatencyHistogram* deliver_hist_ = nullptr;
   telemetry::Gauge* queue_gauge_ = nullptr;
   telemetry::Gauge* lag_gauge_ = nullptr;
+  telemetry::Counter* shed_ctr_ = nullptr;
+  telemetry::Gauge* quarantined_gauge_ = nullptr;
   std::vector<telemetry::Counter*> sink_ctrs_;
   std::uint64_t hook_id_ = 0;
 };

@@ -1,0 +1,73 @@
+// Session health plane: one place a consumer (or an operator's
+// dashboard, via the api.session.health gauge) can ask "is this
+// session fully healthy, limping, or dead?" and get per-component
+// reasons instead of spelunking counters.
+//
+// The state machine is deliberately tiny and monotone per severity:
+//
+//   kHealthy   every component nominal
+//   kDegraded  still producing correct output, but something is in a
+//              recovery loop — a collector is disconnected and being
+//              retried, the spill writer fell back to memory-only, a
+//              slow sink is quarantined with shed accounting
+//   kHalted    a component gave up permanently (reconnect attempts
+//              exhausted, parked spill events dropped at stop)
+//
+// A session's overall state is the worst of its components'.
+// Components are the built-in planes ("spill", "dispatch") plus any
+// HealthReporter registered with AnalysisSession::register_health()
+// (the fault/ source adapters implement it), so ingest-side health
+// composes into the same view.  Degraded/halted NEVER means silent
+// loss: each reason carries the exact shed/gap/lost accounting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpbh::api {
+
+enum class HealthState : int { kHealthy = 0, kDegraded = 1, kHalted = 2 };
+
+inline const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kHalted: return "halted";
+  }
+  return "unknown";
+}
+
+inline HealthState worse(HealthState a, HealthState b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+struct ComponentHealth {
+  std::string component;
+  HealthState state = HealthState::kHealthy;
+  std::string reason;  // empty when healthy
+};
+
+struct SessionHealth {
+  HealthState state = HealthState::kHealthy;  // worst component state
+  std::vector<ComponentHealth> components;
+
+  const ComponentHealth* find(std::string_view component) const {
+    for (const auto& c : components) {
+      if (c.component == component) return &c;
+    }
+    return nullptr;
+  }
+};
+
+// Implemented by anything that wants to show up in a session's health
+// view (e.g. fault::ReconnectingSource).  component_health() must be
+// callable from any thread at any time while registered — report from
+// atomics, not from state the data path is mutating.
+class HealthReporter {
+ public:
+  virtual ~HealthReporter() = default;
+  virtual ComponentHealth component_health() const = 0;
+};
+
+}  // namespace bgpbh::api

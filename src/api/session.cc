@@ -31,6 +31,15 @@ AnalysisSession::AnalysisSession(SessionConfig config)
       grouper_(config_.correlate_tolerance, config_.group_timeout) {
   assert((!reopen() || !config_.persist_dir.empty()) &&
          "kReopen requires persist_dir");
+  // Health plane: one gauge refreshed on every telemetry snapshot.
+  // Registered first so every mode (including kReopen's early return)
+  // exports it; health() is safe before any wiring below exists.
+  metrics_.describe("api.session.health",
+                    "Worst component health: 0 healthy, 1 degraded, 2 halted");
+  health_gauge_ = &metrics_.gauge("api.session.health");
+  health_hook_ = metrics_.add_collection_hook([this] {
+    health_gauge_->set(static_cast<double>(static_cast<int>(health().state)));
+  });
   // Persistence wiring order matters: the spill writer's open runs
   // crash recovery (resealing any torn segment), and must do so BEFORE
   // the disk snapshot is taken; the snapshot in turn must be taken
@@ -42,6 +51,7 @@ AnalysisSession::AnalysisSession(SessionConfig config)
     spill_config.dir = config_.persist_dir;
     spill_config.segment = config_.segment;
     spill_config.queue_chunks = config_.spill_queue_chunks;
+    spill_config.retry = config_.spill_retry;
     spill_config.metrics = &metrics_;
     spill_ = storage::SpillWriter::open(std::move(spill_config));
     if (!spill_) {
@@ -87,7 +97,12 @@ AnalysisSession::AnalysisSession(SessionConfig config)
   }
 }
 
-AnalysisSession::~AnalysisSession() = default;
+AnalysisSession::~AnalysisSession() {
+  // The health hook captures `this` and reads spill_/dispatcher_; pull
+  // it before member destruction begins (a late telemetry snapshot
+  // must never run it against dead members).
+  metrics_.remove_collection_hook(health_hook_);
+}
 
 bool AnalysisSession::subscribe(EventSink& sink) {
   // The dispatcher snapshots the sink list when delivery begins; a
@@ -100,6 +115,75 @@ bool AnalysisSession::subscribe(EventSink& sink) {
   return true;
 }
 
+bool AnalysisSession::register_health(const HealthReporter& reporter) {
+  // Same window as subscribe(): the reporter list is read lock-free by
+  // the telemetry hook once delivery/ingest can run.
+  bool late = started_.load(std::memory_order_acquire) || ran_;
+  assert(!late && "register_health() must precede run()/start()");
+  if (late) return false;
+  health_reporters_.push_back(&reporter);
+  return true;
+}
+
+SessionHealth AnalysisSession::health() const {
+  SessionHealth overall;
+  if (spill_) {
+    ComponentHealth c;
+    c.component = "spill";
+    switch (spill_->state()) {
+      case storage::SpillWriter::State::kOk:
+        if (spill_->io_error()) {
+          c.state = HealthState::kDegraded;
+          c.reason = "final seal failed; on-disk log is a durable prefix";
+        }
+        break;
+      case storage::SpillWriter::State::kDegraded:
+        c.state = HealthState::kDegraded;
+        c.reason = "transient disk I/O failure; " +
+                   std::to_string(spill_->events_parked()) +
+                   " event(s) parked in memory";
+        break;
+      case storage::SpillWriter::State::kFailed:
+        c.state = HealthState::kHalted;
+        c.reason = "persistent disk failure; " +
+                   std::to_string(spill_->events_lost()) + " event(s) lost";
+        break;
+    }
+    overall.components.push_back(std::move(c));
+  }
+  if (dispatching()) {
+    ComponentHealth c;
+    c.component = "dispatch";
+    const std::uint64_t shed = dispatcher_->events_shed();
+    if (dispatcher_->quarantined()) {
+      c.state = HealthState::kDegraded;
+      c.reason = "sink plane quarantined for overload; " +
+                 std::to_string(shed) + " event(s) shed";
+    } else if (shed > 0) {
+      // Recovered, but the loss is part of this session's record.
+      c.reason = std::to_string(shed) + " event(s) shed in " +
+                 std::to_string(dispatcher_->times_quarantined()) +
+                 " past quarantine(s)";
+    }
+    overall.components.push_back(std::move(c));
+  }
+  for (const HealthReporter* reporter : health_reporters_) {
+    overall.components.push_back(reporter->component_health());
+  }
+  for (const ComponentHealth& c : overall.components) {
+    overall.state = worse(overall.state, c.state);
+  }
+  return overall;
+}
+
+std::uint64_t AnalysisSession::events_shed() const {
+  return dispatcher_ ? dispatcher_->events_shed() : 0;
+}
+
+std::uint64_t AnalysisSession::events_lost() const {
+  return spill_ ? spill_->events_lost() : 0;
+}
+
 void AnalysisSession::start_dispatcher() {
   // Zero sinks: no dispatcher, no store listener — the ingest hot path
   // is exactly the bare pipeline's (queries compute §9 layers on
@@ -107,7 +191,8 @@ void AnalysisSession::start_dispatcher() {
   if (sinks_.empty() || dispatcher_) return;
   dispatcher_ = std::make_unique<SinkDispatcher>(
       sinks_, &grouper_, config_.sink_queue_chunks,
-      [this] { return snapshot(); }, config_.snapshot_every_events, &metrics_);
+      [this] { return snapshot(); }, config_.snapshot_every_events, &metrics_,
+      config_.sink_overload, config_.sink_shed_deadline);
   if (pipeline_) {
     dispatcher_->start();
     pipeline_->store().set_chunk_listener(
@@ -117,8 +202,18 @@ void AnalysisSession::start_dispatcher() {
   }
 }
 
+void AnalysisSession::require_live(const char* what) const {
+  if (!live()) {
+    throw std::logic_error(std::string("bgpbh: ") + what +
+                           " is only valid in live modes (kLiveReplay / "
+                           "kLiveFeed); kBatch/kReopen sessions use run() "
+                           "and queries");
+  }
+}
+
 void AnalysisSession::start() {
-  assert(live() && "start() is for the live modes; kBatch uses run()");
+  require_live("start()");
+  if (closed_) return;  // a closed session quietly refuses to restart
   // call_once blocks concurrent callers until the winner has wired the
   // dispatcher and store listener AND started the pipeline — a racing
   // first push can therefore never reach a shard worker (whose drains
@@ -132,22 +227,32 @@ void AnalysisSession::start() {
 
 bool AnalysisSession::push(const routing::FeedUpdate& update,
                           std::size_t producer) {
+  require_live("push()");
+  if (closed_) return false;  // defined: nothing accepted, nothing started
   if (!started_.load(std::memory_order_acquire)) start();
   return pipeline_->producer(producer).push(update);
 }
 
 void AnalysisSession::flush(std::size_t producer) {
+  require_live("flush()");
+  if (closed_ || !started_.load(std::memory_order_acquire)) return;
   pipeline_->producer(producer).flush();
 }
 
 std::uint64_t AnalysisSession::feed(stream::UpdateSource& source) {
+  require_live("feed()");
+  if (closed_) return 0;  // defined: nothing consumed
   if (!started_.load(std::memory_order_acquire)) start();
   return pipeline_->run(source);
 }
 
 void AnalysisSession::close(util::SimTime end_time) {
-  assert(live() && "close() is for the live modes");
+  require_live("close()");
   if (closed_) return;
+  // close() before any push: start first so the shutdown below runs
+  // against a started pipeline — the one lifecycle finish() defines —
+  // and subscribers still get their final snapshot.
+  if (!started_.load(std::memory_order_acquire)) start();
   closed_ = true;
   // finish() flushes the producers, joins the workers, and force-closes
   // still-open events — every resulting chunk still flows through the
@@ -197,9 +302,14 @@ void AnalysisSession::deliver_batch_results() {
 }
 
 void AnalysisSession::run() {
-  assert(config_.mode != SessionConfig::Mode::kLiveFeed &&
-         "kLiveFeed sessions are driven by start()/push()/close()");
-  assert(!reopen() && "kReopen sessions serve queries only; nothing to run");
+  if (config_.mode == SessionConfig::Mode::kLiveFeed) {
+    throw std::logic_error(
+        "bgpbh: run() is not valid for kLiveFeed; drive the session with "
+        "start()/push()/close()");
+  }
+  // kReopen: documented no-op — an archive view is born closed and
+  // queryable, there is nothing to run.  A second run() is also a
+  // no-op (idempotent by contract).
   if (ran_ || reopen()) return;
   ran_ = true;
   if (!live()) {

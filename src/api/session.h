@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "api/dispatch.h"
+#include "api/health.h"
 #include "api/live_grouper.h"
 #include "api/query.h"
 #include "api/sink.h"
@@ -62,6 +63,7 @@
 #include "stream/pipeline.h"
 #include "stream/source.h"
 #include "telemetry/metrics.h"
+#include "util/retry.h"
 
 namespace bgpbh::api {
 
@@ -122,6 +124,20 @@ struct SessionConfig {
   // Bounded spill queue depth in chunks (full = ingest blocks:
   // backpressure, never loss — the pipeline-wide contract).
   std::size_t spill_queue_chunks = 256;
+
+  // ---- fault tolerance (src/fault/ exercises these) --------------------
+  // Spill-writer disk-fault handling: transient append/sync failures
+  // retry `spill_retry.max_attempts` times with backoff; past that the
+  // writer degrades to memory-only (health() reports kDegraded, the
+  // storage.spill.degraded gauge alarms) and probe writes at the same
+  // backoff cadence re-arm it automatically when the disk recovers.
+  util::RetryPolicy spill_retry;
+  // Sink overload policy.  kBlock (default) keeps the session-wide
+  // backpressure-never-drop contract; kShed bounds how long ingest can
+  // stall on a stuck sink to `sink_shed_deadline`, then quarantines
+  // the sink plane with exact shed accounting (dispatch events_shed).
+  OverloadPolicy sink_overload = OverloadPolicy::kBlock;
+  std::chrono::nanoseconds sink_shed_deadline = std::chrono::milliseconds(100);
 };
 
 class AnalysisSession {
@@ -162,9 +178,24 @@ class AnalysisSession {
   // assert) instead of silently never delivering.
   bool subscribe(EventSink& sink);
 
+  // Add an external component (e.g. a fault::ReconnectingSource
+  // feeding this session) to the health() view.  Same rules as
+  // subscribe(): borrowed, must outlive the session, register before
+  // run()/start() — late registration is refused with false.
+  bool register_health(const HealthReporter& reporter);
+
   // ---- execution -------------------------------------------------------
+  // Lifecycle misuse is DEFINED, not undefined: calling a live-mode
+  // entry point (start/push/flush/feed/close) on a kBatch or kReopen
+  // session, or run() on a kLiveFeed session, throws std::logic_error
+  // — a programming error, loud in release builds too.  After close(),
+  // push()/feed() return false/0 (nothing accepted), flush()/close()
+  // are no-ops, and a second run() or start() is a no-op: a closed
+  // session quietly refuses work instead of corrupting state.
+
   // kBatch / kLiveReplay: runs the configured study window end to end
-  // (including sink delivery and close).  Idempotent.
+  // (including sink delivery and close).  Idempotent.  kReopen: no-op
+  // (an archive view is born closed and queryable).
   void run();
 
   // kLiveFeed: start the pipeline (idempotent and safe to race —
@@ -177,6 +208,19 @@ class AnalysisSession {
   std::uint64_t feed(stream::UpdateSource& source);
   void close(util::SimTime end_time);
   bool closed() const { return closed_; }
+
+  // ---- health (api/health.h) -------------------------------------------
+  // Point-in-time health of every component: the spill writer
+  // ("spill"), the sink dispatcher ("dispatch"), and every registered
+  // HealthReporter.  Overall state is the worst component's.  Also
+  // exported as the api.session.health gauge (0/1/2) on every
+  // telemetry snapshot.  Callable from any thread, any time.
+  SessionHealth health() const;
+  // Exact-loss accounting shortcuts (0 when the component is absent):
+  // events dropped by a quarantined sink plane, and spill events lost
+  // to a disk fault that persisted through close().
+  std::uint64_t events_shed() const;
+  std::uint64_t events_lost() const;
 
   // ---- queries ---------------------------------------------------------
   // Peer-granularity events matching `query`, canonically sorted.
@@ -249,6 +293,8 @@ class AnalysisSession {
   bool dispatching() const;
   void start_dispatcher();
   void deliver_batch_results();
+  // Throws std::logic_error naming `what` when the mode is not live.
+  void require_live(const char* what) const;
   stream::EventStore::Snapshot snapshot_of(
       std::span<const core::PeerEvent> events) const;
 
@@ -262,6 +308,9 @@ class AnalysisSession {
   std::unique_ptr<core::Study> study_;
   LiveGrouper grouper_;
   std::vector<EventSink*> sinks_;
+  std::vector<const HealthReporter*> health_reporters_;
+  bgpbh::telemetry::Gauge* health_gauge_ = nullptr;
+  std::uint64_t health_hook_ = 0;
   // Persistence: the spill writer receives every sealed store chunk
   // (live) or the study's events (batch); disk_ is the point-in-time
   // snapshot of the directory's pre-existing segments that resume /

@@ -1,0 +1,97 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace bgpbh::fault {
+
+FaultPlan& FaultPlan::disconnect(std::uint64_t at, std::uint64_t length,
+                                 std::uint64_t drop) {
+  FaultSpec spec;
+  spec.seam = Seam::kSource;
+  spec.at = at;
+  spec.length = length;
+  spec.drop = drop;
+  faults.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_writes(std::uint64_t at, std::uint64_t length,
+                                  int error, bool short_write) {
+  FaultSpec spec;
+  spec.seam = Seam::kFileWrite;
+  spec.at = at;
+  spec.length = length;
+  spec.error = error;
+  spec.short_write = short_write;
+  faults.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_flushes(std::uint64_t at, std::uint64_t length,
+                                   int error) {
+  FaultSpec spec;
+  spec.seam = Seam::kFileFlush;
+  spec.at = at;
+  spec.length = length;
+  spec.error = error;
+  faults.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_syncs(std::uint64_t at, std::uint64_t length,
+                                 int error) {
+  FaultSpec spec;
+  spec.seam = Seam::kFileSync;
+  spec.at = at;
+  spec.length = length;
+  spec.error = error;
+  faults.push_back(spec);
+  return *this;
+}
+
+FaultPlan FaultPlan::scattered_outages(std::uint64_t seed,
+                                       std::uint64_t stream_length,
+                                       std::size_t n_outages,
+                                       std::uint64_t max_outage,
+                                       std::uint64_t drop_each) {
+  FaultPlan plan;
+  if (stream_length == 0 || n_outages == 0) return plan;
+  if (max_outage == 0) max_outage = 1;
+  util::Rng rng(seed);
+  // Scatter outage start points, then sort and de-overlap so every
+  // window is disjoint (overlapping windows would double-count drops).
+  std::vector<std::uint64_t> starts;
+  starts.reserve(n_outages);
+  for (std::size_t i = 0; i < n_outages; ++i) {
+    starts.push_back(rng.uniform(stream_length));
+  }
+  std::sort(starts.begin(), starts.end());
+  std::uint64_t next_free = 0;
+  for (std::uint64_t start : starts) {
+    start = std::max(start, next_free);
+    const std::uint64_t length = 1 + rng.uniform(max_outage);
+    plan.disconnect(start, length, drop_each);
+    next_free = start + length + 1;
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : faults_(std::move(plan.faults)) {}
+
+const FaultSpec* FaultInjector::on_op(Seam seam) {
+  const std::size_t s = static_cast<std::size_t>(seam);
+  const std::uint64_t op = ops_[s].fetch_add(1, std::memory_order_relaxed);
+  for (const FaultSpec& spec : faults_) {
+    if (spec.seam != seam) continue;
+    if (op >= spec.at && op - spec.at < spec.length) {
+      injected_[s].fetch_add(1, std::memory_order_relaxed);
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bgpbh::fault

@@ -1,0 +1,101 @@
+// Deterministic fault injection for the ingest and storage planes.
+//
+// A FaultPlan is a list of fault windows, each anchored at an explicit
+// per-seam operation count — "the 3rd..5th source pull disconnects",
+// "the 7th file write returns ENOSPC" — so a schedule replays
+// identically every run.  A FaultInjector executes one plan: every
+// seam call site asks on_op(seam), which advances that seam's op
+// counter and returns the active FaultSpec (or null).  Seeded helpers
+// (scattered_outages) expand a single seed into a schedule via the
+// repo's deterministic RNG, never wall-clock or global randomness.
+//
+// The injector itself never touches production code paths: faults
+// enter only through the opt-in wrappers — fault::FaultySource around
+// an UpdateSource, fault::FaultyFileOps under a SegmentWriter.  With
+// no wrapper installed the cost is zero.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bgpbh::fault {
+
+// Where a fault strikes.  Each seam has its own op counter.
+enum class Seam : int {
+  kSource = 0,     // UpdateSource::next() pulls
+  kFileWrite = 1,  // FileOps::write calls
+  kFileFlush = 2,  // FileOps::flush calls
+  kFileSync = 3,   // FileOps::sync calls
+};
+inline constexpr std::size_t kNumSeams = 4;
+
+struct FaultSpec {
+  Seam seam = Seam::kSource;
+  // Fault window in per-seam op counts: ops [at, at + length) fail.
+  std::uint64_t at = 0;
+  std::uint64_t length = 1;
+  // kSource only: inner updates silently consumed when the window
+  // opens — the data a real collector lost while disconnected.
+  std::uint64_t drop = 0;
+  // File seams: errno surfaced to the writer.
+  int error = EIO;
+  // kFileWrite only: write a prefix of the buffer before failing
+  // (torn-record case) instead of failing cleanly at a boundary.
+  bool short_write = false;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  // Builder helpers; all return *this for chaining.
+  FaultPlan& disconnect(std::uint64_t at, std::uint64_t length,
+                        std::uint64_t drop = 0);
+  FaultPlan& fail_writes(std::uint64_t at, std::uint64_t length,
+                         int error = EIO, bool short_write = false);
+  FaultPlan& fail_flushes(std::uint64_t at, std::uint64_t length,
+                          int error = EIO);
+  FaultPlan& fail_syncs(std::uint64_t at, std::uint64_t length,
+                        int error = EIO);
+
+  // Seeded schedule: `n_outages` disjoint collector outages scattered
+  // over a stream of `stream_length` pulls, each 1..max_outage ops
+  // long and dropping `drop_each` inner updates.  Deterministic in the
+  // seed.
+  static FaultPlan scattered_outages(std::uint64_t seed,
+                                     std::uint64_t stream_length,
+                                     std::size_t n_outages,
+                                     std::uint64_t max_outage,
+                                     std::uint64_t drop_each = 0);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Advance `seam`'s op counter by one and return the spec covering
+  // that op, or nullptr when it should proceed normally.  Each seam is
+  // called from one thread at a time in practice (the source loop, the
+  // spill writer thread), but counters are atomic so mixed-thread use
+  // stays defined.
+  const FaultSpec* on_op(Seam seam);
+
+  // Ops seen / faults injected per seam so far.
+  std::uint64_t ops(Seam seam) const {
+    return ops_[static_cast<std::size_t>(seam)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t injected(Seam seam) const {
+    return injected_[static_cast<std::size_t>(seam)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<FaultSpec> faults_;
+  std::atomic<std::uint64_t> ops_[kNumSeams] = {};
+  std::atomic<std::uint64_t> injected_[kNumSeams] = {};
+};
+
+}  // namespace bgpbh::fault

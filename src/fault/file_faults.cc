@@ -1,0 +1,40 @@
+#include "fault/file_faults.h"
+
+#include <cerrno>
+
+namespace bgpbh::fault {
+
+std::size_t FaultyFileOps::write(const void* data, std::size_t bytes,
+                                 std::FILE* file) {
+  const FaultSpec* spec = injector_.on_op(Seam::kFileWrite);
+  if (!spec) return base_.write(data, bytes, file);
+  if (spec->short_write && bytes > 1) {
+    // Land a real prefix so the record is genuinely torn on disk.
+    const std::size_t partial = bytes / 2;
+    const std::size_t wrote = base_.write(data, partial, file);
+    errno = spec->error;
+    return wrote < partial ? wrote : partial;
+  }
+  errno = spec->error;
+  return 0;
+}
+
+bool FaultyFileOps::flush(std::FILE* file) {
+  const FaultSpec* spec = injector_.on_op(Seam::kFileFlush);
+  if (!spec) return base_.flush(file);
+  // Deliberately skip the real flush: the buffered tail stays in
+  // stdio, exactly like a flush that went nowhere.  (SegmentWriter's
+  // abandon path truncates to the synced watermark after fclose, so
+  // the late fclose-time flush of these bytes cannot resurrect them.)
+  errno = spec->error;
+  return false;
+}
+
+bool FaultyFileOps::sync(int fd) {
+  const FaultSpec* spec = injector_.on_op(Seam::kFileSync);
+  if (!spec) return base_.sync(fd);
+  errno = spec->error;
+  return false;
+}
+
+}  // namespace bgpbh::fault

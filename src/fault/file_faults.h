@@ -1,0 +1,35 @@
+// FaultyFileOps: the disk half of fault injection — a storage::FileOps
+// that consults a FaultInjector before every write/flush/sync and
+// fails on schedule with the spec's errno (EIO, ENOSPC, ...).  Plug it
+// into SegmentConfig::file_ops to exercise SegmentWriter's
+// abandon/reseal path and SpillWriter's retry → degrade → re-arm
+// machinery without a real failing disk.
+//
+// A short_write spec writes a prefix of the buffer for real before
+// failing, producing a genuinely torn record on disk — the case
+// recovery must truncate.
+#pragma once
+
+#include "fault/fault.h"
+#include "storage/file_ops.h"
+
+namespace bgpbh::fault {
+
+class FaultyFileOps : public storage::FileOps {
+ public:
+  // Both must outlive this object.
+  explicit FaultyFileOps(FaultInjector& injector,
+                         storage::FileOps& base = storage::real_file_ops())
+      : injector_(injector), base_(base) {}
+
+  std::size_t write(const void* data, std::size_t bytes,
+                    std::FILE* file) override;
+  bool flush(std::FILE* file) override;
+  bool sync(int fd) override;
+
+ private:
+  FaultInjector& injector_;
+  storage::FileOps& base_;
+};
+
+}  // namespace bgpbh::fault

@@ -1,0 +1,132 @@
+#include "fault/source_faults.h"
+
+#include <thread>
+
+namespace bgpbh::fault {
+
+const routing::FeedUpdate* FaultySource::next() {
+  const FaultSpec* spec = injector_.on_op(Seam::kSource);
+  if (spec) {
+    if (spec != window_) {
+      // Window opens: the collector goes dark, and the updates it
+      // would have produced meanwhile are gone.
+      window_ = spec;
+      outages_.fetch_add(1, std::memory_order_relaxed);
+      for (std::uint64_t i = 0; i < spec->drop; ++i) {
+        if (!inner_.next()) break;
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    status_.store(stream::SourceStatus::kDisconnected,
+                  std::memory_order_relaxed);
+    return nullptr;
+  }
+  window_ = nullptr;
+  const routing::FeedUpdate* update = inner_.next();
+  if (update) {
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    status_.store(stream::SourceStatus::kActive, std::memory_order_relaxed);
+  } else {
+    status_.store(inner_.status(), std::memory_order_relaxed);
+  }
+  return update;
+}
+
+ReconnectingSource::ReconnectingSource(stream::UpdateSource& inner,
+                                       util::RetryPolicy policy,
+                                       std::string collector, SleepFn sleep)
+    : inner_(inner),
+      policy_(policy),
+      collector_(std::move(collector)),
+      sleep_(std::move(sleep)) {
+  if (!sleep_) {
+    sleep_ = [](std::chrono::nanoseconds delay) {
+      std::this_thread::sleep_for(delay);
+    };
+  }
+}
+
+const routing::FeedUpdate* ReconnectingSource::next() {
+  const routing::FeedUpdate* update = inner_.next();
+  if (update) {
+    last_time_.store(update->update.time, std::memory_order_relaxed);
+    seen_update_.store(true, std::memory_order_relaxed);
+    status_.store(stream::SourceStatus::kActive, std::memory_order_relaxed);
+    return update;
+  }
+  if (inner_.status() != stream::SourceStatus::kDisconnected) {
+    // Normal end (or an inner permanent failure): pass it through.
+    status_.store(inner_.status(), std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Collector outage: ride it out with backoff.
+  outages_.fetch_add(1, std::memory_order_relaxed);
+  in_outage_.store(true, std::memory_order_relaxed);
+  status_.store(stream::SourceStatus::kDisconnected,
+                std::memory_order_relaxed);
+  for (std::size_t attempt = 1; attempt <= policy_.attempts(); ++attempt) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (retry_log_limit_.allow()) {
+      util::Log(util::LogLevel::kWarn, "source")
+          .msg("collector disconnected; retrying")
+          .kv("collector", collector_)
+          .kv("attempt", attempt)
+          .kv("suppressed", retry_log_limit_.last_suppressed());
+    }
+    sleep_(policy_.delay(attempt));
+    update = inner_.next();
+    if (update) {
+      // Rejoined: account the observation-time gap the outage left.
+      util::SimTime gap = 0;
+      if (seen_update_.load(std::memory_order_relaxed)) {
+        gap = update->update.time - last_time_.load(std::memory_order_relaxed);
+        if (gap < 0) gap = 0;
+      }
+      gap_total_.fetch_add(gap, std::memory_order_relaxed);
+      rejoins_.fetch_add(1, std::memory_order_relaxed);
+      in_outage_.store(false, std::memory_order_relaxed);
+      last_time_.store(update->update.time, std::memory_order_relaxed);
+      seen_update_.store(true, std::memory_order_relaxed);
+      status_.store(stream::SourceStatus::kActive, std::memory_order_relaxed);
+      util::Log(util::LogLevel::kInfo, "source")
+          .msg("collector rejoined")
+          .kv("collector", collector_)
+          .kv("attempts", attempt)
+          .kv("gap_seconds", gap);
+      return update;
+    }
+    if (inner_.status() != stream::SourceStatus::kDisconnected) {
+      // The stream ended (or failed) while we were reconnecting.
+      in_outage_.store(false, std::memory_order_relaxed);
+      status_.store(inner_.status(), std::memory_order_relaxed);
+      return nullptr;
+    }
+  }
+  in_outage_.store(false, std::memory_order_relaxed);
+  gave_up_.store(true, std::memory_order_relaxed);
+  status_.store(stream::SourceStatus::kFailed, std::memory_order_relaxed);
+  util::Log(util::LogLevel::kError, "source")
+      .msg("reconnect attempts exhausted; giving up")
+      .kv("collector", collector_)
+      .kv("attempts", policy_.attempts())
+      .kv("outages", outages_.load(std::memory_order_relaxed));
+  return nullptr;
+}
+
+api::ComponentHealth ReconnectingSource::component_health() const {
+  api::ComponentHealth health;
+  health.component = "source:" + collector_;
+  if (gave_up_.load(std::memory_order_relaxed)) {
+    health.state = api::HealthState::kHalted;
+    health.reason = "reconnect attempts exhausted after " +
+                    std::to_string(outages()) + " outage(s); observation gap " +
+                    std::to_string(static_cast<long long>(total_gap())) + "s";
+  } else if (in_outage_.load(std::memory_order_relaxed)) {
+    health.state = api::HealthState::kDegraded;
+    health.reason = "collector disconnected; reconnecting (outage " +
+                    std::to_string(outages()) + ")";
+  }
+  return health;
+}
+
+}  // namespace bgpbh::fault

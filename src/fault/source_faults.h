@@ -1,0 +1,128 @@
+// The ingest half of fault injection, plus the recovery adapter it
+// exercises.
+//
+//   FaultySource        — wraps any UpdateSource; on the injector's
+//                         schedule, next() returns nullptr with status
+//                         kDisconnected (a collector outage) and
+//                         silently consumes `drop` inner updates when
+//                         the window opens (the data a real collector
+//                         lost while dark).  After the window, the
+//                         stream resumes.
+//   ReconnectingSource  — production-side adapter: rides through
+//                         kDisconnected outages with RetryPolicy
+//                         backoff, counts outages / rejoins / retries,
+//                         accounts the observation-time gap each
+//                         outage left, and reports itself into the
+//                         session health plane (api::HealthReporter).
+//                         When attempts are exhausted it gives up with
+//                         status kFailed — the stream then ends and
+//                         the gap accounting says exactly what was
+//                         missed, never silently.
+//
+// Pipeline wiring: StreamPipeline::run()/AnalysisSession::feed() stop
+// at the first nullptr, so a FaultySource must sit behind a
+// ReconnectingSource (or an equivalent retry loop) for the stream to
+// survive an outage.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "api/health.h"
+#include "fault/fault.h"
+#include "stream/source.h"
+#include "util/log.h"
+#include "util/retry.h"
+
+namespace bgpbh::fault {
+
+class FaultySource : public stream::UpdateSource {
+ public:
+  // Both must outlive this object.
+  FaultySource(stream::UpdateSource& inner, FaultInjector& injector)
+      : inner_(inner), injector_(injector) {}
+
+  const routing::FeedUpdate* next() override;
+  stream::SourceStatus status() const override {
+    return status_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t updates_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  // Inner updates consumed at outage starts — the exact data lost.
+  std::uint64_t updates_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t outages() const {
+    return outages_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  stream::UpdateSource& inner_;
+  FaultInjector& injector_;
+  const FaultSpec* window_ = nullptr;  // outage window currently open
+  std::atomic<stream::SourceStatus> status_{stream::SourceStatus::kActive};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> outages_{0};
+};
+
+class ReconnectingSource : public stream::UpdateSource,
+                           public api::HealthReporter {
+ public:
+  // `sleep` exists for tests (deterministic, no real waiting); the
+  // default sleeps the calling thread.  `collector` labels health and
+  // log lines.  `inner` must outlive this object.
+  using SleepFn = std::function<void(std::chrono::nanoseconds)>;
+  ReconnectingSource(stream::UpdateSource& inner, util::RetryPolicy policy,
+                     std::string collector = "collector", SleepFn sleep = {});
+
+  const routing::FeedUpdate* next() override;
+  stream::SourceStatus status() const override {
+    return status_.load(std::memory_order_relaxed);
+  }
+
+  // Health: kDegraded while riding out an outage, kHalted after
+  // giving up, kHealthy otherwise.  Callable from any thread.
+  api::ComponentHealth component_health() const override;
+
+  // ---- outage/rejoin accounting (all thread-safe reads) -----------------
+  std::uint64_t outages() const {
+    return outages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejoins() const {
+    return rejoins_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  bool gave_up() const { return gave_up_.load(std::memory_order_relaxed); }
+  // Sum over rejoins of (first observation time after - last before):
+  // the observation-time window the outages blinded us to.
+  util::SimTime total_gap() const {
+    return gap_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  stream::UpdateSource& inner_;
+  util::RetryPolicy policy_;
+  std::string collector_;
+  SleepFn sleep_;
+  util::LogRateLimiter retry_log_limit_{/*per_second=*/1.0, /*burst=*/5.0};
+
+  std::atomic<stream::SourceStatus> status_{stream::SourceStatus::kActive};
+  std::atomic<bool> in_outage_{false};
+  std::atomic<bool> gave_up_{false};
+  std::atomic<std::uint64_t> outages_{0};
+  std::atomic<std::uint64_t> rejoins_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<util::SimTime> gap_total_{0};
+  std::atomic<util::SimTime> last_time_{0};
+  std::atomic<bool> seen_update_{false};
+};
+
+}  // namespace bgpbh::fault

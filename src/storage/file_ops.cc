@@ -1,0 +1,21 @@
+#include "storage/file_ops.h"
+
+#include <unistd.h>
+
+namespace bgpbh::storage {
+
+std::size_t FileOps::write(const void* data, std::size_t bytes,
+                           std::FILE* file) {
+  return std::fwrite(data, 1, bytes, file);
+}
+
+bool FileOps::flush(std::FILE* file) { return std::fflush(file) == 0; }
+
+bool FileOps::sync(int fd) { return ::fsync(fd) == 0; }
+
+FileOps& real_file_ops() {
+  static FileOps ops;
+  return ops;
+}
+
+}  // namespace bgpbh::storage

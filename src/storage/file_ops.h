@@ -1,0 +1,40 @@
+// FileOps: the indirection between SegmentWriter and the C file API.
+//
+// The base class IS the real implementation (fwrite/fflush/fsync);
+// fault::FaultyFileOps overrides it to inject EIO / ENOSPC / short
+// writes on a deterministic schedule, which is how the recovery paths
+// in SegmentWriter and SpillWriter are exercised without a real bad
+// disk.  Only the buffered-write / flush / sync calls go through the
+// seam — open/close/remove stay direct, because the failure modes
+// worth testing are the ones that can tear or lose acked data.
+//
+// Cost when injection is off: one virtual call per *chunk-sized*
+// write on the spill writer thread — nothing on the ingest hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+
+namespace bgpbh::storage {
+
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  // fwrite(): bytes actually written; == `bytes` on success.  On
+  // failure errno describes the cause.
+  virtual std::size_t write(const void* data, std::size_t bytes,
+                            std::FILE* file);
+
+  // fflush(): true on success.
+  virtual bool flush(std::FILE* file);
+
+  // fsync(): true on success.
+  virtual bool sync(int fd);
+};
+
+// The shared pass-through instance used when SegmentConfig::file_ops
+// is null.
+FileOps& real_file_ops();
+
+}  // namespace bgpbh::storage

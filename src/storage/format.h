@@ -118,6 +118,8 @@ bool parse_footer_payload(std::span<const std::uint8_t> payload,
 
 // ---- knobs ------------------------------------------------------------
 
+class FileOps;  // file_ops.h
+
 struct SegmentConfig {
   // Roll to a new segment once the active one's record bytes exceed
   // this.
@@ -136,6 +138,11 @@ struct SegmentConfig {
   // (the active segment is never deleted; 0 = unlimited).
   std::uint64_t retain_max_bytes = 0;
   std::uint64_t retain_max_segments = 0;
+
+  // Write/flush/sync indirection (file_ops.h); null = the real file
+  // API.  Fault-injection tests plug a fault::FaultyFileOps in here.
+  // Must outlive the writer.
+  FileOps* file_ops = nullptr;
 };
 
 }  // namespace bgpbh::storage

@@ -1,6 +1,7 @@
 #include "storage/segment_writer.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <filesystem>
 
 #include <unistd.h>
@@ -43,6 +44,7 @@ SegmentWriter::SegmentWriter(std::string dir, SegmentConfig config,
                              std::vector<SegmentMeta> sealed)
     : dir_(std::move(dir)),
       config_(std::move(config)),
+      ops_(config_.file_ops ? config_.file_ops : &real_file_ops()),
       next_seq_(next_seq),
       sealed_(std::move(sealed)) {
   if (config_.index_block_records == 0) config_.index_block_records = 64;
@@ -53,16 +55,26 @@ SegmentWriter::~SegmentWriter() { close(); }
 bool SegmentWriter::open_active() {
   active_path_ = (fs::path(dir_) / segment_file_name(next_seq_)).string();
   file_ = std::fopen(active_path_.c_str(), "wb");
-  if (!file_) return false;
+  if (!file_) {
+    last_errno_ = errno;
+    return false;
+  }
   net::BufWriter header;
   encode_segment_header(header);
-  if (std::fwrite(header.data().data(), 1, header.size(), file_) !=
+  if (ops_->write(header.data().data(), header.size(), file_) !=
       header.size()) {
+    // Header-only file: safe to remove and reuse the sequence number
+    // (no records were acked under it).
+    last_errno_ = errno;
     std::fclose(file_);
     file_ = nullptr;
+    std::error_code ec;
+    fs::remove(active_path_, ec);
     return false;
   }
   write_offset_ = kSegmentHeaderBytes;
+  synced_offset_ = 0;
+  synced_records_ = 0;
   active_ = SegmentMeta{};
   active_.seq = next_seq_;
   block_ = IndexEntry{};
@@ -70,17 +82,42 @@ bool SegmentWriter::open_active() {
 }
 
 void SegmentWriter::abandon_active() {
-  // A partial record may be on disk.  Never write a footer over it (a
-  // CRC-valid footer with a misaligned index would defeat recovery):
-  // close as-is, burn the sequence number, and let recover_segment()
-  // truncate the torn tail on the next directory open.  Reopening the
-  // same seq with "wb" would instead destroy the acked records already
-  // in the file.
+  // A partial record may be on disk, and fclose() flushes whatever
+  // stdio still buffered — possibly records whose write the caller was
+  // told FAILED.  Never write a footer over any of it (a CRC-valid
+  // footer with a misaligned index would defeat recovery).  Instead:
+  // close as-is, truncate back to the synced watermark so the file
+  // holds exactly the acked prefix, reseal that prefix in place, and
+  // burn the sequence number.  Truncation is what makes a caller-side
+  // retry of the unacked suffix exactly-once; reopening the same seq
+  // with "wb" would instead destroy the acked records in the file.
   if (file_) {
     std::fclose(file_);
     file_ = nullptr;
   }
+  ++segments_abandoned_;
+  // The records past the synced watermark are about to be truncated
+  // off disk: roll them out of events_appended_ too, so a caller
+  // re-appending the suffix past events_committed() keeps the count
+  // exact (each distinct record counted once).
+  events_appended_ -= active_.record_count - synced_records_;
+  std::error_code ec;
+  if (synced_offset_ > kSegmentHeaderBytes) {
+    fs::resize_file(active_path_, synced_offset_, ec);
+    if (!ec) {
+      RecoveryResult healed = recover_segment(active_path_);
+      if (healed.ok && healed.records > 0) sealed_.push_back(healed.meta);
+    }
+    // If the truncate itself failed (not an injectable fault — the
+    // disk is truly gone), the torn file stays; the next directory
+    // open recovers its intact prefix instead.
+  } else {
+    // Nothing acked in this segment: drop the file entirely.
+    fs::remove(active_path_, ec);
+  }
   ++next_seq_;
+  synced_offset_ = 0;
+  synced_records_ = 0;
 }
 
 bool SegmentWriter::append(const core::PeerEvent& event) {
@@ -88,8 +125,9 @@ bool SegmentWriter::append(const core::PeerEvent& event) {
   if (!file_ && !open_active()) return false;
   net::BufWriter record;
   encode_record(event, record);
-  if (std::fwrite(record.data().data(), 1, record.size(), file_) !=
+  if (ops_->write(record.data().data(), record.size(), file_) !=
       record.size()) {
+    last_errno_ = errno;
     abandon_active();
     return false;
   }
@@ -135,11 +173,15 @@ bool SegmentWriter::append(std::span<const core::PeerEvent> events) {
 
 bool SegmentWriter::sync() {
   if (!file_) return true;
-  if (std::fflush(file_) != 0 ||
-      (config_.fsync_on_seal && ::fsync(::fileno(file_)) != 0)) {
+  if (!ops_->flush(file_) ||
+      (config_.fsync_on_seal && !ops_->sync(::fileno(file_)))) {
+    last_errno_ = errno;
     abandon_active();
     return false;
   }
+  synced_offset_ = write_offset_;
+  synced_records_ = active_.record_count;
+  events_committed_ = events_appended_;
   return true;
 }
 
@@ -149,7 +191,6 @@ bool SegmentWriter::seal_active() {
     active_.index.push_back(block_);
     block_ = IndexEntry{};
   }
-  bool ok = true;
   if (active_.record_count == 0) {
     // Nothing was appended: drop the header-only file instead of
     // leaving an empty segment behind.
@@ -157,29 +198,39 @@ bool SegmentWriter::seal_active() {
     file_ = nullptr;
     std::error_code ec;
     fs::remove(active_path_, ec);
+    synced_offset_ = 0;
     return true;
   }
   active_.sealed = true;
   net::BufWriter footer;
   encode_footer(active_, footer);
-  ok = std::fwrite(footer.data().data(), 1, footer.size(), file_) ==
-       footer.size();
-  ok = std::fflush(file_) == 0 && ok;
-  if (config_.fsync_on_seal) ok = ::fsync(::fileno(file_)) == 0 && ok;
-  ok = std::fclose(file_) == 0 && ok;
-  file_ = nullptr;
-  ++next_seq_;
+  bool ok = ops_->write(footer.data().data(), footer.size(), file_) ==
+            footer.size();
+  ok = ops_->flush(file_) && ok;
+  if (config_.fsync_on_seal) ok = ops_->sync(::fileno(file_)) && ok;
+  if (ok) {
+    ok = std::fclose(file_) == 0;
+    file_ = nullptr;
+  }
   if (!ok) {
-    // The footer may be partial: the segment stays unsealed on disk
-    // and out of the sealed bookkeeping; recovery truncates + reseals
-    // it on the next directory open.
+    // The footer may be partial (or, after a failed close, of unknown
+    // durability): fall back to the abandon path, which truncates the
+    // file to the synced record prefix and reseals just that, keeping
+    // caller-side retries exactly-once.
+    last_errno_ = errno;
+    active_.sealed = false;
+    abandon_active();
     return false;
   }
   active_.file_bytes = write_offset_ + footer.size();
   sealed_.push_back(active_);
   ++segments_sealed_;
+  events_committed_ = events_appended_;
+  synced_offset_ = 0;
+  synced_records_ = 0;
+  ++next_seq_;
   apply_retention();
-  return ok;
+  return true;
 }
 
 void SegmentWriter::apply_retention() {

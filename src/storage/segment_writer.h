@@ -25,6 +25,7 @@
 
 #include "core/events.h"
 #include "net/bytes.h"
+#include "storage/file_ops.h"
 #include "storage/format.h"
 
 namespace bgpbh::storage {
@@ -46,11 +47,12 @@ class SegmentWriter {
   // Appends one record to the active segment (opening it lazily),
   // sealing + rolling afterwards if the segment crossed a roll
   // threshold.  Returns false on I/O error — the active segment is
-  // then ABANDONED unsealed (never resealed by this writer, its
-  // sequence number burned) so a partial write can never end up behind
-  // a CRC-valid footer; the next append starts a fresh segment, and
-  // recovery truncates the abandoned one to its intact prefix on the
-  // next directory open.
+  // then ABANDONED: closed unsealed, truncated back to the synced
+  // watermark (the last successful sync()), resealed in place over the
+  // surviving prefix, and its sequence number burned, so a partial
+  // write can never end up behind a CRC-valid footer AND a retry of
+  // everything past events_committed() lands exactly once.  The next
+  // append starts a fresh segment.
   bool append(const core::PeerEvent& event);
   bool append(std::span<const core::PeerEvent> events);
 
@@ -65,9 +67,25 @@ class SegmentWriter {
 
   // ---- observability ----------------------------------------------------
   const std::string& dir() const { return dir_; }
+  // Records accepted and still standing: an abandon rolls back the
+  // unacked records it truncated off disk, so a caller retrying the
+  // suffix past events_committed() never inflates this count.
   std::uint64_t events_appended() const { return events_appended_; }
+  // Durability watermark: records by THIS writer that are past an ack
+  // point (sync() returned true, or their segment sealed).  Advances
+  // monotonically; after a failed append/sync the gap
+  // events_appended() - events_committed() is exactly the suffix a
+  // caller must retry, and retrying it can never duplicate (abandon
+  // truncates the file back to this watermark).
+  std::uint64_t events_committed() const { return events_committed_; }
   std::uint64_t segments_sealed() const { return segments_sealed_; }
   std::uint64_t segments_retired() const { return segments_retired_; }
+  // Segments abandoned after an I/O error (their synced prefix was
+  // rescued and resealed where possible).
+  std::uint64_t segments_abandoned() const { return segments_abandoned_; }
+  // errno captured at the most recent failed write/flush/sync; 0 if
+  // none failed yet.
+  int last_errno() const { return last_errno_; }
   // Sealed bytes currently on disk plus the active segment's.
   std::uint64_t bytes_on_disk() const;
   std::uint64_t active_seq() const { return next_seq_; }
@@ -78,23 +96,33 @@ class SegmentWriter {
 
   bool open_active();     // lazily creates the next segment file
   bool seal_active();     // footer + trailer + fclose + retention
-  void abandon_active();  // I/O error: close unsealed, burn the seq
+  void abandon_active();  // I/O error: truncate to synced, burn the seq
   void apply_retention();
 
   std::string dir_;
   SegmentConfig config_;
+  FileOps* ops_;  // config_.file_ops or the real pass-through
 
   std::FILE* file_ = nullptr;
   std::string active_path_;
   SegmentMeta active_;           // summary + index of the active segment
   IndexEntry block_;             // index block being accumulated
   std::uint64_t write_offset_ = 0;
+  // File offset / record count of the last successful sync() of the
+  // active segment (0 = nothing acked yet); the offset is always a
+  // record boundary, and the count is what an abandon rolls
+  // events_appended_ back to.
+  std::uint64_t synced_offset_ = 0;
+  std::uint64_t synced_records_ = 0;
 
   std::uint64_t next_seq_ = 1;
   std::vector<SegmentMeta> sealed_;  // oldest first, for retention
   std::uint64_t events_appended_ = 0;
+  std::uint64_t events_committed_ = 0;
   std::uint64_t segments_sealed_ = 0;
   std::uint64_t segments_retired_ = 0;
+  std::uint64_t segments_abandoned_ = 0;
+  int last_errno_ = 0;
   bool closed_ = false;
 };
 

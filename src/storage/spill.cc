@@ -1,6 +1,9 @@
 #include "storage/spill.h"
 
+#include <cstring>
+
 #include "telemetry/trace.h"
+#include "util/log.h"
 
 namespace bgpbh::storage {
 
@@ -31,13 +34,31 @@ SpillWriter::SpillWriter(SpillConfig config,
                       "Segments deleted by the retention policy");
     metrics->describe("storage.spill.bytes_on_disk",
                       "Bytes currently held by live segments");
+    metrics->describe("storage.spill.degraded",
+                      "Spill health: 0 ok, 1 degraded (memory-only), 2 failed "
+                      "(events lost)");
+    metrics->describe("storage.spill.parked_events",
+                      "Events parked in memory awaiting a probe write");
+    metrics->describe("storage.spill.events_lost",
+                      "Parked events dropped because the disk fault persisted "
+                      "through stop()");
+    metrics->describe("storage.spill.retries",
+                      "Write attempts beyond each first try (backoff retries "
+                      "+ degraded-mode probes)");
+    metrics->describe("storage.spill.degraded_entered",
+                      "Times the writer fell into degraded mode");
     append_hist_ = &metrics->histogram("storage.spill.append_ns");
     sync_hist_ = &metrics->histogram("storage.spill.sync_ns");
     spilled_ctr_ = &metrics->counter("storage.spill.events_spilled");
     sealed_ctr_ = &metrics->counter("storage.spill.segments_sealed");
     retired_ctr_ = &metrics->counter("storage.spill.segments_retired");
+    lost_ctr_ = &metrics->counter("storage.spill.events_lost");
+    retries_ctr_ = &metrics->counter("storage.spill.retries");
+    degraded_entered_ctr_ = &metrics->counter("storage.spill.degraded_entered");
     queue_gauge_ = &metrics->gauge("storage.spill.queue_chunks");
     bytes_gauge_ = &metrics->gauge("storage.spill.bytes_on_disk");
+    degraded_gauge_ = &metrics->gauge("storage.spill.degraded");
+    parked_gauge_ = &metrics->gauge("storage.spill.parked_events");
     // Recovery may have found pre-existing segments; seed the mirrors
     // before the writer thread takes ownership of the counters.
     sealed_mirror_.store(writer_->segments_sealed(),
@@ -49,8 +70,16 @@ SpillWriter::SpillWriter(SpillConfig config,
       spilled_ctr_->set_total(events_spilled_.load(std::memory_order_relaxed));
       sealed_ctr_->set_total(sealed_mirror_.load(std::memory_order_relaxed));
       retired_ctr_->set_total(retired_mirror_.load(std::memory_order_relaxed));
+      lost_ctr_->set_total(lost_events_.load(std::memory_order_relaxed));
+      retries_ctr_->set_total(retries_.load(std::memory_order_relaxed));
+      degraded_entered_ctr_->set_total(
+          degraded_entered_.load(std::memory_order_relaxed));
       bytes_gauge_->set(static_cast<double>(
           bytes_mirror_.load(std::memory_order_relaxed)));
+      degraded_gauge_->set(static_cast<double>(
+          static_cast<int>(state_.load(std::memory_order_relaxed))));
+      parked_gauge_->set(static_cast<double>(
+          parked_events_.load(std::memory_order_relaxed)));
       std::size_t depth;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -83,54 +112,171 @@ bool SpillWriter::submit(std::vector<core::PeerEvent> chunk) {
 
 void SpillWriter::run() {
   for (;;) {
-    std::vector<std::vector<core::PeerEvent>> batch;
+    std::vector<std::vector<core::PeerEvent>> incoming;
+    bool final_drain = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty() && stopping_) return;
-      // Take the whole backlog in one go: one sync() per drain, and
-      // the producers see a fully empty queue immediately.
+      if (degraded_ && !parked_.empty()) {
+        // Degraded: wake at the probe deadline even with no new
+        // chunks, so spilling re-arms without fresh traffic.
+        not_empty_.wait_until(lock, next_probe_, [this] {
+          return !queue_.empty() || stopping_;
+        });
+      } else {
+        not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      }
       while (!queue_.empty()) {
-        batch.push_back(std::move(queue_.front()));
+        incoming.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      final_drain = stopping_;
     }
     not_full_.notify_all();
-    // Count only events whose append AND the batch's sync succeeded —
-    // events_spilled() is a durability gauge, so it must never exceed
-    // what recovery would hand back (under-counting a completed chunk
-    // whose batch-mate failed is the conservative error).
-    bool ok = true;
-    std::uint64_t appended = 0;
-    telemetry::TraceRing* ring =
-        config_.metrics ? &config_.metrics->trace() : nullptr;
-    for (const auto& chunk : batch) {
-      telemetry::ScopedSpan span(append_hist_, ring, "spill.append");
-      if (writer_->append(std::span(chunk))) {
-        appended += chunk.size();
-      } else {
-        ok = false;
+    for (auto& chunk : incoming) parked_.push_back(std::move(chunk));
+    process(final_drain);
+    if (final_drain) {
+      // Fault persisted through the final attempt: the parked tail is
+      // lost, with exact accounting — never silently.
+      const std::uint64_t durable =
+          writer_->events_committed() - retired_events_;
+      std::uint64_t total = 0;
+      for (const auto& chunk : parked_) total += chunk.size();
+      if (total > durable) {
+        const std::uint64_t lost = total - durable;
+        lost_events_.fetch_add(lost, std::memory_order_relaxed);
+        state_.store(State::kFailed, std::memory_order_relaxed);
+        io_error_.store(true, std::memory_order_relaxed);
+        util::Log(util::LogLevel::kError, "spill")
+            .msg("giving up on parked events; disk fault persisted")
+            .kv("events_lost", lost)
+            .kv("dir", writer_->dir())
+            .kv("errno", writer_->last_errno());
       }
-    }
-    {
-      telemetry::ScopedSpan span(sync_hist_, ring, "spill.sync");
-      if (!writer_->sync()) ok = false;
-    }
-    if (ok) {
-      events_spilled_.fetch_add(appended, std::memory_order_relaxed);
-    } else {
-      io_error_.store(true, std::memory_order_relaxed);
-    }
-    if (config_.metrics) {
-      // Republish the SegmentWriter's plain counters (writer-thread
-      // owned) for the collection hook.
-      sealed_mirror_.store(writer_->segments_sealed(),
-                           std::memory_order_relaxed);
-      retired_mirror_.store(writer_->segments_retired(),
-                            std::memory_order_relaxed);
-      bytes_mirror_.store(writer_->bytes_on_disk(), std::memory_order_relaxed);
+      parked_.clear();
+      publish_parked_gauge();
+      return;
     }
   }
+}
+
+bool SpillWriter::try_write_parked() {
+  telemetry::TraceRing* ring =
+      config_.metrics ? &config_.metrics->trace() : nullptr;
+  // events_committed() only advances at a successful sync/seal, so
+  // (committed - retired) is exactly the parked prefix a previous
+  // partial attempt already made durable: skip it, append the rest,
+  // ack everything with one sync.  Retrying after a failure can never
+  // duplicate — the abandoned segment was truncated back to the same
+  // watermark.
+  const std::uint64_t committed =
+      writer_->events_committed() - retired_events_;
+  std::uint64_t cum = 0;
+  bool ok = true;
+  for (const auto& chunk : parked_) {
+    const std::uint64_t begin = cum;
+    cum += chunk.size();
+    if (committed >= cum) continue;  // already durable
+    const std::size_t from =
+        committed > begin ? static_cast<std::size_t>(committed - begin) : 0;
+    telemetry::ScopedSpan span(append_hist_, ring, "spill.append");
+    if (!writer_->append(std::span(chunk).subspan(from))) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok) {
+    telemetry::ScopedSpan span(sync_hist_, ring, "spill.sync");
+    ok = writer_->sync();
+  }
+  // Durability gauge: exactly what recovery would hand back, even
+  // after a partial batch (a mid-batch seal commits its records).
+  events_spilled_.store(writer_->events_committed(),
+                        std::memory_order_relaxed);
+  if (config_.metrics) {
+    sealed_mirror_.store(writer_->segments_sealed(),
+                         std::memory_order_relaxed);
+    retired_mirror_.store(writer_->segments_retired(),
+                          std::memory_order_relaxed);
+    bytes_mirror_.store(writer_->bytes_on_disk(), std::memory_order_relaxed);
+  }
+  if (!ok) return false;
+  for (const auto& chunk : parked_) retired_events_ += chunk.size();
+  parked_.clear();
+  return true;
+}
+
+void SpillWriter::process(bool final_drain) {
+  if (parked_.empty()) {
+    publish_parked_gauge();
+    return;
+  }
+  if (degraded_ && !final_drain &&
+      std::chrono::steady_clock::now() < next_probe_) {
+    // Not probe time yet: just keep parking.
+    publish_parked_gauge();
+    return;
+  }
+  // Normal mode: a full retry ladder with backoff.  Degraded mode: one
+  // probe per deadline (the ladder already ran; re-arming needs a
+  // single success).  Final drain: no sleeps, but still try.
+  const std::size_t attempts = degraded_ ? 1 : config_.retry.attempts();
+  bool wrote = false;
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1 || degraded_) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (try_write_parked()) {
+      wrote = true;
+      break;
+    }
+    if (attempt < attempts && !final_drain) {
+      backoff(config_.retry.delay(attempt));
+    }
+  }
+  if (wrote) {
+    if (degraded_) {
+      degraded_ = false;
+      probe_attempt_ = 0;
+      state_.store(State::kOk, std::memory_order_relaxed);
+      util::Log(util::LogLevel::kInfo, "spill")
+          .msg("disk fault cleared; spilling re-armed")
+          .kv("dir", writer_->dir())
+          .kv("events_spilled",
+              events_spilled_.load(std::memory_order_relaxed));
+    }
+  } else {
+    if (!degraded_) {
+      degraded_ = true;
+      degraded_entered_.fetch_add(1, std::memory_order_relaxed);
+      state_.store(State::kDegraded, std::memory_order_relaxed);
+      static util::LogRateLimiter limit(/*per_second=*/0.5, /*burst=*/3.0);
+      if (limit.allow()) {
+        util::Log(util::LogLevel::kWarn, "spill")
+            .msg("persistent disk error; degrading to memory-only")
+            .kv("dir", writer_->dir())
+            .kv("errno", writer_->last_errno())
+            .kv("error", std::strerror(writer_->last_errno()))
+            .kv("suppressed", limit.last_suppressed());
+      }
+    }
+    ++probe_attempt_;
+    next_probe_ = std::chrono::steady_clock::now() +
+                  config_.retry.delay(probe_attempt_);
+  }
+  publish_parked_gauge();
+}
+
+void SpillWriter::backoff(std::chrono::nanoseconds delay) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait_for(lock, delay, [this] { return stopping_; });
+}
+
+void SpillWriter::publish_parked_gauge() {
+  std::uint64_t parked = 0;
+  for (const auto& chunk : parked_) parked += chunk.size();
+  const std::uint64_t durable = writer_->events_committed() - retired_events_;
+  parked_events_.store(parked > durable ? parked - durable : 0,
+                       std::memory_order_relaxed);
 }
 
 void SpillWriter::stop() {
@@ -146,6 +292,15 @@ void SpillWriter::stop() {
   if (!joined_) {
     joined_ = true;
     if (!writer_->close()) io_error_.store(true, std::memory_order_relaxed);
+    events_spilled_.store(writer_->events_committed(),
+                          std::memory_order_relaxed);
+    if (config_.metrics) {
+      sealed_mirror_.store(writer_->segments_sealed(),
+                           std::memory_order_relaxed);
+      retired_mirror_.store(writer_->segments_retired(),
+                            std::memory_order_relaxed);
+      bytes_mirror_.store(writer_->bytes_on_disk(), std::memory_order_relaxed);
+    }
   }
 }
 

@@ -1,10 +1,23 @@
 #include "stream/source.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
 #include "bgp/mrt.h"
+#include "util/log.h"
 
 namespace bgpbh::stream {
+
+const char* to_string(SourceStatus status) {
+  switch (status) {
+    case SourceStatus::kActive: return "active";
+    case SourceStatus::kEnd: return "end";
+    case SourceStatus::kDisconnected: return "disconnected";
+    case SourceStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
 
 const routing::FeedUpdate* VectorSource::next() {
   if (pos_ >= updates_.size()) return nullptr;
@@ -12,16 +25,37 @@ const routing::FeedUpdate* VectorSource::next() {
 }
 
 std::optional<MrtFileSource> MrtFileSource::open(const std::string& path,
-                                                 routing::Platform platform) {
+                                                 routing::Platform platform,
+                                                 std::string* error) {
+  errno = 0;
   auto bytes = bgp::mrt::read_file(path);
-  if (!bytes) return std::nullopt;
-  return from_buffer(*bytes, platform);
+  if (!bytes) {
+    std::string reason = "cannot read archive: ";
+    reason += errno != 0 ? std::strerror(errno) : "read failed";
+    util::Log(util::LogLevel::kWarn, "mrt_source")
+        .msg("open failed")
+        .kv("path", path)
+        .kv("reason", reason);
+    if (error) *error = std::move(reason);
+    return std::nullopt;
+  }
+  return from_buffer(*bytes, platform, error);
 }
 
 std::optional<MrtFileSource> MrtFileSource::from_buffer(
-    std::span<const std::uint8_t> data, routing::Platform platform) {
+    std::span<const std::uint8_t> data, routing::Platform platform,
+    std::string* error) {
   auto updates = bgp::mrt::decode_updates(data);
-  if (!updates) return std::nullopt;
+  if (!updates) {
+    std::string reason = "malformed MRT record framing in " +
+                         std::to_string(data.size()) + "-byte archive";
+    util::Log(util::LogLevel::kWarn, "mrt_source")
+        .msg("decode failed")
+        .kv("bytes", data.size())
+        .kv("reason", reason);
+    if (error) *error = std::move(reason);
+    return std::nullopt;
+  }
   std::stable_sort(updates->begin(), updates->end(),
                    [](const bgp::ObservedUpdate& a,
                       const bgp::ObservedUpdate& b) { return a.time < b.time; });

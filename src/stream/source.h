@@ -30,6 +30,19 @@
 
 namespace bgpbh::stream {
 
+// Why a source returned nullptr from next().  Plain archive/replay
+// sources only ever end; the fault/recovery wrappers in src/fault/
+// (FaultySource, ReconnectingSource) use the other states to
+// distinguish "collector dropped, try again" from "gave up".
+enum class SourceStatus : int {
+  kActive = 0,        // mid-stream (next() has not returned nullptr)
+  kEnd = 1,           // stream exhausted normally
+  kDisconnected = 2,  // collector outage; next() may yield again later
+  kFailed = 3,        // permanent failure (reconnect attempts exhausted)
+};
+
+const char* to_string(SourceStatus status);
+
 // Pull interface: next() returns updates in feed order until nullptr.
 // Zero-copy contract: the returned update is BORROWED from the source
 // — valid until the next next() call (or source destruction), never
@@ -40,6 +53,9 @@ class UpdateSource {
  public:
   virtual ~UpdateSource() = default;
   virtual const routing::FeedUpdate* next() = 0;
+  // Meaningful after next() returned nullptr; plain sources are simply
+  // done, so the default says so.
+  virtual SourceStatus status() const { return SourceStatus::kEnd; }
 };
 
 class VectorSource : public UpdateSource {
@@ -61,10 +77,16 @@ class VectorSource : public UpdateSource {
 // then streamed out one update at a time.
 class MrtFileSource : public UpdateSource {
  public:
+  // On failure both return nullopt, store a human-readable reason in
+  // `*error` (when non-null), and emit a util::Log warn line — a
+  // missing archive and a corrupt one need different operator action,
+  // so neither is a silent nullopt.
   static std::optional<MrtFileSource> open(const std::string& path,
-                                           routing::Platform platform);
+                                           routing::Platform platform,
+                                           std::string* error = nullptr);
   static std::optional<MrtFileSource> from_buffer(
-      std::span<const std::uint8_t> data, routing::Platform platform);
+      std::span<const std::uint8_t> data, routing::Platform platform,
+      std::string* error = nullptr);
 
   const routing::FeedUpdate* next() override;
   std::size_t total_updates() const { return updates_.size(); }

@@ -20,9 +20,13 @@
 // the log.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -127,6 +131,76 @@ class Log {
 
   bool enabled_;
   std::string line_;
+};
+
+// Token-bucket limiter for log lines emitted from retry/backoff loops,
+// where one stuck disk or collector would otherwise flood stderr with
+// thousands of identical warnings.  Intended use is one static limiter
+// per call site:
+//
+//   static util::LogRateLimiter limit(/*per_second=*/1.0, /*burst=*/5);
+//   if (limit.allow()) {
+//     util::Log(util::LogLevel::kWarn, "spill")
+//         .msg("append failed; backing off")
+//         .kv("suppressed", limit.last_suppressed());
+//   }
+//
+// allow() refills `per_second` tokens per second up to `burst` and
+// spends one per permitted line.  last_suppressed() reports how many
+// calls were denied between the two most recent permits, so the next
+// emitted line can account for the gap.  Thread-safe; the overload
+// taking an explicit time point exists for deterministic tests.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(double per_second, double burst = 5.0)
+      : per_second_(per_second < 0.0 ? 0.0 : per_second),
+        capacity_(burst < 1.0 ? 1.0 : burst),
+        tokens_(capacity_) {}
+
+  bool allow() { return allow(std::chrono::steady_clock::now()); }
+
+  bool allow(std::chrono::steady_clock::time_point now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (primed_) {
+      const double dt =
+          std::chrono::duration<double>(now - last_).count();
+      if (dt > 0.0) tokens_ = std::min(capacity_, tokens_ + dt * per_second_);
+    }
+    primed_ = true;
+    last_ = now;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      last_suppressed_ = run_;
+      run_ = 0;
+      return true;
+    }
+    ++run_;
+    ++total_suppressed_;
+    return false;
+  }
+
+  // Denied calls between the two most recent permitted ones.
+  std::uint64_t last_suppressed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_suppressed_;
+  }
+
+  // Denied calls over the limiter's lifetime.
+  std::uint64_t total_suppressed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_suppressed_;
+  }
+
+ private:
+  const double per_second_;
+  const double capacity_;
+  mutable std::mutex mu_;
+  double tokens_;
+  bool primed_ = false;
+  std::chrono::steady_clock::time_point last_{};
+  std::uint64_t run_ = 0;
+  std::uint64_t last_suppressed_ = 0;
+  std::uint64_t total_suppressed_ = 0;
 };
 
 }  // namespace bgpbh::util

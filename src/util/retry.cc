@@ -1,0 +1,35 @@
+#include "util/retry.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace bgpbh::util {
+
+std::chrono::nanoseconds RetryPolicy::delay(std::size_t attempt) const {
+  if (attempt == 0) attempt = 1;
+  const std::int64_t base = std::max<std::int64_t>(base_delay.count(), 0);
+  const std::int64_t cap = std::max<std::int64_t>(max_delay.count(), base);
+  // Saturating doubling: past 62 shifts (or past the cap) the raw
+  // delay is pinned to the cap, so huge attempt counts never overflow.
+  std::int64_t raw = cap;
+  const std::size_t shift = attempt - 1;
+  if (base > 0 && shift < 62 && base <= (cap >> std::min<std::size_t>(shift, 62))) {
+    raw = base << shift;
+  } else if (base == 0) {
+    raw = 0;
+  }
+  raw = std::min(raw, cap);
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  if (j == 0.0 || raw == 0) return std::chrono::nanoseconds(raw);
+  // Deterministic jitter: hash (seed, attempt) to a factor in
+  // [1-j, 1+j].  SplitMix64 output / 2^64 is uniform in [0, 1).
+  SplitMix64 mix(seed ^ (0x9e3779b97f4a7c15ULL * attempt));
+  const double u =
+      static_cast<double>(mix.next() >> 11) * (1.0 / 9007199254740992.0);
+  const double factor = 1.0 - j + 2.0 * j * u;
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(static_cast<double>(raw) * factor));
+}
+
+}  // namespace bgpbh::util

@@ -1,0 +1,41 @@
+// RetryPolicy: deterministic exponential backoff with jitter, shared
+// by every recovery loop in the system (the reconnecting collector
+// source in src/fault/, the spill writer's transient-I/O retries and
+// degraded-mode probe cadence in src/storage/).
+//
+// The delay for attempt k (1-based) is
+//
+//   min(base_delay * 2^(k-1), max_delay) * jitter_factor
+//
+// where jitter_factor is drawn uniformly from [1-jitter, 1+jitter] by
+// hashing (seed, k) — the same (policy, attempt) pair always yields
+// the same delay, so fault-injection tests and replayed incidents are
+// bit-reproducible, while distinct seeds decorrelate the backoff of
+// independent collectors (no thundering-herd rejoin).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace bgpbh::util {
+
+struct RetryPolicy {
+  // Transient retries before the caller escalates (degrades, gives
+  // up); 0 is treated as 1 — every loop gets at least one attempt.
+  std::size_t max_attempts = 5;
+  std::chrono::nanoseconds base_delay = std::chrono::milliseconds(10);
+  std::chrono::nanoseconds max_delay = std::chrono::seconds(5);
+  // Fraction of the delay randomized symmetrically; clamped to [0, 1].
+  double jitter = 0.2;
+  std::uint64_t seed = 0x62677062;  // "bgpb"
+
+  // Backoff delay for the k-th attempt (k >= 1); pure and
+  // deterministic in (policy fields, attempt).  Attempts beyond the
+  // doubling range saturate at max_delay (before jitter).
+  std::chrono::nanoseconds delay(std::size_t attempt) const;
+
+  std::size_t attempts() const { return max_attempts == 0 ? 1 : max_attempts; }
+};
+
+}  // namespace bgpbh::util

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -518,6 +519,119 @@ TEST(AnalysisSession, SnapshotCadenceAndFinalSnapshot) {
   // Cadence snapshots during the run plus the final one at close().
   EXPECT_GE(sink.snapshots(), 1 + ref.events.size() / 16);
   EXPECT_EQ(sink.last_snapshot_total(), ref.events.size());
+}
+
+// ---- lifecycle hardening ----------------------------------------------
+// Misuse is defined behavior: wrong-mode entry points throw
+// std::logic_error (loud in release builds too), while a closed
+// session quietly refuses work.
+
+TEST(AnalysisSessionLifecycle, WrongModeEntryPointsThrow) {
+  SessionConfig batch_config;
+  batch_config.mode = SessionConfig::Mode::kBatch;
+  batch_config.study = study_config();
+  AnalysisSession batch(batch_config);
+  FeedUpdate update;
+  EXPECT_THROW(batch.start(), std::logic_error);
+  EXPECT_THROW(batch.push(update), std::logic_error);
+  EXPECT_THROW(batch.flush(), std::logic_error);
+  EXPECT_THROW(batch.close(0), std::logic_error);
+  stream::VectorSource empty_source(std::vector<FeedUpdate>{});
+  EXPECT_THROW(batch.feed(empty_source), std::logic_error);
+  batch.run();  // still usable after the rejected calls
+
+  SessionConfig live_config;
+  live_config.mode = SessionConfig::Mode::kLiveFeed;
+  live_config.study = study_config();
+  AnalysisSession live(live_config);
+  EXPECT_THROW(live.run(), std::logic_error);
+  live.close(study_config().window_end);  // still closeable
+}
+
+TEST(AnalysisSessionLifecycle, DoubleStartAndDoubleCloseAreNoOps) {
+  SessionConfig config;
+  config.mode = SessionConfig::Mode::kLiveFeed;
+  config.study = study_config();
+  config.num_shards = 2;
+  AnalysisSession session(config);
+  session.start();
+  session.start();  // idempotent
+  auto updates = session.study().replay_updates();
+  stream::VectorSource source(updates);
+  session.feed(source);
+  session.close(study_config().window_end);
+  std::size_t events = session.events().size();
+  session.close(study_config().window_end);  // idempotent
+  EXPECT_TRUE(session.closed());
+  EXPECT_EQ(session.events().size(), events);
+}
+
+TEST(AnalysisSessionLifecycle, ClosedSessionRefusesWorkQuietly) {
+  SessionConfig config;
+  config.mode = SessionConfig::Mode::kLiveFeed;
+  config.study = study_config();
+  config.num_shards = 2;
+  AnalysisSession session(config);
+  auto updates = session.study().replay_updates();
+  {
+    stream::VectorSource source(updates);
+    session.feed(source);
+  }
+  session.close(study_config().window_end);
+  std::size_t events = session.events().size();
+
+  // push()/feed() after close: nothing accepted, nothing restarted.
+  EXPECT_FALSE(session.push(updates.front()));
+  stream::VectorSource again(updates);
+  EXPECT_EQ(session.feed(again), 0u);
+  session.flush();   // no-op
+  session.start();   // no-op
+  EXPECT_EQ(session.events().size(), events);
+  EXPECT_EQ(session.updates_pushed(), updates.size());
+}
+
+TEST(AnalysisSessionLifecycle, CloseBeforeAnyPushYieldsAnEmptyCleanSession) {
+  SessionConfig config;
+  config.mode = SessionConfig::Mode::kLiveFeed;
+  config.study = study_config();
+  // No initial table dump: its §4.2 episodes would close events of
+  // their own, and this test wants a genuinely empty session.
+  config.study.table_dump_episodes = 0;
+  config.num_shards = 2;
+  CountingSink sink;
+  AnalysisSession session(config);
+  session.subscribe(sink);
+  session.close(study_config().window_end);
+  EXPECT_TRUE(session.closed());
+  EXPECT_TRUE(session.events().empty());
+  // The subscriber still got its final (empty) snapshot.
+  EXPECT_GE(sink.snapshots(), 1u);
+  EXPECT_EQ(sink.last_snapshot_total(), 0u);
+  EXPECT_EQ(session.health().state, HealthState::kHealthy);
+}
+
+TEST(AnalysisSessionLifecycle, ReopenRunIsANoOp) {
+  namespace fs = std::filesystem;
+  const auto& ref = reference();
+  std::string dir =
+      (fs::temp_directory_path() / "bgpbh_api_lifecycle_reopen").string();
+  fs::remove_all(dir);
+  {
+    SessionConfig config;
+    config.mode = SessionConfig::Mode::kBatch;
+    config.study = study_config();
+    config.persist_dir = dir;
+    AnalysisSession session(config);
+    session.run();
+  }
+  SessionConfig reopen_config;
+  reopen_config.mode = SessionConfig::Mode::kReopen;
+  reopen_config.persist_dir = dir;
+  AnalysisSession reopened(reopen_config);
+  reopened.run();  // documented no-op: born closed and queryable
+  EXPECT_TRUE(reopened.closed());
+  EXPECT_TRUE(reopened.events() == ref.events);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -399,6 +399,27 @@ TEST(MrtFileSource, ReplaysTimeSortedTaggedUpdates) {
   EXPECT_EQ(n, 3u);
 }
 
+TEST(MrtFileSource, OpenFailureReportsWhy) {
+  std::string error;
+  auto source = MrtFileSource::open("/nonexistent/bgpbh_no_such_archive.mrt",
+                                    Platform::kRis, &error);
+  EXPECT_FALSE(source.has_value());
+  EXPECT_NE(error.find("cannot read archive"), std::string::npos) << error;
+  // A missing archive names the OS reason, not just "failed".
+  EXPECT_GT(error.size(), std::string("cannot read archive: ").size());
+}
+
+TEST(MrtFileSource, MalformedBufferReportsFramingError) {
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  std::string error;
+  auto source = MrtFileSource::from_buffer(garbage, Platform::kRis, &error);
+  EXPECT_FALSE(source.has_value());
+  EXPECT_NE(error.find("MRT record framing"), std::string::npos) << error;
+  EXPECT_NE(error.find("64-byte"), std::string::npos) << error;
+  // The out-param is optional: the nullopt path must not require it.
+  EXPECT_FALSE(MrtFileSource::from_buffer(garbage, Platform::kRis).has_value());
+}
+
 // ---- engine drain API -------------------------------------------------
 
 // Study fixture shared by the equivalence suite: a short window at

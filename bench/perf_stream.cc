@@ -44,6 +44,7 @@
 
 #include "api/dispatch.h"
 #include "api/query.h"
+#include "api/session.h"
 #include "api/sink.h"
 #include "bench_meta.h"
 #include "core/study.h"
@@ -255,32 +256,39 @@ int main(int argc, char** argv) {
   std::printf("\nmulti-shard best vs 1-shard pipeline: %.2fx\n",
               one_shard_rate > 0 ? best_multi_rate / one_shard_rate : 0.0);
 
-  // ---- zero-allocation routing assertion -----------------------------
-  // Warm a pipeline until the block pool and staging buffers reach
-  // steady state, then count producer-thread allocations while routing
-  // single-announced-prefix sub-updates.  The zero-copy contract: none.
-  // Spill is ENABLED on this pipeline's store: chunk copies for the
-  // segment log happen on the draining worker threads, so persistence
-  // must not add a single allocation to the producer's routing path —
-  // the assertion proves it.
+  // ---- zero-allocation routing assertion (checkpointing enabled) -----
+  // Warm a full AnalysisSession — spill AND the checkpoint plane wired,
+  // with cadence cuts landing mid-stream — until the producer-side
+  // routing path reaches steady state, then count producer-thread
+  // allocations while routing single-announced-prefix sub-updates.
+  // The zero-copy contract: none.  Spill chunk copies happen on the
+  // draining worker threads and checkpoint cuts happen at a worker
+  // rendezvous driven by the coordinator thread, so neither
+  // persistence nor the recovery plane may add a single allocation to
+  // the producer's routing path — the assertion proves it, with real
+  // cuts observed during the run.
   double allocs_per_subupdate = 0.0;
+  double checkpoint_ns_per_event = 0.0, recover_ms = 0.0;
   std::string metrics_prom;  // Prometheus dump of the instrumented run
   std::uint64_t telemetry_batches = 0;
+  std::uint64_t cadence_checkpoints = 0;
   {
     std::filesystem::remove_all(segments_dir);
-    storage::SpillConfig spill_config;
-    spill_config.dir = segments_dir;
-    auto spill = storage::SpillWriter::open(std::move(spill_config));
-    if (!spill) {
-      std::fprintf(stderr, "cannot open %s for spill\n", segments_dir.c_str());
-      return 1;
+    api::SessionConfig sconfig;
+    sconfig.mode = api::SessionConfig::Mode::kLiveFeed;
+    sconfig.study = config;
+    sconfig.persist_dir = segments_dir;
+    sconfig.checkpoint_every = 150000;  // several cuts land mid-run
+    api::AnalysisSession session(sconfig);
+    session.start();
+    // Rich engine state first — the real study stream — so the
+    // checkpoint cuts below serialize representative open-state
+    // tables, not a one-event toy.
+    std::uint64_t total_pushed = 0;
+    for (const auto& u : updates) {
+      session.push(u);
+      ++total_pushed;
     }
-    stream::StreamPipeline pipeline(study.dictionary(), study.registry(),
-                                    stream::PipelineConfig{});
-    pipeline.store().set_spill_listener(
-        [&spill](std::size_t, std::vector<core::PeerEvent> chunk) {
-          spill->submit(std::move(chunk));
-        });
     routing::FeedUpdate probe;
     probe.platform = routing::Platform::kRis;
     probe.update.time = config.window_start;
@@ -290,42 +298,92 @@ int main(int argc, char** argv) {
     probe.update.body.communities.add(bgp::Community(3356, 120));
     probe.update.body.communities.add(bgp::Community(1299, 3000));
     probe.update.body.announced.push_back(*net::Prefix::parse("20.7.0.0/16"));
-    // Warm until the block pool's high-water mark stabilizes (it is
-    // bounded by staging + queue capacity, so this converges fast);
-    // afterwards every acquire recycles and capacities are final.
+    // Warm until a full round adds zero producer-thread allocations
+    // (the block pool is bounded by staging + queue capacity, so this
+    // converges fast); afterwards every acquire recycles.
     const std::uint64_t kWarm = 100000, kMeasure = 200000;
-    std::size_t prev_allocated = 0;
     for (int round = 0; round < 10; ++round) {
+      std::uint64_t round_before = t_alloc_count;
       for (std::uint64_t i = 0; i < kWarm; ++i) {
         probe.update.time += 1;
-        pipeline.push(probe);
+        session.push(probe);
       }
-      std::size_t now_allocated = pipeline.blocks_allocated();
-      if (round > 0 && now_allocated == prev_allocated) break;
-      prev_allocated = now_allocated;
+      total_pushed += kWarm;
+      if (round > 0 && t_alloc_count == round_before) break;
     }
     std::uint64_t before = t_alloc_count;
     for (std::uint64_t i = 0; i < kMeasure; ++i) {
       probe.update.time += 1;
-      pipeline.push(probe);
+      session.push(probe);
     }
+    total_pushed += kMeasure;
     std::uint64_t allocs = t_alloc_count - before;
-    pipeline.finish(config.window_end);
-    spill->stop();
     allocs_per_subupdate = static_cast<double>(allocs) / kMeasure;
+    cadence_checkpoints = session.checkpoints_written();
     std::printf("routing allocations per announced-prefix sub-update: %.4f "
-                "(%llu allocs / %llu routed, spill enabled)  [%s]\n",
+                "(%llu allocs / %llu routed, spill + checkpointing "
+                "enabled, %llu cadence checkpoints)  [%s]\n",
                 allocs_per_subupdate, static_cast<unsigned long long>(allocs),
                 static_cast<unsigned long long>(kMeasure),
+                static_cast<unsigned long long>(cadence_checkpoints),
                 allocs == 0 ? "zero-copy OK" : "ALLOCATION REGRESSION");
     if (allocs != 0) all_equivalent = false;  // fail the run loudly
-    // Telemetry is default-on (the pipeline owns a registry when the
-    // config carries none), so the zero count above was measured WITH
+    if (cadence_checkpoints == 0) {
+      // The assertion's claim is "zero-alloc WITH checkpointing"; a
+      // run where no cut ever landed would quietly stop covering it.
+      std::fprintf(stderr,
+                   "CHECKPOINT MISS: no cadence checkpoint landed during "
+                   "the zero-alloc run\n");
+      all_equivalent = false;
+    }
+
+    // ---- recovery stages ----
+    // checkpoint = wall time of one explicit checkpoint_now() cut
+    // (worker rendezvous + open-state serialize + spill barrier +
+    // fsync + rename), amortized over every update this run ingested;
+    // recover = wall-clock to construct a recover=true session on the
+    // resulting directory (newest valid checkpoint + segment-log
+    // truncation + disk merge + open-state restore).  The recovered
+    // session must reproduce the clean session's event set exactly.
+    session.flush();
+    const int kCuts = 5;
+    int cuts_ok = 0;
+    auto c0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kCuts; ++i) cuts_ok += session.checkpoint_now() ? 1 : 0;
+    double cut_secs = seconds_since(c0) / kCuts;
+    checkpoint_ns_per_event =
+        cut_secs * 1e9 / static_cast<double>(total_pushed);
+    if (cuts_ok != kCuts) {
+      std::fprintf(stderr, "CHECKPOINT FAILURE: %d of %d explicit cuts "
+                   "succeeded\n", cuts_ok, kCuts);
+      all_equivalent = false;
+    }
+    session.close(config.window_end);
+    std::vector<core::PeerEvent> clean = session.events();
+
+    sconfig.recover = true;
+    auto r0 = std::chrono::steady_clock::now();
+    api::AnalysisSession recovered(sconfig);
+    recover_ms = seconds_since(r0) * 1e3;
+    bool recovery_ok = recovered.recovered();
+    recovered.start();
+    recovered.close(config.window_end);
+    recovery_ok = recovery_ok && recovered.events() == clean;
+    std::printf("recovery: checkpoint cut %.2f ms (%.3f ns/event over %llu "
+                "updates), recover %.1f ms (%zu events)  [%s]\n",
+                cut_secs * 1e3, checkpoint_ns_per_event,
+                static_cast<unsigned long long>(total_pushed), recover_ms,
+                clean.size(),
+                recovery_ok ? "recovered identical" : "RECOVERY MISMATCH");
+    if (!recovery_ok) all_equivalent = false;
+
+    // Telemetry is default-on (the session owns the registry every
+    // layer registers into), so the zero count above was measured WITH
     // the instrumented hot path.  Prove the instruments actually
     // recorded — an empty batch histogram would mean the assertion
     // silently stopped covering the telemetry layer.
     telemetry::MetricsRegistry::Snapshot tsnap =
-        pipeline.metrics().snapshot();
+        session.telemetry().snapshot();
     const auto* batch_metric = tsnap.find("stream.worker.batch_ns");
     telemetry_batches = batch_metric ? batch_metric->hist.count : 0;
     if (telemetry_batches == 0) {
@@ -553,6 +611,9 @@ int main(int argc, char** argv) {
       .set(sink_dispatch_ns);
   bench_registry.gauge("stage.spill_ns_per_event").set(spill_ns);
   bench_registry.gauge("stage.reopen_query_ns_per_event").set(reopen_query_ns);
+  bench_registry.gauge("stage.checkpoint_ns_per_event")
+      .set(checkpoint_ns_per_event);
+  bench_registry.gauge("stage.recover_ms").set(recover_ms);
   telemetry::MetricsRegistry::Snapshot stage_snap = bench_registry.snapshot();
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -573,6 +634,8 @@ int main(int argc, char** argv) {
                allocs_per_subupdate);
   std::fprintf(out, "  \"telemetry_batches_recorded\": %llu,\n",
                static_cast<unsigned long long>(telemetry_batches));
+  std::fprintf(out, "  \"cadence_checkpoints\": %llu,\n",
+               static_cast<unsigned long long>(cadence_checkpoints));
   std::fprintf(out, "  \"stage_breakdown\": %s,\n",
                telemetry::to_json_object(stage_snap, "stage.").c_str());
   std::fprintf(out,

@@ -130,6 +130,17 @@ bool SinkDispatcher::request_snapshot() {
   return true;
 }
 
+bool SinkDispatcher::submit_control(std::function<void()> control) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_space_.wait(lock,
+                 [this] { return queue_.size() < capacity_ || stopping_; });
+  if (stopping_) return false;
+  queue_.push_back(
+      Item{.events = {}, .snapshot = false, .control = std::move(control)});
+  cv_items_.notify_one();
+  return true;
+}
+
 void SinkDispatcher::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -179,6 +190,13 @@ void SinkDispatcher::loop() {
 }
 
 void SinkDispatcher::deliver(const Item& item) {
+  if (item.control) {
+    // Checkpoint cut: runs after every chunk queued before it was
+    // delivered, so the callback observes the grouper exactly at the
+    // cut.
+    item.control();
+    return;
+  }
   if (item.snapshot) {
     publish_snapshot();
     return;

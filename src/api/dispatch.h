@@ -93,6 +93,14 @@ class SinkDispatcher {
   // nothing to race with).
   bool request_snapshot();
 
+  // Queue an arbitrary control callback, ordered with the event
+  // stream: it runs on the dispatch thread after every chunk submitted
+  // before this call and before every one submitted after.  The
+  // checkpoint coordinator uses it to capture the LiveGrouper exactly
+  // at the cut (src/recovery/).  Returns false once stop() has begun —
+  // the callback is then NOT queued and never runs.
+  bool submit_control(std::function<void()> control);
+
   // Drain everything queued, deliver it, then join the thread.
   // Idempotent and safe to race: every caller blocks until the
   // dispatch thread has actually exited, so after stop() returns it is
@@ -122,8 +130,9 @@ class SinkDispatcher {
 
  private:
   struct Item {
-    std::vector<core::PeerEvent> events;  // empty => snapshot request
+    std::vector<core::PeerEvent> events;  // empty => snapshot/control
     bool snapshot = false;
+    std::function<void()> control;  // checkpoint cut callback, if set
   };
 
   void loop();

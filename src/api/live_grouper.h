@@ -43,6 +43,20 @@ class LiveGrouper : public EventSink {
   std::size_t num_peer_events() const;
   std::size_t num_grouped() const;
 
+  // Checkpoint hooks (src/recovery/): capture both flattened layers in
+  // one locked pass, and restore them into a still-empty grouper.
+  void capture_layers(std::vector<core::PrefixEvent>& correlated,
+                      std::vector<core::PrefixEvent>& grouped) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    correlated = grouper_.correlated();
+    grouped = grouper_.grouped();
+  }
+  void restore_layers(std::span<const core::PrefixEvent> correlated,
+                      std::span<const core::PrefixEvent> grouped) {
+    std::lock_guard<std::mutex> lock(mu_);
+    grouper_.restore_layers(correlated, grouped);
+  }
+
  private:
   mutable std::mutex mu_;
   core::IncrementalGrouper grouper_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -40,6 +41,37 @@ AnalysisSession::AnalysisSession(SessionConfig config)
   health_hook_ = metrics_.add_collection_hook([this] {
     health_gauge_->set(static_cast<double>(static_cast<int>(health().state)));
   });
+  const std::size_t shards = config_.num_shards == 0 ? 1 : config_.num_shards;
+  const std::size_t producers =
+      config_.num_producers == 0 ? 1 : config_.num_producers;
+  // Crash recovery, BEFORE the spill writer opens: load the newest
+  // valid checkpoint and truncate the segment log to its durable
+  // position — the writer's own open then recovers/reseals exactly the
+  // boundary segment the truncation left footer-less.
+  std::optional<recovery::LoadResult> loaded;
+  if (live() && config_.recover && !config_.persist_dir.empty()) {
+    loaded = recovery::load_latest_checkpoint(config_.persist_dir);
+    if (loaded) {
+      const recovery::Checkpoint& cp = loaded->checkpoint;
+      if (cp.num_shards != shards || cp.num_producers != producers) {
+        // Routing is deterministic only for the SAME shard/producer
+        // shape; replaying a checkpoint into a different one would
+        // silently duplicate or drop sub-updates.
+        throw std::runtime_error(
+            "bgpbh: checkpoint shape mismatch: checkpoint has " +
+            std::to_string(cp.num_shards) + " shard(s) x " +
+            std::to_string(cp.num_producers) +
+            " producer(s); session configured for " + std::to_string(shards) +
+            " x " + std::to_string(producers));
+      }
+      if (!recovery::truncate_log(config_.persist_dir, cp.position)) {
+        throw std::runtime_error(
+            "bgpbh: segment log in '" + config_.persist_dir +
+            "' holds fewer durable records than checkpoint " +
+            std::to_string(cp.seq) + " claims; refusing silent loss");
+      }
+    }
+  }
   // Persistence wiring order matters: the spill writer's open runs
   // crash recovery (resealing any torn segment), and must do so BEFORE
   // the disk snapshot is taken; the snapshot in turn must be taken
@@ -63,7 +95,11 @@ AnalysisSession::AnalysisSession(SessionConfig config)
                                "' could not be opened for writing");
     }
   }
-  if (reopen() || (config_.resume && !config_.persist_dir.empty())) {
+  // recover-with-checkpoint implies the resume-style merged view: the
+  // truncated log serves every pre-cut closed event; the replayed
+  // suffix regenerates exactly the post-cut ones live.
+  if (reopen() ||
+      ((config_.resume || loaded.has_value()) && !config_.persist_dir.empty())) {
     disk_ = storage::SegmentSet::open(config_.persist_dir);
     // Fold the disk summary streamingly — one segment block in memory
     // at a time, never the whole archive.
@@ -89,10 +125,98 @@ AnalysisSession::AnalysisSession(SessionConfig config)
             spill_->submit(std::move(chunk));
           });
     }
+    // Restore the checkpointed cut into the not-yet-started pipeline:
+    // open state into the shard engines, absolute watermarks into the
+    // workers (so the NEXT checkpoint's watermarks stay absolute),
+    // replay-skips into the producers, layers into the grouper.
+    if (loaded) {
+      recovery::Checkpoint& cp = loaded->checkpoint;
+      for (std::size_t s = 0; s < cp.shards.size(); ++s) {
+        pipeline_->seed_watermarks(s, cp.shards[s].watermarks);
+        pipeline_->shard_engine(s).import_open_state(
+            std::move(cp.shards[s].open_state));
+      }
+      for (std::size_t p = 0; p < producers; ++p) {
+        std::vector<std::uint64_t> skip(cp.shards.size(), 0);
+        for (std::size_t s = 0; s < cp.shards.size(); ++s) {
+          skip[s] = cp.shards[s].watermarks[p];
+        }
+        pipeline_->producer(p).set_replay_skip(std::move(skip));
+      }
+      grouper_.restore_layers(cp.correlated, cp.grouped);
+      recovered_ = true;
+      recovered_seq_ = cp.seq;
+    }
     // §4.2 initialization is part of the configured study in every
-    // mode (study.table_dump_episodes == 0 disables it).
+    // mode (study.table_dump_episodes == 0 disables it) — but a
+    // checkpoint that already covers the dump's opens must not fold
+    // them in twice.
+    const bool dump_covered = loaded && loaded->checkpoint.includes_table_dump;
+    bool has_dump = dump_covered;
     if (auto dump = study_->initial_table_dump()) {
-      pipeline_->init_from_table_dump(routing::Platform::kRis, *dump);
+      has_dump = true;
+      if (!dump_covered) {
+        pipeline_->init_from_table_dump(routing::Platform::kRis, *dump);
+      }
+    }
+    // Supervision + ingest-validation planes.
+    recovery::QuarantineConfig qc;
+    qc.max_as_path_hops = config_.max_as_path_hops;
+    qc.max_communities = config_.max_communities;
+    qc.error_budget = config_.poison_error_budget;
+    qc.metrics = &metrics_;
+    quarantine_ = std::make_unique<recovery::PoisonQuarantine>(producers, qc);
+    if (config_.stall_deadline.count() > 0) {
+      std::vector<recovery::WatchedShard> watched;
+      watched.reserve(shards);
+      for (std::size_t i = 0; i < shards; ++i) {
+        watched.push_back(recovery::WatchedShard{
+            [this, i] { return pipeline_->shard_heartbeat(i); },
+            [this, i] { return pipeline_->shard_queue_depth(i); }});
+      }
+      recovery::WatchdogConfig wc;
+      wc.poll = config_.watchdog_poll;
+      wc.stall_deadline = config_.stall_deadline;
+      wc.metrics = &metrics_;
+      watchdog_ = std::make_unique<recovery::Watchdog>(std::move(watched), wc);
+    }
+    // Checkpoint coordinator: wired whenever recovery could matter
+    // (cadence configured, or this session recovers — its successor
+    // will want a checkpoint too).
+    if (spill_ && (config_.checkpoint_every > 0 || config_.recover)) {
+      recovery::CoordinatorHooks hooks;
+      hooks.capture = [this](const std::function<void()>& fn,
+                             std::vector<stream::ShardCapture>& out) {
+        return pipeline_->capture(fn, out);
+      };
+      hooks.barrier = [this](storage::SpillWriter::BarrierResult& r) {
+        return spill_->barrier(r);
+      };
+      hooks.submit_control = [this](std::function<void()> fn) {
+        return dispatching() && dispatcher_->submit_control(std::move(fn));
+      };
+      hooks.capture_grouper = [this](std::vector<core::PrefixEvent>& c,
+                                     std::vector<core::PrefixEvent>& g) {
+        grouper_.capture_layers(c, g);
+      };
+      hooks.set_retention_floor = [this](std::uint64_t seq) {
+        spill_->set_retention_floor(seq);
+      };
+      hooks.updates_pushed = [this] { return pipeline_->updates_pushed(); };
+      recovery::CoordinatorConfig cc;
+      cc.dir = config_.persist_dir;
+      cc.num_shards = static_cast<std::uint32_t>(shards);
+      cc.num_producers = static_cast<std::uint32_t>(producers);
+      cc.checkpoint_every = config_.checkpoint_every;
+      cc.metrics = &metrics_;
+      coordinator_ = std::make_unique<recovery::CheckpointCoordinator>(
+          std::move(hooks), cc);
+      coordinator_->set_includes_table_dump(has_dump);
+      if (recovered_) coordinator_->set_next_seq(recovered_seq_ + 1);
+      // Bootstrap cut: a recovery-enabled session killed before its
+      // first cadence checkpoint still leaves a valid restore point
+      // (covering the table-dump / recovered state it started from).
+      coordinator_->checkpoint_now();
     }
   }
 }
@@ -167,6 +291,11 @@ SessionHealth AnalysisSession::health() const {
     }
     overall.components.push_back(std::move(c));
   }
+  if (quarantine_) overall.components.push_back(quarantine_->component_health());
+  if (watchdog_) overall.components.push_back(watchdog_->component_health());
+  if (coordinator_) {
+    overall.components.push_back(coordinator_->component_health());
+  }
   for (const HealthReporter* reporter : health_reporters_) {
     overall.components.push_back(reporter->component_health());
   }
@@ -221,6 +350,8 @@ void AnalysisSession::start() {
   std::call_once(start_once_, [this] {
     start_dispatcher();
     pipeline_->start();
+    if (watchdog_) watchdog_->start();
+    if (coordinator_) coordinator_->start();
     started_.store(true, std::memory_order_release);
   });
 }
@@ -230,6 +361,9 @@ bool AnalysisSession::push(const routing::FeedUpdate& update,
   require_live("push()");
   if (closed_) return false;  // defined: nothing accepted, nothing started
   if (!started_.load(std::memory_order_acquire)) start();
+  // Poison quarantine: reject absurd updates before they can reach a
+  // shard worker (an adversarial feed must degrade health, not state).
+  if (quarantine_ && !quarantine_->admit(update, producer)) return false;
   return pipeline_->producer(producer).push(update);
 }
 
@@ -254,6 +388,11 @@ void AnalysisSession::close(util::SimTime end_time) {
   // and subscribers still get their final snapshot.
   if (!started_.load(std::memory_order_acquire)) start();
   closed_ = true;
+  // Supervision planes stop first: a checkpoint cut racing finish()'s
+  // worker join would only ever abandon, and the watchdog would read
+  // heartbeats from joining workers.
+  if (coordinator_) coordinator_->stop();
+  if (watchdog_) watchdog_->stop();
   // finish() flushes the producers, joins the workers, and force-closes
   // still-open events — every resulting chunk still flows through the
   // store listener into the dispatcher before the queue stops.
@@ -488,6 +627,19 @@ std::uint64_t AnalysisSession::updates_pushed() const {
 std::size_t AnalysisSession::num_shards() const {
   if (reopen()) return 0;
   return live() ? pipeline_->num_shards() : 1;
+}
+
+bool AnalysisSession::checkpoint_now() {
+  require_live("checkpoint_now()");
+  return coordinator_ && coordinator_->checkpoint_now();
+}
+
+std::uint64_t AnalysisSession::checkpoints_written() const {
+  return coordinator_ ? coordinator_->checkpoints_written() : 0;
+}
+
+std::uint64_t AnalysisSession::poison_rejected() const {
+  return quarantine_ ? quarantine_->total_poisoned() : 0;
 }
 
 std::uint64_t AnalysisSession::events_persisted() const {

@@ -58,6 +58,9 @@
 #include "api/query.h"
 #include "api/sink.h"
 #include "core/study.h"
+#include "recovery/coordinator.h"
+#include "recovery/quarantine.h"
+#include "recovery/watchdog.h"
 #include "storage/segment_reader.h"
 #include "storage/spill.h"
 #include "stream/pipeline.h"
@@ -138,6 +141,41 @@ struct SessionConfig {
   // the sink plane with exact shed accounting (dispatch events_shed).
   OverloadPolicy sink_overload = OverloadPolicy::kBlock;
   std::chrono::nanoseconds sink_shed_deadline = std::chrono::milliseconds(100);
+
+  // ---- crash recovery & supervision (src/recovery/) --------------------
+  // > 0 (live modes with persist_dir): cut a crash-consistent
+  // checkpoint of all open state — per-shard ActiveState tables,
+  // per-producer ingest watermarks, §9 grouper layers, the durable log
+  // position — every this many accepted updates.  Cuts happen at a
+  // worker rendezvous off the hot path; a SIGKILL between cuts loses
+  // no durable state (see `recover`).  0 disables the cadence;
+  // checkpoint_now() still works when persist_dir is set.
+  std::uint64_t checkpoint_every = 0;
+  // Live modes with persist_dir: on construction, load the newest
+  // valid checkpoint from persist_dir (torn/corrupt files fall back to
+  // the previous one), truncate the segment log to the checkpoint's
+  // durable position, restore every shard's open state + the grouper
+  // layers, and arm each producer to skip its already-processed
+  // sub-update prefix.  The caller must then re-feed the SAME source
+  // with the SAME producer partition; routing determinism makes the
+  // replay exactly-once.  Implies the resume-style merged live+disk
+  // query view (pre-crash closed events are served from the log).
+  // Shard/producer counts must match the checkpoint's or the
+  // constructor throws.  No checkpoint in the directory = fresh start.
+  bool recover = false;
+  // Watchdog (supervision plane): a shard whose heartbeat freezes for
+  // `stall_deadline` while its queue holds work degrades health() and
+  // raises the recovery.watchdog.stalled_shards alarm gauge.  0
+  // disables the watchdog thread.
+  std::chrono::milliseconds stall_deadline = std::chrono::seconds(2);
+  std::chrono::milliseconds watchdog_poll = std::chrono::milliseconds(50);
+  // Poison-update quarantine: push() rejects announcements whose AS
+  // path / community attribute exceeds these (counted per producer,
+  // never silent; see recovery::PoisonQuarantine).  A producer
+  // exceeding `poison_error_budget` rejections degrades health().
+  std::size_t max_as_path_hops = 1024;
+  std::size_t max_communities = 4096;
+  std::uint64_t poison_error_budget = 100;
 };
 
 class AnalysisSession {
@@ -208,6 +246,20 @@ class AnalysisSession {
   std::uint64_t feed(stream::UpdateSource& source);
   void close(util::SimTime end_time);
   bool closed() const { return closed_; }
+
+  // ---- crash recovery & supervision (src/recovery/) --------------------
+  // Cut one checkpoint now (live modes with persist_dir).  False when
+  // checkpointing is not wired or the cut was abandoned (shutdown
+  // race, degraded disk, failed write) — the previous checkpoint then
+  // remains authoritative.
+  bool checkpoint_now();
+  // True when this session restored state from a checkpoint, and the
+  // seq of the checkpoint it restored (0 otherwise).
+  bool recovered() const { return recovered_; }
+  std::uint64_t recovered_checkpoint_seq() const { return recovered_seq_; }
+  std::uint64_t checkpoints_written() const;
+  // Updates rejected by the poison quarantine, across all producers.
+  std::uint64_t poison_rejected() const;
 
   // ---- health (api/health.h) -------------------------------------------
   // Point-in-time health of every component: the spill writer
@@ -324,6 +376,14 @@ class AnalysisSession {
   // the dispatcher must be destroyed (stopped) after the pipeline.
   std::unique_ptr<SinkDispatcher> dispatcher_;
   std::unique_ptr<stream::StreamPipeline> pipeline_;
+  // Recovery plane, declared after pipeline_ so destruction stops the
+  // coordinator/watchdog threads (whose hooks read pipeline_, spill_,
+  // dispatcher_) while those members are still alive.
+  std::unique_ptr<recovery::PoisonQuarantine> quarantine_;
+  std::unique_ptr<recovery::Watchdog> watchdog_;
+  std::unique_ptr<recovery::CheckpointCoordinator> coordinator_;
+  bool recovered_ = false;
+  std::uint64_t recovered_seq_ = 0;
   // One-shot start: call_once makes racing first pushes block until
   // the winner has installed the dispatcher + store listener, so no
   // update can reach a worker before the subscription layer is wired.

@@ -377,4 +377,54 @@ std::vector<PeerEvent> InferenceEngine::drain_closed() {
 
 std::size_t InferenceEngine::open_event_count() const { return active_.size(); }
 
+std::vector<OpenEventState> InferenceEngine::export_open_state() const {
+  std::vector<OpenEventState> out;
+  out.reserve(active_.size());
+  for (const auto& [key, state] : active_) {
+    OpenEventState open;
+    open.peer = key.first;
+    open.prefix = key.second;
+    open.start = state.start;
+    open.platform = state.platform;
+    open.from_table_dump = state.from_table_dump;
+    open.detections.reserve(state.detections.size());
+    for (const auto& d : state.detections) {
+      open.detections.push_back(OpenDetection{
+          .provider = d.provider,
+          .user = d.user,
+          .kind = d.kind,
+          .as_distance = d.as_distance,
+      });
+    }
+    open.communities = state.communities;
+    out.push_back(std::move(open));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpenEventState& a, const OpenEventState& b) {
+              return StateKey{a.peer, a.prefix} < StateKey{b.peer, b.prefix};
+            });
+  return out;
+}
+
+void InferenceEngine::import_open_state(std::vector<OpenEventState> states) {
+  for (auto& open : states) {
+    ActiveState state;
+    state.start = open.start;
+    state.platform = open.platform;
+    state.from_table_dump = open.from_table_dump;
+    state.detections.reserve(open.detections.size());
+    for (const auto& d : open.detections) {
+      state.detections.push_back(Detection{
+          .provider = d.provider,
+          .user = d.user,
+          .kind = d.kind,
+          .as_distance = d.as_distance,
+      });
+    }
+    state.communities = std::move(open.communities);
+    active_.insert_or_assign(StateKey{open.peer, open.prefix},
+                             std::move(state));
+  }
+}
+
 }  // namespace bgpbh::core

@@ -79,6 +79,32 @@ struct UpdateView {
   const bgp::CommunitySet* communities = nullptr;
 };
 
+// One detected provider of an open (not yet closed) blackhole event —
+// the serializable mirror of the engine's internal Detection record,
+// exported by checkpointing (src/recovery/) and re-imported on crash
+// recovery.
+struct OpenDetection {
+  ProviderRef provider;
+  Asn user = 0;
+  DetectionKind kind = DetectionKind::kProviderOnPath;
+  int as_distance = kNoPathDistance;
+  friend bool operator==(const OpenDetection&, const OpenDetection&) = default;
+};
+
+// Full open state of one (peer, prefix) key: everything close_event()
+// and finish() read, so an engine restored from this state closes the
+// event byte-identically to the engine that exported it.
+struct OpenEventState {
+  bgp::PeerKey peer;
+  net::Prefix prefix;
+  util::SimTime start = 0;
+  Platform platform = Platform::kRis;
+  bool from_table_dump = false;
+  std::vector<OpenDetection> detections;
+  bgp::CommunitySet communities;
+  friend bool operator==(const OpenEventState&, const OpenEventState&) = default;
+};
+
 struct EngineStats {
   std::uint64_t updates_processed = 0;
   std::uint64_t announcements_seen = 0;
@@ -137,6 +163,15 @@ class InferenceEngine {
   std::vector<PeerEvent> drain_closed();
   std::size_t open_event_count() const;
   const EngineStats& stats() const { return stats_; }
+
+  // Checkpoint hooks (src/recovery/): export the ActiveState table as
+  // serializable records, sorted by (peer, prefix) key so the listing
+  // is deterministic across hash-map layouts.  Counterpart import
+  // re-creates the table exactly; it is only valid on an engine that
+  // has processed nothing yet, and deliberately does NOT touch stats_
+  // (stats are per-process observations, not recovered state).
+  std::vector<OpenEventState> export_open_state() const;
+  void import_open_state(std::vector<OpenEventState> states);
 
  private:
   struct Detection {

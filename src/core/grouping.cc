@@ -123,6 +123,22 @@ std::vector<PrefixEvent> IncrementalGrouper::correlated() const {
   }, num_correlated_);
 }
 
+void IncrementalGrouper::restore_layers(
+    std::span<const PrefixEvent> correlated,
+    std::span<const PrefixEvent> grouped) {
+  assert(per_prefix_.empty() && "restore_layers requires an empty grouper");
+  for (const auto& e : correlated) {
+    per_prefix_[e.prefix].correlated.emplace(e.start, e);
+    ++num_correlated_;
+  }
+  num_peer_events_ = 0;
+  for (const auto& e : grouped) {
+    per_prefix_[e.prefix].grouped.emplace(e.start, e);
+    ++num_grouped_;
+    num_peer_events_ += e.num_peer_events;
+  }
+}
+
 std::vector<PrefixEvent> IncrementalGrouper::grouped() const {
   return flatten(per_prefix_, [](const PrefixState& s) -> const IntervalMap& {
     return s.grouped;

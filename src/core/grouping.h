@@ -71,6 +71,14 @@ class IncrementalGrouper {
   util::SimTime tolerance() const { return tolerance_; }
   util::SimTime timeout() const { return timeout_; }
 
+  // Checkpoint hook (src/recovery/): rebuild both layers from their
+  // flattened forms — correlated()/grouped() of the grouper being
+  // restored — without re-merging (the flattened entries are already
+  // the disjoint merged intervals of each layer).  Only valid on a
+  // grouper that holds nothing yet, with matching thresholds.
+  void restore_layers(std::span<const PrefixEvent> correlated,
+                      std::span<const PrefixEvent> grouped);
+
  private:
   // Disjoint merged intervals of one prefix, keyed by start time.  The
   // invariant (any two entries are separated by a gap greater than the

@@ -1,0 +1,131 @@
+// Crash-consistent checkpoints of the live pipeline's open state.
+//
+// The segment log (src/storage/) already makes CLOSED events durable;
+// what a SIGKILL used to lose was everything still open: per-shard
+// ActiveState tables, the grouper's §9 layers, and the knowledge of
+// how far each producer's feed had been consumed.  A checkpoint
+// captures exactly that, cut at a quiesced rendezvous point
+// (stream::WorkerPool::capture), and stamps it with
+//
+//   * per-(shard, producer) watermarks — how many sub-update refs each
+//     worker had processed from each producer at the cut, and
+//   * the durable log position (storage::DurablePos) reported by the
+//     spill barrier that ran inside the same cut,
+//
+// so restart = load the newest valid checkpoint + truncate the log to
+// its position + re-feed the source with each producer skipping its
+// watermarked prefix.  Routing is deterministic (stream::shard_for),
+// so the skip replays the exact sub-update suffix each shard had not
+// yet seen: open state is restored byte-identically and no closed
+// event is ever duplicated or dropped.
+//
+// File format (all integers big-endian, net::BufWriter):
+//
+//   u32 magic "BHCK" | u8 version | payload |
+//   u32 payload_len | u32 crc32(payload) | u32 magic
+//
+// The whole-file trailer is validated before any payload field is
+// trusted, and the payload decoder is fuzz-hardened like the record
+// codec (tests/test_fuzz_codecs.cc): torn writes, bit flips and
+// truncations are rejected, never mis-loaded.  load_latest_checkpoint
+// falls back to the previous file on any invalid newest one — which is
+// why write_checkpoint keeps the last two and writes atomically
+// (tmp + fsync + rename + directory fsync).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/events.h"
+#include "net/bytes.h"
+#include "storage/segment_writer.h"
+
+namespace bgpbh::recovery {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4248434B;  // "BHCK"
+inline constexpr std::uint8_t kCheckpointVersion = 1;
+// magic(4) + version(1) ... payload_len(4) + crc(4) + magic(4).
+inline constexpr std::size_t kCheckpointHeaderBytes = 5;
+inline constexpr std::size_t kCheckpointTrailerBytes = 12;
+
+// One shard's slice of the cut: the watermarks vector is indexed by
+// producer (always exactly num_producers long) and the open state is
+// the engine's exported ActiveState table in deterministic key order.
+struct ShardCheckpoint {
+  std::vector<std::uint64_t> watermarks;
+  std::vector<core::OpenEventState> open_state;
+  friend bool operator==(const ShardCheckpoint&,
+                         const ShardCheckpoint&) = default;
+};
+
+struct Checkpoint {
+  // Monotone ordinal; newest wins at load time and names the file.
+  std::uint64_t seq = 0;
+  std::uint32_t num_shards = 0;
+  std::uint32_t num_producers = 0;
+  // True once the session's initial table dump has been folded in: a
+  // recovered session must then SKIP init_from_table_dump (the dump's
+  // opens are part of the captured state and the replayed stream).
+  bool includes_table_dump = false;
+  // Durable log position at the cut (spill barrier result): every
+  // closed event the checkpoint's watermarks account for is on disk at
+  // or before this position.
+  storage::DurablePos position;
+  std::vector<ShardCheckpoint> shards;
+  // LiveGrouper layers at the cut (empty when no sinks dispatch).
+  std::vector<core::PrefixEvent> correlated;
+  std::vector<core::PrefixEvent> grouped;
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+// ---- payload codec (fuzz-hardened, same discipline as record_codec) ---
+
+void encode_checkpoint_payload(const Checkpoint& cp, net::BufWriter& out);
+std::optional<Checkpoint> decode_checkpoint_payload(net::BufReader& in);
+
+// Frames payload with the header + CRC trailer described above.
+std::vector<std::uint8_t> encode_checkpoint_file(const Checkpoint& cp);
+// Validates framing + CRC + payload; nullopt on ANY defect.
+std::optional<Checkpoint> decode_checkpoint_file(
+    std::span<const std::uint8_t> file);
+
+// ---- file I/O ---------------------------------------------------------
+
+// "checkpoint-000042.ckpt".
+std::string checkpoint_file_name(std::uint64_t seq);
+// Inverse; 0 for names that are not checkpoint files (seq starts at 1).
+std::uint64_t parse_checkpoint_seq(const std::string& file_name);
+
+// Atomically writes cp into `dir` (tmp file + fsync + rename + dir
+// fsync) and prunes all but the newest `keep` checkpoints.  False on
+// any I/O failure — the tmp file is removed and prior checkpoints are
+// untouched, so a failed write never costs recoverability.
+bool write_checkpoint(const std::string& dir, const Checkpoint& cp,
+                      std::size_t keep = 2);
+
+struct LoadResult {
+  Checkpoint checkpoint;
+  // Newer checkpoint files that failed validation and were skipped
+  // (torn final write, bit rot) before this one loaded.
+  std::uint64_t skipped_corrupt = 0;
+};
+
+// Scans `dir` newest-first and returns the first checkpoint that
+// validates end to end; nullopt when none does (or the dir is empty).
+std::optional<LoadResult> load_latest_checkpoint(const std::string& dir);
+
+// Truncates the segment log in `dir` to exactly the durable prefix a
+// checkpoint covers: segments newer than pos.seq are deleted and the
+// segment AT pos.seq is rewritten to its first pos.records records,
+// footer-less (SegmentWriter::open's torn-segment recovery reseals it).
+// pos.records == 0 removes that segment entirely.  False when the
+// on-disk log holds FEWER valid records than the checkpoint's durable
+// position claims — the log is then corrupted past fsync's promise and
+// recovery must not proceed silently.
+bool truncate_log(const std::string& dir, storage::DurablePos pos);
+
+}  // namespace bgpbh::recovery

@@ -1,0 +1,187 @@
+#include "recovery/coordinator.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace bgpbh::recovery {
+
+CheckpointCoordinator::CheckpointCoordinator(CoordinatorHooks hooks,
+                                             CoordinatorConfig config)
+    : hooks_(std::move(hooks)), config_(std::move(config)) {
+  if (!config_.metrics) return;
+  config_.metrics->describe("recovery.checkpoint.written",
+                            "Checkpoints durably written");
+  config_.metrics->describe(
+      "recovery.checkpoint.abandoned",
+      "Checkpoint cuts abandoned (shutdown race, degraded disk, failed "
+      "write)");
+  config_.metrics->describe("recovery.checkpoint.duration_ns",
+                            "Wall time per checkpoint cut (ns: rendezvous + "
+                            "barrier + serialize + fsync)");
+  config_.metrics->describe("recovery.checkpoint.last_seq",
+                            "Seq of the newest durable checkpoint");
+  written_ctr_ = &config_.metrics->counter("recovery.checkpoint.written");
+  abandoned_ctr_ = &config_.metrics->counter("recovery.checkpoint.abandoned");
+  duration_hist_ =
+      &config_.metrics->histogram("recovery.checkpoint.duration_ns");
+  last_seq_gauge_ = &config_.metrics->gauge("recovery.checkpoint.last_seq");
+}
+
+CheckpointCoordinator::~CheckpointCoordinator() { stop(); }
+
+void CheckpointCoordinator::start() {
+  if (config_.checkpoint_every == 0 || thread_.joinable()) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void CheckpointCoordinator::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void CheckpointCoordinator::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, config_.poll, [this] { return stopping_; });
+    if (stopping_) return;
+    const std::uint64_t pushed = hooks_.updates_pushed();
+    if (pushed - last_trigger_ < config_.checkpoint_every) continue;
+    // Advance the trigger before the cut: a persistently failing disk
+    // must not turn every poll tick into a full rendezvous.
+    last_trigger_ = pushed;
+    lock.unlock();
+    checkpoint_now();
+    lock.lock();
+  }
+}
+
+bool CheckpointCoordinator::checkpoint_now() {
+  std::lock_guard<std::mutex> serial(serial_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Grouper-capture ticket: filled on the dispatch thread (ordered
+  // with the event stream) or inline when there is no dispatcher.
+  // Stack-allocated, so a queued control MUST be awaited before this
+  // function returns on every path.
+  struct GrouperTicket {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::vector<core::PrefixEvent> correlated;
+    std::vector<core::PrefixEvent> grouped;
+  } ticket;
+  bool control_queued = false;
+
+  std::vector<stream::ShardCapture> captures;
+  storage::SpillWriter::BarrierResult barrier;
+  bool barrier_reached = false;
+
+  const bool captured = hooks_.capture(
+      [&] {
+        // Runs with ALL workers held at the cut: every pre-cut chunk
+        // is already in the spill and dispatch queues, and no post-cut
+        // chunk can be enqueued until the workers are released — so
+        // both items below land exactly at the cut in queue order.
+        if (hooks_.submit_control) {
+          control_queued = hooks_.submit_control([this, &ticket] {
+            std::vector<core::PrefixEvent> correlated, grouped;
+            hooks_.capture_grouper(correlated, grouped);
+            {
+              std::lock_guard<std::mutex> lk(ticket.m);
+              ticket.correlated = std::move(correlated);
+              ticket.grouped = std::move(grouped);
+              ticket.done = true;
+            }
+            ticket.cv.notify_all();
+          });
+        }
+        if (!control_queued && hooks_.capture_grouper) {
+          // No dispatcher (or it is stopping): the grouper is not
+          // being fed concurrently, capture it here at the cut.
+          hooks_.capture_grouper(ticket.correlated, ticket.grouped);
+          ticket.done = true;
+        }
+        barrier_reached = hooks_.barrier && hooks_.barrier(barrier);
+      },
+      captures);
+
+  // The ticket is on this stack frame: if a control was queued, wait
+  // for the dispatch thread to run it no matter how the cut ends
+  // (stop() drains the queue before joining, so it always runs).
+  if (control_queued) {
+    std::unique_lock<std::mutex> lk(ticket.m);
+    ticket.cv.wait(lk, [&ticket] { return ticket.done; });
+  }
+
+  auto abandon = [&](const char* why) {
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
+    if (abandoned_ctr_) abandoned_ctr_->add();
+    last_failed_.store(true, std::memory_order_relaxed);
+    util::Log(util::LogLevel::kWarn, "recovery")
+        .msg("checkpoint abandoned")
+        .kv("reason", why);
+    return false;
+  };
+
+  if (!captured) return abandon("pipeline shut down during rendezvous");
+  if (!barrier_reached) return abandon("spill writer stopped at barrier");
+  if (!barrier.ok) return abandon("disk degraded: durable position stale");
+
+  Checkpoint cp;
+  cp.seq = next_seq_;
+  cp.num_shards = config_.num_shards;
+  cp.num_producers = config_.num_producers;
+  cp.includes_table_dump =
+      includes_table_dump_.load(std::memory_order_relaxed);
+  cp.position = barrier.pos;
+  cp.shards.reserve(captures.size());
+  for (stream::ShardCapture& capture : captures) {
+    cp.shards.push_back(ShardCheckpoint{std::move(capture.watermarks),
+                                        std::move(capture.open_state)});
+  }
+  cp.correlated = std::move(ticket.correlated);
+  cp.grouped = std::move(ticket.grouped);
+
+  if (!write_checkpoint(config_.dir, cp, config_.keep)) {
+    // Burn the seq anyway: a half-written tmp file must never collide
+    // with a retried cut's final name.
+    ++next_seq_;
+    return abandon("checkpoint file write failed");
+  }
+  ++next_seq_;
+
+  // Durable: NOW the log prefix older checkpoints pinned can go.
+  if (hooks_.set_retention_floor) hooks_.set_retention_floor(cp.position.seq);
+
+  written_.fetch_add(1, std::memory_order_relaxed);
+  last_seq_.store(cp.seq, std::memory_order_relaxed);
+  last_failed_.store(false, std::memory_order_relaxed);
+  if (written_ctr_) written_ctr_->add();
+  if (last_seq_gauge_) last_seq_gauge_->set(static_cast<double>(cp.seq));
+  if (duration_hist_) {
+    duration_hist_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  return true;
+}
+
+api::ComponentHealth CheckpointCoordinator::component_health() const {
+  api::ComponentHealth health;
+  health.component = "checkpoint";
+  if (!last_failed_.load(std::memory_order_relaxed)) return health;
+  health.state = api::HealthState::kDegraded;
+  health.reason =
+      "last checkpoint cut failed; recovery point is stale (newest durable "
+      "seq: " +
+      std::to_string(last_seq_.load(std::memory_order_relaxed)) + ")";
+  return health;
+}
+
+}  // namespace bgpbh::recovery

@@ -1,0 +1,151 @@
+// CheckpointCoordinator: decides WHEN to cut a checkpoint and
+// orchestrates the cut across the three planes that must agree on it:
+//
+//   1. stream::WorkerPool::capture holds every shard worker at a batch
+//      boundary (each worker force-drains its closed events into the
+//      store first, so every pre-cut chunk is already in the spill and
+//      dispatch queues);
+//   2. while the workers are held, the coordinator enqueues a spill
+//      barrier (ordered with the chunks — the writer thread lands
+//      everything pre-cut, then reports the durable log position) and
+//      a dispatch control item (ordered with the event stream — it
+//      captures the LiveGrouper exactly at the cut);
+//   3. workers resume; the coordinator assembles the Checkpoint from
+//      the captured shard state + barrier position + grouper layers
+//      and writes it atomically (src/recovery/checkpoint.h).
+//
+// Only after the checkpoint file is durably on disk does the retention
+// floor advance (storage::SpillWriter::set_retention_floor), so the
+// log suffix a checkpoint needs for replay is never retired before a
+// NEWER checkpoint supersedes it.  A barrier that reports !ok (disk
+// degraded, backlog parked in memory) abandons the cut: the previous
+// checkpoint stays authoritative and nothing advances.
+//
+// All pipeline/session touch-points are std::function hooks, so the
+// coordinator is unit-testable without a session and the session wires
+// it up without a dependency cycle.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/health.h"
+#include "core/events.h"
+#include "recovery/checkpoint.h"
+#include "storage/spill.h"
+#include "stream/worker_pool.h"
+#include "telemetry/metrics.h"
+
+namespace bgpbh::recovery {
+
+struct CoordinatorHooks {
+  // stream::StreamPipeline::capture — rendezvous + run the callback
+  // while all workers are held.  False once the pipeline shut down.
+  std::function<bool(const std::function<void()>&,
+                     std::vector<stream::ShardCapture>&)>
+      capture;
+  // storage::SpillWriter::barrier — blocks until the writer thread
+  // lands everything enqueued before it.  Called inside the rendezvous
+  // callback so the barrier is ordered after every pre-cut chunk.
+  std::function<bool(storage::SpillWriter::BarrierResult&)> barrier;
+  // api::SinkDispatcher::submit_control, or null when the session has
+  // no dispatcher (the grouper is then unfed and captured inline).
+  std::function<bool(std::function<void()>)> submit_control;
+  // api::LiveGrouper::capture_layers.
+  std::function<void(std::vector<core::PrefixEvent>&,
+                     std::vector<core::PrefixEvent>&)>
+      capture_grouper;
+  // storage::SpillWriter::set_retention_floor; called only after a
+  // checkpoint is durably written.
+  std::function<void(std::uint64_t)> set_retention_floor;
+  // Session-level accepted-update count (cadence trigger).
+  std::function<std::uint64_t()> updates_pushed;
+};
+
+struct CoordinatorConfig {
+  std::string dir;
+  std::uint32_t num_shards = 1;
+  std::uint32_t num_producers = 1;
+  // Cut a checkpoint every this many accepted updates (0 disables the
+  // cadence thread; checkpoint_now() still works).
+  std::uint64_t checkpoint_every = 0;
+  // Cadence thread sampling interval.
+  std::chrono::milliseconds poll = std::chrono::milliseconds(20);
+  // Checkpoint files retained on disk (newest N).
+  std::size_t keep = 2;
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+class CheckpointCoordinator : public api::HealthReporter {
+ public:
+  CheckpointCoordinator(CoordinatorHooks hooks, CoordinatorConfig config);
+  ~CheckpointCoordinator() override;
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  // Recovery seeding, before start(): the next checkpoint's ordinal
+  // (loaded seq + 1) and whether the table dump is already part of the
+  // captured stream.
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+  void set_includes_table_dump(bool v) { includes_table_dump_ = v; }
+
+  void start();  // cadence thread (no-op when checkpoint_every == 0)
+  void stop();
+
+  // Cut one checkpoint now.  Serialized against the cadence thread;
+  // false when the cut was abandoned (pipeline shut down, disk
+  // degraded at the barrier, or the file write failed) — the previous
+  // checkpoint then remains authoritative.
+  bool checkpoint_now();
+
+  std::uint64_t checkpoints_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoints_abandoned() const {
+    return abandoned_.load(std::memory_order_relaxed);
+  }
+  // Seq of the newest durable checkpoint (0 = none yet).
+  std::uint64_t last_checkpoint_seq() const {
+    return last_seq_.load(std::memory_order_relaxed);
+  }
+
+  // "checkpoint" component: kDegraded while the most recent cut
+  // failed (recoverability is stale, not lost).
+  api::ComponentHealth component_health() const override;
+
+ private:
+  void loop();
+
+  CoordinatorHooks hooks_;
+  CoordinatorConfig config_;
+
+  std::mutex serial_mu_;  // one cut at a time (cadence vs explicit)
+  std::uint64_t next_seq_ = 1;           // guarded by serial_mu_
+  std::atomic<bool> includes_table_dump_{false};
+
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
+  std::atomic<std::uint64_t> last_seq_{0};
+  std::atomic<bool> last_failed_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t last_trigger_ = 0;  // cadence thread only
+  std::thread thread_;
+
+  telemetry::Counter* written_ctr_ = nullptr;
+  telemetry::Counter* abandoned_ctr_ = nullptr;
+  telemetry::LatencyHistogram* duration_hist_ = nullptr;
+  telemetry::Gauge* last_seq_gauge_ = nullptr;
+};
+
+}  // namespace bgpbh::recovery

@@ -1,0 +1,78 @@
+#include "recovery/quarantine.h"
+
+#include <string>
+
+#include "util/log.h"
+
+namespace bgpbh::recovery {
+
+PoisonQuarantine::PoisonQuarantine(std::size_t num_producers,
+                                   QuarantineConfig config)
+    : config_(config), counts_(num_producers == 0 ? 1 : num_producers) {
+  if (!config_.metrics) return;
+  config_.metrics->describe(
+      "recovery.quarantine.rejected",
+      "Poison updates rejected at ingest (absurd path/community sizes)");
+  config_.metrics->describe(
+      "recovery.quarantine.over_budget",
+      "Producers whose poison count exceeded the error budget (alarm)");
+  rejected_ctr_ = &config_.metrics->counter("recovery.quarantine.rejected");
+  over_budget_gauge_ =
+      &config_.metrics->gauge("recovery.quarantine.over_budget");
+}
+
+bool PoisonQuarantine::admit(const routing::FeedUpdate& update,
+                             std::size_t producer) {
+  const auto& body = update.update.body;
+  const std::size_t hops = body.as_path.length();
+  const std::size_t communities =
+      body.communities.classic().size() + body.communities.large().size();
+  if (hops <= config_.max_as_path_hops &&
+      communities <= config_.max_communities) {
+    return true;
+  }
+  const std::size_t slot = producer < counts_.size() ? producer : 0;
+  counts_[slot].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (rejected_ctr_) rejected_ctr_->add();
+  if (over_budget_gauge_) {
+    std::size_t over = 0;
+    for (const auto& c : counts_) {
+      if (c.load(std::memory_order_relaxed) > config_.error_budget) ++over;
+    }
+    over_budget_gauge_->set(static_cast<double>(over));
+  }
+  static util::LogRateLimiter limit(/*per_second=*/0.5, /*burst=*/3.0);
+  if (limit.allow()) {
+    util::Log(util::LogLevel::kWarn, "quarantine")
+        .msg("rejected poison update")
+        .kv("producer", slot)
+        .kv("as_path_hops", hops)
+        .kv("communities", communities)
+        .kv("suppressed", limit.last_suppressed());
+  }
+  return false;
+}
+
+api::ComponentHealth PoisonQuarantine::component_health() const {
+  api::ComponentHealth health;
+  health.component = "quarantine";
+  std::uint64_t worst = 0;
+  std::size_t worst_producer = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n > worst) {
+      worst = n;
+      worst_producer = i;
+    }
+  }
+  if (worst <= config_.error_budget) return health;
+  health.state = api::HealthState::kDegraded;
+  health.reason = "producer " + std::to_string(worst_producer) + " rejected " +
+                  std::to_string(worst) +
+                  " poison updates (budget: " +
+                  std::to_string(config_.error_budget) + ")";
+  return health;
+}
+
+}  // namespace bgpbh::recovery

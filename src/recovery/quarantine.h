@@ -1,0 +1,83 @@
+// Poison-update quarantine: the ingest-side input validator of the
+// recovery plane.
+//
+// A malformed or hostile feed can carry updates that are syntactically
+// valid BGP but absurd — AS paths thousands of hops long, community
+// sets with tens of thousands of entries.  Those are classic
+// amplification vectors: every downstream stage (dictionary scan, path
+// walk, checkpoint serialization) is linear in them, so one poisoned
+// peer can starve every shard.  The quarantine rejects such updates at
+// session.push() time, BEFORE they enter the pipeline, and accounts
+// for every rejection per producer — never silent.
+//
+// An error budget turns sustained poison into a health signal: once
+// any producer's rejection count exceeds the budget, the "quarantine"
+// component reports kDegraded through api::SessionHealth (the feed is
+// either broken or adversarial; an operator should look), while the
+// session keeps processing the clean remainder.
+//
+// Default limits are far above anything a real table carries (the
+// longest AS paths ever observed in the wild are a few hundred hops of
+// prepending; RFC-compliant community attributes cap out well below a
+// thousand entries), so legitimate workloads never trip them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "api/health.h"
+#include "routing/collectors.h"
+#include "telemetry/metrics.h"
+
+namespace bgpbh::recovery {
+
+struct QuarantineConfig {
+  // Reject announcements whose AS path exceeds this many hops.
+  std::size_t max_as_path_hops = 1024;
+  // Reject announcements whose community attribute exceeds this many
+  // entries (classic + large combined).
+  std::size_t max_communities = 4096;
+  // kDegraded once any single producer's rejection count exceeds this.
+  std::uint64_t error_budget = 100;
+  // Optional recovery.quarantine.* instruments (must outlive the
+  // quarantine).
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+class PoisonQuarantine : public api::HealthReporter {
+ public:
+  PoisonQuarantine(std::size_t num_producers, QuarantineConfig config);
+
+  PoisonQuarantine(const PoisonQuarantine&) = delete;
+  PoisonQuarantine& operator=(const PoisonQuarantine&) = delete;
+
+  // True if the update is clean; false rejects it and charges
+  // `producer`'s poison counter.  Thread-safe (counters are atomics) —
+  // producers validate concurrently.
+  bool admit(const routing::FeedUpdate& update, std::size_t producer);
+
+  std::uint64_t poisoned(std::size_t producer) const {
+    return producer < counts_.size()
+               ? counts_[producer].load(std::memory_order_relaxed)
+               : 0;
+  }
+  std::uint64_t total_poisoned() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  // "quarantine" component: kDegraded once any producer blew its
+  // error budget.
+  api::ComponentHealth component_health() const override;
+
+ private:
+  QuarantineConfig config_;
+  // Fixed-size at construction; never resized (atomics don't move).
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  telemetry::Counter* rejected_ctr_ = nullptr;
+  telemetry::Gauge* over_budget_gauge_ = nullptr;
+};
+
+}  // namespace bgpbh::recovery

@@ -1,0 +1,98 @@
+#include "recovery/watchdog.h"
+
+#include <string>
+
+#include "util/log.h"
+
+namespace bgpbh::recovery {
+
+Watchdog::Watchdog(std::vector<WatchedShard> shards, WatchdogConfig config)
+    : shards_(std::move(shards)),
+      config_(config),
+      tracks_(shards_.size()) {
+  if (!config_.metrics) return;
+  config_.metrics->describe(
+      "recovery.watchdog.stalled_shards",
+      "Shards whose heartbeat is frozen with work queued (alarm)");
+  config_.metrics->describe("recovery.watchdog.stalls_total",
+                            "Stall episodes detected since start");
+  stalled_gauge_ = &config_.metrics->gauge("recovery.watchdog.stalled_shards");
+  stalls_ctr_ = &config_.metrics->counter("recovery.watchdog.stalls_total");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, config_.poll, [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    scan_once(std::chrono::steady_clock::now());
+    lock.lock();
+  }
+}
+
+void Watchdog::scan_once(std::chrono::steady_clock::time_point now) {
+  std::size_t stalled = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardTrack& track = tracks_[i];
+    const std::uint64_t beat = shards_[i].heartbeat();
+    const std::size_t depth = shards_[i].queue_depth();
+    if (!track.primed || beat != track.last_heartbeat || depth == 0) {
+      // Progress, or nothing to do: either way the shard is alive (an
+      // empty queue resets the window — silence while idle is normal).
+      track.last_heartbeat = beat;
+      track.last_progress = now;
+      track.primed = true;
+      track.stalled = false;
+      continue;
+    }
+    if (now - track.last_progress >= config_.stall_deadline) {
+      if (!track.stalled) {
+        track.stalled = true;
+        stalls_total_.fetch_add(1, std::memory_order_relaxed);
+        if (stalls_ctr_) stalls_ctr_->add();
+        static util::LogRateLimiter limit(/*per_second=*/0.5, /*burst=*/3.0);
+        if (limit.allow()) {
+          util::Log(util::LogLevel::kWarn, "watchdog")
+              .msg("shard stalled: heartbeat frozen with work queued")
+              .kv("shard", i)
+              .kv("queue_depth", depth)
+              .kv("suppressed", limit.last_suppressed());
+        }
+      }
+    }
+    if (track.stalled) ++stalled;
+  }
+  stalled_now_.store(stalled, std::memory_order_relaxed);
+  if (stalled_gauge_) stalled_gauge_->set(static_cast<double>(stalled));
+}
+
+api::ComponentHealth Watchdog::component_health() const {
+  api::ComponentHealth health;
+  health.component = "watchdog";
+  const std::size_t stalled = stalled_shards();
+  if (stalled == 0) return health;
+  health.state = api::HealthState::kDegraded;
+  health.reason = std::to_string(stalled) +
+                  " shard(s) stalled: heartbeat frozen past deadline with "
+                  "work queued";
+  return health;
+}
+
+}  // namespace bgpbh::recovery

@@ -1,0 +1,112 @@
+// Watchdog: the supervision half of the recovery plane.
+//
+// Every shard worker bumps a heartbeat counter once per loop iteration
+// (stream::WorkerPool), so a worker that is parked on an empty queue
+// still ticks while one wedged inside the engine — or deadlocked —
+// goes silent.  The watchdog samples each shard's heartbeat against
+// its queue depth on its own thread: a shard whose heartbeat has not
+// moved for `stall_deadline` WHILE its queue holds work is STALLED.
+// Silence with an empty queue is just idleness and never alarms.
+//
+// A stall raises the recovery.watchdog.stalled_shards alarm gauge,
+// emits a rate-limited warning, and degrades the session health plane
+// ("watchdog" component, api::SessionHealth) with the stalled shard
+// list — it deliberately does NOT kill anything: the supervision plane
+// observes and reports; the operator (or an external supervisor
+// watching the gauge) owns the restart decision, and restart is safe
+// because checkpoints make it lossless.
+//
+// The providers are plain std::functions so the unit tests drive the
+// detector with fake clocks and hand-rolled counters — no pipeline
+// needed (tests/test_recovery.cc).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/health.h"
+#include "telemetry/metrics.h"
+
+namespace bgpbh::recovery {
+
+// One supervised shard, expressed as callables so the watchdog never
+// touches pipeline internals directly.  Both must be callable from the
+// watchdog thread at any time (read atomics, not mutating state).
+struct WatchedShard {
+  std::function<std::uint64_t()> heartbeat;  // monotone liveness counter
+  std::function<std::size_t()> queue_depth;  // pending work for the shard
+};
+
+struct WatchdogConfig {
+  // How often the watchdog samples the shards.
+  std::chrono::milliseconds poll = std::chrono::milliseconds(50);
+  // A shard is stalled once its heartbeat has not advanced for this
+  // long while its queue was non-empty at both ends of the window.
+  std::chrono::milliseconds stall_deadline = std::chrono::seconds(2);
+  // Optional recovery.watchdog.* instruments (must outlive the
+  // watchdog).
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+class Watchdog : public api::HealthReporter {
+ public:
+  Watchdog(std::vector<WatchedShard> shards, WatchdogConfig config);
+  ~Watchdog() override;
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start();
+  void stop();
+
+  // One detector pass at an explicit instant — the testing seam the
+  // background thread also uses, so tests exercise the real logic
+  // without sleeping.
+  void scan_once(std::chrono::steady_clock::time_point now);
+
+  // Currently-stalled shard count (the alarm condition).
+  std::size_t stalled_shards() const {
+    return stalled_now_.load(std::memory_order_relaxed);
+  }
+  // Total stall episodes detected (a shard entering stall counts once
+  // per episode).
+  std::uint64_t stalls_detected() const {
+    return stalls_total_.load(std::memory_order_relaxed);
+  }
+
+  // "watchdog" component: kDegraded while any shard is stalled.
+  api::ComponentHealth component_health() const override;
+
+ private:
+  struct ShardTrack {
+    std::uint64_t last_heartbeat = 0;
+    std::chrono::steady_clock::time_point last_progress{};
+    bool primed = false;   // first sample taken
+    bool stalled = false;  // currently past the deadline
+  };
+
+  void loop();
+
+  std::vector<WatchedShard> shards_;
+  WatchdogConfig config_;
+  std::vector<ShardTrack> tracks_;  // watchdog thread (or scan_once caller)
+
+  std::atomic<std::size_t> stalled_now_{0};
+  std::atomic<std::uint64_t> stalls_total_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+
+  telemetry::Gauge* stalled_gauge_ = nullptr;
+  telemetry::Counter* stalls_ctr_ = nullptr;
+};
+
+}  // namespace bgpbh::recovery

@@ -7,8 +7,6 @@
 
 namespace bgpbh::storage {
 
-namespace {
-
 void encode_ip(const net::IpAddr& ip, net::BufWriter& out) {
   if (ip.is_v4()) {
     out.u8(4);
@@ -34,6 +32,26 @@ std::optional<net::IpAddr> decode_ip(net::BufReader& in) {
       return std::nullopt;
   }
 }
+
+void encode_prefix(const net::Prefix& prefix, net::BufWriter& out) {
+  encode_ip(prefix.addr(), out);
+  out.u8(prefix.len());
+}
+
+std::optional<net::Prefix> decode_prefix(net::BufReader& in) {
+  auto addr = decode_ip(in);
+  if (!addr) return std::nullopt;
+  std::uint8_t len = in.u8();
+  if (!in.ok() || len > addr->max_len()) return std::nullopt;
+  net::Prefix prefix(*addr, len);
+  // Non-canonical prefixes (host bits set past the length) never come
+  // from our encoder; reject them so decode(encode(x)) == x is the
+  // ONLY way a prefix round-trips.
+  if (prefix.addr() != *addr) return std::nullopt;
+  return prefix;
+}
+
+namespace {
 
 constexpr std::uint8_t kFlagOpen = 1u << 0;
 constexpr std::uint8_t kFlagExplicitWithdrawal = 1u << 1;

@@ -34,4 +34,12 @@ std::optional<core::PeerEvent> decode_event_payload(net::BufReader& in);
 // Exact framed size of one event, for segment-roll accounting.
 std::size_t encoded_record_size(const core::PeerEvent& event);
 
+// Shared IP / prefix primitives, reused by the checkpoint codec
+// (src/recovery/) so both on-disk formats reject the same malformed
+// inputs (unknown family, host bits set past the prefix length).
+void encode_ip(const net::IpAddr& ip, net::BufWriter& out);
+std::optional<net::IpAddr> decode_ip(net::BufReader& in);
+void encode_prefix(const net::Prefix& prefix, net::BufWriter& out);
+std::optional<net::Prefix> decode_prefix(net::BufReader& in);
+
 }  // namespace bgpbh::storage

@@ -249,8 +249,11 @@ void SegmentWriter::apply_retention() {
     }
     return false;
   };
-  // Oldest first; never below one segment (the data just sealed).
+  // Oldest first; never below one segment (the data just sealed), and
+  // never at or past the retention floor — a checkpoint may still need
+  // that suffix of the log for crash replay (src/recovery/).
   while (sealed_.size() > 1 && over_budget()) {
+    if (retention_floor_ > 0 && sealed_.front().seq >= retention_floor_) break;
     std::error_code ec;
     fs::remove(fs::path(dir_) / segment_file_name(sealed_.front().seq), ec);
     sealed_.erase(sealed_.begin());

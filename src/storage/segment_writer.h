@@ -30,6 +30,19 @@
 
 namespace bgpbh::storage {
 
+// A point in the log that is durable: every record of segments with
+// sequence < seq, plus the first `records` records of segment `seq`,
+// survive a crash.  Monotone over the writer's lifetime: seq only
+// grows (seal and abandon both burn the sequence number) and records
+// grows within one segment, resetting only when seq advances.
+// Checkpoints stamp one of these so recovery knows exactly which log
+// prefix the checkpoint covers (src/recovery/).
+struct DurablePos {
+  std::uint64_t seq = 0;
+  std::uint64_t records = 0;
+  friend bool operator==(const DurablePos&, const DurablePos&) = default;
+};
+
 class SegmentWriter {
  public:
   // Opens (creating if needed) `dir`.  Any torn active segment left by
@@ -90,6 +103,18 @@ class SegmentWriter {
   std::uint64_t bytes_on_disk() const;
   std::uint64_t active_seq() const { return next_seq_; }
 
+  // The current durable log position (see DurablePos).  Records of the
+  // active segment count only once acked by sync(); sealed segments
+  // are fully covered because sealing advances next_seq_.
+  DurablePos durable_pos() const { return {next_seq_, synced_records_}; }
+
+  // Retention floor (src/recovery/): segments with sequence >= seq are
+  // never retired, regardless of budget — the checkpoint coordinator
+  // pins everything at or past the newest checkpoint's position so the
+  // replay suffix stays on disk.  0 (the default) pins nothing.
+  void set_retention_floor(std::uint64_t seq) { retention_floor_ = seq; }
+  std::uint64_t retention_floor() const { return retention_floor_; }
+
  private:
   SegmentWriter(std::string dir, SegmentConfig config, std::uint64_t next_seq,
                 std::vector<SegmentMeta> sealed);
@@ -122,6 +147,7 @@ class SegmentWriter {
   std::uint64_t segments_sealed_ = 0;
   std::uint64_t segments_retired_ = 0;
   std::uint64_t segments_abandoned_ = 0;
+  std::uint64_t retention_floor_ = 0;
   int last_errno_ = 0;
   bool closed_ = false;
 };

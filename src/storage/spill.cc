@@ -104,15 +104,32 @@ bool SpillWriter::submit(std::vector<core::PeerEvent> chunk) {
       return queue_.size() < config_.queue_chunks || stopping_;
     });
     if (stopping_) return false;
-    queue_.push_back(std::move(chunk));
+    queue_.push_back(Item{std::move(chunk), nullptr});
   }
   not_empty_.notify_one();
   return true;
 }
 
+bool SpillWriter::barrier(BarrierResult& result) {
+  BarrierTicket ticket;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return queue_.size() < config_.queue_chunks || stopping_;
+    });
+    if (stopping_) return false;
+    queue_.push_back(Item{{}, &ticket});
+  }
+  not_empty_.notify_one();
+  std::unique_lock<std::mutex> lock(ticket.m);
+  ticket.cv.wait(lock, [&ticket] { return ticket.done; });
+  result = ticket.result;
+  return true;
+}
+
 void SpillWriter::run() {
   for (;;) {
-    std::vector<std::vector<core::PeerEvent>> incoming;
+    std::vector<Item> incoming;
     bool final_drain = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -132,7 +149,28 @@ void SpillWriter::run() {
       final_drain = stopping_;
     }
     not_full_.notify_all();
-    for (auto& chunk : incoming) parked_.push_back(std::move(chunk));
+    writer_->set_retention_floor(
+        retention_floor_.load(std::memory_order_relaxed));
+    for (auto& item : incoming) {
+      if (!item.ticket) {
+        parked_.push_back(std::move(item.chunk));
+        continue;
+      }
+      // Barrier: land everything submitted before it, then report the
+      // durable position.  A fault that keeps backlog parked (or a
+      // degraded probe window) yields ok = false — the checkpoint is
+      // abandoned, never stamped with a position it doesn't cover.
+      process(/*final_drain=*/false);
+      BarrierResult r;
+      r.ok = parked_.empty() && !degraded_;
+      r.pos = writer_->durable_pos();
+      {
+        std::lock_guard<std::mutex> ticket_lock(item.ticket->m);
+        item.ticket->result = r;
+        item.ticket->done = true;
+      }
+      item.ticket->cv.notify_all();
+    }
     process(final_drain);
     if (final_drain) {
       // Fault persisted through the final attempt: the parked tail is

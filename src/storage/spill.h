@@ -84,6 +84,27 @@ class SpillWriter {
   // drops nothing — the chunk was never accepted) after stop().
   bool submit(std::vector<core::PeerEvent> chunk);
 
+  // Checkpoint barrier (src/recovery/).  Enqueued IN ORDER with chunks:
+  // the writer thread first lands every chunk submitted before this
+  // call (flush parked backlog + sync), then reports the durable log
+  // position.  `ok` is false when a disk fault kept part of the backlog
+  // in memory — the coordinator then abandons the checkpoint.  Blocks
+  // until the writer thread reaches the barrier; returns false after
+  // stop() (result is then untouched).
+  struct BarrierResult {
+    bool ok = false;
+    DurablePos pos;
+  };
+  bool barrier(BarrierResult& result);
+
+  // Retention floor passthrough (thread-safe): the writer thread
+  // forwards it to SegmentWriter::set_retention_floor before its next
+  // drain.  Only ever advances the pin conservatively — a lagging
+  // floor pins more than needed, never less.
+  void set_retention_floor(std::uint64_t seq) {
+    retention_floor_.store(seq, std::memory_order_relaxed);
+  }
+
   // Drains the queue, makes a final write attempt for anything parked,
   // seals the active segment, joins the writer thread.  Idempotent;
   // the destructor calls it.  After it returns, every accepted event
@@ -129,6 +150,23 @@ class SpillWriter {
   explicit SpillWriter(SpillConfig config,
                        std::unique_ptr<SegmentWriter> writer);
 
+  // Barrier rendezvous between a blocked barrier() caller and the
+  // writer thread; lives on the caller's stack for the duration.
+  struct BarrierTicket {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    BarrierResult result;
+  };
+
+  // Queue element: a chunk of events, or a barrier marker (ticket set,
+  // chunk empty) — barriers stay ordered relative to the chunks around
+  // them.
+  struct Item {
+    std::vector<core::PeerEvent> chunk;
+    BarrierTicket* ticket = nullptr;
+  };
+
   void run();
   // One write attempt over the parked backlog (append uncommitted
   // suffix + sync); retires the backlog on success.
@@ -145,8 +183,9 @@ class SpillWriter {
   std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<std::vector<core::PeerEvent>> queue_;
+  std::deque<Item> queue_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> retention_floor_{0};
 
   // Writer-thread-only recovery state: chunks staged for writing (in
   // normal operation transiently, in degraded mode until a probe

@@ -2,10 +2,12 @@
 
 namespace bgpbh::stream {
 
-StreamPipeline::Producer::Producer(StreamPipeline& owner,
+StreamPipeline::Producer::Producer(StreamPipeline& owner, std::size_t index,
                                    std::size_t num_shards, BlockPool& blocks,
                                    bool zero_copy, std::size_t batch_size)
-    : owner_(&owner), router_(num_shards, blocks, zero_copy),
+    : owner_(&owner),
+      router_(num_shards, blocks, zero_copy,
+              static_cast<std::uint32_t>(index)),
       batch_size_(batch_size), pending_(num_shards) {
   for (auto& buf : pending_) buf.reserve(batch_size);
 }
@@ -19,6 +21,13 @@ bool StreamPipeline::Producer::push(const routing::FeedUpdate& update) {
   // ping-ponging the flag's cache line across producer threads.
   if (!p.started_.load(std::memory_order_acquire)) p.start();
   router_.route(update, [&](std::size_t shard, SubUpdateRef ref) {
+    // Recovery replay: drop refs the checkpoint already covers.  One
+    // branch on an empty vector when not replaying.
+    if (!skip_.empty() && skip_[shard] > 0) {
+      --skip_[shard];
+      p.blocks_.release(ref.block);
+      return;
+    }
     auto& buf = pending_[shard];
     buf.push_back(ref);
     if (buf.size() >= batch_size_) submit_shard(shard);
@@ -54,6 +63,7 @@ StreamPipeline::StreamPipeline(const dictionary::BlackholeDictionary& dictionary
       store_(config.num_shards == 0 ? 1 : config.num_shards),
       workers_(dictionary, registry, config.engine,
                config.num_shards == 0 ? 1 : config.num_shards,
+               config.num_producers == 0 ? 1 : config.num_producers,
                config.queue_capacity, config.drain_batch,
                config.batch_size == 0 ? 1 : config.batch_size,
                /*serialize_producers=*/config.num_producers > 1, blocks_,
@@ -64,8 +74,8 @@ StreamPipeline::StreamPipeline(const dictionary::BlackholeDictionary& dictionary
   producers_.reserve(num_producers);
   for (std::size_t i = 0; i < num_producers; ++i) {
     producers_.push_back(std::unique_ptr<Producer>(
-        new Producer(*this, workers_.num_shards(), blocks_, config.zero_copy,
-                     batch_size)));
+        new Producer(*this, i, workers_.num_shards(), blocks_,
+                     config.zero_copy, batch_size)));
   }
   // Live-state sampling: everything below is copied out of counters the
   // data plane already maintains, only when someone snapshots — zero

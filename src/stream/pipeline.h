@@ -104,10 +104,20 @@ class StreamPipeline {
     // Original updates accepted via push() on this handle.
     std::uint64_t updates_pushed() const { return router_.updates_routed(); }
 
+    // Recovery replay cut (src/recovery/): drop the first counts[s]
+    // sub-update refs this producer routes to each shard s — they were
+    // already processed and made durable before the crash.  Routing is
+    // deterministic, so re-feeding the same source with the same
+    // producer partition skips exactly the pre-checkpoint prefix of
+    // every per-shard stream.  Call before the first push().
+    void set_replay_skip(std::vector<std::uint64_t> counts) {
+      skip_ = std::move(counts);
+    }
+
    private:
     friend class StreamPipeline;
-    Producer(StreamPipeline& owner, std::size_t num_shards, BlockPool& blocks,
-             bool zero_copy, std::size_t batch_size);
+    Producer(StreamPipeline& owner, std::size_t index, std::size_t num_shards,
+             BlockPool& blocks, bool zero_copy, std::size_t batch_size);
 
     // Hand one shard's staged batch to the workers, releasing any refs
     // a mid-shutdown rejection left with us.
@@ -117,6 +127,9 @@ class StreamPipeline {
     ShardRouter router_;
     std::size_t batch_size_;
     std::vector<std::vector<SubUpdateRef>> pending_;
+    // Per-shard refs still to drop during recovery replay; empty when
+    // not replaying, so the hot path pays one branch.
+    std::vector<std::uint64_t> skip_;
   };
 
   StreamPipeline(const dictionary::BlackholeDictionary& dictionary,
@@ -177,6 +190,32 @@ class StreamPipeline {
   // Pool high-water mark; stops growing once the pipeline reaches
   // steady state (bounded by staging + queue capacities).
   std::size_t blocks_allocated() const { return blocks_.blocks_allocated(); }
+
+  // ---- checkpoint/recovery surface (src/recovery/) ----------------------
+  // Rendezvous capture of every shard's open state + watermarks; see
+  // WorkerPool::capture for the protocol and its guarantees.
+  bool capture(const std::function<void()>& while_quiesced,
+               std::vector<ShardCapture>& out) {
+    return workers_.capture(while_quiesced, out);
+  }
+  // Direct shard engine access — only legal before start() (recovery
+  // imports checkpointed open state) or after finish().
+  core::InferenceEngine& shard_engine(std::size_t shard) {
+    return workers_.engine(shard);
+  }
+  void seed_watermarks(std::size_t shard, std::vector<std::uint64_t> counts) {
+    workers_.seed_watermarks(shard, std::move(counts));
+  }
+  // Watchdog samples (relaxed reads; safe any time).
+  std::uint64_t shard_heartbeat(std::size_t shard) const {
+    return workers_.heartbeat(shard);
+  }
+  std::size_t shard_queue_depth(std::size_t shard) const {
+    return workers_.queue_depth(shard);
+  }
+  std::uint64_t shard_processed(std::size_t shard) const {
+    return workers_.processed(shard);
+  }
 
   // The registry this pipeline records into: the one from
   // PipelineConfig::metrics, or the pipeline's own.  snapshot() folds

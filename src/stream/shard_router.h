@@ -38,8 +38,14 @@ class ShardRouter {
   // lock per this many updates instead of per update.
   static constexpr std::size_t kBlockCacheSize = 64;
 
-  ShardRouter(std::size_t num_shards, BlockPool& pool, bool zero_copy = true)
-      : num_shards_(num_shards), pool_(&pool), zero_copy_(zero_copy) {
+  // `producer_index` is stamped into every routed block so shard
+  // workers can keep per-producer ingest watermarks (src/recovery/).
+  ShardRouter(std::size_t num_shards, BlockPool& pool, bool zero_copy = true,
+              std::uint32_t producer_index = 0)
+      : num_shards_(num_shards),
+        pool_(&pool),
+        zero_copy_(zero_copy),
+        producer_index_(producer_index) {
     cache_.reserve(kBlockCacheSize);
   }
 
@@ -144,6 +150,7 @@ class ShardRouter {
     if (cache_.empty()) pool_->acquire_batch(cache_, kBlockCacheSize);
     UpdateBlock* block = cache_.back();
     cache_.pop_back();
+    block->producer = producer_index_;
     return block;
   }
 
@@ -159,6 +166,7 @@ class ShardRouter {
   std::size_t num_shards_;
   BlockPool* pool_;
   bool zero_copy_;
+  std::uint32_t producer_index_;
   std::vector<UpdateBlock*> cache_;
   std::uint64_t updates_routed_ = 0;
 };

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -185,6 +186,53 @@ class SpscQueue {
       if (instruments_.consumer_stalls) instruments_.consumer_stalls->add();
       not_empty_.wait(lock);
       consumer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    const std::size_t chunk = std::min(avail, max);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      out.push_back(std::move(buf_[(head + i) % capacity_]));
+    }
+    head_.store(head + chunk, std::memory_order_release);
+    maybe_wake_producer(head + chunk);
+    return chunk;
+  }
+
+  // Timed batch pop: like pop_batch, but gives up after `timeout` when
+  // no data arrives, returning 0 with the queue still open — callers
+  // disambiguate timeout from end-of-stream via closed().  Shard
+  // workers use this so an idle worker still surfaces for checkpoint
+  // capture requests and heartbeat ticks (src/recovery/).  Consumer
+  // thread only.
+  template <typename Rep, typename Period>
+  std::size_t pop_batch_for(std::vector<T>& out, std::size_t max,
+                            std::chrono::duration<Rep, Period> timeout) {
+    if (max == 0) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = 0;
+    for (;;) {  // wait for data; same Dekker protocol as pop_batch()
+      avail = tail_.load(std::memory_order_acquire) - head;
+      if (avail > 0) break;
+      if (closed_.load(std::memory_order_acquire)) {
+        avail = tail_.load(std::memory_order_acquire) - head;
+        if (avail > 0) break;
+        return 0;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      avail = tail_.load(std::memory_order_acquire) - head;
+      if (avail > 0 || closed_.load(std::memory_order_acquire)) {
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+        if (avail > 0) break;
+        return 0;
+      }
+      if (instruments_.consumer_stalls) instruments_.consumer_stalls->add();
+      const auto status = not_empty_.wait_for(lock, timeout);
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+      if (status == std::cv_status::timeout) {
+        avail = tail_.load(std::memory_order_acquire) - head;
+        if (avail > 0) break;
+        return 0;
+      }
     }
     const std::size_t chunk = std::min(avail, max);
     for (std::size_t i = 0; i < chunk; ++i) {

@@ -41,6 +41,10 @@ namespace bgpbh::stream {
 // One parsed update, shared by all of its single-prefix sub-updates.
 struct UpdateBlock {
   routing::FeedUpdate update;
+  // Which pipeline producer routed this update — shard workers key
+  // their per-producer ingest watermarks (checkpoint/replay cuts,
+  // src/recovery/) off it.  Stamped by the router before refs publish.
+  std::uint32_t producer = 0;
   // Outstanding SubUpdateRefs; the block returns to its pool when the
   // last one is released.
   std::atomic<std::uint32_t> refs{0};

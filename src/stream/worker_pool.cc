@@ -7,13 +7,15 @@ namespace bgpbh::stream {
 WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
                        const topology::Registry& registry,
                        core::EngineConfig engine_config,
-                       std::size_t num_shards, std::size_t queue_capacity,
-                       std::size_t drain_batch, std::size_t batch_size,
-                       bool serialize_producers, BlockPool& blocks,
-                       EventStore& store, telemetry::MetricsRegistry& metrics)
+                       std::size_t num_shards, std::size_t num_producers,
+                       std::size_t queue_capacity, std::size_t drain_batch,
+                       std::size_t batch_size, bool serialize_producers,
+                       BlockPool& blocks, EventStore& store,
+                       telemetry::MetricsRegistry& metrics)
     : compiled_(engine_config.use_compiled_fastpath
                     ? dictionary::CompiledDictionary(dictionary)
                     : dictionary::CompiledDictionary()),
+      num_producers_(num_producers == 0 ? 1 : num_producers),
       drain_batch_(drain_batch == 0 ? 1 : drain_batch),
       batch_size_(batch_size == 0 ? 1 : batch_size),
       serialize_producers_(serialize_producers),
@@ -43,6 +45,7 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
         dictionary, compiled_, registry, engine_config);
     shard->queue = std::make_unique<SpscQueue<SubUpdateRef>>(queue_capacity);
     shard->index = i;
+    shard->watermarks.assign(num_producers_, 0);
     shard->batch_hist = &metrics.shard_histogram("stream.worker.batch_ns", i);
     shard->drain_hist = &metrics.shard_histogram("stream.worker.drain_ns", i);
     shard->queue->bind_instruments(SpscQueue<SubUpdateRef>::Instruments{
@@ -57,6 +60,7 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
     });
     shards_.push_back(std::move(shard));
   }
+  capture_slots_.resize(shards_.size());
 }
 
 WorkerPool::~WorkerPool() { close_and_join(); }
@@ -91,6 +95,10 @@ std::size_t WorkerPool::submit_batch(std::size_t shard,
 }
 
 void WorkerPool::worker_loop(Shard& shard) {
+  // Idle poll interval: an empty-queue worker resurfaces this often to
+  // tick its heartbeat and notice checkpoint capture requests.  Never
+  // reached while traffic flows (the queue wakes the worker directly).
+  constexpr auto kIdlePoll = std::chrono::milliseconds(5);
   std::size_t since_drain = 0;
   std::vector<SubUpdateRef> batch;
   batch.reserve(batch_size_);
@@ -100,12 +108,23 @@ void WorkerPool::worker_loop(Shard& shard) {
   to_recycle.reserve(batch_size_);
   core::UpdateView view;
   for (;;) {
+    shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    if (capture_requested_.load(std::memory_order_acquire)) {
+      capture_rendezvous(shard);
+    }
     batch.clear();
-    if (shard.queue->pop_batch(batch, batch_size_) == 0) break;
+    std::size_t n = shard.queue->pop_batch_for(batch, batch_size_, kIdlePoll);
+    if (n == 0) {
+      if (!shard.queue->closed()) continue;  // idle timeout
+      // Closed: grab any remainder racing the close, then exit.
+      n = shard.queue->pop_batch(batch, batch_size_);
+      if (n == 0) break;
+    }
     telemetry::ScopedSpan span(shard.batch_hist, trace_, "worker.batch",
                                shard.index);
     for (const SubUpdateRef& ref : batch) {
       UpdateBlock* block = ref.block;
+      ++shard.watermarks[block->producer];
       const routing::FeedUpdate& fu = block->update;
       if (ref.kind == SubKind::kOwned) {
         // A/B slow path: materialized single-prefix update, owning
@@ -146,8 +165,76 @@ void WorkerPool::worker_loop(Shard& shard) {
   }
 }
 
+void WorkerPool::capture_rendezvous(Shard& shard) {
+  // Flush this shard's closed events downstream first: once every
+  // worker has arrived, all pre-cut chunks are already in the store's
+  // listener pipelines, and no post-cut chunk can be submitted while
+  // the workers are held — that is what makes the coordinator's
+  // while_quiesced enqueues an exact cut.
+  store_.ingest_chunk(shard.index, shard.engine->drain_closed());
+  std::unique_lock<std::mutex> lock(rendezvous_mu_);
+  if (!capture_active_) return;  // stale flag: capture aborted/finished
+  ShardCapture& slot = capture_slots_[shard.index];
+  slot.open_state = shard.engine->export_open_state();
+  slot.watermarks = shard.watermarks;
+  ++arrived_;
+  rendezvous_cv_.notify_all();
+  rendezvous_cv_.wait(lock, [&] { return released_ || shutdown_; });
+}
+
+bool WorkerPool::capture(const std::function<void()>& while_quiesced,
+                         std::vector<ShardCapture>& out) {
+  std::lock_guard<std::mutex> serial(capture_serial_mu_);
+  if (joined_.load(std::memory_order_acquire)) return false;
+  out.clear();
+  if (!started_.load(std::memory_order_acquire)) {
+    // No workers yet (bootstrap checkpoint): engines and watermarks
+    // are directly readable, and nothing is in flight by definition.
+    out.resize(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      out[i].open_state = shards_[i]->engine->export_open_state();
+      out[i].watermarks = shards_[i]->watermarks;
+    }
+    if (while_quiesced) while_quiesced();
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(rendezvous_mu_);
+  if (shutdown_) return false;
+  capture_active_ = true;
+  arrived_ = 0;
+  released_ = false;
+  capture_requested_.store(true, std::memory_order_release);
+  rendezvous_cv_.wait(
+      lock, [&] { return arrived_ == shards_.size() || shutdown_; });
+  const bool ok = !shutdown_;
+  if (ok) {
+    out.reserve(shards_.size());
+    for (auto& slot : capture_slots_) out.push_back(std::move(slot));
+    if (while_quiesced) while_quiesced();
+  }
+  capture_active_ = false;
+  capture_requested_.store(false, std::memory_order_release);
+  released_ = true;
+  rendezvous_cv_.notify_all();
+  return ok;
+}
+
+void WorkerPool::seed_watermarks(std::size_t shard,
+                                 std::vector<std::uint64_t> watermarks) {
+  Shard& s = *shards_.at(shard);
+  watermarks.resize(num_producers_, 0);
+  s.watermarks = std::move(watermarks);
+}
+
 void WorkerPool::close_and_join() {
   if (joined_.exchange(true)) return;
+  {
+    // Abort any in-progress capture so parked workers (and a
+    // coordinator waiting for arrivals) wake before we join.
+    std::lock_guard<std::mutex> lock(rendezvous_mu_);
+    shutdown_ = true;
+  }
+  rendezvous_cv_.notify_all();
   for (auto& shard : shards_) shard->queue->close();
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
@@ -199,6 +286,10 @@ std::size_t WorkerPool::open_events(std::size_t shard) const {
 
 std::uint64_t WorkerPool::processed(std::size_t shard) const {
   return shards_.at(shard)->processed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WorkerPool::heartbeat(std::size_t shard) const {
+  return shards_.at(shard)->heartbeat.load(std::memory_order_relaxed);
 }
 
 }  // namespace bgpbh::stream

@@ -23,7 +23,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -39,6 +42,17 @@
 
 namespace bgpbh::stream {
 
+// One shard's contribution to a checkpoint cut (src/recovery/): the
+// engine's open (peer, prefix) states plus per-producer ingest
+// watermarks — how many sub-update refs from each producer this shard
+// has processed since the stream began.  Routing is deterministic, so
+// on recovery a producer re-feeding the same source drops exactly the
+// first watermarks[p] refs destined to each shard.
+struct ShardCapture {
+  std::vector<core::OpenEventState> open_state;
+  std::vector<std::uint64_t> watermarks;
+};
+
 class WorkerPool {
  public:
   // `metrics` wires the pool's telemetry: per-shard batch-processing
@@ -50,9 +64,9 @@ class WorkerPool {
   WorkerPool(const dictionary::BlackholeDictionary& dictionary,
              const topology::Registry& registry,
              core::EngineConfig engine_config, std::size_t num_shards,
-             std::size_t queue_capacity, std::size_t drain_batch,
-             std::size_t batch_size, bool serialize_producers,
-             BlockPool& blocks, EventStore& store,
+             std::size_t num_producers, std::size_t queue_capacity,
+             std::size_t drain_batch, std::size_t batch_size,
+             bool serialize_producers, BlockPool& blocks, EventStore& store,
              telemetry::MetricsRegistry& metrics);
   ~WorkerPool();
 
@@ -100,6 +114,32 @@ class WorkerPool {
   std::size_t open_events(std::size_t shard) const;
   std::uint64_t processed(std::size_t shard) const;
 
+  // Monotone liveness tick: bumps once per worker loop iteration (data
+  // batch or idle poll), so a stuck worker is one whose heartbeat stops
+  // while its queue depth stays positive (recovery::Watchdog).
+  std::uint64_t heartbeat(std::size_t shard) const;
+
+  // Checkpoint rendezvous (src/recovery/).  Quiesces every worker at a
+  // batch boundary: each worker force-drains its closed events into
+  // the store (so every pre-cut chunk is downstream of the cut), dumps
+  // its open engine state + watermarks into its capture slot, and
+  // parks.  With all workers held — no in-flight chunks, none can be
+  // submitted — `while_quiesced` runs (the coordinator enqueues its
+  // spill barrier / dispatcher control item there; it must only
+  // enqueue, never wait on downstream threads).  Workers then resume.
+  // Fills `out` with one ShardCapture per shard.  Before start() this
+  // reads the engines directly (bootstrap checkpoint); returns false
+  // if the pool is shut down (or shuts down mid-capture).
+  bool capture(const std::function<void()>& while_quiesced,
+               std::vector<ShardCapture>& out);
+
+  // Seed a shard's per-producer watermarks before start() — recovery
+  // restores the absolute counts from the checkpoint so the next
+  // checkpoint's watermarks remain absolute positions in each
+  // producer's deterministic sub-update sequence.
+  void seed_watermarks(std::size_t shard,
+                       std::vector<std::uint64_t> watermarks);
+
  private:
   struct Shard {
     std::unique_ptr<core::InferenceEngine> engine;
@@ -110,17 +150,26 @@ class WorkerPool {
     std::size_t index = 0;
     std::atomic<std::size_t> open_gauge{0};
     std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> heartbeat{0};
+    // Per-producer sub-update counts.  Plain (non-atomic): written only
+    // by the owning worker between rendezvous points; read by the
+    // capture coordinator only via the worker's own copy into its
+    // capture slot (made under rendezvous_mu_), and directly only
+    // before start().
+    std::vector<std::uint64_t> watermarks;
     // Telemetry (borrowed from the registry; wiring-time only).
     telemetry::LatencyHistogram* batch_hist = nullptr;
     telemetry::LatencyHistogram* drain_hist = nullptr;
   };
 
   void worker_loop(Shard& shard);
+  void capture_rendezvous(Shard& shard);
 
   // One compiled dictionary shared by every shard engine (it is
   // immutable; per-shard copies would just multiply the pools).
   dictionary::CompiledDictionary compiled_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t num_producers_;
   std::size_t drain_batch_;
   std::size_t batch_size_;
   bool serialize_producers_;
@@ -129,6 +178,19 @@ class WorkerPool {
   telemetry::TraceRing* trace_;
   std::atomic<bool> started_{false};
   std::atomic<bool> joined_{false};      // shutdown initiated
+
+  // Checkpoint rendezvous state.  capture_requested_ is the cheap flag
+  // workers poll at batch boundaries; everything else is guarded by
+  // rendezvous_mu_.  capture_serial_mu_ serializes whole captures.
+  std::mutex capture_serial_mu_;
+  std::mutex rendezvous_mu_;
+  std::condition_variable rendezvous_cv_;
+  std::vector<ShardCapture> capture_slots_;
+  std::size_t arrived_ = 0;
+  bool capture_active_ = false;
+  bool released_ = false;
+  bool shutdown_ = false;
+  std::atomic<bool> capture_requested_{false};
 };
 
 }  // namespace bgpbh::stream

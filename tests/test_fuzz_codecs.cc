@@ -4,9 +4,13 @@
 // multi-origin feeds; decoder robustness is a load-bearing property.)
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "bgp/mrt.h"
 #include "bgp/update.h"
 #include "flows/ipfix.h"
+#include "recovery/checkpoint.h"
 #include "storage/record_codec.h"
 #include "util/rng.h"
 
@@ -259,6 +263,168 @@ TEST_P(FuzzSeedTest, TruncationSweepEventRecord) {
     net::BufReader r(t);
     EXPECT_FALSE(storage::decode_record(r).has_value()) << "cut=" << cut;
   }
+}
+
+// ---- checkpoint codec (src/recovery/) ---------------------------------
+
+core::OpenEventState random_open_state(util::Rng& rng) {
+  core::OpenEventState open;
+  core::PeerEvent seed = random_event(rng);
+  open.peer = seed.peer;
+  open.prefix = seed.prefix;
+  open.start = seed.start;
+  open.platform = seed.platform;
+  open.from_table_dump = rng.uniform(2) == 1;
+  for (std::size_t i = rng.uniform(4); i > 0; --i) {
+    core::OpenDetection det;
+    det.provider.is_ixp = rng.uniform(2) == 1;
+    det.provider.asn = static_cast<std::uint32_t>(rng.next_u64());
+    det.provider.ixp_id = static_cast<std::uint32_t>(rng.uniform(100));
+    det.user = static_cast<std::uint32_t>(rng.next_u64());
+    det.kind = static_cast<core::DetectionKind>(rng.uniform(4));
+    det.as_distance = static_cast<int>(rng.uniform(10)) - 1;
+    open.detections.push_back(det);
+  }
+  open.communities = seed.communities;
+  return open;
+}
+
+recovery::Checkpoint random_checkpoint(util::Rng& rng) {
+  recovery::Checkpoint cp;
+  cp.seq = rng.next_u64() % 100000 + 1;
+  cp.num_shards = static_cast<std::uint32_t>(rng.uniform(4)) + 1;
+  cp.num_producers = static_cast<std::uint32_t>(rng.uniform(3)) + 1;
+  cp.includes_table_dump = rng.uniform(2) == 1;
+  cp.position.seq = rng.next_u64() % 10000;
+  cp.position.records = rng.next_u64() % 100000;
+  for (std::uint32_t s = 0; s < cp.num_shards; ++s) {
+    recovery::ShardCheckpoint shard;
+    for (std::uint32_t p = 0; p < cp.num_producers; ++p) {
+      shard.watermarks.push_back(rng.next_u64() % (1ull << 40));
+    }
+    for (std::size_t i = rng.uniform(6); i > 0; --i) {
+      shard.open_state.push_back(random_open_state(rng));
+    }
+    cp.shards.push_back(std::move(shard));
+  }
+  auto random_prefix_event = [&rng] {
+    core::PrefixEvent pe;
+    core::PeerEvent seed = random_event(rng);
+    pe.prefix = seed.prefix;
+    pe.start = seed.start;
+    pe.end = seed.end;
+    pe.providers.insert(seed.provider);
+    pe.users.insert(seed.user);
+    pe.num_peer_events = rng.uniform(16);
+    pe.includes_table_dump_start = rng.uniform(2) == 1;
+    return pe;
+  };
+  for (std::size_t i = rng.uniform(4); i > 0; --i) {
+    cp.correlated.push_back(random_prefix_event());
+  }
+  for (std::size_t i = rng.uniform(4); i > 0; --i) {
+    cp.grouped.push_back(random_prefix_event());
+  }
+  return cp;
+}
+
+TEST_P(FuzzSeedTest, CheckpointRoundTripsRandomCheckpoints) {
+  util::Rng rng(GetParam() ^ 0xC4EC);
+  for (int i = 0; i < 300; ++i) {
+    recovery::Checkpoint cp = random_checkpoint(rng);
+    auto file = recovery::encode_checkpoint_file(cp);
+    auto decoded = recovery::decode_checkpoint_file(file);
+    ASSERT_TRUE(decoded.has_value()) << "i=" << i;
+    EXPECT_TRUE(*decoded == cp) << "i=" << i;
+  }
+}
+
+TEST_P(FuzzSeedTest, CheckpointDecoderSurvivesRandomInput) {
+  util::Rng rng(GetParam() ^ 0xCF02);
+  for (int i = 0; i < 3000; ++i) {
+    auto bytes = random_bytes(rng, 1024);
+    (void)recovery::decode_checkpoint_file(bytes);
+  }
+}
+
+TEST_P(FuzzSeedTest, CheckpointBitFlipsAlwaysRejected) {
+  util::Rng rng(GetParam() ^ 0xB17F);
+  util::Rng gen(11);
+  auto file = recovery::encode_checkpoint_file(random_checkpoint(gen));
+  // The whole-file CRC covers the payload; the framing fields are
+  // validated structurally — ANY single-bit flip must reject.
+  for (int i = 0; i < 3000; ++i) {
+    auto mutated = file;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform(8));
+    EXPECT_FALSE(recovery::decode_checkpoint_file(mutated).has_value())
+        << "i=" << i;
+  }
+  // Multi-bit scatter: never crashes, never mis-loads as equal-but-
+  // different (decode success would require the CRC to collide AND the
+  // payload to stay structurally valid; reject is the only outcome we
+  // assert, crash-freedom the property we sweep).
+  for (int i = 0; i < 2000; ++i) {
+    auto mutated = file;
+    std::size_t flips = 2 + rng.uniform(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.uniform(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(8));
+    }
+    (void)recovery::decode_checkpoint_file(mutated);
+  }
+}
+
+TEST_P(FuzzSeedTest, CheckpointTruncationSweepNeverLoadsTorn) {
+  util::Rng gen(GetParam());
+  auto cp = random_checkpoint(gen);
+  auto full = recovery::encode_checkpoint_file(cp);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::span<const std::uint8_t> t(full.data(), cut);
+    EXPECT_FALSE(recovery::decode_checkpoint_file(t).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST_P(FuzzSeedTest, TornNewestCheckpointFileFallsBackToPreviousOnDisk) {
+  namespace fs = std::filesystem;
+  util::Rng rng(GetParam() ^ 0xFA11);
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("bgpbh_fuzz_ckpt_" + std::to_string(GetParam()))).string();
+  fs::remove_all(dir);
+  util::Rng gen(5);
+  recovery::Checkpoint cp1 = random_checkpoint(gen);
+  recovery::Checkpoint cp2 = random_checkpoint(gen);
+  cp1.seq = 1;
+  cp2.seq = 2;
+  ASSERT_TRUE(recovery::write_checkpoint(dir, cp1));
+  auto cp2_bytes = recovery::encode_checkpoint_file(cp2);
+  fs::path newest = fs::path(dir) / recovery::checkpoint_file_name(2);
+  // Sweep torn-write lengths of the newest file (a crash landing mid-
+  // write past the rename barrier): the loader must fall back to cp1
+  // for every cut, and never return a mangled cp2.
+  for (int i = 0; i < 50; ++i) {
+    std::size_t cut = rng.uniform(cp2_bytes.size());
+    std::ofstream f(newest, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(cp2_bytes.data()),
+            static_cast<std::streamsize>(cut));
+    f.close();
+    auto loaded = recovery::load_latest_checkpoint(dir);
+    ASSERT_TRUE(loaded.has_value()) << "cut=" << cut;
+    EXPECT_TRUE(loaded->checkpoint == cp1) << "cut=" << cut;
+    EXPECT_EQ(loaded->skipped_corrupt, 1u) << "cut=" << cut;
+  }
+  // The intact file, for contrast, wins.
+  {
+    std::ofstream f(newest, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(cp2_bytes.data()),
+            static_cast<std::streamsize>(cp2_bytes.size()));
+  }
+  auto loaded = recovery::load_latest_checkpoint(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->checkpoint == cp2);
+  fs::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,

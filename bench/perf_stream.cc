@@ -27,7 +27,15 @@
 // (--segments-out, default BENCH_segments/) so CI can upload a sample
 // of the on-disk format as an artifact.
 //
-//   perf_stream [--smoke] [--producers <P>] [--out <path>]
+// The fabric stages (--fabric) run the distributed plane end to end:
+// two in-process fabric::ShardServers on loopback ephemeral ports, a
+// fabric AnalysisSession pushing the study stream through the framed
+// APPEND protocol (fabric_append_ns_per_event), one live slot
+// migration between the servers (rebalance_ms), and an equality check
+// against a matching in-process session — a mismatch fails the run
+// like every other stage.
+//
+//   perf_stream [--smoke] [--fabric] [--producers <P>] [--out <path>]
 //               [--segments-out <dir>]
 //
 // --smoke shrinks the workload and runs only 1 and 4 shards (CI).
@@ -48,6 +56,7 @@
 #include "api/sink.h"
 #include "bench_meta.h"
 #include "core/study.h"
+#include "fabric/server.h"
 #include "storage/segment_reader.h"
 #include "storage/spill.h"
 #include "stream/pipeline.h"
@@ -145,6 +154,7 @@ double run_pipeline(const core::Study& study,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool with_fabric = false;
   std::size_t mpmc_producers = 3;
   std::string out_path = "BENCH_stream.json";
   std::string segments_dir = "BENCH_segments";
@@ -152,6 +162,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--fabric") == 0) {
+      with_fabric = true;
     } else if (std::strcmp(argv[i], "--producers") == 0 && i + 1 < argc) {
       mpmc_producers = static_cast<std::size_t>(std::atoi(argv[++i]));
       if (mpmc_producers == 0 || mpmc_producers > kNumPlatforms) {
@@ -166,7 +178,7 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: perf_stream [--smoke] [--producers <P>] "
+                   "usage: perf_stream [--smoke] [--fabric] [--producers <P>] "
                    "[--out <path>] [--segments-out <dir>] "
                    "[--metrics-out <path>]\n");
       return 2;
@@ -597,6 +609,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- fabric stages (--fabric) --------------------------------------
+  // fabric_append = per-update cost of the full distributed append
+  // path (split + batch + frame + loopback TCP + server-side push +
+  // bounded-window ack) measured against two in-process ShardServers;
+  // rebalance = wall clock of one live slot migration between them
+  // (drain + drained checkpoint + directory ship + recover + route
+  // flip) with the slot fully populated.  The fabric session's event
+  // set must match an in-process session over the same stream — the
+  // distributed plane is only worth benching if it is correct.
+  double fabric_append_ns = 0.0, rebalance_ms = 0.0;
+  if (with_fabric) {
+    api::SessionConfig ref_config;
+    ref_config.mode = api::SessionConfig::Mode::kLiveFeed;
+    ref_config.study = config;
+    ref_config.num_shards = 4;
+    api::AnalysisSession ref_session(ref_config);
+    ref_session.start();
+    for (const auto& u : updates) ref_session.push(u);
+    ref_session.close(config.window_end);
+    std::vector<core::PeerEvent> ref_events = ref_session.events();
+
+    const std::string fabric_dir = "BENCH_fabric";
+    std::filesystem::remove_all(fabric_dir);
+    fabric::ShardServerConfig server_config;
+    server_config.study = config;
+    server_config.dir = fabric_dir + "/srv0";
+    fabric::ShardServer server0(server_config);
+    server_config.dir = fabric_dir + "/srv1";
+    fabric::ShardServer server1(server_config);
+
+    api::SessionConfig fconfig;
+    fconfig.mode = api::SessionConfig::Mode::kLiveFeed;
+    fconfig.study = config;
+    fconfig.num_shards = 4;  // the global slot count in fabric mode
+    fconfig.fabric.endpoints = {{"127.0.0.1", server0.port()},
+                                {"127.0.0.1", server1.port()}};
+    api::AnalysisSession fabric_session(fconfig);
+    fabric_session.start();
+    auto f0 = std::chrono::steady_clock::now();
+    for (const auto& u : updates) fabric_session.push(u);
+    fabric_session.drain();
+    fabric_append_ns =
+        seconds_since(f0) * 1e9 / static_cast<double>(updates.size());
+
+    // Migrate slot 0 onto whichever server does not own it, with every
+    // update already applied — the worst-case (fully populated) move.
+    fabric::FabricRouter* router = fabric_session.fabric();
+    std::size_t target = router->endpoint_of(0) == 0 ? 1 : 0;
+    auto m0 = std::chrono::steady_clock::now();
+    bool migrated = router->migrate(0, target);
+    rebalance_ms = seconds_since(m0) * 1e3;
+
+    fabric_session.close(config.window_end);
+    bool fabric_identical = migrated && fabric_session.events() == ref_events;
+    std::printf("fabric: append %.1f ns/event over loopback (%zu updates, "
+                "4 slots, 2 servers), rebalance slot 0 -> server %zu "
+                "%.2f ms  [%s]\n",
+                fabric_append_ns, updates.size(), target, rebalance_ms,
+                fabric_identical ? "events identical" : "FABRIC MISMATCH");
+    if (!fabric_identical) all_equivalent = false;
+    server0.stop();
+    server1.stop();
+    std::filesystem::remove_all(fabric_dir);
+  }
+
   // The stage breakdown flows through the telemetry registry — the
   // same snapshot/export path AnalysisSession::telemetry() consumers
   // use — so the BENCH JSON is derived from registry state, not a
@@ -614,6 +691,11 @@ int main(int argc, char** argv) {
   bench_registry.gauge("stage.checkpoint_ns_per_event")
       .set(checkpoint_ns_per_event);
   bench_registry.gauge("stage.recover_ms").set(recover_ms);
+  if (with_fabric) {
+    bench_registry.gauge("stage.fabric_append_ns_per_event")
+        .set(fabric_append_ns);
+    bench_registry.gauge("stage.rebalance_ms").set(rebalance_ms);
+  }
   telemetry::MetricsRegistry::Snapshot stage_snap = bench_registry.snapshot();
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");

@@ -43,6 +43,24 @@
 //                                        reopen self-check below still
 //                                        runs, so an interrupted run
 //                                        verifies its own durability
+//
+// Distributed operation (src/fabric/):
+//   live_monitor --connect host:port[,host:port...]
+//                                        feed the archive to a running
+//                                        shard-server fleet instead of
+//                                        the in-process pipeline, then
+//                                        scatter-gather the events
+//                                        back, verify them against an
+//                                        in-process replay of the SAME
+//                                        archive (exit non-zero on any
+//                                        difference), and send the
+//                                        fleet a graceful SHUTDOWN.
+//                                        The servers must run the
+//                                        matching study knobs (the
+//                                        shard_server defaults).
+//                                        Mutually exclusive with
+//                                        --persist/--resume/
+//                                        --checkpoint-every.
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
@@ -109,6 +127,7 @@ class AlertSink : public api::EventSink {
 int main(int argc, char** argv) {
   std::string persist_dir;
   std::string metrics_out;
+  std::string connect_arg;
   std::uint64_t metrics_every = 0;
   std::uint64_t checkpoint_every = 0;
   bool resume = false;
@@ -117,6 +136,8 @@ int main(int argc, char** argv) {
       persist_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_arg = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
@@ -128,7 +149,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: live_monitor [--persist <dir> [--resume]] "
                    "[--checkpoint-every <N>] [--metrics-out <file>] "
-                   "[--metrics-every <N>]\n");
+                   "[--metrics-every <N>] "
+                   "[--connect host:port[,host:port...]]\n");
       return 2;
     }
   }
@@ -141,6 +163,121 @@ int main(int argc, char** argv) {
     util::Log(util::LogLevel::kError, "live_monitor")
         .msg("--resume requires --persist <dir>");
     return 2;
+  }
+  if (!connect_arg.empty() &&
+      (!persist_dir.empty() || resume || checkpoint_every != 0)) {
+    util::Log(util::LogLevel::kError, "live_monitor")
+        .msg("--connect excludes --persist/--resume/--checkpoint-every "
+             "(persistence lives on the shard servers)");
+    return 2;
+  }
+
+  // ---- fabric mode: feed a remote shard-server fleet -----------------
+  // The same archive drives two sessions: the fabric client (updates go
+  // out as APPEND frames, events come back by scatter-gather) and an
+  // in-process monitor, which is ground truth for the self-check.
+  if (!connect_arg.empty()) {
+    std::vector<fabric::FabricEndpoint> endpoints;
+    std::size_t pos = 0;
+    while (pos < connect_arg.size()) {
+      std::size_t comma = connect_arg.find(',', pos);
+      if (comma == std::string::npos) comma = connect_arg.size();
+      std::string token = connect_arg.substr(pos, comma - pos);
+      std::size_t colon = token.rfind(':');
+      int port = colon == std::string::npos
+                     ? 0
+                     : std::atoi(token.c_str() + colon + 1);
+      if (colon == std::string::npos || colon == 0 || port <= 0 ||
+          port > 65535) {
+        std::fprintf(stderr, "live_monitor: bad --connect endpoint '%s'\n",
+                     token.c_str());
+        return 2;
+      }
+      endpoints.push_back(fabric::FabricEndpoint{
+          token.substr(0, colon), static_cast<std::uint16_t>(port)});
+      pos = comma + 1;
+    }
+
+    // Study knobs mirror shard_server's defaults — both sides derive
+    // their substrates from them, so they must agree.
+    api::SessionConfig config;
+    config.mode = api::SessionConfig::Mode::kLiveFeed;
+    config.study.window_start = util::from_date(2017, 3, 15);
+    config.study.window_end = util::from_date(2017, 3, 16);
+    config.study.workload.intensity_scale = 0.05;
+    config.study.table_dump_episodes = 0;
+    config.num_shards = 4;  // global slot count across the fleet
+
+    api::AnalysisSession local(config);
+    net::BufWriter archive;
+    std::size_t written = 0;
+    for (const auto& fu : local.study().replay_updates()) {
+      bgp::mrt::encode_update(fu.update, archive);
+      ++written;
+    }
+    std::string path = "/tmp/bgpbh_live_monitor_fabric.mrt";
+    bgp::mrt::write_file(path, archive.data());
+    util::Log(util::LogLevel::kInfo, "live_monitor")
+        .msg("archive written")
+        .kv("records", static_cast<std::uint64_t>(written))
+        .kv("path", path)
+        .kv("endpoints", connect_arg);
+
+    api::SessionConfig fabric_config = config;
+    fabric_config.fabric.endpoints = endpoints;
+    api::AnalysisSession session(fabric_config);
+    session.start();
+    std::string open_error;
+    auto source = stream::MrtFileSource::open(path, routing::Platform::kRis,
+                                              &open_error);
+    if (!source) {
+      std::fprintf(stderr, "live_monitor: cannot open %s: %s\n", path.c_str(),
+                   open_error.c_str());
+      return 1;
+    }
+    std::uint64_t replayed = 0;
+    while (const routing::FeedUpdate* u = source->next()) {
+      session.push(*u);
+      ++replayed;
+    }
+    session.close(config.study.window_end);
+    std::vector<core::PeerEvent> remote = session.events();
+
+    // Ground truth: the identical archive through the in-process plane.
+    local.start();
+    auto local_source = stream::MrtFileSource::open(
+        path, routing::Platform::kRis, &open_error);
+    if (!local_source) {
+      std::fprintf(stderr, "live_monitor: cannot reopen %s: %s\n",
+                   path.c_str(), open_error.c_str());
+      return 1;
+    }
+    while (const routing::FeedUpdate* u = local_source->next()) {
+      local.push(*u);
+    }
+    local.close(config.study.window_end);
+    std::vector<core::PeerEvent> truth = local.events();
+    std::remove(path.c_str());
+
+    bool identical = remote == truth;
+    std::printf("fabric monitoring summary: %llu updates fed to %zu "
+                "server%s, %zu events gathered, %llu reconnects  [%s]\n",
+                static_cast<unsigned long long>(replayed), endpoints.size(),
+                endpoints.size() == 1 ? "" : "s", remote.size(),
+                static_cast<unsigned long long>(session.fabric()->reconnects()),
+                identical ? "matches in-process replay" : "MISMATCH");
+    if (!identical) {
+      util::Log(util::LogLevel::kError, "live_monitor")
+          .msg("fabric event set does not match in-process replay")
+          .kv("remote_events", static_cast<std::uint64_t>(remote.size()))
+          .kv("local_events", static_cast<std::uint64_t>(truth.size()));
+      return 1;
+    }
+    util::Log(util::LogLevel::kInfo, "live_monitor")
+        .msg("fabric self-check passed; shutting the fleet down")
+        .kv("events", static_cast<std::uint64_t>(remote.size()));
+    session.fabric()->shutdown_endpoints();
+    return 0;
   }
   // Without --resume this run's live view is the whole truth, so the
   // reopen self-check below compares against it — start from an empty

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace bgpbh::api {
@@ -44,6 +45,35 @@ AnalysisSession::AnalysisSession(SessionConfig config)
   const std::size_t shards = config_.num_shards == 0 ? 1 : config_.num_shards;
   const std::size_t producers =
       config_.num_producers == 0 ? 1 : config_.num_producers;
+  // Fabric client: the data plane is a FabricRouter instead of a local
+  // pipeline; num_shards is the global slot count.  The incompatible
+  // knobs below are programming errors, so they throw in release too.
+  if (config_.fabric.enabled()) {
+    if (config_.mode != SessionConfig::Mode::kLiveFeed) {
+      throw std::logic_error(
+          "bgpbh: fabric endpoints require kLiveFeed (the caller-fed "
+          "shape; remote servers run the pipelines)");
+    }
+    if (!config_.persist_dir.empty() || config_.resume || config_.recover) {
+      throw std::logic_error(
+          "bgpbh: fabric clients do not persist or recover locally; "
+          "each shard server owns its slot directories");
+    }
+    if (config_.study.table_dump_episodes != 0) {
+      throw std::logic_error(
+          "bgpbh: fabric mode requires study.table_dump_episodes == 0; a "
+          "table dump would be folded once per remote slot session");
+    }
+    recovery::QuarantineConfig qc;
+    qc.max_as_path_hops = config_.max_as_path_hops;
+    qc.max_communities = config_.max_communities;
+    qc.error_budget = config_.poison_error_budget;
+    qc.metrics = &metrics_;
+    quarantine_ = std::make_unique<recovery::PoisonQuarantine>(producers, qc);
+    fabric_ = std::make_unique<fabric::FabricRouter>(config_.fabric, shards,
+                                                     producers, &metrics_);
+    return;
+  }
   // Crash recovery, BEFORE the spill writer opens: load the newest
   // valid checkpoint and truncate the segment log to its durable
   // position — the writer's own open then recovers/reseals exactly the
@@ -131,17 +161,24 @@ AnalysisSession::AnalysisSession(SessionConfig config)
     // replay-skips into the producers, layers into the grouper.
     if (loaded) {
       recovery::Checkpoint& cp = loaded->checkpoint;
+      recovered_totals_ = recovery::producer_totals(cp);
       for (std::size_t s = 0; s < cp.shards.size(); ++s) {
         pipeline_->seed_watermarks(s, cp.shards[s].watermarks);
         pipeline_->shard_engine(s).import_open_state(
             std::move(cp.shards[s].open_state));
       }
-      for (std::size_t p = 0; p < producers; ++p) {
-        std::vector<std::uint64_t> skip(cp.shards.size(), 0);
-        for (std::size_t s = 0; s < cp.shards.size(); ++s) {
-          skip[s] = cp.shards[s].watermarks[p];
+      // Suffix-feed recovery (fabric shard servers): the feeder resumes
+      // each producer exactly past the recovered accepted count, so the
+      // replay-skip arming below — which expects a full re-feed from
+      // index zero — must be left off.
+      if (!config_.recover_suffix_feed) {
+        for (std::size_t p = 0; p < producers; ++p) {
+          std::vector<std::uint64_t> skip(cp.shards.size(), 0);
+          for (std::size_t s = 0; s < cp.shards.size(); ++s) {
+            skip[s] = cp.shards[s].watermarks[p];
+          }
+          pipeline_->producer(p).set_replay_skip(std::move(skip));
         }
-        pipeline_->producer(p).set_replay_skip(std::move(skip));
       }
       grouper_.restore_layers(cp.correlated, cp.grouped);
       recovered_ = true;
@@ -229,6 +266,10 @@ AnalysisSession::~AnalysisSession() {
 }
 
 bool AnalysisSession::subscribe(EventSink& sink) {
+  // Fabric clients have no local event stream to deliver from (events
+  // close on the remote shard servers); refuse rather than silently
+  // never deliver.
+  if (fabric_) return false;
   // The dispatcher snapshots the sink list when delivery begins; a
   // late subscriber could never be delivered to, so refuse it loudly
   // rather than ignore it silently.
@@ -291,6 +332,16 @@ SessionHealth AnalysisSession::health() const {
     }
     overall.components.push_back(std::move(c));
   }
+  if (fabric_) {
+    ComponentHealth c;
+    c.component = "fabric";
+    const std::uint64_t reconnects = fabric_->reconnects();
+    if (reconnects > 0) {
+      // Recovered (replay made the lanes whole), but worth surfacing.
+      c.reason = std::to_string(reconnects) + " lane reconnect(s)";
+    }
+    overall.components.push_back(std::move(c));
+  }
   if (quarantine_) overall.components.push_back(quarantine_->component_health());
   if (watchdog_) overall.components.push_back(watchdog_->component_health());
   if (coordinator_) {
@@ -343,6 +394,11 @@ void AnalysisSession::require_live(const char* what) const {
 void AnalysisSession::start() {
   require_live("start()");
   if (closed_) return;  // a closed session quietly refuses to restart
+  if (fabric_) {
+    // Lanes dial lazily on the first push; nothing to wire locally.
+    started_.store(true, std::memory_order_release);
+    return;
+  }
   // call_once blocks concurrent callers until the winner has wired the
   // dispatcher and store listener AND started the pipeline — a racing
   // first push can therefore never reach a shard worker (whose drains
@@ -363,13 +419,21 @@ bool AnalysisSession::push(const routing::FeedUpdate& update,
   if (!started_.load(std::memory_order_acquire)) start();
   // Poison quarantine: reject absurd updates before they can reach a
   // shard worker (an adversarial feed must degrade health, not state).
+  // Fabric mode runs the SAME quarantine client-side (the shard
+  // servers admit everything), so accept/reject decisions — and hence
+  // the per-lane sub-update index spaces — match the in-process plane.
   if (quarantine_ && !quarantine_->admit(update, producer)) return false;
+  if (fabric_) return fabric_->push(producer, update);
   return pipeline_->producer(producer).push(update);
 }
 
 void AnalysisSession::flush(std::size_t producer) {
   require_live("flush()");
   if (closed_ || !started_.load(std::memory_order_acquire)) return;
+  if (fabric_) {
+    fabric_->flush(producer);
+    return;
+  }
   pipeline_->producer(producer).flush();
 }
 
@@ -377,7 +441,34 @@ std::uint64_t AnalysisSession::feed(stream::UpdateSource& source) {
   require_live("feed()");
   if (closed_) return 0;  // defined: nothing consumed
   if (!started_.load(std::memory_order_acquire)) start();
+  if (fabric_) {
+    std::uint64_t accepted = 0;
+    while (const routing::FeedUpdate* update = source.next()) {
+      if (push(*update, 0)) ++accepted;
+    }
+    return accepted;
+  }
   return pipeline_->run(source);
+}
+
+void AnalysisSession::drain() {
+  require_live("drain()");
+  if (closed_ || !started_.load(std::memory_order_acquire)) return;
+  const std::size_t producers =
+      config_.num_producers == 0 ? 1 : config_.num_producers;
+  if (fabric_) {
+    for (std::size_t p = 0; p < producers; ++p) fabric_->flush(p);
+    return;
+  }
+  for (std::size_t p = 0; p < producers; ++p) {
+    pipeline_->producer(p).flush();
+  }
+  // Producers count accepted refs at push, workers count them at
+  // drain; equality means every queue is empty and every sub-update
+  // has reached its shard engine — the drained-cut invariant.
+  while (pipeline_->total_processed() < pipeline_->total_refs_enqueued()) {
+    std::this_thread::yield();
+  }
 }
 
 void AnalysisSession::close(util::SimTime end_time) {
@@ -388,6 +479,12 @@ void AnalysisSession::close(util::SimTime end_time) {
   // and subscribers still get their final snapshot.
   if (!started_.load(std::memory_order_acquire)) start();
   closed_ = true;
+  if (fabric_) {
+    // Drains every lane, then force-closes each remote slot session at
+    // the cut-off (the distributed finish()).
+    fabric_->close(end_time);
+    return;
+  }
   // Supervision planes stop first: a checkpoint cut racing finish()'s
   // worker join would only ever abandon, and the watchdog would read
   // heartbeats from joining workers.
@@ -480,6 +577,14 @@ void AnalysisSession::run() {
 std::vector<core::PeerEvent> AnalysisSession::events(
     const EventQuery& query) const {
   std::vector<core::PeerEvent> out;
+  if (fabric_) {
+    // Scatter-gather returns the merged remote set already canonically
+    // sorted; filtering preserves that order.
+    for (auto& e : fabric_->query_events()) {
+      if (query.matches(e)) out.push_back(std::move(e));
+    }
+    return out;
+  }
   if (live()) {
     out = pipeline_->store().query(
         [&query](const core::PeerEvent& e) { return query.matches(e); });
@@ -504,6 +609,7 @@ std::vector<core::PeerEvent> AnalysisSession::events(
 }
 
 std::size_t AnalysisSession::count(const EventQuery& query) const {
+  if (fabric_) return events(query).size();
   std::size_t n = 0;
   if (live()) {
     n = pipeline_->store().count(
@@ -571,6 +677,7 @@ stream::EventStore::Snapshot AnalysisSession::snapshot() const {
   // This session's half: live store counters / batch study fold.
   stream::EventStore::Snapshot snap;
   bool has_any = false;
+  if (fabric_) return snapshot_of(events());
   if (live()) {
     snap = pipeline_->store().snapshot();
     has_any = snap.total_events > 0;
@@ -604,6 +711,7 @@ core::EngineStats AnalysisSession::stats() const {
   assert(!reopen() && "kReopen has no engine: the segment log persists "
                       "events, not engine state");
   if (reopen()) return {};
+  if (fabric_) return {};  // engines live on the shard servers
   if (!live()) return study_->engine_stats();
   assert(closed_ && "live stats() requires close(): shard engines are "
                     "readable only after the workers joined");
@@ -611,14 +719,17 @@ core::EngineStats AnalysisSession::stats() const {
 }
 
 std::size_t AnalysisSession::open_event_count() const {
+  if (fabric_) return 0;  // open state lives on the shard servers
   return live() ? pipeline_->open_event_count() : 0;
 }
 
 std::size_t AnalysisSession::open_at_close() const {
+  if (fabric_) return 0;
   return live() ? pipeline_->open_at_finish() : 0;
 }
 
 std::uint64_t AnalysisSession::updates_pushed() const {
+  if (fabric_) return fabric_->updates_pushed();
   if (live()) return pipeline_->updates_pushed();
   if (reopen()) return 0;
   return study_->engine_stats().updates_processed;
@@ -626,11 +737,15 @@ std::uint64_t AnalysisSession::updates_pushed() const {
 
 std::size_t AnalysisSession::num_shards() const {
   if (reopen()) return 0;
+  if (fabric_) return fabric_->num_slots();
   return live() ? pipeline_->num_shards() : 1;
 }
 
 bool AnalysisSession::checkpoint_now() {
   require_live("checkpoint_now()");
+  // Fabric: a drained remote cut per slot (every shard server's
+  // durable totals advance to its accepted totals).
+  if (fabric_) return fabric_->checkpoint_all();
   return coordinator_ && coordinator_->checkpoint_now();
 }
 

@@ -54,6 +54,7 @@
 
 #include "api/dispatch.h"
 #include "api/health.h"
+#include "fabric/router.h"
 #include "api/live_grouper.h"
 #include "api/query.h"
 #include "api/sink.h"
@@ -176,6 +177,25 @@ struct SessionConfig {
   std::size_t max_as_path_hops = 1024;
   std::size_t max_communities = 4096;
   std::uint64_t poison_error_budget = 100;
+
+  // ---- multi-process shard fabric (src/fabric/) -------------------------
+  // Non-empty endpoint list + kLiveFeed: this session becomes a fabric
+  // CLIENT.  num_shards is reinterpreted as the global slot count,
+  // every push is split/routed to the slot's shard server
+  // (fabric::FabricRouter), and queries scatter-gather the remote
+  // event sets — byte-identical to the in-process plane.  Fabric mode
+  // requires persist_dir empty (persistence happens server-side),
+  // recover false, and study.table_dump_episodes == 0 (a table dump
+  // would be folded once per remote slot session); violations throw
+  // std::logic_error from the constructor.  The in-process hot path is
+  // untouched when this is empty.
+  fabric::FabricConfig fabric;
+  // Server-side recovery variant (fabric::ShardServer slot sessions):
+  // restore the checkpoint as `recover` does, but do NOT arm producer
+  // replay-skips — the feeder sends only the post-cut suffix (the
+  // fabric client resumes each lane from the recovered accepted
+  // index), so skipping would drop real updates.
+  bool recover_suffix_feed = false;
 };
 
 class AnalysisSession {
@@ -253,10 +273,22 @@ class AnalysisSession {
   // race, degraded disk, failed write) — the previous checkpoint then
   // remains authoritative.
   bool checkpoint_now();
+  // Block until every update accepted so far is fully processed (live:
+  // producers flushed and shard queues drained; fabric: every lane's
+  // APPEND acked by its shard server).  At a drained point the
+  // per-producer checkpoint watermark sums are exact accepted counts —
+  // the invariant the fabric's exactly-once accounting rests on.
+  void drain();
   // True when this session restored state from a checkpoint, and the
   // seq of the checkpoint it restored (0 otherwise).
   bool recovered() const { return recovered_; }
   std::uint64_t recovered_checkpoint_seq() const { return recovered_seq_; }
+  // Per-producer sub-update counts the restored checkpoint covers
+  // (empty when recovered() is false).  A fabric shard server reports
+  // these in HELLO so clients resume each lane exactly past them.
+  const std::vector<std::uint64_t>& recovered_updates_accepted() const {
+    return recovered_totals_;
+  }
   std::uint64_t checkpoints_written() const;
   // Updates rejected by the poison quarantine, across all producers.
   std::uint64_t poison_rejected() const;
@@ -305,6 +337,11 @@ class AnalysisSession {
   std::size_t open_at_close() const;
   std::uint64_t updates_pushed() const;
   std::size_t num_shards() const;
+
+  // The fabric router when this session is a fabric client (null
+  // otherwise): rebalance (migrate/add_endpoint) and fleet shutdown
+  // live here.
+  fabric::FabricRouter* fabric() { return fabric_.get(); }
 
   // ---- persistence gauges (zero / null without persist_dir) ------------
   // Events durably appended to the segment log so far.
@@ -382,8 +419,12 @@ class AnalysisSession {
   std::unique_ptr<recovery::PoisonQuarantine> quarantine_;
   std::unique_ptr<recovery::Watchdog> watchdog_;
   std::unique_ptr<recovery::CheckpointCoordinator> coordinator_;
+  // Fabric client plane (replaces pipeline_/spill_/dispatcher_ when
+  // config_.fabric.enabled()).
+  std::unique_ptr<fabric::FabricRouter> fabric_;
   bool recovered_ = false;
   std::uint64_t recovered_seq_ = 0;
+  std::vector<std::uint64_t> recovered_totals_;
   // One-shot start: call_once makes racing first pushes block until
   // the winner has installed the dispatcher + store listener, so no
   // update can reach a worker before the subscription layer is wired.

@@ -1,0 +1,46 @@
+#include "fabric/placement.h"
+
+#include <algorithm>
+
+namespace bgpbh::fabric {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+HashRing::HashRing(std::size_t num_endpoints, std::size_t vnodes)
+    : num_endpoints_(num_endpoints) {
+  ring_.reserve(num_endpoints * vnodes);
+  for (std::size_t e = 0; e < num_endpoints; ++e) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      ring_.push_back(Point{mix64((static_cast<std::uint64_t>(e) << 20) | v),
+                            e});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) { return a.hash < b.hash; });
+}
+
+std::size_t HashRing::owner(std::uint64_t key) const {
+  if (ring_.empty()) return 0;
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->endpoint;
+}
+
+std::vector<std::size_t> place_slots(std::size_t num_slots,
+                                     std::size_t num_endpoints) {
+  HashRing ring(num_endpoints == 0 ? 1 : num_endpoints);
+  std::vector<std::size_t> placement(num_slots, 0);
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    placement[s] = ring.owner(mix64(s));
+  }
+  return placement;
+}
+
+}  // namespace bgpbh::fabric

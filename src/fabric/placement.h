@@ -1,0 +1,48 @@
+// Slot placement for the shard fabric.
+//
+// The key space is already partitioned deterministically:
+// stream::shard_for(peer, prefix, num_slots) names the slot owning a
+// (peer, prefix) state key.  Placement maps slots onto endpoints with
+// a consistent-hash ring (virtual nodes per endpoint), so adding an
+// endpoint moves only ~1/N of the slots — and the fabric router can
+// migrate exactly those slots live (FabricRouter::migrate) instead of
+// reshuffling everything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bgpbh::fabric {
+
+class HashRing {
+ public:
+  // `vnodes` virtual nodes per endpoint smooth the ring: with 40+ the
+  // slot spread stays within a few percent of uniform.
+  explicit HashRing(std::size_t num_endpoints, std::size_t vnodes = 40);
+
+  // Endpoint index owning `key` (clockwise successor on the ring).
+  std::size_t owner(std::uint64_t key) const;
+
+  std::size_t num_endpoints() const { return num_endpoints_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t endpoint;
+  };
+  std::size_t num_endpoints_ = 0;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+// Mixing hash for ring points and slot keys (splitmix64 finalizer —
+// deterministic across builds, good avalanche).
+std::uint64_t mix64(std::uint64_t x);
+
+// Initial slot -> endpoint table: slot s goes to
+// ring.owner(mix64(s)).  Deterministic, so every router derives the
+// same table from the same endpoint list.
+std::vector<std::size_t> place_slots(std::size_t num_slots,
+                                     std::size_t num_endpoints);
+
+}  // namespace bgpbh::fabric

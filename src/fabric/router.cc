@@ -1,0 +1,532 @@
+#include "fabric/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "bgp/rib.h"
+#include "storage/record_codec.h"
+#include "storage/wire.h"
+#include "stream/shard_router.h"
+
+namespace bgpbh::fabric {
+
+namespace {
+
+std::string describe_endpoint(const FabricEndpoint& ep) {
+  return ep.host + ":" + std::to_string(ep.port);
+}
+
+}  // namespace
+
+FabricRouter::FabricRouter(FabricConfig config, std::size_t num_slots,
+                           std::size_t num_producers,
+                           telemetry::MetricsRegistry* metrics)
+    : config_(std::move(config)),
+      num_slots_(num_slots == 0 ? 1 : num_slots),
+      num_producers_(num_producers == 0 ? 1 : num_producers),
+      endpoints_(config_.endpoints),
+      placement_(place_slots(num_slots_, endpoints_.size())) {
+  if (endpoints_.empty()) {
+    throw std::invalid_argument("fabric: FabricRouter needs >= 1 endpoint");
+  }
+  if (config_.batch_subs == 0) config_.batch_subs = 1;
+  if (config_.max_inflight == 0) config_.max_inflight = 1;
+  slot_mu_.reserve(num_slots_);
+  lanes_.reserve(num_slots_ * num_producers_);
+  for (std::size_t s = 0; s < num_slots_; ++s) {
+    slot_mu_.push_back(std::make_unique<std::shared_mutex>());
+  }
+  for (std::size_t i = 0; i < num_slots_ * num_producers_; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  if (metrics) {
+    metrics->describe("fabric.router.batches",
+                      "APPEND frames sent to shard servers");
+    metrics->describe("fabric.router.bytes",
+                      "Bytes sent in APPEND frames (incl. framing)");
+    metrics->describe("fabric.router.reconnects",
+                      "Lane reconnects after connection loss");
+    metrics->describe("fabric.router.inflight",
+                      "Unacked APPEND frames across all lanes");
+    metrics->describe("fabric.rpc_ns", "Fabric RPC round-trip latency");
+    batches_ = &metrics->counter("fabric.router.batches");
+    bytes_ = &metrics->counter("fabric.router.bytes");
+    reconnects_ = &metrics->counter("fabric.router.reconnects");
+    inflight_ = &metrics->gauge("fabric.router.inflight");
+    rpc_ns_ = &metrics->histogram("fabric.rpc_ns");
+  }
+}
+
+FabricRouter::~FabricRouter() = default;
+
+FabricEndpoint FabricRouter::endpoint(std::size_t index) const {
+  std::lock_guard lock(endpoints_mu_);
+  return endpoints_.at(index);
+}
+
+std::size_t FabricRouter::add_endpoint(const std::string& host,
+                                       std::uint16_t port) {
+  std::lock_guard lock(endpoints_mu_);
+  endpoints_.push_back(FabricEndpoint{host, port});
+  return endpoints_.size() - 1;
+}
+
+// ---- lane plumbing ----------------------------------------------------
+
+namespace {
+
+// Parses one kAppendAck body; false on malformed input.
+bool parse_append_ack(std::span<const std::uint8_t> body,
+                      std::uint64_t& accepted, std::uint64_t& durable) {
+  net::BufReader r(body);
+  accepted = r.u64();
+  durable = r.u64();
+  return r.ok();
+}
+
+}  // namespace
+
+void FabricRouter::recv_one_ack(Lane& ln, std::size_t slot, std::size_t p) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto frame = ln.conn.recv_frame();
+  std::uint64_t accepted = 0, durable = 0;
+  if (!frame || frame->type != FrameType::kAppendAck ||
+      !parse_append_ack(frame->body, accepted, durable)) {
+    // Connection lost mid-window: reconnect resends the whole
+    // un-durable suffix and drains it, leaving unacked == 0.
+    ln.connected = false;
+    ensure_connected(ln, slot, p);
+    return;
+  }
+  if (rpc_ns_) {
+    rpc_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  --ln.unacked;
+  inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+  if (inflight_) {
+    inflight_->set(
+        static_cast<double>(inflight_total_.load(std::memory_order_relaxed)));
+  }
+  while (ln.replay_base < durable && !ln.replay.empty()) {
+    ln.replay.pop_front();
+    ++ln.replay_base;
+  }
+}
+
+bool FabricRouter::try_connect(Lane& ln, std::size_t slot, std::size_t p) {
+  inflight_total_.fetch_sub(static_cast<std::int64_t>(ln.unacked),
+                            std::memory_order_relaxed);
+  ln.unacked = 0;
+  ln.connected = false;
+  ln.conn.close();
+  FabricEndpoint ep = endpoint(placement_[slot]);
+  auto conn = TcpConn::dial(ep.host, ep.port);
+  if (!conn) return false;
+  ln.conn = std::move(*conn);
+  net::BufWriter hello;
+  hello.u8(kFabricVersionMin);
+  hello.u8(kFabricVersionMax);
+  hello.u32(static_cast<std::uint32_t>(slot));
+  hello.u32(static_cast<std::uint32_t>(p));
+  if (!ln.conn.send_frame(FrameType::kHello, hello.data())) return false;
+  auto ack = ln.conn.recv_frame();
+  if (!ack || ack->type != FrameType::kHelloAck) return false;
+  net::BufReader r(ack->body);
+  std::uint8_t version = r.u8();
+  std::uint64_t accepted = r.u64();
+  if (!r.ok() || version < kFabricVersionMin || version > kFabricVersionMax) {
+    return false;
+  }
+  // Integrity, not connectivity: the server claiming fewer sub-updates
+  // than it once reported durable (or more than we ever sent) means a
+  // lost or foreign slot directory — retrying cannot fix it.
+  if (accepted < ln.replay_base || accepted > ln.sent) {
+    throw std::runtime_error(
+        "fabric: server " + describe_endpoint(ep) + " reports " +
+        std::to_string(accepted) + " accepted sub-update(s) for slot " +
+        std::to_string(slot) + " lane " + std::to_string(p) +
+        " outside the client's durable window [" +
+        std::to_string(ln.replay_base) + ", " + std::to_string(ln.sent) + "]");
+  }
+  ln.connected = true;
+  // Resend the suffix the (restarted) server has not accepted yet,
+  // honoring the in-flight window, and drain every ack so the lane
+  // comes back with a clean slate.
+  std::uint64_t idx = accepted;
+  while (idx < ln.sent) {
+    std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(config_.batch_subs, ln.sent - idx));
+    net::BufWriter w;
+    w.u32(static_cast<std::uint32_t>(slot));
+    w.u32(static_cast<std::uint32_t>(p));
+    w.u64(idx);
+    w.u32(static_cast<std::uint32_t>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      w.bytes(ln.replay[static_cast<std::size_t>(idx - ln.replay_base) + i]);
+    }
+    if (!ln.conn.send_frame(FrameType::kAppend, w.data())) {
+      ln.connected = false;
+      return false;
+    }
+    if (batches_) batches_->add();
+    if (bytes_) {
+      bytes_->add(w.size() + storage::wire::kFrameOverheadBytes + 1);
+    }
+    ++ln.unacked;
+    inflight_total_.fetch_add(1, std::memory_order_relaxed);
+    idx += count;
+    while (ln.unacked >= config_.max_inflight) {
+      auto frame = ln.conn.recv_frame();
+      std::uint64_t a = 0, d = 0;
+      if (!frame || frame->type != FrameType::kAppendAck ||
+          !parse_append_ack(frame->body, a, d)) {
+        ln.connected = false;
+        return false;
+      }
+      --ln.unacked;
+      inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+      while (ln.replay_base < d && !ln.replay.empty()) {
+        ln.replay.pop_front();
+        ++ln.replay_base;
+      }
+    }
+  }
+  while (ln.unacked > 0) {
+    auto frame = ln.conn.recv_frame();
+    std::uint64_t a = 0, d = 0;
+    if (!frame || frame->type != FrameType::kAppendAck ||
+        !parse_append_ack(frame->body, a, d)) {
+      ln.connected = false;
+      return false;
+    }
+    --ln.unacked;
+    inflight_total_.fetch_sub(1, std::memory_order_relaxed);
+    while (ln.replay_base < d && !ln.replay.empty()) {
+      ln.replay.pop_front();
+      ++ln.replay_base;
+    }
+  }
+  return true;
+}
+
+void FabricRouter::ensure_connected(Lane& ln, std::size_t slot,
+                                    std::size_t p) {
+  if (ln.connected && ln.conn.valid()) return;
+  const bool is_reconnect = ln.sent > 0 || ln.replay_base > 0;
+  if (is_reconnect) {
+    reconnects_count_.fetch_add(1, std::memory_order_relaxed);
+    if (reconnects_) reconnects_->add();
+  }
+  const util::RetryPolicy& rp = config_.reconnect;
+  for (std::size_t attempt = 1; attempt <= rp.attempts(); ++attempt) {
+    if (attempt > 1) std::this_thread::sleep_for(rp.delay(attempt - 1));
+    if (try_connect(ln, slot, p)) return;
+  }
+  throw std::runtime_error(
+      "fabric: shard server " + describe_endpoint(endpoint(placement_[slot])) +
+      " unreachable for slot " + std::to_string(slot) + " after " +
+      std::to_string(rp.attempts()) + " attempt(s)");
+}
+
+void FabricRouter::send_batch(Lane& ln, std::size_t slot, std::size_t p) {
+  if (ln.pending.empty()) return;
+  ensure_connected(ln, slot, p);
+  net::BufWriter w;
+  w.u32(static_cast<std::uint32_t>(slot));
+  w.u32(static_cast<std::uint32_t>(p));
+  w.u64(ln.sent);
+  w.u32(static_cast<std::uint32_t>(ln.pending.size()));
+  for (const auto& sub : ln.pending) w.bytes(sub);
+  // Into the replay buffer BEFORE the send: if the send fails the
+  // reconnect path resends straight from replay, so the batch can
+  // never be dropped between "staged" and "on the wire".
+  for (auto& sub : ln.pending) ln.replay.push_back(std::move(sub));
+  ln.sent += ln.pending.size();
+  ln.pending.clear();
+  if (batches_) batches_->add();
+  if (bytes_) bytes_->add(w.size() + storage::wire::kFrameOverheadBytes + 1);
+  if (!ln.conn.send_frame(FrameType::kAppend, w.data())) {
+    ln.connected = false;
+    ensure_connected(ln, slot, p);  // resends from replay
+    return;
+  }
+  ++ln.unacked;
+  inflight_total_.fetch_add(1, std::memory_order_relaxed);
+  if (inflight_) {
+    inflight_->set(
+        static_cast<double>(inflight_total_.load(std::memory_order_relaxed)));
+  }
+  while (ln.unacked >= config_.max_inflight) recv_one_ack(ln, slot, p);
+}
+
+void FabricRouter::drain_lane(Lane& ln, std::size_t slot, std::size_t p) {
+  send_batch(ln, slot, p);
+  while (ln.unacked > 0) recv_one_ack(ln, slot, p);
+}
+
+void FabricRouter::stage_sub(std::size_t p, const routing::FeedUpdate& sub,
+                             std::size_t slot) {
+  Lane& ln = lane(slot, p);
+  net::BufWriter w;
+  encode_sub_update(sub, w);
+  ln.pending.push_back(w.take());
+  if (ln.pending.size() >= config_.batch_subs) send_batch(ln, slot, p);
+}
+
+bool FabricRouter::push(std::size_t p, const routing::FeedUpdate& update) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  updates_pushed_.fetch_add(1, std::memory_order_relaxed);
+  const bgp::UpdateBody& body = update.update.body;
+  if (body.withdrawn.empty() && body.announced.empty()) return true;
+  bgp::PeerKey peer{update.update.peer_ip, update.update.peer_asn};
+  // Mirror stream::ShardRouter's split exactly: withdrawals first, and
+  // a withdrawal sub-update carries no route attributes.
+  routing::FeedUpdate sub;
+  sub.platform = update.platform;
+  sub.update.time = update.update.time;
+  sub.update.peer_ip = update.update.peer_ip;
+  sub.update.peer_asn = update.update.peer_asn;
+  sub.update.collector_id = update.update.collector_id;
+  for (const auto& prefix : body.withdrawn) {
+    sub.update.body.withdrawn.assign(1, prefix);
+    std::size_t slot = stream::shard_for(peer, prefix, num_slots_);
+    std::shared_lock lock(*slot_mu_[slot]);
+    stage_sub(p, sub, slot);
+  }
+  sub.update.body.withdrawn.clear();
+  sub.update.body.as_path = body.as_path;
+  sub.update.body.communities = body.communities;
+  sub.update.body.next_hop = body.next_hop;
+  sub.update.body.origin = body.origin;
+  for (const auto& prefix : body.announced) {
+    sub.update.body.announced.assign(1, prefix);
+    std::size_t slot = stream::shard_for(peer, prefix, num_slots_);
+    std::shared_lock lock(*slot_mu_[slot]);
+    stage_sub(p, sub, slot);
+  }
+  return true;
+}
+
+void FabricRouter::flush(std::size_t p) {
+  for (std::size_t slot = 0; slot < num_slots_; ++slot) {
+    std::shared_lock lock(*slot_mu_[slot]);
+    drain_lane(lane(slot, p), slot, p);
+  }
+}
+
+void FabricRouter::drain_slot_locked(std::size_t slot) {
+  for (std::size_t p = 0; p < num_producers_; ++p) {
+    drain_lane(lane(slot, p), slot, p);
+  }
+}
+
+// ---- control plane ----------------------------------------------------
+
+std::optional<TcpConn::FramePayload> FabricRouter::control_rpc(
+    std::size_t endpoint_index, FrameType type,
+    std::span<const std::uint8_t> body, FrameType expect) {
+  const util::RetryPolicy& rp = config_.reconnect;
+  for (std::size_t attempt = 1; attempt <= rp.attempts(); ++attempt) {
+    if (attempt > 1) std::this_thread::sleep_for(rp.delay(attempt - 1));
+    FabricEndpoint ep = endpoint(endpoint_index);
+    auto conn = TcpConn::dial(ep.host, ep.port);
+    if (!conn) continue;
+    net::BufWriter hello;
+    hello.u8(kFabricVersionMin);
+    hello.u8(kFabricVersionMax);
+    hello.u32(kControlLane);
+    hello.u32(kControlLane);
+    if (!conn->send_frame(FrameType::kHello, hello.data())) continue;
+    auto hello_ack = conn->recv_frame();
+    if (!hello_ack || hello_ack->type != FrameType::kHelloAck) continue;
+    auto t0 = std::chrono::steady_clock::now();
+    if (!conn->send_frame(type, body)) continue;
+    auto reply = conn->recv_frame();
+    if (!reply) continue;
+    if (rpc_ns_) {
+      rpc_ns_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+    // An ERROR or wrong-type reply is a protocol-level refusal, not a
+    // transient network fault; retrying would only repeat it.
+    if (reply->type != expect) return std::nullopt;
+    return reply;
+  }
+  return std::nullopt;
+}
+
+bool FabricRouter::checkpoint_slot_locked(std::size_t slot) {
+  net::BufWriter body;
+  body.u32(static_cast<std::uint32_t>(slot));
+  auto reply = control_rpc(placement_[slot], FrameType::kCheckpoint,
+                           body.data(), FrameType::kCheckpointAck);
+  if (!reply) return false;
+  net::BufReader r(reply->body);
+  std::uint8_t ok = r.u8();
+  std::uint32_t producers = r.u32();
+  if (!r.ok() || ok == 0) return false;
+  for (std::uint32_t p = 0; p < producers && p < num_producers_; ++p) {
+    std::uint64_t durable = r.u64();
+    if (!r.ok()) return false;
+    Lane& ln = lane(slot, p);
+    while (ln.replay_base < durable && !ln.replay.empty()) {
+      ln.replay.pop_front();
+      ++ln.replay_base;
+    }
+  }
+  return true;
+}
+
+bool FabricRouter::checkpoint_all() {
+  bool all_ok = true;
+  for (std::size_t slot = 0; slot < num_slots_; ++slot) {
+    std::unique_lock lock(*slot_mu_[slot]);
+    drain_slot_locked(slot);
+    all_ok = checkpoint_slot_locked(slot) && all_ok;
+  }
+  return all_ok;
+}
+
+void FabricRouter::close(util::SimTime end_time) {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  for (std::size_t p = 0; p < num_producers_; ++p) flush(p);
+  bool all_ok = true;
+  for (std::size_t slot = 0; slot < num_slots_; ++slot) {
+    std::unique_lock lock(*slot_mu_[slot]);
+    drain_slot_locked(slot);
+    net::BufWriter body;
+    body.u32(static_cast<std::uint32_t>(slot));
+    body.u64(static_cast<std::uint64_t>(end_time));
+    all_ok = control_rpc(placement_[slot], FrameType::kClose, body.data(),
+                         FrameType::kCloseAck)
+                 .has_value() &&
+             all_ok;
+  }
+  if (!all_ok) {
+    throw std::runtime_error(
+        "fabric: close() could not reach every shard server; remote open "
+        "state was not force-closed");
+  }
+}
+
+std::vector<core::PeerEvent> FabricRouter::query_events() {
+  std::vector<std::vector<core::PeerEvent>> per_slot(num_slots_);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> fan;
+  fan.reserve(num_slots_);
+  for (std::size_t slot = 0; slot < num_slots_; ++slot) {
+    fan.emplace_back([this, slot, &per_slot, &failed] {
+      try {
+        std::shared_lock lock(*slot_mu_[slot]);
+        net::BufWriter body;
+        body.u32(static_cast<std::uint32_t>(slot));
+        auto reply = control_rpc(placement_[slot], FrameType::kQuery,
+                                 body.data(), FrameType::kQueryResult);
+        if (!reply) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        net::BufReader r(reply->body);
+        std::uint32_t n = r.u32();
+        per_slot[slot].reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          std::uint32_t len = r.u32();
+          if (!r.ok() || len > r.remaining()) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          net::BufReader payload = r.sub(len);
+          auto event = storage::decode_event_payload(payload);
+          if (!event || !payload.ok() || !payload.at_end()) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          per_slot[slot].push_back(std::move(*event));
+        }
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : fan) t.join();
+  if (failed.load()) {
+    throw std::runtime_error("fabric: scatter-gather query failed");
+  }
+  std::vector<core::PeerEvent> merged;
+  std::size_t total = 0;
+  for (const auto& v : per_slot) total += v.size();
+  merged.reserve(total);
+  for (auto& v : per_slot) {
+    merged.insert(merged.end(), std::make_move_iterator(v.begin()),
+                  std::make_move_iterator(v.end()));
+  }
+  core::canonical_sort(merged);
+  return merged;
+}
+
+bool FabricRouter::migrate(std::size_t slot, std::size_t target_endpoint) {
+  std::unique_lock lock(*slot_mu_[slot]);
+  if (placement_[slot] == target_endpoint) return true;
+  // 1. Quiesce: every lane drained and server-accepted.
+  drain_slot_locked(slot);
+  // 2. Drained checkpoint on the source: open state + watermarks +
+  //    durable log position, with all closed events sealed to disk.
+  if (!checkpoint_slot_locked(slot)) return false;
+  // 3. Ship the slot directory (checkpoint + pinned segment suffix).
+  net::BufWriter slot_body;
+  slot_body.u32(static_cast<std::uint32_t>(slot));
+  auto fetched = control_rpc(placement_[slot], FrameType::kHandoffFetch,
+                             slot_body.data(), FrameType::kHandoffState);
+  if (!fetched) return false;
+  net::BufReader fr(fetched->body);
+  auto files = decode_files(fr);
+  if (!files) return false;
+  // 4. Install + recover on the target; it reports the accepted counts
+  //    it recovered to, which must equal everything we ever sent.
+  net::BufWriter install;
+  install.u32(static_cast<std::uint32_t>(slot));
+  encode_files(*files, install);
+  auto ack = control_rpc(target_endpoint, FrameType::kHandoffInstall,
+                         install.data(), FrameType::kHandoffAck);
+  if (!ack) return false;
+  net::BufReader ar(ack->body);
+  std::uint8_t ok = ar.u8();
+  std::uint32_t producers = ar.u32();
+  if (!ar.ok() || ok == 0) return false;
+  for (std::uint32_t p = 0; p < producers && p < num_producers_; ++p) {
+    std::uint64_t accepted = ar.u64();
+    if (!ar.ok() || accepted != lane(slot, p).sent) return false;
+  }
+  // 5. Release the source replica, flip the route, reconnect lazily.
+  if (!control_rpc(placement_[slot], FrameType::kRelease, slot_body.data(),
+                   FrameType::kReleaseAck)) {
+    return false;
+  }
+  placement_[slot] = target_endpoint;
+  for (std::size_t p = 0; p < num_producers_; ++p) {
+    Lane& ln = lane(slot, p);
+    ln.connected = false;
+    ln.conn.close();
+  }
+  return true;
+}
+
+void FabricRouter::shutdown_endpoints() {
+  std::size_t count;
+  {
+    std::lock_guard lock(endpoints_mu_);
+    count = endpoints_.size();
+  }
+  for (std::size_t e = 0; e < count; ++e) {
+    control_rpc(e, FrameType::kShutdown, {}, FrameType::kShutdownAck);
+  }
+}
+
+}  // namespace bgpbh::fabric

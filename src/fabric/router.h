@@ -1,0 +1,204 @@
+// FabricRouter: the client half of the multi-process shard fabric.
+//
+// A fabric session partitions the (peer, prefix) key space into
+// `num_slots` global slots (stream::shard_for — the SAME deterministic
+// hash the in-process pipeline shards by) and places each slot on a
+// remote shard server (fabric/placement.h).  The router:
+//
+//   * splits every pushed update into single-prefix sub-updates
+//     (withdrawals first — mirroring stream::ShardRouter's order, so
+//     per-key transition order is identical to the in-process plane),
+//   * batches them per (slot, producer) lane into APPEND frames with a
+//     bounded in-flight window (at most `max_inflight` unacked frames
+//     per lane; a full window blocks the producer — backpressure,
+//     never loss),
+//   * survives connection loss ReconnectingSource-style: redial with
+//     util::RetryPolicy backoff, HELLO returns the server's accepted
+//     sub-update count for the lane, and the un-durable replay buffer
+//     is resent from exactly that index — exactly-once across server
+//     SIGKILL + recovery,
+//   * serves scatter-gather queries: one thread per slot fans the
+//     query out, results merge in canonical event order, and
+//   * rebalances live (migrate): quiesce a slot, have the source
+//     server cut a drained checkpoint (PR 8 codec), ship the
+//     checkpoint + pinned segment files, install + recover on the
+//     target, flip the placement route, and resume — zero loss, zero
+//     duplication (the replay buffer is empty at the flip because the
+//     checkpoint made everything durable).
+//
+// Exactly-once accounting: a lane's sub-updates are indexed from 0 in
+// send order.  The server acks every APPEND with (accepted_total,
+// durable_total); `durable` advances only at drained checkpoint cuts,
+// and the router prunes its replay buffer to it.  After a server
+// crash, HELLO reports the recovered accepted count (== the newest
+// durable cut, which write_checkpoint's atomic rename guarantees is
+// >= anything the client was ever told), so the resend can neither
+// skip nor duplicate a sub-update.
+//
+// Threading: one lane belongs to one producer thread.  Producers take
+// their slot's lock shared; control operations (checkpoint_all,
+// migrate, close) take it unique — so a rebalance blocks pushes only
+// for the slot being moved.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "fabric/placement.h"
+#include "fabric/protocol.h"
+#include "fabric/socket.h"
+#include "telemetry/metrics.h"
+#include "util/retry.h"
+#include "util/time.h"
+
+namespace bgpbh::fabric {
+
+struct FabricEndpoint {
+  std::string host;  // dotted-quad IPv4
+  std::uint16_t port = 0;
+};
+
+struct FabricConfig {
+  // Non-empty switches api::AnalysisSession (kLiveFeed) into fabric
+  // mode: SessionConfig::num_shards becomes the global slot count and
+  // every push is routed to the slot's shard server.
+  std::vector<FabricEndpoint> endpoints;
+  // Unacked APPEND frames per lane before the producer blocks on acks.
+  std::size_t max_inflight = 4;
+  // Sub-updates per APPEND frame.
+  std::size_t batch_subs = 64;
+  // Redial backoff on connection loss.  More patient than the default
+  // policy: a crashed shard server needs time to recover its slots.
+  util::RetryPolicy reconnect{
+      .max_attempts = 40,
+      .base_delay = std::chrono::milliseconds(10),
+      .max_delay = std::chrono::milliseconds(500),
+  };
+
+  bool enabled() const { return !endpoints.empty(); }
+};
+
+class FabricRouter {
+ public:
+  FabricRouter(FabricConfig config, std::size_t num_slots,
+               std::size_t num_producers,
+               telemetry::MetricsRegistry* metrics);
+  ~FabricRouter();
+
+  FabricRouter(const FabricRouter&) = delete;
+  FabricRouter& operator=(const FabricRouter&) = delete;
+
+  // Split + batch + send one update on producer `p`'s lanes.  Returns
+  // false after close().  Throws std::runtime_error when an endpoint
+  // stays unreachable past the reconnect budget (never silent loss).
+  bool push(std::size_t p, const routing::FeedUpdate& update);
+  // Send partial batches and drain every outstanding ack on `p`'s
+  // lanes (on return, everything pushed so far is server-accepted).
+  void flush(std::size_t p);
+
+  // Drain all lanes, then close every slot's remote session at
+  // `end_time` (force-closing still-open events, as the in-process
+  // pipeline's finish() does).  Idempotent.
+  void close(util::SimTime end_time);
+
+  // Drained checkpoint on every slot; prunes replay buffers to the new
+  // durable totals.  False if any slot's cut failed.
+  bool checkpoint_all();
+
+  // Scatter-gather: fan one QUERY per slot (a thread each), decode the
+  // remote lanes' event sets, merge in canonical order.
+  std::vector<core::PeerEvent> query_events();
+
+  // Live rebalance of `slot` onto endpoints()[target] (see file
+  // comment for the protocol).  False if any step fails; the slot then
+  // stays where it was.
+  bool migrate(std::size_t slot, std::size_t target_endpoint);
+
+  // Register a new shard server (e.g. freshly spawned capacity) as a
+  // migrate() target.  Returns its endpoint index.  Existing slots do
+  // not move automatically.
+  std::size_t add_endpoint(const std::string& host, std::uint16_t port);
+
+  // Graceful fleet shutdown: one SHUTDOWN frame per endpoint (servers
+  // stop accepting and exit their run loop).  Best-effort.
+  void shutdown_endpoints();
+
+  std::size_t num_slots() const { return num_slots_; }
+  std::size_t num_producers() const { return num_producers_; }
+  std::uint64_t updates_pushed() const {
+    return updates_pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reconnects() const {
+    return reconnects_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t endpoint_of(std::size_t slot) const { return placement_[slot]; }
+
+ private:
+  struct Lane {
+    TcpConn conn;
+    bool connected = false;
+    std::uint64_t sent = 0;         // next sub-update index to assign
+    std::uint64_t replay_base = 0;  // index of replay.front()
+    // Encoded sub-updates in [replay_base, sent): everything accepted
+    // but not yet durable on the server — the resend source after a
+    // crash.  Pruned on every ack's durable_total.
+    std::deque<std::vector<std::uint8_t>> replay;
+    // Encoded sub-updates staged for the next APPEND (not yet sent,
+    // not yet indexed).
+    std::vector<std::vector<std::uint8_t>> pending;
+    std::size_t unacked = 0;  // APPEND frames sent, acks not read
+  };
+
+  Lane& lane(std::size_t slot, std::size_t p) {
+    return *lanes_[slot * num_producers_ + p];
+  }
+  FabricEndpoint endpoint(std::size_t index) const;
+
+  // All lane operations require the caller to hold slot's lock (shared
+  // for the owning producer, unique for control paths).
+  void stage_sub(std::size_t p, const routing::FeedUpdate& sub,
+                 std::size_t slot);
+  void send_batch(Lane& ln, std::size_t slot, std::size_t p);
+  void recv_one_ack(Lane& ln, std::size_t slot, std::size_t p);
+  void drain_lane(Lane& ln, std::size_t slot, std::size_t p);
+  void ensure_connected(Lane& ln, std::size_t slot, std::size_t p);
+  bool try_connect(Lane& ln, std::size_t slot, std::size_t p);
+  void send_frames_for_replay(Lane& ln, std::size_t slot, std::size_t p,
+                              std::uint64_t from_index);
+
+  // Fresh control connection RPC with retry; nullopt past the budget
+  // or on an ERROR reply of the wrong type.
+  std::optional<TcpConn::FramePayload> control_rpc(
+      std::size_t endpoint_index, FrameType type,
+      std::span<const std::uint8_t> body, FrameType expect);
+  bool checkpoint_slot_locked(std::size_t slot);
+  void drain_slot_locked(std::size_t slot);
+
+  FabricConfig config_;
+  std::size_t num_slots_;
+  std::size_t num_producers_;
+  mutable std::mutex endpoints_mu_;
+  std::vector<FabricEndpoint> endpoints_;
+  std::vector<std::size_t> placement_;  // slot -> endpoint index
+  std::vector<std::unique_ptr<std::shared_mutex>> slot_mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> updates_pushed_{0};
+  std::atomic<std::uint64_t> reconnects_count_{0};
+  std::atomic<std::int64_t> inflight_total_{0};
+  std::atomic<bool> closed_{false};
+
+  telemetry::Counter* batches_ = nullptr;
+  telemetry::Counter* bytes_ = nullptr;
+  telemetry::Counter* reconnects_ = nullptr;
+  telemetry::Gauge* inflight_ = nullptr;
+  telemetry::LatencyHistogram* rpc_ns_ = nullptr;
+};
+
+}  // namespace bgpbh::fabric

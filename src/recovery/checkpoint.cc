@@ -347,6 +347,17 @@ std::optional<Checkpoint> decode_checkpoint_file(
   return cp;
 }
 
+std::vector<std::uint64_t> producer_totals(const Checkpoint& cp) {
+  std::vector<std::uint64_t> totals(cp.num_producers, 0);
+  for (const auto& shard : cp.shards) {
+    for (std::size_t p = 0; p < totals.size() && p < shard.watermarks.size();
+         ++p) {
+      totals[p] += shard.watermarks[p];
+    }
+  }
+  return totals;
+}
+
 std::string checkpoint_file_name(std::uint64_t seq) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "checkpoint-%06llu.ckpt",

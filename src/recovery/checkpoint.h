@@ -82,6 +82,13 @@ struct Checkpoint {
   friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
 };
 
+// Per-producer accepted-update totals implied by a checkpoint cut:
+// totals[p] = sum over shards of watermarks[p].  At a fully drained
+// cut (empty shard queues) routing determinism makes this exactly the
+// number of sub-updates producer p had pushed — the replay index a
+// fabric client resumes a remote shard's stream from.
+std::vector<std::uint64_t> producer_totals(const Checkpoint& cp);
+
 // ---- payload codec (fuzz-hardened, same discipline as record_codec) ---
 
 void encode_checkpoint_payload(const Checkpoint& cp, net::BufWriter& out);

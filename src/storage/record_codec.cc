@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "storage/format.h"
-#include "util/crc32.h"
+#include "storage/wire.h"
 
 namespace bgpbh::storage {
 
@@ -146,30 +146,14 @@ std::optional<core::PeerEvent> decode_event_payload(net::BufReader& in) {
 void encode_record(const core::PeerEvent& event, net::BufWriter& out) {
   net::BufWriter payload;
   encode_event_payload(event, payload);
-  out.u16(kRecordMagic);
-  out.u8(kRecordVersion);
-  out.u32(static_cast<std::uint32_t>(payload.size()));
-  std::uint32_t crc = util::crc32(std::span(&kRecordVersion, 1));
-  crc = util::crc32(payload.data(), crc);
-  out.bytes(payload.data());
-  out.u32(crc);
+  wire::encode_frame(out, kRecordMagic, kRecordVersion, payload.data());
 }
 
 std::optional<core::PeerEvent> decode_record(net::BufReader& in) {
-  if (in.u16() != kRecordMagic) return std::nullopt;
-  std::uint8_t version = in.u8();
-  std::uint32_t payload_len = in.u32();
-  if (!in.ok() || version != kRecordVersion ||
-      payload_len > kMaxRecordPayload) {
-    return std::nullopt;
-  }
-  auto payload = in.bytes(payload_len);
-  std::uint32_t crc = in.u32();
-  if (!in.ok()) return std::nullopt;
-  std::uint32_t expect = util::crc32(std::span(&version, 1));
-  expect = util::crc32(payload, expect);
-  if (crc != expect) return std::nullopt;
-  net::BufReader body(payload);
+  auto frame = wire::decode_frame(in, kRecordMagic, kRecordVersion,
+                                  kRecordVersion, kMaxRecordPayload);
+  if (!frame) return std::nullopt;
+  net::BufReader body(frame->payload);
   auto event = decode_event_payload(body);
   // Trailing payload bytes mean the length field and the payload
   // disagree — a framing bug, not a valid record.

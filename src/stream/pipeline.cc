@@ -45,6 +45,7 @@ void StreamPipeline::Producer::submit_shard(std::size_t shard) {
   StreamPipeline& p = *owner_;
   auto& buf = pending_[shard];
   std::size_t accepted = p.workers_.submit_batch(shard, buf);
+  refs_enqueued_.fetch_add(accepted, std::memory_order_relaxed);
   // Shutdown mid-batch: the caller keeps the rejected refs' block
   // references; release them so no block leaks.
   for (std::size_t i = accepted; i < buf.size(); ++i) {
@@ -192,6 +193,20 @@ std::size_t StreamPipeline::open_event_count() const {
 std::uint64_t StreamPipeline::updates_pushed() const {
   std::uint64_t total = 0;
   for (const auto& producer : producers_) total += producer->updates_pushed();
+  return total;
+}
+
+std::uint64_t StreamPipeline::total_refs_enqueued() const {
+  std::uint64_t total = 0;
+  for (const auto& producer : producers_) total += producer->refs_enqueued();
+  return total;
+}
+
+std::uint64_t StreamPipeline::total_processed() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < workers_.num_shards(); ++i) {
+    total += workers_.processed(i);
+  }
   return total;
 }
 

@@ -104,6 +104,15 @@ class StreamPipeline {
     // Original updates accepted via push() on this handle.
     std::uint64_t updates_pushed() const { return router_.updates_routed(); }
 
+    // Sub-update refs this handle actually enqueued onto shard queues
+    // (accepted by submit_batch; replay-skipped refs excluded).
+    // Together with StreamPipeline::total_processed() this gives a
+    // quiescence check: equal totals after flush() mean the queues are
+    // empty and the engines have consumed everything pushed so far.
+    std::uint64_t refs_enqueued() const {
+      return refs_enqueued_.load(std::memory_order_relaxed);
+    }
+
     // Recovery replay cut (src/recovery/): drop the first counts[s]
     // sub-update refs this producer routes to each shard s — they were
     // already processed and made durable before the crash.  Routing is
@@ -130,6 +139,8 @@ class StreamPipeline {
     // Per-shard refs still to drop during recovery replay; empty when
     // not replaying, so the hot path pays one branch.
     std::vector<std::uint64_t> skip_;
+    // Relaxed: written by the producer thread, sampled by drain checks.
+    std::atomic<std::uint64_t> refs_enqueued_{0};
   };
 
   StreamPipeline(const dictionary::BlackholeDictionary& dictionary,
@@ -176,6 +187,10 @@ class StreamPipeline {
 
   // Original updates accepted via push()/run(), over all producers.
   std::uint64_t updates_pushed() const;
+
+  // Quiescence totals (relaxed sums; see Producer::refs_enqueued).
+  std::uint64_t total_refs_enqueued() const;
+  std::uint64_t total_processed() const;
 
   // Shard stats folded into one EngineStats.  updates_processed counts
   // original (pre-split) updates so the result is comparable with a

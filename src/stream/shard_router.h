@@ -20,6 +20,7 @@
 // (PipelineConfig::zero_copy; tests prove event-set equality).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "bgp/rib.h"
@@ -59,7 +60,11 @@ class ShardRouter {
 
   // Original (pre-split) updates seen; the pipeline reports this as
   // updates_processed so merged stats match the sequential engine's.
-  std::uint64_t updates_routed() const { return updates_routed_; }
+  // Relaxed atomic: the coordinator cadence thread and session drain
+  // checks sample it while the producer thread is routing.
+  std::uint64_t updates_routed() const {
+    return updates_routed_.load(std::memory_order_relaxed);
+  }
 
   // Splits `fu` into single-prefix sub-updates and calls
   // emit(shard_index, SubUpdateRef) for each.  Withdrawals first.
@@ -67,7 +72,7 @@ class ShardRouter {
   // consumes the ref must release it back to the pool.
   template <typename Emit>
   void route(const routing::FeedUpdate& fu, Emit&& emit) {
-    ++updates_routed_;
+    updates_routed_.fetch_add(1, std::memory_order_relaxed);
     const bgp::UpdateBody& body = fu.update.body;
     const std::size_t subs = body.withdrawn.size() + body.announced.size();
     if (subs == 0) return;
@@ -168,7 +173,7 @@ class ShardRouter {
   bool zero_copy_;
   std::uint32_t producer_index_;
   std::vector<UpdateBlock*> cache_;
-  std::uint64_t updates_routed_ = 0;
+  std::atomic<std::uint64_t> updates_routed_{0};
 };
 
 }  // namespace bgpbh::stream

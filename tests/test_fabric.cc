@@ -1,0 +1,455 @@
+// Multi-process shard-fabric suite (src/fabric/):
+//   * storage::wire version negotiation + frame version-range and CRC
+//     rejection (the shared record/fabric framing),
+//   * consistent-hash placement: determinism, and the add-an-endpoint
+//     property (slots either stay put or move to the new endpoint),
+//   * control-plane smoke over a real socket: HELLO negotiation +
+//     HEALTH against a fork/exec'd shard_server,
+//   * the headline grid: the full deterministic workload pushed
+//     through fabric clients against live shard-server processes, the
+//     scatter-gathered event set byte-identical to the in-process
+//     baseline across slots {1,3,8} x producers {1,3},
+//   * crash: SIGKILL a shard server mid-stream after a drained
+//     checkpoint, restart it on the same directory/port, and the
+//     lane replay completes the run with zero loss/duplication,
+//   * rebalance: migrate every slot onto a server spawned mid-stream,
+//     keep feeding, and the final event set is still byte-identical.
+#include "fabric/router.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "bgp/rib.h"
+#include "fabric/placement.h"
+#include "fabric/protocol.h"
+#include "fabric/socket.h"
+#include "net/bytes.h"
+#include "storage/wire.h"
+#include "stream/pipeline.h"
+
+namespace bgpbh::fabric {
+namespace {
+
+namespace fs = std::filesystem;
+using core::PeerEvent;
+using routing::FeedUpdate;
+
+std::string temp_dir(const std::string& name) {
+  std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Must match the shard_server defaults the spawner passes below: both
+// sides derive their substrates deterministically from these knobs.
+core::StudyConfig study_config() {
+  core::StudyConfig config;
+  config.window_start = util::from_date(2017, 3, 1);
+  config.window_end = util::from_date(2017, 3, 3);
+  config.workload.intensity_scale = 0.05;
+  config.table_dump_episodes = 0;
+  return config;
+}
+
+struct Baseline {
+  std::vector<FeedUpdate> updates;
+  std::vector<PeerEvent> events;  // canonical order, in-process
+
+  Baseline() {
+    api::SessionConfig config;
+    config.mode = api::SessionConfig::Mode::kLiveFeed;
+    config.study = study_config();
+    config.num_shards = 2;
+    api::AnalysisSession session(config);
+    updates = session.study().replay_updates();
+    stream::VectorSource source(updates);
+    session.feed(source);
+    session.close(study_config().window_end);
+    events = session.events();
+  }
+};
+
+const Baseline& baseline() {
+  static Baseline base;
+  return base;
+}
+
+std::string shard_server_path() {
+  // Built next to this test binary (see CMakeLists add_dependencies).
+  char buf[4096];
+  ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "./shard_server";
+  buf[n] = '\0';
+  return (fs::path(buf).parent_path() / "shard_server").string();
+}
+
+// One fork/exec'd shard_server process.  The child prints "PORT <n>"
+// once bound; spawn() blocks on that line.
+struct ServerProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::string dir;
+
+  static ServerProc spawn(const std::string& dir, std::size_t producers,
+                          std::uint16_t port = 0) {
+    ServerProc proc;
+    proc.dir = dir;
+    int fds[2] = {-1, -1};
+    if (pipe(fds) != 0) return proc;
+    std::string path = shard_server_path();
+    std::string s_producers = std::to_string(producers);
+    std::string s_port = std::to_string(port);
+    pid_t pid = fork();
+    if (pid == 0) {
+      dup2(fds[1], STDOUT_FILENO);
+      close(fds[0]);
+      close(fds[1]);
+      char* argv[] = {const_cast<char*>(path.c_str()),
+                      const_cast<char*>("--dir"),
+                      const_cast<char*>(dir.c_str()),
+                      const_cast<char*>("--producers"),
+                      const_cast<char*>(s_producers.c_str()),
+                      const_cast<char*>("--port"),
+                      const_cast<char*>(s_port.c_str()),
+                      const_cast<char*>("--window-start"),
+                      const_cast<char*>("2017-03-01"),
+                      const_cast<char*>("--window-end"),
+                      const_cast<char*>("2017-03-03"),
+                      const_cast<char*>("--intensity"),
+                      const_cast<char*>("0.05"),
+                      nullptr};
+      execv(path.c_str(), argv);
+      _exit(127);
+    }
+    close(fds[1]);
+    std::string line;
+    char c = 0;
+    while (read(fds[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+    close(fds[0]);
+    unsigned parsed = 0;
+    if (std::sscanf(line.c_str(), "PORT %u", &parsed) == 1) {
+      proc.pid = pid;
+      proc.port = static_cast<std::uint16_t>(parsed);
+    } else {
+      // Bind/startup failure: reap and report an invalid proc.
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+    return proc;
+  }
+
+  bool valid() const { return pid > 0 && port != 0; }
+
+  void kill_hard() {
+    if (pid <= 0) return;
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    pid = -1;
+  }
+
+  int wait_exit() {
+    if (pid <= 0) return -1;
+    int status = 0;
+    waitpid(pid, &status, 0);
+    pid = -1;
+    return status;
+  }
+};
+
+api::SessionConfig fabric_session_config(
+    std::size_t slots, std::size_t producers,
+    const std::vector<ServerProc*>& servers) {
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kLiveFeed;
+  config.study = study_config();
+  config.num_shards = slots;
+  config.num_producers = producers;
+  for (const ServerProc* s : servers) {
+    config.fabric.endpoints.push_back(FabricEndpoint{"127.0.0.1", s->port});
+  }
+  return config;
+}
+
+// The same peer-key partition crash_child uses: one producer always
+// carries the same peers, so per-producer (and hence per-lane) order
+// is deterministic.
+std::vector<std::vector<FeedUpdate>> partition(
+    const std::vector<FeedUpdate>& updates, std::size_t producers) {
+  std::vector<std::vector<FeedUpdate>> parts(producers);
+  for (const auto& u : updates) {
+    bgp::PeerKey peer{u.update.peer_ip, u.update.peer_asn};
+    parts[bgp::PeerKeyHash{}(peer) % producers].push_back(u);
+  }
+  return parts;
+}
+
+// ---- satellite: shared framing + version negotiation ------------------
+
+TEST(WireVersion, NegotiationPicksHighestCommonVersion) {
+  using storage::wire::negotiate_version;
+  EXPECT_EQ(negotiate_version(1, 1, 1, 1), std::optional<std::uint8_t>(1));
+  EXPECT_EQ(negotiate_version(1, 3, 2, 5), std::optional<std::uint8_t>(3));
+  EXPECT_EQ(negotiate_version(2, 5, 1, 3), std::optional<std::uint8_t>(3));
+  EXPECT_EQ(negotiate_version(1, 2, 2, 2), std::optional<std::uint8_t>(2));
+  EXPECT_EQ(negotiate_version(1, 1, 2, 3), std::nullopt);
+  EXPECT_EQ(negotiate_version(4, 5, 1, 3), std::nullopt);
+}
+
+TEST(WireVersion, DecodeRejectsVersionOutsideReadableRange) {
+  const std::vector<std::uint8_t> payload = {0xAA, 0xBB, 0xCC};
+  net::BufWriter frame;
+  storage::wire::encode_frame(frame, 0x1234, 3, payload);
+  {
+    net::BufReader r(frame.data());
+    auto decoded = storage::wire::decode_frame(r, 0x1234, 1, 4, 1 << 16);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->version, 3);
+    EXPECT_TRUE(std::equal(decoded->payload.begin(), decoded->payload.end(),
+                           payload.begin()));
+  }
+  {
+    // Same frame, reader only speaks versions [1, 2].
+    net::BufReader r(frame.data());
+    EXPECT_FALSE(
+        storage::wire::decode_frame(r, 0x1234, 1, 2, 1 << 16).has_value());
+  }
+  {
+    // Wrong magic.
+    net::BufReader r(frame.data());
+    EXPECT_FALSE(
+        storage::wire::decode_frame(r, 0x4321, 1, 4, 1 << 16).has_value());
+  }
+  {
+    // One flipped payload bit must fail the CRC.
+    auto corrupted = frame.data();
+    std::vector<std::uint8_t> bytes(corrupted.begin(), corrupted.end());
+    bytes[8] ^= 0x01;
+    net::BufReader r(bytes);
+    EXPECT_FALSE(
+        storage::wire::decode_frame(r, 0x1234, 1, 4, 1 << 16).has_value());
+  }
+}
+
+// ---- placement --------------------------------------------------------
+
+TEST(Placement, DeterministicAndInRange) {
+  auto a = place_slots(64, 3);
+  auto b = place_slots(64, 3);
+  EXPECT_EQ(a, b);
+  for (std::size_t e : a) EXPECT_LT(e, 3u);
+  // Every endpoint owns at least one slot at this slot:endpoint ratio.
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t e : a) ++counts[e];
+  for (std::size_t n : counts) EXPECT_GT(n, 0u);
+}
+
+TEST(Placement, AddingAnEndpointOnlyMovesSlotsToIt) {
+  auto before = place_slots(64, 2);
+  auto after = place_slots(64, 3);
+  std::size_t moved = 0;
+  for (std::size_t s = 0; s < before.size(); ++s) {
+    if (after[s] != before[s]) {
+      // Consistent hashing: a slot either stays where it was or moves
+      // to the NEW endpoint — never between old endpoints.
+      EXPECT_EQ(after[s], 2u);
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, before.size());
+}
+
+// ---- live server: control-plane smoke ---------------------------------
+
+TEST(ShardServerSmoke, HelloNegotiatesAndHealthAnswers) {
+  std::string dir = temp_dir("bgpbh_fabric_smoke");
+  ServerProc server = ServerProc::spawn(dir, 1);
+  ASSERT_TRUE(server.valid());
+  auto conn = TcpConn::dial("127.0.0.1", server.port);
+  ASSERT_TRUE(conn.has_value());
+  net::BufWriter hello;
+  hello.u8(kFabricVersionMin);
+  hello.u8(kFabricVersionMax);
+  hello.u32(kControlLane);
+  hello.u32(kControlLane);
+  ASSERT_TRUE(conn->send_frame(FrameType::kHello, hello.data()));
+  auto hello_ack = conn->recv_frame();
+  ASSERT_TRUE(hello_ack.has_value());
+  ASSERT_EQ(hello_ack->type, FrameType::kHelloAck);
+  net::BufReader hr(hello_ack->body);
+  EXPECT_EQ(hr.u8(), kFabricVersionMax);
+  EXPECT_EQ(hr.u64(), 0u);
+  ASSERT_TRUE(conn->send_frame(FrameType::kHealth, {}));
+  auto health = conn->recv_frame();
+  ASSERT_TRUE(health.has_value());
+  ASSERT_EQ(health->type, FrameType::kHealthAck);
+  net::BufReader br(health->body);
+  EXPECT_EQ(br.u32(), 0u);  // no slots touched yet
+  EXPECT_EQ(br.u8(), 0u);   // healthy
+  ASSERT_TRUE(conn->send_frame(FrameType::kShutdown, {}));
+  auto ack = conn->recv_frame();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, FrameType::kShutdownAck);
+  int status = server.wait_exit();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  fs::remove_all(dir);
+}
+
+// ---- the headline grid ------------------------------------------------
+
+TEST(FabricGrid, DistributedEventSetMatchesInProcess) {
+  const Baseline& base = baseline();
+  ASSERT_FALSE(base.events.empty());
+  for (std::size_t slots : {1u, 3u, 8u}) {
+    for (std::size_t producers : {1u, 3u}) {
+      SCOPED_TRACE("slots=" + std::to_string(slots) +
+                   " producers=" + std::to_string(producers));
+      const std::size_t n_servers = std::min<std::size_t>(slots, 3);
+      std::vector<ServerProc> servers;
+      std::vector<ServerProc*> refs;
+      std::vector<std::string> dirs;
+      for (std::size_t i = 0; i < n_servers; ++i) {
+        dirs.push_back(temp_dir("bgpbh_fabric_grid_" + std::to_string(slots) +
+                                "_" + std::to_string(producers) + "_" +
+                                std::to_string(i)));
+        servers.push_back(ServerProc::spawn(dirs.back(), producers));
+        ASSERT_TRUE(servers.back().valid());
+      }
+      for (auto& s : servers) refs.push_back(&s);
+      {
+        api::AnalysisSession session(
+            fabric_session_config(slots, producers, refs));
+        auto parts = partition(base.updates, producers);
+        std::vector<std::thread> threads;
+        for (std::size_t p = 0; p < producers; ++p) {
+          threads.emplace_back([&, p] {
+            for (const auto& u : parts[p]) session.push(u, p);
+            session.flush(p);
+          });
+        }
+        for (auto& t : threads) t.join();
+        session.close(study_config().window_end);
+        EXPECT_TRUE(session.events() == base.events)
+            << "distributed event set diverged from the in-process baseline";
+        EXPECT_EQ(session.updates_pushed(), base.updates.size());
+        session.fabric()->shutdown_endpoints();
+      }
+      for (auto& s : servers) {
+        int status = s.wait_exit();
+        EXPECT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+      }
+      for (const auto& d : dirs) fs::remove_all(d);
+    }
+  }
+}
+
+// ---- crash: SIGKILL'd server recovers, lanes replay -------------------
+
+TEST(FabricCrash, SigkilledServerRecoversAndReplayCompletes) {
+  const Baseline& base = baseline();
+  ASSERT_FALSE(base.events.empty());
+  const std::size_t slots = 3;
+  std::string dir0 = temp_dir("bgpbh_fabric_crash_0");
+  std::string dir1 = temp_dir("bgpbh_fabric_crash_1");
+  ServerProc s0 = ServerProc::spawn(dir0, 1);
+  ServerProc s1 = ServerProc::spawn(dir1, 1);
+  ASSERT_TRUE(s0.valid());
+  ASSERT_TRUE(s1.valid());
+  std::vector<ServerProc*> refs = {&s0, &s1};
+  api::AnalysisSession session(fabric_session_config(slots, 1, refs));
+  const auto& updates = base.updates;
+  const std::size_t checkpoint_at = updates.size() / 3;
+  const std::size_t kill_at = updates.size() / 2;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (i == checkpoint_at) {
+      // Drained cut on every slot: the servers' durable totals advance
+      // to everything sent so far.
+      ASSERT_TRUE(session.checkpoint_now());
+    }
+    if (i == kill_at) {
+      // The hardest failure: no flush, no destructors.  Everything the
+      // server accepted after the cut exists only in the client's
+      // replay buffers now.
+      std::uint16_t port = s0.port;
+      s0.kill_hard();
+      s0 = ServerProc::spawn(dir0, 1, port);
+      ASSERT_TRUE(s0.valid());
+    }
+    session.push(updates[i], 0);
+  }
+  session.flush(0);
+  session.close(study_config().window_end);
+  EXPECT_GT(session.fabric()->reconnects(), 0u)
+      << "the kill was never even noticed — crash path not exercised";
+  EXPECT_TRUE(session.events() == base.events)
+      << "post-crash event set diverged: replay lost or duplicated updates";
+  session.fabric()->shutdown_endpoints();
+  for (ServerProc* s : {&s0, &s1}) {
+    int status = s->wait_exit();
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  fs::remove_all(dir0);
+  fs::remove_all(dir1);
+}
+
+// ---- rebalance: live migration to a server spawned mid-stream ---------
+
+TEST(FabricRebalance, MidStreamMigrationLosesNothing) {
+  const Baseline& base = baseline();
+  ASSERT_FALSE(base.events.empty());
+  const std::size_t slots = 4;
+  std::string dir0 = temp_dir("bgpbh_fabric_reb_0");
+  std::string dir1 = temp_dir("bgpbh_fabric_reb_1");
+  std::string dir2 = temp_dir("bgpbh_fabric_reb_2");
+  ServerProc s0 = ServerProc::spawn(dir0, 1);
+  ServerProc s1 = ServerProc::spawn(dir1, 1);
+  ASSERT_TRUE(s0.valid());
+  ASSERT_TRUE(s1.valid());
+  std::vector<ServerProc*> refs = {&s0, &s1};
+  api::AnalysisSession session(fabric_session_config(slots, 1, refs));
+  const auto& updates = base.updates;
+  const std::size_t half = updates.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) session.push(updates[i], 0);
+  // New capacity arrives mid-stream; move EVERY slot onto it.
+  ServerProc s2 = ServerProc::spawn(dir2, 1);
+  ASSERT_TRUE(s2.valid());
+  FabricRouter* fabric = session.fabric();
+  std::size_t target = fabric->add_endpoint("127.0.0.1", s2.port);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    ASSERT_TRUE(fabric->migrate(slot, target))
+        << "migration of slot " << slot << " failed";
+    EXPECT_EQ(fabric->endpoint_of(slot), target);
+  }
+  for (std::size_t i = half; i < updates.size(); ++i) {
+    session.push(updates[i], 0);
+  }
+  session.flush(0);
+  session.close(study_config().window_end);
+  EXPECT_TRUE(session.events() == base.events)
+      << "post-migration event set diverged: handoff lost or duplicated "
+         "state";
+  session.fabric()->shutdown_endpoints();
+  for (ServerProc* s : {&s0, &s1, &s2}) {
+    int status = s->wait_exit();
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  fs::remove_all(dir0);
+  fs::remove_all(dir1);
+  fs::remove_all(dir2);
+}
+
+}  // namespace
+}  // namespace bgpbh::fabric

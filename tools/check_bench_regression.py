@@ -6,18 +6,25 @@ baseline and fails (exit 1) when any gated stage regresses by more
 than the tolerance.  Gated stages are the hot per-unit costs the
 pipeline's design promises to hold:
 
-    route_ns_per_subupdate   shard-worker routing cost
-    drain_ns_per_event       store-drain cost
-    query_ns_per_event       finalized-store query cost
-    checkpoint_ns_per_event  per-update cost of one checkpoint cut
-    recover_ms               recover-on-start wall clock
+    route_ns_per_subupdate       shard-worker routing cost
+    drain_ns_per_event           store-drain cost
+    query_ns_per_event           finalized-store query cost
+    checkpoint_ns_per_event      per-update cost of one checkpoint cut
+    recover_ms                   recover-on-start wall clock
+    fabric_append_ns_per_event   loopback distributed-append cost
+    rebalance_ms                 one live slot migration, wall clock
 
-The two recovery stages are fsync-bound, so they are gated at 3x the
-base tolerance (see TOLERANCE_SCALE) — wide enough to absorb shared
-runner I/O jitter while still catching an order-of-magnitude
+The recovery stages are fsync-bound and the fabric stages add loopback
+TCP + a second process tree on top, so they are gated at 3x the base
+tolerance (see TOLERANCE_SCALE) — wide enough to absorb shared runner
+I/O and scheduler jitter while still catching an order-of-magnitude
 serialization or replay regression.  Other stages (sink dispatch,
 spill, reopen) are I/O- and scheduler-bound with no promise worth
 gating; they are printed for the record but never fail the build.
+
+The fabric stages exist in BENCH_stream.json only when perf_stream ran
+with --fabric; CI always passes the flag, so a missing fabric stage in
+a fresh measurement is itself a regression and fails the gate.
 
 Usage:
     tools/check_bench_regression.py BASELINE.json FRESH.json
@@ -37,13 +44,17 @@ GATED_STAGES = (
     "query_ns_per_event",
     "checkpoint_ns_per_event",
     "recover_ms",
+    "fabric_append_ns_per_event",
+    "rebalance_ms",
 )
 
 # Per-stage multiplier on the base tolerance for stages whose cost is
-# dominated by fsync/disk rather than CPU.
+# dominated by fsync/disk/loopback-TCP rather than CPU.
 TOLERANCE_SCALE = {
     "checkpoint_ns_per_event": 3.0,
     "recover_ms": 3.0,
+    "fabric_append_ns_per_event": 3.0,
+    "rebalance_ms": 3.0,
 }
 
 DEFAULT_TOLERANCE = 0.25

@@ -1,0 +1,91 @@
+// shard_server: one fabric shard-server process.
+//
+//   shard_server --dir DATA_DIR [--port N] [--producers N]
+//                [--window-start YYYY-MM-DD] [--window-end YYYY-MM-DD]
+//                [--intensity X] [--seed N]
+//
+// Binds the port (0 = ephemeral), prints "PORT <n>" on stdout (the
+// line a spawning client parses), and serves fabric frames until a
+// SHUTDOWN frame arrives.  Slot state persists under DATA_DIR —
+// rerunning on the same directory recovers every slot from its last
+// drained checkpoint, which is how the fabric survives a SIGKILL'd
+// server.
+//
+// The study knobs must match the fabric client's: both sides derive
+// dictionary/registry substrates deterministically from them.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fabric/server.h"
+#include "util/time.h"
+
+namespace {
+
+bool parse_date(const char* text, bgpbh::util::SimTime& out) {
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(text, "%d-%d-%d", &year, &month, &day) != 3) return false;
+  out = bgpbh::util::from_date(year, month, day);
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dir DATA_DIR [--port N] [--producers N]\n"
+               "          [--window-start YYYY-MM-DD] [--window-end "
+               "YYYY-MM-DD] [--intensity X] [--seed N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bgpbh::fabric::ShardServerConfig config;
+  config.study.window_start = bgpbh::util::from_date(2017, 3, 15);
+  config.study.window_end = bgpbh::util::from_date(2017, 3, 16);
+  config.study.workload.intensity_scale = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--dir") == 0 && value) {
+      config.dir = value;
+      ++i;
+    } else if (std::strcmp(arg, "--port") == 0 && value) {
+      config.port = static_cast<std::uint16_t>(std::atoi(value));
+      ++i;
+    } else if (std::strcmp(arg, "--producers") == 0 && value) {
+      config.num_producers = static_cast<std::size_t>(std::atoi(value));
+      ++i;
+    } else if (std::strcmp(arg, "--window-start") == 0 && value) {
+      if (!parse_date(value, config.study.window_start)) return usage(argv[0]);
+      ++i;
+    } else if (std::strcmp(arg, "--window-end") == 0 && value) {
+      if (!parse_date(value, config.study.window_end)) return usage(argv[0]);
+      ++i;
+    } else if (std::strcmp(arg, "--intensity") == 0 && value) {
+      config.study.workload.intensity_scale = std::atof(value);
+      ++i;
+    } else if (std::strcmp(arg, "--seed") == 0 && value) {
+      config.study.seed = static_cast<std::uint64_t>(std::atoll(value));
+      ++i;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.dir.empty()) return usage(argv[0]);
+  try {
+    bgpbh::fabric::ShardServer server(std::move(config));
+    // The spawner blocks on this line to learn the bound (possibly
+    // ephemeral) port.
+    std::printf("PORT %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard_server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -276,6 +276,31 @@ int main(int argc, char** argv) {
     util::Log(util::LogLevel::kInfo, "live_monitor")
         .msg("fabric self-check passed; shutting the fleet down")
         .kv("events", static_cast<std::uint64_t>(remote.size()));
+    // --metrics-out in fabric mode means the FLEET view: the local
+    // registry holds only client-side fabric.* metrics (the pipeline
+    // lives in the shard-server processes), so gather every slot's
+    // registry over STATS and dump the folded result.
+    if (!metrics_out.empty()) {
+      telemetry::FleetTelemetry fleet = session.fabric()->fleet_telemetry();
+      std::string prom = telemetry::to_prometheus(fleet.folded);
+      std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+      if (!f) {
+        util::Log(util::LogLevel::kError, "live_monitor")
+            .msg("cannot write metrics file")
+            .kv("path", metrics_out);
+        return 1;
+      }
+      std::fwrite(prom.data(), 1, prom.size(), f);
+      std::fclose(f);
+      std::size_t fleet_slots = 0;
+      for (const auto& ep : fleet.endpoints) fleet_slots += ep.slots.size();
+      util::Log(util::LogLevel::kInfo, "live_monitor")
+          .msg("fleet metrics written")
+          .kv("path", metrics_out)
+          .kv("endpoints", static_cast<std::uint64_t>(fleet.endpoints.size()))
+          .kv("slots", static_cast<std::uint64_t>(fleet_slots))
+          .kv("bytes", static_cast<std::uint64_t>(prom.size()));
+    }
     session.fabric()->shutdown_endpoints();
     return 0;
   }

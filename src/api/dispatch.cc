@@ -2,6 +2,7 @@
 
 #include "telemetry/trace.h"
 #include "util/log.h"
+#include "util/time.h"
 
 namespace bgpbh::api {
 
@@ -38,9 +39,15 @@ SinkDispatcher::SinkDispatcher(
                      "(kShed overload policy only)");
   metrics_->describe("api.dispatch.quarantined",
                      "1 while the sink plane is quarantined for overload");
+  metrics_->describe(
+      "e2e.delivery_latency_ns",
+      "End-to-end delivery latency: wall time from an update's ingest "
+      "stamp at the producer edge to its closed event reaching every "
+      "sink (ns; unstamped events excluded)");
   submitted_ctr_ = &metrics_->counter("api.dispatch.events_submitted");
   delivered_ctr_ = &metrics_->counter("api.dispatch.events_delivered");
   deliver_hist_ = &metrics_->histogram("api.dispatch.deliver_ns");
+  e2e_delivery_hist_ = &metrics_->histogram("e2e.delivery_latency_ns");
   queue_gauge_ = &metrics_->gauge("api.dispatch.queue_chunks");
   lag_gauge_ = &metrics_->gauge("api.dispatch.lag_events");
   shed_ctr_ = &metrics_->counter("api.dispatch.events_shed");
@@ -208,6 +215,12 @@ void SinkDispatcher::deliver(const Item& item) {
     for (std::size_t i = 0; i < sinks_.size(); ++i) {
       sinks_[i]->on_event_closed(event);
       if (!sink_ctrs_.empty()) sink_ctrs_[i]->add();
+    }
+    if (e2e_delivery_hist_ && event.ingest_ns != 0) {
+      const std::uint64_t now = util::wall_clock_ns();
+      if (now > event.ingest_ns) {
+        e2e_delivery_hist_->record(now - event.ingest_ns);
+      }
     }
     if (grouper_) {
       core::PrefixEvent group = grouper_->add(event);

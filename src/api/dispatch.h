@@ -172,6 +172,7 @@ class SinkDispatcher {
   telemetry::Counter* submitted_ctr_ = nullptr;
   telemetry::Counter* delivered_ctr_ = nullptr;
   telemetry::LatencyHistogram* deliver_hist_ = nullptr;
+  telemetry::LatencyHistogram* e2e_delivery_hist_ = nullptr;
   telemetry::Gauge* queue_gauge_ = nullptr;
   telemetry::Gauge* lag_gauge_ = nullptr;
   telemetry::Counter* shed_ctr_ = nullptr;

@@ -42,6 +42,9 @@ AnalysisSession::AnalysisSession(SessionConfig config)
   health_hook_ = metrics_.add_collection_hook([this] {
     health_gauge_->set(static_cast<double>(static_cast<int>(health().state)));
   });
+  // Trace ring: configure before any wiring (including the fabric
+  // early-return below) so every mode honors the session's knobs.
+  metrics_.trace().configure(config_.trace);
   const std::size_t shards = config_.num_shards == 0 ? 1 : config_.num_shards;
   const std::size_t producers =
       config_.num_producers == 0 ? 1 : config_.num_producers;

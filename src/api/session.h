@@ -196,6 +196,15 @@ struct SessionConfig {
   // fabric client resumes each lane from the recovered accepted
   // index), so skipping would drop real updates.
   bool recover_suffix_feed = false;
+
+  // ---- tracing (telemetry/trace.h) --------------------------------------
+  // Slow-span trace ring configuration, applied to this session's
+  // registry at construction: off by default with a 1 ms threshold and
+  // 256-record capacity (the historical hardcoded values).  Enable it
+  // to capture slow-batch/slow-RPC forensics; fabric clients and shard
+  // servers additionally use the ring for cross-process trace-id
+  // stitching (fleet_telemetry()).
+  telemetry::TraceConfig trace;
 };
 
 class AnalysisSession {

@@ -276,6 +276,10 @@ void InferenceEngine::close_event(Platform platform, const bgp::PeerKey& peer,
     e.explicit_withdrawal = explicit_withdrawal;
     e.started_in_table_dump = state.from_table_dump;
     e.communities = state.communities;
+    if (ingest_ns_ != 0) {
+      e.ingest_ns = ingest_ns_;
+      e.detected_ns = util::wall_clock_ns();
+    }
     closed_.push_back(std::move(e));
   }
   active_.erase(it);
@@ -331,6 +335,7 @@ void InferenceEngine::process_announcement(Platform platform,
 void InferenceEngine::process(Platform platform,
                               const bgp::ObservedUpdate& update) {
   ++stats_.updates_processed;
+  ingest_ns_ = 0;  // owning path carries no ingest stamp
   bgp::PeerKey peer{update.peer_ip, update.peer_asn};
 
   for (const auto& prefix : update.body.withdrawn) {
@@ -344,6 +349,7 @@ void InferenceEngine::process(Platform platform,
 
 void InferenceEngine::process(const UpdateView& view) {
   ++stats_.updates_processed;
+  ingest_ns_ = view.ingest_ns;
   if (view.is_withdrawal) {
     process_withdrawal(view.platform, view.peer, *view.prefix, view.time);
   } else {
@@ -353,6 +359,7 @@ void InferenceEngine::process(const UpdateView& view) {
 }
 
 void InferenceEngine::finish(util::SimTime end_time) {
+  ingest_ns_ = 0;  // force-closed events measure nothing end-to-end
   // Close remaining events; copy keys first since close_event mutates.
   // Sorted by key so the emission order is deterministic regardless of
   // the hash-map iteration order (and identical across shard layouts).

@@ -77,6 +77,10 @@ struct UpdateView {
   bool is_withdrawal = false;
   const bgp::AsPath* as_path = nullptr;
   const bgp::CommunitySet* communities = nullptr;
+  // Wall-clock ingest stamp of the originating FeedUpdate (0 =
+  // unstamped); events closed by this update inherit it so the
+  // e2e.detect_latency_ns histogram can be recorded at drain time.
+  std::uint64_t ingest_ns = 0;
 };
 
 // One detected provider of an open (not yet closed) blackhole event —
@@ -234,6 +238,11 @@ class InferenceEngine {
   std::unordered_map<StateKey, ActiveState, StateKeyHash> active_;
   std::vector<PeerEvent> closed_;
   EngineStats stats_;
+  // Ingest stamp of the update currently being processed (0 outside a
+  // stamped process(view) call); close_event copies it onto every
+  // event the update closes.  Not part of engine state proper — pure
+  // observability plumbing, never checkpointed.
+  std::uint64_t ingest_ns_ = 0;
 };
 
 }  // namespace bgpbh::core

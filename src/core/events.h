@@ -59,9 +59,27 @@ struct PeerEvent {
   bool started_in_table_dump = false;  // start time unknown (== 0, §4.2)
   bgp::CommunitySet communities;
 
+  // e2e latency stamps (util::wall_clock_ns()), set when the closing
+  // update carried an ingest stamp: when the update that closed this
+  // event entered the system, and when the engine emitted the closed
+  // event.  Transient observability data — excluded from equality and
+  // from the storage record codec (replays and recovered streams
+  // legitimately produce different wall times for identical events).
+  std::uint64_t ingest_ns = 0;
+  std::uint64_t detected_ns = 0;
+
   util::SimTime duration() const { return end - start; }
 
-  friend bool operator==(const PeerEvent&, const PeerEvent&) = default;
+  friend bool operator==(const PeerEvent& a, const PeerEvent& b) {
+    return a.platform == b.platform && a.peer == b.peer &&
+           a.prefix == b.prefix && a.provider == b.provider &&
+           a.user == b.user && a.kind == b.kind &&
+           a.as_distance == b.as_distance && a.start == b.start &&
+           a.end == b.end && a.open == b.open &&
+           a.explicit_withdrawal == b.explicit_withdrawal &&
+           a.started_in_table_dump == b.started_in_table_dump &&
+           a.communities == b.communities;
+  }
 };
 
 // Canonical total order over peer events: (start, end, prefix, peer,

@@ -17,9 +17,12 @@ void encode_sub_update(const routing::FeedUpdate& fu, net::BufWriter& out) {
   bgp::encode_update_body(fu.update.body, body);
   out.u32(static_cast<std::uint32_t>(body.size()));
   out.bytes(body.data());
+  // v2 trailer; v1 lanes chop these bytes off at send time.
+  out.u64(fu.ingest_ns);
 }
 
-std::optional<routing::FeedUpdate> decode_sub_update(net::BufReader& in) {
+std::optional<routing::FeedUpdate> decode_sub_update(net::BufReader& in,
+                                                     std::uint8_t version) {
   routing::FeedUpdate fu;
   std::uint8_t platform = in.u8();
   if (platform >= routing::kNumPlatforms) return std::nullopt;
@@ -36,6 +39,10 @@ std::optional<routing::FeedUpdate> decode_sub_update(net::BufReader& in) {
   auto decoded = bgp::decode_update_body(body);
   if (!decoded || !body.ok() || !body.at_end()) return std::nullopt;
   fu.update.body = std::move(*decoded);
+  if (version >= 2) {
+    fu.ingest_ns = in.u64();
+    if (!in.ok()) return std::nullopt;
+  }
   return fu;
 }
 

@@ -33,7 +33,16 @@ namespace bgpbh::fabric {
 
 inline constexpr std::uint16_t kFabricMagic = 0xFAB1;
 inline constexpr std::uint8_t kFabricVersionMin = 1;
-inline constexpr std::uint8_t kFabricVersionMax = 1;
+// v2 (fleet observability): APPEND/QUERY/CHECKPOINT bodies gain a
+// trace-context header (u64 trace_id | u64 origin_ns), sub-updates
+// gain a trailing u64 ingest stamp, and the STATS/STATS_ACK frames
+// exist.  Body layouts are governed by the HELLO-negotiated session
+// version; a v2 peer talking to a v1 peer emits v1 bodies.
+inline constexpr std::uint8_t kFabricVersionMax = 2;
+// Byte length of the v2 sub-update ingest trailer: subs are staged and
+// replay-buffered in v2 form, and a lane that negotiated v1 truncates
+// this many bytes off each sub at send time.
+inline constexpr std::size_t kSubUpdateIngestTrailerBytes = 8;
 // HANDOFF ships whole checkpoint + segment files in one frame; records
 // are ~66 B each, so this comfortably covers a shard's working set.
 inline constexpr std::uint32_t kMaxFabricPayload = 64u << 20;
@@ -64,6 +73,10 @@ enum class FrameType : std::uint8_t {
   kShutdown,         // (empty)
   kShutdownAck,      // (empty)
   kError,            // utf-8 message (rest of payload)
+  // v2+ only (fleet observability):
+  kStats,            // u64 trace_id | u64 origin_ns | u32 max_spans
+  kStatsAck,         // u32 n_slots | n x slot telemetry
+                     //   (telemetry::encode_slot_telemetry)
 };
 
 // ---- sub-update codec -------------------------------------------------
@@ -71,8 +84,13 @@ enum class FrameType : std::uint8_t {
 // materializes it (withdrawals carry no route attributes).  The body
 // reuses the BGP UPDATE codec, so path attributes round-trip through
 // the same fuzz-hardened decoder the MRT replay path uses.
+//
+// encode_sub_update always emits the v2 layout (trailing u64 ingest
+// stamp); v1 senders truncate kSubUpdateIngestTrailerBytes at send
+// time.  decode_sub_update reads the trailer iff `version` >= 2.
 void encode_sub_update(const routing::FeedUpdate& fu, net::BufWriter& out);
-std::optional<routing::FeedUpdate> decode_sub_update(net::BufReader& in);
+std::optional<routing::FeedUpdate> decode_sub_update(
+    net::BufReader& in, std::uint8_t version = kFabricVersionMax);
 
 // ---- handoff file set -------------------------------------------------
 // The shard-migration payload: every file of a quiesced slot's

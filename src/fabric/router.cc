@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "bgp/rib.h"
 #include "storage/record_codec.h"
@@ -41,6 +42,7 @@ FabricRouter::FabricRouter(FabricConfig config, std::size_t num_slots,
   for (std::size_t i = 0; i < num_slots_ * num_producers_; ++i) {
     lanes_.push_back(std::make_unique<Lane>());
   }
+  metrics_ = metrics;
   if (metrics) {
     metrics->describe("fabric.router.batches",
                       "APPEND frames sent to shard servers");
@@ -86,10 +88,19 @@ bool parse_append_ack(std::span<const std::uint8_t> body,
   return r.ok();
 }
 
+// Sub-updates are staged and replay-buffered in v2 form (trailing u64
+// ingest stamp); a lane that negotiated v1 chops the trailer off at
+// send time.
+std::span<const std::uint8_t> sub_for_version(
+    const std::vector<std::uint8_t>& sub, std::uint8_t version) {
+  std::span<const std::uint8_t> bytes(sub);
+  if (version < 2) bytes = bytes.first(bytes.size() - kSubUpdateIngestTrailerBytes);
+  return bytes;
+}
+
 }  // namespace
 
 void FabricRouter::recv_one_ack(Lane& ln, std::size_t slot, std::size_t p) {
-  auto t0 = std::chrono::steady_clock::now();
   auto frame = ln.conn.recv_frame();
   std::uint64_t accepted = 0, durable = 0;
   if (!frame || frame->type != FrameType::kAppendAck ||
@@ -100,11 +111,23 @@ void FabricRouter::recv_one_ack(Lane& ln, std::size_t slot, std::size_t p) {
     ensure_connected(ln, slot, p);
     return;
   }
-  if (rpc_ns_) {
-    rpc_ns_->record(static_cast<std::uint64_t>(
+  // Acks return in send order, so the front in-flight entry is the
+  // frame this ack answers: its send timestamp gives the full RPC
+  // round trip (queue + wire + server), its trace id lets
+  // fleet_telemetry() stitch this span against the server-side half.
+  if (!ln.inflight_meta.empty()) {
+    const auto [trace_id, t0] = ln.inflight_meta.front();
+    ln.inflight_meta.pop_front();
+    const std::uint64_t ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
-            .count()));
+            .count());
+    if (rpc_ns_) rpc_ns_->record(ns);
+    if (metrics_) {
+      metrics_->trace().maybe_record("fabric.append",
+                                     static_cast<std::uint32_t>(slot), ns,
+                                     trace_id);
+    }
   }
   --ln.unacked;
   inflight_total_.fetch_sub(1, std::memory_order_relaxed);
@@ -122,6 +145,7 @@ bool FabricRouter::try_connect(Lane& ln, std::size_t slot, std::size_t p) {
   inflight_total_.fetch_sub(static_cast<std::int64_t>(ln.unacked),
                             std::memory_order_relaxed);
   ln.unacked = 0;
+  ln.inflight_meta.clear();  // replay frames below are not ring-timed
   ln.connected = false;
   ln.conn.close();
   FabricEndpoint ep = endpoint(placement_[slot]);
@@ -154,6 +178,7 @@ bool FabricRouter::try_connect(Lane& ln, std::size_t slot, std::size_t p) {
         std::to_string(ln.replay_base) + ", " + std::to_string(ln.sent) + "]");
   }
   ln.connected = true;
+  ln.version = version;
   // Resend the suffix the (restarted) server has not accepted yet,
   // honoring the in-flight window, and drain every ack so the lane
   // comes back with a clean slate.
@@ -164,10 +189,16 @@ bool FabricRouter::try_connect(Lane& ln, std::size_t slot, std::size_t p) {
     net::BufWriter w;
     w.u32(static_cast<std::uint32_t>(slot));
     w.u32(static_cast<std::uint32_t>(p));
+    if (version >= 2) {
+      w.u64(next_trace_id_.fetch_add(1, std::memory_order_relaxed));
+      w.u64(util::wall_clock_ns());
+    }
     w.u64(idx);
     w.u32(static_cast<std::uint32_t>(count));
     for (std::size_t i = 0; i < count; ++i) {
-      w.bytes(ln.replay[static_cast<std::size_t>(idx - ln.replay_base) + i]);
+      w.bytes(sub_for_version(
+          ln.replay[static_cast<std::size_t>(idx - ln.replay_base) + i],
+          version));
     }
     if (!ln.conn.send_frame(FrameType::kAppend, w.data())) {
       ln.connected = false;
@@ -236,12 +267,18 @@ void FabricRouter::ensure_connected(Lane& ln, std::size_t slot,
 void FabricRouter::send_batch(Lane& ln, std::size_t slot, std::size_t p) {
   if (ln.pending.empty()) return;
   ensure_connected(ln, slot, p);
+  const std::uint64_t trace_id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   net::BufWriter w;
   w.u32(static_cast<std::uint32_t>(slot));
   w.u32(static_cast<std::uint32_t>(p));
+  if (ln.version >= 2) {
+    w.u64(trace_id);
+    w.u64(util::wall_clock_ns());
+  }
   w.u64(ln.sent);
   w.u32(static_cast<std::uint32_t>(ln.pending.size()));
-  for (const auto& sub : ln.pending) w.bytes(sub);
+  for (const auto& sub : ln.pending) w.bytes(sub_for_version(sub, ln.version));
   // Into the replay buffer BEFORE the send: if the send fails the
   // reconnect path resends straight from replay, so the batch can
   // never be dropped between "staged" and "on the wire".
@@ -256,6 +293,7 @@ void FabricRouter::send_batch(Lane& ln, std::size_t slot, std::size_t p) {
     return;
   }
   ++ln.unacked;
+  ln.inflight_meta.emplace_back(trace_id, std::chrono::steady_clock::now());
   inflight_total_.fetch_add(1, std::memory_order_relaxed);
   if (inflight_) {
     inflight_->set(
@@ -292,6 +330,10 @@ bool FabricRouter::push(std::size_t p, const routing::FeedUpdate& update) {
   sub.update.peer_ip = update.update.peer_ip;
   sub.update.peer_asn = update.update.peer_asn;
   sub.update.collector_id = update.update.collector_id;
+  // Producer-edge ingest stamp, exactly once per update: a pre-stamped
+  // update keeps its origin so end-to-end latency spans processes.
+  sub.ingest_ns =
+      update.ingest_ns != 0 ? update.ingest_ns : util::wall_clock_ns();
   for (const auto& prefix : body.withdrawn) {
     sub.update.body.withdrawn.assign(1, prefix);
     std::size_t slot = stream::shard_for(peer, prefix, num_slots_);
@@ -329,7 +371,8 @@ void FabricRouter::drain_slot_locked(std::size_t slot) {
 
 std::optional<TcpConn::FramePayload> FabricRouter::control_rpc(
     std::size_t endpoint_index, FrameType type,
-    std::span<const std::uint8_t> body, FrameType expect) {
+    const std::function<void(std::uint8_t, net::BufWriter&)>& build_body,
+    FrameType expect, const ControlSpan& span) {
   const util::RetryPolicy& rp = config_.reconnect;
   for (std::size_t attempt = 1; attempt <= rp.attempts(); ++attempt) {
     if (attempt > 1) std::this_thread::sleep_for(rp.delay(attempt - 1));
@@ -344,15 +387,29 @@ std::optional<TcpConn::FramePayload> FabricRouter::control_rpc(
     if (!conn->send_frame(FrameType::kHello, hello.data())) continue;
     auto hello_ack = conn->recv_frame();
     if (!hello_ack || hello_ack->type != FrameType::kHelloAck) continue;
+    net::BufReader hr(hello_ack->body);
+    const std::uint8_t version = hr.u8();
+    if (!hr.ok() || version < kFabricVersionMin ||
+        version > kFabricVersionMax) {
+      continue;
+    }
+    // STATS is v2-only; a v1 server can never answer it, so retrying
+    // would only repeat the refusal.
+    if (type == FrameType::kStats && version < 2) return std::nullopt;
+    net::BufWriter body;
+    build_body(version, body);
     auto t0 = std::chrono::steady_clock::now();
-    if (!conn->send_frame(type, body)) continue;
+    if (!conn->send_frame(type, body.data())) continue;
     auto reply = conn->recv_frame();
     if (!reply) continue;
-    if (rpc_ns_) {
-      rpc_ns_->record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count()));
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (rpc_ns_) rpc_ns_->record(ns);
+    if (metrics_ && span.label != nullptr && span.trace_id != 0) {
+      metrics_->trace().maybe_record(span.label, span.shard, ns,
+                                     span.trace_id);
     }
     // An ERROR or wrong-type reply is a protocol-level refusal, not a
     // transient network fault; retrying would only repeat it.
@@ -363,10 +420,20 @@ std::optional<TcpConn::FramePayload> FabricRouter::control_rpc(
 }
 
 bool FabricRouter::checkpoint_slot_locked(std::size_t slot) {
-  net::BufWriter body;
-  body.u32(static_cast<std::uint32_t>(slot));
-  auto reply = control_rpc(placement_[slot], FrameType::kCheckpoint,
-                           body.data(), FrameType::kCheckpointAck);
+  const std::uint64_t trace_id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  auto reply = control_rpc(
+      placement_[slot], FrameType::kCheckpoint,
+      [&](std::uint8_t version, net::BufWriter& body) {
+        body.u32(static_cast<std::uint32_t>(slot));
+        if (version >= 2) {
+          body.u64(trace_id);
+          body.u64(util::wall_clock_ns());
+        }
+      },
+      FrameType::kCheckpointAck,
+      ControlSpan{"fabric.checkpoint", static_cast<std::uint32_t>(slot),
+                  trace_id});
   if (!reply) return false;
   net::BufReader r(reply->body);
   std::uint8_t ok = r.u8();
@@ -401,11 +468,13 @@ void FabricRouter::close(util::SimTime end_time) {
   for (std::size_t slot = 0; slot < num_slots_; ++slot) {
     std::unique_lock lock(*slot_mu_[slot]);
     drain_slot_locked(slot);
-    net::BufWriter body;
-    body.u32(static_cast<std::uint32_t>(slot));
-    body.u64(static_cast<std::uint64_t>(end_time));
-    all_ok = control_rpc(placement_[slot], FrameType::kClose, body.data(),
-                         FrameType::kCloseAck)
+    all_ok = control_rpc(
+                 placement_[slot], FrameType::kClose,
+                 [&](std::uint8_t, net::BufWriter& body) {
+                   body.u32(static_cast<std::uint32_t>(slot));
+                   body.u64(static_cast<std::uint64_t>(end_time));
+                 },
+                 FrameType::kCloseAck, ControlSpan{})
                  .has_value() &&
              all_ok;
   }
@@ -425,10 +494,20 @@ std::vector<core::PeerEvent> FabricRouter::query_events() {
     fan.emplace_back([this, slot, &per_slot, &failed] {
       try {
         std::shared_lock lock(*slot_mu_[slot]);
-        net::BufWriter body;
-        body.u32(static_cast<std::uint32_t>(slot));
-        auto reply = control_rpc(placement_[slot], FrameType::kQuery,
-                                 body.data(), FrameType::kQueryResult);
+        const std::uint64_t trace_id =
+            next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+        auto reply = control_rpc(
+            placement_[slot], FrameType::kQuery,
+            [&](std::uint8_t version, net::BufWriter& body) {
+              body.u32(static_cast<std::uint32_t>(slot));
+              if (version >= 2) {
+                body.u64(trace_id);
+                body.u64(util::wall_clock_ns());
+              }
+            },
+            FrameType::kQueryResult,
+            ControlSpan{"fabric.query", static_cast<std::uint32_t>(slot),
+                        trace_id});
         if (!reply) {
           failed.store(true, std::memory_order_relaxed);
           return;
@@ -480,21 +559,24 @@ bool FabricRouter::migrate(std::size_t slot, std::size_t target_endpoint) {
   //    durable log position, with all closed events sealed to disk.
   if (!checkpoint_slot_locked(slot)) return false;
   // 3. Ship the slot directory (checkpoint + pinned segment suffix).
-  net::BufWriter slot_body;
-  slot_body.u32(static_cast<std::uint32_t>(slot));
+  const auto slot_body = [slot](std::uint8_t, net::BufWriter& body) {
+    body.u32(static_cast<std::uint32_t>(slot));
+  };
   auto fetched = control_rpc(placement_[slot], FrameType::kHandoffFetch,
-                             slot_body.data(), FrameType::kHandoffState);
+                             slot_body, FrameType::kHandoffState, ControlSpan{});
   if (!fetched) return false;
   net::BufReader fr(fetched->body);
   auto files = decode_files(fr);
   if (!files) return false;
   // 4. Install + recover on the target; it reports the accepted counts
   //    it recovered to, which must equal everything we ever sent.
-  net::BufWriter install;
-  install.u32(static_cast<std::uint32_t>(slot));
-  encode_files(*files, install);
-  auto ack = control_rpc(target_endpoint, FrameType::kHandoffInstall,
-                         install.data(), FrameType::kHandoffAck);
+  auto ack = control_rpc(
+      target_endpoint, FrameType::kHandoffInstall,
+      [&](std::uint8_t, net::BufWriter& install) {
+        install.u32(static_cast<std::uint32_t>(slot));
+        encode_files(*files, install);
+      },
+      FrameType::kHandoffAck, ControlSpan{});
   if (!ack) return false;
   net::BufReader ar(ack->body);
   std::uint8_t ok = ar.u8();
@@ -505,8 +587,8 @@ bool FabricRouter::migrate(std::size_t slot, std::size_t target_endpoint) {
     if (!ar.ok() || accepted != lane(slot, p).sent) return false;
   }
   // 5. Release the source replica, flip the route, reconnect lazily.
-  if (!control_rpc(placement_[slot], FrameType::kRelease, slot_body.data(),
-                   FrameType::kReleaseAck)) {
+  if (!control_rpc(placement_[slot], FrameType::kRelease, slot_body,
+                   FrameType::kReleaseAck, ControlSpan{})) {
     return false;
   }
   placement_[slot] = target_endpoint;
@@ -525,8 +607,85 @@ void FabricRouter::shutdown_endpoints() {
     count = endpoints_.size();
   }
   for (std::size_t e = 0; e < count; ++e) {
-    control_rpc(e, FrameType::kShutdown, {}, FrameType::kShutdownAck);
+    control_rpc(e, FrameType::kShutdown, [](std::uint8_t, net::BufWriter&) {},
+                FrameType::kShutdownAck, ControlSpan{});
   }
+}
+
+telemetry::FleetTelemetry FabricRouter::fleet_telemetry() {
+  telemetry::FleetTelemetry fleet;
+  std::size_t count;
+  {
+    std::lock_guard lock(endpoints_mu_);
+    count = endpoints_.size();
+  }
+  for (std::size_t e = 0; e < count; ++e) {
+    const std::uint64_t trace_id =
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    auto reply = control_rpc(
+        e, FrameType::kStats,
+        [&](std::uint8_t, net::BufWriter& body) {
+          body.u64(trace_id);
+          body.u64(util::wall_clock_ns());
+          body.u32(1024);  // slow spans per slot — generous, bounded
+        },
+        FrameType::kStatsAck,
+        ControlSpan{"fabric.stats", static_cast<std::uint32_t>(e), trace_id});
+    // An unreachable (or v1) endpoint is skipped: the fold covers what
+    // answered, and the per-endpoint split shows who is missing.
+    if (!reply) continue;
+    net::BufReader r(reply->body);
+    std::uint32_t n_slots = r.u32();
+    if (!r.ok()) continue;
+    telemetry::EndpointTelemetry et;
+    et.endpoint = describe_endpoint(endpoint(e));
+    et.slots.reserve(n_slots);
+    bool ok = true;
+    for (std::uint32_t i = 0; i < n_slots; ++i) {
+      auto st = telemetry::decode_slot_telemetry(r);
+      if (!st) {
+        ok = false;
+        break;
+      }
+      et.slots.push_back(std::move(*st));
+    }
+    if (!ok) continue;
+    fleet.endpoints.push_back(std::move(et));
+  }
+  fleet.folded = telemetry::fold_fleet(fleet.endpoints);
+  // Stitch: a remote span whose trace id matches one of this router's
+  // ring records pairs the RPC's two halves — client wall time minus
+  // the server handler's time is wire + queue.
+  if (metrics_) {
+    const auto local = metrics_->trace().recent();
+    std::unordered_map<std::uint64_t, const telemetry::TraceRecord*> by_id;
+    by_id.reserve(local.size());
+    for (const auto& rec : local) {
+      if (rec.trace_id != 0) by_id[rec.trace_id] = &rec;
+    }
+    for (const auto& et : fleet.endpoints) {
+      for (const auto& st : et.slots) {
+        for (const auto& sp : st.spans) {
+          if (sp.trace_id == 0) continue;
+          auto it = by_id.find(sp.trace_id);
+          if (it == by_id.end()) continue;
+          const telemetry::TraceRecord& cl = *it->second;
+          telemetry::StitchedRpc stitched;
+          stitched.trace_id = sp.trace_id;
+          stitched.client_label = cl.label;
+          stitched.server_label = sp.label;
+          stitched.slot = st.slot;
+          stitched.client_ns = cl.duration_ns;
+          stitched.server_ns = sp.duration_ns;
+          stitched.wire_queue_ns = cl.duration_ns > sp.duration_ns
+                                       ? cl.duration_ns - sp.duration_ns
+                                       : 0;
+          fleet.stitched.push_back(std::move(stitched));
+        }
+      }
+    }
+  }
+  return fleet;
 }
 
 }  // namespace bgpbh::fabric

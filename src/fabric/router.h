@@ -42,18 +42,22 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/events.h"
 #include "fabric/placement.h"
 #include "fabric/protocol.h"
 #include "fabric/socket.h"
+#include "telemetry/fleet.h"
 #include "telemetry/metrics.h"
 #include "util/retry.h"
 #include "util/time.h"
@@ -130,6 +134,17 @@ class FabricRouter {
   // stop accepting and exit their run loop).  Best-effort.
   void shutdown_endpoints();
 
+  // Fleet-wide observability: one STATS RPC per endpoint (v2+ servers
+  // only; unreachable or v1 endpoints are skipped) gathers every
+  // hosted slot's full registry snapshot + recent slow spans, folds
+  // them into a single Snapshot (counters/gauges sum, histograms merge
+  // bucket-exactly, per_shard re-keyed by global slot id), and
+  // stitches remote server-side spans against this router's local ring
+  // records that share a trace id — attributing slow RPC time to
+  // wire/queue vs. remote engine.  The folded view feeds the existing
+  // Prometheus / BENCH-JSON exporters unchanged.
+  telemetry::FleetTelemetry fleet_telemetry();
+
   std::size_t num_slots() const { return num_slots_; }
   std::size_t num_producers() const { return num_producers_; }
   std::uint64_t updates_pushed() const {
@@ -144,6 +159,9 @@ class FabricRouter {
   struct Lane {
     TcpConn conn;
     bool connected = false;
+    // HELLO-negotiated session version; v1 lanes emit v1 bodies (no
+    // trace header, sub-update ingest trailers truncated at send).
+    std::uint8_t version = kFabricVersionMax;
     std::uint64_t sent = 0;         // next sub-update index to assign
     std::uint64_t replay_base = 0;  // index of replay.front()
     // Encoded sub-updates in [replay_base, sent): everything accepted
@@ -154,6 +172,11 @@ class FabricRouter {
     // not yet indexed).
     std::vector<std::vector<std::uint8_t>> pending;
     std::size_t unacked = 0;  // APPEND frames sent, acks not read
+    // (trace_id, send time) per unacked APPEND, FIFO — acks come back
+    // in send order on a lane, so the front entry times the ack being
+    // read.  Cleared on reconnect (the replay path re-times resends).
+    std::deque<std::pair<std::uint64_t, std::chrono::steady_clock::time_point>>
+        inflight_meta;
   };
 
   Lane& lane(std::size_t slot, std::size_t p) {
@@ -173,11 +196,24 @@ class FabricRouter {
   void send_frames_for_replay(Lane& ln, std::size_t slot, std::size_t p,
                               std::uint64_t from_index);
 
+  // Optional trace attribution for a control RPC: when label and
+  // trace_id are set, the RPC's round trip is offered to the local
+  // TraceRing so fleet_telemetry() can stitch it against the
+  // server-side span bound to the same id.
+  struct ControlSpan {
+    const char* label = nullptr;
+    std::uint32_t shard = 0;
+    std::uint64_t trace_id = 0;
+  };
+
   // Fresh control connection RPC with retry; nullopt past the budget
-  // or on an ERROR reply of the wrong type.
+  // or on an ERROR reply of the wrong type.  The body is built AFTER
+  // the HELLO handshake via `build_body(negotiated_version, writer)` —
+  // v2 bodies carry trace-context headers a v1 server must not see.
   std::optional<TcpConn::FramePayload> control_rpc(
       std::size_t endpoint_index, FrameType type,
-      std::span<const std::uint8_t> body, FrameType expect);
+      const std::function<void(std::uint8_t, net::BufWriter&)>& build_body,
+      FrameType expect, const ControlSpan& span);
   bool checkpoint_slot_locked(std::size_t slot);
   void drain_slot_locked(std::size_t slot);
 
@@ -193,7 +229,11 @@ class FabricRouter {
   std::atomic<std::uint64_t> reconnects_count_{0};
   std::atomic<std::int64_t> inflight_total_{0};
   std::atomic<bool> closed_{false};
+  // Distributed trace-id generator: one id per RPC, stamped into v2
+  // frame headers and echoed by server-side spans.  0 means untraced.
+  std::atomic<std::uint64_t> next_trace_id_{1};
 
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::Counter* batches_ = nullptr;
   telemetry::Counter* bytes_ = nullptr;
   telemetry::Counter* reconnects_ = nullptr;

@@ -5,15 +5,33 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "storage/record_codec.h"
 #include "storage/wire.h"
+#include "telemetry/fleet.h"
+#include "util/time.h"
 
 namespace bgpbh::fabric {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Wall-clock delay between the client stamping a traced RPC and the
+// server starting to handle it (wire + accept queue + clock skew).
+void record_ingress_delay(telemetry::MetricsRegistry& reg,
+                          std::uint64_t origin_ns) {
+  if (origin_ns == 0) return;
+  const std::uint64_t now = util::wall_clock_ns();
+  if (now > origin_ns) {
+    reg.histogram("fabric.server.ingress_delay_ns").record(now - origin_ns);
+  }
+}
+
+}  // namespace
 
 ShardServer::ShardServer(ShardServerConfig config)
     : config_(std::move(config)) {
@@ -133,7 +151,21 @@ void ShardServer::open_slot_session_locked(Slot& s, std::uint32_t id) {
   // be one thread per slot, and checkpoints are cut on demand.
   sc.stall_deadline = std::chrono::milliseconds(0);
   sc.checkpoint_every = 0;
+  sc.trace = config_.trace;
   s.session = std::make_unique<api::AnalysisSession>(sc);
+  telemetry::MetricsRegistry& reg = s.session->telemetry();
+  reg.describe("fabric.server.append_ns",
+               "Server-side APPEND handling latency (ns: decode + engine "
+               "push, per batch)");
+  reg.describe("fabric.server.query_ns",
+               "Server-side QUERY handling latency (ns: drain + event "
+               "serialization)");
+  reg.describe("fabric.server.checkpoint_ns",
+               "Server-side CHECKPOINT handling latency (ns: drain + "
+               "checkpoint cut)");
+  reg.describe("fabric.server.ingress_delay_ns",
+               "Client send -> server receive delay per traced RPC (ns, "
+               "wall clocks on both sides; includes clock skew)");
   s.session->start();
   const auto& recovered = s.session->recovered_updates_accepted();
   for (std::size_t p = 0; p < config_.num_producers; ++p) {
@@ -186,19 +218,23 @@ void ShardServer::serve(TcpConn conn) {
   for (;;) {
     auto frame = conn.recv_frame();
     if (!frame) return;  // EOF / reset / torn frame
-    if (!handle_frame(conn, *frame)) return;
+    if (!handle_frame(conn, *frame, *version)) return;
   }
 }
 
 bool ShardServer::handle_frame(TcpConn& conn,
-                               const TcpConn::FramePayload& frame) {
+                               const TcpConn::FramePayload& frame,
+                               std::uint8_t version) {
   switch (frame.type) {
     case FrameType::kAppend:
-      return handle_append(conn, frame.body);
+      return handle_append(conn, frame.body, version);
     case FrameType::kQuery:
-      return handle_query(conn, frame.body);
+      return handle_query(conn, frame.body, version);
     case FrameType::kCheckpoint:
-      return handle_checkpoint(conn, frame.body);
+      return handle_checkpoint(conn, frame.body, version);
+    case FrameType::kStats:
+      if (version < 2) return send_error(conn, "STATS requires fabric v2");
+      return handle_stats(conn, frame.body, version);
     case FrameType::kClose:
       return handle_close(conn, frame.body);
     case FrameType::kHealth:
@@ -226,10 +262,17 @@ bool ShardServer::handle_frame(TcpConn& conn,
 }
 
 bool ShardServer::handle_append(TcpConn& conn,
-                                const std::vector<std::uint8_t>& body) {
+                                const std::vector<std::uint8_t>& body,
+                                std::uint8_t version) {
   net::BufReader r(body);
   std::uint32_t slot_id = r.u32();
   std::uint32_t producer = r.u32();
+  std::uint64_t trace_id = 0;
+  std::uint64_t origin_ns = 0;
+  if (version >= 2) {
+    trace_id = r.u64();
+    origin_ns = r.u64();
+  }
   std::uint64_t base = r.u64();
   std::uint32_t count = r.u32();
   if (!r.ok() || producer >= config_.num_producers) {
@@ -245,6 +288,15 @@ bool ShardServer::handle_append(TcpConn& conn,
     }
     lock.lock();
   }
+  // Server half of the RPC trace: a span bound to the client's trace
+  // id, recorded into the slot session's registry/ring so STATS ships
+  // it back for stitching.  Registry lookups here are per-batch, not
+  // per-sub-update — wiring cost amortized over the batch.
+  telemetry::MetricsRegistry& reg = s.session->telemetry();
+  record_ingress_delay(reg, origin_ns);
+  telemetry::ScopedSpan span(&reg.histogram("fabric.server.append_ns"),
+                             &reg.trace(), "fabric.server.append", producer,
+                             trace_id);
   std::lock_guard lane(*s.lane_mu[producer]);
   if (base > s.accepted[producer]) {
     // The client never advances past an unacked frame, so a gap means
@@ -254,7 +306,7 @@ bool ShardServer::handle_append(TcpConn& conn,
                                 std::to_string(s.accepted[producer]));
   }
   for (std::uint32_t i = 0; i < count; ++i) {
-    auto sub = decode_sub_update(r);
+    auto sub = decode_sub_update(r, version);
     if (!sub) return send_error(conn, "malformed sub-update");
     std::uint64_t index = base + i;
     if (index < s.accepted[producer]) continue;  // replay duplicate
@@ -271,14 +323,28 @@ bool ShardServer::handle_append(TcpConn& conn,
 }
 
 bool ShardServer::handle_query(TcpConn& conn,
-                               const std::vector<std::uint8_t>& body) {
+                               const std::vector<std::uint8_t>& body,
+                               std::uint8_t version) {
   net::BufReader r(body);
   std::uint32_t slot_id = r.u32();
+  std::uint64_t trace_id = 0;
+  std::uint64_t origin_ns = 0;
+  if (version >= 2) {
+    trace_id = r.u64();
+    origin_ns = r.u64();
+  }
   if (!r.ok() || !r.at_end()) return send_error(conn, "malformed QUERY");
   Slot& s = slot(slot_id);
   std::shared_lock lock(s.mu);
   std::vector<core::PeerEvent> events;
-  if (s.session) events = s.session->events();
+  std::optional<telemetry::ScopedSpan> span;
+  if (s.session) {
+    telemetry::MetricsRegistry& reg = s.session->telemetry();
+    record_ingress_delay(reg, origin_ns);
+    span.emplace(&reg.histogram("fabric.server.query_ns"), &reg.trace(),
+                 "fabric.server.query", slot_id, trace_id);
+    events = s.session->events();
+  }
   net::BufWriter out;
   out.u32(static_cast<std::uint32_t>(events.size()));
   for (const auto& event : events) {
@@ -291,14 +357,26 @@ bool ShardServer::handle_query(TcpConn& conn,
 }
 
 bool ShardServer::handle_checkpoint(TcpConn& conn,
-                                    const std::vector<std::uint8_t>& body) {
+                                    const std::vector<std::uint8_t>& body,
+                                    std::uint8_t version) {
   net::BufReader r(body);
   std::uint32_t slot_id = r.u32();
+  std::uint64_t trace_id = 0;
+  std::uint64_t origin_ns = 0;
+  if (version >= 2) {
+    trace_id = r.u64();
+    origin_ns = r.u64();
+  }
   if (!r.ok() || !r.at_end()) return send_error(conn, "malformed CHECKPOINT");
   Slot& s = slot(slot_id);
   std::unique_lock lock(s.mu);
   bool ok = false;
   if (s.session && !s.session->closed()) {
+    telemetry::MetricsRegistry& reg = s.session->telemetry();
+    record_ingress_delay(reg, origin_ns);
+    telemetry::ScopedSpan span(&reg.histogram("fabric.server.checkpoint_ns"),
+                               &reg.trace(), "fabric.server.checkpoint",
+                               slot_id, trace_id);
     // Drain first: at a fully drained cut the per-producer watermark
     // sums equal the accepted counts — the invariant HELLO's resume
     // index depends on.
@@ -313,6 +391,60 @@ bool ShardServer::handle_checkpoint(TcpConn& conn,
     ack.u64(s.durable[p]);
   }
   return conn.send_frame(FrameType::kCheckpointAck, ack.data());
+}
+
+bool ShardServer::handle_stats(TcpConn& conn,
+                               const std::vector<std::uint8_t>& body,
+                               std::uint8_t version) {
+  (void)version;  // v2-gated by handle_frame
+  net::BufReader r(body);
+  const std::uint64_t trace_id = r.u64();
+  (void)trace_id;  // carried for symmetry; STATS itself is not traced
+  const std::uint64_t origin_ns = r.u64();
+  std::uint32_t max_spans = r.u32();
+  if (!r.ok() || !r.at_end()) return send_error(conn, "malformed STATS");
+  // Collect slot ids first, then take each slot's shared lock without
+  // holding the directory mutex (a concurrent APPEND must not block on
+  // a fleet scrape).
+  std::vector<std::uint32_t> ids;
+  {
+    std::lock_guard lock(slots_mu_);
+    ids.reserve(slots_.size());
+    for (const auto& [id, s] : slots_) ids.push_back(id);
+  }
+  net::BufWriter out;
+  std::size_t n_slots = 0;
+  const std::size_t count_pos = out.size();
+  out.u32(0);  // patched below
+  for (std::uint32_t id : ids) {
+    Slot& s = slot(id);
+    std::shared_lock lock(s.mu);
+    if (s.released || !s.session) continue;
+    telemetry::MetricsRegistry& reg = s.session->telemetry();
+    record_ingress_delay(reg, origin_ns);
+    telemetry::SlotTelemetry slot_telemetry;
+    slot_telemetry.slot = id;
+    slot_telemetry.metrics = reg.snapshot();
+    auto records = reg.trace().recent();
+    const std::size_t first = records.size() > max_spans
+                                  ? records.size() - max_spans
+                                  : 0;  // newest max_spans records
+    slot_telemetry.spans.reserve(records.size() - first);
+    for (std::size_t i = first; i < records.size(); ++i) {
+      const telemetry::TraceRecord& rec = records[i];
+      slot_telemetry.spans.push_back(telemetry::FleetSpan{
+          .label = rec.label,
+          .shard = rec.shard,
+          .duration_ns = rec.duration_ns,
+          .seq = rec.seq,
+          .trace_id = rec.trace_id,
+      });
+    }
+    telemetry::encode_slot_telemetry(slot_telemetry, out);
+    ++n_slots;
+  }
+  out.patch_u32(count_pos, static_cast<std::uint32_t>(n_slots));
+  return conn.send_frame(FrameType::kStatsAck, out.data());
 }
 
 bool ShardServer::handle_close(TcpConn& conn,

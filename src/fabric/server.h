@@ -61,6 +61,10 @@ struct ShardServerConfig {
   core::StudyConfig study;
   std::size_t num_producers = 1;
   telemetry::MetricsRegistry* metrics = nullptr;  // optional, borrowed
+  // Trace-ring configuration for every slot session: enable it so
+  // server-side RPC spans (fabric.server.*) reach the ring and can be
+  // stitched against client spans via STATS / fleet_telemetry().
+  telemetry::TraceConfig trace;
 };
 
 class ShardServer {
@@ -99,10 +103,19 @@ class ShardServer {
   void accept_loop();
   void serve(TcpConn conn);
   // Handlers return false to drop the connection (after kError).
-  bool handle_frame(TcpConn& conn, const TcpConn::FramePayload& frame);
-  bool handle_append(TcpConn& conn, const std::vector<std::uint8_t>& body);
-  bool handle_query(TcpConn& conn, const std::vector<std::uint8_t>& body);
-  bool handle_checkpoint(TcpConn& conn, const std::vector<std::uint8_t>& body);
+  // `version` is the HELLO-negotiated session version: v2+ bodies carry
+  // a trace-context header (u64 trace_id | u64 origin_ns) and v2
+  // sub-updates a trailing ingest stamp.
+  bool handle_frame(TcpConn& conn, const TcpConn::FramePayload& frame,
+                    std::uint8_t version);
+  bool handle_append(TcpConn& conn, const std::vector<std::uint8_t>& body,
+                     std::uint8_t version);
+  bool handle_query(TcpConn& conn, const std::vector<std::uint8_t>& body,
+                    std::uint8_t version);
+  bool handle_checkpoint(TcpConn& conn, const std::vector<std::uint8_t>& body,
+                         std::uint8_t version);
+  bool handle_stats(TcpConn& conn, const std::vector<std::uint8_t>& body,
+                    std::uint8_t version);
   bool handle_close(TcpConn& conn, const std::vector<std::uint8_t>& body);
   bool handle_health(TcpConn& conn);
   bool handle_handoff_fetch(TcpConn& conn,

@@ -58,8 +58,17 @@ struct CollectorSession {
 struct FeedUpdate {
   Platform platform = Platform::kRis;
   bgp::ObservedUpdate update;
+  // Wall-clock ingest stamp (util::wall_clock_ns()), set once at the
+  // producer edge and threaded through the pipeline / fabric so the
+  // e2e.* latency histograms can measure ingest -> detection -> sink
+  // delivery.  0 = unstamped.  Transient: excluded from equality (two
+  // replays of the same feed carry the same updates at different wall
+  // times) and never persisted.
+  std::uint64_t ingest_ns = 0;
 
-  friend bool operator==(const FeedUpdate&, const FeedUpdate&) = default;
+  friend bool operator==(const FeedUpdate& a, const FeedUpdate& b) {
+    return a.platform == b.platform && a.update == b.update;
+  }
 };
 
 struct FleetConfig {

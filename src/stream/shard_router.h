@@ -26,6 +26,7 @@
 #include "bgp/rib.h"
 #include "routing/collectors.h"
 #include "stream/update_block.h"
+#include "util/time.h"
 
 namespace bgpbh::stream {
 
@@ -78,8 +79,14 @@ class ShardRouter {
     if (subs == 0) return;
     bgp::PeerKey peer{fu.update.peer_ip, fu.update.peer_asn};
 
+    // The producer edge: stamp ingest wall time exactly once.  Updates
+    // arriving already stamped (a fabric server re-routing a client's
+    // subs) keep their original stamp so e2e latency spans processes.
+    const std::uint64_t ingest_ns =
+        fu.ingest_ns != 0 ? fu.ingest_ns : util::wall_clock_ns();
+
     if (!zero_copy_) {
-      route_owning(fu, peer, emit);
+      route_owning(fu, ingest_ns, peer, emit);
       return;
     }
 
@@ -88,6 +95,7 @@ class ShardRouter {
     // so nothing allocates once the pool is warm.
     UpdateBlock* block = next_block();
     block->update = fu;
+    block->update.ingest_ns = ingest_ns;
     block->refs.store(static_cast<std::uint32_t>(subs),
                       std::memory_order_relaxed);
     for (std::size_t i = 0; i < body.withdrawn.size(); ++i) {
@@ -108,12 +116,13 @@ class ShardRouter {
   // copy-bound data plane).  Workers feed these to the owning engine
   // entry point.
   template <typename Emit>
-  void route_owning(const routing::FeedUpdate& fu, const bgp::PeerKey& peer,
-                    Emit&& emit) {
+  void route_owning(const routing::FeedUpdate& fu, std::uint64_t ingest_ns,
+                    const bgp::PeerKey& peer, Emit&& emit) {
     const bgp::UpdateBody& body = fu.update.body;
     for (const auto& prefix : body.withdrawn) {
       UpdateBlock* block = next_block();
       materialize_base(fu, *block);
+      block->update.ingest_ns = ingest_ns;
       block->update.update.body.withdrawn.push_back(prefix);
       emit(shard_for(peer, prefix, num_shards_),
            SubUpdateRef{block, 0, SubKind::kOwned});
@@ -121,6 +130,7 @@ class ShardRouter {
     for (const auto& prefix : body.announced) {
       UpdateBlock* block = next_block();
       materialize_base(fu, *block);
+      block->update.ingest_ns = ingest_ns;
       bgp::UpdateBody& sub = block->update.update.body;
       sub.announced.push_back(prefix);
       sub.as_path = body.as_path;

@@ -38,6 +38,11 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
                    "Producer wakeups claimed by the backpressure hysteresis");
   metrics.describe("stream.queue.consumer_wakes",
                    "Worker wakeups claimed after an enqueue");
+  metrics.describe("e2e.detect_latency_ns",
+                   "End-to-end detection latency: wall time from an update's "
+                   "ingest stamp at the producer edge to the engine closing "
+                   "the blackhole event (ns; unstamped/force-closed events "
+                   "excluded)");
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -48,6 +53,8 @@ WorkerPool::WorkerPool(const dictionary::BlackholeDictionary& dictionary,
     shard->watermarks.assign(num_producers_, 0);
     shard->batch_hist = &metrics.shard_histogram("stream.worker.batch_ns", i);
     shard->drain_hist = &metrics.shard_histogram("stream.worker.drain_ns", i);
+    shard->detect_hist =
+        &metrics.shard_histogram("e2e.detect_latency_ns", i);
     shard->queue->bind_instruments(SpscQueue<SubUpdateRef>::Instruments{
         .producer_stalls =
             &metrics.shard_counter("stream.queue.producer_stalls", i),
@@ -141,6 +148,7 @@ void WorkerPool::worker_loop(Shard& shard) {
                           : &fu.update.body.announced[ref.prefix_index];
         view.as_path = &fu.update.body.as_path;
         view.communities = &fu.update.body.communities;
+        view.ingest_ns = fu.ingest_ns;
         shard.engine->process(view);
       }
       if (BlockPool::unref(block)) to_recycle.push_back(block);
@@ -154,15 +162,27 @@ void WorkerPool::worker_loop(Shard& shard) {
     if (since_drain >= drain_batch_) {
       telemetry::ScopedSpan drain_span(shard.drain_hist, trace_,
                                        "worker.drain", shard.index);
-      store_.ingest_chunk(shard.index, shard.engine->drain_closed());
+      drain_into_store(shard);
       since_drain = 0;
     }
   }
   {
     telemetry::ScopedSpan drain_span(shard.drain_hist, trace_, "worker.drain",
                                      shard.index);
-    store_.ingest_chunk(shard.index, shard.engine->drain_closed());
+    drain_into_store(shard);
   }
+}
+
+void WorkerPool::drain_into_store(Shard& shard) {
+  std::vector<core::PeerEvent> chunk = shard.engine->drain_closed();
+  if (shard.detect_hist) {
+    for (const auto& e : chunk) {
+      if (e.ingest_ns != 0 && e.detected_ns > e.ingest_ns) {
+        shard.detect_hist->record(e.detected_ns - e.ingest_ns);
+      }
+    }
+  }
+  store_.ingest_chunk(shard.index, std::move(chunk));
 }
 
 void WorkerPool::capture_rendezvous(Shard& shard) {
@@ -171,7 +191,7 @@ void WorkerPool::capture_rendezvous(Shard& shard) {
   // listener pipelines, and no post-cut chunk can be submitted while
   // the workers are held — that is what makes the coordinator's
   // while_quiesced enqueues an exact cut.
-  store_.ingest_chunk(shard.index, shard.engine->drain_closed());
+  drain_into_store(shard);
   std::unique_lock<std::mutex> lock(rendezvous_mu_);
   if (!capture_active_) return;  // stale flag: capture aborted/finished
   ShardCapture& slot = capture_slots_[shard.index];

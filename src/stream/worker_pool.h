@@ -160,10 +160,15 @@ class WorkerPool {
     // Telemetry (borrowed from the registry; wiring-time only).
     telemetry::LatencyHistogram* batch_hist = nullptr;
     telemetry::LatencyHistogram* drain_hist = nullptr;
+    telemetry::LatencyHistogram* detect_hist = nullptr;
   };
 
   void worker_loop(Shard& shard);
   void capture_rendezvous(Shard& shard);
+  // Drain the shard engine's closed events into the store, recording
+  // e2e.detect_latency_ns (ingest stamp -> engine close) for every
+  // event that carries both stamps.
+  void drain_into_store(Shard& shard);
 
   // One compiled dictionary shared by every shard engine (it is
   // immutable; per-shard copies would just multiply the pools).

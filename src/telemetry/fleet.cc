@@ -1,0 +1,217 @@
+#include "telemetry/fleet.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+namespace bgpbh::telemetry {
+
+namespace {
+
+// Structural caps: a STATS payload rides inside a CRC-framed fabric
+// frame (integrity is the frame's job), but a decoder handed garbage
+// must still fail fast instead of allocating gigabytes.
+constexpr std::uint32_t kMaxMetrics = 65536;
+constexpr std::uint32_t kMaxPerShard = 65536;
+constexpr std::uint32_t kMaxBuckets = 65536;
+constexpr std::uint32_t kMaxSpans = 65536;
+constexpr std::uint16_t kMaxNameLen = 1024;
+constexpr std::uint16_t kMaxHelpLen = 4096;
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bits_double(std::uint64_t v) { return std::bit_cast<double>(v); }
+
+std::optional<std::string> read_string(net::BufReader& in,
+                                       std::uint16_t max_len) {
+  const std::uint16_t len = in.u16();
+  if (!in.ok() || len > max_len) return std::nullopt;
+  auto bytes = in.bytes(len);
+  if (!in.ok()) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+}  // namespace
+
+void encode_snapshot(const MetricsRegistry::Snapshot& snap,
+                     net::BufWriter& out) {
+  out.u32(static_cast<std::uint32_t>(snap.metrics.size()));
+  for (const auto& m : snap.metrics) {
+    out.u16(static_cast<std::uint16_t>(m.name.size()));
+    out.str(m.name);
+    out.u8(static_cast<std::uint8_t>(m.kind));
+    out.u16(static_cast<std::uint16_t>(m.help.size()));
+    out.str(m.help);
+    out.u64(double_bits(m.value));
+    out.u32(static_cast<std::uint32_t>(m.per_shard.size()));
+    for (const auto& [shard, v] : m.per_shard) {
+      out.u64(static_cast<std::uint64_t>(shard));
+      out.u64(double_bits(v));
+    }
+    out.u64(m.hist.count);
+    out.u64(m.hist.sum);
+    out.u64(m.hist.min);
+    out.u64(m.hist.max);
+    out.u32(static_cast<std::uint32_t>(m.hist.buckets.size()));
+    for (const auto& [upper, cumulative] : m.hist.buckets) {
+      out.u64(upper);
+      out.u64(cumulative);
+    }
+  }
+}
+
+std::optional<MetricsRegistry::Snapshot> decode_snapshot(net::BufReader& in) {
+  MetricsRegistry::Snapshot snap;
+  const std::uint32_t n_metrics = in.u32();
+  if (!in.ok() || n_metrics > kMaxMetrics) return std::nullopt;
+  snap.metrics.reserve(n_metrics);
+  for (std::uint32_t i = 0; i < n_metrics; ++i) {
+    MetricsRegistry::Metric m;
+    auto name = read_string(in, kMaxNameLen);
+    if (!name || name->empty()) return std::nullopt;
+    m.name = std::move(*name);
+    const std::uint8_t kind = in.u8();
+    if (!in.ok() || kind > static_cast<std::uint8_t>(MetricKind::kHistogram)) {
+      return std::nullopt;
+    }
+    m.kind = static_cast<MetricKind>(kind);
+    auto help = read_string(in, kMaxHelpLen);
+    if (!help) return std::nullopt;
+    m.help = std::move(*help);
+    m.value = bits_double(in.u64());
+    const std::uint32_t n_per_shard = in.u32();
+    if (!in.ok() || n_per_shard > kMaxPerShard) return std::nullopt;
+    m.per_shard.reserve(n_per_shard);
+    for (std::uint32_t s = 0; s < n_per_shard; ++s) {
+      const std::uint64_t shard = in.u64();
+      const double v = bits_double(in.u64());
+      m.per_shard.emplace_back(static_cast<std::size_t>(shard), v);
+    }
+    m.hist.count = in.u64();
+    m.hist.sum = in.u64();
+    m.hist.min = in.u64();
+    m.hist.max = in.u64();
+    const std::uint32_t n_buckets = in.u32();
+    if (!in.ok() || n_buckets > kMaxBuckets) return std::nullopt;
+    m.hist.buckets.reserve(n_buckets);
+    std::uint64_t prev_upper = 0;
+    std::uint64_t prev_cumulative = 0;
+    for (std::uint32_t b = 0; b < n_buckets; ++b) {
+      const std::uint64_t upper = in.u64();
+      const std::uint64_t cumulative = in.u64();
+      // Bucket series are strictly increasing in upper bound and
+      // non-decreasing cumulatively — anything else is corruption.
+      if (b > 0 && upper <= prev_upper) return std::nullopt;
+      if (cumulative < prev_cumulative) return std::nullopt;
+      prev_upper = upper;
+      prev_cumulative = cumulative;
+      m.hist.buckets.emplace_back(upper, cumulative);
+    }
+    if (!in.ok()) return std::nullopt;
+    snap.metrics.push_back(std::move(m));
+  }
+  if (!in.ok()) return std::nullopt;
+  return snap;
+}
+
+void encode_spans(const std::vector<FleetSpan>& spans, net::BufWriter& out) {
+  out.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const auto& s : spans) {
+    out.u16(static_cast<std::uint16_t>(s.label.size()));
+    out.str(s.label);
+    out.u32(s.shard);
+    out.u64(s.duration_ns);
+    out.u64(s.seq);
+    out.u64(s.trace_id);
+  }
+}
+
+std::optional<std::vector<FleetSpan>> decode_spans(net::BufReader& in) {
+  const std::uint32_t n = in.u32();
+  if (!in.ok() || n > kMaxSpans) return std::nullopt;
+  std::vector<FleetSpan> spans;
+  spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    FleetSpan s;
+    auto label = read_string(in, kMaxNameLen);
+    if (!label) return std::nullopt;
+    s.label = std::move(*label);
+    s.shard = in.u32();
+    s.duration_ns = in.u64();
+    s.seq = in.u64();
+    s.trace_id = in.u64();
+    if (!in.ok()) return std::nullopt;
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+void encode_slot_telemetry(const SlotTelemetry& slot, net::BufWriter& out) {
+  out.u32(slot.slot);
+  encode_snapshot(slot.metrics, out);
+  encode_spans(slot.spans, out);
+}
+
+std::optional<SlotTelemetry> decode_slot_telemetry(net::BufReader& in) {
+  SlotTelemetry slot;
+  slot.slot = in.u32();
+  if (!in.ok()) return std::nullopt;
+  auto snap = decode_snapshot(in);
+  if (!snap) return std::nullopt;
+  slot.metrics = std::move(*snap);
+  auto spans = decode_spans(in);
+  if (!spans) return std::nullopt;
+  slot.spans = std::move(*spans);
+  return slot;
+}
+
+void fold_slot_metrics(const MetricsRegistry::Snapshot& slot_snapshot,
+                       std::uint32_t global_slot,
+                       MetricsRegistry::Snapshot& into) {
+  for (const auto& m : slot_snapshot.metrics) {
+    auto it = std::lower_bound(
+        into.metrics.begin(), into.metrics.end(), m.name,
+        [](const MetricsRegistry::Metric& a, const std::string& n) {
+          return a.name < n;
+        });
+    if (it == into.metrics.end() || it->name != m.name) {
+      MetricsRegistry::Metric folded;
+      folded.name = m.name;
+      folded.kind = m.kind;
+      folded.help = m.help;
+      it = into.metrics.insert(it, std::move(folded));
+    } else if (it->kind != m.kind) {
+      continue;  // kind conflict across slots: first kind wins
+    }
+    if (it->help.empty()) it->help = m.help;
+    const double slot_value = m.kind == MetricKind::kHistogram
+                                  ? static_cast<double>(m.hist.count)
+                                  : m.value;
+    if (m.kind == MetricKind::kHistogram) {
+      it->hist.merge_from(m.hist);
+      it->value = static_cast<double>(it->hist.count);
+    } else {
+      it->value += m.value;
+    }
+    // The fleet view's split is per-slot, not per-local-shard: one
+    // label per global slot id, carrying that slot's folded value.
+    it->per_shard.emplace_back(static_cast<std::size_t>(global_slot),
+                               slot_value);
+  }
+}
+
+MetricsRegistry::Snapshot fold_fleet(
+    const std::vector<EndpointTelemetry>& endpoints) {
+  MetricsRegistry::Snapshot folded;
+  for (const auto& ep : endpoints) {
+    for (const auto& slot : ep.slots) {
+      fold_slot_metrics(slot.metrics, slot.slot, folded);
+    }
+  }
+  for (auto& m : folded.metrics) {
+    std::sort(m.per_shard.begin(), m.per_shard.end());
+  }
+  return folded;
+}
+
+}  // namespace bgpbh::telemetry

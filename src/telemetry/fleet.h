@@ -1,0 +1,119 @@
+// Fleet-wide observability: the plain-data types, wire codecs, and
+// fold logic behind `FabricRouter::fleet_telemetry()`.
+//
+// A shard-server slot answers a fabric STATS request with one
+// SlotTelemetry — its session's full MetricsRegistry snapshot plus the
+// recent slow spans from its TraceRing.  The router scatter-gathers
+// one per slot per endpoint and folds everything into a single
+// Snapshot view of the fleet:
+//   * counters and gauges sum across slots;
+//   * histograms merge bucket-exactly (HistogramSnapshot::merge_from,
+//     the same rebuild-then-reaccumulate fold the per-shard snapshot
+//     path uses), so fleet percentiles are as trustworthy as local
+//     ones;
+//   * per_shard splits are re-keyed by GLOBAL SLOT ID — the folded
+//     view exports `{shard="<slot>"}` labels through the existing
+//     Prometheus exporter with zero exporter changes.
+//
+// The codecs ride inside CRC-framed fabric frames, so they validate
+// structure (caps, kind ranges, monotone bucket series), not
+// integrity.  Everything here is fabric-agnostic: no socket or
+// protocol dependency, just BufWriter/BufReader.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/bytes.h"
+#include "telemetry/metrics.h"
+
+namespace bgpbh::telemetry {
+
+// One slow-span record shipped across the fabric.  Mirrors
+// TraceRecord, with the label copied out of the remote process (ring
+// labels are string literals — pointers are meaningless off-process).
+struct FleetSpan {
+  std::string label;
+  std::uint32_t shard = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t trace_id = 0;
+
+  friend bool operator==(const FleetSpan&, const FleetSpan&) = default;
+};
+
+// Everything one slot reports in a STATS response.
+struct SlotTelemetry {
+  std::uint32_t slot = 0;
+  MetricsRegistry::Snapshot metrics;
+  std::vector<FleetSpan> spans;
+};
+
+// Per-endpoint gather result (diagnostic split kept alongside the
+// folded view).
+struct EndpointTelemetry {
+  std::string endpoint;
+  std::vector<SlotTelemetry> slots;
+};
+
+// A client-side RPC span matched with the server-side span that
+// carried the same trace id: attributes a slow RPC's wall time to the
+// wire/queue vs. the remote engine.
+struct StitchedRpc {
+  std::uint64_t trace_id = 0;
+  std::string client_label;
+  std::string server_label;
+  std::uint32_t slot = 0;
+  std::uint64_t client_ns = 0;      // full RPC as the router saw it
+  std::uint64_t server_ns = 0;      // server-side handler span
+  std::uint64_t wire_queue_ns = 0;  // client_ns - server_ns, clamped >= 0
+};
+
+// What fleet_telemetry() returns.
+struct FleetTelemetry {
+  MetricsRegistry::Snapshot folded;          // fleet-wide folded view
+  std::vector<EndpointTelemetry> endpoints;  // per-endpoint raw gather
+  std::vector<StitchedRpc> stitched;         // client+server span pairs
+};
+
+// ---- wire codecs ------------------------------------------------------------
+// Layouts (all big-endian, length-prefixed strings):
+//   snapshot := u32 n_metrics, n × metric
+//   metric   := u16 name_len, name, u8 kind, u16 help_len, help,
+//               u64 value_bits, u32 n_per_shard, n × (u64 shard,
+//               u64 value_bits), u64 count, u64 sum, u64 min, u64 max,
+//               u32 n_buckets, n × (u64 upper, u64 cumulative)
+//   spans    := u32 n, n × (u16 label_len, label, u32 shard,
+//               u64 duration_ns, u64 seq, u64 trace_id)
+//   slot     := u32 slot, snapshot, spans
+// Doubles travel as IEEE-754 bit patterns in u64.  Decoders enforce
+// structural caps and monotone bucket series; they never throw.
+
+void encode_snapshot(const MetricsRegistry::Snapshot& snap,
+                     net::BufWriter& out);
+std::optional<MetricsRegistry::Snapshot> decode_snapshot(net::BufReader& in);
+
+void encode_spans(const std::vector<FleetSpan>& spans, net::BufWriter& out);
+std::optional<std::vector<FleetSpan>> decode_spans(net::BufReader& in);
+
+void encode_slot_telemetry(const SlotTelemetry& slot, net::BufWriter& out);
+std::optional<SlotTelemetry> decode_slot_telemetry(net::BufReader& in);
+
+// ---- fold -------------------------------------------------------------------
+
+// Folds one slot's snapshot into `into`, re-keying every per-metric
+// split by `global_slot`.  Counters/gauges sum; histograms merge
+// bucket-exactly; a metric's per_shard gains one (global_slot, folded
+// value) entry.  Metrics whose kind conflicts with an already-folded
+// name are skipped (first kind wins).
+void fold_slot_metrics(const MetricsRegistry::Snapshot& slot_snapshot,
+                       std::uint32_t global_slot,
+                       MetricsRegistry::Snapshot& into);
+
+// Folds every slot of every endpoint into one name-sorted Snapshot.
+MetricsRegistry::Snapshot fold_fleet(
+    const std::vector<EndpointTelemetry>& endpoints);
+
+}  // namespace bgpbh::telemetry

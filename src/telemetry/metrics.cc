@@ -20,6 +20,37 @@ double HistogramSnapshot::percentile(double q) const {
   return buckets.empty() ? 0.0 : static_cast<double>(buckets.back().first);
 }
 
+void HistogramSnapshot::merge_from(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+
+  // Same bucket-exact merge as LatencyHistogram::fold_into: rebuild
+  // the (upper bound -> per-bucket count) map from both cumulative
+  // series, then re-accumulate.  Merging N snapshots is bucket-wise
+  // identical to one histogram having recorded every value.
+  std::map<std::uint64_t, std::uint64_t> per_bucket;
+  std::uint64_t prev = 0;
+  for (const auto& [upper, cumulative] : buckets) {
+    per_bucket[upper] += cumulative - prev;
+    prev = cumulative;
+  }
+  prev = 0;
+  for (const auto& [upper, cumulative] : other.buckets) {
+    per_bucket[upper] += cumulative - prev;
+    prev = cumulative;
+  }
+  buckets.clear();
+  buckets.reserve(per_bucket.size());
+  std::uint64_t cumulative = 0;
+  for (const auto& [upper, n] : per_bucket) {
+    cumulative += n;
+    buckets.emplace_back(upper, cumulative);
+  }
+}
+
 std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t bucket) {
   if (bucket < kSub) return bucket;  // exact buckets 0..7
   const std::size_t major = bucket / kSub;

@@ -94,6 +94,12 @@ struct HistogramSnapshot {
   // whose cumulative count reaches q*count (≤12.5% above the true
   // quantile by bucket construction).
   double percentile(double q) const;
+
+  // Bucket-exact merge of another snapshot into this one — the same
+  // rebuild-then-reaccumulate fold LatencyHistogram::fold_into uses,
+  // lifted to snapshot×snapshot so fleet aggregation can fold remote
+  // histograms without access to the live instruments.
+  void merge_from(const HistogramSnapshot& other);
 };
 
 // Fixed-size log-bucketed latency histogram (nanosecond domain, but

@@ -10,7 +10,7 @@ ScopedSpan::~ScopedSpan() {
           std::chrono::steady_clock::now() - start_)
           .count());
   if (hist_) hist_->record(ns);
-  if (ring_) ring_->maybe_record(label_, shard_, ns);
+  if (ring_) ring_->maybe_record(label_, shard_, ns, trace_id_);
 }
 
 }  // namespace bgpbh::telemetry

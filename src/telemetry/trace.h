@@ -29,6 +29,10 @@ struct TraceConfig {
   // Spans shorter than this never reach the ring (histograms see every
   // span regardless).
   std::uint64_t slow_threshold_ns = 1'000'000;  // 1 ms
+  // Ring capacity: how many slow records are retained before the
+  // oldest is overwritten.  Reconfiguring to a different capacity
+  // clears the ring (capacity changes are wiring-time operations).
+  std::size_t capacity = 256;
 };
 
 struct TraceRecord {
@@ -36,39 +40,59 @@ struct TraceRecord {
   std::uint32_t shard = 0;      // shard / producer / sink index
   std::uint64_t duration_ns = 0;
   std::uint64_t seq = 0;        // monotone; orders records across shards
+  // Distributed trace correlation id (0 = span not part of an RPC).
+  // The fabric router stamps one per RPC and the shard server opens
+  // server-side spans bound to the same id, so fleet_telemetry() can
+  // stitch client and server halves back together.
+  std::uint64_t trace_id = 0;
 };
 
 class TraceRing {
  public:
-  static constexpr std::size_t kCapacity = 256;
+  static constexpr std::size_t kCapacity = 256;  // default capacity
 
   void configure(const TraceConfig& config) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::size_t cap = config.capacity ? config.capacity : 1;
+      if (cap != slots_.size()) {
+        slots_.assign(cap, TraceRecord{});
+        next_ = 0;
+      }
+    }
     threshold_ns_.store(config.slow_threshold_ns, std::memory_order_relaxed);
     enabled_.store(config.enabled, std::memory_order_release);
   }
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+
   // One relaxed load when disabled; mutex only for qualifying spans.
   void maybe_record(const char* label, std::uint32_t shard,
-                    std::uint64_t duration_ns) {
+                    std::uint64_t duration_ns, std::uint64_t trace_id = 0) {
     if (!enabled()) return;
     if (duration_ns < threshold_ns_.load(std::memory_order_relaxed)) return;
     std::lock_guard<std::mutex> lock(mu_);
-    TraceRecord& slot = slots_[next_ % kCapacity];
+    TraceRecord& slot = slots_[next_ % slots_.size()];
     slot.label = label;
     slot.shard = shard;
     slot.duration_ns = duration_ns;
     slot.seq = next_++;
+    slot.trace_id = trace_id;
   }
 
-  // Records captured so far, oldest first (at most kCapacity).
+  // Records captured so far, oldest first (at most capacity()).
   std::vector<TraceRecord> recent() const {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<TraceRecord> out;
-    const std::uint64_t n = next_ < kCapacity ? next_ : kCapacity;
+    const std::uint64_t cap = slots_.size();
+    const std::uint64_t n = next_ < cap ? next_ : cap;
     out.reserve(n);
     for (std::uint64_t i = next_ - n; i < next_; ++i) {
-      out.push_back(slots_[i % kCapacity]);
+      out.push_back(slots_[i % cap]);
     }
     return out;
   }
@@ -82,8 +106,9 @@ class TraceRing {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> threshold_ns_{1'000'000};
   mutable std::mutex mu_;
-  TraceRecord slots_[kCapacity] = {};
-  std::uint64_t next_ = 0;  // guarded by mu_
+  std::vector<TraceRecord> slots_ =
+      std::vector<TraceRecord>(kCapacity);  // guarded by mu_
+  std::uint64_t next_ = 0;                  // guarded by mu_
 };
 
 // Times its scope and, on destruction, records the elapsed nanoseconds
@@ -93,9 +118,9 @@ class TraceRing {
 class ScopedSpan {
  public:
   ScopedSpan(LatencyHistogram* hist, TraceRing* ring, const char* label,
-             std::uint32_t shard = 0)
+             std::uint32_t shard = 0, std::uint64_t trace_id = 0)
       : hist_(hist), ring_(ring), label_(label), shard_(shard),
-        start_(std::chrono::steady_clock::now()) {}
+        trace_id_(trace_id), start_(std::chrono::steady_clock::now()) {}
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -107,6 +132,7 @@ class ScopedSpan {
   TraceRing* ring_;
   const char* label_;
   std::uint32_t shard_;
+  std::uint64_t trace_id_;
   std::chrono::steady_clock::time_point start_;
 };
 

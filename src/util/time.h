@@ -5,12 +5,24 @@
 // 2017; the "March 2017" snapshot is used for the dataset overview.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 namespace bgpbh::util {
 
 using SimTime = std::int64_t;  // seconds since 1970-01-01T00:00:00Z
+
+// Wall-clock nanoseconds since the Unix epoch — the e2e latency stamp
+// carried on FeedUpdates from the producer edge to event close and sink
+// delivery.  Wall clock (not steady) so the stamp stays meaningful
+// across process boundaries in the shard fabric.
+inline std::uint64_t wall_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 inline constexpr SimTime kSecond = 1;
 inline constexpr SimTime kMinute = 60;

@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +36,8 @@
 #include "net/bytes.h"
 #include "storage/wire.h"
 #include "stream/pipeline.h"
+#include "telemetry/fleet.h"
+#include "telemetry/metrics.h"
 
 namespace bgpbh::fabric {
 namespace {
@@ -100,7 +103,7 @@ struct ServerProc {
   std::string dir;
 
   static ServerProc spawn(const std::string& dir, std::size_t producers,
-                          std::uint16_t port = 0) {
+                          std::uint16_t port = 0, bool trace = false) {
     ServerProc proc;
     proc.dir = dir;
     int fds[2] = {-1, -1};
@@ -113,21 +116,26 @@ struct ServerProc {
       dup2(fds[1], STDOUT_FILENO);
       close(fds[0]);
       close(fds[1]);
-      char* argv[] = {const_cast<char*>(path.c_str()),
-                      const_cast<char*>("--dir"),
-                      const_cast<char*>(dir.c_str()),
-                      const_cast<char*>("--producers"),
-                      const_cast<char*>(s_producers.c_str()),
-                      const_cast<char*>("--port"),
-                      const_cast<char*>(s_port.c_str()),
-                      const_cast<char*>("--window-start"),
-                      const_cast<char*>("2017-03-01"),
-                      const_cast<char*>("--window-end"),
-                      const_cast<char*>("2017-03-03"),
-                      const_cast<char*>("--intensity"),
-                      const_cast<char*>("0.05"),
-                      nullptr};
-      execv(path.c_str(), argv);
+      std::vector<char*> argv = {const_cast<char*>(path.c_str()),
+                                 const_cast<char*>("--dir"),
+                                 const_cast<char*>(dir.c_str()),
+                                 const_cast<char*>("--producers"),
+                                 const_cast<char*>(s_producers.c_str()),
+                                 const_cast<char*>("--port"),
+                                 const_cast<char*>(s_port.c_str()),
+                                 const_cast<char*>("--window-start"),
+                                 const_cast<char*>("2017-03-01"),
+                                 const_cast<char*>("--window-end"),
+                                 const_cast<char*>("2017-03-03"),
+                                 const_cast<char*>("--intensity"),
+                                 const_cast<char*>("0.05")};
+      if (trace) {
+        argv.push_back(const_cast<char*>("--trace"));
+        argv.push_back(const_cast<char*>("--trace-threshold-ns"));
+        argv.push_back(const_cast<char*>("0"));
+      }
+      argv.push_back(nullptr);
+      execv(path.c_str(), argv.data());
       _exit(127);
     }
     close(fds[1]);
@@ -394,6 +402,143 @@ TEST(FabricCrash, SigkilledServerRecoversAndReplayCompletes) {
       << "the kill was never even noticed — crash path not exercised";
   EXPECT_TRUE(session.events() == base.events)
       << "post-crash event set diverged: replay lost or duplicated updates";
+  session.fabric()->shutdown_endpoints();
+  for (ServerProc* s : {&s0, &s1}) {
+    int status = s->wait_exit();
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  fs::remove_all(dir0);
+  fs::remove_all(dir1);
+}
+
+// ---- fleet observability: STATS gather + fold, across a crash ---------
+//
+// From a single client, fleet_telemetry() must return a folded registry
+// covering every slot of a live two-process fleet — and the fold must
+// be exactly the sum of the per-slot views it gathered: counters and
+// gauges sum, histograms merge bucket-exactly.  Run it across a
+// SIGKILL + same-port restart so the gather also proves STATS works
+// against a recovered server, not just a pristine one.
+
+TEST(FabricFleetTelemetry, FoldedViewEqualsPerSlotSumAfterCrash) {
+  const Baseline& base = baseline();
+  ASSERT_FALSE(base.events.empty());
+  const std::size_t slots = 3;
+  std::string dir0 = temp_dir("bgpbh_fabric_fleet_0");
+  std::string dir1 = temp_dir("bgpbh_fabric_fleet_1");
+  ServerProc s0 = ServerProc::spawn(dir0, 1, 0, /*trace=*/true);
+  ServerProc s1 = ServerProc::spawn(dir1, 1, 0, /*trace=*/true);
+  ASSERT_TRUE(s0.valid());
+  ASSERT_TRUE(s1.valid());
+  std::vector<ServerProc*> refs = {&s0, &s1};
+  api::SessionConfig config = fabric_session_config(slots, 1, refs);
+  // Client-side ring on, threshold 0: every RPC span is recorded, so
+  // the stitch pass below has client spans to match server spans with.
+  config.trace.enabled = true;
+  config.trace.slow_threshold_ns = 0;
+  api::AnalysisSession session(config);
+  const auto& updates = base.updates;
+  const std::size_t checkpoint_at = updates.size() / 3;
+  const std::size_t kill_at = updates.size() / 2;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (i == checkpoint_at) ASSERT_TRUE(session.checkpoint_now());
+    if (i == kill_at) {
+      std::uint16_t port = s0.port;
+      s0.kill_hard();
+      s0 = ServerProc::spawn(dir0, 1, port, /*trace=*/true);
+      ASSERT_TRUE(s0.valid());
+    }
+    session.push(updates[i], 0);
+  }
+  session.flush(0);
+  session.close(study_config().window_end);
+  EXPECT_GT(session.fabric()->reconnects(), 0u);
+  EXPECT_TRUE(session.events() == base.events);
+
+  telemetry::FleetTelemetry fleet = session.fabric()->fleet_telemetry();
+
+  // Every slot of the fleet answered, each exactly once.
+  std::size_t gathered = 0;
+  std::vector<bool> seen(slots, false);
+  for (const auto& ep : fleet.endpoints) {
+    for (const auto& slot : ep.slots) {
+      ASSERT_LT(slot.slot, slots);
+      EXPECT_FALSE(seen[slot.slot]) << "slot " << slot.slot << " twice";
+      seen[slot.slot] = true;
+      ++gathered;
+    }
+  }
+  EXPECT_EQ(gathered, slots);
+
+  // Reference fold: plain summation for counters/gauges, and
+  // HistogramSnapshot::merge_from for histograms (itself verified
+  // bucket-exact against a single instrument in test_telemetry).
+  std::map<std::string, double> summed;
+  std::map<std::string, telemetry::HistogramSnapshot> merged;
+  for (const auto& ep : fleet.endpoints) {
+    for (const auto& slot : ep.slots) {
+      for (const auto& m : slot.metrics.metrics) {
+        if (m.kind == telemetry::MetricKind::kHistogram) {
+          merged[m.name].merge_from(m.hist);
+        } else {
+          summed[m.name] += m.value;
+        }
+      }
+    }
+  }
+  for (const auto& [name, total] : summed) {
+    const auto* m = fleet.folded.find(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_DOUBLE_EQ(m->value, total) << name;
+  }
+  for (const auto& [name, hist] : merged) {
+    const auto* m = fleet.folded.find(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->hist.count, hist.count) << name;
+    EXPECT_EQ(m->hist.sum, hist.sum) << name;
+    if (hist.count > 0) {
+      EXPECT_EQ(m->hist.min, hist.min) << name;
+      EXPECT_EQ(m->hist.max, hist.max) << name;
+    }
+    EXPECT_EQ(m->hist.buckets, hist.buckets) << name;
+  }
+
+  // The folded view carries the remote pipelines' substance: the
+  // servers measured ingest->close latency end-to-end from the stamps
+  // the v2 sub-updates carried across the wire.
+  const auto* detect = fleet.folded.find("e2e.detect_latency_ns");
+  ASSERT_NE(detect, nullptr);
+  EXPECT_GT(detect->hist.count, 0u);
+  const auto* appends = fleet.folded.find("fabric.server.append_ns");
+  ASSERT_NE(appends, nullptr);
+  EXPECT_GT(appends->hist.count, 0u);
+
+  // Observability metrics document themselves: every fabric.* and
+  // e2e.* metric in the folded view ships non-empty HELP text.
+  for (const auto& m : fleet.folded.metrics) {
+    if (m.name.rfind("fabric.", 0) == 0 || m.name.rfind("e2e.", 0) == 0) {
+      EXPECT_FALSE(m.help.empty()) << m.name;
+    }
+  }
+
+  // Trace propagation: with both rings on at threshold 0, the newest
+  // appends live in the client ring AND the server slot rings under
+  // the same trace id, so the stitch pass pairs at least one RPC and
+  // attributes its time: client_ns >= server span -> wire_queue_ns is
+  // the clamped difference.
+  EXPECT_FALSE(fleet.stitched.empty());
+  for (const auto& s : fleet.stitched) {
+    EXPECT_NE(s.trace_id, 0u);
+    EXPECT_FALSE(s.client_label.empty());
+    EXPECT_FALSE(s.server_label.empty());
+    if (s.client_ns >= s.server_ns) {
+      EXPECT_EQ(s.wire_queue_ns, s.client_ns - s.server_ns);
+    } else {
+      EXPECT_EQ(s.wire_queue_ns, 0u);
+    }
+  }
+
   session.fabric()->shutdown_endpoints();
   for (ServerProc* s : {&s0, &s1}) {
     int status = s->wait_exit();

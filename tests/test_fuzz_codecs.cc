@@ -9,9 +9,12 @@
 
 #include "bgp/mrt.h"
 #include "bgp/update.h"
+#include "fabric/protocol.h"
 #include "flows/ipfix.h"
 #include "recovery/checkpoint.h"
+#include "routing/collectors.h"
 #include "storage/record_codec.h"
+#include "telemetry/fleet.h"
 #include "util/rng.h"
 
 namespace bgpbh {
@@ -425,6 +428,249 @@ TEST_P(FuzzSeedTest, TornNewestCheckpointFileFallsBackToPreviousOnDisk) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(loaded->checkpoint == cp2);
   fs::remove_all(dir);
+}
+
+// ---- fleet telemetry codecs (src/telemetry/fleet.h) -------------------
+// These ride inside CRC-framed fabric frames, so the decoders validate
+// structure only — the sweeps below prove they do it without crashing
+// or over-reading on arbitrary input.
+
+std::string random_label(util::Rng& rng, std::size_t max_len) {
+  std::string s(1 + rng.uniform(max_len), '\0');
+  for (auto& c : s) {
+    c = static_cast<char>('a' + rng.uniform(26));
+  }
+  return s;
+}
+
+telemetry::MetricsRegistry::Snapshot random_fleet_snapshot(util::Rng& rng) {
+  telemetry::MetricsRegistry::Snapshot snap;
+  const std::size_t n = 1 + rng.uniform(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    telemetry::MetricsRegistry::Metric m;
+    m.name = random_label(rng, 24) + "." + std::to_string(i);
+    m.kind = static_cast<telemetry::MetricKind>(rng.uniform(3));
+    if (rng.uniform(3) != 0) m.help = random_label(rng, 40);
+    // Values come from integer draws: bit-exact through the u64
+    // encoding and never NaN (NaN would break the == comparisons).
+    m.value = static_cast<double>(rng.next_u64() % (1ull << 40));
+    for (std::size_t s = rng.uniform(4); s > 0; --s) {
+      m.per_shard.emplace_back(rng.uniform(64),
+                               static_cast<double>(rng.uniform(1 << 20)));
+    }
+    if (m.kind == telemetry::MetricKind::kHistogram) {
+      m.hist.count = rng.uniform(1 << 16);
+      m.hist.sum = rng.next_u64() % (1ull << 40);
+      m.hist.min = rng.uniform(1 << 10);
+      m.hist.max = m.hist.min + rng.uniform(1 << 10);
+      // Decoder contract: strictly increasing uppers, non-decreasing
+      // cumulatives (cumulative totals need NOT equal count — live
+      // registries fold racy relaxed atomics).
+      std::uint64_t upper = 0, cumulative = 0;
+      for (std::size_t b = rng.uniform(6); b > 0; --b) {
+        upper += 1 + rng.uniform(1 << 12);
+        cumulative += rng.uniform(1 << 10);
+        m.hist.buckets.emplace_back(upper, cumulative);
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+std::vector<telemetry::FleetSpan> random_fleet_spans(util::Rng& rng) {
+  std::vector<telemetry::FleetSpan> spans(rng.uniform(6));
+  for (auto& s : spans) {
+    s.label = random_label(rng, 32);
+    s.shard = static_cast<std::uint32_t>(rng.uniform(64));
+    s.duration_ns = rng.next_u64() % (1ull << 40);
+    s.seq = rng.next_u64() % (1ull << 30);
+    s.trace_id = rng.next_u64();
+  }
+  return spans;
+}
+
+void expect_snapshot_eq(const telemetry::MetricsRegistry::Snapshot& a,
+                        const telemetry::MetricsRegistry::Snapshot& b) {
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    const auto& ma = a.metrics[i];
+    const auto& mb = b.metrics[i];
+    EXPECT_EQ(ma.name, mb.name);
+    EXPECT_EQ(ma.kind, mb.kind);
+    EXPECT_EQ(ma.help, mb.help);
+    EXPECT_EQ(ma.value, mb.value);
+    EXPECT_EQ(ma.per_shard, mb.per_shard);
+    EXPECT_EQ(ma.hist.count, mb.hist.count);
+    EXPECT_EQ(ma.hist.sum, mb.hist.sum);
+    EXPECT_EQ(ma.hist.min, mb.hist.min);
+    EXPECT_EQ(ma.hist.max, mb.hist.max);
+    EXPECT_EQ(ma.hist.buckets, mb.hist.buckets);
+  }
+}
+
+TEST_P(FuzzSeedTest, FleetSlotTelemetryRoundTripsRandomInstances) {
+  util::Rng rng(GetParam() ^ 0xF1EE);
+  for (int i = 0; i < 300; ++i) {
+    telemetry::SlotTelemetry slot;
+    slot.slot = static_cast<std::uint32_t>(rng.uniform(1 << 16));
+    slot.metrics = random_fleet_snapshot(rng);
+    slot.spans = random_fleet_spans(rng);
+    net::BufWriter w;
+    telemetry::encode_slot_telemetry(slot, w);
+    net::BufReader r(w.data());
+    auto decoded = telemetry::decode_slot_telemetry(r);
+    ASSERT_TRUE(decoded.has_value()) << "i=" << i;
+    EXPECT_TRUE(r.at_end()) << "i=" << i;
+    EXPECT_EQ(decoded->slot, slot.slot);
+    expect_snapshot_eq(slot.metrics, decoded->metrics);
+    EXPECT_EQ(decoded->spans, slot.spans);
+  }
+}
+
+TEST_P(FuzzSeedTest, FleetCodecsSurviveRandomInput) {
+  util::Rng rng(GetParam() ^ 0xF1E7);
+  for (int i = 0; i < 3000; ++i) {
+    auto bytes = random_bytes(rng, 768);
+    {
+      net::BufReader r(bytes);
+      (void)telemetry::decode_snapshot(r);
+    }
+    {
+      net::BufReader r(bytes);
+      (void)telemetry::decode_spans(r);
+    }
+    {
+      net::BufReader r(bytes);
+      (void)telemetry::decode_slot_telemetry(r);
+    }
+  }
+}
+
+TEST_P(FuzzSeedTest, MutatedFleetTelemetryNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0xF11B);
+  util::Rng gen(13);
+  telemetry::SlotTelemetry slot;
+  slot.slot = 7;
+  slot.metrics = random_fleet_snapshot(gen);
+  slot.spans = random_fleet_spans(gen);
+  net::BufWriter w;
+  telemetry::encode_slot_telemetry(slot, w);
+  auto original = w.take();
+
+  // The fabric frame's CRC guards integrity; inside the frame the
+  // decoder only promises structural sanity.  Whatever a mutation
+  // still decodes into must itself re-encode without crashing.
+  for (int i = 0; i < 4000; ++i) {
+    auto mutated = original;
+    std::size_t flips = 1 + rng.uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.uniform(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(8));
+    }
+    net::BufReader r(mutated);
+    auto decoded = telemetry::decode_slot_telemetry(r);
+    if (decoded) {
+      net::BufWriter out;
+      telemetry::encode_slot_telemetry(*decoded, out);
+    }
+  }
+}
+
+TEST_P(FuzzSeedTest, TruncationSweepFleetTelemetry) {
+  util::Rng gen(GetParam() ^ 0x7F1E);
+  telemetry::SlotTelemetry slot;
+  slot.slot = 3;
+  slot.metrics = random_fleet_snapshot(gen);
+  slot.spans = random_fleet_spans(gen);
+  net::BufWriter w;
+  telemetry::encode_slot_telemetry(slot, w);
+  const auto& full = w.data();
+  // Counts lead every section, so any strict prefix starves a read
+  // and must reject cleanly — never crash, never decode torn.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> t(full.begin(), full.begin() + cut);
+    net::BufReader r(t);
+    EXPECT_FALSE(telemetry::decode_slot_telemetry(r).has_value())
+        << "cut=" << cut;
+  }
+}
+
+// ---- fabric sub-update codec: the v2 ingest trailer -------------------
+
+routing::FeedUpdate stamped_sub_update() {
+  routing::FeedUpdate fu;
+  fu.platform = routing::Platform::kRouteViews;
+  fu.update.time = 1488326400;
+  fu.update.peer_ip = *net::IpAddr::parse("198.51.100.9");
+  fu.update.peer_asn = 1299;
+  fu.update.body.announced.push_back(*net::Prefix::parse("130.149.7.0/24"));
+  fu.update.body.as_path = bgp::AsPath::of({1299, 64500});
+  fu.update.body.next_hop = *net::IpAddr::parse("198.51.100.1");
+  fu.update.body.communities.add(bgp::Community(65535, 666));
+  fu.ingest_ns = 0x0123456789ABCDEFull;
+  return fu;
+}
+
+TEST_P(FuzzSeedTest, SubUpdateV2RoundTripsIngestStampAndV1Truncates) {
+  routing::FeedUpdate fu = stamped_sub_update();
+  net::BufWriter w;
+  fabric::encode_sub_update(fu, w);
+  {
+    // v2 lane: the trailer survives the wire.
+    net::BufReader r(w.data());
+    auto decoded = fabric::decode_sub_update(r, 2);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(r.at_end());
+    EXPECT_TRUE(*decoded == fu);
+    EXPECT_EQ(decoded->ingest_ns, fu.ingest_ns);
+  }
+  {
+    // v1 lane: the sender truncates the trailer; a v1 decode of the
+    // truncated bytes consumes everything and leaves the stamp unset.
+    auto bytes = w.take();
+    bytes.resize(bytes.size() - fabric::kSubUpdateIngestTrailerBytes);
+    net::BufReader r(bytes);
+    auto decoded = fabric::decode_sub_update(r, 1);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(r.at_end());
+    EXPECT_TRUE(*decoded == fu);  // ingest_ns excluded from equality
+    EXPECT_EQ(decoded->ingest_ns, 0u);
+  }
+}
+
+TEST_P(FuzzSeedTest, SubUpdateDecoderSurvivesRandomInputBothVersions) {
+  util::Rng rng(GetParam() ^ 0x5B02);
+  for (int i = 0; i < 3000; ++i) {
+    auto bytes = random_bytes(rng, 512);
+    {
+      net::BufReader r(bytes);
+      (void)fabric::decode_sub_update(r, 1);
+    }
+    {
+      net::BufReader r(bytes);
+      (void)fabric::decode_sub_update(r, 2);
+    }
+  }
+}
+
+TEST_P(FuzzSeedTest, TruncationSweepSubUpdateV2) {
+  routing::FeedUpdate fu = stamped_sub_update();
+  net::BufWriter w;
+  fabric::encode_sub_update(fu, w);
+  const auto& full = w.data();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> t(full.begin(), full.begin() + cut);
+    net::BufReader r(t);
+    auto decoded = fabric::decode_sub_update(r, 2);
+    // A shorter input may still parse as a degenerate sub-update, but
+    // never as the original (the trailer alone guarantees that for the
+    // last 8 cuts).
+    if (decoded) {
+      EXPECT_FALSE(*decoded == fu && decoded->ingest_ns == fu.ingest_ns)
+          << "cut=" << cut;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,

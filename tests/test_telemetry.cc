@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,6 +105,37 @@ TEST(LatencyHistogram, EmptySnapshotIsZero) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.0);
   EXPECT_TRUE(s.buckets.empty());
+}
+
+TEST(HistogramSnapshot, MergeFromMatchesSingleInstrument) {
+  // Splitting a value stream across two instruments and merging their
+  // snapshots must reproduce the single-instrument snapshot exactly —
+  // the bucket-exact guarantee fleet folding rests on.
+  LatencyHistogram a, b, combined;
+  std::uint64_t v = 7;
+  for (int i = 0; i < 4000; ++i) {
+    v = v * 2862933555777941757ull + 3037000493ull;
+    const std::uint64_t sample = v >> (v % 48);
+    (i % 3 == 0 ? a : b).record(sample);
+    combined.record(sample);
+  }
+  auto sa = a.snapshot();
+  sa.merge_from(b.snapshot());
+  auto ref = combined.snapshot();
+  EXPECT_EQ(sa.count, ref.count);
+  EXPECT_EQ(sa.sum, ref.sum);
+  EXPECT_EQ(sa.min, ref.min);
+  EXPECT_EQ(sa.max, ref.max);
+  ASSERT_EQ(sa.buckets.size(), ref.buckets.size());
+  for (std::size_t i = 0; i < ref.buckets.size(); ++i) {
+    EXPECT_EQ(sa.buckets[i], ref.buckets[i]) << "bucket row " << i;
+  }
+  EXPECT_DOUBLE_EQ(sa.percentile(0.99), ref.percentile(0.99));
+  // Merging an empty snapshot is a no-op.
+  telemetry::HistogramSnapshot empty;
+  sa.merge_from(empty);
+  EXPECT_EQ(sa.count, ref.count);
+  EXPECT_EQ(sa.min, ref.min);
 }
 
 // ---- registry folding -------------------------------------------------
@@ -311,6 +343,37 @@ TEST(TraceRing, KeepsMostRecentCapacityRecords) {
   EXPECT_LT(recent.front().seq, recent.back().seq);
 }
 
+TEST(TraceRing, ConfigurableCapacityAndTraceIds) {
+  telemetry::TraceRing ring;
+  ring.configure({.enabled = true, .slow_threshold_ns = 0, .capacity = 8});
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    ring.maybe_record("s", 0, i + 1, /*trace_id=*/100 + i);
+  }
+  auto recent = ring.recent();
+  ASSERT_EQ(recent.size(), 8u);
+  EXPECT_EQ(recent.front().duration_ns, 13u);
+  EXPECT_EQ(recent.back().duration_ns, 20u);
+  EXPECT_EQ(recent.back().trace_id, 119u);
+  // Reconfiguring to the SAME capacity keeps the contents (wiring-time
+  // re-applications are harmless); a different capacity clears.
+  ring.configure({.enabled = true, .slow_threshold_ns = 0, .capacity = 8});
+  EXPECT_EQ(ring.recent().size(), 8u);
+  ring.configure({.enabled = true, .slow_threshold_ns = 0, .capacity = 4});
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.recent().empty());
+}
+
+TEST(ScopedSpan, CarriesTraceIdIntoRing) {
+  LatencyHistogram hist;
+  telemetry::TraceRing ring;
+  ring.configure({.enabled = true, .slow_threshold_ns = 0});
+  { telemetry::ScopedSpan span(&hist, &ring, "rpc", 1, 0xABCDu); }
+  ASSERT_EQ(ring.records_seen(), 1u);
+  EXPECT_EQ(ring.recent()[0].trace_id, 0xABCDu);
+  EXPECT_EQ(ring.recent()[0].shard, 1u);
+}
+
 TEST(ScopedSpan, FeedsHistogramAndRespectsRingGate) {
   LatencyHistogram hist;
   telemetry::TraceRing ring;  // disabled: histogram still records
@@ -373,6 +436,36 @@ TEST(SessionTelemetry, LiveSessionPopulatesRegistryAcrossLayers) {
   EXPECT_NE(prom.find("bgpbh_stream_updates_pushed"), std::string::npos);
   EXPECT_NE(prom.find("bgpbh_api_dispatch_events_delivered"),
             std::string::npos);
+}
+
+TEST(SessionTelemetry, EveryRegisteredMetricHasHelpText) {
+  // A metric without a HELP string renders as a bare Prometheus series
+  // nobody can interpret.  Run a session with persistence, checkpoint
+  // cadence, sinks, and tracing wired so the stream/api/storage/
+  // recovery/e2e instrument families all register, then require help
+  // on every one.
+  const std::string dir = "/tmp/bgpbh_test_telemetry_help";
+  std::filesystem::remove_all(dir);
+  api::SessionConfig config;
+  config.mode = api::SessionConfig::Mode::kLiveReplay;
+  config.study = small_study();
+  config.num_shards = 2;
+  config.persist_dir = dir;
+  config.checkpoint_every = 500;
+  config.trace.enabled = true;
+  config.trace.slow_threshold_ns = 0;
+  api::AnalysisSession session(config);
+  NullSink sink;
+  session.subscribe(sink);
+  session.run();
+  auto snap = session.telemetry().snapshot();
+  ASSERT_GT(snap.metrics.size(), 0u);
+  EXPECT_NE(snap.find("e2e.detect_latency_ns"), nullptr);
+  EXPECT_NE(snap.find("e2e.delivery_latency_ns"), nullptr);
+  for (const auto& m : snap.metrics) {
+    EXPECT_FALSE(m.help.empty()) << "metric '" << m.name << "' has no HELP";
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SessionTelemetry, RegistrySurvivesPipelineTeardown) {

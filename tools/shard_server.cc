@@ -2,7 +2,8 @@
 //
 //   shard_server --dir DATA_DIR [--port N] [--producers N]
 //                [--window-start YYYY-MM-DD] [--window-end YYYY-MM-DD]
-//                [--intensity X] [--seed N]
+//                [--intensity X] [--seed N] [--trace]
+//                [--trace-threshold-ns N] [--trace-capacity N]
 //
 // Binds the port (0 = ephemeral), prints "PORT <n>" on stdout (the
 // line a spawning client parses), and serves fabric frames until a
@@ -34,7 +35,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir DATA_DIR [--port N] [--producers N]\n"
                "          [--window-start YYYY-MM-DD] [--window-end "
-               "YYYY-MM-DD] [--intensity X] [--seed N]\n",
+               "YYYY-MM-DD] [--intensity X] [--seed N]\n"
+               "          [--trace] [--trace-threshold-ns N] "
+               "[--trace-capacity N]\n",
                argv0);
   return 2;
 }
@@ -69,6 +72,17 @@ int main(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(arg, "--seed") == 0 && value) {
       config.study.seed = static_cast<std::uint64_t>(std::atoll(value));
+      ++i;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      // Slot sessions record slow fabric.server.* spans into their
+      // trace rings; STATS ships them to fleet_telemetry() clients.
+      config.trace.enabled = true;
+    } else if (std::strcmp(arg, "--trace-threshold-ns") == 0 && value) {
+      config.trace.slow_threshold_ns =
+          static_cast<std::uint64_t>(std::atoll(value));
+      ++i;
+    } else if (std::strcmp(arg, "--trace-capacity") == 0 && value) {
+      config.trace.capacity = static_cast<std::size_t>(std::atoll(value));
       ++i;
     } else {
       return usage(argv[0]);
